@@ -1,0 +1,193 @@
+//! Component-level throughput benchmarks: the functional executor, the
+//! predictors, the branch predictor, the fetch engines and both machine
+//! models, measured in isolation on a fixed m88ksim trace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fetchvp_bpred::{BranchPredictor, PerfectBtb, TwoLevelBtb};
+use fetchvp_core::{
+    BtbKind, FrontEnd, IdealConfig, IdealMachine, RealisticConfig, RealisticMachine, VpConfig,
+};
+use fetchvp_dfg::DidAnalyzer;
+use fetchvp_fetch::{ConventionalFetch, FetchEngine, TraceCacheConfig, TraceCacheFetch};
+use fetchvp_predictor::{
+    ConfidenceConfig, HybridPredictor, LastValuePredictor, StridePredictor, TableGeometry,
+    ValuePredictor,
+};
+use fetchvp_trace::{trace_program, Executor, Trace};
+use fetchvp_workloads::{by_name, WorkloadParams};
+
+const N: u64 = 50_000;
+
+fn m88ksim_trace() -> Trace {
+    let w = by_name("m88ksim", &WorkloadParams::default()).expect("known benchmark");
+    trace_program(w.program(), N)
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let w = by_name("m88ksim", &WorkloadParams::default()).expect("known benchmark");
+    let mut g = c.benchmark_group("executor");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("functional_simulation", |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(w.program());
+            let mut n = 0u64;
+            while n < N {
+                exec.step().expect("workload never halts");
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = m88ksim_trace();
+    let mut g = c.benchmark_group("value_predictors");
+    g.throughput(Throughput::Elements(N));
+    let drive = |p: &mut dyn ValuePredictor| {
+        for rec in &trace {
+            if rec.produces_value() {
+                let predicted = p.lookup(rec.pc);
+                p.commit(rec.pc, rec.result, predicted);
+            }
+        }
+    };
+    g.bench_function("last_value", |b| {
+        b.iter_batched(
+            || LastValuePredictor::new(TableGeometry::Infinite, ConfidenceConfig::paper()),
+            |mut p| drive(&mut p),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("stride", |b| {
+        b.iter_batched(
+            || StridePredictor::new(TableGeometry::Infinite, ConfidenceConfig::paper()),
+            |mut p| drive(&mut p),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter_batched(HybridPredictor::paper, |mut p| drive(&mut p), BatchSize::LargeInput)
+    });
+    g.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let trace = m88ksim_trace();
+    let mut g = c.benchmark_group("branch_predictors");
+    g.bench_function("two_level_pap", |b| {
+        b.iter_batched(
+            TwoLevelBtb::paper,
+            |mut btb| {
+                for rec in &trace {
+                    if rec.is_control() {
+                        btb.predict(rec);
+                        btb.update(rec);
+                    }
+                }
+                btb.stats().correct
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fetch_engines(c: &mut Criterion) {
+    let trace = m88ksim_trace();
+    let mut g = c.benchmark_group("fetch_engines");
+    g.throughput(Throughput::Elements(N));
+    let walk = |engine: &mut dyn FetchEngine| {
+        let mut pos = 0;
+        while pos < trace.len() {
+            pos += engine.fetch(trace.records(), pos, 40).len;
+        }
+        pos
+    };
+    g.bench_function("conventional_4taken", |b| {
+        b.iter_batched(
+            || ConventionalFetch::new(40, Some(4), PerfectBtb::new()),
+            |mut e| walk(&mut e),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("trace_cache", |b| {
+        b.iter_batched(
+            || TraceCacheFetch::new(TraceCacheConfig::paper(), PerfectBtb::new()),
+            |mut e| walk(&mut e),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let trace = m88ksim_trace();
+    let mut g = c.benchmark_group("machines");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("ideal_fetch16_stride_vp", |b| {
+        let machine = IdealMachine::new(IdealConfig {
+            fetch_rate: 16,
+            vp: VpConfig::stride_infinite(),
+            ..IdealConfig::default()
+        });
+        b.iter(|| machine.run(&trace))
+    });
+    g.bench_function("realistic_trace_cache_stride_vp", |b| {
+        let fe = FrontEnd::TraceCache {
+            config: TraceCacheConfig::paper(),
+            btb: BtbKind::two_level_paper(),
+        };
+        let machine = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()));
+        b.iter(|| machine.run(&trace))
+    });
+    g.finish();
+}
+
+fn bench_asm_and_io(c: &mut Criterion) {
+    let trace = m88ksim_trace();
+    let mut g = c.benchmark_group("serialization");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("trace_write_read", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            fetchvp_trace::write_trace(&trace, &mut buf).expect("write");
+            fetchvp_trace::read_trace(buf.as_slice()).expect("read").len()
+        })
+    });
+    let w = by_name("m88ksim", &WorkloadParams::default()).expect("known benchmark");
+    let text = fetchvp_isa::to_assembly(w.program());
+    g.bench_function("asm_round_trip", |b| {
+        b.iter(|| {
+            let p = fetchvp_isa::parse_program("m88ksim", &text).expect("parse");
+            fetchvp_isa::to_assembly(&p).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_dfg(c: &mut Criterion) {
+    let trace = m88ksim_trace();
+    let mut g = c.benchmark_group("dfg");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("did_analysis", |b| {
+        b.iter(|| {
+            let mut a = DidAnalyzer::new();
+            for rec in &trace {
+                a.feed(rec);
+            }
+            a.finish().arcs
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(10);
+    targets = bench_executor, bench_predictors, bench_bpred,
+              bench_fetch_engines, bench_machines, bench_dfg,
+              bench_asm_and_io
+}
+criterion_main!(components);

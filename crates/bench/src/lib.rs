@@ -1,0 +1,2 @@
+//! See `benches/` for the Criterion benchmarks (one per paper figure,
+//! plus component-level throughput measurements).

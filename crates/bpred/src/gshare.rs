@@ -1,0 +1,283 @@
+//! A gshare direction predictor with a branch target buffer.
+
+use fetchvp_isa::Instr;
+use fetchvp_trace::DynInstr;
+
+use crate::{BpredStats, BranchPrediction, BranchPredictor};
+
+/// Geometry of the [`GshareBtb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GshareConfig {
+    /// Global-history length in bits; the pattern table holds
+    /// `1 << history_bits` two-bit counters.
+    pub history_bits: u8,
+    /// Branch-target-buffer entries (direct-mapped, tagged).
+    pub btb_entries: usize,
+}
+
+impl GshareConfig {
+    /// A configuration sized like the paper's 2-level BTB budget: 4K-entry
+    /// pattern table (12 history bits) plus a 2K-entry target buffer.
+    pub fn default_budget() -> GshareConfig {
+        GshareConfig { history_bits: 12, btb_entries: 2048 }
+    }
+}
+
+impl Default for GshareConfig {
+    fn default() -> GshareConfig {
+        GshareConfig::default_budget()
+    }
+}
+
+/// McFarling's *gshare*: one global branch-history register XORed with the
+/// branch PC indexes a shared table of 2-bit counters.
+///
+/// The paper closes §5 by noting its results "can be significantly improved
+/// by tuning the performance of the BTB"; gshare is the canonical
+/// next-generation direction predictor after Yeh & Patt's per-address
+/// schemes, so it anchors the BTB-sensitivity ablation
+/// (`fetchvp_experiments::ablations::btb_sensitivity`). Targets come from a
+/// conventional tagged BTB, exactly as in [`crate::TwoLevelBtb`].
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_bpred::{BranchPredictor, GshareBtb};
+/// use fetchvp_isa::{Cond, Instr, Reg};
+/// use fetchvp_trace::DynInstr;
+///
+/// let mut p = GshareBtb::default_budget();
+/// let rec = DynInstr {
+///     seq: 0, pc: 5,
+///     instr: Instr::Branch { cond: Cond::Ne, a: Reg::R1, b: Reg::R0, target: 2 },
+///     result: 0, mem_addr: None, taken: true, next_pc: 2,
+/// };
+/// for _ in 0..4 { p.predict(&rec); p.update(&rec); }
+/// assert!(p.predict(&rec).correct_for(&rec));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GshareBtb {
+    config: GshareConfig,
+    /// Global history of recent conditional-branch outcomes.
+    history: u64,
+    /// Pattern table of 2-bit counters, initialized weakly-taken.
+    pht: Vec<u8>,
+    /// Tagged direct-mapped target buffer: `(tag, target)`.
+    btb: Vec<Option<(u64, u64)>>,
+    stats: BpredStats,
+}
+
+impl GshareBtb {
+    /// Creates a predictor with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is zero or greater than 24, or if
+    /// `btb_entries` is not a power of two.
+    pub fn new(config: GshareConfig) -> GshareBtb {
+        assert!(
+            (1..=24).contains(&config.history_bits),
+            "history must be 1..=24 bits, got {}",
+            config.history_bits
+        );
+        assert!(config.btb_entries.is_power_of_two(), "BTB entries must be a power of two");
+        GshareBtb {
+            config,
+            history: 0,
+            pht: vec![2; 1usize << config.history_bits],
+            btb: vec![None; config.btb_entries],
+            stats: BpredStats::default(),
+        }
+    }
+
+    /// The default 12-bit-history configuration.
+    pub fn default_budget() -> GshareBtb {
+        GshareBtb::new(GshareConfig::default_budget())
+    }
+
+    /// The geometry in use.
+    pub fn config(&self) -> GshareConfig {
+        self.config
+    }
+
+    fn pht_index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.config.history_bits) - 1;
+        ((pc ^ self.history) & mask) as usize
+    }
+
+    fn btb_index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.config.btb_entries - 1)
+    }
+
+    fn btb_target(&self, pc: u64) -> Option<u64> {
+        match self.btb[self.btb_index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+}
+
+impl BranchPredictor for GshareBtb {
+    fn name(&self) -> &str {
+        "gshare"
+    }
+
+    fn predict(&mut self, rec: &DynInstr) -> BranchPrediction {
+        let prediction = match rec.instr {
+            Instr::Jump { target } | Instr::Call { target, .. } => {
+                BranchPrediction::taken_to(target)
+            }
+            Instr::JumpInd { .. } => BranchPrediction {
+                taken: true,
+                target: self.btb_target(rec.pc),
+            },
+            Instr::Branch { .. } => {
+                if self.pht[self.pht_index(rec.pc)] >= 2 {
+                    match self.btb_target(rec.pc) {
+                        Some(t) => BranchPrediction::taken_to(t),
+                        None => BranchPrediction::not_taken(), // no target: cannot follow
+                    }
+                } else {
+                    BranchPrediction::not_taken()
+                }
+            }
+            _ => BranchPrediction::not_taken(),
+        };
+        self.stats.record(rec, prediction);
+        prediction
+    }
+
+    fn update(&mut self, rec: &DynInstr) {
+        match rec.instr {
+            Instr::Branch { .. } => {
+                let idx = self.pht_index(rec.pc);
+                if rec.taken {
+                    self.pht[idx] = (self.pht[idx] + 1).min(3);
+                    let slot = self.btb_index(rec.pc);
+                    self.btb[slot] = Some((rec.pc, rec.next_pc));
+                } else {
+                    self.pht[idx] = self.pht[idx].saturating_sub(1);
+                }
+                let mask = (1u64 << self.config.history_bits) - 1;
+                self.history = ((self.history << 1) | rec.taken as u64) & mask;
+            }
+            Instr::JumpInd { .. } => {
+                let slot = self.btb_index(rec.pc);
+                self.btb[slot] = Some((rec.pc, rec.next_pc));
+            }
+            _ => {}
+        }
+    }
+
+    fn stats(&self) -> BpredStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::{Cond, Reg};
+
+    fn branch(pc: u64, taken: bool, target: u64) -> DynInstr {
+        DynInstr {
+            seq: 0,
+            pc,
+            instr: Instr::Branch { cond: Cond::Ne, a: Reg::R1, b: Reg::R0, target },
+            result: 0,
+            mem_addr: None,
+            taken,
+            next_pc: if taken { target } else { pc + 1 },
+        }
+    }
+
+    fn run(p: &mut GshareBtb, recs: &[DynInstr]) -> usize {
+        recs.iter()
+            .map(|r| {
+                let pred = p.predict(r);
+                p.update(r);
+                pred.correct_for(r) as usize
+            })
+            .sum()
+    }
+
+    #[test]
+    fn biased_branches_are_learned() {
+        let mut p = GshareBtb::default_budget();
+        let recs: Vec<_> = (0..40).map(|_| branch(7, true, 100)).collect();
+        assert!(run(&mut p, &recs) >= 36);
+    }
+
+    #[test]
+    fn alternating_pattern_is_captured_by_global_history() {
+        let mut p = GshareBtb::default_budget();
+        let mk = |i: usize| branch(7, i.is_multiple_of(2), 100);
+        run(&mut p, &(0..200).map(mk).collect::<Vec<_>>());
+        let tail: Vec<_> = (200..240).map(mk).collect();
+        assert_eq!(run(&mut p, &tail), 40);
+    }
+
+    #[test]
+    fn correlated_branches_benefit_from_shared_history() {
+        // Branch B's outcome equals branch A's previous outcome: only a
+        // global-history scheme captures this.
+        let mut p = GshareBtb::default_budget();
+        let mut seq = Vec::new();
+        for i in 0..300usize {
+            let a_taken = (i / 3) % 2 == 0;
+            seq.push(branch(10, a_taken, 50));
+            seq.push(branch(11, a_taken, 60));
+        }
+        run(&mut p, &seq[..400]);
+        let correct_tail = run(&mut p, &seq[400..]);
+        assert!(
+            correct_tail as f64 > (seq.len() - 400) as f64 * 0.9,
+            "{correct_tail}/{}",
+            seq.len() - 400
+        );
+    }
+
+    #[test]
+    fn taken_prediction_without_a_target_falls_back_to_not_taken() {
+        let mut p = GshareBtb::new(GshareConfig { history_bits: 4, btb_entries: 4 });
+        // Train PC 1 taken (allocates its BTB slot), then train PC 5 (same
+        // BTB set) so PC 1's target is evicted.
+        for _ in 0..4 {
+            let r = branch(1, true, 30);
+            p.predict(&r);
+            p.update(&r);
+        }
+        for _ in 0..4 {
+            let r = branch(5, true, 40);
+            p.predict(&r);
+            p.update(&r);
+        }
+        let r = branch(1, true, 30);
+        let pred = p.predict(&r);
+        assert!(!pred.taken, "without a target the front-end cannot follow");
+    }
+
+    #[test]
+    fn indirect_jumps_use_the_btb() {
+        let mut p = GshareBtb::default_budget();
+        let mk = |t: u64| DynInstr {
+            seq: 0,
+            pc: 9,
+            instr: Instr::JumpInd { base: Reg::R31 },
+            result: 0,
+            mem_addr: None,
+            taken: true,
+            next_pc: t,
+        };
+        let a = mk(77);
+        assert!(!p.predict(&a).correct_for(&a));
+        p.update(&a);
+        assert!(p.predict(&a).correct_for(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_btb_size_panics() {
+        GshareBtb::new(GshareConfig { history_bits: 8, btb_entries: 100 });
+    }
+}

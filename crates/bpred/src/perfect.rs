@@ -1,0 +1,104 @@
+//! The oracle branch predictor.
+
+use fetchvp_trace::DynInstr;
+
+use crate::{BpredStats, BranchPrediction, BranchPredictor};
+
+/// An ideal branch predictor: always predicts the actual direction and
+/// target.
+///
+/// Used for the paper's "perfect branch predictor" front-ends (Figures 5.1
+/// and the `TC+idealBTB` series of Figure 5.3), isolating the value-
+/// prediction effect from branch-prediction accuracy.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_bpred::{BranchPredictor, PerfectBtb};
+/// use fetchvp_isa::Instr;
+/// use fetchvp_trace::DynInstr;
+///
+/// let mut btb = PerfectBtb::new();
+/// let rec = DynInstr { seq: 0, pc: 3, instr: Instr::Jump { target: 9 }, result: 0,
+///                      mem_addr: None, taken: true, next_pc: 9 };
+/// let p = btb.predict(&rec);
+/// assert!(p.correct_for(&rec));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerfectBtb {
+    stats: BpredStats,
+}
+
+impl PerfectBtb {
+    /// Creates the oracle.
+    pub fn new() -> PerfectBtb {
+        PerfectBtb::default()
+    }
+}
+
+impl BranchPredictor for PerfectBtb {
+    fn name(&self) -> &str {
+        "ideal-btb"
+    }
+
+    fn predict(&mut self, rec: &DynInstr) -> BranchPrediction {
+        let prediction = if rec.taken {
+            BranchPrediction::taken_to(rec.next_pc)
+        } else {
+            BranchPrediction::not_taken()
+        };
+        self.stats.record(rec, prediction);
+        prediction
+    }
+
+    fn update(&mut self, _rec: &DynInstr) {}
+
+    fn stats(&self) -> BpredStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::{Cond, Instr, Reg};
+
+    fn rec(taken: bool) -> DynInstr {
+        DynInstr {
+            seq: 0,
+            pc: 1,
+            instr: Instr::Branch { cond: Cond::Eq, a: Reg::R1, b: Reg::R2, target: 77 },
+            result: 0,
+            mem_addr: None,
+            taken,
+            next_pc: if taken { 77 } else { 2 },
+        }
+    }
+
+    #[test]
+    fn always_correct_on_both_directions() {
+        let mut btb = PerfectBtb::new();
+        for taken in [true, false, true, true, false] {
+            let r = rec(taken);
+            assert!(btb.predict(&r).correct_for(&r));
+            btb.update(&r);
+        }
+        assert_eq!(btb.stats().accuracy(), 1.0);
+        assert_eq!(btb.stats().predictions, 5);
+    }
+
+    #[test]
+    fn correct_on_indirect_jumps() {
+        let mut btb = PerfectBtb::new();
+        let r = DynInstr {
+            seq: 0,
+            pc: 5,
+            instr: Instr::JumpInd { base: Reg::R31 },
+            result: 0,
+            mem_addr: None,
+            taken: true,
+            next_pc: 123,
+        };
+        assert_eq!(btb.predict(&r).target, Some(123));
+    }
+}

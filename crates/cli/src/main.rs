@@ -1,0 +1,293 @@
+//! `fetchvp` — command-line driver for the paper's experiments.
+//!
+//! ```text
+//! fetchvp <experiment> [--trace-len N] [--seed S] [--csv] [--chart]
+//!
+//! experiments:
+//!   table3-1   benchmark suite and trace characteristics
+//!   accuracy   per-benchmark predictor coverage/accuracy
+//!   breakdown  retire-slot attribution (event machine)
+//!   fig3-1     ideal-machine VP speedup vs fetch rate
+//!   table3-2   pipeline walk-through of the Figure 3.2 example
+//!   fig3-3     average dynamic instruction distance
+//!   fig3-4     DID distribution histograms
+//!   fig3-5     predictability x DID distribution
+//!   fig5-1     realistic machine, ideal BTB, taken-branch sweep
+//!   fig5-2     realistic machine, 2-level BTB, taken-branch sweep
+//!   fig5-3     realistic machine with trace cache
+//!   all        everything above, in paper order
+//!
+//! ablations (beyond the paper):
+//!   ablation-banks        prediction-table bank sweep
+//!   ablation-window       instruction-window sweep
+//!   ablation-confidence   classification-threshold sweep
+//!   ablation-predictors   last-value / stride / 2-delta / hybrid
+//!   ablation-partial      trace-cache partial matching
+//!   ablation-btb          branch-predictor quality sweep
+//!   ablation-fetch        fetch-mechanism comparison (conventional/BAC/TC)
+//!   ablation-penalty      branch/value misprediction penalty grid
+//!   ablation-tc           trace-cache geometry sweep
+//!   ablation-hints        dynamic vs profiling-based hybrid classification
+//!   ablation-model        relaxing the ideal-model assumptions
+//!   ablation-seeds        seed stability of the Figure 3.1 averages
+//!   ablations             all of the above
+//!
+//! trace files (the Shade workflow):
+//!   save-trace <benchmark> <file>   capture a trace to disk
+//!   trace-info <file>               print a saved trace's statistics
+//!   run-asm <file.s>                assemble, trace and simulate a program
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use fetchvp_experiments::{
+    ablations, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3, table3_1, table3_2,
+    ExperimentConfig, Table,
+};
+use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
+use fetchvp_isa::parse_program;
+use fetchvp_trace::{read_trace, trace_program, write_trace};
+use fetchvp_workloads::{by_name, WorkloadParams};
+
+const USAGE: &str = "usage: fetchvp <experiment> [--trace-len N] [--seed S] [--csv] [--chart]
+experiments: table3-1 fig3-1 table3-2 fig3-3 fig3-4 fig3-5 fig5-1 fig5-2
+             fig5-3 accuracy breakdown all
+ablations:   ablation-banks ablation-window ablation-confidence \
+             ablation-predictors ablation-partial ablation-btb \
+             ablation-fetch ablation-penalty ablation-tc ablation-hints
+             ablation-model ablation-seeds ablations
+trace files: save-trace <benchmark> <file> / trace-info <file> / run-asm <file.s>";
+
+struct Options {
+    experiment: String,
+    /// Extra positional arguments (benchmark name, file paths).
+    positionals: Vec<String>,
+    config: ExperimentConfig,
+    csv: bool,
+    chart: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut experiment = None;
+    let mut positionals = Vec::new();
+    let mut config = ExperimentConfig::default();
+    let mut csv = false;
+    let mut chart = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-len" => {
+                let v = it.next().ok_or("--trace-len needs a value")?;
+                config.trace_len = v.parse().map_err(|_| format!("bad trace length `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                let seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                config.workloads = WorkloadParams { seed, ..config.workloads };
+            }
+            "--csv" => csv = true,
+            "--chart" => chart = true,
+            other if !other.starts_with('-') => {
+                if experiment.is_none() {
+                    experiment = Some(other.to_string());
+                } else {
+                    positionals.push(other.to_string());
+                }
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    let experiment = experiment.ok_or("no experiment named")?;
+    Ok(Options { experiment, positionals, config, csv, chart })
+}
+
+fn emit(table: &Table, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn save_trace(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let [bench, path] = args else {
+        return Err("save-trace needs: <benchmark> <file>".into());
+    };
+    let workload =
+        by_name(bench, &cfg.workloads).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let trace = trace_program(workload.program(), cfg.trace_len);
+    let file = File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    write_trace(&trace, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
+    println!("wrote {} instructions of `{bench}` to {path}", trace.len());
+    Ok(())
+}
+
+fn trace_info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("trace-info needs: <file>".into());
+    };
+    let file = File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let trace = read_trace(BufReader::new(file)).map_err(|e| format!("read failed: {e}"))?;
+    println!("trace `{}` ({:?})", trace.name(), trace.outcome());
+    println!("{}", trace.stats());
+    Ok(())
+}
+
+fn run_asm(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("run-asm needs: <file.s>".into());
+    };
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program");
+    let program = parse_program(name, &source).map_err(|e| format!("{path}: {e}"))?;
+    let trace = trace_program(&program, cfg.trace_len);
+    println!("program `{name}`: {} static instructions", program.len());
+    println!("{}
+", trace.stats());
+    for (label, vp) in [
+        ("baseline (no VP)", VpConfig::None),
+        ("stride VP", VpConfig::stride_infinite()),
+    ] {
+        let r = IdealMachine::new(IdealConfig {
+            fetch_rate: 16,
+            vp,
+            ..IdealConfig::default()
+        })
+        .run(&trace);
+        println!("== ideal machine, fetch 16, {label}
+{r}");
+    }
+    Ok(())
+}
+
+fn run_one(
+    name: &str,
+    cfg: &ExperimentConfig,
+    csv: bool,
+    chart: bool,
+    positionals: &[String],
+) -> Result<(), String> {
+    #[allow(clippy::match_like_matches_macro)]
+    match name {
+        "save-trace" => return save_trace(cfg, positionals),
+        "trace-info" => return trace_info(positionals),
+        "run-asm" => return run_asm(cfg, positionals),
+        "table3-1" => emit(&table3_1::run(cfg).to_table(), csv),
+        "accuracy" => emit(&fetchvp_experiments::accuracy::run(cfg).to_table(), csv),
+        "breakdown" => emit(&fetchvp_experiments::breakdown::run(cfg).to_table(), csv),
+        "fig3-1" if chart => println!("{}", fig3_1::run(cfg).to_chart()),
+        "fig5-1" if chart => println!("{}", fig5_1::run(cfg).to_chart()),
+        "fig5-2" if chart => println!("{}", fig5_2::run(cfg).to_chart()),
+        "fig5-3" if chart => println!("{}", fig5_3::run(cfg).to_chart()),
+        "fig3-1" => emit(&fig3_1::run(cfg).to_table(), csv),
+        "table3-2" => emit(&table3_2::run().to_table(), csv),
+        "fig3-3" => emit(&fig3_3::run(cfg).to_table(), csv),
+        "fig3-4" => emit(&fig3_4::run(cfg).to_table(), csv),
+        "fig3-5" => emit(&fig3_5::run(cfg).to_table(), csv),
+        "fig5-1" => emit(&fig5_1::run(cfg).to_table(), csv),
+        "fig5-2" => emit(&fig5_2::run(cfg).to_table(), csv),
+        "fig5-3" => emit(&fig5_3::run(cfg).to_table(), csv),
+        "ablation-banks" => emit(&ablations::bank_sweep(cfg).to_table(), csv),
+        "ablation-window" => emit(&ablations::window_sweep(cfg).to_table(), csv),
+        "ablation-confidence" => emit(&ablations::confidence_sweep(cfg).to_table(), csv),
+        "ablation-predictors" => emit(&ablations::predictor_comparison(cfg).to_table(), csv),
+        "ablation-partial" => emit(&ablations::partial_matching(cfg).to_table(), csv),
+        "ablation-btb" => emit(&ablations::btb_sensitivity(cfg).to_table(), csv),
+        "ablation-fetch" => emit(&ablations::fetch_mechanisms(cfg).to_table(), csv),
+        "ablation-penalty" => emit(&ablations::penalty_sweep(cfg).to_table(), csv),
+        "ablation-tc" => emit(&ablations::tc_geometry(cfg).to_table(), csv),
+        "ablation-hints" => emit(&ablations::hint_study(cfg).to_table(), csv),
+        "ablation-model" => emit(&ablations::model_assumptions(cfg).to_table(), csv),
+        "ablation-seeds" => emit(&ablations::seed_stability(cfg).to_table(), csv),
+        "ablations" => {
+            for exp in [
+                "ablation-banks", "ablation-window", "ablation-confidence",
+                "ablation-predictors", "ablation-partial", "ablation-btb",
+                "ablation-fetch", "ablation-penalty", "ablation-tc", "ablation-hints",
+                "ablation-model", "ablation-seeds",
+            ] {
+                run_one(exp, cfg, csv, chart, positionals)?;
+            }
+        }
+        "all" => {
+            for exp in [
+                "table3-1", "fig3-1", "table3-2", "fig3-3", "fig3-4", "fig3-5", "fig5-1",
+                "fig5-2", "fig5-3",
+            ] {
+                run_one(exp, cfg, csv, chart, positionals)?;
+            }
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_one(
+        &options.experiment,
+        &options.config,
+        options.csv,
+        options.chart,
+        &options.positionals,
+    ) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_experiment_and_flags() {
+        let o = opts(&["fig3-1", "--trace-len", "1000", "--seed", "7", "--csv"]).unwrap();
+        assert_eq!(o.experiment, "fig3-1");
+        assert_eq!(o.config.trace_len, 1000);
+        assert_eq!(o.config.workloads.seed, 7);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn rejects_missing_experiment() {
+        assert!(opts(&["--csv"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(opts(&["fig3-1", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_experiment() {
+        let o = opts(&["fig9-9"]).unwrap();
+        assert!(run_one(&o.experiment, &o.config, false, false, &[]).is_err());
+    }
+
+    #[test]
+    fn table3_2_runs_end_to_end() {
+        let o = opts(&["table3-2"]).unwrap();
+        run_one(&o.experiment, &o.config, true, false, &[]).unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Value-prediction configuration shared by both machine models.
+
+use fetchvp_predictor::{
+    ConfidenceConfig, FcmPredictor, HybridPredictor, LastValuePredictor, StrideKind,
+    StridePredictor, TableGeometry, ValuePredictor,
+};
+
+/// Which concrete value predictor to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Last-value prediction (\[13\], \[14\]).
+    LastValue {
+        /// Prediction-table geometry.
+        geometry: TableGeometry,
+        /// Classification configuration.
+        confidence: ConfidenceConfig,
+    },
+    /// Stride prediction (\[7\], \[8\]) — the paper's workhorse.
+    Stride {
+        /// Prediction-table geometry.
+        geometry: TableGeometry,
+        /// Classification configuration.
+        confidence: ConfidenceConfig,
+        /// Stride-update policy.
+        kind: StrideKind,
+    },
+    /// The §4.2 hybrid (large last-value table + small stride table).
+    Hybrid,
+    /// The finite-context-method predictor of reference \[22\].
+    Fcm {
+        /// Classification configuration.
+        confidence: ConfidenceConfig,
+    },
+}
+
+impl PredictorKind {
+    /// Instantiates the predictor.
+    pub fn build(&self) -> Box<dyn ValuePredictor> {
+        match *self {
+            PredictorKind::LastValue { geometry, confidence } => {
+                Box::new(LastValuePredictor::new(geometry, confidence))
+            }
+            PredictorKind::Stride { geometry, confidence, kind } => {
+                Box::new(StridePredictor::with_kind(geometry, confidence, kind))
+            }
+            PredictorKind::Hybrid => Box::new(HybridPredictor::paper()),
+            PredictorKind::Fcm { confidence } => {
+                Box::new(FcmPredictor::with_confidence(confidence))
+            }
+        }
+    }
+}
+
+/// The machine's value-prediction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VpConfig {
+    /// Value prediction disabled (the baseline of every figure).
+    None,
+    /// An oracle predictor with 100% accuracy, used for the §3.3 worked
+    /// example (Table 3.2) and for isolating fetch effects from accuracy.
+    Perfect,
+    /// A real predictor.
+    Predictor(PredictorKind),
+}
+
+impl VpConfig {
+    /// The §3 configuration: infinite stride prediction table with 2-bit
+    /// saturating-counter classification.
+    pub fn stride_infinite() -> VpConfig {
+        VpConfig::Predictor(PredictorKind::Stride {
+            geometry: TableGeometry::Infinite,
+            confidence: ConfidenceConfig::paper(),
+            kind: StrideKind::Simple,
+        })
+    }
+
+    /// Whether any form of value prediction is active.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, VpConfig::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_infinite_builds_a_stride_predictor() {
+        match VpConfig::stride_infinite() {
+            VpConfig::Predictor(kind) => assert_eq!(kind.build().name(), "stride"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        let kinds = [
+            PredictorKind::LastValue {
+                geometry: TableGeometry::Infinite,
+                confidence: ConfidenceConfig::paper(),
+            },
+            PredictorKind::Stride {
+                geometry: TableGeometry::Infinite,
+                confidence: ConfidenceConfig::paper(),
+                kind: StrideKind::TwoDelta,
+            },
+            PredictorKind::Hybrid,
+            PredictorKind::Fcm { confidence: ConfidenceConfig::paper() },
+        ];
+        let names: Vec<_> = kinds.iter().map(|k| k.build().name().to_owned()).collect();
+        assert_eq!(names, ["last-value", "stride-2delta", "hybrid", "fcm"]);
+    }
+
+    #[test]
+    fn enablement() {
+        assert!(!VpConfig::None.is_enabled());
+        assert!(VpConfig::Perfect.is_enabled());
+        assert!(VpConfig::stride_infinite().is_enabled());
+    }
+}

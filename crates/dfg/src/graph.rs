@@ -1,0 +1,184 @@
+//! Explicit dataflow-graph representation for small traces.
+
+use std::fmt;
+
+use fetchvp_isa::reg::NUM_REGS;
+use fetchvp_trace::Trace;
+
+/// One true-data-dependence arc `s_ij` of the DFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arc {
+    /// Producer sequence number (node `i`).
+    pub producer: u64,
+    /// Consumer sequence number (node `j`).
+    pub consumer: u64,
+}
+
+impl Arc {
+    /// The dynamic instruction distance of this arc (Equation 3.1:
+    /// `DID(s_ij) = |j − i|`).
+    pub fn did(&self) -> u64 {
+        self.consumer - self.producer
+    }
+}
+
+/// An explicit dynamic dataflow graph `G(V, S)` as defined in §3.3: nodes
+/// are dynamic instructions numbered by appearance order, arcs are register
+/// true dependencies (including loop-carried ones).
+///
+/// Intended for small traces (examples, tests, visualization); use
+/// [`crate::DidAnalyzer`] for multi-million-instruction analyses, which
+/// needs only O(registers) memory.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_dfg::DataflowGraph;
+/// use fetchvp_isa::{AluOp, ProgramBuilder, Reg};
+/// use fetchvp_trace::trace_program;
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("p");
+/// b.load_imm(Reg::R1, 5); // node 0
+/// b.alu_imm(AluOp::Add, Reg::R2, Reg::R1, 1); // node 1, arc 0 -> 1
+/// b.halt();
+/// let g = DataflowGraph::build(&trace_program(&b.build()?, 100));
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.arcs()[0].did(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowGraph {
+    num_nodes: u64,
+    arcs: Vec<Arc>,
+}
+
+impl DataflowGraph {
+    /// Builds the DFG of a captured trace.
+    pub fn build(trace: &Trace) -> DataflowGraph {
+        let mut last_writer: [Option<u64>; NUM_REGS] = [None; NUM_REGS];
+        let mut arcs = Vec::new();
+        for rec in trace {
+            for src in rec.srcs().into_iter().flatten() {
+                if src.is_zero() {
+                    continue;
+                }
+                if let Some(producer) = last_writer[src.index()] {
+                    arcs.push(Arc { producer, consumer: rec.seq });
+                }
+            }
+            if let Some(dst) = rec.dst() {
+                last_writer[dst.index()] = Some(rec.seq);
+            }
+        }
+        DataflowGraph { num_nodes: trace.len() as u64, arcs }
+    }
+
+    /// Number of nodes (dynamic instructions).
+    pub fn num_nodes(&self) -> u64 {
+        self.num_nodes
+    }
+
+    /// All arcs in consumer order.
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// The arithmetic mean DID over all arcs (Figure 3.3's statistic).
+    pub fn avg_did(&self) -> f64 {
+        if self.arcs.is_empty() {
+            0.0
+        } else {
+            self.arcs.iter().map(|a| a.did() as f64).sum::<f64>() / self.arcs.len() as f64
+        }
+    }
+
+    /// Arcs consumed by node `seq`.
+    pub fn in_arcs(&self, seq: u64) -> impl Iterator<Item = &Arc> {
+        self.arcs.iter().filter(move |a| a.consumer == seq)
+    }
+
+    /// Arcs produced by node `seq`.
+    pub fn out_arcs(&self, seq: u64) -> impl Iterator<Item = &Arc> {
+        self.arcs.iter().filter(move |a| a.producer == seq)
+    }
+}
+
+impl fmt::Display for DataflowGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DFG: {} nodes, {} arcs", self.num_nodes, self.arcs.len())?;
+        for a in &self.arcs {
+            writeln!(f, "  {} -> {} (DID {})", a.producer, a.consumer, a.did())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::{AluOp, ProgramBuilder, Reg};
+    use fetchvp_trace::trace_program;
+
+    /// The paper's Figure 3.2 DFG: 8 nodes with arcs
+    /// 1->2 (DID 1), 2->4 (2), 1->5 (4), 5->6 (1), 3->7 (4), 7->8 (1).
+    fn figure_3_2() -> DataflowGraph {
+        let mut b = ProgramBuilder::new("fig32");
+        b.load_imm(Reg::R1, 1); // node 0 ("1")
+        b.alu_imm(AluOp::Add, Reg::R2, Reg::R1, 1); // node 1 ("2")
+        b.load_imm(Reg::R3, 3); // node 2 ("3")
+        b.alu_imm(AluOp::Add, Reg::R4, Reg::R2, 1); // node 3 ("4")
+        b.alu_imm(AluOp::Add, Reg::R5, Reg::R1, 1); // node 4 ("5")
+        b.alu_imm(AluOp::Add, Reg::R6, Reg::R5, 1); // node 5 ("6")
+        b.alu_imm(AluOp::Add, Reg::R7, Reg::R3, 1); // node 6 ("7")
+        b.alu_imm(AluOp::Add, Reg::R8, Reg::R7, 1); // node 7 ("8")
+        b.halt();
+        DataflowGraph::build(&trace_program(&b.build().unwrap(), 100))
+    }
+
+    #[test]
+    fn figure_3_2_arcs_match_the_paper() {
+        let g = figure_3_2();
+        let expect = [(0, 1), (1, 3), (0, 4), (4, 5), (2, 6), (6, 7)];
+        let got: Vec<(u64, u64)> = g.arcs().iter().map(|a| (a.producer, a.consumer)).collect();
+        assert_eq!(got.len(), 6);
+        for pair in expect {
+            assert!(got.contains(&pair), "missing arc {pair:?}");
+        }
+    }
+
+    #[test]
+    fn figure_3_2_dids_match_the_paper() {
+        let g = figure_3_2();
+        let mut dids: Vec<u64> = g.arcs().iter().map(Arc::did).collect();
+        dids.sort_unstable();
+        assert_eq!(dids, [1, 1, 1, 2, 4, 4]);
+        assert!((g.avg_did() - 13.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_and_out_arcs_navigate_the_graph() {
+        let g = figure_3_2();
+        assert_eq!(g.out_arcs(0).count(), 2); // node "1" feeds "2" and "5"
+        assert_eq!(g.in_arcs(3).count(), 1);
+        assert_eq!(g.in_arcs(0).count(), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_well_behaved() {
+        let mut b = ProgramBuilder::new("empty");
+        b.halt();
+        let g = DataflowGraph::build(&trace_program(&b.build().unwrap(), 10));
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.avg_did(), 0.0);
+    }
+
+    #[test]
+    fn display_lists_arcs() {
+        let g = figure_3_2();
+        let text = g.to_string();
+        assert!(text.contains("8 nodes, 6 arcs"));
+        assert!(text.contains("(DID 4)"));
+    }
+}

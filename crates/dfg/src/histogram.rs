@@ -1,0 +1,201 @@
+//! DID histograms with the paper's binning.
+
+use std::fmt;
+
+/// Bin lower edges: bin `i` covers `EDGES[i] ..= EDGES[i+1] - 1`; the last
+/// bin is open-ended. DID values are always ≥ 1.
+const EDGES: [u64; 8] = [1, 2, 3, 4, 8, 16, 32, 64];
+
+/// A histogram of dynamic instruction distances.
+///
+/// Bins follow the paper's Figure 3.4 presentation: exact counts for
+/// distances 1–3 (the span a 4-wide fetch can cover) and geometric buckets
+/// beyond.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_dfg::DidHistogram;
+///
+/// let mut h = DidHistogram::default();
+/// h.add(1);
+/// h.add(3);
+/// h.add(10);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.count_at_least(4), 1);
+/// assert!((h.fraction_at_least(4) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DidHistogram {
+    counts: [u64; EDGES.len()],
+    total: u64,
+}
+
+impl DidHistogram {
+    /// Number of bins.
+    pub const NUM_BINS: usize = EDGES.len();
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `did` is zero (a dependence arc always spans ≥ 1).
+    pub fn add(&mut self, did: u64) {
+        assert!(did >= 1, "DID must be at least 1");
+        let bin = match EDGES.binary_search(&did) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The count in bin `i`.
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// The fraction of observations in bin `i`.
+    pub fn fraction(&self, bin: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[bin] as f64 / self.total as f64
+        }
+    }
+
+    /// Observations with DID ≥ `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not a bin edge (1, 2, 3, 4, 8, 16, 32, 64) —
+    /// counts below bin granularity are not recorded.
+    pub fn count_at_least(&self, distance: u64) -> u64 {
+        let i = EDGES
+            .binary_search(&distance)
+            .unwrap_or_else(|_| panic!("{distance} is not a bin edge"));
+        self.counts[i..].iter().sum()
+    }
+
+    /// Fraction of observations with DID ≥ `distance` (a bin edge).
+    pub fn fraction_at_least(&self, distance: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count_at_least(distance) as f64 / self.total as f64
+        }
+    }
+
+    /// Human-readable label of bin `i` (e.g. `"4-7"`, `">=64"`).
+    pub fn bin_label(bin: usize) -> String {
+        if bin + 1 == EDGES.len() {
+            format!(">={}", EDGES[bin])
+        } else if EDGES[bin] + 1 == EDGES[bin + 1] {
+            format!("{}", EDGES[bin])
+        } else {
+            format!("{}-{}", EDGES[bin], EDGES[bin + 1] - 1)
+        }
+    }
+
+    /// Iterates over `(label, count, fraction)` rows.
+    pub fn rows(&self) -> impl Iterator<Item = (String, u64, f64)> + '_ {
+        (0..Self::NUM_BINS).map(|i| (Self::bin_label(i), self.count(i), self.fraction(i)))
+    }
+}
+
+impl fmt::Display for DidHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, count, fraction) in self.rows() {
+            writeln!(f, "{label:>6}: {count:>10} ({:.1}%)", 100.0 * fraction)?;
+        }
+        write!(f, " total: {:>10}", self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_bins_for_small_distances() {
+        let mut h = DidHistogram::default();
+        for d in [1, 2, 3] {
+            h.add(d);
+        }
+        assert_eq!((h.count(0), h.count(1), h.count(2)), (1, 1, 1));
+    }
+
+    #[test]
+    fn geometric_bins_for_larger_distances() {
+        let mut h = DidHistogram::default();
+        for d in [4, 7, 8, 15, 16, 63, 64, 1_000_000] {
+            h.add(d);
+        }
+        assert_eq!(h.count(3), 2); // 4-7: {4, 7}
+        assert_eq!(h.count(4), 2); // 8-15: {8, 15}
+        assert_eq!(h.count(5), 1); // 16-31: {16}
+        assert_eq!(h.count(6), 1); // 32-63: {63}
+        assert_eq!(h.count(7), 2); // >=64: {64, 1_000_000}
+    }
+
+    #[test]
+    fn at_least_sums_suffix() {
+        let mut h = DidHistogram::default();
+        for d in 1..=100 {
+            h.add(d);
+        }
+        assert_eq!(h.count_at_least(1), 100);
+        assert_eq!(h.count_at_least(4), 97);
+        assert_eq!(h.count_at_least(64), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bin edge")]
+    fn at_least_requires_bin_edge() {
+        DidHistogram::default().count_at_least(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_did_panics() {
+        DidHistogram::default().add(0);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(DidHistogram::bin_label(0), "1");
+        assert_eq!(DidHistogram::bin_label(3), "4-7");
+        assert_eq!(DidHistogram::bin_label(7), ">=64");
+    }
+
+    #[test]
+    fn display_includes_total() {
+        let mut h = DidHistogram::default();
+        h.add(2);
+        assert!(h.to_string().contains("total"));
+    }
+
+    proptest! {
+        #[test]
+        fn totals_are_consistent(dids in proptest::collection::vec(1u64..10_000, 0..500)) {
+            let mut h = DidHistogram::default();
+            for d in &dids {
+                h.add(*d);
+            }
+            prop_assert_eq!(h.total(), dids.len() as u64);
+            let bin_sum: u64 = (0..DidHistogram::NUM_BINS).map(|i| h.count(i)).sum();
+            prop_assert_eq!(bin_sum, h.total());
+            // at-least counts agree with direct counting at every edge.
+            for edge in [1u64, 2, 3, 4, 8, 16, 32, 64] {
+                let direct = dids.iter().filter(|&&d| d >= edge).count() as u64;
+                prop_assert_eq!(h.count_at_least(edge), direct);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Terminal bar charts for the paper's figures.
+//!
+//! The paper's results are bar charts; [`BarChart`] renders the same
+//! grouped-bar layout in plain text so `fetchvp <figure> --chart` shows the
+//! figure, not just its table.
+
+use std::fmt;
+
+/// A grouped horizontal bar chart.
+///
+/// Rows are benchmarks; each row holds one bar per series (e.g. one per
+/// fetch rate). Bars scale to the chart's maximum value.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_experiments::chart::BarChart;
+///
+/// let mut c = BarChart::new("Demo", 20);
+/// c.row("go", &[("BW=4", 0.1), ("BW=40", 0.5)]);
+/// let text = c.to_string();
+/// assert!(text.contains("go"));
+/// assert!(text.contains("BW=40"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    rows: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart whose longest bar spans `width` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(title: impl Into<String>, width: usize) -> BarChart {
+        assert!(width > 0, "chart width must be positive");
+        BarChart { title: title.into(), width, rows: Vec::new() }
+    }
+
+    /// Appends one row (a labelled group of bars).
+    pub fn row(&mut self, label: impl Into<String>, bars: &[(&str, f64)]) -> &mut BarChart {
+        self.rows
+            .push((label.into(), bars.iter().map(|(l, v)| (l.to_string(), *v)).collect()));
+        self
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn max_value(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|(_, bars)| bars.iter().map(|(_, v)| v.abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let max = self.max_value();
+        let label_w =
+            self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max("benchmark".len());
+        let series_w = self
+            .rows
+            .iter()
+            .flat_map(|(_, bars)| bars.iter().map(|(l, _)| l.len()))
+            .max()
+            .unwrap_or(0);
+        for (label, bars) in &self.rows {
+            for (i, (series, value)) in bars.iter().enumerate() {
+                let row_label = if i == 0 { label.as_str() } else { "" };
+                let filled = if max > 0.0 {
+                    ((value.abs() / max) * self.width as f64).round() as usize
+                } else {
+                    0
+                };
+                let bar: String = std::iter::repeat_n('█', filled).collect();
+                let sign = if *value < 0.0 { "-" } else { "" };
+                writeln!(
+                    f,
+                    "{row_label:>label_w$} {series:>series_w$} |{bar:<width$}| {sign}{:.1}%",
+                    100.0 * value.abs(),
+                    width = self.width,
+                )?;
+            }
+            if bars.len() > 1 {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = BarChart::new("T", 10);
+        c.row("a", &[("s", 0.5)]);
+        c.row("b", &[("s", 1.0)]);
+        let text = c.to_string();
+        let full: String = std::iter::repeat_n('█', 10).collect();
+        let half: String = std::iter::repeat_n('█', 5).collect();
+        assert!(text.contains(&full));
+        assert!(text.contains(&format!("{half} ")), "{text}");
+    }
+
+    #[test]
+    fn negative_values_render_with_sign() {
+        let mut c = BarChart::new("T", 10);
+        c.row("a", &[("s", -0.25), ("t", 0.5)]);
+        let text = c.to_string();
+        assert!(text.contains("-25.0%"));
+        assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn empty_chart_renders_title_only() {
+        let c = BarChart::new("Empty", 10);
+        assert_eq!(c.to_string(), "Empty\n");
+        assert_eq!(c.num_rows(), 0);
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let mut c = BarChart::new("T", 8);
+        c.row("a", &[("s", 0.0)]);
+        assert!(c.to_string().contains("| 0.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        BarChart::new("T", 0);
+    }
+}

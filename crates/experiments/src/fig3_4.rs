@@ -1,0 +1,81 @@
+//! Figure 3.4 — the distribution of dependencies according to their DID.
+//!
+//! Paper shape: "approximately 60% (on average) of the true-data
+//! dependencies span across instructions in a greater or equal distance of
+//! 4 instructions".
+
+use fetchvp_dfg::{analyze, DidHistogram};
+
+use crate::report::{pct, Table};
+use crate::{for_each_trace, mean, ExperimentConfig};
+
+/// Per-benchmark DID histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig34Result {
+    /// `(benchmark, histogram)` in suite order.
+    pub rows: Vec<(String, DidHistogram)>,
+}
+
+impl Fig34Result {
+    /// Fraction of dependencies with DID ≥ 4, per benchmark.
+    pub fn long_fractions(&self) -> Vec<(String, f64)> {
+        self.rows.iter().map(|(n, h)| (n.clone(), h.fraction_at_least(4))).collect()
+    }
+
+    /// The suite-average fraction with DID ≥ 4 (the paper's ≈60%).
+    pub fn average_long_fraction(&self) -> f64 {
+        mean(&self.rows.iter().map(|(_, h)| h.fraction_at_least(4)).collect::<Vec<_>>())
+    }
+
+    /// Renders the figure as a markdown table (one bin per column).
+    pub fn to_table(&self) -> Table {
+        let labels: Vec<String> = (0..DidHistogram::NUM_BINS).map(DidHistogram::bin_label).collect();
+        let headers: Vec<String> = std::iter::once("benchmark".to_string())
+            .chain(labels)
+            .chain(std::iter::once(">=4 total".to_string()))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            "Figure 3.4 — distribution of dependencies by DID",
+            &headers_ref,
+        );
+        for (name, hist) in &self.rows {
+            let mut cells = vec![name.clone()];
+            cells.extend((0..DidHistogram::NUM_BINS).map(|i| pct(hist.fraction(i))));
+            cells.push(pct(hist.fraction_at_least(4)));
+            t.row(&cells);
+        }
+        t
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> Fig34Result {
+    let mut rows = Vec::new();
+    for_each_trace(cfg, |workload, trace| {
+        rows.push((workload.name().to_string(), analyze(trace).histogram));
+    });
+    Fig34Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_dependencies_dominate_on_average() {
+        let r = run(&ExperimentConfig::quick());
+        let avg = r.average_long_fraction();
+        // The paper reports ≈60%; accept a generous band around it.
+        assert!((0.40..=0.85).contains(&avg), "average DID>=4 fraction {avg:.2}");
+    }
+
+    #[test]
+    fn histograms_are_nonempty_for_every_benchmark() {
+        let r = run(&ExperimentConfig { trace_len: 10_000, ..ExperimentConfig::default() });
+        for (name, h) in &r.rows {
+            assert!(h.total() > 1_000, "{name}: too few arcs");
+        }
+        assert_eq!(r.to_table().num_rows(), 8);
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 5.1 — value-prediction speedup on the realistic machine with an
+//! ideal branch predictor, sweeping the number of taken branches fetched
+//! per cycle.
+//!
+//! Paper shape: ≈3% average speedup at 1 taken branch/cycle, rising to
+//! ≈50% at 4 and beyond.
+
+use fetchvp_core::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine, VpConfig};
+
+use crate::chart::BarChart;
+use crate::report::{pct, Table};
+use crate::{for_each_trace, mean, ExperimentConfig};
+
+/// The taken-branch allowances the paper sweeps (`None` = unlimited; the
+/// paper uses the decode width, 40, as "unlimited").
+pub const TAKEN_SWEEP: [Option<u32>; 5] = [Some(1), Some(2), Some(3), Some(4), None];
+
+/// Labels for [`TAKEN_SWEEP`] columns.
+pub fn sweep_labels() -> Vec<String> {
+    TAKEN_SWEEP
+        .iter()
+        .map(|n| match n {
+            Some(k) => format!("n={k}"),
+            None => "unlimited".to_string(),
+        })
+        .collect()
+}
+
+/// Per-benchmark speedups for one BTB choice across [`TAKEN_SWEEP`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TakenSweepResult {
+    /// Which figure this instance reproduces (for the table title).
+    pub title: String,
+    /// `(benchmark, speedups[allowance])` in suite order.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl TakenSweepResult {
+    /// The per-allowance averages.
+    pub fn averages(&self) -> Vec<f64> {
+        (0..TAKEN_SWEEP.len())
+            .map(|i| mean(&self.rows.iter().map(|(_, s)| s[i]).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// The speedups of one benchmark.
+    pub fn speedups_of(&self, name: &str) -> Option<&[f64]> {
+        self.rows.iter().find(|(n, _)| n == name).map(|(_, s)| s.as_slice())
+    }
+
+    /// Renders as a terminal bar chart.
+    pub fn to_chart(&self) -> BarChart {
+        let mut c = BarChart::new(self.title.clone(), 40);
+        let labels = sweep_labels();
+        for (name, speedups) in &self.rows {
+            let bars: Vec<(&str, f64)> =
+                labels.iter().map(String::as_str).zip(speedups.iter().copied()).collect();
+            c.row(name.clone(), &bars);
+        }
+        c
+    }
+
+    /// Renders as a markdown table.
+    pub fn to_table(&self) -> Table {
+        let headers: Vec<String> =
+            std::iter::once("benchmark".to_string()).chain(sweep_labels()).collect();
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(self.title.clone(), &headers_ref);
+        for (name, speedups) in &self.rows {
+            let mut cells = vec![name.clone()];
+            cells.extend(speedups.iter().map(|&s| pct(s)));
+            t.row(&cells);
+        }
+        let mut avg = vec!["avg".to_string()];
+        avg.extend(self.averages().iter().map(|&s| pct(s)));
+        t.row(&avg);
+        t
+    }
+}
+
+/// Runs the taken-branch sweep with the given BTB (shared by Figures 5.1
+/// and 5.2).
+pub(crate) fn taken_sweep(cfg: &ExperimentConfig, btb: BtbKind, title: &str) -> TakenSweepResult {
+    let mut rows = Vec::new();
+    for_each_trace(cfg, |workload, trace| {
+        let mut speedups = Vec::with_capacity(TAKEN_SWEEP.len());
+        for &max_taken in &TAKEN_SWEEP {
+            let fe = FrontEnd::Conventional { width: 40, max_taken, btb };
+            let base =
+                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
+            let vp =
+                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
+                    .run(trace);
+            speedups.push(vp.speedup_over(&base));
+        }
+        rows.push((workload.name().to_string(), speedups));
+    });
+    TakenSweepResult { title: title.to_string(), rows }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExperimentConfig) -> TakenSweepResult {
+    taken_sweep(
+        cfg,
+        BtbKind::Perfect,
+        "Figure 5.1 — value-prediction speedup vs taken branches/cycle (ideal BTB)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grows_with_taken_branch_allowance() {
+        let r = run(&ExperimentConfig::quick());
+        let avg = r.averages();
+        assert!(avg[0] < 0.20, "n=1 average {:.2} too large", avg[0]);
+        assert!(
+            *avg.last().unwrap() > avg[0] + 0.05,
+            "no growth across the sweep: {avg:?}"
+        );
+        for w in avg.windows(2) {
+            assert!(w[1] >= w[0] - 0.03, "averages not monotone: {avg:?}");
+        }
+    }
+
+    #[test]
+    fn table_shape() {
+        let r = run(&ExperimentConfig { trace_len: 5_000, ..ExperimentConfig::default() });
+        assert_eq!(r.to_table().num_rows(), 9);
+        assert_eq!(sweep_labels().last().unwrap(), "unlimited");
+    }
+}

@@ -1,0 +1,282 @@
+//! Branch-address-cache fetch (paper reference \[28\]).
+
+use fetchvp_bpred::{BpredStats, BranchPredictor};
+use fetchvp_trace::DynInstr;
+
+use crate::{FetchEngine, FetchGroup};
+
+/// Geometry of the [`BacFetch`] engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BacConfig {
+    /// Maximum instructions fetched per cycle.
+    pub width: usize,
+    /// Maximum basic blocks fetched per cycle (the number of target
+    /// addresses the branch address cache can produce).
+    pub max_blocks: u32,
+    /// Interleaved instruction-cache banks (power of two). Two blocks whose
+    /// start addresses fall in the same bank cannot be fetched in the same
+    /// cycle.
+    pub icache_banks: u64,
+}
+
+impl BacConfig {
+    /// A configuration in the spirit of Yeh, Marr & Patt: up to 3 basic
+    /// blocks per cycle from a 16-way interleaved instruction cache.
+    pub fn classic() -> BacConfig {
+        BacConfig { width: 40, max_blocks: 3, icache_banks: 16 }
+    }
+}
+
+impl Default for BacConfig {
+    fn default() -> BacConfig {
+        BacConfig::classic()
+    }
+}
+
+/// Statistics specific to the branch-address-cache front-end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BacStats {
+    /// Fetch cycles.
+    pub cycles: u64,
+    /// Basic blocks delivered.
+    pub blocks: u64,
+    /// Fetch groups cut short by an instruction-cache bank conflict.
+    pub bank_conflicts: u64,
+}
+
+/// The branch address cache of Yeh, Marr & Patt (\[28\]): an extension of
+/// the branch target buffer that produces *multiple* basic-block target
+/// addresses per cycle, which a highly interleaved instruction cache then
+/// fetches together.
+///
+/// Compared to [`crate::ConventionalFetch`] with a taken-branch allowance,
+/// this engine is limited by *basic blocks* (every control instruction ends
+/// one, taken or not) and by instruction-cache bank conflicts between the
+/// blocks of one cycle — the two structural costs §2.2 attributes to the
+/// scheme. Like the other engines it is trace-driven and charges a
+/// misprediction by ending the group at the offending branch.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_bpred::PerfectBtb;
+/// use fetchvp_fetch::{BacConfig, BacFetch, FetchEngine};
+/// use fetchvp_isa::{Cond, ProgramBuilder, Reg};
+/// use fetchvp_trace::trace_program;
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("loop");
+/// let head = b.bind_label("head");
+/// b.nop();
+/// b.nop();
+/// b.branch(Cond::Eq, Reg::R0, Reg::R0, head);
+/// let trace = trace_program(&b.build()?, 90);
+/// let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
+/// // Three 3-instruction blocks per cycle... but they all start at the
+/// // same PC, so the interleaved icache delivers only one per cycle.
+/// assert_eq!(f.fetch(trace.records(), 0, usize::MAX).len, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BacFetch<P> {
+    config: BacConfig,
+    bpred: P,
+    stats: BacStats,
+}
+
+impl<P: BranchPredictor> BacFetch<P> {
+    /// Creates a branch-address-cache front-end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size field is zero or `icache_banks` is not a power of
+    /// two.
+    pub fn new(config: BacConfig, bpred: P) -> BacFetch<P> {
+        assert!(config.width > 0, "width must be positive");
+        assert!(config.max_blocks > 0, "block allowance must be positive");
+        assert!(config.icache_banks.is_power_of_two(), "banks must be a power of two");
+        BacFetch { config, bpred, stats: BacStats::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> BacConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn bac_stats(&self) -> BacStats {
+        self.stats
+    }
+
+    fn bank_of(&self, pc: u64) -> u64 {
+        pc & (self.config.icache_banks - 1)
+    }
+}
+
+impl<P: BranchPredictor> FetchEngine for BacFetch<P> {
+    fn name(&self) -> &str {
+        "branch-address-cache"
+    }
+
+    fn fetch(&mut self, trace: &[DynInstr], pos: usize, max: usize) -> FetchGroup {
+        let limit = self.config.width.min(max).min(trace.len().saturating_sub(pos));
+        if limit == 0 {
+            return FetchGroup::empty();
+        }
+        self.stats.cycles += 1;
+
+        let mut blocks = 0u32;
+        let mut banks_used = 0u64; // bitmask over icache banks
+        let mut block_start = true;
+        let mut i = 0;
+        while i < limit {
+            let rec = &trace[pos + i];
+            if block_start {
+                // The interleaved icache fetches each block from the bank
+                // of its start address; a repeat visit to a bank ends the
+                // cycle.
+                let bank_bit = 1u64 << self.bank_of(rec.pc);
+                if banks_used & bank_bit != 0 {
+                    self.stats.bank_conflicts += 1;
+                    break;
+                }
+                banks_used |= bank_bit;
+                self.stats.blocks += 1;
+                block_start = false;
+            }
+            if rec.is_control() {
+                let prediction = self.bpred.predict(rec);
+                self.bpred.update(rec);
+                if !prediction.correct_for(rec) {
+                    return FetchGroup { len: i + 1, mispredict: Some(i) };
+                }
+                blocks += 1;
+                if blocks >= self.config.max_blocks {
+                    return FetchGroup { len: i + 1, mispredict: None };
+                }
+                block_start = true;
+            }
+            i += 1;
+        }
+        FetchGroup { len: i, mispredict: None }
+    }
+
+    fn bpred_stats(&self) -> BpredStats {
+        self.bpred.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_bpred::{PerfectBtb, TwoLevelBtb};
+    use fetchvp_isa::{Cond, ProgramBuilder, Reg};
+    use fetchvp_trace::{trace_program, Trace};
+
+    /// An endless loop of `n` blocks, each `body + 1` instructions, laid
+    /// out contiguously so consecutive block starts land in different
+    /// icache banks.
+    fn multi_block_trace(n: usize, body: usize, len: u64) -> Trace {
+        let mut b = ProgramBuilder::new("blocks");
+        let head = b.bind_label("head");
+        for k in 0..n {
+            for _ in 0..body {
+                b.nop();
+            }
+            if k + 1 < n {
+                b.layout_break();
+            } else {
+                b.branch(Cond::Eq, Reg::R0, Reg::R0, head);
+            }
+        }
+        trace_program(&b.build().unwrap(), len)
+    }
+
+    #[test]
+    fn fetches_multiple_blocks_per_cycle() {
+        let t = multi_block_trace(4, 3, 200);
+        let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
+        // 3 blocks of 4 instructions each.
+        assert_eq!(f.fetch(t.records(), 0, usize::MAX).len, 12);
+        assert_eq!(f.bac_stats().blocks, 3);
+    }
+
+    #[test]
+    fn block_allowance_is_the_binding_limit() {
+        let t = multi_block_trace(8, 1, 300);
+        for max_blocks in [1u32, 2, 4] {
+            let cfg = BacConfig { max_blocks, ..BacConfig::classic() };
+            let mut f = BacFetch::new(cfg, PerfectBtb::new());
+            assert_eq!(f.fetch(t.records(), 0, usize::MAX).len as u32, 2 * max_blocks);
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_cut_the_group() {
+        // Two copies of the same loop iteration start at the same PC: bank
+        // conflict on the second.
+        let mut b = ProgramBuilder::new("tiny");
+        let head = b.bind_label("head");
+        b.nop();
+        b.branch(Cond::Eq, Reg::R0, Reg::R0, head);
+        let t = trace_program(&b.build().unwrap(), 100);
+        let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
+        let g = f.fetch(t.records(), 0, usize::MAX);
+        assert_eq!(g.len, 2, "second iteration hits the same bank");
+        assert_eq!(f.bac_stats().bank_conflicts, 1);
+    }
+
+    #[test]
+    fn untaken_branches_also_consume_a_block_slot() {
+        let mut b = ProgramBuilder::new("p");
+        let dead = b.label("dead");
+        let head = b.bind_label("head");
+        b.branch(Cond::Ne, Reg::R0, Reg::R0, dead); // never taken: ends block 1
+        b.nop();
+        b.branch(Cond::Eq, Reg::R0, Reg::R0, head); // taken: ends block 2
+        b.bind(dead);
+        b.halt();
+        let t = trace_program(&b.build().unwrap(), 60);
+        let cfg = BacConfig { max_blocks: 2, ..BacConfig::classic() };
+        let mut f = BacFetch::new(cfg, PerfectBtb::new());
+        assert_eq!(f.fetch(t.records(), 0, usize::MAX).len, 3);
+    }
+
+    #[test]
+    fn mispredictions_truncate_the_group() {
+        let t = multi_block_trace(4, 2, 200);
+        let mut f = BacFetch::new(BacConfig::classic(), TwoLevelBtb::paper());
+        // The cold BTB mispredicts the loop backedge eventually; walk the
+        // trace and expect at least one truncated group.
+        let mut pos = 0;
+        let mut saw_mispredict = false;
+        while pos < t.len() {
+            let g = f.fetch(t.records(), pos, usize::MAX);
+            assert!(g.len > 0);
+            saw_mispredict |= g.mispredict.is_some();
+            pos += g.len;
+        }
+        assert!(saw_mispredict);
+    }
+
+    #[test]
+    fn walks_the_whole_trace() {
+        let t = multi_block_trace(3, 5, 500);
+        let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
+        let mut pos = 0;
+        while pos < t.len() {
+            pos += f.fetch(t.records(), pos, usize::MAX).len;
+        }
+        assert_eq!(pos, t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_bank_count_panics() {
+        BacFetch::new(
+            BacConfig { icache_banks: 12, ..BacConfig::classic() },
+            PerfectBtb::new(),
+        );
+    }
+}

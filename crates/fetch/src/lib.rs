@@ -1,0 +1,109 @@
+//! Instruction fetch engines.
+//!
+//! The paper's central claim is that *fetch bandwidth* gates the usefulness
+//! of value prediction, so the fetch front-end is a first-class, pluggable
+//! component of the machine models. Three engines are provided:
+//!
+//! * [`ConventionalFetch`] — fetches up to `width` instructions per cycle
+//!   and, optionally, at most `n` taken control transfers per cycle (the §5
+//!   sweep `n ∈ {1, 2, 3, 4, unlimited}`). With an unlimited taken-branch
+//!   allowance it also models the §3 ideal front-end.
+//! * [`BacFetch`] — the branch address cache of Yeh, Marr & Patt (paper
+//!   reference \[28\]): multiple basic-block targets per cycle from an
+//!   interleaved instruction cache, the §2.2 alternative to the trace
+//!   cache.
+//! * [`TraceCacheFetch`] — the trace cache of Rotenberg, Bennett & Smith
+//!   (paper reference \[18\]) with the §5 configuration: 64 direct-mapped
+//!   entries, each holding up to 32 instructions or 6 basic blocks, filled
+//!   by a fill unit observing the retired stream, with a conventional core
+//!   fetch as the miss path.
+//!
+//! Engines are *trace-driven*: they walk the captured dynamic stream and
+//! consult a [`fetchvp_bpred::BranchPredictor`] to decide where the fetch
+//! group ends and whether a misprediction occurred (the machine charges the
+//! pipeline penalty). Each engine owns its branch predictor; predictor
+//! state is updated at fetch time, the standard trace-driven
+//! simplification.
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_bpred::PerfectBtb;
+//! use fetchvp_fetch::{ConventionalFetch, FetchEngine};
+//! use fetchvp_isa::ProgramBuilder;
+//! use fetchvp_trace::trace_program;
+//!
+//! # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+//! let mut b = ProgramBuilder::new("p");
+//! for _ in 0..10 { b.nop(); }
+//! b.halt();
+//! let trace = trace_program(&b.build()?, 100);
+//! let mut fetch = ConventionalFetch::new(4, None, PerfectBtb::new());
+//! let group = fetch.fetch(trace.records(), 0, usize::MAX);
+//! assert_eq!(group.len, 4); // width-limited
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bac;
+pub mod conventional;
+pub mod trace_cache;
+
+pub use bac::{BacConfig, BacFetch, BacStats};
+pub use conventional::ConventionalFetch;
+pub use trace_cache::{TraceCacheConfig, TraceCacheFetch, TraceCacheStats};
+
+use fetchvp_bpred::BpredStats;
+use fetchvp_trace::DynInstr;
+
+/// One cycle's fetch group.
+///
+/// The group covers `trace[pos .. pos + len]`; `mispredict` is the index
+/// *within the group* of a control instruction whose prediction was wrong,
+/// in which case the group ends at that instruction and the machine must
+/// stall fetch until it resolves (plus the misprediction penalty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchGroup {
+    /// Number of instructions fetched this cycle.
+    pub len: usize,
+    /// Index within the group of a mispredicted control instruction, if any.
+    pub mispredict: Option<usize>,
+}
+
+impl FetchGroup {
+    /// An empty group (nothing fetched this cycle).
+    pub fn empty() -> FetchGroup {
+        FetchGroup { len: 0, mispredict: None }
+    }
+}
+
+/// A pluggable instruction-fetch front-end.
+pub trait FetchEngine {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Produces the fetch group for one cycle, starting at `trace[pos]`,
+    /// fetching at most `max` instructions (the machine's remaining
+    /// decode/window capacity).
+    fn fetch(&mut self, trace: &[DynInstr], pos: usize, max: usize) -> FetchGroup;
+
+    /// Statistics of the engine's embedded branch predictor.
+    fn bpred_stats(&self) -> BpredStats;
+
+    /// Trace-cache statistics, for engines that have one.
+    fn trace_cache_stats(&self) -> Option<TraceCacheStats> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_group_has_no_mispredict() {
+        let g = FetchGroup::empty();
+        assert_eq!(g.len, 0);
+        assert_eq!(g.mispredict, None);
+    }
+}

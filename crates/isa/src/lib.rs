@@ -1,0 +1,50 @@
+//! Instruction-set architecture for the `fetchvp` simulation stack.
+//!
+//! This crate defines a small, word-oriented RISC instruction set that the
+//! rest of the workspace uses to express workloads, execute them functionally
+//! and drive the microarchitectural models. The design goals are:
+//!
+//! * **Simplicity** — 32 general-purpose 64-bit registers, unit-size
+//!   instructions addressed by their index in the program, and a handful of
+//!   operation classes (ALU, immediate ALU, load/store, control flow).
+//! * **Analyzability** — every instruction exposes its register reads and its
+//!   register write through [`Instr::srcs`] / [`Instr::dst`], which is what
+//!   the dataflow-graph and value-prediction analyses consume.
+//! * **Determinism** — programs built with [`ProgramBuilder`] execute
+//!   identically on every run, so experiment results are reproducible.
+//!
+//! # Example
+//!
+//! Build a loop that sums the first ten integers and inspect it:
+//!
+//! ```
+//! use fetchvp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+//! let mut b = ProgramBuilder::new("sum");
+//! let (sum, i, limit) = (Reg::R1, Reg::R2, Reg::R3);
+//! b.load_imm(sum, 0);
+//! b.load_imm(i, 0);
+//! b.load_imm(limit, 10);
+//! let head = b.bind_label("head");
+//! b.alu(AluOp::Add, sum, sum, i);
+//! b.alu_imm(AluOp::Add, i, i, 1);
+//! b.branch(Cond::Lt, i, limit, head);
+//! b.halt();
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 7);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod instr;
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use asm::{parse_program, to_assembly, AsmError};
+pub use instr::Instr;
+pub use op::{AluOp, Cond};
+pub use program::{Label, Program, ProgramBuilder, ProgramError};
+pub use reg::Reg;

@@ -1,0 +1,232 @@
+//! Operation kinds: ALU operations and branch conditions.
+
+use std::fmt;
+
+/// An arithmetic/logic operation.
+///
+/// All operations act on 64-bit values with wrapping semantics (overflow
+/// never traps), mirroring the behaviour of machine-level integer units.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::AluOp;
+///
+/// assert_eq!(AluOp::Add.apply(3, 4), 7);
+/// assert_eq!(AluOp::Sub.apply(3, 4), 3u64.wrapping_sub(4));
+/// assert_eq!(AluOp::Shl.apply(1, 70), 1 << 6); // shift amounts are mod 64
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left; the shift amount is taken modulo 64.
+    Shl,
+    /// Logical shift right; the shift amount is taken modulo 64.
+    Shr,
+    /// Set-less-than (signed): `1` if `a < b`, else `0`.
+    Slt,
+}
+
+impl AluOp {
+    /// Applies the operation to two operand values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+            AluOp::Shr => a.wrapping_shr(b as u32 & 63),
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        }
+    }
+
+    /// All ALU operations, useful for exhaustive tests.
+    pub const ALL: [AluOp; 9] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Slt,
+    ];
+
+    /// The assembly mnemonic for this operation.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Slt => "slt",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A branch condition comparing two register operands.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::Cond;
+///
+/// assert!(Cond::Lt.holds(1, 2));
+/// assert!(Cond::Lt.holds(u64::MAX, 0)); // signed: -1 < 0
+/// assert!(Cond::Ltu.holds(0, u64::MAX)); // unsigned
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition on two operand values.
+    pub fn holds(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// The condition that holds exactly when `self` does not.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
+    /// All branch conditions, useful for exhaustive tests.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu];
+
+    /// The assembly mnemonic for this condition (used as a `b<cond>` suffix).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Ltu => "ltu",
+            Cond::Geu => "geu",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+    }
+
+    #[test]
+    fn mul_wraps() {
+        assert_eq!(AluOp::Mul.apply(u64::MAX, 2), u64::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(AluOp::Shl.apply(1, 64), 1);
+        assert_eq!(AluOp::Shr.apply(1 << 63, 63), 1);
+    }
+
+    #[test]
+    fn slt_is_signed() {
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1); // -1 < 0
+        assert_eq!(AluOp::Slt.apply(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn cond_signed_vs_unsigned() {
+        assert!(Cond::Lt.holds(u64::MAX, 0));
+        assert!(!Cond::Ltu.holds(u64::MAX, 0));
+        assert!(Cond::Geu.holds(u64::MAX, 0));
+    }
+
+    #[test]
+    fn negate_is_involution_and_exclusive() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.negate().negate(), cond);
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 0), (5, 5)] {
+                assert_ne!(cond.holds(a, b), cond.negate().holds(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in AluOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        seen.clear();
+        for cond in Cond::ALL {
+            assert!(seen.insert(cond.mnemonic()));
+        }
+    }
+}

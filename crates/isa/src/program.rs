@@ -1,0 +1,429 @@
+//! Programs and the assembler-style [`ProgramBuilder`].
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::op::{AluOp, Cond};
+use crate::reg::Reg;
+
+/// A forward-declarable position in a program under construction.
+///
+/// Labels are created by [`ProgramBuilder::label`] (or bound immediately by
+/// [`ProgramBuilder::bind_label`]) and used as control-flow targets before or
+/// after the position they name is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An assembled, immutable program.
+///
+/// A program is a sequence of [`Instr`]s addressed by index ("PC") plus an
+/// optional initial memory image. Programs are produced by
+/// [`ProgramBuilder::build`], which guarantees that every control-flow target
+/// points at a real instruction.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::{ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("tiny");
+/// b.load_imm(Reg::R1, 42);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.name(), "tiny");
+/// assert_eq!(p.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+    data: BTreeMap<u64, u64>,
+}
+
+impl Program {
+    /// The program's name (used in experiment reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at program index `pc`, if in range.
+    pub fn get(&self, pc: u64) -> Option<&Instr> {
+        usize::try_from(pc).ok().and_then(|i| self.instrs.get(i))
+    }
+
+    /// All instructions in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The initial memory image: `(word address, value)` pairs.
+    pub fn data(&self) -> &BTreeMap<u64, u64> {
+        &self.data
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program `{}` ({} instructions)", self.name, self.instrs.len())?;
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            writeln!(f, "{pc:6}: {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was used as a target but never bound to a position.
+    UnboundLabel {
+        /// The label's name.
+        name: String,
+    },
+    /// A label was bound twice.
+    DuplicateBind {
+        /// The label's name.
+        name: String,
+    },
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnboundLabel { name } => {
+                write!(f, "label `{name}` is used but never bound")
+            }
+            ProgramError::DuplicateBind { name } => write!(f, "label `{name}` is bound twice"),
+            ProgramError::Empty => f.write_str("program has no instructions"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Incrementally builds a [`Program`], resolving labels at [`build`] time.
+///
+/// The builder offers one method per instruction form plus label management
+/// and initial-memory population. Branch/jump/call targets are [`Label`]s;
+/// they may be bound before or after use.
+///
+/// [`build`]: ProgramBuilder::build
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("countdown");
+/// b.load_imm(Reg::R1, 5);
+/// let head = b.bind_label("head");
+/// b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+/// b.branch(Cond::Ne, Reg::R1, Reg::R0, head);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    data: BTreeMap<u64, u64>,
+    label_names: Vec<String>,
+    label_pos: Vec<Option<u64>>,
+    /// Instructions whose target field holds a label id awaiting patching.
+    patches: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            data: BTreeMap::new(),
+            label_names: Vec::new(),
+            label_pos: Vec::new(),
+            patches: Vec::new(),
+        }
+    }
+
+    /// Declares a label without binding it to a position yet.
+    pub fn label(&mut self, name: impl Into<String>) -> Label {
+        let id = self.label_names.len();
+        self.label_names.push(name.into());
+        self.label_pos.push(None);
+        Label(id)
+    }
+
+    /// Binds a previously declared label to the *next* instruction position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was created by a different builder.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(label.0 < self.label_pos.len(), "label from another builder");
+        // A duplicate bind is recorded and reported at build() time so that
+        // workload code does not need to handle it inline.
+        if self.label_pos[label.0].is_some() {
+            self.label_pos[label.0] = Some(u64::MAX); // poisoned; detected in build
+            self.patches.push((usize::MAX, label));
+        } else {
+            self.label_pos[label.0] = Some(self.instrs.len() as u64);
+        }
+        self
+    }
+
+    /// Declares a label and binds it to the next instruction position.
+    pub fn bind_label(&mut self, name: impl Into<String>) -> Label {
+        let l = self.label(name);
+        self.bind(l);
+        l
+    }
+
+    /// The program index the next pushed instruction will occupy.
+    pub fn here(&self) -> u64 {
+        self.instrs.len() as u64
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Appends `dst = a <op> b`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Alu { op, dst, a, b })
+    }
+
+    /// Appends `dst = a <op> imm`.
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::AluImm { op, dst, a, imm })
+    }
+
+    /// Appends `dst = imm`.
+    pub fn load_imm(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::LoadImm { dst, imm })
+    }
+
+    /// Appends `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Load { dst, base, offset })
+    }
+
+    /// Appends `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Store { src, base, offset })
+    }
+
+    /// Appends a conditional branch to `target`.
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) -> &mut Self {
+        let idx = self.instrs.len();
+        self.patches.push((idx, target));
+        self.push(Instr::Branch { cond, a, b, target: 0 })
+    }
+
+    /// Appends an unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        let idx = self.instrs.len();
+        self.patches.push((idx, target));
+        self.push(Instr::Jump { target: 0 })
+    }
+
+    /// Appends an indirect jump through `base`.
+    pub fn jump_ind(&mut self, base: Reg) -> &mut Self {
+        self.push(Instr::JumpInd { base })
+    }
+
+    /// Appends a call to `target`, writing the return address into `link`.
+    pub fn call(&mut self, target: Label, link: Reg) -> &mut Self {
+        let idx = self.instrs.len();
+        self.patches.push((idx, target));
+        self.push(Instr::Call { target: 0, link })
+    }
+
+    /// Appends a `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Appends a `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Appends an unconditional jump to the immediately following
+    /// instruction — a *layout break*.
+    ///
+    /// Compiled code transfers control away from the fall-through path
+    /// every few instructions (calls, loop structure, code placed in other
+    /// sections). Workloads use layout breaks to give their dynamic
+    /// instruction stream a realistic taken-branch density without
+    /// affecting the dataflow, which is what taken-branch-limited fetch
+    /// mechanisms are sensitive to.
+    pub fn layout_break(&mut self) -> &mut Self {
+        let target = self.here() + 1;
+        self.push(Instr::Jump { target })
+    }
+
+    /// Sets one word of the initial memory image.
+    pub fn data_word(&mut self, addr: u64, value: u64) -> &mut Self {
+        self.data.insert(addr, value);
+        self
+    }
+
+    /// Resolves all labels and produces the immutable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Empty`] for a program with no instructions,
+    /// [`ProgramError::UnboundLabel`] if a used label was never bound and
+    /// [`ProgramError::DuplicateBind`] if a label was bound more than once.
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        if self.instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        for &(idx, label) in &self.patches {
+            if idx == usize::MAX {
+                return Err(ProgramError::DuplicateBind {
+                    name: self.label_names[label.0].clone(),
+                });
+            }
+            let pos = match self.label_pos[label.0] {
+                Some(p) if p != u64::MAX => p,
+                Some(_) => {
+                    return Err(ProgramError::DuplicateBind {
+                        name: self.label_names[label.0].clone(),
+                    })
+                }
+                None => {
+                    return Err(ProgramError::UnboundLabel {
+                        name: self.label_names[label.0].clone(),
+                    })
+                }
+            };
+            match &mut self.instrs[idx] {
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target, .. } => {
+                    *target = pos;
+                }
+                other => unreachable!("patch recorded for non-control instruction {other}"),
+            }
+        }
+        Ok(Program { name: self.name, instrs: self.instrs, data: self.data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_is_patched() {
+        let mut b = ProgramBuilder::new("fwd");
+        let end = b.label("end");
+        b.jump(end);
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Jump { target: 2 }));
+    }
+
+    #[test]
+    fn backward_label_is_patched() {
+        let mut b = ProgramBuilder::new("bwd");
+        let head = b.bind_label("head");
+        b.nop();
+        b.branch(Cond::Eq, Reg::R0, Reg::R0, head);
+        let p = b.build().unwrap();
+        match p.get(1).unwrap() {
+            Instr::Branch { target, .. } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new("bad");
+        let l = b.label("nowhere");
+        b.jump(l);
+        assert_eq!(b.build(), Err(ProgramError::UnboundLabel { name: "nowhere".into() }));
+    }
+
+    #[test]
+    fn duplicate_bind_is_an_error() {
+        let mut b = ProgramBuilder::new("dup");
+        let l = b.bind_label("twice");
+        b.nop();
+        b.bind(l);
+        b.jump(l);
+        assert_eq!(b.build(), Err(ProgramError::DuplicateBind { name: "twice".into() }));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new("empty").build(), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn data_words_are_recorded() {
+        let mut b = ProgramBuilder::new("data");
+        b.data_word(0x100, 7).data_word(0x108, 9);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.data().get(&0x100), Some(&7));
+        assert_eq!(p.data().get(&0x108), Some(&9));
+    }
+
+    #[test]
+    fn call_target_is_patched() {
+        let mut b = ProgramBuilder::new("call");
+        let f = b.label("f");
+        b.call(f, Reg::R31);
+        b.halt();
+        b.bind(f);
+        b.jump_ind(Reg::R31);
+        let p = b.build().unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Call { target: 2, link: Reg::R31 }));
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut b = ProgramBuilder::new("show");
+        b.load_imm(Reg::R1, 3);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.to_string();
+        assert!(text.contains("program `show`"));
+        assert!(text.contains("li r1, 3"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new("pos");
+        assert_eq!(b.here(), 0);
+        b.nop();
+        assert_eq!(b.here(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural general-purpose register.
+///
+/// The machine has [`NUM_REGS`] 64-bit registers. [`Reg::R0`] is hardwired to
+/// zero: writes to it are discarded and reads always return `0`, exactly like
+/// MIPS/RISC-V `x0`.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::Reg;
+///
+/// let r = Reg::new(5).unwrap();
+/// assert_eq!(r, Reg::R5);
+/// assert_eq!(r.index(), 5);
+/// assert!(Reg::new(32).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index, returning `None` if the index is
+    /// out of range.
+    pub fn new(index: u8) -> Option<Reg> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in `0..NUM_REGS`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("Register `r", stringify!($idx), "`.")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_valid_indices() {
+        for i in 0..NUM_REGS as u8 {
+            let r = Reg::new(i).expect("index in range");
+            assert_eq!(r.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(NUM_REGS as u8).is_none());
+        assert!(Reg::new(u8::MAX).is_none());
+    }
+
+    #[test]
+    fn zero_register_is_identified() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn display_uses_r_prefix() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+
+    #[test]
+    fn all_enumerates_every_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_REGS);
+        assert_eq!(regs[0], Reg::R0);
+        assert_eq!(regs[31], Reg::R31);
+    }
+
+    #[test]
+    fn named_constants_match_indices() {
+        assert_eq!(Reg::R0.index(), 0);
+        assert_eq!(Reg::R15.index(), 15);
+        assert_eq!(Reg::R31.index(), 31);
+    }
+}

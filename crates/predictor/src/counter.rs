@@ -1,0 +1,223 @@
+//! Saturating confidence counters.
+
+use std::fmt;
+
+/// An n-bit saturating counter used by the classification unit.
+///
+/// The paper's classification mechanism ("a set of saturated counters",
+/// following Lipasti & Shen) assigns one counter per prediction-table entry;
+/// a prediction is only *used* when the counter is at or above a confidence
+/// threshold. Correct outcomes increment the counter, incorrect ones
+/// decrement it, both saturating.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_predictor::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::new(2); // 2-bit: 0..=3
+/// assert_eq!(c.get(), 0);
+/// c.increment();
+/// c.increment();
+/// c.increment();
+/// c.increment(); // saturates at 3
+/// assert_eq!(c.get(), 3);
+/// c.decrement();
+/// assert_eq!(c.get(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter with `bits` bits (range `0..=2^bits - 1`), starting
+    /// at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 8.
+    pub fn new(bits: u8) -> SaturatingCounter {
+        SaturatingCounter::with_initial(bits, 0)
+    }
+
+    /// Creates a counter with `bits` bits starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 8, or if `initial` exceeds
+    /// the maximum value.
+    pub fn with_initial(bits: u8, initial: u8) -> SaturatingCounter {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits, got {bits}");
+        let max = if bits == 8 { u8::MAX } else { (1u8 << bits) - 1 };
+        assert!(initial <= max, "initial value {initial} exceeds max {max}");
+        SaturatingCounter { value: initial, max }
+    }
+
+    /// The current counter value.
+    pub fn get(&self) -> u8 {
+        self.value
+    }
+
+    /// The saturation maximum.
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// Increments, saturating at the maximum.
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Whether the counter is at or above `threshold`.
+    pub fn at_least(&self, threshold: u8) -> bool {
+        self.value >= threshold
+    }
+}
+
+impl fmt::Display for SaturatingCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.value, self.max)
+    }
+}
+
+/// Configuration for the classification unit.
+///
+/// A prediction is used only when the entry's [`SaturatingCounter`] is at or
+/// above [`predict_at`](ConfidenceConfig::predict_at). The paper uses 2-bit
+/// counters (see §5), which is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfidenceConfig {
+    /// Counter width in bits.
+    pub bits: u8,
+    /// Minimum counter value at which predictions are used.
+    pub predict_at: u8,
+    /// Initial counter value for new entries.
+    pub initial: u8,
+}
+
+impl ConfidenceConfig {
+    /// The paper's configuration: 2-bit counters, predict at 2, start at 0.
+    pub fn paper() -> ConfidenceConfig {
+        ConfidenceConfig { bits: 2, predict_at: 2, initial: 0 }
+    }
+
+    /// A configuration that always predicts (degenerate classification).
+    pub fn always_predict() -> ConfidenceConfig {
+        ConfidenceConfig { bits: 1, predict_at: 0, initial: 0 }
+    }
+
+    /// Creates a fresh counter per this configuration.
+    pub fn new_counter(&self) -> SaturatingCounter {
+        SaturatingCounter::with_initial(self.bits, self.initial)
+    }
+}
+
+impl Default for ConfidenceConfig {
+    fn default() -> ConfidenceConfig {
+        ConfidenceConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn increments_saturate() {
+        let mut c = SaturatingCounter::new(2);
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn decrements_saturate() {
+        let mut c = SaturatingCounter::new(2);
+        c.decrement();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn threshold_check() {
+        let mut c = SaturatingCounter::new(2);
+        assert!(!c.at_least(2));
+        c.increment();
+        c.increment();
+        assert!(c.at_least(2));
+    }
+
+    #[test]
+    fn eight_bit_counter_saturates_at_255() {
+        let mut c = SaturatingCounter::new(8);
+        for _ in 0..300 {
+            c.increment();
+        }
+        assert_eq!(c.get(), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_bits_panics() {
+        SaturatingCounter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn initial_above_max_panics() {
+        SaturatingCounter::with_initial(2, 4);
+    }
+
+    #[test]
+    fn paper_config_matches_section_5() {
+        let cfg = ConfidenceConfig::paper();
+        assert_eq!((cfg.bits, cfg.predict_at, cfg.initial), (2, 2, 0));
+        assert_eq!(cfg, ConfidenceConfig::default());
+    }
+
+    #[test]
+    fn always_predict_config_predicts_from_reset() {
+        let cfg = ConfidenceConfig::always_predict();
+        assert!(cfg.new_counter().at_least(cfg.predict_at));
+    }
+
+    #[test]
+    fn display_shows_value_and_max() {
+        assert_eq!(SaturatingCounter::new(2).to_string(), "0/3");
+    }
+
+    proptest! {
+        #[test]
+        fn counter_never_leaves_range(bits in 1u8..=8, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut c = SaturatingCounter::new(bits);
+            for up in ops {
+                if up { c.increment() } else { c.decrement() }
+                prop_assert!(c.get() <= c.max());
+            }
+        }
+
+        #[test]
+        fn increment_then_decrement_returns_when_not_saturated(bits in 1u8..=8, pre in 0u8..10) {
+            let mut c = SaturatingCounter::new(bits);
+            for _ in 0..pre { c.increment(); }
+            let before = c.get();
+            if before < c.max() {
+                c.increment();
+                c.decrement();
+                prop_assert_eq!(c.get(), before);
+            }
+        }
+    }
+}

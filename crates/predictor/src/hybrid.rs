@@ -1,0 +1,246 @@
+//! Hybrid last-value + stride prediction (§4.2, paper reference \[9\]).
+
+use std::collections::HashMap;
+
+use crate::counter::ConfidenceConfig;
+use crate::last_value::LastValuePredictor;
+use crate::stride::StridePredictor;
+use crate::table::TableGeometry;
+use crate::{PredictorStats, ValuePredictor};
+
+/// The class assigned to a static instruction by opcode/profile hints.
+///
+/// §4.2 describes compiler-inserted *opcode hints* that steer each
+/// instruction to the appropriate prediction table — or exclude it from
+/// prediction entirely, which "can significantly reduce the number of
+/// conflicts that need to be resolved by the router".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HintClass {
+    /// Predict from the (large) last-value table.
+    LastValue,
+    /// Predict from the (small) stride table.
+    Stride,
+    /// Do not predict this instruction at all.
+    NotPredictable,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DynClass {
+    last: u64,
+    last_delta: i64,
+    seen: u8, // 0: nothing, 1: have last, 2: have delta
+    /// Hysteresis: positive when repeating non-zero deltas are observed.
+    stride_score: i8,
+}
+
+/// A hybrid value predictor: a last-value table plus a "relatively small
+/// stride prediction table" (§4.2).
+///
+/// Instructions are steered between the two tables either by static *hints*
+/// (see [`HybridPredictor::with_hints`], modelling the profiling/opcode-hint
+/// scheme of reference \[9\]) or, by default, by a dynamic classifier that
+/// routes an instruction to the stride table once it has produced repeating
+/// non-zero deltas.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_predictor::{HybridPredictor, ValuePredictor};
+///
+/// let mut p = HybridPredictor::paper();
+/// for k in 0..6u64 {
+///     let pred = p.lookup(3);
+///     p.commit(3, 100 + 8 * k, pred); // strided: migrates to the stride table
+/// }
+/// assert_eq!(p.lookup(3), Some(148));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    lvp: LastValuePredictor,
+    svp: StridePredictor,
+    hints: Option<HashMap<u64, HintClass>>,
+    dynamic: HashMap<u64, DynClass>,
+    stats: PredictorStats,
+}
+
+impl HybridPredictor {
+    /// Creates a hybrid from explicit table geometries and a shared
+    /// classification configuration.
+    pub fn new(
+        lvp_geometry: TableGeometry,
+        svp_geometry: TableGeometry,
+        confidence: ConfidenceConfig,
+    ) -> HybridPredictor {
+        HybridPredictor {
+            lvp: LastValuePredictor::new(lvp_geometry, confidence),
+            svp: StridePredictor::new(svp_geometry, confidence),
+            hints: None,
+            dynamic: HashMap::new(),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// The §4.2 flavour: a large (infinite) last-value table and a small
+    /// 1K-entry stride table, 2-bit classification.
+    pub fn paper() -> HybridPredictor {
+        HybridPredictor::new(
+            TableGeometry::Infinite,
+            TableGeometry::DirectMapped { index_bits: 10 },
+            ConfidenceConfig::paper(),
+        )
+    }
+
+    /// Replaces dynamic classification with static per-PC hints, as produced
+    /// by a profiling pass. PCs absent from `hints` are treated as
+    /// [`HintClass::NotPredictable`].
+    pub fn with_hints(mut self, hints: HashMap<u64, HintClass>) -> HybridPredictor {
+        self.hints = Some(hints);
+        self
+    }
+
+    /// The class currently steering `pc`.
+    pub fn class_of(&self, pc: u64) -> HintClass {
+        match &self.hints {
+            Some(h) => h.get(&pc).copied().unwrap_or(HintClass::NotPredictable),
+            None => match self.dynamic.get(&pc) {
+                Some(d) if d.stride_score >= 2 => HintClass::Stride,
+                _ => HintClass::LastValue,
+            },
+        }
+    }
+
+    fn observe(&mut self, pc: u64, actual: u64) {
+        let d = self.dynamic.entry(pc).or_default();
+        match d.seen {
+            0 => d.seen = 1,
+            _ => {
+                let delta = actual.wrapping_sub(d.last) as i64;
+                if d.seen >= 2 && delta != 0 && delta == d.last_delta {
+                    d.stride_score = (d.stride_score + 1).min(4);
+                } else if d.seen >= 2 {
+                    d.stride_score = (d.stride_score - 1).max(-4);
+                }
+                d.last_delta = delta;
+                d.seen = 2;
+            }
+        }
+        d.last = actual;
+    }
+}
+
+impl ValuePredictor for HybridPredictor {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let prediction = match self.class_of(pc) {
+            HintClass::LastValue => self.lvp.lookup(pc),
+            HintClass::Stride => self.svp.lookup(pc),
+            HintClass::NotPredictable => None,
+        };
+        self.stats.record_lookup(prediction.is_some());
+        prediction
+    }
+
+    fn commit(&mut self, pc: u64, actual: u64, predicted: Option<u64>) {
+        self.stats.record_commit(actual, predicted);
+        // Both tables train on every outcome of the PCs routed to them; the
+        // inactive table simply receives no lookups. Training both keeps a
+        // migration (class change) from starting completely cold.
+        match self.class_of(pc) {
+            HintClass::LastValue => {
+                self.lvp.commit(pc, actual, predicted);
+                self.svp.commit(pc, actual, None);
+            }
+            HintClass::Stride => {
+                self.svp.commit(pc, actual, predicted);
+                self.lvp.commit(pc, actual, None);
+            }
+            HintClass::NotPredictable => {}
+        }
+        if self.hints.is_none() {
+            self.observe(pc, actual);
+        }
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(p: &mut HybridPredictor, pc: u64, values: &[u64]) -> Vec<Option<u64>> {
+        values
+            .iter()
+            .map(|&v| {
+                let predicted = p.lookup(pc);
+                p.commit(pc, v, predicted);
+                predicted
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constant_values_stay_in_last_value_table() {
+        let mut p = HybridPredictor::paper();
+        run(&mut p, 1, &[7, 7, 7, 7]);
+        assert_eq!(p.class_of(1), HintClass::LastValue);
+        assert_eq!(p.lookup(1), Some(7));
+    }
+
+    #[test]
+    fn strided_values_migrate_to_stride_table() {
+        let mut p = HybridPredictor::paper();
+        run(&mut p, 1, &[0, 4, 8, 12, 16, 20]);
+        assert_eq!(p.class_of(1), HintClass::Stride);
+        assert_eq!(p.lookup(1), Some(24));
+    }
+
+    #[test]
+    fn hints_override_dynamic_classification() {
+        let hints = HashMap::from([(1u64, HintClass::Stride), (2u64, HintClass::LastValue)]);
+        let mut p = HybridPredictor::paper().with_hints(hints);
+        run(&mut p, 1, &[0, 4, 8, 12, 16]);
+        assert_eq!(p.class_of(1), HintClass::Stride);
+        assert_eq!(p.lookup(1), Some(20));
+        // PC 3 has no hint: not predictable, lookups always None.
+        run(&mut p, 3, &[5, 5, 5, 5, 5]);
+        assert_eq!(p.class_of(3), HintClass::NotPredictable);
+        assert_eq!(p.lookup(3), None);
+    }
+
+    #[test]
+    fn not_predictable_pcs_do_not_train_tables() {
+        let mut p = HybridPredictor::paper().with_hints(HashMap::new());
+        run(&mut p, 9, &[1, 2, 3]);
+        let s = p.stats();
+        assert_eq!(s.predictions, 0);
+        assert_eq!(s.unpredicted, 3);
+    }
+
+    #[test]
+    fn alternating_values_fall_back_to_last_value() {
+        let mut p = HybridPredictor::paper();
+        // Deltas alternate +1/-1: never two repeating non-zero deltas.
+        run(&mut p, 1, &[5, 6, 5, 6, 5, 6]);
+        assert_eq!(p.class_of(1), HintClass::LastValue);
+    }
+
+    #[test]
+    fn stats_are_tracked_at_the_hybrid_level() {
+        let mut p = HybridPredictor::paper();
+        run(&mut p, 1, &[3, 3, 3, 3]);
+        let s = p.stats();
+        assert_eq!(s.lookups, 4);
+        assert_eq!(s.correct + s.incorrect + s.unpredicted, 4);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(HybridPredictor::paper().name(), "hybrid");
+    }
+}

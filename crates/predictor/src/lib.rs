@@ -1,0 +1,186 @@
+//! Value predictors, classification and the banked prediction front-end.
+//!
+//! This crate implements the value-prediction hardware studied in Gabbay &
+//! Mendelson's ISCA '98 paper:
+//!
+//! * [`LastValuePredictor`] — Lipasti & Shen's last-value scheme (paper
+//!   references \[13\], \[14\]).
+//! * [`StridePredictor`] — Gabbay & Mendelson's stride scheme (\[7\], \[8\]),
+//!   including the *speculative update* behaviour of §3.1: the value state
+//!   advances at lookup time, and is repaired at commit time if the
+//!   prediction was wrong. A two-delta variant is available via
+//!   [`StrideKind::TwoDelta`].
+//! * [`HybridPredictor`] — the last-value + small-stride-table hybrid
+//!   discussed in §4.2 (reference \[9\]).
+//! * [`FcmPredictor`] — the finite-context-method predictor of the related
+//!   work (reference \[22\]), which captures repeating non-arithmetic
+//!   sequences.
+//! * [`SaturatingCounter`] / [`ConfidenceConfig`] — the classification unit
+//!   (2-bit saturating counters by default).
+//! * [`BankedFrontEnd`] — the §4 hardware proposal: a highly-interleaved
+//!   prediction table fed by an *address router* (bank-conflict resolution
+//!   and same-PC merging) whose results flow through a *value distributor*
+//!   (stride-sequence expansion `X, X+Δ, X+2Δ, …` for merged requests).
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_predictor::{ConfidenceConfig, StridePredictor, ValuePredictor};
+//! use fetchvp_predictor::table::TableGeometry;
+//!
+//! let mut p = StridePredictor::new(TableGeometry::Infinite, ConfidenceConfig::always_predict());
+//! // Train on an affine sequence 10, 13, 16 ...
+//! for k in 0..4u64 {
+//!     let predicted = p.lookup(0x40);
+//!     p.commit(0x40, 10 + 3 * k, predicted);
+//! }
+//! assert_eq!(p.lookup(0x40), Some(22)); // 10 + 3*4
+//! ```
+
+pub mod banked;
+pub mod counter;
+pub mod fcm;
+pub mod hybrid;
+pub mod last_value;
+pub mod stride;
+pub mod table;
+
+pub use banked::{BankedConfig, BankedFrontEnd, BankedStats, SlotOutcome};
+pub use counter::{ConfidenceConfig, SaturatingCounter};
+pub use fcm::FcmPredictor;
+pub use hybrid::HybridPredictor;
+pub use last_value::LastValuePredictor;
+pub use stride::{StrideKind, StridePredictor};
+pub use table::TableGeometry;
+
+/// Lookup/commit statistics accumulated by a predictor.
+///
+/// `correct`/`incorrect` classify committed instructions for which a
+/// confident prediction had been issued; `unpredicted` counts commits with no
+/// issued prediction (cold entry or low confidence).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Total lookups performed.
+    pub lookups: u64,
+    /// Lookups that returned a (confident) prediction.
+    pub predictions: u64,
+    /// Commits whose issued prediction matched the actual value.
+    pub correct: u64,
+    /// Commits whose issued prediction was wrong.
+    pub incorrect: u64,
+    /// Commits for which no prediction had been issued.
+    pub unpredicted: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of issued predictions that were correct.
+    pub fn accuracy(&self) -> f64 {
+        let issued = self.correct + self.incorrect;
+        if issued == 0 {
+            0.0
+        } else {
+            self.correct as f64 / issued as f64
+        }
+    }
+
+    /// Fraction of lookups that produced a prediction.
+    pub fn coverage(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.predictions as f64 / self.lookups as f64
+        }
+    }
+
+    pub(crate) fn record_lookup(&mut self, predicted: bool) {
+        self.lookups += 1;
+        if predicted {
+            self.predictions += 1;
+        }
+    }
+
+    pub(crate) fn record_commit(&mut self, actual: u64, predicted: Option<u64>) {
+        match predicted {
+            Some(v) if v == actual => self.correct += 1,
+            Some(_) => self.incorrect += 1,
+            None => self.unpredicted += 1,
+        }
+    }
+}
+
+/// A PC-indexed value predictor with speculative update.
+///
+/// The protocol mirrors the pipeline: [`lookup`](ValuePredictor::lookup) is
+/// called at fetch/dispatch time for each dynamic instance of a
+/// value-producing instruction (in program order) and may *speculatively*
+/// advance internal state so that several in-flight instances of the same PC
+/// receive consecutive predictions. [`commit`](ValuePredictor::commit) is
+/// called at execute/retire time with the actual outcome and with whatever
+/// `lookup` returned for that instance, allowing the predictor to train its
+/// classification counters and to repair a wrong speculative update ("the
+/// correct value is stored in the prediction table as soon as it is known",
+/// §3.1).
+pub trait ValuePredictor {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Predicts the next dynamic outcome of the instruction at `pc`.
+    ///
+    /// Returns `None` when the table misses or the classification counter is
+    /// below its confidence threshold.
+    fn lookup(&mut self, pc: u64) -> Option<u64>;
+
+    /// Trains the predictor with the actual outcome of one dynamic instance.
+    ///
+    /// `predicted` must be exactly what [`lookup`](ValuePredictor::lookup)
+    /// returned for this instance (or `None` if no lookup was performed,
+    /// e.g. the §4 router denied the table access).
+    fn commit(&mut self, pc: u64, actual: u64, predicted: Option<u64>);
+
+    /// Accumulated statistics.
+    fn stats(&self) -> PredictorStats;
+}
+
+impl<P: ValuePredictor + ?Sized> ValuePredictor for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn lookup(&mut self, pc: u64) -> Option<u64> {
+        (**self).lookup(pc)
+    }
+
+    fn commit(&mut self, pc: u64, actual: u64, predicted: Option<u64>) {
+        (**self).commit(pc, actual, predicted)
+    }
+
+    fn stats(&self) -> PredictorStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accuracy_and_coverage() {
+        let mut s = PredictorStats::default();
+        s.record_lookup(true);
+        s.record_lookup(false);
+        s.record_commit(5, Some(5));
+        s.record_commit(5, Some(6));
+        s.record_commit(5, None);
+        assert_eq!(s.predictions, 1);
+        assert_eq!((s.correct, s.incorrect, s.unpredicted), (1, 1, 1));
+        assert!((s.accuracy() - 0.5).abs() < 1e-12);
+        assert!((s.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = PredictorStats::default();
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+    }
+}

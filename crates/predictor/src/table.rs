@@ -1,0 +1,192 @@
+//! Prediction-table storage with configurable geometry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The size/shape of a prediction table.
+///
+/// The paper's §3 limit study assumes *infinite* tables ("both the prediction
+/// table and the set of saturated counters are assumed to be infinite");
+/// finite direct-mapped geometries are provided for sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TableGeometry {
+    /// One entry per static PC, never evicted.
+    #[default]
+    Infinite,
+    /// `1 << index_bits` direct-mapped, tagged entries. A tag mismatch
+    /// evicts the resident entry.
+    DirectMapped {
+        /// log2 of the number of entries.
+        index_bits: u8,
+    },
+}
+
+impl TableGeometry {
+    /// Number of entries, or `None` for an infinite table.
+    pub fn entries(&self) -> Option<usize> {
+        match *self {
+            TableGeometry::Infinite => None,
+            TableGeometry::DirectMapped { index_bits } => Some(1usize << index_bits),
+        }
+    }
+}
+
+impl fmt::Display for TableGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TableGeometry::Infinite => f.write_str("infinite"),
+            TableGeometry::DirectMapped { index_bits } => {
+                write!(f, "{}-entry direct-mapped", 1u64 << index_bits)
+            }
+        }
+    }
+}
+
+/// PC-indexed storage for predictor entries.
+///
+/// `PredTable` abstracts over the [`TableGeometry`]: an infinite table is a
+/// hash map keyed by PC; a direct-mapped table indexes by the PC's low bits
+/// and evicts on tag mismatch.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_predictor::table::{PredTable, TableGeometry};
+///
+/// let mut t: PredTable<u32> = PredTable::new(TableGeometry::DirectMapped { index_bits: 1 });
+/// *t.entry_mut(0) = 10;
+/// *t.entry_mut(2) = 20; // same set as PC 0 -> evicts it
+/// assert_eq!(t.probe(0), None);
+/// assert_eq!(t.probe(2), Some(&20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredTable<E> {
+    geometry: TableGeometry,
+    infinite: HashMap<u64, E>,
+    finite: Vec<Option<(u64, E)>>,
+}
+
+impl<E: Default> PredTable<E> {
+    /// Creates an empty table with the given geometry.
+    pub fn new(geometry: TableGeometry) -> PredTable<E> {
+        let finite = match geometry.entries() {
+            Some(n) => {
+                let mut v = Vec::with_capacity(n);
+                v.resize_with(n, || None);
+                v
+            }
+            None => Vec::new(),
+        };
+        PredTable { geometry, infinite: HashMap::new(), finite }
+    }
+
+    /// The table's geometry.
+    pub fn geometry(&self) -> TableGeometry {
+        self.geometry
+    }
+
+    /// Looks up the entry for `pc` without allocating.
+    ///
+    /// Returns `None` on a miss (never-seen PC, or tag mismatch in a finite
+    /// table).
+    pub fn probe(&self, pc: u64) -> Option<&E> {
+        match self.geometry {
+            TableGeometry::Infinite => self.infinite.get(&pc),
+            TableGeometry::DirectMapped { .. } => match &self.finite[self.index(pc)] {
+                Some((tag, e)) if *tag == pc => Some(e),
+                _ => None,
+            },
+        }
+    }
+
+    /// Returns the entry for `pc`, allocating (or evicting, for a finite
+    /// table) a default entry on a miss.
+    pub fn entry_mut(&mut self, pc: u64) -> &mut E {
+        match self.geometry {
+            TableGeometry::Infinite => self.infinite.entry(pc).or_default(),
+            TableGeometry::DirectMapped { .. } => {
+                let idx = self.index(pc);
+                let slot = &mut self.finite[idx];
+                match slot {
+                    Some((tag, _)) if *tag == pc => {}
+                    _ => *slot = Some((pc, E::default())),
+                }
+                &mut slot.as_mut().expect("just filled").1
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        match self.geometry {
+            TableGeometry::Infinite => self.infinite.len(),
+            TableGeometry::DirectMapped { .. } => self.finite.iter().flatten().count(),
+        }
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.finite.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_table_never_evicts() {
+        let mut t: PredTable<u64> = PredTable::new(TableGeometry::Infinite);
+        for pc in 0..1000u64 {
+            *t.entry_mut(pc) = pc;
+        }
+        assert_eq!(t.len(), 1000);
+        for pc in 0..1000u64 {
+            assert_eq!(t.probe(pc), Some(&pc));
+        }
+    }
+
+    #[test]
+    fn probe_miss_returns_none_without_alloc() {
+        let t: PredTable<u64> = PredTable::new(TableGeometry::Infinite);
+        assert_eq!(t.probe(42), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn direct_mapped_eviction_on_tag_mismatch() {
+        let mut t: PredTable<u32> = PredTable::new(TableGeometry::DirectMapped { index_bits: 2 });
+        *t.entry_mut(1) = 11;
+        assert_eq!(t.probe(1), Some(&11));
+        *t.entry_mut(5) = 55; // 5 & 3 == 1: conflicts with PC 1
+        assert_eq!(t.probe(1), None);
+        assert_eq!(t.probe(5), Some(&55));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_rehit_preserves_entry() {
+        let mut t: PredTable<u32> = PredTable::new(TableGeometry::DirectMapped { index_bits: 2 });
+        *t.entry_mut(6) = 9;
+        assert_eq!(*t.entry_mut(6), 9);
+    }
+
+    #[test]
+    fn geometry_entry_counts() {
+        assert_eq!(TableGeometry::Infinite.entries(), None);
+        assert_eq!(TableGeometry::DirectMapped { index_bits: 10 }.entries(), Some(1024));
+    }
+
+    #[test]
+    fn geometry_display() {
+        assert_eq!(TableGeometry::Infinite.to_string(), "infinite");
+        assert_eq!(
+            TableGeometry::DirectMapped { index_bits: 3 }.to_string(),
+            "8-entry direct-mapped"
+        );
+    }
+}

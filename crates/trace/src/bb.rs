@@ -1,0 +1,208 @@
+//! Static basic-block discovery.
+
+use fetchvp_isa::Program;
+
+/// Identifier of a static basic block, dense in `0..num_blocks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// The static basic-block partition of a program.
+///
+/// A *leader* is the program entry, any static control-flow target, or any
+/// instruction that follows a control-flow instruction. A basic block runs
+/// from a leader up to (but not including) the next leader; because the
+/// instruction after a control instruction is always a leader, every block
+/// contains at most one control instruction, at its end.
+///
+/// The trace cache uses this partition to pack fetch lines by basic block,
+/// as in Rotenberg et al.'s design (paper reference \[18\]).
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::{Cond, ProgramBuilder, Reg};
+/// use fetchvp_trace::BasicBlocks;
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("p");
+/// let head = b.bind_label("head");
+/// b.nop();
+/// b.branch(Cond::Eq, Reg::R0, Reg::R0, head);
+/// b.halt();
+/// let bbs = BasicBlocks::analyze(&b.build()?);
+/// assert_eq!(bbs.num_blocks(), 2); // [nop, branch] and [halt]
+/// assert_eq!(bbs.block_of(0), bbs.block_of(1));
+/// assert_ne!(bbs.block_of(0), bbs.block_of(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlocks {
+    /// Sorted leader PCs; `leaders[i]` is the first PC of block `i`.
+    leaders: Vec<u64>,
+    /// Program length, bounding the last block.
+    program_len: u64,
+}
+
+impl BasicBlocks {
+    /// Partitions `program` into basic blocks.
+    pub fn analyze(program: &Program) -> BasicBlocks {
+        let len = program.len() as u64;
+        let mut is_leader = vec![false; program.len()];
+        if !is_leader.is_empty() {
+            is_leader[0] = true;
+        }
+        for (pc, instr) in program.instrs().iter().enumerate() {
+            if let Some(t) = instr.static_target() {
+                if (t as usize) < is_leader.len() {
+                    is_leader[t as usize] = true;
+                }
+            }
+            if instr.is_control() && pc + 1 < is_leader.len() {
+                is_leader[pc + 1] = true;
+            }
+        }
+        let leaders =
+            is_leader.iter().enumerate().filter(|(_, &l)| l).map(|(pc, _)| pc as u64).collect();
+        BasicBlocks { leaders, program_len: len }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// The block containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    pub fn block_of(&self, pc: u64) -> BlockId {
+        assert!(pc < self.program_len, "pc {pc} outside program of length {}", self.program_len);
+        let idx = match self.leaders.binary_search(&pc) {
+            Ok(i) => i,
+            Err(i) => i - 1, // leaders[0] == 0, so i >= 1 here
+        };
+        BlockId(idx as u32)
+    }
+
+    /// The first PC of `block`.
+    pub fn start(&self, block: BlockId) -> u64 {
+        self.leaders[block.0 as usize]
+    }
+
+    /// One past the last PC of `block`.
+    pub fn end(&self, block: BlockId) -> u64 {
+        self.leaders.get(block.0 as usize + 1).copied().unwrap_or(self.program_len)
+    }
+
+    /// Number of instructions in `block`.
+    pub fn len_of(&self, block: BlockId) -> u64 {
+        self.end(block) - self.start(block)
+    }
+
+    /// Whether `pc` starts a basic block.
+    pub fn is_leader(&self, pc: u64) -> bool {
+        self.leaders.binary_search(&pc).is_ok()
+    }
+
+    /// Iterates over all block ids.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.leaders.len() as u32).map(BlockId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::{Cond, ProgramBuilder, Reg};
+
+    fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::new("t");
+        f(&mut b);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = build(|b| {
+            b.nop();
+            b.nop();
+            b.nop();
+        });
+        let bbs = BasicBlocks::analyze(&p);
+        assert_eq!(bbs.num_blocks(), 1);
+        assert_eq!(bbs.len_of(BlockId(0)), 3);
+    }
+
+    #[test]
+    fn branch_ends_a_block_and_target_starts_one() {
+        let p = build(|b| {
+            b.nop(); // 0: block 0
+            let l = b.label("l");
+            b.branch(Cond::Eq, Reg::R0, Reg::R0, l); // 1: block 0 end
+            b.nop(); // 2: block 1 (after control)
+            b.bind(l);
+            b.nop(); // 3: block 2 (target)
+        });
+        let bbs = BasicBlocks::analyze(&p);
+        assert_eq!(bbs.num_blocks(), 3);
+        assert!(bbs.is_leader(0) && bbs.is_leader(2) && bbs.is_leader(3));
+        assert_eq!(bbs.block_of(1), BlockId(0));
+        assert_eq!(bbs.end(BlockId(0)), 2);
+    }
+
+    #[test]
+    fn every_block_has_at_most_one_control_at_its_end() {
+        let p = build(|b| {
+            let f = b.label("f");
+            b.call(f, Reg::R31);
+            b.nop();
+            b.bind(f);
+            b.nop();
+            b.jump_ind(Reg::R31);
+            b.halt();
+        });
+        let bbs = BasicBlocks::analyze(&p);
+        for block in bbs.blocks() {
+            let (start, end) = (bbs.start(block), bbs.end(block));
+            let controls = (start..end).filter(|&pc| p.get(pc).unwrap().is_control()).count();
+            assert!(controls <= 1);
+            // If present, the control instruction is the last one.
+            if controls == 1 {
+                assert!(p.get(end - 1).unwrap().is_control());
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_tile_the_program() {
+        let p = build(|b| {
+            let l = b.label("l");
+            b.nop();
+            b.branch(Cond::Ne, Reg::R1, Reg::R0, l);
+            b.nop();
+            b.bind(l);
+            b.halt();
+        });
+        let bbs = BasicBlocks::analyze(&p);
+        let mut covered = 0;
+        for block in bbs.blocks() {
+            covered += bbs.len_of(block);
+        }
+        assert_eq!(covered, p.len() as u64);
+        for pc in 0..p.len() as u64 {
+            let b = bbs.block_of(pc);
+            assert!(bbs.start(b) <= pc && pc < bbs.end(b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside program")]
+    fn block_of_out_of_range_panics() {
+        let p = build(|b| {
+            b.nop();
+        });
+        BasicBlocks::analyze(&p).block_of(5);
+    }
+}

@@ -1,0 +1,303 @@
+//! The stepping functional executor.
+
+use fetchvp_isa::{Instr, Program, Reg};
+
+use crate::memory::SparseMemory;
+use crate::record::DynInstr;
+
+/// How a (possibly bounded) execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecOutcome {
+    /// The program executed a `halt` (or ran off the end of the program).
+    Halted,
+    /// The caller's instruction limit was reached first.
+    LimitReached,
+}
+
+/// A functional (architecture-level) simulator for one program.
+///
+/// The executor maintains 32 architectural registers, a [`SparseMemory`]
+/// seeded from the program's initial data image, and the PC. Each call to
+/// [`step`](Executor::step) retires exactly one instruction and returns its
+/// [`DynInstr`] record, or `None` once the program has halted.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::{AluOp, ProgramBuilder, Reg};
+/// use fetchvp_trace::Executor;
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("p");
+/// b.load_imm(Reg::R1, 20);
+/// b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 22);
+/// b.halt();
+/// let program = b.build()?;
+/// let mut exec = Executor::new(&program);
+/// exec.step();
+/// let rec = exec.step().expect("second instruction");
+/// assert_eq!(rec.result, 42);
+/// assert!(exec.step().is_none()); // halt retires silently
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    regs: [u64; fetchvp_isa::reg::NUM_REGS],
+    mem: SparseMemory,
+    pc: u64,
+    seq: u64,
+    halted: bool,
+}
+
+impl<'p> Executor<'p> {
+    /// Creates an executor at the program entry (PC 0) with memory seeded
+    /// from the program's data image.
+    pub fn new(program: &'p Program) -> Executor<'p> {
+        Executor {
+            program,
+            regs: [0; fetchvp_isa::reg::NUM_REGS],
+            mem: program.data().iter().map(|(&a, &v)| (a, v)).collect(),
+            pc: 0,
+            seq: 0,
+            halted: false,
+        }
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The current PC (the next instruction to execute).
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Reads an architectural register (the zero register reads as 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// A view of the data memory.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    fn write_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Retires one instruction, returning its dynamic record, or `None` if
+    /// the program has halted (by `halt` or by running past the last
+    /// instruction).
+    pub fn step(&mut self) -> Option<DynInstr> {
+        if self.halted {
+            return None;
+        }
+        let instr = match self.program.get(self.pc) {
+            Some(i) => *i,
+            None => {
+                self.halted = true;
+                return None;
+            }
+        };
+        if matches!(instr, Instr::Halt) {
+            self.halted = true;
+            return None;
+        }
+
+        let pc = self.pc;
+        let mut result = 0u64;
+        let mut mem_addr = None;
+        let mut taken = false;
+        let mut next_pc = pc + 1;
+
+        match instr {
+            Instr::Alu { op, dst, a, b } => {
+                result = op.apply(self.reg(a), self.reg(b));
+                self.write_reg(dst, result);
+            }
+            Instr::AluImm { op, dst, a, imm } => {
+                result = op.apply(self.reg(a), imm as u64);
+                self.write_reg(dst, result);
+            }
+            Instr::LoadImm { dst, imm } => {
+                result = imm as u64;
+                self.write_reg(dst, result);
+            }
+            Instr::Load { dst, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                mem_addr = Some(addr);
+                result = self.mem.read(addr);
+                self.write_reg(dst, result);
+            }
+            Instr::Store { src, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                mem_addr = Some(addr);
+                self.mem.write(addr, self.reg(src));
+            }
+            Instr::Branch { cond, a, b, target } => {
+                taken = cond.holds(self.reg(a), self.reg(b));
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump { target } => {
+                taken = true;
+                next_pc = target;
+            }
+            Instr::JumpInd { base } => {
+                taken = true;
+                next_pc = self.reg(base);
+            }
+            Instr::Call { target, link } => {
+                taken = true;
+                result = pc + 1;
+                self.write_reg(link, result);
+                next_pc = target;
+            }
+            Instr::Halt => unreachable!("handled above"),
+            Instr::Nop => {}
+        }
+
+        self.pc = next_pc;
+        let rec = DynInstr { seq: self.seq, pc, instr, result, mem_addr, taken, next_pc };
+        self.seq += 1;
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::{AluOp, Cond, ProgramBuilder};
+
+    fn build(f: impl FnOnce(&mut ProgramBuilder)) -> Program {
+        let mut b = ProgramBuilder::new("t");
+        f(&mut b);
+        b.build().unwrap()
+    }
+
+    fn run(program: &Program) -> Vec<DynInstr> {
+        let mut exec = Executor::new(program);
+        std::iter::from_fn(|| exec.step()).take(10_000).collect()
+    }
+
+    #[test]
+    fn zero_register_reads_zero_and_ignores_writes() {
+        let p = build(|b| {
+            b.load_imm(Reg::R0, 99);
+            b.alu(AluOp::Add, Reg::R1, Reg::R0, Reg::R0);
+            b.halt();
+        });
+        let t = run(&p);
+        assert_eq!(t[1].result, 0);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_through_memory() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 0x40);
+            b.load_imm(Reg::R2, 1234);
+            b.store(Reg::R2, Reg::R1, 8);
+            b.load(Reg::R3, Reg::R1, 8);
+            b.halt();
+        });
+        let t = run(&p);
+        assert_eq!(t[2].mem_addr, Some(0x48));
+        assert_eq!(t[3].mem_addr, Some(0x48));
+        assert_eq!(t[3].result, 1234);
+    }
+
+    #[test]
+    fn initial_data_image_is_visible() {
+        let p = build(|b| {
+            b.data_word(0x10, 77);
+            b.load_imm(Reg::R1, 0x10);
+            b.load(Reg::R2, Reg::R1, 0);
+            b.halt();
+        });
+        let t = run(&p);
+        assert_eq!(t[1].result, 77);
+    }
+
+    #[test]
+    fn taken_branch_redirects_and_reports_taken() {
+        let p = build(|b| {
+            let skip = b.label("skip");
+            b.branch(Cond::Eq, Reg::R0, Reg::R0, skip);
+            b.load_imm(Reg::R1, 1); // skipped
+            b.bind(skip);
+            b.load_imm(Reg::R2, 2);
+            b.halt();
+        });
+        let t = run(&p);
+        assert!(t[0].taken);
+        assert_eq!(t[0].next_pc, 2);
+        assert_eq!(t[1].pc, 2);
+    }
+
+    #[test]
+    fn untaken_branch_falls_through() {
+        let p = build(|b| {
+            let skip = b.label("skip");
+            b.branch(Cond::Ne, Reg::R0, Reg::R0, skip);
+            b.bind(skip);
+            b.halt();
+        });
+        let t = run(&p);
+        assert!(!t[0].taken);
+        assert_eq!(t[0].next_pc, 1);
+    }
+
+    #[test]
+    fn call_links_and_indirect_jump_returns() {
+        let p = build(|b| {
+            let f = b.label("f");
+            b.call(f, Reg::R31); // pc 0 -> link 1
+            b.halt(); // pc 1
+            b.bind(f);
+            b.jump_ind(Reg::R31); // pc 2 -> returns to 1
+        });
+        let t = run(&p);
+        assert_eq!(t[0].result, 1);
+        assert_eq!(t[1].pc, 2);
+        assert_eq!(t[1].next_pc, 1);
+        assert_eq!(t.len(), 2); // halt at pc 1 retires silently
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        let p = build(|b| {
+            b.nop();
+        });
+        let mut exec = Executor::new(&p);
+        assert!(exec.step().is_some());
+        assert!(exec.step().is_none());
+        assert!(exec.halted());
+    }
+
+    #[test]
+    fn loop_executes_expected_iteration_count() {
+        let p = build(|b| {
+            b.load_imm(Reg::R1, 5);
+            let head = b.bind_label("head");
+            b.alu_imm(AluOp::Sub, Reg::R1, Reg::R1, 1);
+            b.branch(Cond::Ne, Reg::R1, Reg::R0, head);
+            b.halt();
+        });
+        let t = run(&p);
+        // 1 prologue + 5 iterations of (sub, branch)
+        assert_eq!(t.len(), 1 + 5 * 2);
+        let takens = t.iter().filter(|r| r.taken).count();
+        assert_eq!(takens, 4); // last branch falls through
+    }
+}

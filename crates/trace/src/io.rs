@@ -1,0 +1,358 @@
+//! Binary serialization of captured traces.
+//!
+//! The paper's methodology separates *tracing* (Shade, run once, 100M
+//! instructions per benchmark) from *simulation* (many machine
+//! configurations over the same trace). This module provides the same
+//! workflow: capture a [`Trace`] once, [`write_trace`] it to a file, and
+//! [`read_trace`] it back for each experiment — useful when the workload
+//! generation is slower than the simulators, or for archiving the exact
+//! stream behind a published result.
+//!
+//! # Format
+//!
+//! Little-endian, versioned:
+//!
+//! ```text
+//! magic "FVPT"   4 bytes
+//! version        u32
+//! name length    u32, then UTF-8 bytes
+//! outcome        u8 (0 = halted, 1 = limit reached)
+//! record count   u64
+//! records        count x { pc: u64, instr: tagged encoding,
+//!                          result: u64, mem_addr: u64 (MAX = none),
+//!                          taken: u8, next_pc: u64 }
+//! ```
+//!
+//! Sequence numbers are implicit (records are dense in retirement order).
+
+use std::io::{self, Read, Write};
+
+use fetchvp_isa::{AluOp, Cond, Instr, Reg};
+
+use crate::exec::ExecOutcome;
+use crate::record::DynInstr;
+use crate::Trace;
+
+const MAGIC: &[u8; 4] = b"FVPT";
+const VERSION: u32 = 1;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn alu_op_tag(op: AluOp) -> u8 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u8
+}
+
+fn alu_op_from(tag: u8) -> io::Result<AluOp> {
+    AluOp::ALL.get(tag as usize).copied().ok_or_else(|| bad(format!("bad ALU op tag {tag}")))
+}
+
+fn cond_tag(cond: Cond) -> u8 {
+    Cond::ALL.iter().position(|&c| c == cond).expect("cond in ALL") as u8
+}
+
+fn cond_from(tag: u8) -> io::Result<Cond> {
+    Cond::ALL.get(tag as usize).copied().ok_or_else(|| bad(format!("bad condition tag {tag}")))
+}
+
+fn reg_from(idx: u8) -> io::Result<Reg> {
+    Reg::new(idx).ok_or_else(|| bad(format!("bad register index {idx}")))
+}
+
+fn write_instr<W: Write>(w: &mut W, instr: &Instr) -> io::Result<()> {
+    match *instr {
+        Instr::Alu { op, dst, a, b } => {
+            w.write_all(&[0, alu_op_tag(op), dst.index() as u8, a.index() as u8, b.index() as u8])
+        }
+        Instr::AluImm { op, dst, a, imm } => {
+            w.write_all(&[1, alu_op_tag(op), dst.index() as u8, a.index() as u8])?;
+            write_u64(w, imm as u64)
+        }
+        Instr::LoadImm { dst, imm } => {
+            w.write_all(&[2, dst.index() as u8])?;
+            write_u64(w, imm as u64)
+        }
+        Instr::Load { dst, base, offset } => {
+            w.write_all(&[3, dst.index() as u8, base.index() as u8])?;
+            write_u64(w, offset as u64)
+        }
+        Instr::Store { src, base, offset } => {
+            w.write_all(&[4, src.index() as u8, base.index() as u8])?;
+            write_u64(w, offset as u64)
+        }
+        Instr::Branch { cond, a, b, target } => {
+            w.write_all(&[5, cond_tag(cond), a.index() as u8, b.index() as u8])?;
+            write_u64(w, target)
+        }
+        Instr::Jump { target } => {
+            w.write_all(&[6])?;
+            write_u64(w, target)
+        }
+        Instr::JumpInd { base } => w.write_all(&[7, base.index() as u8]),
+        Instr::Call { target, link } => {
+            w.write_all(&[8, link.index() as u8])?;
+            write_u64(w, target)
+        }
+        Instr::Halt => w.write_all(&[9]),
+        Instr::Nop => w.write_all(&[10]),
+    }
+}
+
+fn read_instr<R: Read>(r: &mut R) -> io::Result<Instr> {
+    Ok(match read_u8(r)? {
+        0 => {
+            let op = alu_op_from(read_u8(r)?)?;
+            let dst = reg_from(read_u8(r)?)?;
+            let a = reg_from(read_u8(r)?)?;
+            let b = reg_from(read_u8(r)?)?;
+            Instr::Alu { op, dst, a, b }
+        }
+        1 => {
+            let op = alu_op_from(read_u8(r)?)?;
+            let dst = reg_from(read_u8(r)?)?;
+            let a = reg_from(read_u8(r)?)?;
+            Instr::AluImm { op, dst, a, imm: read_u64(r)? as i64 }
+        }
+        2 => {
+            let dst = reg_from(read_u8(r)?)?;
+            Instr::LoadImm { dst, imm: read_u64(r)? as i64 }
+        }
+        3 => {
+            let dst = reg_from(read_u8(r)?)?;
+            let base = reg_from(read_u8(r)?)?;
+            Instr::Load { dst, base, offset: read_u64(r)? as i64 }
+        }
+        4 => {
+            let src = reg_from(read_u8(r)?)?;
+            let base = reg_from(read_u8(r)?)?;
+            Instr::Store { src, base, offset: read_u64(r)? as i64 }
+        }
+        5 => {
+            let cond = cond_from(read_u8(r)?)?;
+            let a = reg_from(read_u8(r)?)?;
+            let b = reg_from(read_u8(r)?)?;
+            Instr::Branch { cond, a, b, target: read_u64(r)? }
+        }
+        6 => Instr::Jump { target: read_u64(r)? },
+        7 => Instr::JumpInd { base: reg_from(read_u8(r)?)? },
+        8 => {
+            let link = reg_from(read_u8(r)?)?;
+            Instr::Call { target: read_u64(r)?, link }
+        }
+        9 => Instr::Halt,
+        10 => Instr::Nop,
+        t => return Err(bad(format!("bad instruction tag {t}"))),
+    })
+}
+
+/// Writes a trace in the binary format described in the
+/// [module docs](self).
+///
+/// A `&mut` reference also works as the writer (`W: Write` is taken by
+/// value per the standard-library convention).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, trace.name().len() as u32)?;
+    w.write_all(trace.name().as_bytes())?;
+    w.write_all(&[match trace.outcome() {
+        ExecOutcome::Halted => 0,
+        ExecOutcome::LimitReached => 1,
+    }])?;
+    write_u64(&mut w, trace.len() as u64)?;
+    for rec in trace {
+        write_u64(&mut w, rec.pc)?;
+        write_instr(&mut w, &rec.instr)?;
+        write_u64(&mut w, rec.result)?;
+        write_u64(&mut w, rec.mem_addr.unwrap_or(u64::MAX))?;
+        w.write_all(&[rec.taken as u8])?;
+        write_u64(&mut w, rec.next_pc)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic number, version,
+/// or malformed record, and propagates reader errors.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a fetchvp trace (bad magic)"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported trace version {version}")));
+    }
+    let name_len = read_u32(&mut r)? as usize;
+    if name_len > 1 << 20 {
+        return Err(bad("implausible name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| bad("trace name is not UTF-8"))?;
+    let outcome = match read_u8(&mut r)? {
+        0 => ExecOutcome::Halted,
+        1 => ExecOutcome::LimitReached,
+        t => return Err(bad(format!("bad outcome tag {t}"))),
+    };
+    let count = read_u64(&mut r)?;
+    let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
+    for seq in 0..count {
+        let pc = read_u64(&mut r)?;
+        let instr = read_instr(&mut r)?;
+        let result = read_u64(&mut r)?;
+        let mem_addr = match read_u64(&mut r)? {
+            u64::MAX => None,
+            a => Some(a),
+        };
+        let taken = match read_u8(&mut r)? {
+            0 => false,
+            1 => true,
+            t => return Err(bad(format!("bad taken flag {t}"))),
+        };
+        let next_pc = read_u64(&mut r)?;
+        records.push(DynInstr { seq, pc, instr, result, mem_addr, taken, next_pc });
+    }
+    Ok(Trace::from_records(name, records, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::ProgramBuilder;
+    use crate::trace_program;
+
+    fn sample_trace() -> Trace {
+        let mut b = ProgramBuilder::new("sample");
+        b.data_word(0x100, 7);
+        b.load_imm(Reg::R1, 0x100);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.alu(AluOp::Add, Reg::R3, Reg::R2, Reg::R2);
+        b.alu_imm(AluOp::Xor, Reg::R4, Reg::R3, -5);
+        b.store(Reg::R4, Reg::R1, 8);
+        let f = b.label("f");
+        b.call(f, Reg::R31);
+        b.halt();
+        b.bind(f);
+        let back = b.label("back");
+        b.branch(Cond::Ne, Reg::R1, Reg::R0, back);
+        b.nop();
+        b.bind(back);
+        b.jump_ind(Reg::R31);
+        trace_program(&b.build().unwrap(), 1000)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&original, &mut buf).unwrap();
+        let loaded = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(original, loaded);
+    }
+
+    #[test]
+    fn round_trip_preserves_limit_outcome() {
+        let mut b = ProgramBuilder::new("endless");
+        let head = b.bind_label("head");
+        b.nop();
+        b.jump(head);
+        let t = trace_program(&b.build().unwrap(), 50);
+        assert_eq!(t.outcome(), ExecOutcome::LimitReached);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap().outcome(), ExecOutcome::LimitReached);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&sample_trace(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_instruction_tag_is_rejected() {
+        let mut buf = Vec::new();
+        let t = sample_trace();
+        write_trace(&t, &mut buf).unwrap();
+        // The first record's instruction tag sits after the fixed header
+        // plus pc; smash it.
+        let header = 4 + 4 + 4 + t.name().len() + 1 + 8;
+        buf[header + 8] = 200;
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn every_instruction_variant_round_trips() {
+        use Instr::*;
+        let variants = [
+            Alu { op: AluOp::Mul, dst: Reg::R1, a: Reg::R2, b: Reg::R3 },
+            AluImm { op: AluOp::Shr, dst: Reg::R4, a: Reg::R5, imm: -77 },
+            LoadImm { dst: Reg::R6, imm: i64::MIN },
+            Load { dst: Reg::R7, base: Reg::R8, offset: 1 << 40 },
+            Store { src: Reg::R9, base: Reg::R10, offset: -8 },
+            Branch { cond: Cond::Geu, a: Reg::R11, b: Reg::R12, target: 99 },
+            Jump { target: u64::MAX },
+            JumpInd { base: Reg::R31 },
+            Call { target: 3, link: Reg::R30 },
+            Halt,
+            Nop,
+        ];
+        for instr in variants {
+            let mut buf = Vec::new();
+            write_instr(&mut buf, &instr).unwrap();
+            assert_eq!(read_instr(&mut buf.as_slice()).unwrap(), instr, "{instr}");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Functional execution and dynamic instruction traces.
+//!
+//! This crate turns a [`fetchvp_isa::Program`] into the *dynamic instruction
+//! stream* that every analysis and machine model in the workspace consumes.
+//! It plays the role that the Sun *Shade* tracer plays in the paper: a purely
+//! functional, implementation-independent executor that records, for each
+//! retired instruction, its PC, its operands, the value it produced and its
+//! control-flow outcome.
+//!
+//! The main entry points are:
+//!
+//! * [`Executor`] — a stepping functional simulator (architectural registers
+//!   plus a sparse word-addressed memory).
+//! * [`Trace`] / [`trace_program`] — capture the dynamic stream into memory
+//!   for repeated consumption by different machine configurations.
+//! * [`TraceStats`] — instruction-mix and control-flow statistics used when
+//!   validating that the synthetic workloads resemble their SPECint95
+//!   counterparts.
+//! * [`BasicBlocks`] — static basic-block discovery used by the trace cache.
+//! * [`write_trace`] / [`read_trace`] — the Shade-style trace-file workflow:
+//!   capture once, simulate many times.
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+//! use fetchvp_trace::trace_program;
+//!
+//! # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+//! let mut b = ProgramBuilder::new("sum");
+//! b.load_imm(Reg::R1, 0);
+//! b.load_imm(Reg::R2, 3);
+//! let head = b.bind_label("head");
+//! b.alu_imm(AluOp::Sub, Reg::R2, Reg::R2, 1);
+//! b.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+//! b.branch(Cond::Ne, Reg::R2, Reg::R0, head);
+//! b.halt();
+//! let trace = trace_program(&b.build()?, 1_000);
+//! assert_eq!(trace.len(), 2 + 3 * 3); // prologue + three iterations
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bb;
+pub mod exec;
+pub mod io;
+pub mod memory;
+pub mod record;
+pub mod stats;
+
+pub use bb::{BasicBlocks, BlockId};
+pub use exec::{ExecOutcome, Executor};
+pub use memory::SparseMemory;
+pub use record::DynInstr;
+pub use io::{read_trace, write_trace};
+pub use stats::TraceStats;
+
+use fetchvp_isa::Program;
+
+/// A captured dynamic instruction stream.
+///
+/// A `Trace` owns the sequence of [`DynInstr`] records produced by executing
+/// a program, in retirement order. The record at index `i` has sequence
+/// number `i`.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::{ProgramBuilder, Reg};
+/// use fetchvp_trace::trace_program;
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("p");
+/// b.load_imm(Reg::R1, 7);
+/// b.halt();
+/// let trace = trace_program(&b.build()?, 10);
+/// assert_eq!(trace.name(), "p");
+/// assert_eq!(trace.records()[0].result, 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    records: Vec<DynInstr>,
+    outcome: ExecOutcome,
+}
+
+impl Trace {
+    /// Builds a trace from parts. Records must be in retirement order; the
+    /// record at index `i` must have `seq == i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if record sequence numbers are not dense.
+    pub fn from_records(
+        name: impl Into<String>,
+        records: Vec<DynInstr>,
+        outcome: ExecOutcome,
+    ) -> Trace {
+        debug_assert!(records.iter().enumerate().all(|(i, r)| r.seq == i as u64));
+        Trace { name: name.into(), records, outcome }
+    }
+
+    /// The traced program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in retirement order.
+    pub fn records(&self) -> &[DynInstr] {
+        &self.records
+    }
+
+    /// How execution ended.
+    pub fn outcome(&self) -> ExecOutcome {
+        self.outcome
+    }
+
+    /// Iterates over the records in retirement order.
+    pub fn iter(&self) -> std::slice::Iter<'_, DynInstr> {
+        self.records.iter()
+    }
+
+    /// Computes summary statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_records(&self.records)
+    }
+
+    /// Splits the trace at `index` into a prefix and a re-sequenced suffix
+    /// — the train/evaluate workflow of profiling studies.
+    ///
+    /// Dynamic instruction distances within each half are preserved (both
+    /// halves are re-numbered densely from zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the trace length.
+    pub fn split_at(&self, index: usize) -> (Trace, Trace) {
+        assert!(index <= self.len(), "split index {index} beyond {} records", self.len());
+        let prefix = self.records[..index].to_vec();
+        let suffix: Vec<DynInstr> = self.records[index..]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| DynInstr { seq: i as u64, ..*r })
+            .collect();
+        (
+            Trace::from_records(self.name.clone(), prefix, ExecOutcome::LimitReached),
+            Trace::from_records(self.name.clone(), suffix, self.outcome),
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynInstr;
+    type IntoIter = std::slice::Iter<'a, DynInstr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Executes `program` for at most `max_instrs` dynamic instructions and
+/// captures the resulting trace.
+///
+/// This is the convenience path used by experiments; use [`Executor`]
+/// directly for streaming consumption.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn trace_program(program: &Program, max_instrs: u64) -> Trace {
+    let mut exec = Executor::new(program);
+    let mut records = Vec::new();
+    while (records.len() as u64) < max_instrs {
+        match exec.step() {
+            Some(rec) => records.push(rec),
+            None => break,
+        }
+    }
+    let outcome = if exec.halted() { ExecOutcome::Halted } else { ExecOutcome::LimitReached };
+    Trace::from_records(program.name(), records, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::{ProgramBuilder, Reg};
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        b.load_imm(Reg::R1, 1);
+        b.load_imm(Reg::R2, 2);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trace_program_reaches_halt() {
+        let t = trace_program(&tiny(), 100);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.outcome(), ExecOutcome::Halted);
+    }
+
+    #[test]
+    fn trace_program_respects_limit() {
+        let t = trace_program(&tiny(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.outcome(), ExecOutcome::LimitReached);
+    }
+
+    #[test]
+    fn records_have_dense_sequence_numbers() {
+        let t = trace_program(&tiny(), 100);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn into_iterator_yields_all_records() {
+        let t = trace_program(&tiny(), 100);
+        assert_eq!((&t).into_iter().count(), t.len());
+    }
+
+    #[test]
+    fn split_at_re_sequences_the_suffix() {
+        let t = trace_program(&tiny(), 100);
+        let (a, b) = t.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.records()[0].seq, 0);
+        assert_eq!(b.records()[0].pc, t.records()[1].pc);
+        assert_eq!(b.outcome(), t.outcome());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn split_past_the_end_panics() {
+        trace_program(&tiny(), 100).split_at(99);
+    }
+}

@@ -1,0 +1,96 @@
+//! Sparse data memory.
+
+use std::collections::HashMap;
+
+/// A sparse, word-granular data memory.
+///
+/// Addresses are arbitrary `u64` keys; each holds one 64-bit word. Untouched
+/// locations read as zero, which lets workloads use large address ranges
+/// without an explicit allocation step.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_trace::SparseMemory;
+///
+/// let mut mem = SparseMemory::new();
+/// assert_eq!(mem.read(0x1000), 0);
+/// mem.write(0x1000, 42);
+/// assert_eq!(mem.read(0x1000), 42);
+/// assert_eq!(mem.footprint(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseMemory {
+    words: HashMap<u64, u64>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory (all locations read as zero).
+    pub fn new() -> SparseMemory {
+        SparseMemory::default()
+    }
+
+    /// Reads the word at `addr`.
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes `value` to `addr`. Writing zero to an untouched location still
+    /// materializes it.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr, value);
+    }
+
+    /// Number of materialized words.
+    pub fn footprint(&self) -> usize {
+        self.words.len()
+    }
+}
+
+impl FromIterator<(u64, u64)> for SparseMemory {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> SparseMemory {
+        SparseMemory { words: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(u64, u64)> for SparseMemory {
+    fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
+        self.words.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read(u64::MAX), 0);
+        assert_eq!(mem.footprint(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut mem = SparseMemory::new();
+        mem.write(8, 0xdead_beef);
+        mem.write(8, 0xcafe);
+        assert_eq!(mem.read(8), 0xcafe);
+        assert_eq!(mem.footprint(), 1);
+    }
+
+    #[test]
+    fn from_iterator_seeds_memory() {
+        let mem: SparseMemory = [(0, 1), (16, 2)].into_iter().collect();
+        assert_eq!(mem.read(0), 1);
+        assert_eq!(mem.read(16), 2);
+    }
+
+    #[test]
+    fn extend_adds_words() {
+        let mut mem = SparseMemory::new();
+        mem.extend([(1, 10), (2, 20)]);
+        assert_eq!(mem.read(2), 20);
+        assert_eq!(mem.footprint(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Dynamic instruction records.
+
+use fetchvp_isa::{Instr, Reg};
+
+/// One retired dynamic instruction.
+///
+/// A `DynInstr` captures everything the microarchitectural models need to
+/// replay the instruction without re-executing it: the static instruction,
+/// the value it produced, the memory address it touched and its control-flow
+/// outcome.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_isa::{ProgramBuilder, Reg};
+/// use fetchvp_trace::trace_program;
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("p");
+/// b.load_imm(Reg::R1, 9);
+/// b.halt();
+/// let trace = trace_program(&b.build()?, 10);
+/// let rec = &trace.records()[0];
+/// assert_eq!(rec.pc, 0);
+/// assert_eq!(rec.dst(), Some(Reg::R1));
+/// assert_eq!(rec.result, 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynInstr {
+    /// Position in the dynamic stream (the paper's "appearance order").
+    pub seq: u64,
+    /// Program index of the instruction.
+    pub pc: u64,
+    /// The static instruction.
+    pub instr: Instr,
+    /// The value written to the destination register; `0` when there is no
+    /// destination.
+    pub result: u64,
+    /// The effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Whether control transferred away from `pc + 1`. Always `false` for
+    /// non-control instructions and for untaken conditional branches.
+    pub taken: bool,
+    /// The PC of the next dynamic instruction.
+    pub next_pc: u64,
+}
+
+impl DynInstr {
+    /// The register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        self.instr.dst()
+    }
+
+    /// The registers read by this instruction.
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        self.instr.srcs()
+    }
+
+    /// Whether this instruction is a control-flow instruction.
+    pub fn is_control(&self) -> bool {
+        self.instr.is_control()
+    }
+
+    /// Whether this instruction is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        self.instr.is_cond_branch()
+    }
+
+    /// Whether this instruction produces a register value a value predictor
+    /// would attempt to predict.
+    pub fn produces_value(&self) -> bool {
+        self.instr.produces_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_isa::{AluOp, Instr};
+
+    fn rec(instr: Instr) -> DynInstr {
+        DynInstr { seq: 0, pc: 0, instr, result: 0, mem_addr: None, taken: false, next_pc: 1 }
+    }
+
+    #[test]
+    fn delegation_matches_instr() {
+        let i = Instr::Alu { op: AluOp::Add, dst: Reg::R5, a: Reg::R1, b: Reg::R2 };
+        let r = rec(i);
+        assert_eq!(r.dst(), i.dst());
+        assert_eq!(r.srcs(), i.srcs());
+        assert_eq!(r.is_control(), i.is_control());
+        assert!(r.produces_value());
+    }
+
+    #[test]
+    fn record_is_compact() {
+        // The trace is held in memory for multi-million-instruction runs;
+        // keep the record within a cache line.
+        assert!(std::mem::size_of::<DynInstr>() <= 88);
+    }
+}

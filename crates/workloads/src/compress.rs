@@ -1,0 +1,134 @@
+//! `compress` stand-in: adaptive Lempel-Ziv hashing loop.
+//!
+//! Compress95's inner loop hashes each input byte against an adaptive code
+//! table. The hash accumulator is data-dependent (the input is effectively
+//! random), so its loop-carried critical path cannot be collapsed by value
+//! prediction — compress shows among the smallest gains in the paper's
+//! figures.
+
+use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+use crate::rng::SplitMix64;
+use crate::WorkloadParams;
+
+const INPUT: u64 = 0x50_0000;
+const TABLE: u64 = 0x60_0000;
+const TABLE_SLOTS: u64 = 1024;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed ^ 0xC0);
+    let mut b = ProgramBuilder::new("compress");
+
+    // Input stream: pseudo-random bytes (high entropy — worst case for LZ).
+    let input_len = 4096u64 * params.scale as u64;
+    for i in 0..input_len {
+        b.data_word(INPUT + i, rng.below(256));
+    }
+
+    let pos = Reg::R1; // input cursor (strided)
+    let hash = Reg::R2; // rolling hash (unpredictable chain)
+    let in_count = Reg::R3; // bytes consumed (predictable)
+    let matches = Reg::R4; // dictionary hits
+    let next_code = Reg::R5; // next dictionary code (slowly strided)
+    let byte = Reg::R8;
+    let t0 = Reg::R9;
+    let t1 = Reg::R10;
+    let t2 = Reg::R11;
+
+    b.load_imm(next_code, 256);
+
+    let out_bits = Reg::R6; // output-length accounting chain (predictable)
+
+    let head = b.bind_label("next_byte");
+    // -- fetch the next input byte, interleaved with the stream counters so
+    //    the short address chain still spans a few instructions --
+    b.alu_imm(AluOp::And, t0, pos, (input_len - 1) as i64);
+    b.alu_imm(AluOp::Add, out_bits, out_bits, 9); // chain step 1
+    b.alu_imm(AluOp::Add, pos, pos, 1);
+    b.alu_imm(AluOp::Add, in_count, in_count, 1);
+    b.layout_break();
+    b.load(byte, t0, INPUT as i64); // unpredictable
+    b.alu_imm(AluOp::Add, out_bits, out_bits, 2); // chain step 2
+    // -- rolling hash: the unpredictable loop-carried critical path --
+    b.alu_imm(AluOp::Shl, t2, hash, 5);
+    b.alu_imm(AluOp::Add, out_bits, out_bits, 4); // chain step 3
+    b.layout_break();
+    b.alu(AluOp::Xor, t2, t2, byte);
+    b.alu_imm(AluOp::Add, out_bits, out_bits, 7); // chain step 4
+    b.alu_imm(AluOp::And, hash, t2, (TABLE_SLOTS - 1) as i64);
+    b.layout_break();
+    // -- dictionary probe --
+    b.load(t1, hash, TABLE as i64); // current code in the slot
+    let miss = b.label("miss");
+    b.branch(Cond::Eq, t1, Reg::R0, miss);
+    // Hit: emit the code (count it) and fold it into the hash state. The
+    // fold is a single level so the loop-carried hash chain stays at the
+    // depth of the hash computation itself.
+    b.alu_imm(AluOp::Add, matches, matches, 1);
+    b.alu_imm(AluOp::Shr, t2, t1, 3); // code-length class, in parallel
+    b.alu(AluOp::Xor, hash, hash, t1);
+    b.alu(AluOp::Add, matches, matches, t2); // weighted emission count
+    b.jump(head);
+    // Miss: install a fresh code in the slot.
+    b.bind(miss);
+    b.store(next_code, hash, TABLE as i64);
+    b.alu_imm(AluOp::Add, next_code, next_code, 1);
+    // Table-full check: reset the dictionary like compress does.
+    b.alu_imm(AluOp::And, t0, next_code, 8191);
+    let no_reset = b.label("no_reset");
+    b.branch(Cond::Ne, t0, Reg::R0, no_reset);
+    b.load_imm(next_code, 256);
+    b.bind(no_reset);
+    b.jump(head);
+
+    b.build().expect("compress workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_trace::trace_program;
+
+    #[test]
+    fn sustains_long_traces() {
+        let p = build(&WorkloadParams::default());
+        assert_eq!(trace_program(&p, 20_000).len(), 20_000);
+    }
+
+    #[test]
+    fn hash_values_are_not_strided() {
+        let p = build(&WorkloadParams::default());
+        let t = trace_program(&p, 30_000);
+        // Find the `and hash, t1, mask` results (pc of the 3rd hash step).
+        let hashes: Vec<u64> = t
+            .iter()
+            .filter(|r| r.dst() == Some(Reg::R2))
+            .map(|r| r.result)
+            .collect();
+        assert!(hashes.len() > 500);
+        let same_delta = hashes
+            .windows(3)
+            .filter(|w| w[2].wrapping_sub(w[1]) == w[1].wrapping_sub(w[0]))
+            .count();
+        assert!(
+            (same_delta as f64) < hashes.len() as f64 * 0.2,
+            "hash chain looks strided"
+        );
+    }
+
+    #[test]
+    fn dictionary_fills_over_time() {
+        let p = build(&WorkloadParams::default());
+        let mut exec = fetchvp_trace::Executor::new(&p);
+        for _ in 0..100_000 {
+            if exec.step().is_none() {
+                break;
+            }
+        }
+        // Table slots materialize as codes are installed.
+        let table_words = (0..TABLE_SLOTS)
+            .filter(|i| exec.memory().read(TABLE + i) != 0)
+            .count();
+        assert!(table_words > 100, "only {table_words} dictionary entries installed");
+    }
+}

@@ -1,0 +1,127 @@
+//! `go` stand-in: board-game position evaluation.
+//!
+//! Go is the branchiest SPECint95 benchmark: short basic blocks, highly
+//! data-dependent control flow, and values that follow no arithmetic
+//! pattern. Its value-prediction speedup in the paper is consequently small
+//! at every fetch rate.
+//!
+//! The synthetic kernel alternates a pseudo-random move generator (an
+//! xorshift chain — inherently unpredictable and loop-carried, so value
+//! prediction cannot break the critical path) with data-dependent board
+//! reads and branch-heavy liberty scoring.
+
+use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+use crate::rng::SplitMix64;
+use crate::WorkloadParams;
+
+const BOARD: u64 = 0x40_0000;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed ^ 0x60);
+    let mut b = ProgramBuilder::new("go");
+
+    // A 19x19-ish board padded to 512 slots: 0 empty, 1 black, 2 white.
+    let slots = 512u64 * params.scale as u64;
+    for i in 0..slots {
+        b.data_word(BOARD + i, rng.below(3));
+    }
+
+    let state = Reg::R1; // xorshift state (unpredictable loop-carried chain)
+    let score = Reg::R2; // running evaluation (data-dependent)
+    let moves = Reg::R3; // move counter (the lone predictable chain)
+    let t0 = Reg::R9;
+    let t1 = Reg::R10;
+    let t2 = Reg::R11;
+    let stone = Reg::R12;
+
+    b.load_imm(state, 0x2545_F491_4F6C_DD1D_u64 as i64);
+
+    let evals = Reg::R4; // evaluated-position counter
+    let t3 = Reg::R13;
+
+    let heur = Reg::R5; // heuristic-budget chain (the lone predictable
+                        // backbone; go's is short and its gain small)
+
+    let head = b.bind_label("genmove");
+    // -- xorshift move generator (two stages, a 4-deep unpredictable
+    //    loop-carried chain), interleaved with independent bookkeeping so
+    //    that even these dependencies span a few instructions --
+    b.alu_imm(AluOp::Shl, t0, state, 13);
+    b.alu_imm(AluOp::Add, heur, heur, 3); // chain step 1
+    b.alu_imm(AluOp::Add, moves, moves, 1);
+    b.alu(AluOp::Xor, state, state, t0);
+    b.alu_imm(AluOp::Add, heur, heur, 5); // chain step 2
+    b.layout_break();
+    b.alu_imm(AluOp::Add, evals, evals, 2);
+    b.alu_imm(AluOp::Shr, t3, state, 17);
+    b.alu_imm(AluOp::Add, heur, heur, 7); // chain step 3
+    b.alu(AluOp::Xor, state, state, t3);
+    b.alu_imm(AluOp::And, t1, state, (slots - 1) as i64);
+    b.alu_imm(AluOp::Add, heur, heur, 9); // chain step 4
+    b.layout_break();
+    b.alu_imm(AluOp::Add, heur, heur, 11); // chain step 5
+    // -- probe the board at the generated point --
+    b.load(stone, t1, BOARD as i64); // 0/1/2, data-dependent
+    // -- branchy liberty scoring --
+    let occupied = b.label("occupied");
+    let white = b.label("white");
+    let done = b.label("done");
+    b.branch(Cond::Ne, stone, Reg::R0, occupied);
+    // Empty point: play here (flip to black), small reward.
+    b.alu_imm(AluOp::Add, score, score, 2);
+    b.load_imm(t2, 1);
+    b.store(t2, t1, BOARD as i64);
+    b.jump(done);
+    b.bind(occupied);
+    b.alu_imm(AluOp::Sub, t0, stone, 2);
+    b.branch(Cond::Eq, t0, Reg::R0, white);
+    // Black stone: reward depends on parity of the generator state.
+    b.alu_imm(AluOp::And, t0, state, 1);
+    let even = b.label("even");
+    b.branch(Cond::Eq, t0, Reg::R0, even);
+    b.alu_imm(AluOp::Add, score, score, 1);
+    b.bind(even);
+    b.jump(done);
+    b.bind(white);
+    // White stone: capture check — clear the point now and then.
+    b.alu_imm(AluOp::And, t0, state, 7);
+    let keep = b.label("keep");
+    b.branch(Cond::Ne, t0, Reg::R0, keep);
+    b.store(Reg::R0, t1, BOARD as i64);
+    b.alu_imm(AluOp::Sub, score, score, 1);
+    b.bind(keep);
+    b.bind(done);
+    b.jump(head);
+
+    b.build().expect("go workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_trace::trace_program;
+
+    #[test]
+    fn sustains_long_traces() {
+        let p = build(&WorkloadParams::default());
+        assert_eq!(trace_program(&p, 20_000).len(), 20_000);
+    }
+
+    #[test]
+    fn is_branchy() {
+        let p = build(&WorkloadParams::default());
+        let stats = trace_program(&p, 30_000).stats();
+        // Go's signature: short dynamic basic blocks.
+        assert!(stats.avg_run_length() < 12.0, "run length {}", stats.avg_run_length());
+    }
+
+    #[test]
+    fn board_reads_cover_the_board() {
+        let p = build(&WorkloadParams::default());
+        let t = trace_program(&p, 60_000);
+        let addrs: std::collections::HashSet<u64> =
+            t.iter().filter_map(|r| r.mem_addr).collect();
+        assert!(addrs.len() > 200, "only {} distinct board slots touched", addrs.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! `ijpeg` stand-in: blocked DCT-style image arithmetic.
+//!
+//! Image compression kernels have the most regular structure in SPECint95:
+//! dense inner loops over pixel blocks with strided addressing and
+//! induction variables (all stride-predictable), and a per-block
+//! accumulation over loaded pixel data (data-dependent, but reset every
+//! block so it never forms a long serial chain). Value prediction collapses
+//! the induction-variable chains across blocks once the fetch bandwidth can
+//! span a whole block.
+
+use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+use crate::rng::SplitMix64;
+use crate::WorkloadParams;
+
+const IMAGE: u64 = 0x80_0000;
+const OUTPUT: u64 = 0x90_0000;
+const BLOCK: u64 = 4;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed ^ 0x19E6);
+    let mut b = ProgramBuilder::new("ijpeg");
+
+    // Input image: pseudo-random pixels.
+    let n_pixels = 4096u64 * params.scale as u64;
+    for i in 0..n_pixels {
+        b.data_word(IMAGE + i, rng.below(256));
+    }
+
+    let src = Reg::R1; // input cursor (strided)
+    let dst = Reg::R2; // output cursor (strided)
+    let blocks = Reg::R3; // block counter (predictable)
+    let chain = Reg::R4; // rate-control bookkeeping chain (predictable)
+    let qsum = Reg::R5; // quality statistics (predictable)
+    let p0 = Reg::R8;
+    let p1 = Reg::R9;
+    let p2 = Reg::R10;
+    let p3 = Reg::R11;
+    let s01 = Reg::R12;
+    let s23 = Reg::R13;
+    let t0 = Reg::R14;
+    let t1 = Reg::R15;
+
+    b.load_imm(src, 0);
+    b.load_imm(dst, 0);
+
+    // One fully-unrolled 4-point transform per iteration — image kernels
+    // are unrolled straight-line code, so the data dependencies form a
+    // shallow *tree* (not a loop-carried chain), while the cursors and
+    // rate-control bookkeeping are strided.
+    let block_head = b.bind_label("block");
+    b.alu_imm(AluOp::Add, chain, chain, 2); // chain step 1
+    b.load(p0, src, IMAGE as i64); // four parallel pixel loads
+    b.load(p1, src, IMAGE as i64 + 1);
+    b.load(p2, src, IMAGE as i64 + 2);
+    b.load(p3, src, IMAGE as i64 + 3);
+    b.layout_break();
+    b.alu_imm(AluOp::Add, chain, chain, 4); // chain step 2
+    // The transform is a shallow tree: every output coefficient is at most
+    // two levels below the pixel loads, as in a hardware-friendly unrolled
+    // butterfly network.
+    b.alu(AluOp::Add, s01, p0, p1); // DC butterfly
+    b.alu(AluOp::Sub, s23, p2, p3); // AC butterfly
+    b.alu(AluOp::Xor, t0, p0, p3); // parity plane, in parallel
+    b.alu(AluOp::Xor, t1, p1, p2);
+    b.alu(AluOp::Slt, Reg::R16, p0, p2); // range clamps, in parallel
+    b.alu(AluOp::Slt, Reg::R17, p1, p3);
+    b.alu(AluOp::Sub, Reg::R18, p3, p0); // gradient probes, in parallel
+    b.alu(AluOp::Sub, Reg::R19, p2, p1);
+    b.alu(AluOp::Slt, Reg::R20, p3, p1); // saturation probes, in parallel
+    b.alu(AluOp::Sub, Reg::R21, p0, p2);
+    b.alu_imm(AluOp::Add, blocks, blocks, 1);
+    b.store(s01, dst, OUTPUT as i64); // DC plane
+    b.alu_imm(AluOp::Add, src, src, BLOCK as i64); // induction (strided)
+    b.layout_break();
+    b.alu_imm(AluOp::Add, chain, chain, 6); // chain step 3
+    b.store(s23, dst, OUTPUT as i64 + 0x10_0000); // AC plane
+    b.alu_imm(AluOp::Add, dst, dst, 1); // induction (strided)
+    b.layout_break();
+    b.alu_imm(AluOp::Add, qsum, qsum, 3);
+    // Wrap the cursor at the image end.
+    let continue_ = b.label("continue");
+    b.load_imm(t0, n_pixels as i64);
+    b.branch(Cond::Ltu, src, t0, continue_);
+    b.load_imm(src, 0);
+    b.load_imm(dst, 0);
+    b.bind(continue_);
+    b.jump(block_head);
+
+    b.build().expect("ijpeg workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_trace::trace_program;
+
+    #[test]
+    fn sustains_long_traces() {
+        let p = build(&WorkloadParams::default());
+        assert_eq!(trace_program(&p, 20_000).len(), 20_000);
+    }
+
+    #[test]
+    fn has_long_basic_blocks() {
+        let p = build(&WorkloadParams::default());
+        let stats = trace_program(&p, 30_000).stats();
+        // Regular loop code: longer runs than the branchiest benchmarks,
+        // though layout breaks keep the taken-branch density realistic.
+        assert!(stats.avg_run_length() > 4.0, "run length {}", stats.avg_run_length());
+    }
+
+    #[test]
+    fn emits_output_blocks() {
+        let p = build(&WorkloadParams::default());
+        let mut exec = fetchvp_trace::Executor::new(&p);
+        for _ in 0..50_000 {
+            if exec.step().is_none() {
+                break;
+            }
+        }
+        let outputs = (0..512).filter(|k| exec.memory().read(OUTPUT + k) != 0).count();
+        assert!(outputs > 100, "only {outputs} output words written");
+    }
+}

@@ -1,0 +1,103 @@
+//! `mgrid` stand-in: a multigrid stencil relaxation kernel.
+//!
+//! mgrid is a SPECfp95 benchmark, yet it appears on the x-axis of the
+//! paper's Figure 5.3 alongside the integer suite, so this crate provides a
+//! stand-in for completeness. Scientific stencil code is the extreme of
+//! regularity: long unit-stride sweeps, perfectly affine index arithmetic,
+//! and wide data parallelism — its induction structure is almost entirely
+//! stride-predictable, while the stencil sums themselves depend on the
+//! (unpredictable) grid values.
+
+use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+use crate::rng::SplitMix64;
+use crate::WorkloadParams;
+
+const GRID: u64 = 0xC0_0000;
+const OUT: u64 = 0xD0_0000;
+
+pub(crate) fn build(params: &WorkloadParams) -> Program {
+    let mut rng = SplitMix64::new(params.seed ^ 0x916D);
+    let mut b = ProgramBuilder::new("mgrid");
+
+    // A 1-D restriction of the 3-D grid: enough to express the stencil's
+    // dependence structure (neighbour loads + weighted sum).
+    let n = 2048u64 * params.scale as u64;
+    for i in 0..n {
+        b.data_word(GRID + i, rng.below(1 << 20));
+    }
+
+    let i = Reg::R1; // sweep cursor (strided)
+    let sweeps = Reg::R2; // completed-sweep counter (strided)
+    let chain = Reg::R3; // residual-norm accounting chain (predictable)
+    let left = Reg::R8;
+    let mid = Reg::R9;
+    let right = Reg::R10;
+    let acc = Reg::R11;
+    let t0 = Reg::R12;
+
+    b.load_imm(i, 1);
+
+    let head = b.bind_label("relax");
+    // -- one stencil point per iteration: load the 3-point neighbourhood --
+    b.alu_imm(AluOp::Add, chain, chain, 3); // chain step 1
+    b.load(left, i, GRID as i64 - 1);
+    b.load(mid, i, GRID as i64);
+    b.load(right, i, GRID as i64 + 1);
+    b.layout_break();
+    // -- weighted relaxation: a shallow tree over the loads --
+    b.alu(AluOp::Add, acc, left, right);
+    b.alu_imm(AluOp::Shl, t0, mid, 1);
+    b.alu_imm(AluOp::Add, chain, chain, 5); // chain step 2
+    b.alu(AluOp::Add, acc, acc, t0);
+    b.alu_imm(AluOp::Shr, acc, acc, 2); // (left + 2*mid + right) / 4
+    b.store(acc, i, OUT as i64);
+    b.layout_break();
+    b.alu_imm(AluOp::Add, i, i, 1); // unit stride (predictable)
+    b.alu_imm(AluOp::Add, chain, chain, 7); // chain step 3
+    // -- end of sweep: restart from the left edge. The wrap branch is
+    //    almost never taken — stencil sweeps are long straight runs. --
+    let wrap = b.label("wrap");
+    b.load_imm(t0, (n - 1) as i64);
+    b.branch(Cond::Geu, i, t0, wrap);
+    b.jump(head);
+    b.bind(wrap);
+    b.load_imm(i, 1);
+    b.alu_imm(AluOp::Add, sweeps, sweeps, 1);
+    b.jump(head);
+
+    b.build().expect("mgrid workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_trace::trace_program;
+
+    #[test]
+    fn sustains_long_traces() {
+        let p = build(&WorkloadParams::default());
+        assert_eq!(trace_program(&p, 20_000).len(), 20_000);
+    }
+
+    #[test]
+    fn is_the_most_regular_workload() {
+        let p = build(&WorkloadParams::default());
+        let stats = trace_program(&p, 30_000).stats();
+        // Long sweeps: very few conditional branches are taken.
+        assert!(stats.taken_branch_rate() < 0.05, "{}", stats.taken_branch_rate());
+    }
+
+    #[test]
+    fn writes_the_output_grid() {
+        let p = build(&WorkloadParams::default());
+        let mut exec = fetchvp_trace::Executor::new(&p);
+        for _ in 0..50_000 {
+            if exec.step().is_none() {
+                break;
+            }
+        }
+        let written = (1..512).filter(|k| exec.memory().read(OUT + k) != 0).count();
+        assert!(written > 400, "only {written} stencil outputs written");
+    }
+}

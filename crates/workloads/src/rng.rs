@@ -1,0 +1,113 @@
+//! Deterministic pseudo-random data generation for workload inputs.
+
+/// A SplitMix64 generator.
+///
+/// Used to synthesize workload input data (text, boards, permutations) so
+/// that programs are bit-identical across runs and platforms — experiment
+/// results must be exactly reproducible.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_workloads::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.below(10) < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// A Fisher–Yates-shuffled permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n as u64).collect();
+        for i in (1..n).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut r = SplitMix64::new(9);
+        let mut p = r.permutation(100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut r = SplitMix64::new(11);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} far from uniform");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! `vortex` stand-in: object-oriented database transactions.
+//!
+//! Vortex is the paper's other outlier benchmark: more than 55% of its
+//! dependencies are value-predictable with DID ≥ 4 (Figure 3.5), and its
+//! ideal-machine value-prediction speedup climbs from 1.5% at fetch-4 to
+//! 83% at fetch-16 (Figure 3.1).
+//!
+//! The synthetic kernel models an insert-then-query transaction loop:
+//! allocate an object from a bump allocator (strided addresses), initialize
+//! its fields (strided ids), link it into the object chain, update the
+//! index, and read back a field of an earlier object. Because both the
+//! addresses *and* the stored field values advance by constant strides,
+//! almost every dependence — including the loaded values — is perfectly
+//! stride-predictable, but the dependencies are spread across a long
+//! transaction body, so exploiting them requires fetch bandwidth.
+
+use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+use crate::WorkloadParams;
+
+const HEAP: u64 = 0x10_0000;
+const INDEX: u64 = 0x20_0000;
+const OBJ_SIZE: u64 = 32; // four 8-byte fields
+
+pub(crate) fn build(_params: &WorkloadParams) -> Program {
+    // Vortex's data is entirely self-generated (strided object ids), so the
+    // seed does not enter this workload.
+    let mut b = ProgramBuilder::new("vortex");
+
+    let alloc = Reg::R1; // bump allocator (strided)
+    let obj_id = Reg::R2; // monotone object id (strided)
+    let commits = Reg::R3; // committed-transaction counter
+    let chain = Reg::R4; // transaction bookkeeping chain (critical path)
+    let t0 = Reg::R9;
+    let t1 = Reg::R10;
+    let t2 = Reg::R11;
+    let t3 = Reg::R12;
+    let index_n = Reg::R5; // index-entry counter
+    let reads = Reg::R6; // query counter
+
+    b.load_imm(alloc, HEAP as i64);
+
+    let sig = Reg::R7; // record signature (XOR accumulator: unpredictable)
+    let qid = Reg::R8; // the queried object's id
+
+    let head = b.bind_label("txn");
+    // The transaction body interleaves its four activities (allocation,
+    // field init, index update, query) so that each dependence spans
+    // several instructions — vortex's predictable dependencies are *long*
+    // in the paper (>55% predictable with DID >= 4).
+    b.alu_imm(AluOp::Add, chain, chain, 5); // bookkeeping chain step 1
+    b.alu_imm(AluOp::Add, obj_id, obj_id, 1); // strided, DID = body
+    b.alu_imm(AluOp::Add, index_n, index_n, 1);
+    b.alu_imm(AluOp::Add, alloc, alloc, OBJ_SIZE as i64); // strided
+    b.alu_imm(AluOp::Add, Reg::R13, Reg::R13, 3); // index version stamp (strided)
+    b.store(obj_id, alloc, 0); // field 0: id (uses obj_id at distance 4)
+    b.layout_break();
+    b.alu_imm(AluOp::And, t3, obj_id, 255); // index bucket (cyclic)
+    b.alu_imm(AluOp::Sub, t0, alloc, (16 * OBJ_SIZE) as i64);
+    b.alu_imm(AluOp::Mul, t1, obj_id, 3);
+    b.alu_imm(AluOp::Add, chain, chain, 7); // chain step 2
+    b.load(qid, t0, 0); // query: id written 16 txns ago (strided values!)
+    b.store(t1, alloc, 8); // field 1: derived key
+    b.layout_break();
+    b.alu_imm(AluOp::Sub, t1, alloc, OBJ_SIZE as i64);
+    b.alu(AluOp::Xor, sig, sig, qid); // record signature (unpredictable)
+    b.store(t1, alloc, 16); // field 2: link to previous object
+    b.store(alloc, t3, INDEX as i64); // index bucket points at the object
+    b.layout_break();
+    b.alu_imm(AluOp::Add, reads, reads, 1);
+    b.alu_imm(AluOp::Add, chain, chain, 3); // chain step 3
+    // Validate the read (biased, well-predicted branch).
+    let ok = b.label("read_ok");
+    b.branch(Cond::Ltu, qid, obj_id, ok);
+    b.alu_imm(AluOp::Add, t2, t2, 1); // never on the hot path
+    b.bind(ok);
+    // -- occasionally rewind the allocator so the heap footprint is finite --
+    let no_wrap = b.label("no_wrap");
+    b.alu_imm(AluOp::And, t2, obj_id, 4095);
+    b.branch(Cond::Ne, t2, Reg::R0, no_wrap);
+    b.load_imm(alloc, HEAP as i64);
+    b.bind(no_wrap);
+    // -- commit: trailing bookkeeping --
+    b.alu_imm(AluOp::Add, commits, commits, 1);
+    b.alu_imm(AluOp::Add, chain, chain, 9); // chain step 4
+    b.jump(head);
+
+    b.build().expect("vortex workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_trace::trace_program;
+
+    #[test]
+    fn sustains_long_traces() {
+        let p = build(&WorkloadParams::default());
+        assert_eq!(trace_program(&p, 20_000).len(), 20_000);
+    }
+
+    #[test]
+    fn queried_ids_are_strided() {
+        let p = build(&WorkloadParams::default());
+        let t = trace_program(&p, 50_000);
+        // The query load (the only load in the program) returns ids that
+        // advance by exactly 1 once the pipeline of 16 objects is primed.
+        let loads: Vec<u64> =
+            t.iter().filter(|r| r.instr.is_mem() && r.dst().is_some()).map(|r| r.result).collect();
+        let strided = loads.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(strided as f64 > loads.len() as f64 * 0.9, "query loads are not strided");
+    }
+
+    #[test]
+    fn heap_footprint_is_bounded() {
+        let p = build(&WorkloadParams::default());
+        let mut exec = fetchvp_trace::Executor::new(&p);
+        for _ in 0..200_000 {
+            if exec.step().is_none() {
+                break;
+            }
+        }
+        assert!(exec.memory().footprint() < 40_000);
+    }
+}

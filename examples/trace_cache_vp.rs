@@ -1,0 +1,92 @@
+//! High-bandwidth fetch and the §4 banked value-prediction front-end.
+//!
+//! Compares, on one benchmark, the realistic machine of §5 across its
+//! front-ends (conventional fetch at 1 and 4 taken branches per cycle, and
+//! the trace cache) and shows the banked prediction table, the address
+//! router and the value distributor in action, including the bank-conflict
+//! and same-PC-merge statistics of the proposed hardware.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example trace_cache_vp
+//! ```
+
+use fetchvp_core::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine, VpConfig};
+use fetchvp_fetch::TraceCacheConfig;
+use fetchvp_predictor::BankedConfig;
+use fetchvp_trace::trace_program;
+use fetchvp_workloads::{by_name, WorkloadParams};
+
+fn main() {
+    let workload = by_name("vortex", &WorkloadParams::default()).expect("known benchmark");
+    let trace = trace_program(workload.program(), 200_000);
+    println!("benchmark: {} ({} instructions)\n", workload.name(), trace.len());
+
+    let front_ends = [
+        ("conventional, 1 taken branch/cycle", conventional(Some(1))),
+        ("conventional, 4 taken branches/cycle", conventional(Some(4))),
+        ("trace cache (64 x 32-instr lines)", trace_cache()),
+    ];
+
+    println!("{:<38} {:>9} {:>9} {:>9}", "front-end", "base IPC", "VP IPC", "speedup");
+    for (label, fe) in front_ends {
+        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(&trace);
+        // Value predictions flow through the §4 banked front-end: a
+        // 16-bank interleaved table behind the address router and value
+        // distributor.
+        let vp = RealisticMachine::new(
+            RealisticConfig::paper(fe, VpConfig::stride_infinite())
+                .with_banked(BankedConfig::new(16)),
+        )
+        .run(&trace);
+        println!(
+            "{label:<38} {:>9.2} {:>9.2} {:>8.1}%",
+            base.ipc(),
+            vp.ipc(),
+            100.0 * vp.speedup_over(&base)
+        );
+        if let Some(tc) = vp.trace_cache_stats {
+            println!(
+                "{:<38} trace-cache hit rate {:.0}%, {} fills",
+                "", 100.0 * tc.hit_rate(), tc.fills
+            );
+        }
+        if let Some(banked) = vp.banked_stats {
+            println!(
+                "{:<38} router: {} granted, {} merged (loop copies), {} denied ({:.1}%)",
+                "",
+                banked.granted,
+                banked.merged,
+                banked.denied,
+                100.0 * banked.denial_rate()
+            );
+        }
+    }
+
+    // Ablation: how many banks does the interleaved table need?
+    println!("\nbank-count ablation (trace cache front-end):");
+    let fe = trace_cache();
+    let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(&trace);
+    for banks in [1u32, 2, 4, 8, 16, 64] {
+        let vp = RealisticMachine::new(
+            RealisticConfig::paper(fe, VpConfig::stride_infinite())
+                .with_banked(BankedConfig::new(banks)),
+        )
+        .run(&trace);
+        let b = vp.banked_stats.expect("banked stats present");
+        println!(
+            "  {banks:>3} banks: speedup {:>6.1}%, denial rate {:>5.1}%",
+            100.0 * vp.speedup_over(&base),
+            100.0 * b.denial_rate()
+        );
+    }
+}
+
+fn conventional(max_taken: Option<u32>) -> FrontEnd {
+    FrontEnd::Conventional { width: 40, max_taken, btb: BtbKind::two_level_paper() }
+}
+
+fn trace_cache() -> FrontEnd {
+    FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb: BtbKind::two_level_paper() }
+}

@@ -1,0 +1,125 @@
+//! Cross-configuration orderings that must hold on every workload: better
+//! predictors, better branch prediction and more fetch bandwidth can only
+//! help (within a small replay-penalty tolerance).
+
+use fetchvp_core::{
+    BtbKind, FrontEnd, IdealConfig, IdealMachine, RealisticConfig, RealisticMachine, VpConfig,
+};
+use fetchvp_fetch::TraceCacheConfig;
+use fetchvp_predictor::BankedConfig;
+use fetchvp_trace::{trace_program, Trace};
+use fetchvp_workloads::{suite, WorkloadParams};
+
+const TRACE_LEN: u64 = 25_000;
+
+fn traces() -> Vec<(String, Trace)> {
+    suite(&WorkloadParams::default())
+        .into_iter()
+        .map(|w| (w.name().to_string(), trace_program(w.program(), TRACE_LEN)))
+        .collect()
+}
+
+fn ideal(trace: &Trace, fetch_rate: usize, vp: VpConfig) -> u64 {
+    IdealMachine::new(IdealConfig { fetch_rate, vp, ..IdealConfig::default() }).run(trace).cycles
+}
+
+#[test]
+fn perfect_vp_dominates_real_vp_dominates_plain_replay() {
+    for (name, trace) in traces() {
+        let base = ideal(&trace, 16, VpConfig::None);
+        let stride = ideal(&trace, 16, VpConfig::stride_infinite());
+        let perfect = ideal(&trace, 16, VpConfig::Perfect);
+        assert!(perfect <= stride, "{name}: perfect {perfect} > stride {stride}");
+        // A real predictor can lose a little to replay penalties, but never
+        // more than a sliver.
+        assert!(
+            stride as f64 <= base as f64 * 1.02,
+            "{name}: stride VP slower than baseline ({stride} vs {base})"
+        );
+    }
+}
+
+#[test]
+fn more_fetch_bandwidth_never_hurts_the_ideal_machine() {
+    for (name, trace) in traces() {
+        let mut prev = u64::MAX;
+        for rate in [4usize, 8, 16, 32, 40] {
+            let cycles = ideal(&trace, rate, VpConfig::stride_infinite());
+            assert!(cycles <= prev, "{name}: rate {rate} got slower");
+            prev = cycles;
+        }
+    }
+}
+
+#[test]
+fn perfect_btb_dominates_two_level_btb() {
+    for (name, trace) in traces() {
+        for max_taken in [Some(1u32), Some(4)] {
+            let cycles = |btb| {
+                let fe = FrontEnd::Conventional { width: 40, max_taken, btb };
+                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None))
+                    .run(&trace)
+                    .cycles
+            };
+            assert!(
+                cycles(BtbKind::Perfect) <= cycles(BtbKind::two_level_paper()),
+                "{name} at n={max_taken:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn more_taken_branch_allowance_never_hurts() {
+    for (name, trace) in traces() {
+        let mut prev = u64::MAX;
+        for max_taken in [Some(1u32), Some(2), Some(3), Some(4), None] {
+            let fe = FrontEnd::Conventional { width: 40, max_taken, btb: BtbKind::Perfect };
+            let cycles = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::Perfect))
+                .run(&trace)
+                .cycles;
+            assert!(cycles <= prev, "{name}: n={max_taken:?} got slower");
+            prev = cycles;
+        }
+    }
+}
+
+#[test]
+fn more_prediction_banks_never_hurt() {
+    for (name, trace) in traces() {
+        let fe = FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb: BtbKind::Perfect };
+        let mut prev_denied = u64::MAX;
+        for banks in [1u32, 4, 16, 64] {
+            let r = RealisticMachine::new(
+                RealisticConfig::paper(fe, VpConfig::stride_infinite())
+                    .with_banked(BankedConfig::new(banks)),
+            )
+            .run(&trace);
+            let denied = r.banked_stats.expect("banked stats").denied;
+            assert!(denied <= prev_denied, "{name}: {banks} banks denied more");
+            prev_denied = denied;
+        }
+    }
+}
+
+#[test]
+fn unconstrained_prediction_table_upper_bounds_the_banked_one() {
+    for (name, trace) in traces() {
+        let fe = FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb: BtbKind::Perfect };
+        let unconstrained =
+            RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
+                .run(&trace);
+        let banked = RealisticMachine::new(
+            RealisticConfig::paper(fe, VpConfig::stride_infinite())
+                .with_banked(BankedConfig::new(1)),
+        )
+        .run(&trace);
+        // Denied predictions can only remove opportunity (modulo the same
+        // small replay tolerance as above, since a denied wrong prediction
+        // can accidentally help).
+        assert!(
+            banked.cycles as f64 >= unconstrained.cycles as f64 * 0.98,
+            "{name}: banked-1 faster than unconstrained"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-validation between the two §5 machine implementations.
+//!
+//! `RealisticMachine` (analytic, unbounded fetch queue) and `EventMachine`
+//! (cycle-stepped, bounded queue with back-pressure) embody different
+//! buffering assumptions, so cycle counts are not expected to match exactly
+//! — but every *conclusion* the paper draws must be implementation
+//! independent. These tests pin that down across the full workload suite.
+
+use fetchvp_core::event::EventMachine;
+use fetchvp_core::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine, VpConfig};
+use fetchvp_trace::{trace_program, Trace};
+use fetchvp_workloads::{suite, WorkloadParams};
+
+const TRACE_LEN: u64 = 25_000;
+
+fn traces() -> Vec<(String, Trace)> {
+    suite(&WorkloadParams::default())
+        .into_iter()
+        .map(|w| (w.name().to_string(), trace_program(w.program(), TRACE_LEN)))
+        .collect()
+}
+
+fn fe(max_taken: Option<u32>, btb: BtbKind) -> FrontEnd {
+    FrontEnd::Conventional { width: 40, max_taken, btb }
+}
+
+#[test]
+fn both_models_retire_the_full_trace() {
+    for (name, trace) in traces() {
+        let cfg = RealisticConfig::paper(fe(Some(4), BtbKind::Perfect), VpConfig::None);
+        let analytic = RealisticMachine::new(cfg).run(&trace);
+        let event = EventMachine::new(cfg).run(&trace);
+        assert_eq!(analytic.instructions, trace.len() as u64, "{name}");
+        assert_eq!(event.instructions, trace.len() as u64, "{name}");
+    }
+}
+
+#[test]
+fn ipcs_agree_within_a_buffering_band() {
+    // The bounded fetch queue costs the event model some throughput; the
+    // analytic model is an upper bound of sorts. Require agreement within
+    // a factor of two in both directions — a regression in either model
+    // (e.g. an off-by-one in the window logic) blows far past this.
+    for (name, trace) in traces() {
+        for vp in [VpConfig::None, VpConfig::stride_infinite()] {
+            let cfg = RealisticConfig::paper(fe(Some(4), BtbKind::Perfect), vp);
+            let a = RealisticMachine::new(cfg).run(&trace).ipc();
+            let e = EventMachine::new(cfg).run(&trace).ipc();
+            let ratio = a / e;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{name} ({vp:?}): analytic {a:.2} vs event {e:.2} IPC"
+            );
+        }
+    }
+}
+
+#[test]
+fn value_prediction_wins_agree() {
+    // Wherever the analytic model reports a clear VP win, the event model
+    // must too (and vice versa for "no effect").
+    for (name, trace) in traces() {
+        let cfg_base = RealisticConfig::paper(fe(Some(4), BtbKind::Perfect), VpConfig::None);
+        let cfg_vp =
+            RealisticConfig::paper(fe(Some(4), BtbKind::Perfect), VpConfig::stride_infinite());
+        let a = RealisticMachine::new(cfg_vp)
+            .run(&trace)
+            .speedup_over(&RealisticMachine::new(cfg_base).run(&trace));
+        let e = EventMachine::new(cfg_vp)
+            .run(&trace)
+            .speedup_over(&EventMachine::new(cfg_base).run(&trace));
+        if a > 0.15 {
+            assert!(e > 0.05, "{name}: analytic +{a:.2} but event only +{e:.2}");
+        }
+        if a.abs() < 0.02 {
+            assert!(e.abs() < 0.10, "{name}: analytic ~0 but event {e:.2}");
+        }
+    }
+}
+
+#[test]
+fn bandwidth_trend_agrees() {
+    // The headline trend — more taken branches per cycle, more VP gain —
+    // holds in both implementations (suite average).
+    let mut analytic = Vec::new();
+    let mut event = Vec::new();
+    for n in [Some(1u32), Some(4)] {
+        let (mut a_sum, mut e_sum, mut count) = (0.0, 0.0, 0);
+        for (_, trace) in traces() {
+            let cfg_base = RealisticConfig::paper(fe(n, BtbKind::Perfect), VpConfig::None);
+            let cfg_vp =
+                RealisticConfig::paper(fe(n, BtbKind::Perfect), VpConfig::stride_infinite());
+            a_sum += RealisticMachine::new(cfg_vp)
+                .run(&trace)
+                .speedup_over(&RealisticMachine::new(cfg_base).run(&trace));
+            e_sum += EventMachine::new(cfg_vp)
+                .run(&trace)
+                .speedup_over(&EventMachine::new(cfg_base).run(&trace));
+            count += 1;
+        }
+        analytic.push(a_sum / count as f64);
+        event.push(e_sum / count as f64);
+    }
+    assert!(analytic[1] > analytic[0] + 0.10, "analytic trend: {analytic:?}");
+    assert!(event[1] > event[0] + 0.10, "event trend: {event:?}");
+}
+
+#[test]
+fn two_level_btb_costs_both_models() {
+    for (name, trace) in traces() {
+        let perfect =
+            RealisticConfig::paper(fe(Some(4), BtbKind::Perfect), VpConfig::None);
+        let real =
+            RealisticConfig::paper(fe(Some(4), BtbKind::two_level_paper()), VpConfig::None);
+        let a_cost = RealisticMachine::new(real).run(&trace).cycles as f64
+            / RealisticMachine::new(perfect).run(&trace).cycles as f64;
+        let e_cost = EventMachine::new(real).run(&trace).cycles as f64
+            / EventMachine::new(perfect).run(&trace).cycles as f64;
+        assert!(a_cost >= 0.999, "{name}: analytic BTB cost {a_cost:.3}");
+        assert!(e_cost >= 0.999, "{name}: event BTB cost {e_cost:.3}");
+    }
+}
