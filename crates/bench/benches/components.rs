@@ -2,7 +2,7 @@
 //! predictors, the branch predictor, the fetch engines and both machine
 //! models, measured in isolation on a fixed m88ksim trace.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fetchvp_bench::run_benchmark;
 use fetchvp_bpred::{BranchPredictor, PerfectBtb, TwoLevelBtb};
 use fetchvp_core::{
     BtbKind, FrontEnd, IdealConfig, IdealMachine, RealisticConfig, RealisticMachine, VpConfig,
@@ -23,171 +23,97 @@ fn m88ksim_trace() -> Trace {
     trace_program(w.program(), N)
 }
 
-fn bench_executor(c: &mut Criterion) {
-    let w = by_name("m88ksim", &WorkloadParams::default()).expect("known benchmark");
-    let mut g = c.benchmark_group("executor");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("functional_simulation", |b| {
-        b.iter(|| {
-            let mut exec = Executor::new(w.program());
-            let mut n = 0u64;
-            while n < N {
-                exec.step().expect("workload never halts");
-                n += 1;
-            }
-            n
-        })
-    });
-    g.finish();
+fn drive(p: &mut dyn ValuePredictor, trace: &Trace) {
+    for rec in trace {
+        if rec.produces_value() {
+            let predicted = p.lookup(rec.pc);
+            p.commit(rec.pc, rec.result, predicted);
+        }
+    }
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn walk(engine: &mut dyn FetchEngine, trace: &Trace) -> usize {
+    let mut pos = 0;
+    while pos < trace.len() {
+        pos += engine.fetch(trace.records(), pos, 40).len;
+    }
+    pos
+}
+
+fn main() {
+    let w = by_name("m88ksim", &WorkloadParams::default()).expect("known benchmark");
     let trace = m88ksim_trace();
-    let mut g = c.benchmark_group("value_predictors");
-    g.throughput(Throughput::Elements(N));
-    let drive = |p: &mut dyn ValuePredictor| {
+
+    run_benchmark("executor/functional_simulation", || {
+        let mut exec = Executor::new(w.program());
+        let mut n = 0u64;
+        while n < N {
+            exec.step().expect("workload never halts");
+            n += 1;
+        }
+        n
+    });
+
+    run_benchmark("value_predictors/last_value", || {
+        let mut p = LastValuePredictor::new(TableGeometry::Infinite, ConfidenceConfig::paper());
+        drive(&mut p, &trace);
+    });
+    run_benchmark("value_predictors/stride", || {
+        let mut p = StridePredictor::new(TableGeometry::Infinite, ConfidenceConfig::paper());
+        drive(&mut p, &trace);
+    });
+    run_benchmark("value_predictors/hybrid", || {
+        let mut p = HybridPredictor::paper();
+        drive(&mut p, &trace);
+    });
+
+    run_benchmark("branch_predictors/two_level_pap", || {
+        let mut btb = TwoLevelBtb::paper();
         for rec in &trace {
-            if rec.produces_value() {
-                let predicted = p.lookup(rec.pc);
-                p.commit(rec.pc, rec.result, predicted);
+            if rec.is_control() {
+                btb.predict(rec);
+                btb.update(rec);
             }
         }
-    };
-    g.bench_function("last_value", |b| {
-        b.iter_batched(
-            || LastValuePredictor::new(TableGeometry::Infinite, ConfidenceConfig::paper()),
-            |mut p| drive(&mut p),
-            BatchSize::LargeInput,
-        )
+        btb.stats().correct
     });
-    g.bench_function("stride", |b| {
-        b.iter_batched(
-            || StridePredictor::new(TableGeometry::Infinite, ConfidenceConfig::paper()),
-            |mut p| drive(&mut p),
-            BatchSize::LargeInput,
-        )
-    });
-    g.bench_function("hybrid", |b| {
-        b.iter_batched(HybridPredictor::paper, |mut p| drive(&mut p), BatchSize::LargeInput)
-    });
-    g.finish();
-}
 
-fn bench_bpred(c: &mut Criterion) {
-    let trace = m88ksim_trace();
-    let mut g = c.benchmark_group("branch_predictors");
-    g.bench_function("two_level_pap", |b| {
-        b.iter_batched(
-            TwoLevelBtb::paper,
-            |mut btb| {
-                for rec in &trace {
-                    if rec.is_control() {
-                        btb.predict(rec);
-                        btb.update(rec);
-                    }
-                }
-                btb.stats().correct
-            },
-            BatchSize::LargeInput,
-        )
+    run_benchmark("fetch_engines/conventional_4taken", || {
+        let mut e = ConventionalFetch::new(40, Some(4), PerfectBtb::new());
+        walk(&mut e, &trace)
     });
-    g.finish();
-}
+    run_benchmark("fetch_engines/trace_cache", || {
+        let mut e = TraceCacheFetch::new(TraceCacheConfig::paper(), PerfectBtb::new());
+        walk(&mut e, &trace)
+    });
 
-fn bench_fetch_engines(c: &mut Criterion) {
-    let trace = m88ksim_trace();
-    let mut g = c.benchmark_group("fetch_engines");
-    g.throughput(Throughput::Elements(N));
-    let walk = |engine: &mut dyn FetchEngine| {
-        let mut pos = 0;
-        while pos < trace.len() {
-            pos += engine.fetch(trace.records(), pos, 40).len;
-        }
-        pos
-    };
-    g.bench_function("conventional_4taken", |b| {
-        b.iter_batched(
-            || ConventionalFetch::new(40, Some(4), PerfectBtb::new()),
-            |mut e| walk(&mut e),
-            BatchSize::LargeInput,
-        )
+    let ideal = IdealMachine::new(IdealConfig {
+        fetch_rate: 16,
+        vp: VpConfig::stride_infinite(),
+        ..IdealConfig::default()
     });
-    g.bench_function("trace_cache", |b| {
-        b.iter_batched(
-            || TraceCacheFetch::new(TraceCacheConfig::paper(), PerfectBtb::new()),
-            |mut e| walk(&mut e),
-            BatchSize::LargeInput,
-        )
-    });
-    g.finish();
-}
+    run_benchmark("machines/ideal_fetch16_stride_vp", || ideal.run(&trace));
+    let fe =
+        FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb: BtbKind::two_level_paper() };
+    let realistic = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()));
+    run_benchmark("machines/realistic_trace_cache_stride_vp", || realistic.run(&trace));
 
-fn bench_machines(c: &mut Criterion) {
-    let trace = m88ksim_trace();
-    let mut g = c.benchmark_group("machines");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("ideal_fetch16_stride_vp", |b| {
-        let machine = IdealMachine::new(IdealConfig {
-            fetch_rate: 16,
-            vp: VpConfig::stride_infinite(),
-            ..IdealConfig::default()
-        });
-        b.iter(|| machine.run(&trace))
+    run_benchmark("serialization/trace_write_read", || {
+        let mut buf = Vec::new();
+        fetchvp_trace::write_trace(&trace, &mut buf).expect("write");
+        fetchvp_trace::read_trace(buf.as_slice()).expect("read").len()
     });
-    g.bench_function("realistic_trace_cache_stride_vp", |b| {
-        let fe = FrontEnd::TraceCache {
-            config: TraceCacheConfig::paper(),
-            btb: BtbKind::two_level_paper(),
-        };
-        let machine = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()));
-        b.iter(|| machine.run(&trace))
-    });
-    g.finish();
-}
-
-fn bench_asm_and_io(c: &mut Criterion) {
-    let trace = m88ksim_trace();
-    let mut g = c.benchmark_group("serialization");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("trace_write_read", |b| {
-        b.iter(|| {
-            let mut buf = Vec::new();
-            fetchvp_trace::write_trace(&trace, &mut buf).expect("write");
-            fetchvp_trace::read_trace(buf.as_slice()).expect("read").len()
-        })
-    });
-    let w = by_name("m88ksim", &WorkloadParams::default()).expect("known benchmark");
     let text = fetchvp_isa::to_assembly(w.program());
-    g.bench_function("asm_round_trip", |b| {
-        b.iter(|| {
-            let p = fetchvp_isa::parse_program("m88ksim", &text).expect("parse");
-            fetchvp_isa::to_assembly(&p).len()
-        })
+    run_benchmark("serialization/asm_round_trip", || {
+        let p = fetchvp_isa::parse_program("m88ksim", &text).expect("parse");
+        fetchvp_isa::to_assembly(&p).len()
     });
-    g.finish();
-}
 
-fn bench_dfg(c: &mut Criterion) {
-    let trace = m88ksim_trace();
-    let mut g = c.benchmark_group("dfg");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("did_analysis", |b| {
-        b.iter(|| {
-            let mut a = DidAnalyzer::new();
-            for rec in &trace {
-                a.feed(rec);
-            }
-            a.finish().arcs
-        })
+    run_benchmark("dfg/did_analysis", || {
+        let mut a = DidAnalyzer::new();
+        for rec in &trace {
+            a.feed(rec);
+        }
+        a.finish().arcs
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = components;
-    config = Criterion::default().sample_size(10);
-    targets = bench_executor, bench_predictors, bench_bpred,
-              bench_fetch_engines, bench_machines, bench_dfg,
-              bench_asm_and_io
-}
-criterion_main!(components);

@@ -1,9 +1,9 @@
-//! One Criterion benchmark per paper table/figure: each measures the time
-//! to regenerate that result at a reduced trace length and, as a side
-//! effect, asserts its headline shape so a regression in the *result* (not
-//! just the runtime) fails the bench run.
+//! One benchmark per paper table/figure: each measures the time to
+//! regenerate that result at a reduced trace length and, as a side effect,
+//! asserts its headline shape so a regression in the *result* (not just the
+//! runtime) fails the bench run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fetchvp_bench::run_benchmark;
 use fetchvp_experiments::{
     fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3, table3_1, table3_2, ExperimentConfig,
 };
@@ -12,100 +12,33 @@ fn cfg() -> ExperimentConfig {
     ExperimentConfig { trace_len: 20_000, ..ExperimentConfig::default() }
 }
 
-fn bench_table3_1(c: &mut Criterion) {
-    c.bench_function("table3_1_suite_statistics", |b| {
-        b.iter(|| {
-            let r = table3_1::run(&cfg());
-            assert_eq!(r.rows.len(), 8);
-            r
-        })
-    });
-}
+fn main() {
+    let r = run_benchmark("table3_1_suite_statistics", || table3_1::run(&cfg()));
+    assert_eq!(r.rows.len(), 8);
 
-fn bench_fig3_1(c: &mut Criterion) {
-    c.bench_function("fig3_1_ideal_machine_sweep", |b| {
-        b.iter(|| {
-            let r = fig3_1::run(&cfg());
-            let avg = r.averages();
-            assert!(avg[4] >= avg[0]);
-            r
-        })
-    });
-}
+    let r = run_benchmark("fig3_1_ideal_machine_sweep", || fig3_1::run(&cfg()));
+    let avg = r.averages();
+    assert!(avg[4] >= avg[0]);
 
-fn bench_table3_2(c: &mut Criterion) {
-    c.bench_function("table3_2_pipeline_walkthrough", |b| {
-        b.iter(|| {
-            let r = table3_2::run();
-            assert_eq!(r.stages.len(), 8);
-            r
-        })
-    });
-}
+    let r = run_benchmark("table3_2_pipeline_walkthrough", table3_2::run);
+    assert_eq!(r.stages.len(), 8);
 
-fn bench_fig3_3(c: &mut Criterion) {
-    c.bench_function("fig3_3_average_did", |b| {
-        b.iter(|| {
-            let r = fig3_3::run(&cfg());
-            assert!(r.average() > 4.0);
-            r
-        })
-    });
-}
+    let r = run_benchmark("fig3_3_average_did", || fig3_3::run(&cfg()));
+    assert!(r.average() > 4.0);
 
-fn bench_fig3_4(c: &mut Criterion) {
-    c.bench_function("fig3_4_did_histogram", |b| {
-        b.iter(|| {
-            let r = fig3_4::run(&cfg());
-            assert!(r.average_long_fraction() > 0.3);
-            r
-        })
-    });
-}
+    let r = run_benchmark("fig3_4_did_histogram", || fig3_4::run(&cfg()));
+    assert!(r.average_long_fraction() > 0.3);
 
-fn bench_fig3_5(c: &mut Criterion) {
-    c.bench_function("fig3_5_predictability_breakdown", |b| {
-        b.iter(|| {
-            let r = fig3_5::run(&cfg());
-            assert!(r.row_of("vortex").unwrap().predictable_long > 0.5);
-            r
-        })
-    });
-}
+    let r = run_benchmark("fig3_5_predictability_breakdown", || fig3_5::run(&cfg()));
+    assert!(r.row_of("vortex").unwrap().predictable_long > 0.5);
 
-fn bench_fig5_1(c: &mut Criterion) {
-    c.bench_function("fig5_1_taken_branch_sweep_ideal_btb", |b| {
-        b.iter(|| {
-            let r = fig5_1::run(&cfg());
-            let avg = r.averages();
-            assert!(*avg.last().unwrap() >= avg[0] - 0.03);
-            r
-        })
-    });
-}
+    let r = run_benchmark("fig5_1_taken_branch_sweep_ideal_btb", || fig5_1::run(&cfg()));
+    let avg = r.averages();
+    assert!(*avg.last().unwrap() >= avg[0] - 0.03);
 
-fn bench_fig5_2(c: &mut Criterion) {
-    c.bench_function("fig5_2_taken_branch_sweep_2level_btb", |b| {
-        b.iter(|| fig5_2::run(&cfg()))
-    });
-}
+    run_benchmark("fig5_2_taken_branch_sweep_2level_btb", || fig5_2::run(&cfg()));
 
-fn bench_fig5_3(c: &mut Criterion) {
-    c.bench_function("fig5_3_trace_cache", |b| {
-        b.iter(|| {
-            let r = fig5_3::run(&cfg());
-            let (two_level, ideal) = r.averages();
-            assert!(ideal >= two_level - 0.05);
-            r
-        })
-    });
+    let r = run_benchmark("fig5_3_trace_cache", || fig5_3::run(&cfg()));
+    let (two_level, ideal) = r.averages();
+    assert!(ideal >= two_level - 0.05);
 }
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table3_1, bench_fig3_1, bench_table3_2, bench_fig3_3,
-              bench_fig3_4, bench_fig3_5, bench_fig5_1, bench_fig5_2,
-              bench_fig5_3
-}
-criterion_main!(figures);

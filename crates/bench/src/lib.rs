@@ -1,2 +1,44 @@
-//! See `benches/` for the Criterion benchmarks (one per paper figure,
-//! plus component-level throughput measurements).
+//! See `benches/` for the benchmarks (one per paper figure, plus
+//! component-level throughput measurements).
+//!
+//! The benchmarks use a small self-contained timing harness
+//! ([`run_benchmark`]) instead of Criterion so the workspace builds with no
+//! external dependencies (`cargo build --offline` on a fresh machine).
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after one warm-up run).
+pub const SAMPLES: u32 = 5;
+
+/// Times `f` over [`SAMPLES`] iterations (after a warm-up call, whose
+/// result is returned for shape assertions) and prints a one-line summary.
+pub fn run_benchmark<R>(name: &str, mut f: impl FnMut() -> R) -> R {
+    let warmup = f();
+    let mut times = Vec::with_capacity(SAMPLES as usize);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!("{name:<45} median {median:>12?}  (min {min:?}, max {max:?}, n={SAMPLES})");
+    warmup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_returns_the_warmup_result() {
+        let mut calls = 0;
+        let r = run_benchmark("noop", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(r, 1);
+        assert_eq!(calls, 1 + SAMPLES);
+    }
+}

@@ -127,10 +127,9 @@ impl BranchPredictor for GshareBtb {
             Instr::Jump { target } | Instr::Call { target, .. } => {
                 BranchPrediction::taken_to(target)
             }
-            Instr::JumpInd { .. } => BranchPrediction {
-                taken: true,
-                target: self.btb_target(rec.pc),
-            },
+            Instr::JumpInd { .. } => {
+                BranchPrediction { taken: true, target: self.btb_target(rec.pc) }
+            }
             Instr::Branch { .. } => {
                 if self.pht[self.pht_index(rec.pc)] >= 2 {
                     match self.btb_target(rec.pc) {

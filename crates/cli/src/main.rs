@@ -1,7 +1,7 @@
 //! `fetchvp` — command-line driver for the paper's experiments.
 //!
 //! ```text
-//! fetchvp <experiment> [--trace-len N] [--seed S] [--csv] [--chart]
+//! fetchvp <experiment> [--trace-len N] [--seed S] [--jobs N] [--csv] [--chart]
 //!
 //! experiments:
 //!   table3-1   benchmark suite and trace characteristics
@@ -42,16 +42,17 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use fetchvp_experiments::{
-    ablations, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3, table3_1, table3_2,
-    ExperimentConfig, Table,
-};
 use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
+use fetchvp_experiments::{
+    ablations, default_jobs, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3, table3_1,
+    table3_2, ExperimentConfig, Sweep, Table,
+};
 use fetchvp_isa::parse_program;
 use fetchvp_trace::{read_trace, trace_program, write_trace};
 use fetchvp_workloads::{by_name, WorkloadParams};
 
-const USAGE: &str = "usage: fetchvp <experiment> [--trace-len N] [--seed S] [--csv] [--chart]
+const USAGE: &str =
+    "usage: fetchvp <experiment> [--trace-len N] [--seed S] [--jobs N] [--csv] [--chart]
 experiments: table3-1 fig3-1 table3-2 fig3-3 fig3-4 fig3-5 fig5-1 fig5-2
              fig5-3 accuracy breakdown all
 ablations:   ablation-banks ablation-window ablation-confidence \
@@ -65,6 +66,9 @@ struct Options {
     /// Extra positional arguments (benchmark name, file paths).
     positionals: Vec<String>,
     config: ExperimentConfig,
+    /// Worker threads for the figure sweeps (default: one per logical CPU;
+    /// `--jobs 1` forces the serial path).
+    jobs: usize,
     csv: bool,
     chart: bool,
 }
@@ -73,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut experiment = None;
     let mut positionals = Vec::new();
     let mut config = ExperimentConfig::default();
+    let mut jobs = default_jobs();
     let mut csv = false;
     let mut chart = false;
     let mut it = args.iter();
@@ -87,6 +92,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
                 config.workloads = WorkloadParams { seed, ..config.workloads };
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad job count `{v}` (need an integer >= 1)"))?;
+            }
             "--csv" => csv = true,
             "--chart" => chart = true,
             other if !other.starts_with('-') => {
@@ -100,7 +113,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     let experiment = experiment.ok_or("no experiment named")?;
-    Ok(Options { experiment, positionals, config, csv, chart })
+    Ok(Options { experiment, positionals, config, jobs, csv, chart })
 }
 
 fn emit(table: &Table, csv: bool) {
@@ -139,88 +152,93 @@ fn run_asm(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("run-asm needs: <file.s>".into());
     };
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let name = std::path::Path::new(path)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("program");
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = std::path::Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("program");
     let program = parse_program(name, &source).map_err(|e| format!("{path}: {e}"))?;
     let trace = trace_program(&program, cfg.trace_len);
     println!("program `{name}`: {} static instructions", program.len());
-    println!("{}
-", trace.stats());
-    for (label, vp) in [
-        ("baseline (no VP)", VpConfig::None),
-        ("stride VP", VpConfig::stride_infinite()),
-    ] {
-        let r = IdealMachine::new(IdealConfig {
-            fetch_rate: 16,
-            vp,
-            ..IdealConfig::default()
-        })
-        .run(&trace);
-        println!("== ideal machine, fetch 16, {label}
-{r}");
+    println!(
+        "{}
+",
+        trace.stats()
+    );
+    for (label, vp) in
+        [("baseline (no VP)", VpConfig::None), ("stride VP", VpConfig::stride_infinite())]
+    {
+        let r = IdealMachine::new(IdealConfig { fetch_rate: 16, vp, ..IdealConfig::default() })
+            .run(&trace);
+        println!(
+            "== ideal machine, fetch 16, {label}
+{r}"
+        );
     }
     Ok(())
 }
 
 fn run_one(
     name: &str,
-    cfg: &ExperimentConfig,
+    sweep: &Sweep,
     csv: bool,
     chart: bool,
     positionals: &[String],
 ) -> Result<(), String> {
+    let cfg = sweep.config();
     #[allow(clippy::match_like_matches_macro)]
     match name {
         "save-trace" => return save_trace(cfg, positionals),
         "trace-info" => return trace_info(positionals),
         "run-asm" => return run_asm(cfg, positionals),
-        "table3-1" => emit(&table3_1::run(cfg).to_table(), csv),
-        "accuracy" => emit(&fetchvp_experiments::accuracy::run(cfg).to_table(), csv),
-        "breakdown" => emit(&fetchvp_experiments::breakdown::run(cfg).to_table(), csv),
-        "fig3-1" if chart => println!("{}", fig3_1::run(cfg).to_chart()),
-        "fig5-1" if chart => println!("{}", fig5_1::run(cfg).to_chart()),
-        "fig5-2" if chart => println!("{}", fig5_2::run(cfg).to_chart()),
-        "fig5-3" if chart => println!("{}", fig5_3::run(cfg).to_chart()),
-        "fig3-1" => emit(&fig3_1::run(cfg).to_table(), csv),
+        "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),
+        "accuracy" => emit(&fetchvp_experiments::accuracy::run_with(sweep).to_table(), csv),
+        "breakdown" => emit(&fetchvp_experiments::breakdown::run_with(sweep).to_table(), csv),
+        "fig3-1" if chart => println!("{}", fig3_1::run_with(sweep).to_chart()),
+        "fig5-1" if chart => println!("{}", fig5_1::run_with(sweep).to_chart()),
+        "fig5-2" if chart => println!("{}", fig5_2::run_with(sweep).to_chart()),
+        "fig5-3" if chart => println!("{}", fig5_3::run_with(sweep).to_chart()),
+        "fig3-1" => emit(&fig3_1::run_with(sweep).to_table(), csv),
         "table3-2" => emit(&table3_2::run().to_table(), csv),
-        "fig3-3" => emit(&fig3_3::run(cfg).to_table(), csv),
-        "fig3-4" => emit(&fig3_4::run(cfg).to_table(), csv),
-        "fig3-5" => emit(&fig3_5::run(cfg).to_table(), csv),
-        "fig5-1" => emit(&fig5_1::run(cfg).to_table(), csv),
-        "fig5-2" => emit(&fig5_2::run(cfg).to_table(), csv),
-        "fig5-3" => emit(&fig5_3::run(cfg).to_table(), csv),
-        "ablation-banks" => emit(&ablations::bank_sweep(cfg).to_table(), csv),
-        "ablation-window" => emit(&ablations::window_sweep(cfg).to_table(), csv),
-        "ablation-confidence" => emit(&ablations::confidence_sweep(cfg).to_table(), csv),
-        "ablation-predictors" => emit(&ablations::predictor_comparison(cfg).to_table(), csv),
-        "ablation-partial" => emit(&ablations::partial_matching(cfg).to_table(), csv),
-        "ablation-btb" => emit(&ablations::btb_sensitivity(cfg).to_table(), csv),
-        "ablation-fetch" => emit(&ablations::fetch_mechanisms(cfg).to_table(), csv),
-        "ablation-penalty" => emit(&ablations::penalty_sweep(cfg).to_table(), csv),
-        "ablation-tc" => emit(&ablations::tc_geometry(cfg).to_table(), csv),
-        "ablation-hints" => emit(&ablations::hint_study(cfg).to_table(), csv),
-        "ablation-model" => emit(&ablations::model_assumptions(cfg).to_table(), csv),
-        "ablation-seeds" => emit(&ablations::seed_stability(cfg).to_table(), csv),
+        "fig3-3" => emit(&fig3_3::run_with(sweep).to_table(), csv),
+        "fig3-4" => emit(&fig3_4::run_with(sweep).to_table(), csv),
+        "fig3-5" => emit(&fig3_5::run_with(sweep).to_table(), csv),
+        "fig5-1" => emit(&fig5_1::run_with(sweep).to_table(), csv),
+        "fig5-2" => emit(&fig5_2::run_with(sweep).to_table(), csv),
+        "fig5-3" => emit(&fig5_3::run_with(sweep).to_table(), csv),
+        "ablation-banks" => emit(&ablations::bank_sweep_with(sweep).to_table(), csv),
+        "ablation-window" => emit(&ablations::window_sweep_with(sweep).to_table(), csv),
+        "ablation-confidence" => emit(&ablations::confidence_sweep_with(sweep).to_table(), csv),
+        "ablation-predictors" => emit(&ablations::predictor_comparison_with(sweep).to_table(), csv),
+        "ablation-partial" => emit(&ablations::partial_matching_with(sweep).to_table(), csv),
+        "ablation-btb" => emit(&ablations::btb_sensitivity_with(sweep).to_table(), csv),
+        "ablation-fetch" => emit(&ablations::fetch_mechanisms_with(sweep).to_table(), csv),
+        "ablation-penalty" => emit(&ablations::penalty_sweep_with(sweep).to_table(), csv),
+        "ablation-tc" => emit(&ablations::tc_geometry_with(sweep).to_table(), csv),
+        "ablation-hints" => emit(&ablations::hint_study_with(sweep).to_table(), csv),
+        "ablation-model" => emit(&ablations::model_assumptions_with(sweep).to_table(), csv),
+        "ablation-seeds" => emit(&ablations::seed_stability_with(sweep).to_table(), csv),
         "ablations" => {
             for exp in [
-                "ablation-banks", "ablation-window", "ablation-confidence",
-                "ablation-predictors", "ablation-partial", "ablation-btb",
-                "ablation-fetch", "ablation-penalty", "ablation-tc", "ablation-hints",
-                "ablation-model", "ablation-seeds",
+                "ablation-banks",
+                "ablation-window",
+                "ablation-confidence",
+                "ablation-predictors",
+                "ablation-partial",
+                "ablation-btb",
+                "ablation-fetch",
+                "ablation-penalty",
+                "ablation-tc",
+                "ablation-hints",
+                "ablation-model",
+                "ablation-seeds",
             ] {
-                run_one(exp, cfg, csv, chart, positionals)?;
+                run_one(exp, sweep, csv, chart, positionals)?;
             }
         }
         "all" => {
             for exp in [
-                "table3-1", "fig3-1", "table3-2", "fig3-3", "fig3-4", "fig3-5", "fig5-1",
-                "fig5-2", "fig5-3",
+                "table3-1", "fig3-1", "table3-2", "fig3-3", "fig3-4", "fig3-5", "fig5-1", "fig5-2",
+                "fig5-3",
             ] {
-                run_one(exp, cfg, csv, chart, positionals)?;
+                run_one(exp, sweep, csv, chart, positionals)?;
             }
         }
         other => return Err(format!("unknown experiment `{other}`")),
@@ -237,13 +255,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_one(
-        &options.experiment,
-        &options.config,
-        options.csv,
-        options.chart,
-        &options.positionals,
-    ) {
+    // One sweep (and thus one trace cache) shared by everything this
+    // invocation runs, including the `all`/`ablations` meta-experiments.
+    let sweep = Sweep::with_jobs(&options.config, options.jobs);
+    match run_one(&options.experiment, &sweep, options.csv, options.chart, &options.positionals) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -266,7 +281,17 @@ mod tests {
         assert_eq!(o.experiment, "fig3-1");
         assert_eq!(o.config.trace_len, 1000);
         assert_eq!(o.config.workloads.seed, 7);
+        assert_eq!(o.jobs, default_jobs());
         assert!(o.csv);
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        let o = opts(&["fig3-1", "--jobs", "4"]).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert!(opts(&["fig3-1", "--jobs", "0"]).is_err());
+        assert!(opts(&["fig3-1", "--jobs", "many"]).is_err());
+        assert!(opts(&["fig3-1", "--jobs"]).is_err());
     }
 
     #[test]
@@ -282,12 +307,14 @@ mod tests {
     #[test]
     fn rejects_unknown_experiment() {
         let o = opts(&["fig9-9"]).unwrap();
-        assert!(run_one(&o.experiment, &o.config, false, false, &[]).is_err());
+        let sweep = Sweep::with_jobs(&o.config, o.jobs);
+        assert!(run_one(&o.experiment, &sweep, false, false, &[]).is_err());
     }
 
     #[test]
     fn table3_2_runs_end_to_end() {
         let o = opts(&["table3-2"]).unwrap();
-        run_one(&o.experiment, &o.config, true, false, &[]).unwrap();
+        let sweep = Sweep::with_jobs(&o.config, o.jobs);
+        run_one(&o.experiment, &sweep, true, false, &[]).unwrap();
     }
 }

@@ -88,10 +88,7 @@ impl EventMachine {
     pub fn new(config: RealisticConfig) -> EventMachine {
         assert!(config.window > 0, "window must be positive");
         assert!(config.issue_width > 0, "issue width must be positive");
-        assert!(
-            config.banked.is_none(),
-            "the event model does not support the banked front-end"
-        );
+        assert!(config.banked.is_none(), "the event model does not support the banked front-end");
         EventMachine { config }
     }
 
@@ -111,13 +108,12 @@ impl EventMachine {
         };
 
         let queue_capacity = cfg.issue_width * 2;
-        let mut fetch_queue: std::collections::VecDeque<usize> =
-            std::collections::VecDeque::new();
+        let mut fetch_queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         // Window entries, retired from the front. Entry ids are stable
         // (monotonic) via an offset.
         let mut window: std::collections::VecDeque<Entry> = std::collections::VecDeque::new();
         let mut retired_entries = 0usize; // id offset of window[0]
-        // Per-register: id of the in-flight producer entry, if any.
+                                          // Per-register: id of the in-flight producer entry, if any.
         let mut producer: [Option<usize>; NUM_REGS] = [None; NUM_REGS];
 
         let mut pos = 0usize; // next trace index to fetch
@@ -275,10 +271,8 @@ impl EventMachine {
                     }
                     if let Some(k) = group.mispredict {
                         // The offending branch will dispatch as entry:
-                        let branch_id = retired_entries
-                            + window.len()
-                            + fetch_queue.len()
-                            - (group.len - k);
+                        let branch_id =
+                            retired_entries + window.len() + fetch_queue.len() - (group.len - k);
                         stall_on = Some(branch_id);
                         stall_until = u64::MAX; // until the branch resolves
                     }
@@ -396,14 +390,10 @@ mod tests {
     fn value_prediction_helps_here_too() {
         let t = chain_trace(4_000);
         let base = EventMachine::new(RealisticConfig::paper(fe(Some(4)), VpConfig::None)).run(&t);
-        let vp = EventMachine::new(RealisticConfig::paper(fe(Some(4)), VpConfig::stride_infinite()))
-            .run(&t);
-        assert!(
-            vp.cycles < base.cycles,
-            "VP {} cycles vs base {}",
-            vp.cycles,
-            base.cycles
-        );
+        let vp =
+            EventMachine::new(RealisticConfig::paper(fe(Some(4)), VpConfig::stride_infinite()))
+                .run(&t);
+        assert!(vp.cycles < base.cycles, "VP {} cycles vs base {}", vp.cycles, base.cycles);
     }
 
     #[test]
@@ -411,9 +401,8 @@ mod tests {
         let t = chain_trace(4_000);
         let speedup = |n| {
             let base = EventMachine::new(RealisticConfig::paper(fe(n), VpConfig::None)).run(&t);
-            let vp =
-                EventMachine::new(RealisticConfig::paper(fe(n), VpConfig::stride_infinite()))
-                    .run(&t);
+            let vp = EventMachine::new(RealisticConfig::paper(fe(n), VpConfig::stride_infinite()))
+                .run(&t);
             vp.speedup_over(&base)
         };
         assert!(speedup(None) >= speedup(Some(1)) - 0.02);

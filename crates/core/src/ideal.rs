@@ -225,7 +225,8 @@ mod tests {
     }
 
     fn run(fetch_rate: usize, vp: VpConfig, trace: &Trace) -> MachineResult {
-        IdealMachine::new(IdealConfig { fetch_rate, window: 40, vp, ..IdealConfig::default() }).run(trace)
+        IdealMachine::new(IdealConfig { fetch_rate, window: 40, vp, ..IdealConfig::default() })
+            .run(trace)
     }
 
     #[test]
@@ -256,10 +257,7 @@ mod tests {
         for w in speedups.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "speedups not monotone: {speedups:?}");
         }
-        assert!(
-            *speedups.last().unwrap() > 0.3,
-            "high-bandwidth speedup too small: {speedups:?}"
-        );
+        assert!(*speedups.last().unwrap() > 0.3, "high-bandwidth speedup too small: {speedups:?}");
     }
 
     #[test]

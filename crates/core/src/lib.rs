@@ -190,11 +190,20 @@ impl fmt::Display for MachineResult {
             d.total, d.useful, d.useless_correct, d.wrong, d.unpredicted
         )?;
         if let Some(b) = &self.bpred_stats {
-            writeln!(f, "branch prediction: {:.1}% ({:.1}% conditional)",
-                100.0 * b.accuracy(), 100.0 * b.cond_accuracy())?;
+            writeln!(
+                f,
+                "branch prediction: {:.1}% ({:.1}% conditional)",
+                100.0 * b.accuracy(),
+                100.0 * b.cond_accuracy()
+            )?;
         }
         if let Some(tc) = &self.trace_cache_stats {
-            writeln!(f, "trace cache      : {:.1}% hit rate, {} fills", 100.0 * tc.hit_rate(), tc.fills)?;
+            writeln!(
+                f,
+                "trace cache      : {:.1}% hit rate, {} fills",
+                100.0 * tc.hit_rate(),
+                tc.fills
+            )?;
         }
         if let Some(bk) = &self.banked_stats {
             writeln!(f, "banked predictor : {bk}")?;

@@ -79,9 +79,7 @@ impl FrontEnd {
                 BtbKind::TwoLevel(cfg) => {
                     Box::new(TraceCacheFetch::new(config, TwoLevelBtb::new(cfg)))
                 }
-                BtbKind::Gshare(cfg) => {
-                    Box::new(TraceCacheFetch::new(config, GshareBtb::new(cfg)))
-                }
+                BtbKind::Gshare(cfg) => Box::new(TraceCacheFetch::new(config, GshareBtb::new(cfg))),
             },
             FrontEnd::BranchAddressCache { config, btb } => match btb {
                 BtbKind::Perfect => Box::new(BacFetch::new(config, PerfectBtb::new())),
@@ -240,11 +238,8 @@ impl RealisticMachine {
             // each instruction performs a private lookup.
             let dispositions: Vec<VpDisposition> = match &mut banked {
                 Ok(fe) => {
-                    let pcs: Vec<u64> = group_records
-                        .iter()
-                        .filter(|r| r.produces_value())
-                        .map(|r| r.pc)
-                        .collect();
+                    let pcs: Vec<u64> =
+                        group_records.iter().filter(|r| r.produces_value()).map(|r| r.pc).collect();
                     let outcomes = fe.predict_group(&pcs);
                     let mut it = outcomes.into_iter();
                     group_records

@@ -521,7 +521,12 @@ mod tests {
         s.set_memory_deps(true);
         let st = s.schedule(&store(Reg::R1, Reg::R2, 0x100), 0, VpDisposition::None);
         let ld = s.schedule(&load(Reg::R3, Reg::R4, 0x100), 0, VpDisposition::None);
-        assert!(ld.execute >= st.complete, "load at {} before store done {}", ld.execute, st.complete);
+        assert!(
+            ld.execute >= st.complete,
+            "load at {} before store done {}",
+            ld.execute,
+            st.complete
+        );
         // A load from a different address is unconstrained.
         let other = s.schedule(&load(Reg::R5, Reg::R6, 0x200), 0, VpDisposition::None);
         assert_eq!(other.execute, other.dispatch + 1);

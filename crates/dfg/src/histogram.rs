@@ -120,7 +120,7 @@ impl fmt::Display for DidHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fetchvp_testutil::for_cases;
 
     #[test]
     fn exact_bins_for_small_distances() {
@@ -181,21 +181,22 @@ mod tests {
         assert!(h.to_string().contains("total"));
     }
 
-    proptest! {
-        #[test]
-        fn totals_are_consistent(dids in proptest::collection::vec(1u64..10_000, 0..500)) {
+    #[test]
+    fn totals_are_consistent() {
+        for_cases(48, |case, rng| {
+            let dids = rng.vec_with(0, 500, |r| r.range_u64(1, 10_000));
             let mut h = DidHistogram::default();
             for d in &dids {
                 h.add(*d);
             }
-            prop_assert_eq!(h.total(), dids.len() as u64);
+            assert_eq!(h.total(), dids.len() as u64, "case {case}");
             let bin_sum: u64 = (0..DidHistogram::NUM_BINS).map(|i| h.count(i)).sum();
-            prop_assert_eq!(bin_sum, h.total());
+            assert_eq!(bin_sum, h.total(), "case {case}");
             // at-least counts agree with direct counting at every edge.
             for edge in [1u64, 2, 3, 4, 8, 16, 32, 64] {
                 let direct = dids.iter().filter(|&&d| d >= edge).count() as u64;
-                prop_assert_eq!(h.count_at_least(edge), direct);
+                assert_eq!(h.count_at_least(edge), direct, "case {case}, edge {edge}");
             }
-        }
+        });
     }
 }

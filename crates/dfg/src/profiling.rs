@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 
 use fetchvp_predictor::hybrid::HintClass;
-use fetchvp_predictor::{ConfidenceConfig, LastValuePredictor, StridePredictor, TableGeometry, ValuePredictor};
+use fetchvp_predictor::{
+    ConfidenceConfig, LastValuePredictor, StridePredictor, TableGeometry, ValuePredictor,
+};
 use fetchvp_trace::Trace;
 
 /// Per-PC profiling statistics gathered by [`profile`].

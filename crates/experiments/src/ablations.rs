@@ -33,17 +33,23 @@
 
 use fetchvp_bpred::{GshareConfig, TwoLevelConfig};
 use fetchvp_core::{
-    BtbKind, FrontEnd, IdealConfig, IdealMachine, PredictorKind, RealisticConfig,
-    RealisticMachine, VpConfig,
+    BtbKind, FrontEnd, IdealConfig, IdealMachine, PredictorKind, RealisticConfig, RealisticMachine,
+    VpConfig,
 };
+use fetchvp_dfg::profiling::profile_hints;
 use fetchvp_fetch::{BacConfig, TraceCacheConfig};
 use fetchvp_predictor::{BankedConfig, ConfidenceConfig, StrideKind, TableGeometry};
-use fetchvp_dfg::profiling::profile_hints;
 use fetchvp_predictor::{HybridPredictor, StridePredictor, ValuePredictor};
 use fetchvp_trace::Trace;
 
 use crate::report::{num, pct, Table};
-use crate::{for_each_trace, mean, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::{mean, ExperimentConfig};
+
+/// The arithmetic mean of column `i` across per-workload result rows.
+fn column_mean<R>(rows: &[(&'static str, Vec<R>)], i: usize, f: impl Fn(&R) -> f64) -> f64 {
+    mean(&rows.iter().map(|(_, cols)| f(&cols[i])).collect::<Vec<_>>())
+}
 
 /// The bank counts swept by [`bank_sweep`].
 pub const BANK_SWEEP: [u32; 6] = [1, 2, 4, 8, 16, 64];
@@ -75,27 +81,34 @@ fn tc_front_end() -> FrontEnd {
 
 /// Sweeps the number of banks in the §4 interleaved prediction table.
 pub fn bank_sweep(cfg: &ExperimentConfig) -> BankSweepResult {
-    let mut speedups = vec![Vec::new(); BANK_SWEEP.len()];
-    let mut denials = vec![Vec::new(); BANK_SWEEP.len()];
-    for_each_trace(cfg, |_, trace| {
-        let base =
-            RealisticMachine::new(RealisticConfig::paper(tc_front_end(), VpConfig::None))
-                .run(trace);
-        for (i, &banks) in BANK_SWEEP.iter().enumerate() {
-            let vp = RealisticMachine::new(
-                RealisticConfig::paper(tc_front_end(), VpConfig::stride_infinite())
-                    .with_banked(BankedConfig::new(banks)),
-            )
+    bank_sweep_with(&Sweep::serial(cfg))
+}
+
+/// [`bank_sweep`] on a [`Sweep`], one job per benchmark (the baseline run
+/// is shared across bank counts).
+pub fn bank_sweep_with(sweep: &Sweep) -> BankSweepResult {
+    let rows = sweep.per_workload(|_, trace| {
+        let base = RealisticMachine::new(RealisticConfig::paper(tc_front_end(), VpConfig::None))
             .run(trace);
-            speedups[i].push(vp.speedup_over(&base));
-            denials[i].push(vp.banked_stats.expect("banked stats").denial_rate());
-        }
+        BANK_SWEEP
+            .iter()
+            .map(|&banks| {
+                let vp = RealisticMachine::new(
+                    RealisticConfig::paper(tc_front_end(), VpConfig::stride_infinite())
+                        .with_banked(BankedConfig::new(banks)),
+                )
+                .run(trace);
+                (vp.speedup_over(&base), vp.banked_stats.expect("banked stats").denial_rate())
+            })
+            .collect::<Vec<_>>()
     });
     BankSweepResult {
         points: BANK_SWEEP
             .iter()
             .enumerate()
-            .map(|(i, &banks)| (banks, mean(&speedups[i]), mean(&denials[i])))
+            .map(|(i, &banks)| {
+                (banks, column_mean(&rows, i, |c| c.0), column_mean(&rows, i, |c| c.1))
+            })
             .collect(),
     }
 }
@@ -126,22 +139,25 @@ impl WindowSweepResult {
 
 /// Sweeps the ideal machine's instruction-window size at fetch rate 16.
 pub fn window_sweep(cfg: &ExperimentConfig) -> WindowSweepResult {
-    let mut speedups = vec![Vec::new(); WINDOW_SWEEP.len()];
-    for_each_trace(cfg, |_, trace| {
-        for (i, &window) in WINDOW_SWEEP.iter().enumerate() {
-            let run = |vp| {
-                IdealMachine::new(IdealConfig { fetch_rate: 16, window, vp, ..IdealConfig::default() }).run(trace)
-            };
-            let base = run(VpConfig::None);
-            let vp = run(VpConfig::stride_infinite());
-            speedups[i].push(vp.speedup_over(&base));
-        }
+    window_sweep_with(&Sweep::serial(cfg))
+}
+
+/// [`window_sweep`] on a [`Sweep`], one job per (benchmark, window) cell.
+pub fn window_sweep_with(sweep: &Sweep) -> WindowSweepResult {
+    let rows = sweep.cells(&WINDOW_SWEEP, |_, trace, &window| {
+        let run = |vp| {
+            IdealMachine::new(IdealConfig { fetch_rate: 16, window, vp, ..IdealConfig::default() })
+                .run(trace)
+        };
+        let base = run(VpConfig::None);
+        let vp = run(VpConfig::stride_infinite());
+        vp.speedup_over(&base)
     });
     WindowSweepResult {
         points: WINDOW_SWEEP
             .iter()
             .enumerate()
-            .map(|(i, &w)| (w, mean(&speedups[i])))
+            .map(|(i, &w)| (w, column_mean(&rows, i, |&s| s)))
             .collect(),
     }
 }
@@ -169,40 +185,51 @@ impl ConfidenceSweepResult {
 
 /// Sweeps the saturating-counter confidence threshold.
 pub fn confidence_sweep(cfg: &ExperimentConfig) -> ConfidenceSweepResult {
+    confidence_sweep_with(&Sweep::serial(cfg))
+}
+
+/// [`confidence_sweep`] on a [`Sweep`], one job per benchmark (the
+/// baseline run is shared across thresholds).
+pub fn confidence_sweep_with(sweep: &Sweep) -> ConfidenceSweepResult {
     let thresholds: [u8; 4] = [0, 1, 2, 3];
-    let mut cov = vec![Vec::new(); thresholds.len()];
-    let mut acc = vec![Vec::new(); thresholds.len()];
-    let mut speedups = vec![Vec::new(); thresholds.len()];
-    for_each_trace(cfg, |_, trace| {
+    let rows = sweep.per_workload(|_, trace| {
         let base = IdealMachine::new(IdealConfig {
             fetch_rate: 16,
             vp: VpConfig::None,
             ..IdealConfig::default()
         })
         .run(trace);
-        for (i, &predict_at) in thresholds.iter().enumerate() {
-            let kind = PredictorKind::Stride {
-                geometry: TableGeometry::Infinite,
-                confidence: ConfidenceConfig { bits: 2, predict_at, initial: 0 },
-                kind: StrideKind::Simple,
-            };
-            let vp = IdealMachine::new(IdealConfig {
-                fetch_rate: 16,
-                vp: VpConfig::Predictor(kind),
-                ..IdealConfig::default()
+        thresholds
+            .iter()
+            .map(|&predict_at| {
+                let kind = PredictorKind::Stride {
+                    geometry: TableGeometry::Infinite,
+                    confidence: ConfidenceConfig { bits: 2, predict_at, initial: 0 },
+                    kind: StrideKind::Simple,
+                };
+                let vp = IdealMachine::new(IdealConfig {
+                    fetch_rate: 16,
+                    vp: VpConfig::Predictor(kind),
+                    ..IdealConfig::default()
+                })
+                .run(trace);
+                let s = vp.vp_stats.expect("predictor stats");
+                (s.coverage(), s.accuracy(), vp.speedup_over(&base))
             })
-            .run(trace);
-            let s = vp.vp_stats.expect("predictor stats");
-            cov[i].push(s.coverage());
-            acc[i].push(s.accuracy());
-            speedups[i].push(vp.speedup_over(&base));
-        }
+            .collect::<Vec<_>>()
     });
     ConfidenceSweepResult {
         points: thresholds
             .iter()
             .enumerate()
-            .map(|(i, &at)| (at, mean(&cov[i]), mean(&acc[i]), mean(&speedups[i])))
+            .map(|(i, &at)| {
+                (
+                    at,
+                    column_mean(&rows, i, |c| c.0),
+                    column_mean(&rows, i, |c| c.1),
+                    column_mean(&rows, i, |c| c.2),
+                )
+            })
             .collect(),
     }
 }
@@ -237,6 +264,12 @@ impl PredictorComparisonResult {
 /// prediction under identical machine conditions (§4.2's discussion plus
 /// the context-based scheme of reference \[22\]).
 pub fn predictor_comparison(cfg: &ExperimentConfig) -> PredictorComparisonResult {
+    predictor_comparison_with(&Sweep::serial(cfg))
+}
+
+/// [`predictor_comparison`] on a [`Sweep`], one job per benchmark (the
+/// baseline run is shared across predictor kinds).
+pub fn predictor_comparison_with(sweep: &Sweep) -> PredictorComparisonResult {
     let kinds: [(&str, PredictorKind); 5] = [
         (
             "last-value",
@@ -264,35 +297,38 @@ pub fn predictor_comparison(cfg: &ExperimentConfig) -> PredictorComparisonResult
         ("hybrid", PredictorKind::Hybrid),
         ("fcm", PredictorKind::Fcm { confidence: ConfidenceConfig::paper() }),
     ];
-    let mut cov = vec![Vec::new(); kinds.len()];
-    let mut acc = vec![Vec::new(); kinds.len()];
-    let mut speedups = vec![Vec::new(); kinds.len()];
-    for_each_trace(cfg, |_, trace| {
+    let rows = sweep.per_workload(|_, trace| {
         let base = IdealMachine::new(IdealConfig {
             fetch_rate: 16,
             vp: VpConfig::None,
             ..IdealConfig::default()
         })
         .run(trace);
-        for (i, (_, kind)) in kinds.iter().enumerate() {
-            let vp = IdealMachine::new(IdealConfig {
-                fetch_rate: 16,
-                vp: VpConfig::Predictor(*kind),
-                ..IdealConfig::default()
+        kinds
+            .iter()
+            .map(|(_, kind)| {
+                let vp = IdealMachine::new(IdealConfig {
+                    fetch_rate: 16,
+                    vp: VpConfig::Predictor(*kind),
+                    ..IdealConfig::default()
+                })
+                .run(trace);
+                let s = vp.vp_stats.expect("predictor stats");
+                (s.coverage(), s.accuracy(), vp.speedup_over(&base))
             })
-            .run(trace);
-            let s = vp.vp_stats.expect("predictor stats");
-            cov[i].push(s.coverage());
-            acc[i].push(s.accuracy());
-            speedups[i].push(vp.speedup_over(&base));
-        }
+            .collect::<Vec<_>>()
     });
     PredictorComparisonResult {
         points: kinds
             .iter()
             .enumerate()
             .map(|(i, (name, _))| {
-                (name.to_string(), mean(&cov[i]), mean(&acc[i]), mean(&speedups[i]))
+                (
+                    name.to_string(),
+                    column_mean(&rows, i, |c| c.0),
+                    column_mean(&rows, i, |c| c.1),
+                    column_mean(&rows, i, |c| c.2),
+                )
             })
             .collect(),
     }
@@ -323,6 +359,14 @@ impl SeedStabilityResult {
 /// Re-runs the Figure 3.1 averages across several workload-data seeds: the
 /// paper's conclusions must not depend on one synthetic dataset.
 pub fn seed_stability(cfg: &ExperimentConfig) -> SeedStabilityResult {
+    seed_stability_with(&Sweep::serial(cfg))
+}
+
+/// [`seed_stability`] parallelized within each seed. Every seed generates
+/// *different* traces, so it cannot share the caller's [`TraceCache`]; each
+/// seed gets its own sweep (with the caller's job count) and runs in turn.
+pub fn seed_stability_with(sweep: &Sweep) -> SeedStabilityResult {
+    let cfg = sweep.config();
     let seeds = [cfg.workloads.seed, 1, 42, 0xDEAD_BEEF, 0x1998];
     let mut per_rate: Vec<Vec<f64>> = vec![Vec::new(); crate::fig3_1::FETCH_RATES.len()];
     for seed in seeds {
@@ -330,7 +374,7 @@ pub fn seed_stability(cfg: &ExperimentConfig) -> SeedStabilityResult {
             workloads: fetchvp_workloads::WorkloadParams { seed, ..cfg.workloads },
             ..*cfg
         };
-        let averages = crate::fig3_1::run(&seeded).averages();
+        let averages = crate::fig3_1::run_with(&Sweep::with_jobs(&seeded, sweep.jobs())).averages();
         for (i, a) in averages.into_iter().enumerate() {
             per_rate[i].push(a);
         }
@@ -376,37 +420,40 @@ impl ModelAssumptionsResult {
 /// ordering), quantifying how much each assumption contributes to the
 /// reported speedups.
 pub fn model_assumptions(cfg: &ExperimentConfig) -> ModelAssumptionsResult {
+    model_assumptions_with(&Sweep::serial(cfg))
+}
+
+/// [`model_assumptions`] on a [`Sweep`], one job per (benchmark, variant)
+/// cell.
+pub fn model_assumptions_with(sweep: &Sweep) -> ModelAssumptionsResult {
     let variants: [(&str, Option<usize>, bool); 4] = [
         ("paper model (no structural/memory constraints)", None, false),
         ("+ memory dependencies", None, true),
         ("+ 8 execution units", Some(8), false),
         ("+ both", Some(8), true),
     ];
-    let mut ipcs = vec![Vec::new(); variants.len()];
-    let mut speedups = vec![Vec::new(); variants.len()];
-    for_each_trace(cfg, |_, trace| {
-        for (i, &(_, exec_units, memory_deps)) in variants.iter().enumerate() {
-            let run = |vp| {
-                IdealMachine::new(IdealConfig {
-                    fetch_rate: 16,
-                    vp,
-                    exec_units,
-                    memory_deps,
-                    ..IdealConfig::default()
-                })
-                .run(trace)
-            };
-            let base = run(VpConfig::None);
-            let vp = run(VpConfig::stride_infinite());
-            ipcs[i].push(base.ipc());
-            speedups[i].push(vp.speedup_over(&base));
-        }
+    let rows = sweep.cells(&variants, |_, trace, &(_, exec_units, memory_deps)| {
+        let run = |vp| {
+            IdealMachine::new(IdealConfig {
+                fetch_rate: 16,
+                vp,
+                exec_units,
+                memory_deps,
+                ..IdealConfig::default()
+            })
+            .run(trace)
+        };
+        let base = run(VpConfig::None);
+        let vp = run(VpConfig::stride_infinite());
+        (base.ipc(), vp.speedup_over(&base))
     });
     ModelAssumptionsResult {
         points: variants
             .iter()
             .enumerate()
-            .map(|(i, (name, _, _))| (name.to_string(), mean(&ipcs[i]), mean(&speedups[i])))
+            .map(|(i, (name, _, _))| {
+                (name.to_string(), column_mean(&rows, i, |c| c.0), column_mean(&rows, i, |c| c.1))
+            })
             .collect(),
     }
 }
@@ -436,35 +483,38 @@ impl PenaltySweepResult {
 /// Sweeps the branch- and value-misprediction penalties around the paper's
 /// (3, 1) operating point.
 pub fn penalty_sweep(cfg: &ExperimentConfig) -> PenaltySweepResult {
+    penalty_sweep_with(&Sweep::serial(cfg))
+}
+
+/// [`penalty_sweep`] on a [`Sweep`], one job per (benchmark, grid-point)
+/// cell.
+pub fn penalty_sweep_with(sweep: &Sweep) -> PenaltySweepResult {
     let grid: [(u64, u64); 5] = [(0, 1), (3, 0), (3, 1), (3, 3), (10, 1)];
-    let mut speedups = vec![Vec::new(); grid.len()];
-    for_each_trace(cfg, |_, trace| {
+    let rows = sweep.cells(&grid, |_, trace, &(branch_penalty, value_penalty)| {
         let fe = FrontEnd::Conventional {
             width: 40,
             max_taken: Some(4),
             btb: BtbKind::two_level_paper(),
         };
-        for (i, &(branch_penalty, value_penalty)) in grid.iter().enumerate() {
-            let base = RealisticMachine::new(RealisticConfig {
-                branch_penalty,
-                value_penalty,
-                ..RealisticConfig::paper(fe, VpConfig::None)
-            })
-            .run(trace);
-            let vp = RealisticMachine::new(RealisticConfig {
-                branch_penalty,
-                value_penalty,
-                ..RealisticConfig::paper(fe, VpConfig::stride_infinite())
-            })
-            .run(trace);
-            speedups[i].push(vp.speedup_over(&base));
-        }
+        let base = RealisticMachine::new(RealisticConfig {
+            branch_penalty,
+            value_penalty,
+            ..RealisticConfig::paper(fe, VpConfig::None)
+        })
+        .run(trace);
+        let vp = RealisticMachine::new(RealisticConfig {
+            branch_penalty,
+            value_penalty,
+            ..RealisticConfig::paper(fe, VpConfig::stride_infinite())
+        })
+        .run(trace);
+        vp.speedup_over(&base)
     });
     PenaltySweepResult {
         points: grid
             .iter()
             .enumerate()
-            .map(|(i, &(bp, vp))| (bp, vp, mean(&speedups[i])))
+            .map(|(i, &(bp, vp))| (bp, vp, column_mean(&rows, i, |&s| s)))
             .collect(),
     }
 }
@@ -494,29 +544,29 @@ impl TcGeometryResult {
 /// 64-entry, 32-instruction design point — §5's "improving the performance
 /// of the trace cache".
 pub fn tc_geometry(cfg: &ExperimentConfig) -> TcGeometryResult {
+    tc_geometry_with(&Sweep::serial(cfg))
+}
+
+/// [`tc_geometry`] on a [`Sweep`], one job per (benchmark, geometry) cell.
+pub fn tc_geometry_with(sweep: &Sweep) -> TcGeometryResult {
     let geometries: [(usize, usize); 4] = [(16, 16), (64, 16), (64, 32), (256, 32)];
-    let mut ipcs = vec![Vec::new(); geometries.len()];
-    let mut speedups = vec![Vec::new(); geometries.len()];
-    for_each_trace(cfg, |_, trace| {
-        for (i, &(entries, max_instrs)) in geometries.iter().enumerate() {
-            let fe = FrontEnd::TraceCache {
-                config: TraceCacheConfig { entries, max_instrs, ..TraceCacheConfig::paper() },
-                btb: BtbKind::two_level_paper(),
-            };
-            let base =
-                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-            let vp =
-                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-                    .run(trace);
-            ipcs[i].push(base.ipc());
-            speedups[i].push(vp.speedup_over(&base));
-        }
+    let rows = sweep.cells(&geometries, |_, trace, &(entries, max_instrs)| {
+        let fe = FrontEnd::TraceCache {
+            config: TraceCacheConfig { entries, max_instrs, ..TraceCacheConfig::paper() },
+            btb: BtbKind::two_level_paper(),
+        };
+        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
+        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
+            .run(trace);
+        (base.ipc(), vp.speedup_over(&base))
     });
     TcGeometryResult {
         points: geometries
             .iter()
             .enumerate()
-            .map(|(i, &(e, l))| (e, l, mean(&ipcs[i]), mean(&speedups[i])))
+            .map(|(i, &(e, l))| {
+                (e, l, column_mean(&rows, i, |c| c.0), column_mean(&rows, i, |c| c.1))
+            })
             .collect(),
     }
 }
@@ -551,10 +601,14 @@ impl HintStudyResult {
 /// profiling-based opcode hints (§4.2, reference \[9\]): the first half of
 /// each trace trains the profile, the second half evaluates all schemes.
 pub fn hint_study(cfg: &ExperimentConfig) -> HintStudyResult {
+    hint_study_with(&Sweep::serial(cfg))
+}
+
+/// [`hint_study`] on a [`Sweep`], one job per benchmark (the three schemes
+/// share a single pass over the trace).
+pub fn hint_study_with(sweep: &Sweep) -> HintStudyResult {
     let names = ["stride", "hybrid (dynamic)", "hybrid (profiled hints)"];
-    let mut cov = vec![Vec::new(); names.len()];
-    let mut acc = vec![Vec::new(); names.len()];
-    for_each_trace(cfg, |_, trace| {
+    let rows = sweep.per_workload(|_, trace| {
         let (train_trace, _) = trace.split_at(trace.len() / 2);
         let train = &trace.records()[..trace.len() / 2];
         let eval = &trace.records()[trace.len() / 2..];
@@ -587,16 +641,15 @@ pub fn hint_study(cfg: &ExperimentConfig) -> HintStudyResult {
                 }
             }
         }
-        for i in 0..names.len() {
-            cov[i].push(evaluation[i].coverage());
-            acc[i].push(evaluation[i].accuracy());
-        }
+        evaluation.iter().map(|e| (e.coverage(), e.accuracy())).collect::<Vec<_>>()
     });
     HintStudyResult {
         points: names
             .iter()
             .enumerate()
-            .map(|(i, name)| (name.to_string(), mean(&cov[i]), mean(&acc[i])))
+            .map(|(i, name)| {
+                (name.to_string(), column_mean(&rows, i, |c| c.0), column_mean(&rows, i, |c| c.1))
+            })
             .collect(),
     }
 }
@@ -632,6 +685,12 @@ impl FetchMechanismResult {
 /// (\[28\]), and the trace cache (\[18\]) — all with the paper's 2-level
 /// BTB and stride value prediction.
 pub fn fetch_mechanisms(cfg: &ExperimentConfig) -> FetchMechanismResult {
+    fetch_mechanisms_with(&Sweep::serial(cfg))
+}
+
+/// [`fetch_mechanisms`] on a [`Sweep`], one job per (benchmark, front-end)
+/// cell.
+pub fn fetch_mechanisms_with(sweep: &Sweep) -> FetchMechanismResult {
     let front_ends: [(&str, FrontEnd); 4] = [
         (
             "conventional, 1 taken/cycle",
@@ -664,24 +723,19 @@ pub fn fetch_mechanisms(cfg: &ExperimentConfig) -> FetchMechanismResult {
             },
         ),
     ];
-    let mut ipcs = vec![Vec::new(); front_ends.len()];
-    let mut speedups = vec![Vec::new(); front_ends.len()];
-    for_each_trace(cfg, |_, trace| {
-        for (i, (_, fe)) in front_ends.iter().enumerate() {
-            let base =
-                RealisticMachine::new(RealisticConfig::paper(*fe, VpConfig::None)).run(trace);
-            let vp =
-                RealisticMachine::new(RealisticConfig::paper(*fe, VpConfig::stride_infinite()))
-                    .run(trace);
-            ipcs[i].push(base.ipc());
-            speedups[i].push(vp.speedup_over(&base));
-        }
+    let rows = sweep.cells(&front_ends, |_, trace, &(_, fe)| {
+        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
+        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
+            .run(trace);
+        (base.ipc(), vp.speedup_over(&base))
     });
     FetchMechanismResult {
         points: front_ends
             .iter()
             .enumerate()
-            .map(|(i, (name, _))| (name.to_string(), mean(&ipcs[i]), mean(&speedups[i])))
+            .map(|(i, (name, _))| {
+                (name.to_string(), column_mean(&rows, i, |c| c.0), column_mean(&rows, i, |c| c.1))
+            })
             .collect(),
     }
 }
@@ -712,6 +766,11 @@ impl BtbSensitivityResult {
 /// prediction" — by sweeping branch predictors of increasing quality under
 /// the Figure 5.1/5.2 machine at n = 4.
 pub fn btb_sensitivity(cfg: &ExperimentConfig) -> BtbSensitivityResult {
+    btb_sensitivity_with(&Sweep::serial(cfg))
+}
+
+/// [`btb_sensitivity`] on a [`Sweep`], one job per (benchmark, BTB) cell.
+pub fn btb_sensitivity_with(sweep: &Sweep) -> BtbSensitivityResult {
     let btbs: [(&str, BtbKind); 4] = [
         (
             "2-level, 512-entry",
@@ -721,28 +780,24 @@ pub fn btb_sensitivity(cfg: &ExperimentConfig) -> BtbSensitivityResult {
         ("gshare, 12-bit history", BtbKind::Gshare(GshareConfig::default_budget())),
         ("ideal", BtbKind::Perfect),
     ];
-    let mut acc = vec![Vec::new(); btbs.len()];
-    let mut speedups = vec![Vec::new(); btbs.len()];
-    for_each_trace(cfg, |_, trace| {
-        for (i, (_, btb)) in btbs.iter().enumerate() {
-            let fe = FrontEnd::Conventional { width: 40, max_taken: Some(4), btb: *btb };
-            let base =
-                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-            let vp =
-                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-                    .run(trace);
-            let bp = vp.bpred_stats.expect("bpred stats");
-            // The perfect predictor never sees conditional branches as
-            // "cond" mispredictions; report 100% explicitly.
-            acc[i].push(if matches!(btb, BtbKind::Perfect) { 1.0 } else { bp.cond_accuracy() });
-            speedups[i].push(vp.speedup_over(&base));
-        }
+    let rows = sweep.cells(&btbs, |_, trace, &(_, btb)| {
+        let fe = FrontEnd::Conventional { width: 40, max_taken: Some(4), btb };
+        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
+        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
+            .run(trace);
+        let bp = vp.bpred_stats.expect("bpred stats");
+        // The perfect predictor never sees conditional branches as
+        // "cond" mispredictions; report 100% explicitly.
+        let acc = if matches!(btb, BtbKind::Perfect) { 1.0 } else { bp.cond_accuracy() };
+        (acc, vp.speedup_over(&base))
     });
     BtbSensitivityResult {
         points: btbs
             .iter()
             .enumerate()
-            .map(|(i, (name, _))| (name.to_string(), mean(&acc[i]), mean(&speedups[i])))
+            .map(|(i, (name, _))| {
+                (name.to_string(), column_mean(&rows, i, |c| c.0), column_mean(&rows, i, |c| c.1))
+            })
             .collect(),
     }
 }
@@ -773,19 +828,23 @@ fn tc_ipc(trace: &Trace, partial_matching: bool) -> f64 {
         config: TraceCacheConfig { partial_matching, ..TraceCacheConfig::paper() },
         btb: BtbKind::two_level_paper(),
     };
-    RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-        .run(trace)
-        .ipc()
+    RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite())).run(trace).ipc()
 }
 
 /// Compares the base (full-match-or-miss) trace cache against partial
 /// matching (paper reference \[6\]).
 pub fn partial_matching(cfg: &ExperimentConfig) -> PartialMatchingResult {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
-        rows.push((workload.name().to_string(), tc_ipc(trace, false), tc_ipc(trace, true)));
-    });
-    PartialMatchingResult { rows }
+    partial_matching_with(&Sweep::serial(cfg))
+}
+
+/// [`partial_matching`] on a [`Sweep`], one job per (benchmark, policy)
+/// cell.
+pub fn partial_matching_with(sweep: &Sweep) -> PartialMatchingResult {
+    let policies = [false, true];
+    let rows = sweep.cells(&policies, |_, trace, &partial| tc_ipc(trace, partial));
+    PartialMatchingResult {
+        rows: rows.into_iter().map(|(n, ipcs)| (n.to_string(), ipcs[0], ipcs[1])).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -846,7 +905,8 @@ mod tests {
 
     #[test]
     fn conclusions_hold_across_seeds() {
-        let r = seed_stability(&ExperimentConfig { trace_len: 8_000, ..ExperimentConfig::default() });
+        let r =
+            seed_stability(&ExperimentConfig { trace_len: 8_000, ..ExperimentConfig::default() });
         // Fetch-4 is negligible for every seed; fetch-40 is large for every
         // seed.
         let at4 = r.points[0];

@@ -8,7 +8,8 @@ use fetchvp_predictor::{
 };
 
 use crate::report::{pct, Table};
-use crate::{for_each_trace, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::ExperimentConfig;
 
 /// The predictors compared (in column order).
 pub const PREDICTORS: [&str; 4] = ["last-value", "stride", "hybrid", "fcm"];
@@ -58,10 +59,15 @@ impl AccuracyResult {
     }
 }
 
-/// Runs every predictor over every benchmark's value stream.
+/// Runs every predictor over every benchmark's value stream, serially.
 pub fn run(cfg: &ExperimentConfig) -> AccuracyResult {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the measurement on a [`Sweep`], one job per benchmark (the four
+/// predictors share a single pass over the trace).
+pub fn run_with(sweep: &Sweep) -> AccuracyResult {
+    let rows = sweep.per_workload(|_, trace| {
         let mut predictors = build_predictors();
         for rec in trace {
             if !rec.produces_value() {
@@ -72,15 +78,9 @@ pub fn run(cfg: &ExperimentConfig) -> AccuracyResult {
                 p.commit(rec.pc, rec.result, predicted);
             }
         }
-        let stats = [
-            predictors[0].stats(),
-            predictors[1].stats(),
-            predictors[2].stats(),
-            predictors[3].stats(),
-        ];
-        rows.push((workload.name().to_string(), stats));
+        [predictors[0].stats(), predictors[1].stats(), predictors[2].stats(), predictors[3].stats()]
     });
-    AccuracyResult { rows }
+    AccuracyResult { rows: rows.into_iter().map(|(n, s)| (n.to_string(), s)).collect() }
 }
 
 #[cfg(test)]

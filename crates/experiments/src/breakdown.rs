@@ -12,7 +12,8 @@ use fetchvp_core::event::EventMachine;
 use fetchvp_core::{BtbKind, CycleBreakdown, FrontEnd, RealisticConfig, VpConfig};
 
 use crate::report::{pct, Table};
-use crate::{for_each_trace, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::ExperimentConfig;
 
 /// One benchmark's slot attribution under one configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,26 +64,24 @@ impl BreakdownResult {
     }
 }
 
-/// Runs the attribution for the whole suite.
+/// Runs the attribution for the whole suite, serially.
 pub fn run(cfg: &ExperimentConfig) -> BreakdownResult {
-    let fe = FrontEnd::Conventional {
-        width: 40,
-        max_taken: Some(4),
-        btb: BtbKind::two_level_paper(),
-    };
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
-        let base = EventMachine::new(RealisticConfig::paper(fe, VpConfig::None))
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the attribution on a [`Sweep`], one job per (benchmark, config)
+/// cell.
+pub fn run_with(sweep: &Sweep) -> BreakdownResult {
+    let fe =
+        FrontEnd::Conventional { width: 40, max_taken: Some(4), btb: BtbKind::two_level_paper() };
+    let configs = [VpConfig::None, VpConfig::stride_infinite()];
+    let rows = sweep.cells(&configs, |_, trace, &vp| {
+        EventMachine::new(RealisticConfig::paper(fe, vp))
             .run(trace)
             .cycle_breakdown
-            .expect("event machine attributes slots");
-        let vp = EventMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-            .run(trace)
-            .cycle_breakdown
-            .expect("event machine attributes slots");
-        rows.push((workload.name().to_string(), base, vp));
+            .expect("event machine attributes slots")
     });
-    BreakdownResult { rows }
+    BreakdownResult { rows: rows.into_iter().map(|(n, b)| (n.to_string(), b[0], b[1])).collect() }
 }
 
 #[cfg(test)]

@@ -42,8 +42,7 @@ impl BarChart {
 
     /// Appends one row (a labelled group of bars).
     pub fn row(&mut self, label: impl Into<String>, bars: &[(&str, f64)]) -> &mut BarChart {
-        self.rows
-            .push((label.into(), bars.iter().map(|(l, v)| (l.to_string(), *v)).collect()));
+        self.rows.push((label.into(), bars.iter().map(|(l, v)| (l.to_string(), *v)).collect()));
         self
     }
 
@@ -53,10 +52,7 @@ impl BarChart {
     }
 
     fn max_value(&self) -> f64 {
-        self.rows
-            .iter()
-            .flat_map(|(_, bars)| bars.iter().map(|(_, v)| v.abs()))
-            .fold(0.0, f64::max)
+        self.rows.iter().flat_map(|(_, bars)| bars.iter().map(|(_, v)| v.abs())).fold(0.0, f64::max)
     }
 }
 

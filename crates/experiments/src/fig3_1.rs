@@ -10,7 +10,8 @@ use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
 
 use crate::chart::BarChart;
 use crate::report::{pct, Table};
-use crate::{for_each_trace, mean, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::{mean, ExperimentConfig};
 
 /// The fetch rates the paper sweeps.
 pub const FETCH_RATES: [usize; 5] = [4, 8, 16, 32, 40];
@@ -37,16 +38,11 @@ impl Fig31Result {
 
     /// Renders the figure as a terminal bar chart.
     pub fn to_chart(&self) -> BarChart {
-        let mut c = BarChart::new(
-            "Figure 3.1 — value-prediction speedup vs instruction-fetch rate",
-            40,
-        );
+        let mut c =
+            BarChart::new("Figure 3.1 — value-prediction speedup vs instruction-fetch rate", 40);
         for (name, speedups) in &self.rows {
-            let bars: Vec<(String, f64)> = FETCH_RATES
-                .iter()
-                .zip(speedups)
-                .map(|(r, s)| (format!("BW={r}"), *s))
-                .collect();
+            let bars: Vec<(String, f64)> =
+                FETCH_RATES.iter().zip(speedups).map(|(r, s)| (format!("BW={r}"), *s)).collect();
             let refs: Vec<(&str, f64)> = bars.iter().map(|(l, v)| (l.as_str(), *v)).collect();
             c.row(name.clone(), &refs);
         }
@@ -55,10 +51,9 @@ impl Fig31Result {
 
     /// Renders the figure as a markdown table.
     pub fn to_table(&self) -> Table {
-        let headers: Vec<String> =
-            std::iter::once("benchmark".to_string())
-                .chain(FETCH_RATES.iter().map(|r| format!("BW={r}")))
-                .collect();
+        let headers: Vec<String> = std::iter::once("benchmark".to_string())
+            .chain(FETCH_RATES.iter().map(|r| format!("BW={r}")))
+            .collect();
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
         let mut t = Table::new(
             "Figure 3.1 — value-prediction speedup vs instruction-fetch rate (ideal machine)",
@@ -76,29 +71,30 @@ impl Fig31Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run(cfg: &ExperimentConfig) -> Fig31Result {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
-        let mut speedups = Vec::with_capacity(FETCH_RATES.len());
-        for &rate in &FETCH_RATES {
-            let base = IdealMachine::new(IdealConfig {
-                fetch_rate: rate,
-                vp: VpConfig::None,
-                ..IdealConfig::default()
-            })
-            .run(trace);
-            let vp = IdealMachine::new(IdealConfig {
-                fetch_rate: rate,
-                vp: VpConfig::stride_infinite(),
-                ..IdealConfig::default()
-            })
-            .run(trace);
-            speedups.push(vp.speedup_over(&base));
-        }
-        rows.push((workload.name().to_string(), speedups));
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the experiment on a [`Sweep`], one job per (benchmark, fetch-rate)
+/// cell.
+pub fn run_with(sweep: &Sweep) -> Fig31Result {
+    let rows = sweep.cells(&FETCH_RATES, |_, trace, &rate| {
+        let base = IdealMachine::new(IdealConfig {
+            fetch_rate: rate,
+            vp: VpConfig::None,
+            ..IdealConfig::default()
+        })
+        .run(trace);
+        let vp = IdealMachine::new(IdealConfig {
+            fetch_rate: rate,
+            vp: VpConfig::stride_infinite(),
+            ..IdealConfig::default()
+        })
+        .run(trace);
+        vp.speedup_over(&base)
     });
-    Fig31Result { rows }
+    Fig31Result { rows: rows.into_iter().map(|(n, s)| (n.to_string(), s)).collect() }
 }
 
 #[cfg(test)]
@@ -124,8 +120,7 @@ mod tests {
         let r = run(&ExperimentConfig::quick());
         let at16 = |name: &str| r.speedups_of(name).unwrap()[2];
         let others = ["go", "gcc", "compress", "li", "ijpeg", "perl"];
-        let other_max =
-            others.iter().map(|n| at16(n)).fold(f64::NEG_INFINITY, f64::max);
+        let other_max = others.iter().map(|n| at16(n)).fold(f64::NEG_INFINITY, f64::max);
         assert!(
             at16("m88ksim") > other_max && at16("vortex") > other_max,
             "m88ksim {:.2} / vortex {:.2} vs other max {:.2}",

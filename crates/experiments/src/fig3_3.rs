@@ -6,7 +6,8 @@
 use fetchvp_dfg::analyze;
 
 use crate::report::{num, Table};
-use crate::{for_each_trace, mean, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::{mean, ExperimentConfig};
 
 /// Per-benchmark average DID.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,13 +41,15 @@ impl Fig33Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run(cfg: &ExperimentConfig) -> Fig33Result {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
-        rows.push((workload.name().to_string(), analyze(trace).avg_did()));
-    });
-    Fig33Result { rows }
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the experiment on a [`Sweep`], one job per benchmark.
+pub fn run_with(sweep: &Sweep) -> Fig33Result {
+    let rows = sweep.per_workload(|_, trace| analyze(trace).avg_did());
+    Fig33Result { rows: rows.into_iter().map(|(n, d)| (n.to_string(), d)).collect() }
 }
 
 #[cfg(test)]

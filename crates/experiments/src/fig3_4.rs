@@ -7,7 +7,8 @@
 use fetchvp_dfg::{analyze, DidHistogram};
 
 use crate::report::{pct, Table};
-use crate::{for_each_trace, mean, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::{mean, ExperimentConfig};
 
 /// Per-benchmark DID histograms.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,16 +30,14 @@ impl Fig34Result {
 
     /// Renders the figure as a markdown table (one bin per column).
     pub fn to_table(&self) -> Table {
-        let labels: Vec<String> = (0..DidHistogram::NUM_BINS).map(DidHistogram::bin_label).collect();
+        let labels: Vec<String> =
+            (0..DidHistogram::NUM_BINS).map(DidHistogram::bin_label).collect();
         let headers: Vec<String> = std::iter::once("benchmark".to_string())
             .chain(labels)
             .chain(std::iter::once(">=4 total".to_string()))
             .collect();
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let mut t = Table::new(
-            "Figure 3.4 — distribution of dependencies by DID",
-            &headers_ref,
-        );
+        let mut t = Table::new("Figure 3.4 — distribution of dependencies by DID", &headers_ref);
         for (name, hist) in &self.rows {
             let mut cells = vec![name.clone()];
             cells.extend((0..DidHistogram::NUM_BINS).map(|i| pct(hist.fraction(i))));
@@ -49,13 +48,15 @@ impl Fig34Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run(cfg: &ExperimentConfig) -> Fig34Result {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
-        rows.push((workload.name().to_string(), analyze(trace).histogram));
-    });
-    Fig34Result { rows }
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the experiment on a [`Sweep`], one job per benchmark.
+pub fn run_with(sweep: &Sweep) -> Fig34Result {
+    let rows = sweep.per_workload(|_, trace| analyze(trace).histogram);
+    Fig34Result { rows: rows.into_iter().map(|(n, h)| (n.to_string(), h)).collect() }
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@
 use fetchvp_dfg::analyze;
 
 use crate::report::{pct, Table};
-use crate::{for_each_trace, mean, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::{mean, ExperimentConfig};
 
 /// One benchmark's predictability breakdown (fractions of all arcs).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,21 +58,22 @@ impl Fig35Result {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run(cfg: &ExperimentConfig) -> Fig35Result {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the experiment on a [`Sweep`], one job per benchmark.
+pub fn run_with(sweep: &Sweep) -> Fig35Result {
+    let rows = sweep.per_workload(|_, trace| {
         let p = analyze(trace).predictability;
-        rows.push((
-            workload.name().to_string(),
-            PredRow {
-                unpredictable: 1.0 - p.fraction_predictable(),
-                predictable_short: p.fraction_predictable_short(4),
-                predictable_long: p.fraction_predictable_long(4),
-            },
-        ));
+        PredRow {
+            unpredictable: 1.0 - p.fraction_predictable(),
+            predictable_short: p.fraction_predictable_short(4),
+            predictable_long: p.fraction_predictable_long(4),
+        }
     });
-    Fig35Result { rows }
+    Fig35Result { rows: rows.into_iter().map(|(n, r)| (n.to_string(), r)).collect() }
 }
 
 #[cfg(test)]

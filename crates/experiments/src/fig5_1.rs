@@ -9,7 +9,8 @@ use fetchvp_core::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine, VpConfi
 
 use crate::chart::BarChart;
 use crate::report::{pct, Table};
-use crate::{for_each_trace, mean, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::{mean, ExperimentConfig};
 
 /// The taken-branch allowances the paper sweeps (`None` = unlimited; the
 /// paper uses the decode width, 40, as "unlimited").
@@ -79,29 +80,30 @@ impl TakenSweepResult {
 }
 
 /// Runs the taken-branch sweep with the given BTB (shared by Figures 5.1
-/// and 5.2).
-pub(crate) fn taken_sweep(cfg: &ExperimentConfig, btb: BtbKind, title: &str) -> TakenSweepResult {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
-        let mut speedups = Vec::with_capacity(TAKEN_SWEEP.len());
-        for &max_taken in &TAKEN_SWEEP {
-            let fe = FrontEnd::Conventional { width: 40, max_taken, btb };
-            let base =
-                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-            let vp =
-                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-                    .run(trace);
-            speedups.push(vp.speedup_over(&base));
-        }
-        rows.push((workload.name().to_string(), speedups));
+/// and 5.2), one job per (benchmark, allowance) cell.
+pub(crate) fn taken_sweep(sweep: &Sweep, btb: BtbKind, title: &str) -> TakenSweepResult {
+    let rows = sweep.cells(&TAKEN_SWEEP, |_, trace, &max_taken| {
+        let fe = FrontEnd::Conventional { width: 40, max_taken, btb };
+        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
+        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
+            .run(trace);
+        vp.speedup_over(&base)
     });
-    TakenSweepResult { title: title.to_string(), rows }
+    TakenSweepResult {
+        title: title.to_string(),
+        rows: rows.into_iter().map(|(n, s)| (n.to_string(), s)).collect(),
+    }
 }
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run(cfg: &ExperimentConfig) -> TakenSweepResult {
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the experiment on a [`Sweep`].
+pub fn run_with(sweep: &Sweep) -> TakenSweepResult {
     taken_sweep(
-        cfg,
+        sweep,
         BtbKind::Perfect,
         "Figure 5.1 — value-prediction speedup vs taken branches/cycle (ideal BTB)",
     )
@@ -116,10 +118,7 @@ mod tests {
         let r = run(&ExperimentConfig::quick());
         let avg = r.averages();
         assert!(avg[0] < 0.20, "n=1 average {:.2} too large", avg[0]);
-        assert!(
-            *avg.last().unwrap() > avg[0] + 0.05,
-            "no growth across the sweep: {avg:?}"
-        );
+        assert!(*avg.last().unwrap() > avg[0] + 0.05, "no growth across the sweep: {avg:?}");
         for w in avg.windows(2) {
             assert!(w[1] >= w[0] - 0.03, "averages not monotone: {avg:?}");
         }

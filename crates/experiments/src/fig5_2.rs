@@ -9,12 +9,18 @@
 use fetchvp_core::BtbKind;
 
 use crate::fig5_1::{taken_sweep, TakenSweepResult};
+use crate::sweep::Sweep;
 use crate::ExperimentConfig;
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run(cfg: &ExperimentConfig) -> TakenSweepResult {
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the experiment on a [`Sweep`].
+pub fn run_with(sweep: &Sweep) -> TakenSweepResult {
     taken_sweep(
-        cfg,
+        sweep,
         BtbKind::two_level_paper(),
         "Figure 5.2 — value-prediction speedup vs taken branches/cycle (2-level BTB)",
     )

@@ -16,6 +16,7 @@ use fetchvp_predictor::BankedConfig;
 
 use crate::chart::BarChart;
 use crate::report::{pct, Table};
+use crate::sweep::Sweep;
 use crate::{mean, ExperimentConfig};
 
 /// Number of prediction-table banks in the §4 front-end ("highly
@@ -46,8 +47,7 @@ impl Fig53Result {
 
     /// Renders as a terminal bar chart.
     pub fn to_chart(&self) -> BarChart {
-        let mut c =
-            BarChart::new("Figure 5.3 — value-prediction speedup with a trace cache", 40);
+        let mut c = BarChart::new("Figure 5.3 — value-prediction speedup with a trace cache", 40);
         for (name, two_level, ideal) in &self.rows {
             c.row(name.clone(), &[("TC+2levelBTB", *two_level), ("TC+idealBTB", *ideal)]);
         }
@@ -80,20 +80,20 @@ fn speedup_with(btb: BtbKind, trace: &fetchvp_trace::Trace) -> f64 {
     vp.speedup_over(&base)
 }
 
-/// Runs the experiment.
+/// Runs the experiment serially.
+pub fn run(cfg: &ExperimentConfig) -> Fig53Result {
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the experiment on a [`Sweep`], one job per (benchmark, BTB) cell.
 ///
 /// Matching the paper's figure, whose x-axis includes the SPECfp benchmark
-/// `mgrid` alongside the integer suite, this runner uses
-/// [`fetchvp_workloads::extended_suite`].
-pub fn run(cfg: &ExperimentConfig) -> Fig53Result {
-    let mut rows = Vec::new();
-    for workload in fetchvp_workloads::extended_suite(&cfg.workloads) {
-        let trace = fetchvp_trace::trace_program(workload.program(), cfg.trace_len);
-        let two_level = speedup_with(BtbKind::two_level_paper(), &trace);
-        let ideal = speedup_with(BtbKind::Perfect, &trace);
-        rows.push((workload.name().to_string(), two_level, ideal));
-    }
-    Fig53Result { rows }
+/// `mgrid` alongside the integer suite, this runner uses the extended
+/// suite (the only consumer of the trace cache's ninth slot).
+pub fn run_with(sweep: &Sweep) -> Fig53Result {
+    let btbs = [BtbKind::two_level_paper(), BtbKind::Perfect];
+    let rows = sweep.cells_extended(&btbs, |_, trace, &btb| speedup_with(btb, trace));
+    Fig53Result { rows: rows.into_iter().map(|(n, s)| (n.to_string(), s[0], s[1])).collect() }
 }
 
 #[cfg(test)]

@@ -49,10 +49,12 @@ pub mod fig5_1;
 pub mod fig5_2;
 pub mod fig5_3;
 pub mod report;
+pub mod sweep;
 pub mod table3_1;
 pub mod table3_2;
 
 pub use report::Table;
+pub use sweep::{default_jobs, Sweep, TraceCache};
 
 use fetchvp_trace::{trace_program, Trace};
 use fetchvp_workloads::{suite, Workload, WorkloadParams};
@@ -80,12 +82,13 @@ impl ExperimentConfig {
     }
 }
 
-/// Iterates the benchmark suite, capturing one trace at a time (traces are
-/// dropped between benchmarks to bound memory).
-pub(crate) fn for_each_trace(
-    cfg: &ExperimentConfig,
-    mut f: impl FnMut(&Workload, &Trace),
-) {
+/// Iterates the benchmark suite serially, capturing one trace at a time
+/// (traces are dropped between benchmarks to bound memory).
+///
+/// This is the original serial path; the runners now go through
+/// [`sweep::Sweep`], which caches traces and can run cells in parallel.
+/// It is kept public as the independent oracle for the determinism tests.
+pub fn for_each_trace(cfg: &ExperimentConfig, mut f: impl FnMut(&Workload, &Trace)) {
     for workload in suite(&cfg.workloads) {
         let trace = trace_program(workload.program(), cfg.trace_len);
         f(&workload, &trace);

@@ -1,0 +1,311 @@
+//! Deterministic parallel execution of figure sweeps over a shared trace
+//! cache.
+//!
+//! The paper's evaluation is a large cartesian product — benchmarks ×
+//! machine configurations per figure, plus a dozen ablations — and every
+//! cell is independent of every other. This module supplies the two pieces
+//! that let a `report`-style run exploit that:
+//!
+//! * [`TraceCache`] — generates each workload's trace **once** and shares
+//!   it (`Arc<Trace>`) across every figure and ablation that runs against
+//!   the same [`ExperimentConfig`]. Generation is lazy and race-free: the
+//!   first requester traces, concurrent requesters block and then share.
+//! * [`Sweep`] — a scoped-thread job runner over `(workload, parameter)`
+//!   cells. Jobs are tagged with their cell index, workers pull from a
+//!   shared queue, and results are reassembled in index order, so the
+//!   output is **bit-identical** to a serial run regardless of `--jobs`
+//!   (see `tests/determinism.rs`). With `jobs == 1` no threads are spawned
+//!   at all — the cells run inline, in order, which doubles as the oracle
+//!   for the parallel path.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fetchvp_experiments::{fig3_1, fig3_3, ExperimentConfig, Sweep};
+//!
+//! let cfg = ExperimentConfig::quick();
+//! let sweep = Sweep::new(&cfg); // jobs = available parallelism
+//! let a = fig3_1::run_with(&sweep);
+//! let b = fig3_3::run_with(&sweep); // reuses the cached traces
+//! assert_eq!(sweep.cache().generated(), 8);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use fetchvp_trace::{trace_program, Trace};
+use fetchvp_workloads::{extended_suite, Workload};
+
+use crate::ExperimentConfig;
+
+/// Number of benchmarks in the paper's integer suite (the extended suite
+/// appends `mgrid` for Figure 5.3).
+pub const SUITE_LEN: usize = 8;
+
+/// Lazily generates and shares one trace per workload.
+///
+/// Holds the *extended* suite (integer benchmarks plus `mgrid`); runners
+/// that only need the 8-benchmark suite simply never request the last
+/// slot, and its trace is never generated.
+pub struct TraceCache {
+    cfg: ExperimentConfig,
+    workloads: Vec<Workload>,
+    slots: Vec<OnceLock<Arc<Trace>>>,
+    generated: AtomicUsize,
+}
+
+impl TraceCache {
+    /// Creates an empty cache for one experiment configuration.
+    pub fn new(cfg: &ExperimentConfig) -> TraceCache {
+        let workloads = extended_suite(&cfg.workloads);
+        let slots = (0..workloads.len()).map(|_| OnceLock::new()).collect();
+        TraceCache { cfg: *cfg, workloads, slots, generated: AtomicUsize::new(0) }
+    }
+
+    /// The configuration the cached traces were generated under.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The benchmark suite, in paper order: the 8 integer benchmarks, or
+    /// all 9 including `mgrid` when `extended` is set.
+    pub fn workloads(&self, extended: bool) -> &[Workload] {
+        if extended {
+            &self.workloads
+        } else {
+            &self.workloads[..SUITE_LEN]
+        }
+    }
+
+    /// The trace of workload `index` (extended-suite order), generating it
+    /// on first request. Concurrent requesters for the same workload block
+    /// until the single generation finishes, then share the same `Arc`.
+    pub fn trace(&self, index: usize) -> Arc<Trace> {
+        Arc::clone(self.slots[index].get_or_init(|| {
+            self.generated.fetch_add(1, Ordering::Relaxed);
+            Arc::new(trace_program(self.workloads[index].program(), self.cfg.trace_len))
+        }))
+    }
+
+    /// How many traces have actually been generated (not merely requested)
+    /// — the acceptance counter proving each workload is traced at most
+    /// once per run.
+    pub fn generated(&self) -> usize {
+        self.generated.load(Ordering::Relaxed)
+    }
+}
+
+/// A deterministic parallel sweep runner bound to a [`TraceCache`].
+///
+/// Cloning is cheap and shares the cache.
+#[derive(Clone)]
+pub struct Sweep {
+    cache: Arc<TraceCache>,
+    jobs: usize,
+}
+
+impl Sweep {
+    /// A sweep with as many workers as the host has logical CPUs.
+    pub fn new(cfg: &ExperimentConfig) -> Sweep {
+        Sweep::with_jobs(cfg, default_jobs())
+    }
+
+    /// A sweep with an explicit worker count. `jobs == 1` runs every cell
+    /// inline, serially, in index order — the oracle the parallel path must
+    /// match bit-for-bit.
+    pub fn with_jobs(cfg: &ExperimentConfig, jobs: usize) -> Sweep {
+        Sweep { cache: Arc::new(TraceCache::new(cfg)), jobs: jobs.max(1) }
+    }
+
+    /// A serial sweep (`jobs == 1`) — what the figure runners' plain
+    /// `run(cfg)` entry points use.
+    pub fn serial(cfg: &ExperimentConfig) -> Sweep {
+        Sweep::with_jobs(cfg, 1)
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        self.cache.config()
+    }
+
+    /// The shared trace cache.
+    pub fn cache(&self) -> &TraceCache {
+        &self.cache
+    }
+
+    /// Runs `f` over every `(workload, parameter)` cell of the 8-benchmark
+    /// suite and returns, per workload in suite order, the results in
+    /// parameter order.
+    pub fn cells<P: Sync, R: Send>(
+        &self,
+        params: &[P],
+        f: impl Fn(&Workload, &Trace, &P) -> R + Sync,
+    ) -> Vec<(&'static str, Vec<R>)> {
+        self.cells_on(false, params, f)
+    }
+
+    /// [`Sweep::cells`] over the extended suite (including `mgrid`).
+    pub fn cells_extended<P: Sync, R: Send>(
+        &self,
+        params: &[P],
+        f: impl Fn(&Workload, &Trace, &P) -> R + Sync,
+    ) -> Vec<(&'static str, Vec<R>)> {
+        self.cells_on(true, params, f)
+    }
+
+    /// Runs `f` once per workload of the 8-benchmark suite (cells with a
+    /// single implicit parameter).
+    pub fn per_workload<R: Send>(
+        &self,
+        f: impl Fn(&Workload, &Trace) -> R + Sync,
+    ) -> Vec<(&'static str, R)> {
+        self.cells(&[()], |w, t, ()| f(w, t))
+            .into_iter()
+            .map(|(name, mut rs)| (name, rs.pop().expect("one result per workload")))
+            .collect()
+    }
+
+    fn cells_on<P: Sync, R: Send>(
+        &self,
+        extended: bool,
+        params: &[P],
+        f: impl Fn(&Workload, &Trace, &P) -> R + Sync,
+    ) -> Vec<(&'static str, Vec<R>)> {
+        let workloads = self.cache.workloads(extended);
+        let np = params.len();
+        assert!(np > 0, "a sweep needs at least one parameter");
+        let flat = self.run_jobs(workloads.len() * np, |cell| {
+            let (w, p) = (cell / np, cell % np);
+            let trace = self.cache.trace(w);
+            f(&workloads[w], &trace, &params[p])
+        });
+        let mut it = flat.into_iter();
+        workloads
+            .iter()
+            .map(|w| (w.name(), (0..np).map(|_| it.next().expect("cell result")).collect()))
+            .collect()
+    }
+
+    /// Executes `run_cell` for cells `0..n_cells` and returns the results
+    /// in cell order. Workers pull cell indices from a shared atomic
+    /// counter (work stealing); each tags its results with the index so the
+    /// reassembled vector is independent of scheduling.
+    fn run_jobs<R: Send>(&self, n_cells: usize, run_cell: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let workers = self.jobs.min(n_cells);
+        if workers <= 1 {
+            return (0..n_cells).map(run_cell).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = (0..n_cells).map(|_| None).collect();
+        let tagged: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let cell = next.fetch_add(1, Ordering::Relaxed);
+                            if cell >= n_cells {
+                                break;
+                            }
+                            local.push((cell, run_cell(cell)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+        });
+        for (cell, result) in tagged.into_iter().flatten() {
+            debug_assert!(slots[cell].is_none(), "cell {cell} computed twice");
+            slots[cell] = Some(result);
+        }
+        slots.into_iter().map(|r| r.expect("every cell computed exactly once")).collect()
+    }
+}
+
+/// The host's logical CPU count (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig { trace_len: 2_000, ..ExperimentConfig::default() }
+    }
+
+    #[test]
+    fn trace_cache_returns_the_same_arc_for_repeated_requests() {
+        let cache = TraceCache::new(&cfg());
+        let a = cache.trace(3);
+        let b = cache.trace(3);
+        assert!(Arc::ptr_eq(&a, &b), "repeated requests must share one trace");
+        assert_eq!(cache.generated(), 1);
+    }
+
+    #[test]
+    fn trace_cache_generates_each_workload_once_under_contention() {
+        let cache = TraceCache::new(&cfg());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for w in 0..SUITE_LEN {
+                        assert_eq!(cache.trace(w).len(), 2_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.generated(), SUITE_LEN);
+    }
+
+    #[test]
+    fn extended_suite_slot_is_lazy() {
+        let cache = TraceCache::new(&cfg());
+        assert_eq!(cache.workloads(false).len(), SUITE_LEN);
+        assert_eq!(cache.workloads(true).len(), SUITE_LEN + 1);
+        for w in 0..SUITE_LEN {
+            cache.trace(w);
+        }
+        assert_eq!(cache.generated(), SUITE_LEN, "mgrid must not be traced unrequested");
+    }
+
+    #[test]
+    fn cells_are_ordered_regardless_of_jobs() {
+        let params = [1usize, 2, 3];
+        let serial = Sweep::with_jobs(&cfg(), 1)
+            .cells(&params, |w, t, p| (w.name().to_string(), t.len(), *p));
+        let parallel = Sweep::with_jobs(&cfg(), 8)
+            .cells(&params, |w, t, p| (w.name().to_string(), t.len(), *p));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), SUITE_LEN);
+        for (name, cells) in &serial {
+            assert_eq!(cells.len(), params.len());
+            for ((n, len, _), p) in cells.iter().zip(&params) {
+                assert_eq!((n.as_str(), *len), (*name, 2_000));
+                assert_eq!(*p, cells[p - 1].2);
+            }
+        }
+    }
+
+    #[test]
+    fn per_workload_visits_the_suite_in_order() {
+        let sweep = Sweep::with_jobs(&cfg(), 4);
+        let names: Vec<_> =
+            sweep.per_workload(|w, _| w.name().to_string()).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex"]);
+        assert_eq!(sweep.cache().generated(), SUITE_LEN);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+        assert!(Sweep::with_jobs(&cfg(), 0).jobs() == 1);
+    }
+}

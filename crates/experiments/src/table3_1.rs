@@ -2,7 +2,8 @@
 //! characteristics of the synthetic stand-ins.
 
 use crate::report::{num, Table};
-use crate::{for_each_trace, ExperimentConfig};
+use crate::sweep::Sweep;
+use crate::ExperimentConfig;
 
 /// Per-benchmark descriptions and trace statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,7 +18,14 @@ impl Table31Result {
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(
             "Table 3.1 — Spec95 integer benchmarks (synthetic stand-ins)",
-            &["benchmark", "description", "instructions", "taken ctl %", "value-producing %", "avg run"],
+            &[
+                "benchmark",
+                "description",
+                "instructions",
+                "taken ctl %",
+                "value-producing %",
+                "avg run",
+            ],
         );
         for (name, desc, instrs, taken, vp, run) in &self.rows {
             t.row(&[
@@ -33,21 +41,29 @@ impl Table31Result {
     }
 }
 
-/// Runs the measurement.
+/// Runs the measurement serially.
 pub fn run(cfg: &ExperimentConfig) -> Table31Result {
-    let mut rows = Vec::new();
-    for_each_trace(cfg, |workload, trace| {
+    run_with(&Sweep::serial(cfg))
+}
+
+/// Runs the measurement on a [`Sweep`], one job per benchmark.
+pub fn run_with(sweep: &Sweep) -> Table31Result {
+    let rows = sweep.per_workload(|workload, trace| {
         let s = trace.stats();
-        rows.push((
-            workload.name().to_string(),
+        (
             workload.description().to_string(),
             s.total,
             s.taken_control_rate(),
             s.value_producing_rate(),
             s.avg_run_length(),
-        ));
+        )
     });
-    Table31Result { rows }
+    Table31Result {
+        rows: rows
+            .into_iter()
+            .map(|(n, (desc, total, taken, vp, run))| (n.to_string(), desc, total, taken, vp, run))
+            .collect(),
+    }
 }
 
 #[cfg(test)]

@@ -274,9 +274,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_bank_count_panics() {
-        BacFetch::new(
-            BacConfig { icache_banks: 12, ..BacConfig::classic() },
-            PerfectBtb::new(),
-        );
+        BacFetch::new(BacConfig { icache_banks: 12, ..BacConfig::classic() }, PerfectBtb::new());
     }
 }

@@ -219,7 +219,7 @@ mod tests {
     mod properties {
         use super::*;
         use fetchvp_isa::AluOp;
-        use proptest::prelude::*;
+        use fetchvp_testutil::for_cases;
 
         /// A random loop nest: an outer counted loop whose body mixes nops
         /// with an inner loop.
@@ -240,66 +240,61 @@ mod tests {
             trace_program(&b.build().unwrap(), 4_000)
         }
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(32))]
-
-            /// With a perfect predictor, fetch groups tile the trace, never
-            /// exceed the width, and respect the taken-branch allowance.
-            #[test]
-            fn groups_tile_and_respect_limits(
-                body in 0usize..12,
-                inner in 1i64..8,
-                outer in 1i64..40,
-                width in 1usize..40,
-                max_taken in proptest::option::of(1u32..5),
-            ) {
+        /// With a perfect predictor, fetch groups tile the trace, never
+        /// exceed the width, and respect the taken-branch allowance.
+        #[test]
+        fn groups_tile_and_respect_limits() {
+            for_cases(32, |case, rng| {
+                let body = rng.range_usize(0, 12);
+                let inner = rng.range_i64(1, 8);
+                let outer = rng.range_i64(1, 40);
+                let width = rng.range_usize(1, 40);
+                let max_taken = if rng.flip() { Some(rng.range_u64(1, 5) as u32) } else { None };
                 let trace = random_trace(body, inner, outer);
                 let mut f = ConventionalFetch::new(width, max_taken, PerfectBtb::new());
                 let mut pos = 0;
                 while pos < trace.len() {
                     let g = f.fetch(trace.records(), pos, usize::MAX);
-                    prop_assert!(g.len > 0, "no progress at {pos}");
-                    prop_assert!(g.len <= width);
-                    prop_assert_eq!(g.mispredict, None); // oracle never wrong
-                    let taken = trace.records()[pos..pos + g.len]
-                        .iter()
-                        .filter(|r| r.taken)
-                        .count() as u32;
+                    assert!(g.len > 0, "case {case}: no progress at {pos}");
+                    assert!(g.len <= width, "case {case}");
+                    assert_eq!(g.mispredict, None, "case {case}"); // oracle never wrong
+                    let taken =
+                        trace.records()[pos..pos + g.len].iter().filter(|r| r.taken).count() as u32;
                     if let Some(limit) = max_taken {
-                        prop_assert!(taken <= limit, "{taken} taken in a group");
+                        assert!(taken <= limit, "case {case}: {taken} taken in a group");
                     }
                     pos += g.len;
                 }
-                prop_assert_eq!(pos, trace.len());
-            }
+                assert_eq!(pos, trace.len(), "case {case}");
+            });
+        }
 
-            /// With a real predictor, every group that does not end the
-            /// trace either fills the width, stops at the allowance, or
-            /// flags a misprediction at its final slot.
-            #[test]
-            fn truncated_groups_are_justified(
-                body in 0usize..10,
-                inner in 1i64..6,
-                width in 4usize..40,
-            ) {
+        /// With a real predictor, every group that does not end the trace
+        /// either fills the width, stops at the allowance, or flags a
+        /// misprediction at its final slot.
+        #[test]
+        fn truncated_groups_are_justified() {
+            for_cases(32, |case, rng| {
+                let body = rng.range_usize(0, 10);
+                let inner = rng.range_i64(1, 6);
+                let width = rng.range_usize(4, 40);
                 let trace = random_trace(body, inner, 30);
                 let mut f = ConventionalFetch::new(width, Some(2), TwoLevelBtb::paper());
                 let mut pos = 0;
                 while pos < trace.len() {
                     let g = f.fetch(trace.records(), pos, usize::MAX);
-                    prop_assert!(g.len > 0);
+                    assert!(g.len > 0, "case {case}");
                     if let Some(k) = g.mispredict {
-                        prop_assert_eq!(k, g.len - 1, "mispredict must end the group");
+                        assert_eq!(k, g.len - 1, "case {case}: mispredict must end the group");
                     } else if pos + g.len < trace.len() && g.len < width {
-                        let taken = trace.records()[pos..pos + g.len]
-                            .iter()
-                            .filter(|r| r.taken)
-                            .count() as u32;
-                        prop_assert_eq!(taken, 2, "short group without a cause");
+                        let taken =
+                            trace.records()[pos..pos + g.len].iter().filter(|r| r.taken).count()
+                                as u32;
+                        assert_eq!(taken, 2, "case {case}: short group without a cause");
                     }
                     pos += g.len;
                 }
-            }
+            });
         }
     }
 

@@ -133,13 +133,15 @@ impl Parser {
             Some((m, a)) => (m.trim(), a.trim()),
             None => (text, ""),
         };
-        let args: Vec<&str> =
-            args.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let args: Vec<&str> = args.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         let argc = |n: usize| -> Result<(), AsmError> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(err(line_no, format!("`{mnemonic}` expects {n} operand(s), got {}", args.len())))
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` expects {n} operand(s), got {}", args.len()),
+                ))
             }
         };
 
@@ -245,7 +247,10 @@ impl Parser {
                     "absolute @targets are only supported via labels; name the target instead",
                 ));
             }
-            Err(err(line_no, "absolute @targets are only supported via labels; name the target instead"))
+            Err(err(
+                line_no,
+                "absolute @targets are only supported via labels; name the target instead",
+            ))
         } else if is_ident(text) {
             Ok(self.label_named(text))
         } else {
@@ -320,8 +325,7 @@ fn mem_operand(line_no: usize, text: &str) -> Result<(i64, Reg), AsmError> {
 /// ```
 pub fn to_assembly(program: &Program) -> String {
     use std::collections::BTreeSet;
-    let targets: BTreeSet<u64> =
-        program.instrs().iter().filter_map(Instr::static_target).collect();
+    let targets: BTreeSet<u64> = program.instrs().iter().filter_map(Instr::static_target).collect();
     let label = |pc: u64| format!("L{pc}");
     let mut out = String::new();
     for (&addr, &value) in program.data() {
@@ -401,7 +405,8 @@ mod tests {
                     pc += 1;
                 }
                 Some(Instr::Branch { cond, a, b, target }) => {
-                    pc = if cond.holds(regs[a.index()], regs[b.index()]) { *target } else { pc + 1 };
+                    pc =
+                        if cond.holds(regs[a.index()], regs[b.index()]) { *target } else { pc + 1 };
                 }
                 _ => break,
             }

@@ -323,7 +323,9 @@ impl ProgramBuilder {
                 }
             };
             match &mut self.instrs[idx] {
-                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Call { target, .. } => {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Call { target, .. } => {
                     *target = pos;
                 }
                 other => unreachable!("patch recorded for non-control instruction {other}"),

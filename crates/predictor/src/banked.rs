@@ -247,7 +247,7 @@ mod tests {
     use crate::last_value::LastValuePredictor;
     use crate::stride::StridePredictor;
     use crate::table::TableGeometry;
-    use proptest::prelude::*;
+    use fetchvp_testutil::for_cases;
 
     fn stride_fe(banks: u32) -> BankedFrontEnd<StridePredictor> {
         let inner =
@@ -308,7 +308,7 @@ mod tests {
     fn denied_slot_does_not_perturb_predictor_state() {
         let mut fe = stride_fe(4);
         train(&mut fe, 8, &[0, 3]); // stride 3; next prediction 6
-        // PC 12 maps to bank 0 like PC 8; 8 wins, 12 denied.
+                                    // PC 12 maps to bank 0 like PC 8; 8 wins, 12 denied.
         let out = fe.predict_group(&[8, 12]);
         assert_eq!(out[0].prediction, Some(6));
         assert_eq!(out[1].prediction, None);
@@ -327,8 +327,7 @@ mod tests {
         train(&mut fe, 1, &[40, 41]); // the i++ instruction, stride 1
         let group = [0u64, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3];
         let out = fe.predict_group(&group);
-        let i_preds: Vec<_> =
-            out.iter().filter(|s| s.pc == 1).map(|s| s.prediction).collect();
+        let i_preds: Vec<_> = out.iter().filter(|s| s.pc == 1).map(|s| s.prediction).collect();
         assert_eq!(i_preds, [Some(42), Some(43), Some(44)]);
     }
 
@@ -357,33 +356,38 @@ mod tests {
         assert!(fe.banked_stats().to_string().contains("groups 0"));
     }
 
-    proptest! {
-        /// Router invariants: every slot gets exactly one disposition; at
-        /// most one PC is granted per bank; merges always follow a granted
-        /// slot with the same PC.
-        #[test]
-        fn router_dispositions_are_consistent(pcs in proptest::collection::vec(0u64..64, 1..24)) {
+    /// Router invariants: every slot gets exactly one disposition; at most
+    /// one PC is granted per bank; merges always follow a granted slot with
+    /// the same PC.
+    #[test]
+    fn router_dispositions_are_consistent() {
+        for_cases(64, |case, rng| {
+            let pcs = rng.vec_with(1, 24, |r| r.below(64));
             let mut fe = stride_fe(8);
             let out = fe.predict_group(&pcs);
-            prop_assert_eq!(out.len(), pcs.len());
+            assert_eq!(out.len(), pcs.len(), "case {case}");
             let mut granted_per_bank = std::collections::HashMap::new();
             for s in &out {
                 match s.grant {
                     SlotGrant::Granted => {
-                        prop_assert!(granted_per_bank.insert(s.bank, s.pc).is_none());
+                        assert!(
+                            granted_per_bank.insert(s.bank, s.pc).is_none(),
+                            "case {case}: two grants in bank {}",
+                            s.bank
+                        );
                     }
                     SlotGrant::Merged => {
-                        prop_assert_eq!(granted_per_bank.get(&s.bank), Some(&s.pc));
+                        assert_eq!(granted_per_bank.get(&s.bank), Some(&s.pc), "case {case}");
                     }
                     SlotGrant::DeniedConflict => {
                         let w = granted_per_bank.get(&s.bank);
-                        prop_assert!(w.is_some() && *w.unwrap() != s.pc);
-                        prop_assert_eq!(s.prediction, None);
+                        assert!(w.is_some() && *w.unwrap() != s.pc, "case {case}");
+                        assert_eq!(s.prediction, None, "case {case}");
                     }
                 }
             }
             let s = fe.banked_stats();
-            prop_assert_eq!(s.granted + s.merged + s.denied, pcs.len() as u64);
-        }
+            assert_eq!(s.granted + s.merged + s.denied, pcs.len() as u64, "case {case}");
+        });
     }
 }

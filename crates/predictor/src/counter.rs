@@ -132,7 +132,7 @@ impl Default for ConfidenceConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fetchvp_testutil::for_cases;
 
     #[test]
     fn increments_saturate() {
@@ -198,26 +198,36 @@ mod tests {
         assert_eq!(SaturatingCounter::new(2).to_string(), "0/3");
     }
 
-    proptest! {
-        #[test]
-        fn counter_never_leaves_range(bits in 1u8..=8, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+    #[test]
+    fn counter_never_leaves_range() {
+        for_cases(64, |case, rng| {
+            let bits = rng.range_u64(1, 9) as u8;
             let mut c = SaturatingCounter::new(bits);
-            for up in ops {
-                if up { c.increment() } else { c.decrement() }
-                prop_assert!(c.get() <= c.max());
+            for _ in 0..rng.range_usize(0, 200) {
+                if rng.flip() {
+                    c.increment();
+                } else {
+                    c.decrement();
+                }
+                assert!(c.get() <= c.max(), "case {case}: {} > {}", c.get(), c.max());
             }
-        }
+        });
+    }
 
-        #[test]
-        fn increment_then_decrement_returns_when_not_saturated(bits in 1u8..=8, pre in 0u8..10) {
+    #[test]
+    fn increment_then_decrement_returns_when_not_saturated() {
+        for_cases(64, |case, rng| {
+            let bits = rng.range_u64(1, 9) as u8;
             let mut c = SaturatingCounter::new(bits);
-            for _ in 0..pre { c.increment(); }
+            for _ in 0..rng.range_u64(0, 10) {
+                c.increment();
+            }
             let before = c.get();
             if before < c.max() {
                 c.increment();
                 c.decrement();
-                prop_assert_eq!(c.get(), before);
+                assert_eq!(c.get(), before, "case {case}");
             }
-        }
+        });
     }
 }

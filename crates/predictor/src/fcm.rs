@@ -202,7 +202,7 @@ impl ValuePredictor for FcmPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fetchvp_testutil::for_cases;
 
     fn always() -> FcmPredictor {
         FcmPredictor::with_confidence(ConfidenceConfig::always_predict())
@@ -283,7 +283,7 @@ mod tests {
         run(&mut p, 1, &stream);
         let wrong = p.lookup(1); // speculates the next pattern element
         p.commit(1, 777, wrong); // pattern broken
-        // The context resynchronizes to the committed history.
+                                 // The context resynchronizes to the committed history.
         let after = p.lookup(1);
         // 777's context was never seen: no prediction (or at least no crash).
         assert!(after.is_none());
@@ -303,26 +303,24 @@ mod tests {
         assert_eq!(FcmPredictor::infinite().name(), "fcm");
     }
 
-    proptest! {
-        /// Any periodic sequence is eventually predicted perfectly.
-        #[test]
-        fn periodic_sequences_converge(
-            pattern in proptest::collection::vec(0u64..1000, 2..6),
-            reps in 4usize..10,
-        ) {
-            // Patterns with repeated prefixes can alias; require distinct
-            // elements for the convergence guarantee.
-            let distinct: std::collections::HashSet<_> = pattern.iter().collect();
-            prop_assume!(distinct.len() == pattern.len());
+    /// Any periodic sequence is eventually predicted perfectly.
+    #[test]
+    fn periodic_sequences_converge() {
+        for_cases(48, |case, rng| {
+            // Patterns with repeated elements can alias; the convergence
+            // guarantee needs distinct elements, so draw from disjoint
+            // value ranges.
+            let len = rng.range_usize(2, 6);
+            let pattern: Vec<u64> = (0..len).map(|k| 1000 * k as u64 + rng.below(1000)).collect();
+            let reps = rng.range_usize(4, 10);
             let mut p = always();
             let stream: Vec<u64> =
                 pattern.iter().cycle().take(ORDER + pattern.len() * reps).copied().collect();
             let preds = run(&mut p, 0, &stream);
             let warmup = ORDER + pattern.len();
             for (k, pred) in preds.iter().enumerate().skip(warmup) {
-                prop_assert_eq!(*pred, Some(stream[k]), "index {}", k);
+                assert_eq!(*pred, Some(stream[k]), "case {case}, index {k}");
             }
-        }
+        });
     }
 }
-

@@ -55,7 +55,11 @@ impl LastValuePredictor {
     /// Creates a predictor with the given table geometry and classification
     /// configuration.
     pub fn new(geometry: TableGeometry, confidence: ConfidenceConfig) -> LastValuePredictor {
-        LastValuePredictor { table: PredTable::new(geometry), confidence, stats: PredictorStats::default() }
+        LastValuePredictor {
+            table: PredTable::new(geometry),
+            confidence,
+            stats: PredictorStats::default(),
+        }
     }
 
     /// An infinite-table predictor with the paper's 2-bit classification.

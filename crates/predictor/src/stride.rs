@@ -201,7 +201,7 @@ impl ValuePredictor for StridePredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fetchvp_testutil::for_cases;
 
     fn always() -> StridePredictor {
         StridePredictor::new(TableGeometry::Infinite, ConfidenceConfig::always_predict())
@@ -243,7 +243,7 @@ mod tests {
     fn speculative_burst_expands_the_stride_sequence() {
         let mut p = always();
         run(&mut p, 1, &[10, 13]); // stride 3 learned; committed_last 13
-        // Three in-flight instances fetched in one cycle (the §4 merge case):
+                                   // Three in-flight instances fetched in one cycle (the §4 merge case):
         let burst: Vec<_> = (0..3).map(|_| p.lookup(1)).collect();
         assert_eq!(burst, [Some(16), Some(19), Some(22)]);
         // Commits arrive later, all correct -> state stays coherent.
@@ -260,7 +260,7 @@ mod tests {
         let wrong = p.lookup(1); // predicts 16, spec_last now 16
         assert_eq!(wrong, Some(16));
         p.commit(1, 50, wrong); // actual diverges
-        // Committed state resyncs: last = 50, stride = 50-13 = 37.
+                                // Committed state resyncs: last = 50, stride = 50-13 = 37.
         assert_eq!(p.lookup(1), Some(87));
     }
 
@@ -320,28 +320,38 @@ mod tests {
         assert_eq!(td.name(), "stride-2delta");
     }
 
-    proptest! {
-        /// After warm-up, a stride predictor is exact on any affine sequence.
-        #[test]
-        fn exact_on_affine_sequences(start in any::<u64>(), stride in -1000i64..1000, len in 3usize..40) {
+    /// After warm-up, a stride predictor is exact on any affine sequence.
+    #[test]
+    fn exact_on_affine_sequences() {
+        for_cases(64, |case, rng| {
+            let start = rng.next_u64();
+            let stride = rng.range_i64(-1000, 1000);
+            let len = rng.range_usize(3, 40);
             let mut p = always();
-            let values: Vec<u64> = (0..len as u64).map(|k| start.wrapping_add((stride as u64).wrapping_mul(k))).collect();
+            let values: Vec<u64> = (0..len as u64)
+                .map(|k| start.wrapping_add((stride as u64).wrapping_mul(k)))
+                .collect();
             let preds = run(&mut p, 0, &values);
             for (k, pred) in preds.iter().enumerate().skip(2) {
-                prop_assert_eq!(*pred, Some(values[k]));
+                assert_eq!(*pred, Some(values[k]), "case {case}, index {k}");
             }
-        }
+        });
+    }
 
-        /// Speculative bursts agree with sequential lookup/commit on affine data.
-        #[test]
-        fn burst_matches_sequential(start in any::<u64>(), stride in -100i64..100, n in 1usize..8) {
+    /// Speculative bursts agree with sequential lookup/commit on affine data.
+    #[test]
+    fn burst_matches_sequential() {
+        for_cases(64, |case, rng| {
+            let start = rng.next_u64();
+            let stride = rng.range_i64(-100, 100);
+            let n = rng.range_usize(1, 8);
             let mut p = always();
             run(&mut p, 0, &[start, start.wrapping_add(stride as u64)]);
             let burst: Vec<_> = (0..n).map(|_| p.lookup(0)).collect();
             for (k, pred) in burst.iter().enumerate() {
                 let expect = start.wrapping_add((stride as u64).wrapping_mul(k as u64 + 2));
-                prop_assert_eq!(*pred, Some(expect));
+                assert_eq!(*pred, Some(expect), "case {case}, slot {k}");
             }
-        }
+        });
     }
 }

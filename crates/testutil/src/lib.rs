@@ -1,0 +1,183 @@
+//! Dependency-free deterministic property-testing helpers.
+//!
+//! The workspace must build and test with `cargo build --offline` on a
+//! machine that has never reached crates.io, so the test suites cannot use
+//! `proptest`. This crate provides the two pieces those suites actually
+//! need: a seedable generator of random test data ([`Rng`], SplitMix64) and
+//! a driver that runs a property over many deterministically-seeded cases
+//! ([`for_cases`]).
+//!
+//! Failures are ordinary assertion panics; because every case is derived
+//! from a fixed seed and a case index, a failing case reproduces exactly on
+//! any machine — include the case index in the assertion message to name
+//! it.
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_testutil::for_cases;
+//!
+//! for_cases(32, |case, rng| {
+//!     let x = rng.below(100);
+//!     assert!(x < 100, "case {case}: {x}");
+//! });
+//! ```
+
+/// A SplitMix64 pseudo-random generator for test data.
+///
+/// Identical seeds produce identical streams on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// A value uniform in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A signed value uniform in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// A `usize` uniform in the half-open range `lo..hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// An unbiased coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A vector of `self.range_usize(len_lo, len_hi)` elements, each drawn
+    /// by `f`.
+    pub fn vec_with<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut f: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len = self.range_usize(len_lo, len_hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "cannot pick from an empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// Runs a property over `cases` deterministically-seeded random cases.
+///
+/// The closure receives the case index (for assertion messages) and a
+/// generator seeded from that index, so every run of the suite explores the
+/// same cases in the same order.
+pub fn for_cases(cases: usize, mut f: impl FnMut(usize, &mut Rng)) {
+    for case in 0..cases {
+        // Decorate the index so consecutive cases start far apart in the
+        // SplitMix64 sequence.
+        let mut rng = Rng::new((case as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x1998);
+        f(case, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            assert!((5..9).contains(&r.range_u64(5, 9)));
+            assert!((-4..7).contains(&r.range_i64(-4, 7)));
+            assert!((1..3).contains(&r.range_usize(1, 3)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::new(0).range_u64(4, 4);
+    }
+
+    #[test]
+    fn vec_with_honours_length_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..100 {
+            let v = r.vec_with(2, 6, |r| r.below(10));
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let xs = [10, 20, 30];
+        let mut r = Rng::new(1);
+        for _ in 0..50 {
+            assert!(xs.contains(r.pick(&xs)));
+        }
+    }
+
+    #[test]
+    fn for_cases_is_reproducible() {
+        let mut first = Vec::new();
+        for_cases(5, |_, rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        for_cases(5, |_, rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        // Distinct cases see distinct streams.
+        assert_ne!(first[0], first[1]);
+    }
+}

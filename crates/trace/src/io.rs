@@ -254,8 +254,8 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fetchvp_isa::ProgramBuilder;
     use crate::trace_program;
+    use fetchvp_isa::ProgramBuilder;
 
     fn sample_trace() -> Trace {
         let mut b = ProgramBuilder::new("sample");

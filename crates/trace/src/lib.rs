@@ -50,9 +50,9 @@ pub mod stats;
 
 pub use bb::{BasicBlocks, BlockId};
 pub use exec::{ExecOutcome, Executor};
+pub use io::{read_trace, write_trace};
 pub use memory::SparseMemory;
 pub use record::DynInstr;
-pub use io::{read_trace, write_trace};
 pub use stats::TraceStats;
 
 use fetchvp_isa::Program;

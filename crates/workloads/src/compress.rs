@@ -49,7 +49,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     b.layout_break();
     b.load(byte, t0, INPUT as i64); // unpredictable
     b.alu_imm(AluOp::Add, out_bits, out_bits, 2); // chain step 2
-    // -- rolling hash: the unpredictable loop-carried critical path --
+                                                  // -- rolling hash: the unpredictable loop-carried critical path --
     b.alu_imm(AluOp::Shl, t2, hash, 5);
     b.alu_imm(AluOp::Add, out_bits, out_bits, 4); // chain step 3
     b.layout_break();
@@ -100,20 +100,14 @@ mod tests {
         let p = build(&WorkloadParams::default());
         let t = trace_program(&p, 30_000);
         // Find the `and hash, t1, mask` results (pc of the 3rd hash step).
-        let hashes: Vec<u64> = t
-            .iter()
-            .filter(|r| r.dst() == Some(Reg::R2))
-            .map(|r| r.result)
-            .collect();
+        let hashes: Vec<u64> =
+            t.iter().filter(|r| r.dst() == Some(Reg::R2)).map(|r| r.result).collect();
         assert!(hashes.len() > 500);
         let same_delta = hashes
             .windows(3)
             .filter(|w| w[2].wrapping_sub(w[1]) == w[1].wrapping_sub(w[0]))
             .count();
-        assert!(
-            (same_delta as f64) < hashes.len() as f64 * 0.2,
-            "hash chain looks strided"
-        );
+        assert!((same_delta as f64) < hashes.len() as f64 * 0.2, "hash chain looks strided");
     }
 
     #[test]
@@ -126,9 +120,7 @@ mod tests {
             }
         }
         // Table slots materialize as codes are installed.
-        let table_words = (0..TABLE_SLOTS)
-            .filter(|i| exec.memory().read(TABLE + i) != 0)
-            .count();
+        let table_words = (0..TABLE_SLOTS).filter(|i| exec.memory().read(TABLE + i) != 0).count();
         assert!(table_words > 100, "only {table_words} dictionary entries installed");
     }
 }

@@ -44,8 +44,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
         // branches are learnable by a history-based BTB at realistic
         // accuracy — with an occasional random node breaking the pattern.
         let kind_pattern = [0u64, 0, 1, 0, 2, 0, 1, 3];
-        let kind =
-            if rng.below(8) == 0 { rng.below(4) } else { kind_pattern[i % 8] };
+        let kind = if rng.below(8) == 0 { rng.below(4) } else { kind_pattern[i % 8] };
         b.data_word(addr, kind); // kind
         b.data_word(addr + 1, rng.next_u64()); // payload
         b.data_word(addr + 2, handle); // handle pointer
@@ -145,9 +144,7 @@ mod tests {
         let nexts: Vec<u64> = t
             .iter()
             .filter(|r| {
-                r.instr.is_mem()
-                    && r.dst().is_some()
-                    && r.mem_addr.is_some_and(|a| a >= HANDLES)
+                r.instr.is_mem() && r.dst().is_some() && r.mem_addr.is_some_and(|a| a >= HANDLES)
             })
             .map(|r| r.result)
             .collect();

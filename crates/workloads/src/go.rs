@@ -61,9 +61,9 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     b.alu_imm(AluOp::Add, heur, heur, 9); // chain step 4
     b.layout_break();
     b.alu_imm(AluOp::Add, heur, heur, 11); // chain step 5
-    // -- probe the board at the generated point --
+                                           // -- probe the board at the generated point --
     b.load(stone, t1, BOARD as i64); // 0/1/2, data-dependent
-    // -- branchy liberty scoring --
+                                     // -- branchy liberty scoring --
     let occupied = b.label("occupied");
     let white = b.label("white");
     let done = b.label("done");
@@ -120,8 +120,7 @@ mod tests {
     fn board_reads_cover_the_board() {
         let p = build(&WorkloadParams::default());
         let t = trace_program(&p, 60_000);
-        let addrs: std::collections::HashSet<u64> =
-            t.iter().filter_map(|r| r.mem_addr).collect();
+        let addrs: std::collections::HashSet<u64> = t.iter().filter_map(|r| r.mem_addr).collect();
         assert!(addrs.len() > 200, "only {} distinct board slots touched", addrs.len());
     }
 }

@@ -56,9 +56,9 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     b.load(p3, src, IMAGE as i64 + 3);
     b.layout_break();
     b.alu_imm(AluOp::Add, chain, chain, 4); // chain step 2
-    // The transform is a shallow tree: every output coefficient is at most
-    // two levels below the pixel loads, as in a hardware-friendly unrolled
-    // butterfly network.
+                                            // The transform is a shallow tree: every output coefficient is at most
+                                            // two levels below the pixel loads, as in a hardware-friendly unrolled
+                                            // butterfly network.
     b.alu(AluOp::Add, s01, p0, p1); // DC butterfly
     b.alu(AluOp::Sub, s23, p2, p3); // AC butterfly
     b.alu(AluOp::Xor, t0, p0, p3); // parity plane, in parallel

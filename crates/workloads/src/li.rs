@@ -57,7 +57,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     //    (step budget accounting) is the serial backbone a value predictor
     //    can collapse --
     b.alu_imm(AluOp::Add, steps, steps, 2); // chain step 1
-    // -- walk the list (strided loads) --
+                                            // -- walk the list (strided loads) --
     b.load(car, cursor, 0);
     b.load(cursor, cursor, 8); // cdr: advances by CELL_SIZE (predictable)
     b.alu_imm(AluOp::Add, conses, conses, 1);
@@ -135,10 +135,7 @@ mod tests {
             .map(|r| r.result)
             .collect();
         assert!(cdrs.len() > 100);
-        let strided = cdrs
-            .windows(2)
-            .filter(|w| w[1].wrapping_sub(w[0]) == CELL_SIZE)
-            .count();
+        let strided = cdrs.windows(2).filter(|w| w[1].wrapping_sub(w[0]) == CELL_SIZE).count();
         assert!(
             strided as f64 > cdrs.len() as f64 * 0.9,
             "cons walk not strided: {strided}/{}",

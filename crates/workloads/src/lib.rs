@@ -109,11 +109,7 @@ pub fn extended_suite(params: &WorkloadParams) -> Vec<Workload> {
 /// Builds the full 8-benchmark suite in the paper's order.
 pub fn suite(params: &WorkloadParams) -> Vec<Workload> {
     vec![
-        Workload {
-            name: "go",
-            description: "Game playing.",
-            program: go::build(params),
-        },
+        Workload { name: "go", description: "Game playing.", program: go::build(params) },
         Workload {
             name: "m88ksim",
             description: "A simulator for the 88100 processor.",
@@ -129,16 +125,8 @@ pub fn suite(params: &WorkloadParams) -> Vec<Workload> {
             description: "Data compression program using adaptive Lempel-Ziv coding.",
             program: compress::build(params),
         },
-        Workload {
-            name: "li",
-            description: "Lisp interpreter.",
-            program: li::build(params),
-        },
-        Workload {
-            name: "ijpeg",
-            description: "JPEG encoder.",
-            program: ijpeg::build(params),
-        },
+        Workload { name: "li", description: "Lisp interpreter.", program: li::build(params) },
+        Workload { name: "ijpeg", description: "JPEG encoder.", program: ijpeg::build(params) },
         Workload {
             name: "perl",
             description: "Anagram search program.",

@@ -55,8 +55,8 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     b.layout_break();
     b.alu_imm(AluOp::Add, i, i, 1); // unit stride (predictable)
     b.alu_imm(AluOp::Add, chain, chain, 7); // chain step 3
-    // -- end of sweep: restart from the left edge. The wrap branch is
-    //    almost never taken — stencil sweeps are long straight runs. --
+                                            // -- end of sweep: restart from the left edge. The wrap branch is
+                                            //    almost never taken — stencil sweeps are long straight runs. --
     let wrap = b.label("wrap");
     b.load_imm(t0, (n - 1) as i64);
     b.branch(Cond::Geu, i, t0, wrap);

@@ -69,7 +69,7 @@ pub(crate) fn build(_params: &WorkloadParams) -> Program {
     b.layout_break();
     b.alu_imm(AluOp::Add, reads, reads, 1);
     b.alu_imm(AluOp::Add, chain, chain, 3); // chain step 3
-    // Validate the read (biased, well-predicted branch).
+                                            // Validate the read (biased, well-predicted branch).
     let ok = b.label("read_ok");
     b.branch(Cond::Ltu, qid, obj_id, ok);
     b.alu_imm(AluOp::Add, t2, t2, 1); // never on the hot path

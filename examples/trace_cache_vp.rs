@@ -49,7 +49,9 @@ fn main() {
         if let Some(tc) = vp.trace_cache_stats {
             println!(
                 "{:<38} trace-cache hit rate {:.0}%, {} fills",
-                "", 100.0 * tc.hit_rate(), tc.fills
+                "",
+                100.0 * tc.hit_rate(),
+                tc.fills
             );
         }
         if let Some(banked) = vp.banked_stats {

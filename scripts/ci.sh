@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: format, lint, build, test.
+#
+# The workspace has no external dependencies, so everything also works on a
+# machine with no registry access — if `cargo fetch` cannot reach a
+# registry, every later step runs with `--offline`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=""
+if ! cargo fetch --quiet 2>/dev/null; then
+    echo "== registry unreachable, continuing with --offline"
+    OFFLINE="--offline"
+fi
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build $OFFLINE --release
+
+echo "== tier-1: cargo test -q"
+cargo test $OFFLINE -q
+
+echo "== CI green"

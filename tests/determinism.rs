@@ -2,9 +2,15 @@
 //! level of the stack — the property that makes the experiment tables in
 //! `EXPERIMENTS.md` reproducible on any machine.
 
-use fetchvp_core::{BtbKind, FrontEnd, IdealConfig, IdealMachine, RealisticConfig, RealisticMachine, VpConfig};
+use std::sync::Arc;
+
+use fetchvp_core::{
+    BtbKind, FrontEnd, IdealConfig, IdealMachine, RealisticConfig, RealisticMachine, VpConfig,
+};
 use fetchvp_dfg::analyze;
-use fetchvp_experiments::{fig3_1, fig5_3, ExperimentConfig};
+use fetchvp_experiments::{
+    ablations, fig3_1, fig5_3, for_each_trace, ExperimentConfig, Sweep, TraceCache,
+};
 use fetchvp_fetch::TraceCacheConfig;
 use fetchvp_trace::trace_program;
 use fetchvp_workloads::{suite, WorkloadParams};
@@ -33,10 +39,8 @@ fn machine_results_are_identical_across_runs() {
     };
     assert_eq!(run(), run());
 
-    let fe = FrontEnd::TraceCache {
-        config: TraceCacheConfig::paper(),
-        btb: BtbKind::two_level_paper(),
-    };
+    let fe =
+        FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb: BtbKind::two_level_paper() };
     let run = || {
         RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite())).run(&trace)
     };
@@ -55,6 +59,55 @@ fn experiment_runners_are_identical_across_runs() {
     let cfg = ExperimentConfig { trace_len: 5_000, ..ExperimentConfig::default() };
     assert_eq!(fig3_1::run(&cfg), fig3_1::run(&cfg));
     assert_eq!(fig5_3::run(&cfg), fig5_3::run(&cfg));
+}
+
+/// The tentpole guarantee: a parallel sweep's rendered tables are
+/// byte-identical to the serial (`--jobs 1`) oracle.
+#[test]
+fn parallel_sweeps_are_byte_identical_to_serial() {
+    let cfg = ExperimentConfig { trace_len: 5_000, ..ExperimentConfig::default() };
+    let serial = Sweep::with_jobs(&cfg, 1);
+    let parallel = Sweep::with_jobs(&cfg, 8);
+
+    assert_eq!(
+        fig3_1::run_with(&serial).to_table().to_string(),
+        fig3_1::run_with(&parallel).to_table().to_string(),
+        "fig3-1 tables diverge between --jobs 1 and --jobs 8"
+    );
+    assert_eq!(
+        ablations::window_sweep_with(&serial).to_table().to_string(),
+        ablations::window_sweep_with(&parallel).to_table().to_string(),
+        "ablation-window tables diverge between --jobs 1 and --jobs 8"
+    );
+    // Both sweeps traced each integer benchmark exactly once, even with 8
+    // workers racing over two experiments.
+    assert_eq!(serial.cache().generated(), 8);
+    assert_eq!(parallel.cache().generated(), 8);
+}
+
+/// The trace cache hands out the *same* trace (same allocation, not just
+/// equal contents) on every request, and matches the serial
+/// `for_each_trace` oracle bit-for-bit.
+#[test]
+fn trace_cache_shares_one_trace_per_workload() {
+    let cfg = ExperimentConfig { trace_len: 2_000, ..ExperimentConfig::default() };
+    let cache = TraceCache::new(&cfg);
+    let first = cache.trace(0);
+    let again = cache.trace(0);
+    assert!(Arc::ptr_eq(&first, &again), "repeated requests must return the same Arc");
+    assert_eq!(cache.generated(), 1, "one generation despite two requests");
+
+    let mut index = 0;
+    for_each_trace(&cfg, |w, serial_trace| {
+        assert_eq!(
+            *cache.trace(index),
+            *serial_trace,
+            "{}: cached trace diverges from the serial oracle",
+            w.name()
+        );
+        index += 1;
+    });
+    assert_eq!(cache.generated(), 8);
 }
 
 #[test]
@@ -81,9 +134,6 @@ fn different_seeds_change_the_data_but_not_the_conclusions() {
             vp.speedup_over(&base)
         };
         let (narrow, wide) = (speedup(4), speedup(40));
-        assert!(
-            wide > narrow + 0.20,
-            "seed {seed}: fetch-4 {narrow:.2} vs fetch-40 {wide:.2}"
-        );
+        assert!(wide > narrow + 0.20, "seed {seed}: fetch-4 {narrow:.2} vs fetch-40 {wide:.2}");
     }
 }

@@ -57,9 +57,7 @@ fn perfect_btb_dominates_two_level_btb() {
         for max_taken in [Some(1u32), Some(4)] {
             let cycles = |btb| {
                 let fe = FrontEnd::Conventional { width: 40, max_taken, btb };
-                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None))
-                    .run(&trace)
-                    .cycles
+                RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(&trace).cycles
             };
             assert!(
                 cycles(BtbKind::Perfect) <= cycles(BtbKind::two_level_paper()),

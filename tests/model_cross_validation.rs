@@ -108,10 +108,8 @@ fn bandwidth_trend_agrees() {
 #[test]
 fn two_level_btb_costs_both_models() {
     for (name, trace) in traces() {
-        let perfect =
-            RealisticConfig::paper(fe(Some(4), BtbKind::Perfect), VpConfig::None);
-        let real =
-            RealisticConfig::paper(fe(Some(4), BtbKind::two_level_paper()), VpConfig::None);
+        let perfect = RealisticConfig::paper(fe(Some(4), BtbKind::Perfect), VpConfig::None);
+        let real = RealisticConfig::paper(fe(Some(4), BtbKind::two_level_paper()), VpConfig::None);
         let a_cost = RealisticMachine::new(real).run(&trace).cycles as f64
             / RealisticMachine::new(perfect).run(&trace).cycles as f64;
         let e_cost = EventMachine::new(real).run(&trace).cycles as f64

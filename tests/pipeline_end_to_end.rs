@@ -106,8 +106,7 @@ fn dependence_classes_partition_all_register_dependencies() {
 fn vp_statistics_are_consistent_with_the_trace() {
     for workload in suite(&WorkloadParams::default()) {
         let trace = trace_program(workload.program(), TRACE_LEN);
-        let value_producers =
-            trace.iter().filter(|r| r.produces_value()).count() as u64;
+        let value_producers = trace.iter().filter(|r| r.produces_value()).count() as u64;
         let r = IdealMachine::new(IdealConfig {
             fetch_rate: 16,
             vp: VpConfig::stride_infinite(),
@@ -116,11 +115,6 @@ fn vp_statistics_are_consistent_with_the_trace() {
         .run(&trace);
         let s = r.vp_stats.expect("stride predictor reports stats");
         assert_eq!(s.lookups, value_producers, "{}", workload.name());
-        assert_eq!(
-            s.correct + s.incorrect + s.unpredicted,
-            value_producers,
-            "{}",
-            workload.name()
-        );
+        assert_eq!(s.correct + s.incorrect + s.unpredicted, value_producers, "{}", workload.name());
     }
 }

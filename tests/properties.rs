@@ -4,97 +4,107 @@
 use fetchvp_core::sched::{Scheduler, VpDisposition};
 use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
 use fetchvp_isa::{AluOp, Cond, Instr, Program, ProgramBuilder, Reg};
+use fetchvp_testutil::{for_cases, Rng};
 use fetchvp_trace::{read_trace, trace_program, write_trace, BasicBlocks, Trace};
-use proptest::prelude::*;
 
-/// Strategy: a random straight-line program over a handful of registers,
-/// closed with a counted loop so it produces a trace of meaningful length.
-fn random_program() -> impl Strategy<Value = Program> {
-    let op = proptest::sample::select(AluOp::ALL.to_vec());
-    let reg = || (1u8..8).prop_map(|i| Reg::new(i).expect("in range"));
-    let instr = (op, reg(), reg(), reg(), -16i64..16).prop_map(|(op, dst, a, b, imm)| {
+/// A random straight-line program over a handful of registers, closed with
+/// a counted loop so it produces a trace of meaningful length.
+fn random_program(rng: &mut Rng) -> Program {
+    let body = rng.vec_with(1, 40, |rng| {
+        let op = *rng.pick(&AluOp::ALL);
+        let reg = |rng: &mut Rng| Reg::new(rng.range_u64(1, 8) as u8).expect("in range");
+        let (dst, a, b) = (reg(rng), reg(rng), reg(rng));
+        let imm = rng.range_i64(-16, 16);
         if imm % 2 == 0 {
             Instr::Alu { op, dst, a, b }
         } else {
             Instr::AluImm { op, dst, a, imm }
         }
     });
-    (proptest::collection::vec(instr, 1..40), 2i64..50).prop_map(|(body, iters)| {
-        let mut b = ProgramBuilder::new("random");
-        b.load_imm(Reg::R9, iters);
-        let head = b.bind_label("head");
-        for i in body {
-            b.push(i);
-        }
-        b.alu_imm(AluOp::Sub, Reg::R9, Reg::R9, 1);
-        b.branch(Cond::Ne, Reg::R9, Reg::R0, head);
-        b.halt();
-        b.build().expect("random program assembles")
-    })
+    let iters = rng.range_i64(2, 50);
+    let mut b = ProgramBuilder::new("random");
+    b.load_imm(Reg::R9, iters);
+    let head = b.bind_label("head");
+    for i in body {
+        b.push(i);
+    }
+    b.alu_imm(AluOp::Sub, Reg::R9, Reg::R9, 1);
+    b.branch(Cond::Ne, Reg::R9, Reg::R0, head);
+    b.halt();
+    b.build().expect("random program assembles")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The executor is deterministic and the trace is well-formed.
-    #[test]
-    fn traces_are_well_formed(program in random_program()) {
+/// The executor is deterministic and the trace is well-formed.
+#[test]
+fn traces_are_well_formed() {
+    for_cases(48, |case, rng| {
+        let program = random_program(rng);
         let a = trace_program(&program, 3_000);
         let b = trace_program(&program, 3_000);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a, b, "case {case}");
         for (i, rec) in a.iter().enumerate() {
-            prop_assert_eq!(rec.seq, i as u64);
-            prop_assert!(program.get(rec.pc).is_some());
+            assert_eq!(rec.seq, i as u64, "case {case}");
+            assert!(program.get(rec.pc).is_some(), "case {case}");
         }
         // Consecutive records follow the recorded control flow.
         for w in a.records().windows(2) {
-            prop_assert_eq!(w[0].next_pc, w[1].pc);
+            assert_eq!(w[0].next_pc, w[1].pc, "case {case}");
         }
-    }
+    });
+}
 
-    /// Trace serialization round-trips bit-exactly.
-    #[test]
-    fn trace_io_round_trips(program in random_program()) {
+/// Trace serialization round-trips bit-exactly.
+#[test]
+fn trace_io_round_trips() {
+    for_cases(48, |case, rng| {
+        let program = random_program(rng);
         let t = trace_program(&program, 1_000);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).expect("write to memory");
         let loaded = read_trace(buf.as_slice()).expect("read back");
-        prop_assert_eq!(t, loaded);
-    }
+        assert_eq!(t, loaded, "case {case}");
+    });
+}
 
-    /// Basic blocks tile the program and each holds at most one control
-    /// instruction, at its end.
-    #[test]
-    fn basic_blocks_tile(program in random_program()) {
+/// Basic blocks tile the program and each holds at most one control
+/// instruction, at its end.
+#[test]
+fn basic_blocks_tile() {
+    for_cases(48, |case, rng| {
+        let program = random_program(rng);
         let bbs = BasicBlocks::analyze(&program);
         let mut covered = 0u64;
         for block in bbs.blocks() {
             let (start, end) = (bbs.start(block), bbs.end(block));
-            prop_assert!(start < end);
+            assert!(start < end, "case {case}");
             covered += end - start;
             for pc in start..end.saturating_sub(1) {
-                prop_assert!(!program.get(pc).unwrap().is_control());
+                assert!(!program.get(pc).unwrap().is_control(), "case {case}");
             }
         }
-        prop_assert_eq!(covered, program.len() as u64);
-    }
+        assert_eq!(covered, program.len() as u64, "case {case}");
+    });
+}
 
-    /// The scheduler respects dataflow: a consumer never executes before an
-    /// unpredicted producer completes, and stage times are well-ordered.
-    #[test]
-    fn scheduler_respects_dataflow(program in random_program(), fetch_rate in 1usize..40) {
+/// The scheduler respects dataflow: a consumer never executes before an
+/// unpredicted producer completes, and stage times are well-ordered.
+#[test]
+fn scheduler_respects_dataflow() {
+    for_cases(48, |case, rng| {
+        let program = random_program(rng);
+        let fetch_rate = rng.range_usize(1, 40);
         let trace = trace_program(&program, 2_000);
         let mut sched = Scheduler::new(40, Some(fetch_rate));
         let mut last_write: [Option<u64>; 32] = [None; 32]; // complete times
         for (i, rec) in trace.iter().enumerate() {
             let t = sched.schedule(rec, (i / fetch_rate) as u64, VpDisposition::None);
-            prop_assert!(t.dispatch < t.execute);
-            prop_assert_eq!(t.complete, t.execute + 1);
+            assert!(t.dispatch < t.execute, "case {case}");
+            assert_eq!(t.complete, t.execute + 1, "case {case}");
             for src in rec.srcs().into_iter().flatten() {
                 if let Some(ready) = last_write[src.index()] {
-                    prop_assert!(
+                    assert!(
                         t.execute >= ready,
-                        "consumer at {} executed before producer completed at {}",
+                        "case {case}: consumer at {} executed before producer completed at {}",
                         t.execute,
                         ready
                     );
@@ -104,27 +114,33 @@ proptest! {
                 last_write[dst.index()] = Some(t.complete);
             }
         }
-    }
+    });
+}
 
-    /// Machine-level orderings hold on arbitrary programs: perfect VP is
-    /// never slower than no VP, and more fetch bandwidth never hurts.
-    #[test]
-    fn machine_orderings_hold(program in random_program()) {
+/// Machine-level orderings hold on arbitrary programs: perfect VP is never
+/// slower than no VP, and more fetch bandwidth never hurts.
+#[test]
+fn machine_orderings_hold() {
+    for_cases(48, |case, rng| {
+        let program = random_program(rng);
         let trace = trace_program(&program, 2_000);
         let cycles = |fetch_rate, vp| {
             IdealMachine::new(IdealConfig { fetch_rate, vp, ..IdealConfig::default() })
                 .run(&trace)
                 .cycles
         };
-        prop_assert!(cycles(16, VpConfig::Perfect) <= cycles(16, VpConfig::None));
-        prop_assert!(cycles(32, VpConfig::None) <= cycles(8, VpConfig::None));
-        prop_assert!(cycles(32, VpConfig::Perfect) <= cycles(8, VpConfig::Perfect));
-    }
+        assert!(cycles(16, VpConfig::Perfect) <= cycles(16, VpConfig::None), "case {case}");
+        assert!(cycles(32, VpConfig::None) <= cycles(8, VpConfig::None), "case {case}");
+        assert!(cycles(32, VpConfig::Perfect) <= cycles(8, VpConfig::Perfect), "case {case}");
+    });
+}
 
-    /// The dependence census agrees between the DFG analyzer and the
-    /// machine, for any program.
-    #[test]
-    fn dep_counts_agree(program in random_program()) {
+/// The dependence census agrees between the DFG analyzer and the machine,
+/// for any program.
+#[test]
+fn dep_counts_agree() {
+    for_cases(48, |case, rng| {
+        let program = random_program(rng);
         let trace = trace_program(&program, 2_000);
         let machine = IdealMachine::new(IdealConfig {
             fetch_rate: 8,
@@ -133,8 +149,8 @@ proptest! {
         })
         .run(&trace);
         let dfg = fetchvp_dfg::analyze(&trace);
-        prop_assert_eq!(machine.deps.total, dfg.arcs);
-    }
+        assert_eq!(machine.deps.total, dfg.arcs, "case {case}");
+    });
 }
 
 /// Non-random regression: an empty-bodied loop exercises the degenerate
