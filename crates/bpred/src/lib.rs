@@ -50,6 +50,7 @@ pub use gshare::{GshareBtb, GshareConfig};
 pub use perfect::PerfectBtb;
 pub use two_level::{TwoLevelBtb, TwoLevelConfig};
 
+use fetchvp_metrics::{MetricsSink, Registry};
 use fetchvp_trace::DynInstr;
 
 /// The outcome of one branch prediction.
@@ -118,6 +119,11 @@ impl BpredStats {
         }
     }
 
+    /// Mispredicted control instructions.
+    pub fn mispredictions(&self) -> u64 {
+        self.predictions - self.correct
+    }
+
     pub(crate) fn record(&mut self, rec: &DynInstr, prediction: BranchPrediction) {
         self.predictions += 1;
         let correct = prediction.correct_for(rec);
@@ -130,6 +136,18 @@ impl BpredStats {
                 self.cond_correct += 1;
             }
         }
+    }
+}
+
+impl MetricsSink for BpredStats {
+    fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+        reg.counter(prefix, "predictions", self.predictions);
+        reg.counter(prefix, "correct", self.correct);
+        reg.counter(prefix, "mispredictions", self.mispredictions());
+        reg.counter(prefix, "cond_predictions", self.cond_predictions);
+        reg.counter(prefix, "cond_correct", self.cond_correct);
+        reg.gauge(prefix, "accuracy", self.accuracy());
+        reg.gauge(prefix, "cond_accuracy", self.cond_accuracy());
     }
 }
 

@@ -36,6 +36,11 @@
 //!   save-trace <benchmark> <file>   capture a trace to disk
 //!   trace-info <file>               print a saved trace's statistics
 //!   run-asm <file.s>                assemble, trace and simulate a program
+//!
+//! benchmarking (the perf-regression loop):
+//!   bench [--quick] [--out FILE]    run the workload suite, write BENCH_<date>.json
+//!   bench-compare <old> <new> [--threshold PCT]
+//!                                   diff two reports, exit nonzero on regression
 //! ```
 
 use std::fs::File;
@@ -44,10 +49,11 @@ use std::process::ExitCode;
 
 use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
 use fetchvp_experiments::{
-    ablations, default_jobs, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3, table3_1,
-    table3_2, ExperimentConfig, Sweep, Table,
+    ablations, bench, default_jobs, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3,
+    table3_1, table3_2, ExperimentConfig, Sweep, Table,
 };
 use fetchvp_isa::parse_program;
+use fetchvp_metrics::Json;
 use fetchvp_trace::{read_trace, trace_program, write_trace};
 use fetchvp_workloads::{by_name, WorkloadParams};
 
@@ -59,7 +65,9 @@ ablations:   ablation-banks ablation-window ablation-confidence \
              ablation-predictors ablation-partial ablation-btb \
              ablation-fetch ablation-penalty ablation-tc ablation-hints
              ablation-model ablation-seeds ablations
-trace files: save-trace <benchmark> <file> / trace-info <file> / run-asm <file.s>";
+trace files: save-trace <benchmark> <file> / trace-info <file> / run-asm <file.s>
+benchmarks:  bench [--quick] [--out FILE] / bench-compare <old.json> <new.json> \
+             [--threshold PCT]";
 
 struct Options {
     experiment: String,
@@ -71,6 +79,12 @@ struct Options {
     jobs: usize,
     csv: bool,
     chart: bool,
+    /// `bench`: use the reduced quick configuration.
+    quick: bool,
+    /// `bench`: output path (default `BENCH_<date>.json`).
+    out: Option<String>,
+    /// `bench-compare`: tolerated throughput drop, percent.
+    threshold: f64,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -80,6 +94,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut jobs = default_jobs();
     let mut csv = false;
     let mut chart = false;
+    let mut quick = false;
+    let mut out = None;
+    let mut threshold = 100.0 * bench::DEFAULT_THRESHOLD;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -102,6 +119,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--csv" => csv = true,
             "--chart" => chart = true,
+            "--quick" => quick = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out = Some(v.clone());
+            }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse()
+                    .ok()
+                    .filter(|&t: &f64| t.is_finite() && t >= 0.0)
+                    .ok_or(format!("bad threshold `{v}` (need a percentage >= 0)"))?;
+            }
             other if !other.starts_with('-') => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
@@ -113,7 +143,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     let experiment = experiment.ok_or("no experiment named")?;
-    Ok(Options { experiment, positionals, config, jobs, csv, chart })
+    Ok(Options { experiment, positionals, config, jobs, csv, chart, quick, out, threshold })
 }
 
 fn emit(table: &Table, csv: bool) {
@@ -175,19 +205,62 @@ fn run_asm(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_one(
-    name: &str,
-    sweep: &Sweep,
-    csv: bool,
-    chart: bool,
-    positionals: &[String],
-) -> Result<(), String> {
+fn run_bench(sweep: &Sweep, opts: &Options) -> Result<(), String> {
+    let report = bench::run_with(sweep, opts.quick);
+    let path = opts.out.clone().unwrap_or_else(|| report.filename());
+    let text = report.to_json().to_json() + "\n";
+    std::fs::write(&path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!(
+        "bench: {} workloads, {} simulated instructions in {:.2}s ({:.0} instr/s)",
+        report.workloads.len(),
+        report.total_instructions(),
+        report.wall_seconds,
+        report.sim_ips()
+    );
+    for w in &report.workloads {
+        println!("  {:<10} {:>12} instrs  {:>12.0} instr/s", w.name, w.instructions, w.sim_ips());
+    }
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn run_bench_compare(opts: &Options) -> Result<(), String> {
+    let [old_path, new_path] = opts.positionals.as_slice() else {
+        return Err("bench-compare needs: <old.json> <new.json>".into());
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let outcome = bench::compare(&load(old_path)?, &load(new_path)?, opts.threshold / 100.0)?;
+    for warning in &outcome.warnings {
+        eprintln!("warning: {warning}");
+    }
+    for line in &outcome.lines {
+        println!("{line}");
+    }
+    if outcome.passed() {
+        println!("OK: no throughput regression beyond {:.1}%", opts.threshold);
+        Ok(())
+    } else {
+        for regression in &outcome.regressions {
+            eprintln!("REGRESSION: {regression}");
+        }
+        Err(format!("{} throughput regression(s)", outcome.regressions.len()))
+    }
+}
+
+fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
     let cfg = sweep.config();
+    let (csv, chart, positionals) = (opts.csv, opts.chart, opts.positionals.as_slice());
     #[allow(clippy::match_like_matches_macro)]
     match name {
         "save-trace" => return save_trace(cfg, positionals),
         "trace-info" => return trace_info(positionals),
         "run-asm" => return run_asm(cfg, positionals),
+        "bench" => return run_bench(sweep, opts),
+        "bench-compare" => return run_bench_compare(opts),
         "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),
         "accuracy" => emit(&fetchvp_experiments::accuracy::run_with(sweep).to_table(), csv),
         "breakdown" => emit(&fetchvp_experiments::breakdown::run_with(sweep).to_table(), csv),
@@ -230,7 +303,7 @@ fn run_one(
                 "ablation-model",
                 "ablation-seeds",
             ] {
-                run_one(exp, sweep, csv, chart, positionals)?;
+                run_one(exp, sweep, opts)?;
             }
         }
         "all" => {
@@ -238,10 +311,10 @@ fn run_one(
                 "table3-1", "fig3-1", "table3-2", "fig3-3", "fig3-4", "fig3-5", "fig5-1", "fig5-2",
                 "fig5-3",
             ] {
-                run_one(exp, sweep, csv, chart, positionals)?;
+                run_one(exp, sweep, opts)?;
             }
         }
-        other => return Err(format!("unknown experiment `{other}`")),
+        other => return Err(format!("unknown experiment `{other}`\n{USAGE}")),
     }
     Ok(())
 }
@@ -257,11 +330,17 @@ fn main() -> ExitCode {
     };
     // One sweep (and thus one trace cache) shared by everything this
     // invocation runs, including the `all`/`ablations` meta-experiments.
-    let sweep = Sweep::with_jobs(&options.config, options.jobs);
-    match run_one(&options.experiment, &sweep, options.csv, options.chart, &options.positionals) {
+    // `bench --quick` caps the trace length at the quick configuration
+    // (an explicit smaller `--trace-len` still wins).
+    let mut config = options.config;
+    if options.experiment == "bench" && options.quick {
+        config.trace_len = config.trace_len.min(ExperimentConfig::quick().trace_len);
+    }
+    let sweep = Sweep::with_jobs(&config, options.jobs);
+    match run_one(&options.experiment, &sweep, &options) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -308,13 +387,38 @@ mod tests {
     fn rejects_unknown_experiment() {
         let o = opts(&["fig9-9"]).unwrap();
         let sweep = Sweep::with_jobs(&o.config, o.jobs);
-        assert!(run_one(&o.experiment, &sweep, false, false, &[]).is_err());
+        assert!(run_one(&o.experiment, &sweep, &o).is_err());
     }
 
     #[test]
     fn table3_2_runs_end_to_end() {
-        let o = opts(&["table3-2"]).unwrap();
+        let o = opts(&["table3-2", "--csv"]).unwrap();
         let sweep = Sweep::with_jobs(&o.config, o.jobs);
-        run_one(&o.experiment, &sweep, true, false, &[]).unwrap();
+        run_one(&o.experiment, &sweep, &o).unwrap();
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let o = opts(&["bench", "--quick", "--out", "report.json"]).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.out.as_deref(), Some("report.json"));
+        assert!((o.threshold - 15.0).abs() < 1e-12, "default threshold is 15%");
+        assert!(opts(&["bench", "--out"]).is_err());
+    }
+
+    #[test]
+    fn parses_threshold() {
+        let o = opts(&["bench-compare", "a.json", "b.json", "--threshold", "7.5"]).unwrap();
+        assert_eq!(o.positionals, ["a.json", "b.json"]);
+        assert!((o.threshold - 7.5).abs() < 1e-12);
+        assert!(opts(&["bench-compare", "--threshold", "-3"]).is_err());
+        assert!(opts(&["bench-compare", "--threshold", "wat"]).is_err());
+    }
+
+    #[test]
+    fn bench_compare_needs_two_files() {
+        let o = opts(&["bench-compare", "only-one.json"]).unwrap();
+        let sweep = Sweep::with_jobs(&o.config, o.jobs);
+        assert!(run_one(&o.experiment, &sweep, &o).is_err());
     }
 }

@@ -308,6 +308,7 @@ impl EventMachine {
             bpred_stats: Some(engine.bpred_stats()),
             trace_cache_stats: engine.trace_cache_stats(),
             banked_stats: None,
+            bac_stats: engine.bac_stats(),
             cycle_breakdown: Some(breakdown),
         }
     }

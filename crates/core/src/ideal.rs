@@ -95,6 +95,7 @@ impl IdealMachine {
             bpred_stats: None,
             trace_cache_stats: None,
             banked_stats: None,
+            bac_stats: None,
             cycle_breakdown: None,
         }
     }

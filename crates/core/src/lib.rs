@@ -73,7 +73,8 @@ pub use vp::{PredictorKind, VpConfig};
 use std::fmt;
 
 use fetchvp_bpred::BpredStats;
-use fetchvp_fetch::TraceCacheStats;
+use fetchvp_fetch::{BacStats, TraceCacheStats};
+use fetchvp_metrics::{MetricsSink, Registry};
 use fetchvp_predictor::{BankedStats, PredictorStats};
 
 /// Attribution of every *retire slot* (issue width × cycles) to the
@@ -112,6 +113,15 @@ impl CycleBreakdown {
     }
 }
 
+impl MetricsSink for CycleBreakdown {
+    fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+        reg.counter(prefix, "retiring", self.retiring);
+        reg.counter(prefix, "mispredict_stall", self.mispredict_stall);
+        reg.counter(prefix, "fetch_starved", self.fetch_starved);
+        reg.counter(prefix, "dataflow_stall", self.dataflow_stall);
+    }
+}
+
 /// The outcome of one machine run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineResult {
@@ -132,6 +142,9 @@ pub struct MachineResult {
     /// Banked prediction front-end statistics (when the §4 front-end is in
     /// use).
     pub banked_stats: Option<BankedStats>,
+    /// Branch-address-cache statistics (realistic machine with the §2.2
+    /// BAC front-end only).
+    pub bac_stats: Option<BacStats>,
     /// Per-cycle stall attribution (event machine only).
     pub cycle_breakdown: Option<CycleBreakdown>,
 }
@@ -144,6 +157,67 @@ impl MachineResult {
         } else {
             self.instructions as f64 / self.cycles as f64
         }
+    }
+
+    /// Exports every statistic this run produced into one namespaced
+    /// [`Registry`] snapshot.
+    ///
+    /// Sections present on every run: `machine.*` (instructions, cycles,
+    /// IPC) and `sched.*` (scheduling and dependence-classification
+    /// counters). Optional sections appear when the corresponding hardware
+    /// was configured: `predictor.*` (value predictor),
+    /// `predictor.banked.*` (§4 banked front-end), `fetch.bpred.*`,
+    /// `fetch.trace_cache.*`, `fetch.bac.*` and `machine.slots.*` (event
+    /// machine cycle accounting).
+    ///
+    /// ```
+    /// use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
+    /// use fetchvp_isa::{ProgramBuilder, Reg};
+    /// use fetchvp_trace::trace_program;
+    ///
+    /// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+    /// let mut b = ProgramBuilder::new("p");
+    /// b.load_imm(Reg::R1, 1);
+    /// b.halt();
+    /// let trace = trace_program(&b.build()?, 10);
+    /// let cfg = IdealConfig { vp: VpConfig::stride_infinite(), ..IdealConfig::default() };
+    /// let reg = IdealMachine::new(cfg).run(&trace).metrics();
+    /// assert_eq!(reg.get_counter("machine.instructions"), Some(1));
+    /// assert!(reg.get_counter("predictor.lookups").is_some());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.counter("machine", "instructions", self.instructions);
+        reg.counter("machine", "cycles", self.cycles);
+        reg.gauge("machine", "ipc", self.ipc());
+        let sched = SchedStats {
+            instructions: self.instructions,
+            last_complete: self.cycles,
+            value_replays: self.value_replays,
+            deps: self.deps,
+        };
+        sched.export_metrics(&mut reg, "sched");
+        if let Some(s) = &self.vp_stats {
+            s.export_metrics(&mut reg, "predictor");
+        }
+        if let Some(s) = &self.banked_stats {
+            s.export_metrics(&mut reg, "predictor.banked");
+        }
+        if let Some(s) = &self.bpred_stats {
+            s.export_metrics(&mut reg, "fetch.bpred");
+        }
+        if let Some(s) = &self.trace_cache_stats {
+            s.export_metrics(&mut reg, "fetch.trace_cache");
+        }
+        if let Some(s) = &self.bac_stats {
+            s.export_metrics(&mut reg, "fetch.bac");
+        }
+        if let Some(s) = &self.cycle_breakdown {
+            s.export_metrics(&mut reg, "machine.slots");
+        }
+        reg
     }
 
     /// The speedup of `self` over `baseline` (same workload, same fetch

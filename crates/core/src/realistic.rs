@@ -294,6 +294,7 @@ impl RealisticMachine {
             bpred_stats: Some(engine.bpred_stats()),
             trace_cache_stats: engine.trace_cache_stats(),
             banked_stats,
+            bac_stats: engine.bac_stats(),
             cycle_breakdown: None,
         }
     }

@@ -87,6 +87,26 @@ pub struct SchedStats {
     pub deps: DepStats,
 }
 
+impl fetchvp_metrics::MetricsSink for DepStats {
+    fn export_metrics(&self, reg: &mut fetchvp_metrics::Registry, prefix: &str) {
+        reg.counter(prefix, "total", self.total);
+        reg.counter(prefix, "useful", self.useful);
+        reg.counter(prefix, "useless_correct", self.useless_correct);
+        reg.counter(prefix, "wrong", self.wrong);
+        reg.counter(prefix, "unpredicted", self.unpredicted);
+        reg.gauge(prefix, "useless_fraction", self.useless_fraction());
+    }
+}
+
+impl fetchvp_metrics::MetricsSink for SchedStats {
+    fn export_metrics(&self, reg: &mut fetchvp_metrics::Registry, prefix: &str) {
+        reg.counter(prefix, "instructions", self.instructions);
+        reg.counter(prefix, "last_complete", self.last_complete);
+        reg.counter(prefix, "value_replays", self.value_replays);
+        self.deps.export_metrics(reg, &format!("{prefix}.deps"));
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Producer {
     complete: u64,

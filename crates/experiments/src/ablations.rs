@@ -363,7 +363,7 @@ pub fn seed_stability(cfg: &ExperimentConfig) -> SeedStabilityResult {
 }
 
 /// [`seed_stability`] parallelized within each seed. Every seed generates
-/// *different* traces, so it cannot share the caller's [`TraceCache`]; each
+/// *different* traces, so it cannot share the caller's [`TraceCache`](crate::TraceCache); each
 /// seed gets its own sweep (with the caller's job count) and runs in turn.
 pub fn seed_stability_with(sweep: &Sweep) -> SeedStabilityResult {
     let cfg = sweep.config();

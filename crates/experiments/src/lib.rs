@@ -39,6 +39,7 @@
 
 pub mod ablations;
 pub mod accuracy;
+pub mod bench;
 pub mod breakdown;
 pub mod chart;
 pub mod fig3_1;

@@ -1,6 +1,7 @@
 //! Branch-address-cache fetch (paper reference \[28\]).
 
 use fetchvp_bpred::{BpredStats, BranchPredictor};
+use fetchvp_metrics::{MetricsSink, Registry};
 use fetchvp_trace::DynInstr;
 
 use crate::{FetchEngine, FetchGroup};
@@ -42,6 +43,26 @@ pub struct BacStats {
     pub blocks: u64,
     /// Fetch groups cut short by an instruction-cache bank conflict.
     pub bank_conflicts: u64,
+}
+
+impl BacStats {
+    /// Basic blocks delivered per fetch cycle.
+    pub fn blocks_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.blocks as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl MetricsSink for BacStats {
+    fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+        reg.counter(prefix, "cycles", self.cycles);
+        reg.counter(prefix, "blocks", self.blocks);
+        reg.counter(prefix, "bank_conflicts", self.bank_conflicts);
+        reg.gauge(prefix, "blocks_per_cycle", self.blocks_per_cycle());
+    }
 }
 
 /// The branch address cache of Yeh, Marr & Patt (\[28\]): an extension of
@@ -164,6 +185,10 @@ impl<P: BranchPredictor> FetchEngine for BacFetch<P> {
 
     fn bpred_stats(&self) -> BpredStats {
         self.bpred.stats()
+    }
+
+    fn bac_stats(&self) -> Option<BacStats> {
+        Some(self.stats)
     }
 }
 

@@ -94,6 +94,11 @@ pub trait FetchEngine {
     fn trace_cache_stats(&self) -> Option<TraceCacheStats> {
         None
     }
+
+    /// Branch-address-cache statistics, for engines that have one.
+    fn bac_stats(&self) -> Option<BacStats> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,20 @@ impl TraceCacheStats {
     }
 }
 
+impl fetchvp_metrics::MetricsSink for TraceCacheStats {
+    fn export_metrics(&self, reg: &mut fetchvp_metrics::Registry, prefix: &str) {
+        reg.counter(prefix, "accesses", self.accesses);
+        reg.counter(prefix, "hits", self.hits);
+        reg.counter(prefix, "hits_cut_by_mispredict", self.hits_cut_by_mispredict);
+        reg.counter(prefix, "rejects", self.rejects);
+        reg.counter(prefix, "misses", self.misses);
+        reg.counter(prefix, "fills", self.fills);
+        reg.counter(prefix, "line_instrs", self.line_instrs);
+        reg.counter(prefix, "core_instrs", self.core_instrs);
+        reg.gauge(prefix, "hit_rate", self.hit_rate());
+    }
+}
+
 /// One trace-cache line: a snapshot of the dynamic instruction stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Line {

@@ -1,0 +1,436 @@
+//! A unified metrics layer for the fetchvp simulators.
+//!
+//! The paper's argument rests on counting the right things — fetch-slot
+//! utilization, bank conflicts in the interleaved prediction table (§4),
+//! predictability breakdowns (§3.3) — and every subsystem of this workspace
+//! accumulates its own ad-hoc stats struct. This crate gives those structs
+//! one export surface:
+//!
+//! * [`Registry`] — an ordered map from dotted metric names
+//!   (`predictor.correct`, `fetch.bac.bank_conflicts`) to [`Metric`]s:
+//!   integer [`Metric::Counter`]s, float [`Metric::Gauge`]s and log₂-bucket
+//!   [`Histogram`]s.
+//! * [`MetricsSink`] — implemented by each stats producer
+//!   (`PredictorStats`, `BankedStats`, `BacStats`, `TraceCacheStats`,
+//!   `SchedStats`, `TraceStats`, …) to write its counters under a caller
+//!   supplied namespace prefix.
+//! * [`json`] — a hand-rolled serializer/parser (the workspace builds
+//!   offline, so no serde) producing the `BENCH_*.json` reports that
+//!   `scripts/bench_compare.sh` gates CI with.
+//!
+//! Counters **accumulate**: exporting two machine runs into one registry
+//! sums their counts, which is how the bench reports aggregate a workload's
+//! machine configurations. Gauges **overwrite**: they are derived rates
+//! recomputed from final counter values.
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_metrics::{MetricsSink, Registry};
+//!
+//! struct HitStats { hits: u64, misses: u64 }
+//! impl MetricsSink for HitStats {
+//!     fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+//!         reg.counter(prefix, "hits", self.hits);
+//!         reg.counter(prefix, "misses", self.misses);
+//!     }
+//! }
+//!
+//! let mut reg = Registry::new();
+//! HitStats { hits: 3, misses: 1 }.export_metrics(&mut reg, "cache.l1");
+//! assert_eq!(reg.get_counter("cache.l1.hits"), Some(3));
+//! assert!(reg.counters_json().to_json().contains("\"cache.l1.hits\": 3"));
+//! ```
+
+pub mod json;
+
+pub use json::{Json, ParseError};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One recorded metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically accumulated integer count.
+    Counter(u64),
+    /// A derived floating-point quantity (rates, ratios, throughput).
+    Gauge(f64),
+    /// A distribution over log₂ buckets.
+    Histogram(Histogram),
+}
+
+/// A histogram over power-of-two buckets.
+///
+/// Bucket `i` counts samples whose bit length is `i`: bucket 0 holds the
+/// value 0, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds 4–7, and
+/// so on — the right shape for the paper's distance and run-length
+/// distributions, which span several orders of magnitude.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[i]` = samples with bit length `i` (65 buckets cover `u64`).
+    counts: Vec<u64>,
+    /// Total samples.
+    count: u64,
+    /// Sum of all samples (saturating).
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The mean sample (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Per-bucket counts, lowest bucket first (no trailing zero buckets).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("count".to_string(), Json::UInt(self.count)),
+            ("sum".to_string(), Json::UInt(self.sum)),
+            (
+                "log2_buckets".to_string(),
+                Json::Array(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Anything that can export its statistics into a [`Registry`].
+///
+/// Implementors write each field under `prefix` (a dotted namespace with no
+/// trailing dot, e.g. `"fetch.trace_cache"`); derived rates go in as gauges
+/// so the counter section of a report stays integer-only.
+pub trait MetricsSink {
+    /// Writes this producer's metrics under `prefix`.
+    fn export_metrics(&self, reg: &mut Registry, prefix: &str);
+}
+
+/// An ordered name → metric map; the snapshot a simulation returns
+/// alongside its IPC result.
+///
+/// Keys are dotted paths. Iteration (and therefore JSON output) is in
+/// lexicographic key order, which makes reports deterministic and diffable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn key(prefix: &str, name: &str) -> String {
+        debug_assert!(!name.is_empty(), "metric name must be non-empty");
+        if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}.{name}")
+        }
+    }
+
+    /// Adds `value` to the counter `prefix.name` (creating it at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already holds a gauge or histogram.
+    pub fn counter(&mut self, prefix: &str, name: &str, value: u64) {
+        let key = Registry::key(prefix, name);
+        match self.metrics.entry(key).or_insert(Metric::Counter(0)) {
+            Metric::Counter(n) => *n += value,
+            other => panic!("metric type conflict: counter vs {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `prefix.name` to `value` (overwriting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already holds a counter or histogram.
+    pub fn gauge(&mut self, prefix: &str, name: &str, value: f64) {
+        let key = Registry::key(prefix, name);
+        match self.metrics.entry(key).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(g) => *g = value,
+            other => panic!("metric type conflict: gauge vs {other:?}"),
+        }
+    }
+
+    /// Records `value` into the histogram `prefix.name` (creating it empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already holds a counter or gauge.
+    pub fn observe(&mut self, prefix: &str, name: &str, value: u64) {
+        let key = Registry::key(prefix, name);
+        match self.metrics.entry(key).or_insert_with(|| Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric type conflict: histogram vs {other:?}"),
+        }
+    }
+
+    /// Merges another registry: counters add, gauges overwrite, histograms
+    /// merge bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the same key holds different metric types.
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, metric) in &other.metrics {
+            match (self.metrics.get_mut(key), metric) {
+                (None, m) => {
+                    self.metrics.insert(key.clone(), m.clone());
+                }
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
+                (Some(Metric::Gauge(a)), Metric::Gauge(b)) => *a = *b,
+                (Some(Metric::Histogram(a)), Metric::Histogram(b)) => a.merge(b),
+                (Some(a), b) => panic!("metric type conflict on `{key}`: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// The value of a counter, if present.
+    pub fn get_counter(&self, key: &str) -> Option<u64> {
+        match self.metrics.get(key) {
+            Some(Metric::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value of a gauge, if present.
+    pub fn get_gauge(&self, key: &str) -> Option<f64> {
+        match self.metrics.get(key) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates `(key, metric)` in lexicographic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, m)| (k.as_str(), m))
+    }
+
+    /// The distinct top-level namespaces (`predictor`, `fetch`, …), sorted.
+    pub fn namespaces(&self) -> Vec<&str> {
+        let mut spaces: Vec<&str> =
+            self.metrics.keys().map(|k| k.split('.').next().unwrap_or(k)).collect();
+        spaces.dedup();
+        spaces
+    }
+
+    /// The counter section as a flat JSON object (sorted dotted keys,
+    /// integers only) — the deterministic part of a bench report.
+    pub fn counters_json(&self) -> Json {
+        Json::object(self.metrics.iter().filter_map(|(k, m)| match m {
+            Metric::Counter(n) => Some((k.clone(), Json::UInt(*n))),
+            _ => None,
+        }))
+    }
+
+    /// The gauge section as a flat JSON object (sorted dotted keys).
+    pub fn gauges_json(&self) -> Json {
+        Json::object(self.metrics.iter().filter_map(|(k, m)| match m {
+            Metric::Gauge(g) => Some((k.clone(), Json::Float(*g))),
+            _ => None,
+        }))
+    }
+
+    /// The histogram section as a JSON object of `{count, sum, log2_buckets}`.
+    pub fn histograms_json(&self) -> Json {
+        Json::object(self.metrics.iter().filter_map(|(k, m)| match m {
+            Metric::Histogram(h) => Some((k.clone(), h.to_json())),
+            _ => None,
+        }))
+    }
+
+    /// The full snapshot: `{"counters": …, "gauges": …, "histograms": …}`
+    /// (empty sections omitted).
+    pub fn to_json(&self) -> Json {
+        let mut sections = Vec::new();
+        for (name, section) in [
+            ("counters", self.counters_json()),
+            ("gauges", self.gauges_json()),
+            ("histograms", self.histograms_json()),
+        ] {
+            if section.as_object().is_some_and(|pairs| !pairs.is_empty()) {
+                sections.push((name.to_string(), section));
+            }
+        }
+        Json::object(sections)
+    }
+}
+
+impl fmt::Display for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (key, metric) in &self.metrics {
+            match metric {
+                Metric::Counter(n) => writeln!(f, "{key} = {n}")?,
+                Metric::Gauge(g) => writeln!(f, "{key} = {g:.6}")?,
+                Metric::Histogram(h) => {
+                    writeln!(f, "{key} = histogram(count {}, mean {:.2})", h.count(), h.mean())?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut reg = Registry::new();
+        reg.counter("a", "hits", 2);
+        reg.counter("a", "hits", 3);
+        reg.gauge("a", "rate", 0.5);
+        reg.gauge("a", "rate", 0.7);
+        assert_eq!(reg.get_counter("a.hits"), Some(5));
+        assert_eq!(reg.get_gauge("a.rate"), Some(0.7));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_merges_histograms() {
+        let mut a = Registry::new();
+        a.counter("x", "n", 1);
+        a.observe("x", "h", 4);
+        let mut b = Registry::new();
+        b.counter("x", "n", 2);
+        b.observe("x", "h", 5);
+        b.gauge("x", "g", 1.5);
+        a.merge(&b);
+        assert_eq!(a.get_counter("x.n"), Some(3));
+        assert_eq!(a.get_gauge("x.g"), Some(1.5));
+        match a.metrics.get("x.h") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.sum(), 9);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "type conflict")]
+    fn type_conflicts_panic() {
+        let mut reg = Registry::new();
+        reg.counter("a", "x", 1);
+        reg.gauge("a", "x", 1.0);
+    }
+
+    #[test]
+    fn counter_section_is_sorted_and_integer_only() {
+        let mut reg = Registry::new();
+        reg.counter("z", "late", 1);
+        reg.counter("a", "early", 2);
+        reg.gauge("m", "rate", 0.25);
+        let text = reg.counters_json().to_json();
+        let a = text.find("a.early").unwrap();
+        let z = text.find("z.late").unwrap();
+        assert!(a < z, "keys must be sorted: {text}");
+        assert!(!text.contains("rate"), "gauges must not leak into counters: {text}");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1 << 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 2); // 4, 7
+        assert_eq!(h.buckets()[4], 1); // 8
+        assert_eq!(h.buckets()[41], 1); // 2^40
+        assert!((h.mean() - (h.sum() as f64 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn namespaces_lists_top_level_prefixes() {
+        let mut reg = Registry::new();
+        reg.counter("predictor", "hits", 1);
+        reg.counter("predictor.banked", "denied", 1);
+        reg.counter("fetch.bac", "blocks", 1);
+        assert_eq!(reg.namespaces(), ["fetch", "predictor"]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut reg = Registry::new();
+        reg.counter("a", "n", 7);
+        reg.gauge("a", "r", 0.875);
+        reg.observe("a", "h", 12);
+        let doc = reg.to_json();
+        let text = doc.to_json();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Keys are flat dotted names inside each section.
+        let n = doc.get("counters").and_then(|c| c.get("a.n")).and_then(Json::as_u64);
+        assert_eq!(n, Some(7));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_snapshot() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.to_json().to_json(), "{}");
+    }
+}

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use fetchvp_metrics::{MetricsSink, Registry};
+
 use crate::{PredictorStats, ValuePredictor};
 
 /// Geometry of the highly-interleaved prediction table front-end.
@@ -87,6 +89,17 @@ impl BankedStats {
         } else {
             self.denied as f64 / self.slots as f64
         }
+    }
+}
+
+impl MetricsSink for BankedStats {
+    fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+        reg.counter(prefix, "groups", self.groups);
+        reg.counter(prefix, "slots", self.slots);
+        reg.counter(prefix, "granted", self.granted);
+        reg.counter(prefix, "merged", self.merged);
+        reg.counter(prefix, "bank_conflicts", self.denied);
+        reg.gauge(prefix, "denial_rate", self.denial_rate());
     }
 }
 

@@ -53,6 +53,8 @@ pub use last_value::LastValuePredictor;
 pub use stride::{StrideKind, StridePredictor};
 pub use table::TableGeometry;
 
+use fetchvp_metrics::{MetricsSink, Registry};
+
 /// Lookup/commit statistics accumulated by a predictor.
 ///
 /// `correct`/`incorrect` classify committed instructions for which a
@@ -105,6 +107,18 @@ impl PredictorStats {
             Some(_) => self.incorrect += 1,
             None => self.unpredicted += 1,
         }
+    }
+}
+
+impl MetricsSink for PredictorStats {
+    fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+        reg.counter(prefix, "lookups", self.lookups);
+        reg.counter(prefix, "predictions", self.predictions);
+        reg.counter(prefix, "correct", self.correct);
+        reg.counter(prefix, "incorrect", self.incorrect);
+        reg.counter(prefix, "unpredicted", self.unpredicted);
+        reg.gauge(prefix, "accuracy", self.accuracy());
+        reg.gauge(prefix, "coverage", self.coverage());
     }
 }
 

@@ -3,6 +3,8 @@
 use std::collections::HashSet;
 use std::fmt;
 
+use fetchvp_metrics::{MetricsSink, Registry};
+
 use crate::record::DynInstr;
 
 /// Instruction-mix and control-flow statistics for a dynamic trace.
@@ -110,6 +112,23 @@ impl TraceStats {
     /// Fraction of instructions that produce a register value.
     pub fn value_producing_rate(&self) -> f64 {
         ratio(self.value_producing, self.total)
+    }
+}
+
+impl MetricsSink for TraceStats {
+    fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+        reg.counter(prefix, "instructions", self.total);
+        reg.counter(prefix, "loads", self.loads);
+        reg.counter(prefix, "stores", self.stores);
+        reg.counter(prefix, "control", self.control);
+        reg.counter(prefix, "cond_branches", self.cond_branches);
+        reg.counter(prefix, "taken_cond_branches", self.taken_cond_branches);
+        reg.counter(prefix, "taken_control", self.taken_control);
+        reg.counter(prefix, "value_producing", self.value_producing);
+        reg.counter(prefix, "static_footprint", self.static_footprint);
+        reg.gauge(prefix, "taken_control_rate", self.taken_control_rate());
+        reg.gauge(prefix, "avg_run_length", self.avg_run_length());
+        reg.gauge(prefix, "value_producing_rate", self.value_producing_rate());
     }
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Perf-regression gate: diffs two `fetchvp bench` JSON reports and fails
+# when throughput (simulated instructions/second) drops by more than the
+# threshold on the suite total or any workload.
+#
+# usage: bench_compare.sh OLD.json NEW.json [THRESHOLD_PCT]
+#
+#   THRESHOLD_PCT      tolerated slowdown, percent (default 15)
+#   BENCH_WARN_ONLY=1  report the comparison but always exit 0 — for shared
+#                      CI runners whose wall-clock timing is too noisy to
+#                      hard-fail on (the local gate stays strict)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 2 ]]; then
+    echo "usage: $0 OLD.json NEW.json [THRESHOLD_PCT]" >&2
+    exit 2
+fi
+old=$1
+new=$2
+threshold=${3:-15}
+
+bin=target/release/fetchvp-cli
+if [[ ! -x "$bin" ]]; then
+    echo "== building fetchvp-cli (release)"
+    cargo build --release -p fetchvp-cli --offline 2>/dev/null \
+        || cargo build --release -p fetchvp-cli
+fi
+
+if "$bin" bench-compare "$old" "$new" --threshold "$threshold"; then
+    exit 0
+fi
+if [[ "${BENCH_WARN_ONLY:-0}" == 1 ]]; then
+    echo "::warning::bench throughput regressed beyond ${threshold}% (warn-only mode)"
+    exit 0
+fi
+echo "bench_compare: throughput regressed beyond ${threshold}% — failing" >&2
+exit 1

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: format, lint, build, test.
+# Tier-1 CI gate: format, lint, docs, build, test, examples smoke.
 #
 # The workspace has no external dependencies, so everything also works on a
 # machine with no registry access — if `cargo fetch` cannot reach a
@@ -19,10 +19,18 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings"
 cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 
+echo "== cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc $OFFLINE --workspace --no-deps --quiet
+
 echo "== tier-1: cargo build --release"
 cargo build $OFFLINE --release
 
 echo "== tier-1: cargo test -q"
 cargo test $OFFLINE -q
+
+for example in quickstart did_analysis trace_cache_vp custom_workload event_vs_analytic; do
+    echo "== example: $example"
+    cargo run $OFFLINE --release --example "$example" >/dev/null
+done
 
 echo "== CI green"

@@ -1,0 +1,87 @@
+//! Integration tests for the bench report: determinism of the counter
+//! sections across worker counts, subsystem coverage, and JSON round-trip
+//! shape guarantees.
+
+use fetchvp_experiments::{bench, ExperimentConfig};
+use fetchvp_metrics::Json;
+
+fn small_config() -> ExperimentConfig {
+    ExperimentConfig { trace_len: 5_000, ..ExperimentConfig::default() }
+}
+
+/// The counter and gauge sections come from the simulation, not the clock,
+/// so they must be byte-identical whether the suite ran on 1 or 8 workers.
+#[test]
+fn bench_counters_identical_across_jobs() {
+    let cfg = small_config();
+    let serial = bench::run(&cfg, false, 1);
+    let parallel = bench::run(&cfg, false, 8);
+    assert_eq!(serial.workloads.len(), parallel.workloads.len());
+    for (a, b) in serial.workloads.iter().zip(&parallel.workloads) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.instructions, b.instructions, "{}: instruction counts differ", a.name);
+        assert_eq!(
+            a.registry.counters_json().to_json(),
+            b.registry.counters_json().to_json(),
+            "{}: counter bytes differ between --jobs 1 and --jobs 8",
+            a.name
+        );
+        assert_eq!(
+            a.registry.gauges_json().to_json(),
+            b.registry.gauges_json().to_json(),
+            "{}: gauge bytes differ between --jobs 1 and --jobs 8",
+            a.name
+        );
+    }
+}
+
+/// Every workload's snapshot must span the five counted subsystems.
+#[test]
+fn bench_covers_five_subsystems() {
+    let report = bench::run(&small_config(), false, 1);
+    assert!(!report.workloads.is_empty());
+    for w in &report.workloads {
+        let namespaces = w.registry.namespaces();
+        for required in ["fetch", "machine", "predictor", "sched", "trace"] {
+            assert!(
+                namespaces.contains(&required),
+                "{}: missing `{required}.*` counters (got {namespaces:?})",
+                w.name
+            );
+        }
+    }
+}
+
+/// A serialized report reparses, and re-serializing the parse is
+/// byte-identical (stable key order, shortest-round-trip floats).
+#[test]
+fn bench_report_round_trips() {
+    let report = bench::run(&small_config(), false, 1);
+    let text = report.to_json().to_json();
+    let reparsed = Json::parse(&text).expect("bench report must be valid JSON");
+    assert_eq!(reparsed.to_json(), text, "re-serialization is not byte-stable");
+    assert_eq!(
+        reparsed.get("schema").and_then(Json::as_str),
+        Some(bench::SCHEMA),
+        "schema field missing or wrong"
+    );
+}
+
+/// Counters are integers end to end: no counter value may be serialized
+/// through a float (which would lose precision past 2^53).
+#[test]
+fn bench_counters_are_integer_only() {
+    let report = bench::run(&small_config(), false, 1);
+    let doc = report.to_json();
+    let workloads = doc.get("workloads").and_then(Json::as_object).expect("workloads object");
+    for (name, section) in workloads {
+        let counters = section.get("counters").and_then(Json::as_object).expect("counters object");
+        assert!(!counters.is_empty(), "{name}: empty counters section");
+        for (key, value) in counters {
+            assert!(
+                matches!(value, Json::UInt(_)),
+                "{name}: counter `{key}` serialized as {value:?}, expected an integer"
+            );
+        }
+    }
+}
