@@ -41,6 +41,10 @@
 //!   bench [--quick] [--out FILE]    run the workload suite, write BENCH_<date>.json
 //!   bench-compare <old> <new> [--threshold PCT]
 //!                                   diff two reports, exit nonzero on regression
+//!
+//! serving (simulation as a service):
+//!   serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!                                   run the HTTP daemon (see fetchvp-server)
 //! ```
 
 use std::fs::File;
@@ -67,7 +71,71 @@ ablations:   ablation-banks ablation-window ablation-confidence \
              ablation-model ablation-seeds ablations
 trace files: save-trace <benchmark> <file> / trace-info <file> / run-asm <file.s>
 benchmarks:  bench [--quick] [--out FILE] / bench-compare <old.json> <new.json> \
-             [--threshold PCT]";
+             [--threshold PCT]
+serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+other:       --version";
+
+/// Every subcommand, for `did you mean …` suggestions on typos.
+const COMMANDS: &[&str] = &[
+    "table3-1",
+    "accuracy",
+    "breakdown",
+    "fig3-1",
+    "table3-2",
+    "fig3-3",
+    "fig3-4",
+    "fig3-5",
+    "fig5-1",
+    "fig5-2",
+    "fig5-3",
+    "all",
+    "ablation-banks",
+    "ablation-window",
+    "ablation-confidence",
+    "ablation-predictors",
+    "ablation-partial",
+    "ablation-btb",
+    "ablation-fetch",
+    "ablation-penalty",
+    "ablation-tc",
+    "ablation-hints",
+    "ablation-model",
+    "ablation-seeds",
+    "ablations",
+    "save-trace",
+    "trace-info",
+    "run-asm",
+    "bench",
+    "bench-compare",
+    "serve",
+];
+
+/// Levenshtein edit distance — small inputs only (command names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+/// The closest known subcommand within 3 edits, if any.
+fn nearest_command(name: &str) -> Option<&'static str> {
+    COMMANDS
+        .iter()
+        .map(|&cmd| (edit_distance(name, cmd), cmd))
+        .min()
+        .filter(|&(distance, _)| distance <= 3)
+        .map(|(_, cmd)| cmd)
+}
 
 struct Options {
     experiment: String,
@@ -85,6 +153,12 @@ struct Options {
     out: Option<String>,
     /// `bench-compare`: tolerated throughput drop, percent.
     threshold: f64,
+    /// `serve`: listen address.
+    addr: Option<String>,
+    /// `serve`: pool worker threads.
+    workers: Option<usize>,
+    /// `serve`: bounded job-queue capacity.
+    queue_depth: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -97,6 +171,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut quick = false;
     let mut out = None;
     let mut threshold = 100.0 * bench::DEFAULT_THRESHOLD;
+    let mut addr = None;
+    let mut workers = None;
+    let mut queue_depth = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -132,6 +209,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .filter(|&t: &f64| t.is_finite() && t >= 0.0)
                     .ok_or(format!("bad threshold `{v}` (need a percentage >= 0)"))?;
             }
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs a value (HOST:PORT)")?;
+                addr = Some(v.clone());
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or(format!("bad worker count `{v}` (need an integer >= 1)"))?,
+                );
+            }
+            "--queue-depth" => {
+                let v = it.next().ok_or("--queue-depth needs a value")?;
+                queue_depth = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or(format!("bad queue depth `{v}` (need an integer >= 1)"))?,
+                );
+            }
             other if !other.starts_with('-') => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
@@ -143,7 +242,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     let experiment = experiment.ok_or("no experiment named")?;
-    Ok(Options { experiment, positionals, config, jobs, csv, chart, quick, out, threshold })
+    Ok(Options {
+        experiment,
+        positionals,
+        config,
+        jobs,
+        csv,
+        chart,
+        quick,
+        out,
+        threshold,
+        addr,
+        workers,
+        queue_depth,
+    })
 }
 
 fn emit(table: &Table, csv: bool) {
@@ -251,6 +363,27 @@ fn run_bench_compare(opts: &Options) -> Result<(), String> {
     }
 }
 
+fn run_serve(opts: &Options) -> Result<(), String> {
+    let mut config = fetchvp_server::ServerConfig::default();
+    if let Some(addr) = &opts.addr {
+        config.addr = addr.clone();
+    }
+    if let Some(workers) = opts.workers {
+        config.workers = workers;
+    }
+    if let Some(queue_depth) = opts.queue_depth {
+        config.queue_depth = queue_depth;
+    }
+    let server =
+        fetchvp_server::Server::bind(config).map_err(|e| format!("cannot bind server: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    println!("fetchvp-server listening on {addr}");
+    println!("endpoints: POST /run  GET /jobs/<id>  GET /healthz  GET /metrics  POST /shutdown");
+    server.run().map_err(|e| format!("server failed: {e}"))?;
+    println!("fetchvp-server shut down cleanly");
+    Ok(())
+}
+
 fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
     let cfg = sweep.config();
     let (csv, chart, positionals) = (opts.csv, opts.chart, opts.positionals.as_slice());
@@ -261,6 +394,7 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
         "run-asm" => return run_asm(cfg, positionals),
         "bench" => return run_bench(sweep, opts),
         "bench-compare" => return run_bench_compare(opts),
+        "serve" => return run_serve(opts),
         "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),
         "accuracy" => emit(&fetchvp_experiments::accuracy::run_with(sweep).to_table(), csv),
         "breakdown" => emit(&fetchvp_experiments::breakdown::run_with(sweep).to_table(), csv),
@@ -314,13 +448,22 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
                 run_one(exp, sweep, opts)?;
             }
         }
-        other => return Err(format!("unknown experiment `{other}`\n{USAGE}")),
+        other => {
+            let suggestion = nearest_command(other)
+                .map(|cmd| format!(" (did you mean `{cmd}`?)"))
+                .unwrap_or_default();
+            return Err(format!("unknown experiment `{other}`{suggestion}\n{USAGE}"));
+        }
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        println!("fetchvp {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let options = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -413,6 +556,45 @@ mod tests {
         assert!((o.threshold - 7.5).abs() < 1e-12);
         assert!(opts(&["bench-compare", "--threshold", "-3"]).is_err());
         assert!(opts(&["bench-compare", "--threshold", "wat"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let o = opts(&["serve", "--addr", "127.0.0.1:0", "--workers", "3", "--queue-depth", "5"])
+            .unwrap();
+        assert_eq!(o.experiment, "serve");
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.workers, Some(3));
+        assert_eq!(o.queue_depth, Some(5));
+        assert!(opts(&["serve", "--workers", "0"]).is_err());
+        assert!(opts(&["serve", "--queue-depth", "nope"]).is_err());
+        assert!(opts(&["serve", "--addr"]).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_serve_and_version() {
+        assert!(USAGE.contains("serve [--addr HOST:PORT]"));
+        assert!(USAGE.contains("--version"));
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("serve", "serve"), 0);
+        assert_eq!(edit_distance("serv", "serve"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn unknown_experiments_get_a_suggestion() {
+        assert_eq!(nearest_command("serv"), Some("serve"));
+        assert_eq!(nearest_command("ablation-bank"), Some("ablation-banks"));
+        assert_eq!(nearest_command("fig51"), Some("fig5-1"));
+        assert_eq!(nearest_command("zzzzzzzzzzzz"), None);
+        let o = opts(&["benhc"]).unwrap();
+        let sweep = Sweep::with_jobs(&o.config, o.jobs);
+        let err = run_one(&o.experiment, &sweep, &o).unwrap_err();
+        assert!(err.contains("did you mean `bench`?"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The job-spec → sweep adapter behind `fetchvp serve`.
+//!
+//! A *job spec* is the JSON document a client `POST`s to the daemon's
+//! `/run` endpoint: which experiment to execute and under which
+//! [`ExperimentConfig`]. This module owns the full boundary contract —
+//! strict validation (unknown fields and out-of-range values are errors,
+//! not warnings, because the input is untrusted), resource limits
+//! ([`MAX_TRACE_LEN`], [`MAX_JOBS`]) so a single request cannot pin the
+//! daemon, and deterministic execution through the same [`Sweep`] runner
+//! the CLI uses, so a served result is byte-identical to an in-process
+//! run of the same spec (the `server_e2e` test asserts this).
+//!
+//! # Schema
+//!
+//! ```json
+//! {
+//!   "experiment": "bench",   // required; see EXPERIMENTS
+//!   "trace_len": 60000,      // optional; 1..=MAX_TRACE_LEN, default 60000
+//!   "seed": 1998,            // optional; workload data seed
+//!   "jobs": 1                // optional; 1..=MAX_JOBS sweep workers, default 1
+//! }
+//! ```
+//!
+//! `"bench"` runs the standard [`mod@bench`] suite and returns the full report
+//! document; every other experiment name runs the corresponding
+//! table/figure runner and returns `{"experiment", "csv"}` with the
+//! table's CSV rendering.
+
+use fetchvp_metrics::{Json, Registry};
+
+use crate::{
+    ablations, accuracy, bench, breakdown, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3,
+    table3_1, ExperimentConfig, Sweep, Table,
+};
+
+/// Upper bound on a served job's `trace_len`.
+///
+/// The default CLI configuration traces 1M instructions per benchmark;
+/// 5M bounds a single request at a few suite-seconds of simulation while
+/// still covering every configuration the committed experiments use.
+pub const MAX_TRACE_LEN: u64 = 5_000_000;
+
+/// Default `trace_len` when the spec omits it — the `--quick` bench
+/// configuration, sized for interactive latency.
+pub const DEFAULT_TRACE_LEN: u64 = 60_000;
+
+/// Upper bound on a served job's inner sweep workers.
+pub const MAX_JOBS: usize = 64;
+
+/// The experiment names a job spec may request.
+pub const EXPERIMENTS: &[&str] = &[
+    "bench",
+    "table3-1",
+    "accuracy",
+    "breakdown",
+    "fig3-1",
+    "fig3-3",
+    "fig3-4",
+    "fig3-5",
+    "fig5-1",
+    "fig5-2",
+    "fig5-3",
+    "ablation-predictors",
+    "ablation-fetch",
+];
+
+/// A validated request to run one experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Experiment name; one of [`EXPERIMENTS`].
+    pub experiment: String,
+    /// Dynamic instructions traced per benchmark.
+    pub trace_len: u64,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Worker threads for the inner sweep (1 = serial, the determinism
+    /// oracle).
+    pub jobs: usize,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            experiment: "bench".to_string(),
+            trace_len: DEFAULT_TRACE_LEN,
+            seed: fetchvp_workloads::WorkloadParams::default().seed,
+            jobs: 1,
+        }
+    }
+}
+
+/// What a finished job hands back to the server.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The result document returned by `GET /jobs/<id>`.
+    pub result: Json,
+    /// Simulator counters to merge into the daemon's live registry
+    /// (`trace.*`, `sched.*`, `predictor.*`, … namespaces).
+    pub metrics: Registry,
+}
+
+impl JobSpec {
+    /// Validates a parsed JSON document into a spec.
+    ///
+    /// Strict by design: the input crosses a network boundary, so unknown
+    /// fields, wrong types, unknown experiment names and out-of-range
+    /// values are all rejected with a message naming the offending field.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        let pairs = doc.as_object().ok_or("job spec must be a JSON object")?;
+        let mut spec = JobSpec::default();
+        let mut experiment = None;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "experiment" => {
+                    let name =
+                        value.as_str().ok_or("field `experiment` must be a string")?.to_string();
+                    if !EXPERIMENTS.contains(&name.as_str()) {
+                        return Err(format!(
+                            "unknown experiment `{name}` (valid: {})",
+                            EXPERIMENTS.join(", ")
+                        ));
+                    }
+                    experiment = Some(name);
+                }
+                "trace_len" => {
+                    let n =
+                        value.as_u64().ok_or("field `trace_len` must be an unsigned integer")?;
+                    if n == 0 || n > MAX_TRACE_LEN {
+                        return Err(format!(
+                            "field `trace_len` must be in 1..={MAX_TRACE_LEN}, got {n}"
+                        ));
+                    }
+                    spec.trace_len = n;
+                }
+                "seed" => {
+                    spec.seed = value.as_u64().ok_or("field `seed` must be an unsigned integer")?;
+                }
+                "jobs" => {
+                    let n = value.as_u64().ok_or("field `jobs` must be an unsigned integer")?;
+                    if n == 0 || n > MAX_JOBS as u64 {
+                        return Err(format!("field `jobs` must be in 1..={MAX_JOBS}, got {n}"));
+                    }
+                    spec.jobs = n as usize;
+                }
+                other => return Err(format!("unknown field `{other}` in job spec")),
+            }
+        }
+        spec.experiment = experiment.ok_or("job spec is missing the `experiment` field")?;
+        Ok(spec)
+    }
+
+    /// The spec as a JSON document (inverse of [`JobSpec::from_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            ("trace_len".to_string(), Json::UInt(self.trace_len)),
+            ("seed".to_string(), Json::UInt(self.seed)),
+            ("jobs".to_string(), Json::UInt(self.jobs as u64)),
+        ])
+    }
+
+    /// The experiment configuration this spec runs under. Specs with equal
+    /// configs can share one trace cache, which is what keeps the daemon's
+    /// traces warm across requests.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig { trace_len: self.trace_len, ..ExperimentConfig::default() };
+        cfg.workloads.seed = self.seed;
+        cfg
+    }
+
+    /// Whether this spec is at or below the `--quick` bench size.
+    pub fn is_quick(&self) -> bool {
+        self.trace_len <= ExperimentConfig::quick().trace_len
+    }
+
+    /// Executes the spec on a [`Sweep`] (which must have been built from
+    /// [`JobSpec::config`] — the server's sweep pool guarantees this).
+    ///
+    /// The result document is deterministic for a given spec, except for
+    /// the wall-clock fields of a bench report; its counter sections are
+    /// byte-identical to an in-process run.
+    pub fn run(&self, sweep: &Sweep) -> JobOutcome {
+        if self.experiment == "bench" {
+            let report = bench::run_with(sweep, self.is_quick());
+            let mut metrics = Registry::new();
+            for workload in &report.workloads {
+                metrics.merge(&workload.registry);
+            }
+            return JobOutcome { result: report.to_json(), metrics };
+        }
+        let table = self.table(sweep);
+        let result = Json::object([
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            ("csv".to_string(), Json::Str(table.to_csv())),
+        ]);
+        JobOutcome { result, metrics: Registry::new() }
+    }
+
+    fn table(&self, sweep: &Sweep) -> Table {
+        match self.experiment.as_str() {
+            "table3-1" => table3_1::run_with(sweep).to_table(),
+            "accuracy" => accuracy::run_with(sweep).to_table(),
+            "breakdown" => breakdown::run_with(sweep).to_table(),
+            "fig3-1" => fig3_1::run_with(sweep).to_table(),
+            "fig3-3" => fig3_3::run_with(sweep).to_table(),
+            "fig3-4" => fig3_4::run_with(sweep).to_table(),
+            "fig3-5" => fig3_5::run_with(sweep).to_table(),
+            "fig5-1" => fig5_1::run_with(sweep).to_table(),
+            "fig5-2" => fig5_2::run_with(sweep).to_table(),
+            "fig5-3" => fig5_3::run_with(sweep).to_table(),
+            "ablation-predictors" => ablations::predictor_comparison_with(sweep).to_table(),
+            "ablation-fetch" => ablations::fetch_mechanisms_with(sweep).to_table(),
+            other => unreachable!("validated experiment `{other}` has no runner"),
+        }
+    }
+
+    // `table3-2` is excluded from EXPERIMENTS on purpose: it takes no
+    // config, so serving it would bypass the sweep pool for no benefit.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_spec(text: &str) -> Result<JobSpec, String> {
+        JobSpec::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+
+    #[test]
+    fn minimal_spec_uses_defaults() {
+        let spec = parse_spec(r#"{"experiment": "bench"}"#).unwrap();
+        assert_eq!(spec.experiment, "bench");
+        assert_eq!(spec.trace_len, DEFAULT_TRACE_LEN);
+        assert_eq!(spec.jobs, 1);
+        assert!(spec.is_quick());
+    }
+
+    #[test]
+    fn full_spec_round_trips() {
+        let text = r#"{"experiment": "fig3-1", "trace_len": 2000, "seed": 7, "jobs": 2}"#;
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.config().trace_len, 2000);
+        assert_eq!(spec.config().workloads.seed, 7);
+        assert_eq!(JobSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_field_names() {
+        for (text, needle) in [
+            (r#"[]"#, "object"),
+            (r#"{}"#, "experiment"),
+            (r#"{"experiment": "fig9-9"}"#, "unknown experiment"),
+            (r#"{"experiment": 3}"#, "`experiment`"),
+            (r#"{"experiment": "bench", "trace_len": 0}"#, "`trace_len`"),
+            (r#"{"experiment": "bench", "trace_len": 99999999999}"#, "`trace_len`"),
+            (r#"{"experiment": "bench", "jobs": 0}"#, "`jobs`"),
+            (r#"{"experiment": "bench", "jobs": 1000}"#, "`jobs`"),
+            (r#"{"experiment": "bench", "seed": -1}"#, "`seed`"),
+            (r#"{"experiment": "bench", "wat": 1}"#, "unknown field `wat`"),
+        ] {
+            let err = parse_spec(text).expect_err(text);
+            assert!(err.contains(needle), "{text}: error `{err}` should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn bench_outcome_matches_direct_run_and_exports_metrics() {
+        let spec = parse_spec(r#"{"experiment": "bench", "trace_len": 2000, "seed": 3}"#).unwrap();
+        let sweep = Sweep::with_jobs(&spec.config(), 1);
+        let outcome = spec.run(&sweep);
+        let direct = bench::run_with(&Sweep::with_jobs(&spec.config(), 1), spec.is_quick());
+        for w in &direct.workloads {
+            let served = outcome
+                .result
+                .get_path("workloads")
+                .and_then(|s| s.get(w.name))
+                .and_then(|s| s.get("counters"))
+                .expect("served counters");
+            assert_eq!(
+                served.to_json(),
+                w.registry.counters_json().to_json(),
+                "{}: served counters differ from direct run",
+                w.name
+            );
+        }
+        for namespace in ["trace", "sched", "predictor", "machine"] {
+            assert!(
+                outcome.metrics.namespaces().contains(&namespace),
+                "outcome metrics missing `{namespace}.*`"
+            );
+        }
+    }
+
+    #[test]
+    fn table_experiments_return_csv() {
+        let spec = parse_spec(r#"{"experiment": "table3-1", "trace_len": 1000}"#).unwrap();
+        let sweep = Sweep::with_jobs(&spec.config(), 1);
+        let outcome = spec.run(&sweep);
+        let csv = outcome.result.get("csv").and_then(Json::as_str).expect("csv field");
+        assert!(csv.lines().count() > 1, "csv should have header + rows:\n{csv}");
+        assert!(outcome.metrics.is_empty());
+    }
+
+    #[test]
+    fn every_listed_experiment_is_runnable() {
+        // Guards EXPERIMENTS and the `table` dispatch staying in sync; use
+        // a tiny trace so the whole list stays fast.
+        let cfg = ExperimentConfig { trace_len: 300, ..ExperimentConfig::default() };
+        let sweep = Sweep::with_jobs(&cfg, 1);
+        for name in EXPERIMENTS {
+            let spec =
+                JobSpec { experiment: name.to_string(), trace_len: 300, ..JobSpec::default() };
+            let outcome = spec.run(&sweep);
+            assert!(outcome.result.as_object().is_some(), "{name}: result must be an object");
+        }
+    }
+}

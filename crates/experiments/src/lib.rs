@@ -49,11 +49,13 @@ pub mod fig3_5;
 pub mod fig5_1;
 pub mod fig5_2;
 pub mod fig5_3;
+pub mod jobspec;
 pub mod report;
 pub mod sweep;
 pub mod table3_1;
 pub mod table3_2;
 
+pub use jobspec::{JobOutcome, JobSpec};
 pub use report::Table;
 pub use sweep::{default_jobs, Sweep, TraceCache};
 

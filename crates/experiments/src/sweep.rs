@@ -128,6 +128,14 @@ impl Sweep {
         self.jobs
     }
 
+    /// A sweep sharing this sweep's trace cache but running `jobs` workers
+    /// (`0` is clamped to 1). This is how the server's sweep pool serves
+    /// requests that ask for different parallelism against the same warm
+    /// traces.
+    pub fn reconfigured(&self, jobs: usize) -> Sweep {
+        Sweep { cache: Arc::clone(&self.cache), jobs: jobs.max(1) }
+    }
+
     /// The experiment configuration.
     pub fn config(&self) -> &ExperimentConfig {
         self.cache.config()

@@ -12,6 +12,15 @@
 //!    never round-tripped through `f64`.
 //! 3. **Greppable reports.** Serialization is pretty-printed with two-space
 //!    indentation so `BENCH_*.json` diffs line up in code review.
+//! 4. **Safe on untrusted input.** The parser now sits on a network
+//!    boundary (`fetchvp serve` feeds request bodies straight into
+//!    [`Json::parse`]), so malformed input must always surface as a
+//!    [`ParseError`], never a panic, and nesting is capped at
+//!    [`MAX_DEPTH`] so adversarial `[[[[…` documents cannot overflow the
+//!    stack. The parser imposes **no byte-size limit** of its own — memory
+//!    use is linear in the input — so network callers must bound the body
+//!    they accept *before* parsing (the server caps request bodies at its
+//!    `max_body_bytes`, 256 KiB by default).
 //!
 //! ```
 //! use fetchvp_metrics::json::Json;
@@ -164,8 +173,14 @@ impl Json {
     }
 
     /// Parses a JSON document.
+    ///
+    /// Malformed input of any shape returns a [`ParseError`] — this
+    /// function never panics — and documents nested deeper than
+    /// [`MAX_DEPTH`] are rejected before recursion can exhaust the stack.
+    /// No byte-size limit is enforced here; callers parsing untrusted
+    /// input must cap its size first.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -198,7 +213,9 @@ fn fmt_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
             break;
         }
     }
-    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+    // The buffer holds only ASCII digits, so this cannot fail; fall back
+    // to "0" rather than keeping a panic path in the serializer.
+    std::str::from_utf8(&buf[i..]).unwrap_or("0")
 }
 
 /// Writes a float using Rust's shortest round-trip formatting; the output
@@ -250,14 +267,35 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting depth [`Json::parse`] accepts.
+///
+/// The parser recurses once per nested array/object, so untrusted input
+/// like `[[[[…` could otherwise overflow the stack; 64 levels is far
+/// deeper than any report this workspace produces (bench reports nest 4).
+pub const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, checked against [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, message: &str) -> ParseError {
         ParseError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<u8> {
@@ -303,10 +341,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Array(items));
         }
         loop {
@@ -317,6 +357,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -326,10 +367,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Object(pairs));
         }
         loop {
@@ -344,6 +387,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Object(pairs));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -426,7 +470,11 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // Only ASCII digits, sign and exponent bytes were consumed, so the
+        // slice is valid UTF-8; surface a ParseError instead of keeping a
+        // panic path on the network boundary.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         if !is_float && !text.starts_with('-') {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(Json::UInt(n));
@@ -493,6 +541,18 @@ mod tests {
     fn parse_rejects_malformed_input() {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting_without_overflowing() {
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok(), "exactly MAX_DEPTH levels must parse");
+        let too_deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(Json::parse(&too_deep).is_err(), "MAX_DEPTH + 1 levels must be rejected");
+        // An adversarial open-bracket flood must error, not blow the stack.
+        for adversarial in ["[".repeat(1_000_000), "{\"k\":".repeat(1_000_000)] {
+            assert!(Json::parse(&adversarial).is_err());
         }
     }
 

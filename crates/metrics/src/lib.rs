@@ -44,10 +44,11 @@
 
 pub mod json;
 
-pub use json::{Json, ParseError};
+pub use json::{Json, ParseError, MAX_DEPTH};
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// One recorded metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -316,6 +317,100 @@ impl Registry {
     }
 }
 
+/// A thread-safe, cheaply cloneable [`Registry`] for concurrent sinks.
+///
+/// The long-lived `fetchvp serve` daemon has many producers — connection
+/// handlers counting requests, pool workers merging whole simulation
+/// snapshots — writing into one live registry that `GET /metrics` reads.
+/// `SharedRegistry` wraps `Arc<Mutex<Registry>>` with the same write verbs
+/// as [`Registry`] plus [`SharedRegistry::snapshot`] for consistent reads.
+///
+/// Locking is poison-proof: a panicking worker (the server isolates job
+/// panics with `catch_unwind`) never takes the metrics endpoint down with
+/// it — the mutex's inner data is recovered and the registry stays live.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_metrics::SharedRegistry;
+///
+/// let shared = SharedRegistry::new();
+/// let clone = shared.clone();
+/// std::thread::spawn(move || clone.counter("server.requests", "run", 1))
+///     .join()
+///     .unwrap();
+/// shared.counter("server.requests", "run", 1);
+/// assert_eq!(shared.snapshot().get_counter("server.requests.run"), Some(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl SharedRegistry {
+    /// An empty shared registry.
+    pub fn new() -> SharedRegistry {
+        SharedRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Registry> {
+        // Recover from poisoning: metrics must outlive panicking writers.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Adds `value` to the counter `prefix.name` (creating it at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already holds a gauge or histogram.
+    pub fn counter(&self, prefix: &str, name: &str, value: u64) {
+        self.lock().counter(prefix, name, value);
+    }
+
+    /// Sets the gauge `prefix.name` to `value` (overwriting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already holds a counter or histogram.
+    pub fn gauge(&self, prefix: &str, name: &str, value: f64) {
+        self.lock().gauge(prefix, name, value);
+    }
+
+    /// Records `value` into the histogram `prefix.name` (creating it
+    /// empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already holds a counter or gauge.
+    pub fn observe(&self, prefix: &str, name: &str, value: u64) {
+        self.lock().observe(prefix, name, value);
+    }
+
+    /// Merges a whole [`Registry`] (counters add, gauges overwrite,
+    /// histograms merge) — how a pool worker publishes one finished job's
+    /// simulator snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the same key holds different metric types.
+    pub fn merge(&self, other: &Registry) {
+        self.lock().merge(other);
+    }
+
+    /// Exports a [`MetricsSink`] under `prefix`, like
+    /// [`MetricsSink::export_metrics`] on a plain registry.
+    pub fn export_from(&self, sink: &dyn MetricsSink, prefix: &str) {
+        sink.export_metrics(&mut self.lock(), prefix);
+    }
+
+    /// A point-in-time copy of the whole registry — what `GET /metrics`
+    /// serializes. Concurrent writers block only for the duration of the
+    /// clone, never for the serialization.
+    pub fn snapshot(&self) -> Registry {
+        self.lock().clone()
+    }
+}
+
 impl fmt::Display for Registry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (key, metric) in &self.metrics {
@@ -425,6 +520,44 @@ mod tests {
         // Keys are flat dotted names inside each section.
         let n = doc.get("counters").and_then(|c| c.get("a.n")).and_then(Json::as_u64);
         assert_eq!(n, Some(7));
+    }
+
+    #[test]
+    fn shared_registry_accumulates_across_threads() {
+        let shared = SharedRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        shared.counter("server.requests", "run", 1);
+                        shared.observe("server", "latency_ms", 3);
+                    }
+                    let mut local = Registry::new();
+                    local.counter("sched", "retired", 5);
+                    shared.merge(&local);
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.get_counter("server.requests.run"), Some(800));
+        assert_eq!(snap.get_counter("sched.retired"), Some(40));
+        match snap.to_json().get("histograms").and_then(|h| h.get("server.latency_ms")) {
+            Some(h) => assert_eq!(h.get("count").and_then(Json::as_u64), Some(800)),
+            None => panic!("missing histogram"),
+        }
+    }
+
+    #[test]
+    fn shared_registry_survives_a_poisoned_lock() {
+        let shared = SharedRegistry::new();
+        shared.counter("server", "before", 1);
+        let clone = shared.clone();
+        // Poison the mutex by panicking while holding it (via a type
+        // conflict); the registry must stay readable and writable.
+        let _ = std::thread::spawn(move || clone.gauge("server", "before", 1.0)).join();
+        shared.counter("server", "after", 1);
+        assert_eq!(shared.snapshot().get_counter("server.after"), Some(1));
     }
 
     #[test]

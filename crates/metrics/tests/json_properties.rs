@@ -1,0 +1,136 @@
+//! Property tests for the JSON layer, in `fetchvp-testutil` style.
+//!
+//! `Json::parse` sits on a network boundary (`fetchvp serve` parses request
+//! bodies with it), so beyond the unit tests these properties assert the
+//! two contracts an adversarial client cares about:
+//!
+//! 1. **Round trip** — any document the serializer can produce reparses to
+//!    an equal value, and re-serializing the parse is byte-identical.
+//! 2. **Total on garbage** — malformed input of any shape returns
+//!    `ParseError`; it never panics and never overflows the stack.
+
+use fetchvp_metrics::Json;
+use fetchvp_testutil::{for_cases, Rng};
+
+/// A random finite float built from two bounded integers, so every
+/// generated value serializes and reparses exactly (NaN/∞ serialize as
+/// `null` by design and are excluded).
+fn finite_float(rng: &mut Rng) -> f64 {
+    let numerator = rng.range_i64(-1_000_000, 1_000_000) as f64;
+    let denominator = rng.range_u64(1, 1_000) as f64;
+    numerator / denominator
+}
+
+fn random_string(rng: &mut Rng) -> String {
+    let alphabet: Vec<char> =
+        "abz09 _.\"\\\n\r\t\u{1}\u{7f}\u{e9}\u{4e16}\u{1f600}".chars().collect();
+    rng.vec_with(0, 12, |r| *r.pick(&alphabet)).into_iter().collect()
+}
+
+/// A random JSON document of bounded depth and fanout.
+fn random_doc(rng: &mut Rng, depth: usize) -> Json {
+    let leaf_only = depth == 0;
+    match if leaf_only { rng.below(5) } else { rng.below(7) } {
+        0 => Json::Null,
+        1 => Json::Bool(rng.flip()),
+        2 => Json::UInt(rng.next_u64()),
+        3 => Json::Float(finite_float(rng)),
+        4 => Json::Str(random_string(rng)),
+        5 => Json::Array(rng.vec_with(0, 5, |r| random_doc(r, depth - 1))),
+        _ => Json::object(
+            rng.vec_with(0, 5, |r| (random_string(r), random_doc(r, depth - 1)))
+                .into_iter()
+                .enumerate()
+                // Disambiguate keys: `get`-based equality is positional
+                // anyway, but unique keys keep the documents realistic.
+                .map(|(i, (k, v))| (format!("{k}#{i}"), v)),
+        ),
+    }
+}
+
+#[test]
+fn random_documents_round_trip() {
+    for_cases(256, |case, rng| {
+        let doc = random_doc(rng, 4);
+        let text = doc.to_json();
+        let reparsed = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: serializer output failed to parse: {e}"));
+        assert_eq!(reparsed, doc, "case {case}: parse(to_json(doc)) != doc");
+        assert_eq!(reparsed.to_json(), text, "case {case}: re-serialization is not byte-identical");
+    });
+}
+
+#[test]
+fn mutated_documents_never_panic() {
+    for_cases(512, |_case, rng| {
+        let mut bytes = random_doc(rng, 3).to_json().into_bytes();
+        // Flip, delete or truncate a few random bytes; the result may or
+        // may not still be valid JSON — parse must return, not panic.
+        for _ in 0..rng.range_usize(1, 5) {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = rng.range_usize(0, bytes.len());
+            match rng.below(3) {
+                0 => bytes[at] = rng.next_u64() as u8,
+                1 => {
+                    bytes.remove(at);
+                }
+                _ => bytes.truncate(at),
+            }
+        }
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = Json::parse(&text);
+        }
+    });
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let alphabet: Vec<char> = "{}[]\",:.-+eE0123456789nulltruefalse \\ \u{e9}".chars().collect();
+    for_cases(512, |_case, rng| {
+        let text: String = rng.vec_with(0, 64, |r| *r.pick(&alphabet)).into_iter().collect();
+        let _ = Json::parse(&text);
+    });
+}
+
+#[test]
+fn malformed_inputs_return_parse_error() {
+    for bad in [
+        "",
+        "   ",
+        "{",
+        "}",
+        "[1,",
+        "[1 2]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "{1: 2}",
+        "nul",
+        "truth",
+        "01x",
+        "-",
+        "1e",
+        "\"\\q\"",
+        "\"\\u12\"",
+        "\u{7f}",
+        "[]]",
+        "{} {}",
+    ] {
+        assert!(Json::parse(bad).is_err(), "{bad:?} must be a ParseError, not a success");
+    }
+}
+
+#[test]
+fn depth_limit_is_enforced_for_mixed_nesting() {
+    // Alternating object/array nesting also counts against MAX_DEPTH.
+    let mut text = String::new();
+    for _ in 0..fetchvp_metrics::MAX_DEPTH {
+        text.push_str("{\"a\":[");
+    }
+    text.push('0');
+    for _ in 0..fetchvp_metrics::MAX_DEPTH {
+        text.push_str("]}");
+    }
+    assert!(Json::parse(&text).is_err(), "2*MAX_DEPTH mixed levels must be rejected");
+}

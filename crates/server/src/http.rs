@@ -1,0 +1,247 @@
+//! A minimal HTTP/1.1 request reader and response writer over
+//! [`TcpStream`].
+//!
+//! The daemon speaks just enough HTTP for `curl`, browsers and raw
+//! `TcpStream` test clients: one request per connection (`Connection:
+//! close` is always sent back), `Content-Length` bodies only (no chunked
+//! transfer encoding), and hard caps on header-block and body sizes so an
+//! adversarial peer cannot balloon memory. Read/write deadlines come from
+//! the socket timeouts the caller sets before handing the stream over.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers accepted before `431`-style
+/// rejection (we answer `413` — close enough for a five-endpoint API).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/jobs/3` (query strings are not split
+    /// off; no endpoint takes one).
+    pub path: String,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket-level failure (timeout, reset); the connection is dropped
+    /// without a response.
+    Io(io::Error),
+    /// The head or body exceeded its size cap → `413`.
+    TooLarge(&'static str),
+    /// The bytes were not parseable HTTP → `400`.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one request from the stream, honouring the stream's read timeout
+/// and capping the body at `max_body` bytes.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge("request head"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) =
+        (parts.next().unwrap_or(""), parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || !path.starts_with('/') || !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("bad request line"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.trim().parse().map_err(|_| RequestError::Malformed("bad Content-Length"))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge("request body"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(RequestError::Malformed("body longer than Content-Length"));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > content_length {
+            return Err(RequestError::Malformed("body longer than Content-Length"));
+        }
+    }
+
+    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An outgoing response: a status code, a JSON body and an optional
+/// `Retry-After` hint (the backpressure signal on `503`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body text.
+    pub body: String,
+    /// Seconds for a `Retry-After` header, when set.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A response with the given status and JSON body.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, body, retry_after: None }
+    }
+
+    /// A `Retry-After` variant of [`Response::json`].
+    pub fn retry_after(status: u16, body: String, seconds: u64) -> Response {
+        Response { status, body, retry_after: Some(seconds) }
+    }
+
+    /// The standard reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response (with `Connection: close`) onto the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.body.len()
+        );
+        if let Some(seconds) = self.retry_after {
+            head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// A `{"error": …}` body for error responses.
+pub fn error_body(message: &str) -> String {
+    fetchvp_metrics::Json::object([(
+        "error".to_string(),
+        fetchvp_metrics::Json::Str(message.to_string()),
+    )])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Feeds raw bytes through a real socket pair and parses them.
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(bytes).unwrap();
+        drop(client); // close so under-length bodies error instead of hanging
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side, 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!((req.method.as_str(), req.path.as_str()), ("GET", "/healthz"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized() {
+        assert!(matches!(parse_bytes(b"nonsense\r\n\r\n"), Err(RequestError::Malformed(_))));
+        assert!(matches!(
+            parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(RequestError::TooLarge(_))
+        ));
+        assert!(matches!(
+            parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: pony\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        let huge = vec![b'x'; MAX_HEAD_BYTES + 16];
+        assert!(matches!(parse_bytes(&huge), Err(RequestError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_not_a_hang() {
+        assert!(matches!(
+            parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        Response::retry_after(503, error_body("queue full"), 1).write_to(&mut server_side).unwrap();
+        drop(server_side);
+        let mut text = String::new();
+        let mut client = client;
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\n  \"error\": \"queue full\"\n}"), "{text}");
+    }
+}

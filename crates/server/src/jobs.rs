@@ -1,0 +1,200 @@
+//! The job table: every submitted job's lifecycle and result.
+//!
+//! `POST /run` creates a [`JobRecord`] in [`JobStatus::Queued`], a pool
+//! worker moves it through [`JobStatus::Running`] to [`JobStatus::Done`]
+//! (or [`JobStatus::Failed`] — job panics are isolated with
+//! `catch_unwind` and recorded here instead of killing the worker), and
+//! `GET /jobs/<id>` serializes the record. Records are kept for the
+//! lifetime of the daemon; at the trace lengths the spec admits, results
+//! are small JSON documents, and a bounded queue already rate-limits how
+//! fast they can accumulate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use fetchvp_experiments::JobSpec;
+use fetchvp_metrics::Json;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the record holds the result document.
+    Done,
+    /// The runner errored or panicked; the record holds the message.
+    Failed,
+}
+
+impl JobStatus {
+    /// The status as the wire string (`"queued"`, `"running"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+/// One job's full state.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The id handed back by `POST /run`.
+    pub id: u64,
+    /// The validated spec the job was created from.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// The result document, once [`JobStatus::Done`].
+    pub result: Option<Json>,
+    /// The failure message, once [`JobStatus::Failed`].
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// The `GET /jobs/<id>` document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("job".to_string(), Json::UInt(self.id)),
+            ("status".to_string(), Json::Str(self.status.as_str().to_string())),
+            ("spec".to_string(), self.spec.to_json()),
+        ];
+        if let Some(result) = &self.result {
+            pairs.push(("result".to_string(), result.clone()));
+        }
+        if let Some(error) = &self.error {
+            pairs.push(("error".to_string(), Json::Str(error.clone())));
+        }
+        Json::object(pairs)
+    }
+}
+
+/// Thread-safe id allocation and record storage.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    next_id: AtomicU64,
+    records: Mutex<HashMap<u64, JobRecord>>,
+}
+
+impl JobTable {
+    /// An empty table; ids start at 1.
+    pub fn new() -> JobTable {
+        JobTable { next_id: AtomicU64::new(1), records: Mutex::new(HashMap::new()) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, JobRecord>> {
+        self.records.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Allocates an id and inserts a [`JobStatus::Queued`] record.
+    pub fn create(&self, spec: JobSpec) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = JobRecord { id, spec, status: JobStatus::Queued, result: None, error: None };
+        self.lock().insert(id, record);
+        id
+    }
+
+    /// Removes a record — the rollback when the queue rejects the push
+    /// that was supposed to follow [`JobTable::create`].
+    pub fn remove(&self, id: u64) {
+        self.lock().remove(&id);
+    }
+
+    /// Marks a job running.
+    pub fn set_running(&self, id: u64) {
+        if let Some(record) = self.lock().get_mut(&id) {
+            record.status = JobStatus::Running;
+        }
+    }
+
+    /// Marks a job done with its result document.
+    pub fn finish(&self, id: u64, result: Json) {
+        if let Some(record) = self.lock().get_mut(&id) {
+            record.status = JobStatus::Done;
+            record.result = Some(result);
+        }
+    }
+
+    /// Marks a job failed with a message.
+    pub fn fail(&self, id: u64, error: String) {
+        if let Some(record) = self.lock().get_mut(&id) {
+            record.status = JobStatus::Failed;
+            record.error = Some(error);
+        }
+    }
+
+    /// The record's wire document, if the id exists.
+    pub fn get_json(&self, id: u64) -> Option<Json> {
+        self.lock().get(&id).map(JobRecord::to_json)
+    }
+
+    /// `(queued, running, done, failed)` record counts — the health
+    /// endpoint's summary.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        let mut counts = (0, 0, 0, 0);
+        for record in self.lock().values() {
+            match record.status {
+                JobStatus::Queued => counts.0 += 1,
+                JobStatus::Running => counts.1 += 1,
+                JobStatus::Done => counts.2 += 1,
+                JobStatus::Failed => counts.3 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec { trace_len: 1000, ..JobSpec::default() }
+    }
+
+    #[test]
+    fn lifecycle_is_reflected_in_json() {
+        let table = JobTable::new();
+        let id = table.create(spec());
+        assert_eq!(id, 1);
+        let doc = table.get_json(id).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("queued"));
+        table.set_running(id);
+        table.finish(id, Json::UInt(42));
+        let doc = table.get_json(id).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(doc.get("result").and_then(Json::as_u64), Some(42));
+        assert_eq!(doc.get_path("spec.trace_len").and_then(Json::as_u64), Some(1000));
+    }
+
+    #[test]
+    fn failures_record_the_message() {
+        let table = JobTable::new();
+        let id = table.create(spec());
+        table.fail(id, "boom".to_string());
+        let doc = table.get_json(id).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("failed"));
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("boom"));
+        assert_eq!(table.counts(), (0, 0, 0, 1));
+    }
+
+    #[test]
+    fn remove_rolls_back_a_rejected_submission() {
+        let table = JobTable::new();
+        let id = table.create(spec());
+        table.remove(id);
+        assert!(table.get_json(id).is_none());
+        let next = table.create(spec());
+        assert!(next > id, "ids are never reused, even after rollback");
+    }
+}

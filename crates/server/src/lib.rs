@@ -1,0 +1,575 @@
+//! `fetchvp-server` — a zero-dependency simulation-as-a-service daemon.
+//!
+//! `fetchvp serve` turns the one-shot experiment CLI into a long-lived
+//! service: clients `POST /run` a JSON job spec (see
+//! [`fetchvp_experiments::jobspec`]), the daemon queues it with admission
+//! control, a worker pool executes it through the shared [`Sweep`] runner,
+//! and `GET /jobs/<id>` returns the result — with workload traces staying
+//! **warm across requests**, so the second job against the same
+//! configuration skips tracing entirely.
+//!
+//! Everything is built on `std` only: [`std::net::TcpListener`] plus a
+//! hand-rolled HTTP/1.1 subset ([`http`]), a condvar-based bounded MPMC
+//! queue ([`queue`]) and a mutex-guarded job table ([`jobs`]).
+//!
+//! # Endpoints
+//!
+//! | method & path | behaviour |
+//! |---|---|
+//! | `POST /run` | validate a job spec; `202` + job id, `400` on a bad spec, `503` + `Retry-After` when the queue is full |
+//! | `GET /jobs/<id>` | the job's status/result document; `404` for unknown ids |
+//! | `GET /healthz` | liveness + queue/worker summary |
+//! | `GET /metrics` | live [`fetchvp_metrics::Registry`] snapshot: `server.*` counters alongside accumulated simulator counters (`trace.*`, `sched.*`, …) |
+//! | `POST /shutdown` | graceful shutdown (also triggered by `SIGTERM`/`SIGINT`): stop accepting, drain admitted jobs, exit |
+//!
+//! # Operational guarantees
+//!
+//! * **Backpressure, not buffering** — the queue is bounded
+//!   ([`ServerConfig::queue_depth`]); when full, `/run` answers `503`
+//!   immediately and never blocks the connection handler.
+//! * **Isolation** — a panicking job marks itself `failed` and the worker
+//!   lives on; a panicking worker can never take `GET /metrics` down
+//!   (the registry lock is poison-proof).
+//! * **Bounded connections** — at most
+//!   [`ServerConfig::max_connections`] handler threads, each with
+//!   per-request read/write timeouts and capped request sizes.
+//! * **No dropped jobs** — shutdown drains everything that was `202`ed.
+
+pub mod http;
+pub mod jobs;
+pub mod queue;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use fetchvp_experiments::{ExperimentConfig, JobSpec, Sweep};
+use fetchvp_metrics::{Json, SharedRegistry};
+
+use http::{error_body, read_request, Request, RequestError, Response};
+use jobs::JobTable;
+use queue::BoundedQueue;
+
+/// How the daemon is sized and where it listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// `HOST:PORT` to bind (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Pool workers executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it get `503`.
+    pub queue_depth: usize,
+    /// Maximum concurrent connection-handler threads.
+    pub max_connections: usize,
+    /// Per-request socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-request socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum accepted `POST` body, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7998".to_string(),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+            queue_depth: 32,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// How many distinct experiment configurations keep their traces cached.
+///
+/// Each slot holds one [`Sweep`] (≈ one generated trace set, a few MB at
+/// served trace lengths); least-recently-used configurations are evicted.
+const SWEEP_POOL_SLOTS: usize = 8;
+
+/// An MRU pool of [`Sweep`]s keyed by [`ExperimentConfig`] — the
+/// cross-request trace cache.
+struct SweepPool {
+    slots: Mutex<Vec<(ExperimentConfig, Sweep)>>,
+}
+
+impl SweepPool {
+    fn new() -> SweepPool {
+        SweepPool { slots: Mutex::new(Vec::new()) }
+    }
+
+    /// The pooled sweep for `spec`'s configuration (built on miss),
+    /// reconfigured to the spec's worker count. The bool reports a hit.
+    fn sweep_for(&self, spec: &JobSpec) -> (Sweep, bool) {
+        let cfg = spec.config();
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(at) = slots.iter().position(|(c, _)| *c == cfg) {
+            let entry = slots.remove(at);
+            let sweep = entry.1.clone();
+            slots.insert(0, entry);
+            return (sweep.reconfigured(spec.jobs), true);
+        }
+        let sweep = Sweep::with_jobs(&cfg, 1);
+        slots.insert(0, (cfg, sweep.clone()));
+        slots.truncate(SWEEP_POOL_SLOTS);
+        (sweep.reconfigured(spec.jobs), false)
+    }
+}
+
+/// State shared by the accept loop, connection handlers and pool workers.
+struct Shared {
+    config: ServerConfig,
+    queue: BoundedQueue<(u64, JobSpec)>,
+    jobs: JobTable,
+    metrics: SharedRegistry,
+    sweeps: SweepPool,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+impl Shared {
+    fn should_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || signals::terminated()
+    }
+}
+
+/// The daemon: bind with [`Server::bind`], then block in [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listening socket and builds the shared state. Nothing
+    /// runs until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let metrics = SharedRegistry::new();
+        metrics.counter("server", "started", 1);
+        let state = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            jobs: JobTable::new(),
+            metrics,
+            sweeps: SweepPool::new(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address — the way to learn the port after binding `:0`.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown` or `SIGTERM`/`SIGINT`, then drains
+    /// admitted jobs and in-flight connections before returning.
+    pub fn run(self) -> io::Result<()> {
+        signals::install();
+        self.listener.set_nonblocking(true)?;
+        let workers: Vec<_> = (0..self.state.config.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&self.state);
+                std::thread::Builder::new()
+                    .name(format!("fetchvp-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        while !self.state.should_shutdown() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let active = self.state.active_connections.load(Ordering::SeqCst);
+                    if active >= self.state.config.max_connections {
+                        self.state.metrics.counter("server.connections", "rejected", 1);
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(self.state.config.write_timeout));
+                        let _ = Response::retry_after(503, error_body("connection limit"), 1)
+                            .write_to(&mut stream);
+                        continue;
+                    }
+                    self.state.active_connections.fetch_add(1, Ordering::SeqCst);
+                    let state = Arc::clone(&self.state);
+                    let _ = std::thread::Builder::new()
+                        .name("fetchvp-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(&state, stream);
+                            state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        })
+                        .map_err(|_| {
+                            // Spawn failure: undo the reservation; the peer
+                            // times out rather than deadlocking the count.
+                            self.state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Graceful shutdown: reject new work, drain everything admitted.
+        self.state.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Ok(())
+    }
+}
+
+/// One pool worker: pull, run (panic-isolated), publish.
+fn worker_loop(state: &Shared) {
+    while let Some((id, spec)) = state.queue.pop() {
+        state.jobs.set_running(id);
+        let (sweep, pool_hit) = state.sweeps.sweep_for(&spec);
+        state.metrics.counter("server.sweep_pool", if pool_hit { "hits" } else { "misses" }, 1);
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| spec.run(&sweep))) {
+            Ok(outcome) => {
+                state.metrics.merge(&outcome.metrics);
+                state.metrics.counter("server.jobs", "completed", 1);
+                state.metrics.observe(
+                    "server",
+                    "job_latency_ms",
+                    started.elapsed().as_millis() as u64,
+                );
+                state.jobs.finish(id, outcome.result);
+            }
+            Err(_) => {
+                state.metrics.counter("server.jobs", "failed", 1);
+                state.jobs.fail(id, "job panicked; see server logs".to_string());
+            }
+        }
+    }
+}
+
+/// Reads one request, routes it, writes the response, records metrics.
+fn handle_connection(state: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let response = match read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(request) => {
+            let response = route(state, &request);
+            state.metrics.counter(
+                "server.requests",
+                &format!("{}.{}", endpoint_label(&request.path), response.status),
+                1,
+            );
+            response
+        }
+        Err(RequestError::Io(_)) => {
+            state.metrics.counter("server.requests", "io_error", 1);
+            return; // nothing sane to answer on a dead socket
+        }
+        Err(RequestError::TooLarge(what)) => {
+            state.metrics.counter("server.requests", "too_large.413", 1);
+            Response::json(413, error_body(&format!("{what} too large")))
+        }
+        Err(RequestError::Malformed(why)) => {
+            state.metrics.counter("server.requests", "malformed.400", 1);
+            Response::json(400, error_body(why))
+        }
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The metric label for a request path (`/jobs/7` → `jobs`).
+fn endpoint_label(path: &str) -> &'static str {
+    if path == "/healthz" {
+        "healthz"
+    } else if path == "/metrics" {
+        "metrics"
+    } else if path == "/run" {
+        "run"
+    } else if path == "/shutdown" {
+        "shutdown"
+    } else if path.starts_with("/jobs/") {
+        "jobs"
+    } else {
+        "other"
+    }
+}
+
+fn route(state: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics_snapshot(state),
+        ("POST", "/run") => submit(state, &request.body),
+        ("POST", "/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::json(200, Json::object([status_pair("shutting down")]).to_json())
+        }
+        ("GET", path) if path.starts_with("/jobs/") => job_status(state, path),
+        (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => {
+            Response::json(405, error_body("method not allowed"))
+        }
+        (_, path) if path.starts_with("/jobs/") => {
+            Response::json(405, error_body("method not allowed"))
+        }
+        _ => Response::json(404, error_body("no such endpoint")),
+    }
+}
+
+fn status_pair(status: &str) -> (String, Json) {
+    ("status".to_string(), Json::Str(status.to_string()))
+}
+
+fn healthz(state: &Shared) -> Response {
+    let (queued, running, done, failed) = state.jobs.counts();
+    let body = Json::object([
+        status_pair("ok"),
+        ("workers".to_string(), Json::UInt(state.config.workers as u64)),
+        ("queue_depth".to_string(), Json::UInt(state.queue.len() as u64)),
+        ("queue_capacity".to_string(), Json::UInt(state.queue.capacity() as u64)),
+        (
+            "jobs".to_string(),
+            Json::object([
+                ("queued".to_string(), Json::UInt(queued)),
+                ("running".to_string(), Json::UInt(running)),
+                ("done".to_string(), Json::UInt(done)),
+                ("failed".to_string(), Json::UInt(failed)),
+            ]),
+        ),
+    ]);
+    Response::json(200, body.to_json())
+}
+
+fn metrics_snapshot(state: &Shared) -> Response {
+    // Point-in-time gauges, refreshed at scrape time like Prometheus
+    // collectors do; counters accumulate across the daemon's lifetime.
+    state.metrics.gauge("server.queue", "depth", state.queue.len() as f64);
+    state.metrics.gauge(
+        "server.connections",
+        "active",
+        state.active_connections.load(Ordering::SeqCst) as f64,
+    );
+    // `server.started` (recorded at bind) guarantees the `server.*`
+    // namespace is present even in the very first scrape; this request's
+    // own counter lands in the *next* snapshot via handle_connection.
+    Response::json(200, state.metrics.snapshot().to_json().to_json())
+}
+
+fn submit(state: &Shared, body: &[u8]) -> Response {
+    if state.should_shutdown() {
+        return Response::retry_after(503, error_body("server is shutting down"), 1);
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return Response::json(400, error_body("body is not UTF-8")),
+    };
+    let doc = match Json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::json(400, error_body(&e.to_string())),
+    };
+    let spec = match JobSpec::from_json(&doc) {
+        Ok(spec) => spec,
+        Err(e) => return Response::json(400, error_body(&e)),
+    };
+    let id = state.jobs.create(spec.clone());
+    match state.queue.try_push((id, spec)) {
+        Ok(depth) => {
+            state.metrics.counter("server.queue", "admitted", 1);
+            let body = Json::object([
+                ("job".to_string(), Json::UInt(id)),
+                status_pair("queued"),
+                ("queue_depth".to_string(), Json::UInt(depth as u64)),
+            ]);
+            Response::json(202, body.to_json())
+        }
+        Err(_) => {
+            state.jobs.remove(id);
+            state.metrics.counter("server.queue", "rejected", 1);
+            Response::retry_after(503, error_body("queue full"), 1)
+        }
+    }
+}
+
+fn job_status(state: &Shared, path: &str) -> Response {
+    let id_text = &path["/jobs/".len()..];
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::json(400, error_body("job id must be an integer"));
+    };
+    match state.jobs.get_json(id) {
+        Some(doc) => Response::json(200, doc.to_json()),
+        None => Response::json(404, error_body(&format!("no job {id}"))),
+    }
+}
+
+/// Process-wide termination flag set from `SIGTERM`/`SIGINT`.
+///
+/// `std` exposes no signal API and the workspace links no crates, but
+/// `std` itself links libc, so declaring `signal(2)` directly keeps the
+/// daemon zero-dependency. The handler only stores to an atomic —
+/// async-signal-safe — and the accept loop polls the flag every 10 ms.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the `SIGTERM`/`SIGINT` handlers (idempotent).
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    /// Whether a termination signal has arrived.
+    pub fn terminated() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+}
+
+/// Non-Unix fallback: no signal handling; `POST /shutdown` still works.
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn terminated() -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(queue_depth: usize) -> Shared {
+        Shared {
+            config: ServerConfig { queue_depth, ..ServerConfig::default() },
+            queue: BoundedQueue::new(queue_depth),
+            jobs: JobTable::new(),
+            metrics: SharedRegistry::new(),
+            sweeps: SweepPool::new(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        }
+    }
+
+    fn get(state: &Shared, path: &str) -> Response {
+        route(
+            state,
+            &Request { method: "GET".to_string(), path: path.to_string(), body: Vec::new() },
+        )
+    }
+
+    fn post(state: &Shared, path: &str, body: &str) -> Response {
+        route(
+            state,
+            &Request {
+                method: "POST".to_string(),
+                path: path.to_string(),
+                body: body.as_bytes().to_vec(),
+            },
+        )
+    }
+
+    #[test]
+    fn healthz_reports_ok() {
+        let state = test_state(4);
+        let response = get(&state, "/healthz");
+        assert_eq!(response.status, 200);
+        let doc = Json::parse(&response.body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn submit_validates_then_queues() {
+        let state = test_state(4);
+        assert_eq!(post(&state, "/run", "not json").status, 400);
+        assert_eq!(post(&state, "/run", r#"{"experiment": "fig9-9"}"#).status, 400);
+        let ok = post(&state, "/run", r#"{"experiment": "bench", "trace_len": 1000}"#);
+        assert_eq!(ok.status, 202);
+        let doc = Json::parse(&ok.body).unwrap();
+        assert_eq!(doc.get("job").and_then(Json::as_u64), Some(1));
+        assert_eq!(state.queue.len(), 1);
+        assert_eq!(get(&state, "/jobs/1").status, 200);
+        assert_eq!(get(&state, "/jobs/99").status, 404);
+        assert_eq!(get(&state, "/jobs/xyz").status, 400);
+    }
+
+    #[test]
+    fn full_queue_answers_503_with_retry_after() {
+        let state = test_state(1);
+        assert_eq!(post(&state, "/run", r#"{"experiment": "bench"}"#).status, 202);
+        let rejected = post(&state, "/run", r#"{"experiment": "bench"}"#);
+        assert_eq!(rejected.status, 503);
+        assert_eq!(rejected.retry_after, Some(1));
+        // The rejected job's record was rolled back.
+        assert_eq!(get(&state, "/jobs/2").status, 404);
+        assert_eq!(state.jobs.counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let state = test_state(4);
+        assert_eq!(get(&state, "/nope").status, 404);
+        assert_eq!(post(&state, "/healthz", "").status, 405);
+        assert_eq!(post(&state, "/jobs/1", "").status, 405);
+        assert_eq!(get(&state, "/run").status, 405);
+    }
+
+    #[test]
+    fn shutdown_flag_rejects_new_submissions() {
+        let state = test_state(4);
+        assert_eq!(post(&state, "/shutdown", "").status, 200);
+        assert!(state.should_shutdown());
+        assert_eq!(post(&state, "/run", r#"{"experiment": "bench"}"#).status, 503);
+    }
+
+    #[test]
+    fn worker_executes_a_tiny_job_end_to_end() {
+        let state = test_state(4);
+        let ok = post(&state, "/run", r#"{"experiment": "table3-1", "trace_len": 300}"#);
+        assert_eq!(ok.status, 202);
+        state.queue.close(); // worker drains the one job, then exits
+        worker_loop(&state);
+        let doc = Json::parse(&get(&state, "/jobs/1").body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+        assert!(doc.get_path("result.csv").is_some());
+        let snapshot = state.metrics.snapshot();
+        assert_eq!(snapshot.get_counter("server.jobs.completed"), Some(1));
+        assert_eq!(snapshot.get_counter("server.sweep_pool.misses"), Some(1));
+    }
+
+    #[test]
+    fn sweep_pool_shares_traces_between_equal_configs() {
+        let pool = SweepPool::new();
+        let spec = JobSpec { trace_len: 500, ..JobSpec::default() };
+        let (first, hit_first) = pool.sweep_for(&spec);
+        first.cache().trace(0);
+        let (second, hit_second) = pool.sweep_for(&spec);
+        assert!(!hit_first && hit_second);
+        assert_eq!(second.cache().generated(), 1, "trace must already be warm");
+        let other = JobSpec { trace_len: 600, ..JobSpec::default() };
+        let (third, hit_third) = pool.sweep_for(&other);
+        assert!(!hit_third);
+        assert_eq!(third.cache().generated(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! A bounded multi-producer/multi-consumer job queue with backpressure.
+//!
+//! Producers are connection-handler threads calling
+//! [`BoundedQueue::try_push`], which **never blocks**: when the queue is at
+//! capacity the item comes straight back and the handler answers `503
+//! Retry-After` — admission control instead of unbounded buffering.
+//! Consumers are pool workers calling [`BoundedQueue::pop`], which blocks
+//! on a condvar until work arrives or the queue is closed. Closing
+//! ([`BoundedQueue::close`]) rejects new pushes but lets consumers drain
+//! every item already admitted — the graceful-shutdown contract: a job the
+//! server `202`-accepted is never dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue (see the module docs for the contract).
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (`0` is clamped to 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue without blocking. Returns the new depth, or the
+    /// item back if the queue is full or closed — the caller's `503`.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed **and** drained —
+    /// the worker's signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and blocked consumers wake to
+    /// drain what remains and then exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3), "full queue must bounce the item back");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_admitted_items_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(3), "closed queue must reject new work");
+        assert_eq!(q.pop(), Some(1), "admitted work must still drain");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained + closed ends the consumer");
+    }
+
+    #[test]
+    fn items_flow_producers_to_consumers() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let consumed: Vec<u64> = std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut seen = Vec::new();
+                        while let Some(item) = q.pop() {
+                            seen.push(item);
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            let producers: Vec<_> = (0..4u64)
+                .map(|producer| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        for i in 0..16u64 {
+                            // Capacity 64 fits all 64 items even if no
+                            // consumer has started, so every push succeeds.
+                            q.try_push(producer * 16 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            let mut all = Vec::new();
+            for c in consumers {
+                all.extend(c.join().unwrap());
+            }
+            all
+        });
+        let mut sorted = consumed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u64>>());
+    }
+}

@@ -28,9 +28,12 @@ cargo build $OFFLINE --release
 echo "== tier-1: cargo test -q"
 cargo test $OFFLINE -q
 
-for example in quickstart did_analysis trace_cache_vp custom_workload event_vs_analytic; do
+for example in quickstart did_analysis trace_cache_vp custom_workload event_vs_analytic serve_client; do
     echo "== example: $example"
     cargo run $OFFLINE --release --example "$example" >/dev/null
 done
+
+echo "== server smoke"
+./scripts/server_smoke.sh
 
 echo "== CI green"

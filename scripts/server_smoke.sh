@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Smoke test for the `fetchvp serve` daemon: boot it on an ephemeral
+# loopback port, hit /healthz, run one quick job to completion, scrape
+# /metrics, and shut it down gracefully, asserting a clean exit.
+#
+# Loopback only, no external dependencies: uses curl when present and
+# falls back to bash's /dev/tcp otherwise. Expects the release binary to
+# be built already (scripts/ci.sh runs it after `cargo build --release`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/fetchvp-cli
+[[ -x "$BIN" ]] || { echo "missing $BIN — run cargo build --release first" >&2; exit 1; }
+
+LOG=$(mktemp)
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$LOG" && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^fetchvp-server listening on //p' "$LOG" | head -1)
+[[ -n "$ADDR" ]] || { echo "server never reported its address:"; cat "$LOG"; exit 1; }
+echo "== serve: listening on $ADDR"
+
+# http METHOD PATH [BODY] — prints the response body.
+http() {
+    local method=$1 path=$2 body=${3:-}
+    if command -v curl >/dev/null; then
+        if [[ "$method" == GET ]]; then
+            curl -sS "http://$ADDR$path"
+        else
+            curl -sS -X "$method" --data-binary "$body" "http://$ADDR$path"
+        fi
+    else
+        exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+        printf '%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %s\r\n\r\n%s' \
+            "$method" "$path" "$ADDR" "${#body}" "$body" >&3
+        sed -e '1,/^\r$/d' <&3
+        exec 3<&-
+    fi
+}
+
+echo "== serve: GET /healthz"
+http GET /healthz | grep -q '"status": "ok"'
+
+echo "== serve: POST /run (quick bench job)"
+RUN=$(http POST /run '{"experiment": "bench", "trace_len": 2000, "seed": 7}')
+echo "$RUN" | grep -q '"status": "queued"'
+JOB=$(echo "$RUN" | grep -o '"job": [0-9]*' | grep -o '[0-9]*')
+[[ -n "$JOB" ]] || { echo "no job id in: $RUN"; exit 1; }
+
+echo "== serve: polling /jobs/$JOB"
+for _ in $(seq 1 600); do
+    RECORD=$(http GET "/jobs/$JOB")
+    echo "$RECORD" | grep -q '"status": "done"' && break
+    echo "$RECORD" | grep -q '"status": "failed"' && { echo "job failed: $RECORD"; exit 1; }
+    sleep 0.1
+done
+echo "$RECORD" | grep -q '"status": "done"' || { echo "job never finished: $RECORD"; exit 1; }
+
+echo "== serve: GET /metrics"
+METRICS=$(http GET /metrics)
+echo "$METRICS" | grep -q '"server.jobs.completed": 1'
+echo "$METRICS" | grep -q '"sched\.'
+echo "$METRICS" | grep -q '"trace\.'
+
+echo "== serve: POST /shutdown"
+http POST /shutdown | grep -q "shutting down"
+wait "$PID"
+grep -q "shut down cleanly" "$LOG"
+trap 'rm -f "$LOG"' EXIT
+echo "== serve: clean exit"

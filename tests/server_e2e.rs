@@ -1,0 +1,313 @@
+//! End-to-end tests for `fetchvp serve`: a real daemon on an ephemeral
+//! port, driven over raw `TcpStream`s exactly like an external client.
+//!
+//! The two contracts under test:
+//!
+//! 1. **Served determinism** — a job submitted over HTTP returns counter
+//!    sections byte-identical to running the same spec in-process with a
+//!    serial sweep, no matter how many client threads submit concurrently
+//!    or how many pool workers execute.
+//! 2. **Backpressure** — a full queue answers `503` + `Retry-After`
+//!    immediately (never blocks, never panics), and every job the server
+//!    `202`-accepted still runs to completion.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use fetchvp_experiments::{bench, JobSpec, Sweep};
+use fetchvp_metrics::Json;
+use fetchvp_server::{Server, ServerConfig};
+
+/// A parsed HTTP response: status code, headers, body.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        Json::parse(&self.body).unwrap_or_else(|e| panic!("bad JSON body: {e}\n{}", self.body))
+    }
+}
+
+/// One HTTP/1.1 exchange over a fresh connection (the server's model:
+/// one request per connection, `Connection: close`).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).unwrap();
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write request head");
+    stream.write_all(body.as_bytes()).expect("write request body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response has a blank line");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {status_line}"));
+    let headers = lines
+        .filter_map(|line| line.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Reply { status, headers, body: body.to_string() }
+}
+
+/// Polls `GET /jobs/<id>` until the job reaches a terminal status.
+fn wait_for_job(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = request(addr, "GET", &format!("/jobs/{id}"), None);
+        assert_eq!(reply.status, 200, "job {id} lookup failed: {}", reply.body);
+        let doc = reply.json();
+        let status = doc.get("status").and_then(Json::as_str).expect("status field").to_string();
+        if status == "done" || status == "failed" {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in `{status}`");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Binds a server on an ephemeral loopback port and runs it on a thread.
+fn start(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), ..config })
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let reply = request(addr, "POST", "/shutdown", None);
+    assert_eq!(reply.status, 200, "shutdown refused: {}", reply.body);
+    handle.join().expect("server thread").expect("server run() returned an error");
+}
+
+#[test]
+fn served_jobs_are_byte_identical_to_in_process_runs() {
+    let (addr, handle) =
+        start(ServerConfig { workers: 3, queue_depth: 32, ..ServerConfig::default() });
+
+    let health = request(addr, "GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    assert_eq!(health.json().get("status").and_then(Json::as_str), Some("ok"));
+
+    // 8 jobs from 4 client threads: two distinct specs (different seeds,
+    // one parallel inner sweep) so the sweep pool serves both hits and
+    // misses while workers execute concurrently.
+    let specs = [
+        r#"{"experiment": "bench", "trace_len": 2000, "seed": 7}"#,
+        r#"{"experiment": "bench", "trace_len": 2000, "seed": 11, "jobs": 2}"#,
+    ];
+    let ids: Vec<(usize, u64)> = std::thread::scope(|s| {
+        let submitters: Vec<_> = (0..8)
+            .map(|i| {
+                let spec = specs[i % specs.len()];
+                s.spawn(move || {
+                    let reply = request(addr, "POST", "/run", Some(spec));
+                    assert_eq!(reply.status, 202, "submit {i} rejected: {}", reply.body);
+                    let doc = reply.json();
+                    assert_eq!(doc.get("status").and_then(Json::as_str), Some("queued"));
+                    (i % specs.len(), doc.get("job").and_then(Json::as_u64).expect("job id"))
+                })
+            })
+            .collect();
+        submitters.into_iter().map(|t| t.join().expect("submitter thread")).collect()
+    });
+    assert_eq!(ids.len(), 8);
+
+    // The oracle: each spec run in-process on a serial sweep.
+    let oracles: Vec<_> = specs
+        .iter()
+        .map(|text| {
+            let spec = JobSpec::from_json(&Json::parse(text).unwrap()).unwrap();
+            let report = bench::run_with(&Sweep::with_jobs(&spec.config(), 1), spec.is_quick());
+            (spec, report)
+        })
+        .collect();
+
+    for (which, id) in &ids {
+        let doc = wait_for_job(addr, *id);
+        assert_eq!(
+            doc.get("status").and_then(Json::as_str),
+            Some("done"),
+            "job {id} failed: {}",
+            doc.get("error").and_then(Json::as_str).unwrap_or("<no error>")
+        );
+        let (spec, report) = &oracles[*which];
+        assert_eq!(
+            doc.get_path("spec.seed").and_then(Json::as_u64),
+            Some(spec.seed),
+            "job {id} echoed the wrong spec"
+        );
+        let result = doc.get("result").expect("done job has a result");
+        for w in &report.workloads {
+            let served = result
+                .get_path("workloads")
+                .and_then(|all| all.get(w.name))
+                .unwrap_or_else(|| panic!("job {id} result is missing workload {}", w.name));
+            assert_eq!(
+                served.get("instructions").and_then(Json::as_u64),
+                Some(w.instructions),
+                "job {id} {}: instruction counts differ from the serial run",
+                w.name
+            );
+            assert_eq!(
+                served.get("counters").map(Json::to_json),
+                Some(w.registry.counters_json().to_json()),
+                "job {id} {}: served counters differ from the serial run",
+                w.name
+            );
+        }
+    }
+
+    // Error paths, still over the wire.
+    let bad = request(addr, "POST", "/run", Some(r#"{"experiment": "fig9-9"}"#));
+    assert_eq!(bad.status, 400);
+    assert!(bad.json().get("error").and_then(Json::as_str).unwrap().contains("fig9-9"));
+    assert_eq!(request(addr, "GET", "/jobs/999999", None).status, 404);
+    assert_eq!(request(addr, "GET", "/jobs/not-a-number", None).status, 400);
+    assert_eq!(request(addr, "PUT", "/run", Some("{}")).status, 405);
+    assert_eq!(request(addr, "GET", "/nope", None).status, 404);
+
+    // The live registry: server counters plus the simulator namespaces
+    // merged from completed bench jobs, parseable by our own Json.
+    let metrics = request(addr, "GET", "/metrics", None);
+    assert_eq!(metrics.status, 200);
+    let doc = metrics.json();
+    let counters = doc.get("counters").and_then(Json::as_object).expect("counters section");
+    for namespace in ["server.", "sched.", "trace."] {
+        assert!(
+            counters.iter().any(|(k, _)| k.starts_with(namespace)),
+            "metrics missing `{namespace}*` counters (got {:?})",
+            counters.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(
+        doc.get_path("counters")
+            .and_then(|c| c.get("server.jobs.completed"))
+            .and_then(Json::as_u64),
+        Some(8),
+        "all eight jobs should be counted as completed"
+    );
+    assert!(
+        doc.get("histograms").and_then(|h| h.get("server.job_latency_ms")).is_some(),
+        "metrics missing the job latency histogram"
+    );
+    assert!(
+        doc.get("gauges").and_then(|g| g.get("server.queue.depth")).is_some(),
+        "metrics missing the queue depth gauge"
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn full_queue_answers_503_and_accepted_jobs_still_finish() {
+    let (addr, handle) =
+        start(ServerConfig { workers: 1, queue_depth: 1, ..ServerConfig::default() });
+
+    // A single worker and a one-slot queue: a burst of slow-ish jobs must
+    // overflow. Submissions happen from four threads at once so rejection
+    // is exercised under contention, not just sequentially.
+    let spec = r#"{"experiment": "bench", "trace_len": 20000, "seed": 5}"#;
+    let replies: Vec<(u16, Option<String>, Option<u64>)> = std::thread::scope(|s| {
+        let clients: Vec<_> = (0..12)
+            .map(|_| {
+                s.spawn(move || {
+                    let reply = request(addr, "POST", "/run", Some(spec));
+                    let retry = reply.header("Retry-After").map(str::to_string);
+                    let id = reply.json().get("job").and_then(Json::as_u64);
+                    (reply.status, retry, id)
+                })
+            })
+            .collect();
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect()
+    });
+
+    let accepted: Vec<u64> =
+        replies.iter().filter(|(s, _, _)| *s == 202).filter_map(|(_, _, id)| *id).collect();
+    let rejected: Vec<_> = replies.iter().filter(|(s, _, _)| *s == 503).collect();
+    assert!(
+        !accepted.is_empty(),
+        "at least one job must be admitted (statuses: {:?})",
+        replies.iter().map(|(s, _, _)| s).collect::<Vec<_>>()
+    );
+    assert!(
+        !rejected.is_empty(),
+        "a one-slot queue must reject part of a 12-job burst (statuses: {:?})",
+        replies.iter().map(|(s, _, _)| s).collect::<Vec<_>>()
+    );
+    for (_, retry, _) in &rejected {
+        assert!(retry.is_some(), "503 must carry Retry-After");
+    }
+
+    // The 202 contract: everything admitted completes.
+    for id in &accepted {
+        let doc = wait_for_job(addr, *id);
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"), "job {id}");
+    }
+
+    let metrics = request(addr, "GET", "/metrics", None).json();
+    let counter = |name: &str| {
+        metrics.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    assert_eq!(counter("server.queue.admitted"), accepted.len() as u64);
+    assert_eq!(counter("server.queue.rejected"), rejected.len() as u64);
+    assert_eq!(counter("server.jobs.completed"), accepted.len() as u64);
+
+    shutdown(addr, handle);
+}
+
+/// The sweep pool keeps traces warm across requests: two identical specs
+/// must hit the pool the second time (visible in the hit/miss counters).
+#[test]
+fn repeated_specs_hit_the_sweep_pool() {
+    let (addr, handle) =
+        start(ServerConfig { workers: 1, queue_depth: 8, ..ServerConfig::default() });
+    let spec = r#"{"experiment": "table3-1", "trace_len": 1000, "seed": 9}"#;
+    for _ in 0..2 {
+        let reply = request(addr, "POST", "/run", Some(spec));
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let id = reply.json().get("job").and_then(Json::as_u64).unwrap();
+        let doc = wait_for_job(addr, id);
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+        assert!(
+            doc.get_path("result.csv").and_then(Json::as_str).is_some(),
+            "table experiments return CSV"
+        );
+    }
+    let metrics = request(addr, "GET", "/metrics", None).json();
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("server.sweep_pool.misses"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "first job builds the sweep"
+    );
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("server.sweep_pool.hits"))
+            .and_then(Json::as_u64),
+        Some(1),
+        "second identical spec reuses it"
+    );
+    shutdown(addr, handle);
+}
