@@ -24,10 +24,10 @@ fn m88ksim_trace() -> Trace {
 }
 
 fn drive(p: &mut dyn ValuePredictor, trace: &Trace) {
-    for rec in trace {
+    for rec in trace.view().slots() {
         if rec.produces_value() {
-            let predicted = p.lookup(rec.pc);
-            p.commit(rec.pc, rec.result, predicted);
+            let predicted = p.lookup(rec.pc());
+            p.commit(rec.pc(), rec.result(), predicted);
         }
     }
 }
@@ -35,7 +35,7 @@ fn drive(p: &mut dyn ValuePredictor, trace: &Trace) {
 fn walk(engine: &mut dyn FetchEngine, trace: &Trace) -> usize {
     let mut pos = 0;
     while pos < trace.len() {
-        pos += engine.fetch(trace.records(), pos, 40).len;
+        pos += engine.fetch(trace.view(), pos, 40).len;
     }
     pos
 }
@@ -69,7 +69,7 @@ fn main() {
 
     run_benchmark("branch_predictors/two_level_pap", || {
         let mut btb = TwoLevelBtb::paper();
-        for rec in &trace {
+        for rec in trace.view().slots() {
             if rec.is_control() {
                 btb.predict(rec);
                 btb.update(rec);
@@ -111,7 +111,7 @@ fn main() {
 
     run_benchmark("dfg/did_analysis", || {
         let mut a = DidAnalyzer::new();
-        for rec in &trace {
+        for rec in trace.view().slots() {
             a.feed(rec);
         }
         a.finish().arcs

@@ -1,7 +1,6 @@
 //! A gshare direction predictor with a branch target buffer.
 
-use fetchvp_isa::Instr;
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::Slot;
 
 use crate::{BpredStats, BranchPrediction, BranchPredictor};
 
@@ -44,16 +43,17 @@ impl Default for GshareConfig {
 /// ```
 /// use fetchvp_bpred::{BranchPredictor, GshareBtb};
 /// use fetchvp_isa::{Cond, Instr, Reg};
-/// use fetchvp_trace::DynInstr;
+/// use fetchvp_trace::{DynInstr, TraceColumns};
 ///
 /// let mut p = GshareBtb::default_budget();
-/// let rec = DynInstr {
+/// let cols = TraceColumns::from_records(&[DynInstr {
 ///     seq: 0, pc: 5,
 ///     instr: Instr::Branch { cond: Cond::Ne, a: Reg::R1, b: Reg::R0, target: 2 },
 ///     result: 0, mem_addr: None, taken: true, next_pc: 2,
-/// };
-/// for _ in 0..4 { p.predict(&rec); p.update(&rec); }
-/// assert!(p.predict(&rec).correct_for(&rec));
+/// }]);
+/// let rec = cols.slot(0);
+/// for _ in 0..4 { p.predict(rec); p.update(rec); }
+/// assert!(p.predict(rec).correct_for(rec));
 /// ```
 #[derive(Debug, Clone)]
 pub struct GshareBtb {
@@ -122,49 +122,43 @@ impl BranchPredictor for GshareBtb {
         "gshare"
     }
 
-    fn predict(&mut self, rec: &DynInstr) -> BranchPrediction {
-        let prediction = match rec.instr {
-            Instr::Jump { target } | Instr::Call { target, .. } => {
-                BranchPrediction::taken_to(target)
-            }
-            Instr::JumpInd { .. } => {
-                BranchPrediction { taken: true, target: self.btb_target(rec.pc) }
-            }
-            Instr::Branch { .. } => {
-                if self.pht[self.pht_index(rec.pc)] >= 2 {
-                    match self.btb_target(rec.pc) {
-                        Some(t) => BranchPrediction::taken_to(t),
-                        None => BranchPrediction::not_taken(), // no target: cannot follow
-                    }
-                } else {
-                    BranchPrediction::not_taken()
+    fn predict(&mut self, rec: Slot<'_>) -> BranchPrediction {
+        let prediction = if rec.is_direct_jump() {
+            // Direct transfers: the static target is the recorded next PC.
+            BranchPrediction::taken_to(rec.next_pc())
+        } else if rec.is_indirect_jump() {
+            BranchPrediction { taken: true, target: self.btb_target(rec.pc()) }
+        } else if rec.is_cond_branch() {
+            if self.pht[self.pht_index(rec.pc())] >= 2 {
+                match self.btb_target(rec.pc()) {
+                    Some(t) => BranchPrediction::taken_to(t),
+                    None => BranchPrediction::not_taken(), // no target: cannot follow
                 }
+            } else {
+                BranchPrediction::not_taken()
             }
-            _ => BranchPrediction::not_taken(),
+        } else {
+            BranchPrediction::not_taken()
         };
         self.stats.record(rec, prediction);
         prediction
     }
 
-    fn update(&mut self, rec: &DynInstr) {
-        match rec.instr {
-            Instr::Branch { .. } => {
-                let idx = self.pht_index(rec.pc);
-                if rec.taken {
-                    self.pht[idx] = (self.pht[idx] + 1).min(3);
-                    let slot = self.btb_index(rec.pc);
-                    self.btb[slot] = Some((rec.pc, rec.next_pc));
-                } else {
-                    self.pht[idx] = self.pht[idx].saturating_sub(1);
-                }
-                let mask = (1u64 << self.config.history_bits) - 1;
-                self.history = ((self.history << 1) | rec.taken as u64) & mask;
+    fn update(&mut self, rec: Slot<'_>) {
+        if rec.is_cond_branch() {
+            let idx = self.pht_index(rec.pc());
+            if rec.taken() {
+                self.pht[idx] = (self.pht[idx] + 1).min(3);
+                let slot = self.btb_index(rec.pc());
+                self.btb[slot] = Some((rec.pc(), rec.next_pc()));
+            } else {
+                self.pht[idx] = self.pht[idx].saturating_sub(1);
             }
-            Instr::JumpInd { .. } => {
-                let slot = self.btb_index(rec.pc);
-                self.btb[slot] = Some((rec.pc, rec.next_pc));
-            }
-            _ => {}
+            let mask = (1u64 << self.config.history_bits) - 1;
+            self.history = ((self.history << 1) | rec.taken() as u64) & mask;
+        } else if rec.is_indirect_jump() {
+            let slot = self.btb_index(rec.pc());
+            self.btb[slot] = Some((rec.pc(), rec.next_pc()));
         }
     }
 
@@ -176,7 +170,8 @@ impl BranchPredictor for GshareBtb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fetchvp_isa::{Cond, Reg};
+    use fetchvp_isa::{Cond, Instr, Reg};
+    use fetchvp_trace::{DynInstr, TraceColumns};
 
     fn branch(pc: u64, taken: bool, target: u64) -> DynInstr {
         DynInstr {
@@ -191,7 +186,9 @@ mod tests {
     }
 
     fn run(p: &mut GshareBtb, recs: &[DynInstr]) -> usize {
-        recs.iter()
+        let cols = TraceColumns::from_records(recs);
+        cols.view()
+            .slots()
             .map(|r| {
                 let pred = p.predict(r);
                 p.update(r);
@@ -242,17 +239,13 @@ mod tests {
         // Train PC 1 taken (allocates its BTB slot), then train PC 5 (same
         // BTB set) so PC 1's target is evicted.
         for _ in 0..4 {
-            let r = branch(1, true, 30);
-            p.predict(&r);
-            p.update(&r);
+            run(&mut p, &[branch(1, true, 30)]);
         }
         for _ in 0..4 {
-            let r = branch(5, true, 40);
-            p.predict(&r);
-            p.update(&r);
+            run(&mut p, &[branch(5, true, 40)]);
         }
-        let r = branch(1, true, 30);
-        let pred = p.predict(&r);
+        let cols = TraceColumns::from_records(&[branch(1, true, 30)]);
+        let pred = p.predict(cols.slot(0));
         assert!(!pred.taken, "without a target the front-end cannot follow");
     }
 
@@ -268,10 +261,11 @@ mod tests {
             taken: true,
             next_pc: t,
         };
-        let a = mk(77);
-        assert!(!p.predict(&a).correct_for(&a));
-        p.update(&a);
-        assert!(p.predict(&a).correct_for(&a));
+        let cols = TraceColumns::from_records(&[mk(77)]);
+        let a = cols.slot(0);
+        assert!(!p.predict(a).correct_for(a));
+        p.update(a);
+        assert!(p.predict(a).correct_for(a));
     }
 
     #[test]

@@ -19,27 +19,32 @@
 //! branches at the same cycle", §5).
 //!
 //! Predictors are trace-driven: [`BranchPredictor::predict`] receives the
-//! full dynamic record (which contains the actual outcome) so that the
-//! oracle can be expressed, but table-based implementations must consult
-//! only the static fields (`pc`, `instr`) — the unit tests enforce this by
-//! checking mispredictions occur.
+//! dynamic instruction's [`Slot`] accessor (which contains the actual
+//! outcome) so that the oracle can be expressed, but table-based
+//! implementations must consult only the static facts (`pc`, instruction
+//! kind — and `next_pc` for direct unconditional transfers, whose next PC
+//! *is* their static target) — the unit tests enforce this by checking
+//! mispredictions occur.
 //!
 //! # Example
 //!
 //! ```
 //! use fetchvp_bpred::{BranchPredictor, TwoLevelBtb};
 //! use fetchvp_isa::{Cond, Instr, Reg};
-//! use fetchvp_trace::DynInstr;
+//! use fetchvp_trace::{DynInstr, TraceColumns};
 //!
 //! let mut btb = TwoLevelBtb::paper();
 //! let branch = Instr::Branch { cond: Cond::Ne, a: Reg::R1, b: Reg::R0, target: 0 };
-//! let rec = DynInstr { seq: 0, pc: 10, instr: branch, result: 0, mem_addr: None,
-//!                      taken: true, next_pc: 0 };
+//! let cols = TraceColumns::from_records(&[DynInstr {
+//!     seq: 0, pc: 10, instr: branch, result: 0, mem_addr: None,
+//!     taken: true, next_pc: 0,
+//! }]);
+//! let rec = cols.slot(0);
 //! // Cold: predicted not-taken, actually taken -> misprediction.
-//! let p = btb.predict(&rec);
+//! let p = btb.predict(rec);
 //! assert!(!p.taken);
-//! assert!(!p.correct_for(&rec));
-//! btb.update(&rec);
+//! assert!(!p.correct_for(rec));
+//! btb.update(rec);
 //! ```
 
 pub mod gshare;
@@ -51,7 +56,7 @@ pub use perfect::PerfectBtb;
 pub use two_level::{TwoLevelBtb, TwoLevelConfig};
 
 use fetchvp_metrics::{MetricsSink, Registry};
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::Slot;
 
 /// The outcome of one branch prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,11 +83,12 @@ impl BranchPrediction {
     /// Whether this prediction matches the actual outcome of `rec`:
     /// direction must match, and for a taken outcome the predicted target
     /// must equal the actual next PC.
-    pub fn correct_for(&self, rec: &DynInstr) -> bool {
-        if self.taken != rec.taken {
+    #[inline]
+    pub fn correct_for(&self, rec: Slot<'_>) -> bool {
+        if self.taken != rec.taken() {
             return false;
         }
-        !rec.taken || self.target == Some(rec.next_pc)
+        !rec.taken() || self.target == Some(rec.next_pc())
     }
 }
 
@@ -124,7 +130,7 @@ impl BpredStats {
         self.predictions - self.correct
     }
 
-    pub(crate) fn record(&mut self, rec: &DynInstr, prediction: BranchPrediction) {
+    pub(crate) fn record(&mut self, rec: Slot<'_>, prediction: BranchPrediction) {
         self.predictions += 1;
         let correct = prediction.correct_for(rec);
         if correct {
@@ -162,12 +168,13 @@ pub trait BranchPredictor {
 
     /// Predicts the outcome of the control instruction in `rec`.
     ///
-    /// Implementations other than the oracle must consult only `rec.pc` and
-    /// `rec.instr`.
-    fn predict(&mut self, rec: &DynInstr) -> BranchPrediction;
+    /// Implementations other than the oracle must consult only the static
+    /// facts of the slot: its PC and instruction kind (plus `next_pc` for
+    /// direct unconditional transfers, where it equals the static target).
+    fn predict(&mut self, rec: Slot<'_>) -> BranchPrediction;
 
     /// Trains the predictor with the resolved outcome.
-    fn update(&mut self, rec: &DynInstr);
+    fn update(&mut self, rec: Slot<'_>);
 
     /// Accumulated statistics.
     fn stats(&self) -> BpredStats;
@@ -177,9 +184,10 @@ pub trait BranchPredictor {
 mod tests {
     use super::*;
     use fetchvp_isa::{Cond, Instr, Reg};
+    use fetchvp_trace::{DynInstr, TraceColumns};
 
-    fn branch_rec(taken: bool, next_pc: u64) -> DynInstr {
-        DynInstr {
+    fn branch_rec(taken: bool, next_pc: u64) -> TraceColumns {
+        TraceColumns::from_records(&[DynInstr {
             seq: 0,
             pc: 4,
             instr: Instr::Branch { cond: Cond::Eq, a: Reg::R1, b: Reg::R2, target: next_pc },
@@ -187,35 +195,35 @@ mod tests {
             mem_addr: None,
             taken,
             next_pc: if taken { next_pc } else { 5 },
-        }
+        }])
     }
 
     #[test]
     fn correctness_requires_direction_match() {
         let rec = branch_rec(true, 20);
-        assert!(!BranchPrediction::not_taken().correct_for(&rec));
-        assert!(BranchPrediction::taken_to(20).correct_for(&rec));
+        assert!(!BranchPrediction::not_taken().correct_for(rec.slot(0)));
+        assert!(BranchPrediction::taken_to(20).correct_for(rec.slot(0)));
     }
 
     #[test]
     fn correctness_requires_target_match_when_taken() {
         let rec = branch_rec(true, 20);
-        assert!(!BranchPrediction::taken_to(24).correct_for(&rec));
-        assert!(!BranchPrediction { taken: true, target: None }.correct_for(&rec));
+        assert!(!BranchPrediction::taken_to(24).correct_for(rec.slot(0)));
+        assert!(!BranchPrediction { taken: true, target: None }.correct_for(rec.slot(0)));
     }
 
     #[test]
     fn not_taken_prediction_ignores_target() {
         let rec = branch_rec(false, 20);
-        assert!(BranchPrediction::not_taken().correct_for(&rec));
-        assert!(!BranchPrediction::taken_to(20).correct_for(&rec));
+        assert!(BranchPrediction::not_taken().correct_for(rec.slot(0)));
+        assert!(!BranchPrediction::taken_to(20).correct_for(rec.slot(0)));
     }
 
     #[test]
     fn stats_record_splits_conditionals() {
         let mut s = BpredStats::default();
-        s.record(&branch_rec(true, 20), BranchPrediction::taken_to(20));
-        s.record(&branch_rec(true, 20), BranchPrediction::not_taken());
+        s.record(branch_rec(true, 20).slot(0), BranchPrediction::taken_to(20));
+        s.record(branch_rec(true, 20).slot(0), BranchPrediction::not_taken());
         assert_eq!(s.predictions, 2);
         assert_eq!(s.correct, 1);
         assert_eq!(s.cond_predictions, 2);

@@ -1,6 +1,6 @@
 //! The oracle branch predictor.
 
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::Slot;
 
 use crate::{BpredStats, BranchPrediction, BranchPredictor};
 
@@ -16,13 +16,15 @@ use crate::{BpredStats, BranchPrediction, BranchPredictor};
 /// ```
 /// use fetchvp_bpred::{BranchPredictor, PerfectBtb};
 /// use fetchvp_isa::Instr;
-/// use fetchvp_trace::DynInstr;
+/// use fetchvp_trace::{DynInstr, TraceColumns};
 ///
 /// let mut btb = PerfectBtb::new();
-/// let rec = DynInstr { seq: 0, pc: 3, instr: Instr::Jump { target: 9 }, result: 0,
-///                      mem_addr: None, taken: true, next_pc: 9 };
-/// let p = btb.predict(&rec);
-/// assert!(p.correct_for(&rec));
+/// let cols = TraceColumns::from_records(&[DynInstr {
+///     seq: 0, pc: 3, instr: Instr::Jump { target: 9 }, result: 0,
+///     mem_addr: None, taken: true, next_pc: 9,
+/// }]);
+/// let p = btb.predict(cols.slot(0));
+/// assert!(p.correct_for(cols.slot(0)));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PerfectBtb {
@@ -41,9 +43,9 @@ impl BranchPredictor for PerfectBtb {
         "ideal-btb"
     }
 
-    fn predict(&mut self, rec: &DynInstr) -> BranchPrediction {
-        let prediction = if rec.taken {
-            BranchPrediction::taken_to(rec.next_pc)
+    fn predict(&mut self, rec: Slot<'_>) -> BranchPrediction {
+        let prediction = if rec.taken() {
+            BranchPrediction::taken_to(rec.next_pc())
         } else {
             BranchPrediction::not_taken()
         };
@@ -51,7 +53,7 @@ impl BranchPredictor for PerfectBtb {
         prediction
     }
 
-    fn update(&mut self, _rec: &DynInstr) {}
+    fn update(&mut self, _rec: Slot<'_>) {}
 
     fn stats(&self) -> BpredStats {
         self.stats
@@ -62,9 +64,10 @@ impl BranchPredictor for PerfectBtb {
 mod tests {
     use super::*;
     use fetchvp_isa::{Cond, Instr, Reg};
+    use fetchvp_trace::{DynInstr, TraceColumns};
 
-    fn rec(taken: bool) -> DynInstr {
-        DynInstr {
+    fn rec(taken: bool) -> TraceColumns {
+        TraceColumns::from_records(&[DynInstr {
             seq: 0,
             pc: 1,
             instr: Instr::Branch { cond: Cond::Eq, a: Reg::R1, b: Reg::R2, target: 77 },
@@ -72,16 +75,17 @@ mod tests {
             mem_addr: None,
             taken,
             next_pc: if taken { 77 } else { 2 },
-        }
+        }])
     }
 
     #[test]
     fn always_correct_on_both_directions() {
         let mut btb = PerfectBtb::new();
         for taken in [true, false, true, true, false] {
-            let r = rec(taken);
-            assert!(btb.predict(&r).correct_for(&r));
-            btb.update(&r);
+            let cols = rec(taken);
+            let r = cols.slot(0);
+            assert!(btb.predict(r).correct_for(r));
+            btb.update(r);
         }
         assert_eq!(btb.stats().accuracy(), 1.0);
         assert_eq!(btb.stats().predictions, 5);
@@ -90,7 +94,7 @@ mod tests {
     #[test]
     fn correct_on_indirect_jumps() {
         let mut btb = PerfectBtb::new();
-        let r = DynInstr {
+        let cols = TraceColumns::from_records(&[DynInstr {
             seq: 0,
             pc: 5,
             instr: Instr::JumpInd { base: Reg::R31 },
@@ -98,7 +102,7 @@ mod tests {
             mem_addr: None,
             taken: true,
             next_pc: 123,
-        };
-        assert_eq!(btb.predict(&r).target, Some(123));
+        }]);
+        assert_eq!(btb.predict(cols.slot(0)).target, Some(123));
     }
 }

@@ -1,7 +1,6 @@
 //! The 2-level PAp branch target buffer.
 
-use fetchvp_isa::Instr;
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::Slot;
 
 use crate::{BpredStats, BranchPrediction, BranchPredictor};
 
@@ -70,17 +69,18 @@ struct Entry {
 /// ```
 /// use fetchvp_bpred::{BranchPredictor, TwoLevelBtb};
 /// use fetchvp_isa::{Cond, Instr, Reg};
-/// use fetchvp_trace::DynInstr;
+/// use fetchvp_trace::{DynInstr, TraceColumns};
 ///
 /// let mut btb = TwoLevelBtb::paper();
-/// let rec = DynInstr {
+/// let cols = TraceColumns::from_records(&[DynInstr {
 ///     seq: 0, pc: 8,
 ///     instr: Instr::Branch { cond: Cond::Ne, a: Reg::R1, b: Reg::R0, target: 2 },
 ///     result: 0, mem_addr: None, taken: true, next_pc: 2,
-/// };
+/// }]);
+/// let rec = cols.slot(0);
 /// // Train an always-taken branch: after a few outcomes it predicts taken.
-/// for _ in 0..4 { btb.predict(&rec); btb.update(&rec); }
-/// assert!(btb.predict(&rec).correct_for(&rec));
+/// for _ in 0..4 { btb.predict(rec); btb.update(rec); }
+/// assert!(btb.predict(rec).correct_for(rec));
 /// ```
 #[derive(Debug, Clone)]
 pub struct TwoLevelBtb {
@@ -174,18 +174,19 @@ impl BranchPredictor for TwoLevelBtb {
         "2level-btb"
     }
 
-    fn predict(&mut self, rec: &DynInstr) -> BranchPrediction {
-        let prediction = match rec.instr {
-            // Direct unconditional transfers have a static target; any BTB
-            // front-end resolves them in the fetch stage.
-            Instr::Jump { target } | Instr::Call { target, .. } => {
-                BranchPrediction::taken_to(target)
-            }
-            Instr::JumpInd { .. } => match self.probe(rec.pc) {
+    fn predict(&mut self, rec: Slot<'_>) -> BranchPrediction {
+        let prediction = if rec.is_direct_jump() {
+            // Direct unconditional transfers have a static target (equal to
+            // their next PC); any BTB front-end resolves them in the fetch
+            // stage.
+            BranchPrediction::taken_to(rec.next_pc())
+        } else if rec.is_indirect_jump() {
+            match self.probe(rec.pc()) {
                 Some(e) => BranchPrediction::taken_to(e.target),
                 None => BranchPrediction { taken: true, target: None },
-            },
-            Instr::Branch { .. } => match self.probe(rec.pc) {
+            }
+        } else if rec.is_cond_branch() {
+            match self.probe(rec.pc()) {
                 Some(e) => {
                     let counter = e.pattern[e.history as usize];
                     if counter >= 2 {
@@ -195,35 +196,33 @@ impl BranchPredictor for TwoLevelBtb {
                     }
                 }
                 None => BranchPrediction::not_taken(),
-            },
+            }
+        } else {
             // Non-control instructions are never presented by the machines;
             // treat defensively as fall-through.
-            _ => BranchPrediction::not_taken(),
+            BranchPrediction::not_taken()
         };
         self.stats.record(rec, prediction);
         prediction
     }
 
-    fn update(&mut self, rec: &DynInstr) {
-        match rec.instr {
-            Instr::Jump { .. } | Instr::Call { .. } => {}
-            Instr::JumpInd { .. } => {
-                let e = self.entry_mut(rec.pc);
-                e.target = rec.next_pc;
+    fn update(&mut self, rec: Slot<'_>) {
+        if rec.is_indirect_jump() {
+            let next_pc = rec.next_pc();
+            let e = self.entry_mut(rec.pc());
+            e.target = next_pc;
+        } else if rec.is_cond_branch() {
+            let (taken, next_pc) = (rec.taken(), rec.next_pc());
+            let mask = self.history_mask();
+            let e = self.entry_mut(rec.pc());
+            let idx = e.history as usize;
+            if taken {
+                e.pattern[idx] = (e.pattern[idx] + 1).min(3);
+                e.target = next_pc;
+            } else {
+                e.pattern[idx] = e.pattern[idx].saturating_sub(1);
             }
-            Instr::Branch { .. } => {
-                let mask = self.history_mask();
-                let e = self.entry_mut(rec.pc);
-                let idx = e.history as usize;
-                if rec.taken {
-                    e.pattern[idx] = (e.pattern[idx] + 1).min(3);
-                    e.target = rec.next_pc;
-                } else {
-                    e.pattern[idx] = e.pattern[idx].saturating_sub(1);
-                }
-                e.history = ((e.history << 1) | rec.taken as u16) & mask;
-            }
-            _ => {}
+            e.history = ((e.history << 1) | taken as u16) & mask;
         }
     }
 
@@ -235,7 +234,8 @@ impl BranchPredictor for TwoLevelBtb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fetchvp_isa::{Cond, Reg};
+    use fetchvp_isa::{Cond, Instr, Reg};
+    use fetchvp_trace::{DynInstr, TraceColumns};
 
     fn branch(pc: u64, taken: bool, target: u64) -> DynInstr {
         DynInstr {
@@ -250,13 +250,20 @@ mod tests {
     }
 
     fn run(btb: &mut TwoLevelBtb, recs: &[DynInstr]) -> usize {
-        recs.iter()
+        let cols = TraceColumns::from_records(recs);
+        cols.view()
+            .slots()
             .map(|r| {
                 let p = btb.predict(r);
                 btb.update(r);
                 p.correct_for(r) as usize
             })
             .sum()
+    }
+
+    /// Drives one record through predict+update, returning correctness.
+    fn one(btb: &mut TwoLevelBtb, rec: DynInstr) -> bool {
+        run(btb, &[rec]) == 1
     }
 
     #[test]
@@ -300,8 +307,9 @@ mod tests {
     #[test]
     fn cold_taken_branch_mispredicts() {
         let mut btb = TwoLevelBtb::paper();
-        let r = branch(4, true, 100);
-        assert!(!btb.predict(&r).correct_for(&r));
+        let cols = TraceColumns::from_records(&[branch(4, true, 100)]);
+        let r = cols.slot(0);
+        assert!(!btb.predict(r).correct_for(r));
     }
 
     #[test]
@@ -316,19 +324,20 @@ mod tests {
             taken: true,
             next_pc: t,
         };
-        let a = mk(50);
-        assert!(!btb.predict(&a).correct_for(&a)); // cold miss
-        btb.update(&a);
-        assert!(btb.predict(&a).correct_for(&a)); // repeats target 50
-        btb.update(&a);
-        let b = mk(60);
-        assert!(!btb.predict(&b).correct_for(&b)); // target changed
+        let cols = TraceColumns::from_records(&[mk(50), mk(60)]);
+        let a = cols.slot(0);
+        assert!(!btb.predict(a).correct_for(a)); // cold miss
+        btb.update(a);
+        assert!(btb.predict(a).correct_for(a)); // repeats target 50
+        btb.update(a);
+        let b = cols.slot(1);
+        assert!(!btb.predict(b).correct_for(b)); // target changed
     }
 
     #[test]
     fn direct_jumps_are_always_correct() {
         let mut btb = TwoLevelBtb::paper();
-        let r = DynInstr {
+        let cols = TraceColumns::from_records(&[DynInstr {
             seq: 0,
             pc: 9,
             instr: Instr::Jump { target: 44 },
@@ -336,8 +345,8 @@ mod tests {
             mem_addr: None,
             taken: true,
             next_pc: 44,
-        };
-        assert!(btb.predict(&r).correct_for(&r));
+        }]);
+        assert!(btb.predict(cols.slot(0)).correct_for(cols.slot(0)));
     }
 
     #[test]
@@ -345,38 +354,32 @@ mod tests {
         let mut btb = TwoLevelBtb::new(TwoLevelConfig { entries: 4, assoc: 2, history_bits: 2 });
         // Train pc 0 taken.
         for _ in 0..6 {
-            let r = branch(0, true, 9);
-            btb.predict(&r);
-            btb.update(&r);
+            one(&mut btb, branch(0, true, 9));
         }
         // Fill set 0 (sets = 2; pcs 2 and 4 also map to set 0).
         for pc in [2u64, 4] {
             for _ in 0..3 {
-                let r = branch(pc, true, 9);
-                btb.predict(&r);
-                btb.update(&r);
+                one(&mut btb, branch(pc, true, 9));
             }
         }
         // pc 0 was LRU-evicted: cold again, predicts not-taken.
-        let r = branch(0, true, 9);
-        assert!(!btb.predict(&r).correct_for(&r));
+        let cols = TraceColumns::from_records(&[branch(0, true, 9)]);
+        let r = cols.slot(0);
+        assert!(!btb.predict(r).correct_for(r));
     }
 
     #[test]
     fn distinct_branches_do_not_interfere_in_different_sets() {
         let mut btb = TwoLevelBtb::paper();
         for _ in 0..8 {
-            let t = branch(10, true, 200);
-            let n = branch(11, false, 300);
-            btb.predict(&t);
-            btb.update(&t);
-            btb.predict(&n);
-            btb.update(&n);
+            one(&mut btb, branch(10, true, 200));
+            one(&mut btb, branch(11, false, 300));
         }
-        let t = branch(10, true, 200);
-        let n = branch(11, false, 300);
-        assert!(btb.predict(&t).correct_for(&t));
-        assert!(btb.predict(&n).correct_for(&n));
+        let cols = TraceColumns::from_records(&[branch(10, true, 200), branch(11, false, 300)]);
+        let t = cols.slot(0);
+        let n = cols.slot(1);
+        assert!(btb.predict(t).correct_for(t));
+        assert!(btb.predict(n).correct_for(n));
     }
 
     #[test]

@@ -41,6 +41,8 @@
 //!   bench [--quick] [--out FILE]    run the workload suite, write BENCH_<date>.json
 //!   bench-compare <old> <new> [--threshold PCT]
 //!                                   diff two reports, exit nonzero on regression
+//!   profile                         per-phase wall-time breakdown
+//!                                   (trace generation / fetch / predict / schedule)
 //!
 //! serving (simulation as a service):
 //!   serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
@@ -71,7 +73,7 @@ ablations:   ablation-banks ablation-window ablation-confidence \
              ablation-model ablation-seeds ablations
 trace files: save-trace <benchmark> <file> / trace-info <file> / run-asm <file.s>
 benchmarks:  bench [--quick] [--out FILE] / bench-compare <old.json> <new.json> \
-             [--threshold PCT]
+             [--threshold PCT] / profile
 serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 other:       --version";
 
@@ -107,6 +109,7 @@ const COMMANDS: &[&str] = &[
     "run-asm",
     "bench",
     "bench-compare",
+    "profile",
     "serve",
 ];
 
@@ -394,6 +397,7 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
         "run-asm" => return run_asm(cfg, positionals),
         "bench" => return run_bench(sweep, opts),
         "bench-compare" => return run_bench_compare(opts),
+        "profile" => emit(&fetchvp_experiments::profile::run(cfg).to_table(), csv),
         "serve" => return run_serve(opts),
         "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),
         "accuracy" => emit(&fetchvp_experiments::accuracy::run_with(sweep).to_table(), csv),

@@ -14,7 +14,7 @@
 
 use fetchvp_isa::reg::NUM_REGS;
 use fetchvp_predictor::ValuePredictor;
-use fetchvp_trace::{DynInstr, Trace};
+use fetchvp_trace::{Trace, NO_REG};
 
 use crate::ideal::disposition_for;
 use crate::realistic::RealisticConfig;
@@ -100,7 +100,7 @@ impl EventMachine {
     /// Runs the model over a captured trace.
     pub fn run(&self, trace: &Trace) -> MachineResult {
         let cfg = &self.config;
-        let records = trace.records();
+        let view = trace.view();
         let mut engine = cfg.front_end.build();
         let mut predictor: Option<Box<dyn ValuePredictor>> = match cfg.vp {
             crate::VpConfig::Predictor(kind) => Some(kind.build()),
@@ -126,7 +126,7 @@ impl EventMachine {
         let mut deps = DepStats::default();
         let mut value_replays = 0u64;
         let mut retired = 0u64;
-        let total = records.len() as u64;
+        let total = view.len() as u64;
         let mut breakdown = CycleBreakdown::default();
 
         while retired < total {
@@ -209,15 +209,15 @@ impl EventMachine {
             let mut can_dispatch = cfg.issue_width;
             while can_dispatch > 0 && window.len() < cfg.window {
                 let Some(idx) = fetch_queue.pop_front() else { break };
-                let rec = &records[idx];
+                let rec = view.slot(idx);
                 let vp = disposition_for(rec, &cfg.vp, &mut predictor);
                 let id = retired_entries + window.len();
                 let mut srcs = Vec::new();
-                for src in rec.srcs().into_iter().flatten() {
-                    if src.is_zero() {
+                for src in [rec.src1_byte(), rec.src2_byte()] {
+                    if src == NO_REG || src == 0 {
                         continue;
                     }
-                    if let Some(pid) = producer[src.index()] {
+                    if let Some(pid) = producer[src as usize] {
                         deps.total += 1;
                         if pid >= retired_entries {
                             let pvp = window[pid - retired_entries].vp;
@@ -230,7 +230,7 @@ impl EventMachine {
                         } else {
                             // Producer already retired: the value was ready
                             // long before this consumer dispatched.
-                            match self.retired_disposition(records, idx, src) {
+                            match self.retired_disposition() {
                                 VpDisposition::Correct => deps.useless_correct += 1,
                                 VpDisposition::Wrong => deps.wrong += 1,
                                 VpDisposition::None => deps.unpredicted += 1,
@@ -238,8 +238,9 @@ impl EventMachine {
                         }
                     }
                 }
-                if let Some(dst) = rec.dst() {
-                    producer[dst.index()] = Some(id);
+                let dst = rec.dst_byte();
+                if dst != NO_REG {
+                    producer[dst as usize] = Some(id);
                 }
                 window.push_back(Entry {
                     vp,
@@ -262,10 +263,10 @@ impl EventMachine {
                     }
                 }
             }
-            if stall_on.is_none() && cycle >= stall_until && pos < records.len() {
+            if stall_on.is_none() && cycle >= stall_until && pos < view.len() {
                 let space = queue_capacity.saturating_sub(fetch_queue.len());
                 if space > 0 {
-                    let group = engine.fetch(records, pos, space);
+                    let group = engine.fetch(view, pos, space);
                     for k in 0..group.len {
                         fetch_queue.push_back(pos + k);
                     }
@@ -319,12 +320,7 @@ impl EventMachine {
     /// correct prediction for it was by definition useless. We cannot
     /// cheaply recover whether a prediction was made, so classify from the
     /// machine's VP mode.
-    fn retired_disposition(
-        &self,
-        _records: &[DynInstr],
-        _consumer: usize,
-        _src: fetchvp_isa::Reg,
-    ) -> VpDisposition {
+    fn retired_disposition(&self) -> VpDisposition {
         match self.config.vp {
             crate::VpConfig::None => VpDisposition::None,
             // Approximation: count it as a (useless) correct prediction.

@@ -1,6 +1,6 @@
 //! The §3 ideal (implementation-independent) machine model.
 
-use fetchvp_trace::{DynInstr, Trace};
+use fetchvp_trace::{Slot, Trace};
 
 use crate::sched::{Scheduler, VpDisposition};
 use crate::vp::VpConfig;
@@ -80,8 +80,8 @@ impl IdealMachine {
             VpConfig::Predictor(kind) => Some(kind.build()),
             _ => None,
         };
-        for (i, rec) in trace.iter().enumerate() {
-            let fetch_cycle = (i / self.config.fetch_rate) as u64;
+        for rec in trace.view().slots() {
+            let fetch_cycle = (rec.index() / self.config.fetch_rate) as u64;
             let disposition = disposition_for(rec, &self.config.vp, &mut vp);
             sched.schedule(rec, fetch_cycle, disposition);
         }
@@ -104,7 +104,7 @@ impl IdealMachine {
 /// Computes the VP disposition for one instruction, performing the
 /// lookup/commit protocol when a real predictor is in use.
 pub(crate) fn disposition_for(
-    rec: &DynInstr,
+    rec: Slot<'_>,
     mode: &VpConfig,
     predictor: &mut Option<Box<dyn fetchvp_predictor::ValuePredictor>>,
 ) -> VpDisposition {
@@ -116,11 +116,11 @@ pub(crate) fn disposition_for(
         VpConfig::Perfect => VpDisposition::Correct,
         VpConfig::Predictor(_) => {
             let p = predictor.as_mut().expect("predictor mode requires a predictor");
-            let predicted = p.lookup(rec.pc);
-            p.commit(rec.pc, rec.result, predicted);
+            let predicted = p.lookup(rec.pc());
+            p.commit(rec.pc(), rec.result(), predicted);
             match predicted {
                 None => VpDisposition::None,
-                Some(v) if v == rec.result => VpDisposition::Correct,
+                Some(v) if v == rec.result() => VpDisposition::Correct,
                 Some(_) => VpDisposition::Wrong,
             }
         }
@@ -187,15 +187,15 @@ pub fn pipeline_trace(trace: &Trace, fetch_rate: usize, vp: VpConfig) -> Vec<Sta
         _ => None,
     };
     trace
-        .iter()
-        .enumerate()
-        .map(|(i, rec)| {
-            let fetch_cycle = (i / fetch_rate) as u64;
+        .view()
+        .slots()
+        .map(|rec| {
+            let fetch_cycle = (rec.index() / fetch_rate) as u64;
             let disposition = disposition_for(rec, &vp, &mut predictor);
             let t = sched.schedule(rec, fetch_cycle, disposition);
             StageTimes {
-                seq: rec.seq,
-                pc: rec.pc,
+                seq: rec.seq(),
+                pc: rec.pc(),
                 fetch: fetch_cycle + 1,
                 decode: t.dispatch + 1,
                 execute: t.execute + 1,

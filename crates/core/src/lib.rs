@@ -58,6 +58,9 @@
 //! # }
 //! ```
 
+// Public API of the hot path: every item must explain itself.
+#![deny(missing_docs)]
+
 pub mod event;
 pub mod ideal;
 pub mod realistic;

@@ -225,48 +225,55 @@ impl RealisticMachine {
             (None, _) => Err(None),
         };
 
-        let records = trace.records();
+        let view = trace.view();
         let mut pos = 0usize;
         let mut fetch_cycle = 0u64;
-        while pos < records.len() {
-            let group = engine.fetch(records, pos, cfg.issue_width);
+        // Per-group scratch buffers, allocated once and reused every cycle.
+        let mut pcs: Vec<u64> = Vec::new();
+        let mut dispositions: Vec<VpDisposition> = Vec::new();
+        while pos < view.len() {
+            let group = engine.fetch(view, pos, cfg.issue_width);
             assert!(group.len > 0, "fetch engine must make progress");
-            let group_records = &records[pos..pos + group.len];
+            let group_range = pos..pos + group.len;
 
             // Value predictions for the whole fetch group. With the banked
             // front-end the group's PCs contend for table banks; otherwise
             // each instruction performs a private lookup.
-            let dispositions: Vec<VpDisposition> = match &mut banked {
+            dispositions.clear();
+            match &mut banked {
                 Ok(fe) => {
-                    let pcs: Vec<u64> =
-                        group_records.iter().filter(|r| r.produces_value()).map(|r| r.pc).collect();
+                    pcs.clear();
+                    pcs.extend(
+                        view.slots_in(group_range.clone())
+                            .filter(|r| r.produces_value())
+                            .map(|r| r.pc()),
+                    );
                     let outcomes = fe.predict_group(&pcs);
                     let mut it = outcomes.into_iter();
-                    group_records
-                        .iter()
-                        .map(|rec| {
-                            if !rec.produces_value() {
-                                return VpDisposition::None;
-                            }
-                            let slot = it.next().expect("one outcome per value producer");
-                            fe.commit(rec.pc, rec.result, slot.prediction);
-                            match slot.prediction {
-                                None => VpDisposition::None,
-                                Some(v) if v == rec.result => VpDisposition::Correct,
-                                Some(_) => VpDisposition::Wrong,
-                            }
-                        })
-                        .collect()
+                    dispositions.extend(view.slots_in(group_range.clone()).map(|rec| {
+                        if !rec.produces_value() {
+                            return VpDisposition::None;
+                        }
+                        let slot = it.next().expect("one outcome per value producer");
+                        fe.commit(rec.pc(), rec.result(), slot.prediction);
+                        match slot.prediction {
+                            None => VpDisposition::None,
+                            Some(v) if v == rec.result() => VpDisposition::Correct,
+                            Some(_) => VpDisposition::Wrong,
+                        }
+                    }));
                 }
-                Err(predictor) => group_records
-                    .iter()
-                    .map(|rec| disposition_for(rec, &cfg.vp, predictor))
-                    .collect(),
-            };
+                Err(predictor) => {
+                    dispositions.extend(
+                        view.slots_in(group_range.clone())
+                            .map(|rec| disposition_for(rec, &cfg.vp, predictor)),
+                    );
+                }
+            }
 
             let mut resume_after = None;
-            for (k, (rec, &disp)) in group_records.iter().zip(&dispositions).enumerate() {
-                let t = sched.schedule(rec, fetch_cycle, disp);
+            for (k, rec) in view.slots_in(group_range).enumerate() {
+                let t = sched.schedule(rec, fetch_cycle, dispositions[k]);
                 if group.mispredict == Some(k) {
                     resume_after = Some(t.execute + cfg.branch_penalty);
                 }

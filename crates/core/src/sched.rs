@@ -17,10 +17,9 @@
 //!   appears (the paper's 1-cycle value-misprediction penalty: "the machine
 //!   invalidates only the dependent instructions and reschedules them").
 
-use std::collections::{BTreeMap, HashMap};
-
 use fetchvp_isa::reg::NUM_REGS;
-use fetchvp_trace::DynInstr;
+use fetchvp_metrics::FxHashMap;
+use fetchvp_trace::{Slot, NO_REG};
 
 /// The value-prediction disposition of one dynamic instruction's result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,13 +119,15 @@ struct Producer {
 /// ```
 /// use fetchvp_core::sched::{Scheduler, VpDisposition};
 /// use fetchvp_isa::{AluOp, Instr, Reg};
-/// use fetchvp_trace::DynInstr;
+/// use fetchvp_trace::{DynInstr, TraceColumns};
 ///
 /// let mut s = Scheduler::new(40, None);
 /// let add = Instr::Alu { op: AluOp::Add, dst: Reg::R1, a: Reg::R1, b: Reg::R1 };
-/// let rec = DynInstr { seq: 0, pc: 0, instr: add, result: 0, mem_addr: None,
-///                      taken: false, next_pc: 1 };
-/// let t0 = s.schedule(&rec, 0, VpDisposition::None);
+/// let cols = TraceColumns::from_records(&[DynInstr {
+///     seq: 0, pc: 0, instr: add, result: 0, mem_addr: None,
+///     taken: false, next_pc: 1,
+/// }]);
+/// let t0 = s.schedule(cols.slot(0), 0, VpDisposition::None);
 /// assert_eq!((t0.dispatch, t0.execute, t0.complete), (1, 2, 3));
 /// ```
 #[derive(Debug, Clone)]
@@ -136,14 +137,21 @@ pub struct Scheduler {
     value_penalty: u64,
     /// Execution units per cycle (`None` = unlimited, the §3 ideal model).
     exec_width: Option<usize>,
-    /// Executions booked per cycle (pruned as instructions retire).
-    exec_booked: BTreeMap<u64, usize>,
+    /// Executions booked per cycle: a ring of per-cycle counts covering the
+    /// live span `[exec_base, exec_base + ring.len())`. Probes are bounded
+    /// below by `dispatch + 1`, which is non-decreasing, so cycles sliding
+    /// out of the span are dead; the ring grows if the live span ever
+    /// outruns it.
+    exec_booked: Vec<u32>,
+    /// Cycle whose booking count sits at ring index `exec_base % len`.
+    exec_base: u64,
     /// When set, loads additionally wait for the completion of the last
     /// store to the same address (perfect memory disambiguation with
     /// store-to-load forwarding at completion time).
     memory_deps: bool,
-    /// Completion time of the last store per address.
-    last_store: HashMap<u64, u64>,
+    /// Completion time of the last store per address (Fx-hashed: probed
+    /// once per memory instruction when memory dependencies are enabled).
+    last_store: FxHashMap<u64, u64>,
     /// Ring of retire cycles for the last `window` instructions.
     retire_ring: Vec<u64>,
     /// Retire cycle of the previous instruction (in-order commit).
@@ -186,9 +194,13 @@ impl Scheduler {
             dispatch_width,
             value_penalty,
             exec_width: None,
-            exec_booked: BTreeMap::new(),
+            // Execute cycles trail dispatch by at most ~window (the window
+            // constraint forces dispatch past the retire of instruction
+            // i - W), so 4x the window covers the live span with slack.
+            exec_booked: vec![0; (4 * window).next_power_of_two()],
+            exec_base: 0,
             memory_deps: false,
-            last_store: HashMap::new(),
+            last_store: FxHashMap::default(),
             retire_ring: vec![0; window],
             prev_retire: 0,
             scheduled: 0,
@@ -225,19 +237,57 @@ impl Scheduler {
     }
 
     /// Books an execution slot at the earliest cycle >= `candidate`.
-    fn book_exec(&mut self, candidate: u64) -> u64 {
+    ///
+    /// `min_live` is the lowest cycle any *future* probe can ask for
+    /// (`dispatch + 1`, which is non-decreasing): ring slots below it are
+    /// dead and may be reclaimed.
+    fn book_exec(&mut self, candidate: u64, min_live: u64) -> u64 {
         let Some(width) = self.exec_width else { return candidate };
+        let width = width as u32;
         let mut cycle = candidate;
-        while *self.exec_booked.get(&cycle).unwrap_or(&0) >= width {
+        self.make_live(cycle, min_live);
+        loop {
+            let mask = self.exec_booked.len() as u64 - 1;
+            let slot = (cycle & mask) as usize;
+            if self.exec_booked[slot] < width {
+                self.exec_booked[slot] += 1;
+                return cycle;
+            }
             cycle += 1;
+            self.make_live(cycle, min_live);
         }
-        *self.exec_booked.entry(cycle).or_insert(0) += 1;
-        // Prune bookkeeping beyond the window horizon.
-        if self.exec_booked.len() > 4 * self.window {
-            let horizon = cycle.saturating_sub(4 * self.window as u64);
-            self.exec_booked = self.exec_booked.split_off(&horizon);
+    }
+
+    /// Makes `cycle` addressable in the booking ring: slides the base
+    /// forward over dead cycles (zeroing their counts), and doubles the
+    /// ring if the live span `[min_live, cycle]` outgrows it.
+    #[inline]
+    fn make_live(&mut self, cycle: u64, min_live: u64) {
+        debug_assert!(cycle >= self.exec_base, "booking probe below the live span");
+        if cycle < self.exec_base + self.exec_booked.len() as u64 {
+            return;
         }
-        cycle
+        self.make_live_slow(cycle, min_live);
+    }
+
+    #[cold]
+    fn make_live_slow(&mut self, cycle: u64, min_live: u64) {
+        // Reclaim dead cycles first.
+        let len = self.exec_booked.len() as u64;
+        while self.exec_base < min_live && cycle >= self.exec_base + len {
+            self.exec_booked[(self.exec_base & (len - 1)) as usize] = 0;
+            self.exec_base += 1;
+        }
+        // Still not enough span: double the ring, re-hashing live slots.
+        while cycle >= self.exec_base + self.exec_booked.len() as u64 {
+            let old = std::mem::take(&mut self.exec_booked);
+            let old_mask = old.len() as u64 - 1;
+            self.exec_booked = vec![0; old.len() * 2];
+            let new_mask = self.exec_booked.len() as u64 - 1;
+            for c in self.exec_base..self.exec_base + old.len() as u64 {
+                self.exec_booked[(c & new_mask) as usize] = old[(c & old_mask) as usize];
+            }
+        }
     }
 
     /// Schedules the next instruction in trace order.
@@ -246,7 +296,7 @@ impl Scheduler {
     /// disposition of the value prediction issued for *this instruction's
     /// result* (use [`VpDisposition::None`] when value prediction is off or
     /// the instruction produces no value).
-    pub fn schedule(&mut self, rec: &DynInstr, fetch_cycle: u64, vp: VpDisposition) -> Sched {
+    pub fn schedule(&mut self, rec: Slot<'_>, fetch_cycle: u64, vp: VpDisposition) -> Sched {
         let idx = self.scheduled as usize;
 
         // Window constraint: the entry vacated by instruction (i - W).
@@ -278,11 +328,11 @@ impl Scheduler {
         let mut spec_time = dispatch + 1;
         let mut repair_time = dispatch + 1;
         let mut any_wrong = false;
-        for src in rec.srcs().into_iter().flatten() {
-            if src.is_zero() {
-                continue;
+        for src in [rec.src1_byte(), rec.src2_byte()] {
+            if src == NO_REG || src == 0 {
+                continue; // absent operand or the hardwired zero register
             }
-            let Some(p) = self.last_writer[src.index()] else { continue };
+            let Some(p) = self.last_writer[src as usize] else { continue };
             self.stats.deps.total += 1;
             match p.vp {
                 VpDisposition::None => {
@@ -304,8 +354,8 @@ impl Scheduler {
 
         // Memory dependence: a load waits for the last store to its
         // address (when enabled).
-        if self.memory_deps && rec.instr.is_mem() && rec.dst().is_some() {
-            if let Some(addr) = rec.mem_addr {
+        if self.memory_deps && rec.is_mem() && rec.dst_byte() != NO_REG {
+            if let Some(addr) = rec.mem_addr() {
                 if let Some(&store_done) = self.last_store.get(&addr) {
                     spec_time = spec_time.max(store_done);
                     repair_time = repair_time.max(store_done);
@@ -323,21 +373,21 @@ impl Scheduler {
             self.stats.value_replays += 1;
             repair_time + self.value_penalty
         };
-        let execute = self.book_exec(execute_candidate);
+        let execute = self.book_exec(execute_candidate, dispatch + 1);
         let complete = execute + 1;
-        if self.memory_deps && rec.instr.is_mem() && rec.dst().is_none() {
-            if let Some(addr) = rec.mem_addr {
+        if self.memory_deps && rec.is_mem() && rec.dst_byte() == NO_REG {
+            if let Some(addr) = rec.mem_addr() {
                 self.last_store.insert(addr, complete);
             }
         }
 
         // Classify correctly-predicted dependencies as useful vs useless
         // now that the execute cycle is known.
-        for src in rec.srcs().into_iter().flatten() {
-            if src.is_zero() {
+        for src in [rec.src1_byte(), rec.src2_byte()] {
+            if src == NO_REG || src == 0 {
                 continue;
             }
-            let Some(p) = self.last_writer[src.index()] else { continue };
+            let Some(p) = self.last_writer[src as usize] else { continue };
             match p.vp {
                 VpDisposition::Correct => {
                     if p.complete > execute {
@@ -356,8 +406,9 @@ impl Scheduler {
         self.prev_retire = retire;
         self.retire_ring[idx % self.window] = retire;
 
-        if let Some(dst) = rec.dst() {
-            self.last_writer[dst.index()] = Some(Producer { complete, vp });
+        let dst = rec.dst_byte();
+        if dst != NO_REG {
+            self.last_writer[dst as usize] = Some(Producer { complete, vp });
         }
 
         self.scheduled += 1;
@@ -371,6 +422,13 @@ impl Scheduler {
 mod tests {
     use super::*;
     use fetchvp_isa::{AluOp, Instr, Reg};
+    use fetchvp_trace::{DynInstr, TraceColumns};
+
+    /// Wraps one record into columnar form and schedules it.
+    fn sched1(s: &mut Scheduler, rec: DynInstr, fetch_cycle: u64, vp: VpDisposition) -> Sched {
+        let cols = TraceColumns::from_records(&[rec]);
+        s.schedule(cols.slot(0), fetch_cycle, vp)
+    }
 
     fn alu(dst: Reg, a: Reg, b: Reg) -> DynInstr {
         DynInstr {
@@ -389,7 +447,7 @@ mod tests {
         let mut s = Scheduler::new(40, None);
         for i in 0..4 {
             let rec = alu(Reg::new(i + 1).unwrap(), Reg::R0, Reg::R0);
-            let t = s.schedule(&rec, 0, VpDisposition::None);
+            let t = sched1(&mut s, rec, 0, VpDisposition::None);
             assert_eq!((t.dispatch, t.execute, t.complete), (1, 2, 3));
         }
     }
@@ -397,16 +455,16 @@ mod tests {
     #[test]
     fn true_dependence_serializes() {
         let mut s = Scheduler::new(40, None);
-        let p = s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None);
-        let c = s.schedule(&alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::None);
+        let p = sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None);
+        let c = sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::None);
         assert_eq!(c.execute, p.complete); // waits for the producer
     }
 
     #[test]
     fn correct_prediction_breaks_the_dependence() {
         let mut s = Scheduler::new(40, None);
-        let p = s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
-        let c = s.schedule(&alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::None);
+        let p = sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
+        let c = sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::None);
         assert_eq!(c.execute, 2); // same cycle as the producer
         assert_eq!(p.execute, 2);
         assert_eq!(s.stats().deps.useful, 1);
@@ -415,9 +473,9 @@ mod tests {
     #[test]
     fn correct_prediction_for_a_late_consumer_is_useless() {
         let mut s = Scheduler::new(40, None);
-        s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
+        sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
         // Consumer fetched 10 cycles later: the value is long since ready.
-        let c = s.schedule(&alu(Reg::R2, Reg::R1, Reg::R0), 10, VpDisposition::None);
+        let c = sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 10, VpDisposition::None);
         assert_eq!(c.execute, 12); // dispatch+1, unconstrained
         let d = s.stats().deps;
         assert_eq!((d.useful, d.useless_correct), (0, 1));
@@ -426,8 +484,8 @@ mod tests {
     #[test]
     fn wrong_prediction_costs_one_replay_cycle() {
         let mut s = Scheduler::new(40, None);
-        let p = s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Wrong);
-        let c = s.schedule(&alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::None);
+        let p = sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Wrong);
+        let c = sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::None);
         // Without VP the consumer would execute at p.complete; the replay
         // adds one cycle.
         assert_eq!(c.execute, p.complete + 1);
@@ -438,9 +496,9 @@ mod tests {
     #[test]
     fn wrong_prediction_resolved_before_issue_has_no_penalty() {
         let mut s = Scheduler::new(40, None);
-        let p = s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Wrong);
+        let p = sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Wrong);
         // Consumer fetched far later: it never speculated on the bad value.
-        let c = s.schedule(&alu(Reg::R2, Reg::R1, Reg::R0), 20, VpDisposition::None);
+        let c = sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 20, VpDisposition::None);
         assert!(c.execute > p.complete);
         assert_eq!(s.stats().value_replays, 0);
     }
@@ -451,7 +509,7 @@ mod tests {
         // A serial chain through R1: completes at 3, 5, 7, ...
         let mut times = Vec::new();
         for _ in 0..5 {
-            let t = s.schedule(&alu(Reg::R1, Reg::R1, Reg::R0), 0, VpDisposition::None);
+            let t = sched1(&mut s, alu(Reg::R1, Reg::R1, Reg::R0), 0, VpDisposition::None);
             times.push(t);
         }
         // With window 2, instruction i cannot dispatch before i-2 retired.
@@ -463,7 +521,9 @@ mod tests {
     fn dispatch_width_spreads_across_cycles() {
         let mut s = Scheduler::new(40, Some(2));
         let d: Vec<u64> = (0..6)
-            .map(|_| s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None).dispatch)
+            .map(|_| {
+                sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None).dispatch
+            })
             .collect();
         assert_eq!(d, [1, 1, 2, 2, 3, 3]);
     }
@@ -471,16 +531,16 @@ mod tests {
     #[test]
     fn zero_register_reads_carry_no_dependence() {
         let mut s = Scheduler::new(40, None);
-        s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None);
+        sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None);
         assert_eq!(s.stats().deps.total, 0);
     }
 
     #[test]
     fn dep_classification_is_exhaustive() {
         let mut s = Scheduler::new(40, None);
-        s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
-        s.schedule(&alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::Wrong);
-        s.schedule(&alu(Reg::R3, Reg::R2, Reg::R1), 0, VpDisposition::None);
+        sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
+        sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::Wrong);
+        sched1(&mut s, alu(Reg::R3, Reg::R2, Reg::R1), 0, VpDisposition::None);
         let d = s.stats().deps;
         assert_eq!(d.total, d.useful + d.useless_correct + d.wrong + d.unpredicted);
         assert_eq!(d.total, 3);
@@ -521,7 +581,7 @@ mod tests {
         let mut s = Scheduler::new(40, None);
         s.set_exec_width(Some(1));
         let e: Vec<u64> = (0..4)
-            .map(|_| s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None).execute)
+            .map(|_| sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None).execute)
             .collect();
         assert_eq!(e, [2, 3, 4, 5]);
     }
@@ -530,7 +590,7 @@ mod tests {
     fn unlimited_exec_width_runs_independents_together() {
         let mut s = Scheduler::new(40, None);
         let e: Vec<u64> = (0..4)
-            .map(|_| s.schedule(&alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None).execute)
+            .map(|_| sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None).execute)
             .collect();
         assert_eq!(e, [2, 2, 2, 2]);
     }
@@ -539,8 +599,8 @@ mod tests {
     fn memory_deps_order_store_then_load() {
         let mut s = Scheduler::new(40, None);
         s.set_memory_deps(true);
-        let st = s.schedule(&store(Reg::R1, Reg::R2, 0x100), 0, VpDisposition::None);
-        let ld = s.schedule(&load(Reg::R3, Reg::R4, 0x100), 0, VpDisposition::None);
+        let st = sched1(&mut s, store(Reg::R1, Reg::R2, 0x100), 0, VpDisposition::None);
+        let ld = sched1(&mut s, load(Reg::R3, Reg::R4, 0x100), 0, VpDisposition::None);
         assert!(
             ld.execute >= st.complete,
             "load at {} before store done {}",
@@ -548,15 +608,15 @@ mod tests {
             st.complete
         );
         // A load from a different address is unconstrained.
-        let other = s.schedule(&load(Reg::R5, Reg::R6, 0x200), 0, VpDisposition::None);
+        let other = sched1(&mut s, load(Reg::R5, Reg::R6, 0x200), 0, VpDisposition::None);
         assert_eq!(other.execute, other.dispatch + 1);
     }
 
     #[test]
     fn memory_deps_off_by_default() {
         let mut s = Scheduler::new(40, None);
-        s.schedule(&store(Reg::R1, Reg::R2, 0x100), 0, VpDisposition::None);
-        let ld = s.schedule(&load(Reg::R3, Reg::R4, 0x100), 0, VpDisposition::None);
+        sched1(&mut s, store(Reg::R1, Reg::R2, 0x100), 0, VpDisposition::None);
+        let ld = sched1(&mut s, load(Reg::R3, Reg::R4, 0x100), 0, VpDisposition::None);
         assert_eq!(ld.execute, ld.dispatch + 1);
     }
 }

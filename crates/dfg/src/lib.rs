@@ -49,7 +49,7 @@ pub use profiling::profile_hints;
 
 use fetchvp_isa::reg::NUM_REGS;
 use fetchvp_predictor::{ConfidenceConfig, StridePredictor, TableGeometry, ValuePredictor};
-use fetchvp_trace::{DynInstr, Trace};
+use fetchvp_trace::{Slot, Trace, NO_REG};
 
 /// Joint classification of dependence arcs by producer value-predictability
 /// and DID (the paper's Figure 3.5).
@@ -156,16 +156,16 @@ impl DidAnalyzer {
     }
 
     /// Feeds one dynamic instruction (must be called in trace order).
-    pub fn feed(&mut self, rec: &DynInstr) {
+    pub fn feed(&mut self, rec: Slot<'_>) {
         // Arcs from this instruction's register reads.
-        for src in rec.srcs().into_iter().flatten() {
-            if src.is_zero() {
-                continue;
+        for src in [rec.src1_byte(), rec.src2_byte()] {
+            if src == NO_REG || src == 0 {
+                continue; // absent operand or the hardwired zero register
             }
-            let Some((producer_seq, predicted_ok)) = self.last_writer[src.index()] else {
+            let Some((producer_seq, predicted_ok)) = self.last_writer[src as usize] else {
                 continue;
             };
-            let did = rec.seq - producer_seq;
+            let did = rec.seq() - producer_seq;
             self.analysis.arcs += 1;
             self.analysis.did_sum += did as u128;
             self.analysis.histogram.add(did);
@@ -176,11 +176,12 @@ impl DidAnalyzer {
             }
         }
         // Predictability of this instance's own result.
-        if let Some(dst) = rec.dst() {
-            let predicted = self.predictor.lookup(rec.pc);
-            self.predictor.commit(rec.pc, rec.result, predicted);
-            let ok = predicted == Some(rec.result);
-            self.last_writer[dst.index()] = Some((rec.seq, ok));
+        let dst = rec.dst_byte();
+        if dst != NO_REG {
+            let predicted = self.predictor.lookup(rec.pc());
+            self.predictor.commit(rec.pc(), rec.result(), predicted);
+            let ok = predicted == Some(rec.result());
+            self.last_writer[dst as usize] = Some((rec.seq(), ok));
         }
     }
 
@@ -199,7 +200,7 @@ impl Default for DidAnalyzer {
 /// Analyzes a full captured trace (Figures 3.3, 3.4 and 3.5 in one pass).
 pub fn analyze(trace: &Trace) -> DidAnalysis {
     let mut a = DidAnalyzer::new();
-    for rec in trace {
+    for rec in trace.view().slots() {
         a.feed(rec);
     }
     a.finish()
@@ -364,7 +365,7 @@ mod tests {
             1_000,
         );
         let mut a = DidAnalyzer::new();
-        for rec in &t {
+        for rec in t.view().slots() {
             a.feed(rec);
         }
         assert_eq!(a.finish(), analyze(&t));

@@ -610,8 +610,8 @@ pub fn hint_study_with(sweep: &Sweep) -> HintStudyResult {
     let names = ["stride", "hybrid (dynamic)", "hybrid (profiled hints)"];
     let rows = sweep.per_workload(|_, trace| {
         let (train_trace, _) = trace.split_at(trace.len() / 2);
-        let train = &trace.records()[..trace.len() / 2];
-        let eval = &trace.records()[trace.len() / 2..];
+        let view = trace.view();
+        let split = trace.len() / 2;
         let hints = profile_hints(&train_trace, 0.85);
         let mut predictors: [Box<dyn ValuePredictor>; 3] = [
             Box::new(StridePredictor::infinite()),
@@ -621,15 +621,15 @@ pub fn hint_study_with(sweep: &Sweep) -> HintStudyResult {
         // Warm all predictors on the training half, then measure on the
         // evaluation half.
         let mut evaluation = [fetchvp_predictor::PredictorStats::default(); 3];
-        for (phase, records) in [(0, train), (1, eval)] {
-            for rec in records {
+        for (phase, range) in [(0, 0..split), (1, split..trace.len())] {
+            for rec in view.slots_in(range) {
                 if !rec.produces_value() {
                     continue;
                 }
                 for (i, p) in predictors.iter_mut().enumerate() {
                     let before = p.stats();
-                    let predicted = p.lookup(rec.pc);
-                    p.commit(rec.pc, rec.result, predicted);
+                    let predicted = p.lookup(rec.pc());
+                    p.commit(rec.pc(), rec.result(), predicted);
                     if phase == 1 {
                         let after = p.stats();
                         evaluation[i].lookups += after.lookups - before.lookups;

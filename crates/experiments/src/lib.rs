@@ -19,7 +19,10 @@
 //! references \[7\]/\[8\]), and the [`ablations`] module adds
 //! design-space sweeps beyond the paper
 //! (prediction-table banks, window size, classification threshold,
-//! predictor kind, trace-cache partial matching).
+//! predictor kind, trace-cache partial matching). The [`mod@bench`] module is
+//! the perf-regression suite and the [`profile`] module attributes its wall
+//! time to the simulator's phases (trace generation / fetch / predict /
+//! schedule).
 //!
 //! Every runner takes an [`ExperimentConfig`] (trace length and workload
 //! parameters) and returns structured results plus a markdown [`Table`] for
@@ -37,6 +40,12 @@
 //! println!("{}", result.to_table());
 //! ```
 
+// The README's `rust` code blocks must keep compiling: run them as
+// doc-tests of this crate, which depends on everything they use.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctests;
+
 pub mod ablations;
 pub mod accuracy;
 pub mod bench;
@@ -50,6 +59,7 @@ pub mod fig5_1;
 pub mod fig5_2;
 pub mod fig5_3;
 pub mod jobspec;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod table3_1;

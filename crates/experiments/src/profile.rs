@@ -1,0 +1,226 @@
+//! The `fetchvp profile` per-phase timing breakdown.
+//!
+//! The simulator's wall time splits into four phases that stress different
+//! subsystems: **trace generation** (the ISA executor filling
+//! [`TraceColumns`](fetchvp_trace::TraceColumns)), **fetch** (a §5
+//! conventional front-end with the 2-level BTB walking the columnar trace),
+//! **predict** (a §3 infinite stride table looking up and committing every
+//! value-producing instruction) and **schedule** (the dataflow scheduling
+//! core both machine models share).
+//!
+//! `profile` times each phase in isolation per benchmark so a performance
+//! change can be attributed to the subsystem that caused it — the companion
+//! view to `fetchvp bench`, which times whole machine configurations. The
+//! phase loops iterate the same zero-copy [`Slot`](fetchvp_trace::Slot)
+//! accessors the machines use, so their costs are representative of the
+//! hot paths.
+//!
+//! Results are exported through the metrics [`Registry`] under
+//! `profile.<benchmark>.*` (seconds per phase, plus the phase sum and the
+//! measured wall time, whose difference is the harness overhead).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fetchvp_experiments::{profile, ExperimentConfig};
+//!
+//! let report = profile::run(&ExperimentConfig::quick());
+//! println!("{}", report.to_table());
+//! ```
+
+use std::time::Instant;
+
+use fetchvp_bpred::TwoLevelBtb;
+use fetchvp_core::sched::{Scheduler, VpDisposition};
+use fetchvp_core::VpConfig;
+use fetchvp_fetch::{ConventionalFetch, FetchEngine};
+use fetchvp_metrics::Registry;
+use fetchvp_trace::{trace_program, Trace};
+use fetchvp_workloads::suite;
+
+use crate::{ExperimentConfig, Table};
+
+/// Per-phase wall-clock seconds for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTimes {
+    /// Executing the workload program into a columnar trace.
+    pub trace_gen: f64,
+    /// Walking the trace through a conventional fetch engine + 2-level BTB.
+    pub fetch: f64,
+    /// Stride-predictor lookup/commit over every value-producing slot.
+    pub predict: f64,
+    /// Dataflow scheduling of every slot through the shared scheduler core.
+    pub schedule: f64,
+}
+
+impl PhaseTimes {
+    /// Sum of the four phase times.
+    pub fn sum(&self) -> f64 {
+        self.trace_gen + self.fetch + self.predict + self.schedule
+    }
+}
+
+/// One benchmark's profile.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Benchmark name (extended-suite order).
+    pub name: &'static str,
+    /// Dynamic trace length.
+    pub instructions: u64,
+    /// The per-phase breakdown.
+    pub phases: PhaseTimes,
+    /// Wall-clock seconds for the whole cell, measured around all four
+    /// phases. `wall_seconds - phases.sum()` is harness overhead (statistics,
+    /// allocation teardown) and should be small.
+    pub wall_seconds: f64,
+}
+
+/// A full profile run.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Dynamic instructions traced per benchmark.
+    pub trace_len: u64,
+    /// Per-benchmark profiles, extended-suite order.
+    pub workloads: Vec<WorkloadProfile>,
+}
+
+impl ProfileReport {
+    /// Renders the per-benchmark phase breakdown (milliseconds and the
+    /// dominant phase's share of the wall time).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("profile — per-phase wall time, trace_len {}", self.trace_len),
+            &["benchmark", "trace-gen ms", "fetch ms", "predict ms", "schedule ms", "wall ms"],
+        );
+        let ms = |s: f64| format!("{:.1}", 1e3 * s);
+        for w in &self.workloads {
+            t.row(&[
+                w.name.to_string(),
+                ms(w.phases.trace_gen),
+                ms(w.phases.fetch),
+                ms(w.phases.predict),
+                ms(w.phases.schedule),
+                ms(w.wall_seconds),
+            ]);
+        }
+        t
+    }
+
+    /// Exports phase times as gauges under `<prefix>.<benchmark>.*`.
+    pub fn export_metrics(&self, reg: &mut Registry, prefix: &str) {
+        for w in &self.workloads {
+            let p = format!("{prefix}.{}", w.name);
+            reg.gauge(&p, "trace_gen_seconds", w.phases.trace_gen);
+            reg.gauge(&p, "fetch_seconds", w.phases.fetch);
+            reg.gauge(&p, "predict_seconds", w.phases.predict);
+            reg.gauge(&p, "schedule_seconds", w.phases.schedule);
+            reg.gauge(&p, "phase_sum_seconds", w.phases.sum());
+            reg.gauge(&p, "wall_seconds", w.wall_seconds);
+        }
+    }
+}
+
+/// Times the fetch phase: a §5 conventional front-end (width 16, ≤ 4 taken
+/// branches per group) behind the paper's 2-level BTB, walking the whole
+/// trace.
+fn time_fetch(trace: &Trace) -> f64 {
+    let mut engine = ConventionalFetch::new(16, Some(4), TwoLevelBtb::paper());
+    let view = trace.view();
+    let started = Instant::now();
+    let mut pos = 0;
+    while pos < view.len() {
+        pos += engine.fetch(view, pos, 16).len.max(1);
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// Times the predict phase: the §3 infinite stride table serving every
+/// value-producing instruction in program order.
+fn time_predict(trace: &Trace) -> f64 {
+    let VpConfig::Predictor(kind) = VpConfig::stride_infinite() else {
+        unreachable!("stride_infinite is a predictor config");
+    };
+    let mut predictor = kind.build();
+    let started = Instant::now();
+    for rec in trace.view().slots() {
+        if rec.produces_value() {
+            let predicted = predictor.lookup(rec.pc());
+            predictor.commit(rec.pc(), rec.result(), predicted);
+        }
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// Times the schedule phase: the shared dataflow scheduler over every slot,
+/// 40-entry window at a fetch rate of 16 (the §3 fetch-16 configuration).
+fn time_schedule(trace: &Trace) -> f64 {
+    let mut sched = Scheduler::new(40, Some(16));
+    let started = Instant::now();
+    for rec in trace.view().slots() {
+        sched.schedule(rec, (rec.index() / 16) as u64, VpDisposition::None);
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// Profiles the whole benchmark suite serially (phases must not contend for
+/// the CPU, so no `--jobs` parallelism here).
+pub fn run(cfg: &ExperimentConfig) -> ProfileReport {
+    let mut workloads = Vec::new();
+    for workload in suite(&cfg.workloads) {
+        let cell_start = Instant::now();
+        let gen_start = Instant::now();
+        let trace = trace_program(workload.program(), cfg.trace_len);
+        let trace_gen = gen_start.elapsed().as_secs_f64();
+        let phases = PhaseTimes {
+            trace_gen,
+            fetch: time_fetch(&trace),
+            predict: time_predict(&trace),
+            schedule: time_schedule(&trace),
+        };
+        workloads.push(WorkloadProfile {
+            name: workload.name(),
+            instructions: trace.len() as u64,
+            phases,
+            wall_seconds: cell_start.elapsed().as_secs_f64(),
+        });
+    }
+    ProfileReport { trace_len: cfg.trace_len, workloads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProfileReport {
+        run(&ExperimentConfig { trace_len: 2_000, ..ExperimentConfig::default() })
+    }
+
+    #[test]
+    fn profiles_the_whole_suite() {
+        let r = tiny();
+        assert_eq!(r.workloads.len(), 8);
+        for w in &r.workloads {
+            assert_eq!(w.instructions, 2_000, "{}", w.name);
+            assert!(w.phases.sum() <= w.wall_seconds + 1e-9, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_benchmark() {
+        let r = tiny();
+        assert_eq!(r.to_table().num_rows(), r.workloads.len());
+    }
+
+    #[test]
+    fn metrics_export_covers_every_phase() {
+        let r = tiny();
+        let mut reg = Registry::new();
+        r.export_metrics(&mut reg, "profile");
+        for w in &r.workloads {
+            for phase in ["trace_gen", "fetch", "predict", "schedule", "wall", "phase_sum"] {
+                let key = format!("profile.{}.{phase}_seconds", w.name);
+                assert!(reg.get_gauge(&key).is_some(), "missing gauge {key}");
+            }
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use fetchvp_bpred::{BpredStats, BranchPredictor};
 use fetchvp_metrics::{MetricsSink, Registry};
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::TraceView;
 
 use crate::{FetchEngine, FetchGroup};
 
@@ -95,7 +95,7 @@ impl MetricsSink for BacStats {
 /// let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
 /// // Three 3-instruction blocks per cycle... but they all start at the
 /// // same PC, so the interleaved icache delivers only one per cycle.
-/// assert_eq!(f.fetch(trace.records(), 0, usize::MAX).len, 3);
+/// assert_eq!(f.fetch(trace.view(), 0, usize::MAX).len, 3);
 /// # Ok(())
 /// # }
 /// ```
@@ -140,7 +140,7 @@ impl<P: BranchPredictor> FetchEngine for BacFetch<P> {
         "branch-address-cache"
     }
 
-    fn fetch(&mut self, trace: &[DynInstr], pos: usize, max: usize) -> FetchGroup {
+    fn fetch(&mut self, trace: TraceView<'_>, pos: usize, max: usize) -> FetchGroup {
         let limit = self.config.width.min(max).min(trace.len().saturating_sub(pos));
         if limit == 0 {
             return FetchGroup::empty();
@@ -152,12 +152,12 @@ impl<P: BranchPredictor> FetchEngine for BacFetch<P> {
         let mut block_start = true;
         let mut i = 0;
         while i < limit {
-            let rec = &trace[pos + i];
+            let rec = trace.slot(pos + i);
             if block_start {
                 // The interleaved icache fetches each block from the bank
                 // of its start address; a repeat visit to a bank ends the
                 // cycle.
-                let bank_bit = 1u64 << self.bank_of(rec.pc);
+                let bank_bit = 1u64 << self.bank_of(rec.pc());
                 if banks_used & bank_bit != 0 {
                     self.stats.bank_conflicts += 1;
                     break;
@@ -223,7 +223,7 @@ mod tests {
         let t = multi_block_trace(4, 3, 200);
         let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
         // 3 blocks of 4 instructions each.
-        assert_eq!(f.fetch(t.records(), 0, usize::MAX).len, 12);
+        assert_eq!(f.fetch(t.view(), 0, usize::MAX).len, 12);
         assert_eq!(f.bac_stats().blocks, 3);
     }
 
@@ -233,7 +233,7 @@ mod tests {
         for max_blocks in [1u32, 2, 4] {
             let cfg = BacConfig { max_blocks, ..BacConfig::classic() };
             let mut f = BacFetch::new(cfg, PerfectBtb::new());
-            assert_eq!(f.fetch(t.records(), 0, usize::MAX).len as u32, 2 * max_blocks);
+            assert_eq!(f.fetch(t.view(), 0, usize::MAX).len as u32, 2 * max_blocks);
         }
     }
 
@@ -247,7 +247,7 @@ mod tests {
         b.branch(Cond::Eq, Reg::R0, Reg::R0, head);
         let t = trace_program(&b.build().unwrap(), 100);
         let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
-        let g = f.fetch(t.records(), 0, usize::MAX);
+        let g = f.fetch(t.view(), 0, usize::MAX);
         assert_eq!(g.len, 2, "second iteration hits the same bank");
         assert_eq!(f.bac_stats().bank_conflicts, 1);
     }
@@ -265,7 +265,7 @@ mod tests {
         let t = trace_program(&b.build().unwrap(), 60);
         let cfg = BacConfig { max_blocks: 2, ..BacConfig::classic() };
         let mut f = BacFetch::new(cfg, PerfectBtb::new());
-        assert_eq!(f.fetch(t.records(), 0, usize::MAX).len, 3);
+        assert_eq!(f.fetch(t.view(), 0, usize::MAX).len, 3);
     }
 
     #[test]
@@ -277,7 +277,7 @@ mod tests {
         let mut pos = 0;
         let mut saw_mispredict = false;
         while pos < t.len() {
-            let g = f.fetch(t.records(), pos, usize::MAX);
+            let g = f.fetch(t.view(), pos, usize::MAX);
             assert!(g.len > 0);
             saw_mispredict |= g.mispredict.is_some();
             pos += g.len;
@@ -291,7 +291,7 @@ mod tests {
         let mut f = BacFetch::new(BacConfig::classic(), PerfectBtb::new());
         let mut pos = 0;
         while pos < t.len() {
-            pos += f.fetch(t.records(), pos, usize::MAX).len;
+            pos += f.fetch(t.view(), pos, usize::MAX).len;
         }
         assert_eq!(pos, t.len());
     }

@@ -1,7 +1,7 @@
 //! Width- and taken-branch-limited conventional fetch.
 
 use fetchvp_bpred::{BpredStats, BranchPredictor};
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::TraceView;
 
 use crate::{FetchEngine, FetchGroup};
 
@@ -36,7 +36,7 @@ use crate::{FetchEngine, FetchGroup};
 /// let trace = trace_program(&b.build()?, 64);
 /// // One taken branch per cycle: the fetch group is [nop, branch].
 /// let mut f = ConventionalFetch::new(16, Some(1), PerfectBtb::new());
-/// assert_eq!(f.fetch(trace.records(), 0, usize::MAX).len, 2);
+/// assert_eq!(f.fetch(trace.view(), 0, usize::MAX).len, 2);
 /// # Ok(())
 /// # }
 /// ```
@@ -81,11 +81,11 @@ impl<P: BranchPredictor> FetchEngine for ConventionalFetch<P> {
         "conventional"
     }
 
-    fn fetch(&mut self, trace: &[DynInstr], pos: usize, max: usize) -> FetchGroup {
+    fn fetch(&mut self, trace: TraceView<'_>, pos: usize, max: usize) -> FetchGroup {
         let limit = self.width.min(max).min(trace.len().saturating_sub(pos));
         let mut taken = 0u32;
         for i in 0..limit {
-            let rec = &trace[pos + i];
+            let rec = trace.slot(pos + i);
             if !rec.is_control() {
                 continue;
             }
@@ -131,14 +131,14 @@ mod tests {
     fn width_limits_the_group() {
         let t = loop_trace(7, 64);
         let mut f = ConventionalFetch::new(4, None, PerfectBtb::new());
-        assert_eq!(f.fetch(t.records(), 0, usize::MAX), FetchGroup { len: 4, mispredict: None });
+        assert_eq!(f.fetch(t.view(), 0, usize::MAX), FetchGroup { len: 4, mispredict: None });
     }
 
     #[test]
     fn machine_capacity_caps_below_width() {
         let t = loop_trace(7, 64);
         let mut f = ConventionalFetch::new(16, None, PerfectBtb::new());
-        assert_eq!(f.fetch(t.records(), 0, 3).len, 3);
+        assert_eq!(f.fetch(t.view(), 0, 3).len, 3);
     }
 
     #[test]
@@ -147,14 +147,14 @@ mod tests {
         // two full iterations.
         let t = loop_trace(1, 64);
         let mut f = ConventionalFetch::new(40, Some(2), PerfectBtb::new());
-        assert_eq!(f.fetch(t.records(), 0, usize::MAX).len, 4);
+        assert_eq!(f.fetch(t.view(), 0, usize::MAX).len, 4);
     }
 
     #[test]
     fn unlimited_taken_branches_fetch_full_width() {
         let t = loop_trace(1, 64);
         let mut f = ConventionalFetch::new(40, None, PerfectBtb::new());
-        assert_eq!(f.fetch(t.records(), 0, usize::MAX).len, 40);
+        assert_eq!(f.fetch(t.view(), 0, usize::MAX).len, 40);
     }
 
     #[test]
@@ -171,7 +171,7 @@ mod tests {
         let t = trace_program(&b.build().unwrap(), 60);
         let mut f = ConventionalFetch::new(40, Some(2), PerfectBtb::new());
         // Two iterations of 3 instructions each.
-        assert_eq!(f.fetch(t.records(), 0, usize::MAX).len, 6);
+        assert_eq!(f.fetch(t.view(), 0, usize::MAX).len, 6);
     }
 
     #[test]
@@ -179,7 +179,7 @@ mod tests {
         let t = loop_trace(2, 64);
         // A cold 2-level BTB mispredicts the first taken branch.
         let mut f = ConventionalFetch::new(40, None, TwoLevelBtb::paper());
-        let g = f.fetch(t.records(), 0, usize::MAX);
+        let g = f.fetch(t.view(), 0, usize::MAX);
         assert_eq!(g.len, 3); // 2 nops + the mispredicted branch
         assert_eq!(g.mispredict, Some(2));
     }
@@ -188,8 +188,8 @@ mod tests {
     fn end_of_trace_bounds_the_group() {
         let t = loop_trace(1, 5);
         let mut f = ConventionalFetch::new(40, None, PerfectBtb::new());
-        assert_eq!(f.fetch(t.records(), 4, usize::MAX).len, 1);
-        assert_eq!(f.fetch(t.records(), 5, usize::MAX).len, 0);
+        assert_eq!(f.fetch(t.view(), 4, usize::MAX).len, 1);
+        assert_eq!(f.fetch(t.view(), 5, usize::MAX).len, 0);
     }
 
     #[test]
@@ -199,7 +199,7 @@ mod tests {
         let mut pos = 0;
         let mut groups = 0;
         while pos < t.len() {
-            let g = f.fetch(t.records(), pos, usize::MAX);
+            let g = f.fetch(t.view(), pos, usize::MAX);
             assert!(g.len > 0);
             pos += g.len;
             groups += 1;
@@ -254,12 +254,13 @@ mod tests {
                 let mut f = ConventionalFetch::new(width, max_taken, PerfectBtb::new());
                 let mut pos = 0;
                 while pos < trace.len() {
-                    let g = f.fetch(trace.records(), pos, usize::MAX);
+                    let g = f.fetch(trace.view(), pos, usize::MAX);
                     assert!(g.len > 0, "case {case}: no progress at {pos}");
                     assert!(g.len <= width, "case {case}");
                     assert_eq!(g.mispredict, None, "case {case}"); // oracle never wrong
                     let taken =
-                        trace.records()[pos..pos + g.len].iter().filter(|r| r.taken).count() as u32;
+                        trace.view().slots_in(pos..pos + g.len).filter(|r| r.taken()).count()
+                            as u32;
                     if let Some(limit) = max_taken {
                         assert!(taken <= limit, "case {case}: {taken} taken in a group");
                     }
@@ -282,13 +283,13 @@ mod tests {
                 let mut f = ConventionalFetch::new(width, Some(2), TwoLevelBtb::paper());
                 let mut pos = 0;
                 while pos < trace.len() {
-                    let g = f.fetch(trace.records(), pos, usize::MAX);
+                    let g = f.fetch(trace.view(), pos, usize::MAX);
                     assert!(g.len > 0, "case {case}");
                     if let Some(k) = g.mispredict {
                         assert_eq!(k, g.len - 1, "case {case}: mispredict must end the group");
                     } else if pos + g.len < trace.len() && g.len < width {
                         let taken =
-                            trace.records()[pos..pos + g.len].iter().filter(|r| r.taken).count()
+                            trace.view().slots_in(pos..pos + g.len).filter(|r| r.taken()).count()
                                 as u32;
                         assert_eq!(taken, 2, "case {case}: short group without a cause");
                     }

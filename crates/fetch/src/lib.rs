@@ -39,7 +39,7 @@
 //! b.halt();
 //! let trace = trace_program(&b.build()?, 100);
 //! let mut fetch = ConventionalFetch::new(4, None, PerfectBtb::new());
-//! let group = fetch.fetch(trace.records(), 0, usize::MAX);
+//! let group = fetch.fetch(trace.view(), 0, usize::MAX);
 //! assert_eq!(group.len, 4); // width-limited
 //! # Ok(())
 //! # }
@@ -54,7 +54,7 @@ pub use conventional::ConventionalFetch;
 pub use trace_cache::{TraceCacheConfig, TraceCacheFetch, TraceCacheStats};
 
 use fetchvp_bpred::BpredStats;
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::TraceView;
 
 /// One cycle's fetch group.
 ///
@@ -82,10 +82,10 @@ pub trait FetchEngine {
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
 
-    /// Produces the fetch group for one cycle, starting at `trace[pos]`,
-    /// fetching at most `max` instructions (the machine's remaining
-    /// decode/window capacity).
-    fn fetch(&mut self, trace: &[DynInstr], pos: usize, max: usize) -> FetchGroup;
+    /// Produces the fetch group for one cycle, starting at the trace's
+    /// instruction `pos`, fetching at most `max` instructions (the
+    /// machine's remaining decode/window capacity).
+    fn fetch(&mut self, trace: TraceView<'_>, pos: usize, max: usize) -> FetchGroup;
 
     /// Statistics of the engine's embedded branch predictor.
     fn bpred_stats(&self) -> BpredStats;

@@ -1,8 +1,7 @@
 //! The trace cache fetch mechanism (paper reference \[18\]).
 
 use fetchvp_bpred::{BpredStats, BranchPredictor};
-use fetchvp_isa::Instr;
-use fetchvp_trace::DynInstr;
+use fetchvp_trace::{Slot, TraceView};
 
 use crate::{FetchEngine, FetchGroup};
 
@@ -144,13 +143,13 @@ impl FillUnit {
     /// Adds one consumed instruction; returns a finalized line when the
     /// line-size limits are reached, after which collection stops until the
     /// next [`begin`](FillUnit::begin).
-    fn push(&mut self, rec: &DynInstr, config: &TraceCacheConfig) -> Option<Line> {
+    fn push(&mut self, rec: Slot<'_>, config: &TraceCacheConfig) -> Option<Line> {
         if !self.collecting {
             return None;
         }
-        self.pcs.push(rec.pc);
+        self.pcs.push(rec.pc());
         self.control.push(rec.is_control());
-        self.taken.push(rec.taken);
+        self.taken.push(rec.taken());
         if rec.is_control() {
             self.blocks += 1;
         }
@@ -158,7 +157,7 @@ impl FillUnit {
         // predictable at fill time.
         let ends = self.pcs.len() >= config.max_instrs
             || self.blocks >= config.max_blocks
-            || matches!(rec.instr, Instr::JumpInd { .. });
+            || rec.is_indirect_jump();
         if ends {
             self.collecting = false;
             Some(self.take_line())
@@ -213,7 +212,7 @@ impl FillUnit {
 /// let mut f = TraceCacheFetch::new(TraceCacheConfig::paper(), PerfectBtb::new());
 /// let mut pos = 0;
 /// while pos < trace.len() {
-///     pos += f.fetch(trace.records(), pos, usize::MAX).len;
+///     pos += f.fetch(trace.view(), pos, usize::MAX).len;
 /// }
 /// // After warm-up, the tight loop is served from trace-cache lines that
 /// // span multiple iterations.
@@ -275,8 +274,8 @@ impl<P: BranchPredictor> TraceCacheFetch<P> {
     }
 
     /// Feeds the consumed fetch group to the fill unit.
-    fn fill_from(&mut self, records: &[DynInstr]) {
-        for rec in records {
+    fn fill_from(&mut self, trace: TraceView<'_>, range: std::ops::Range<usize>) {
+        for rec in trace.slots_in(range) {
             if let Some(line) = self.fill.push(rec, &self.config) {
                 self.install(line);
             }
@@ -300,14 +299,14 @@ impl<P: BranchPredictor> FetchEngine for TraceCacheFetch<P> {
         "trace-cache"
     }
 
-    fn fetch(&mut self, trace: &[DynInstr], pos: usize, max: usize) -> FetchGroup {
+    fn fetch(&mut self, trace: TraceView<'_>, pos: usize, max: usize) -> FetchGroup {
         let remaining = trace.len().saturating_sub(pos);
         if remaining == 0 || max == 0 {
             return FetchGroup::empty();
         }
         self.stats.accesses += 1;
 
-        let fetch_pc = trace[pos].pc;
+        let fetch_pc = trace.slot(pos).pc();
         // Clone the candidate line out so the walk below can borrow freely;
         // lines are at most 32 instructions.
         let line = self.probe(fetch_pc).cloned();
@@ -330,10 +329,10 @@ impl<P: BranchPredictor> FetchEngine for TraceCacheFetch<P> {
             if i >= target_len {
                 break;
             }
-            let rec = &trace[pos + i];
+            let rec = trace.slot(pos + i);
             if line_ok {
                 let l = line.as_ref().expect("line_ok implies a line");
-                if rec.pc != l.pcs[i] {
+                if rec.pc() != l.pcs[i] {
                     // The actual path diverged from the line without a
                     // detected control disagreement; treat as a reject.
                     debug_assert!(false, "line/path divergence outside a control instruction");
@@ -408,9 +407,7 @@ impl<P: BranchPredictor> FetchEngine for TraceCacheFetch<P> {
         if !had_line {
             self.fill.begin();
         }
-        let consumed_end = pos + group.len;
-        let consumed: Vec<DynInstr> = trace[pos..consumed_end].to_vec();
-        self.fill_from(&consumed);
+        self.fill_from(trace, pos..pos + group.len);
         group
     }
 
@@ -448,7 +445,7 @@ mod tests {
         let mut pos = 0;
         let mut groups = Vec::new();
         while pos < trace.len() {
-            let g = f.fetch(trace.records(), pos, usize::MAX);
+            let g = f.fetch(trace.view(), pos, usize::MAX);
             assert!(g.len > 0, "fetch must make progress");
             pos += g.len;
             groups.push(g);
@@ -496,7 +493,7 @@ mod tests {
         let mut f = TraceCacheFetch::new(TraceCacheConfig::paper(), PerfectBtb::new());
         // First fetch: cold miss; body is 4 instructions ending in a taken
         // branch -> core fetch delivers exactly one iteration.
-        let g = f.fetch(trace.records(), 0, usize::MAX);
+        let g = f.fetch(trace.view(), 0, usize::MAX);
         assert_eq!(g.len, 1 + 4); // prologue li + first iteration
         assert_eq!(f.cache_stats().misses, 1);
     }
@@ -508,7 +505,7 @@ mod tests {
         drive(&mut f, &trace); // warm the cache
         let mut f2 = f.clone();
         // Re-fetch from a warmed cache with a small capacity.
-        let g = f2.fetch(trace.records(), 1, 5);
+        let g = f2.fetch(trace.view(), 1, 5);
         assert!(g.len <= 5);
     }
 
@@ -594,7 +591,7 @@ mod tests {
     fn fetch_at_end_of_trace_is_empty() {
         let trace = loop_trace(1, 5);
         let mut f = TraceCacheFetch::new(TraceCacheConfig::paper(), PerfectBtb::new());
-        assert_eq!(f.fetch(trace.records(), trace.len(), usize::MAX), FetchGroup::empty());
+        assert_eq!(f.fetch(trace.view(), trace.len(), usize::MAX), FetchGroup::empty());
     }
 
     #[test]

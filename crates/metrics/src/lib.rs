@@ -42,8 +42,13 @@
 //! assert!(reg.counters_json().to_json().contains("\"cache.l1.hits\": 3"));
 //! ```
 
+// Public API of the hot path: every item must explain itself.
+#![deny(missing_docs)]
+
+pub mod hash;
 pub mod json;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::{Json, ParseError, MAX_DEPTH};
 
 use std::collections::BTreeMap;

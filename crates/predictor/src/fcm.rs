@@ -9,8 +9,6 @@
 //! cycling through a structure) that defeat both last-value and stride
 //! prediction.
 
-use std::collections::HashMap;
-
 use crate::counter::{ConfidenceConfig, SaturatingCounter};
 use crate::table::{PredTable, TableGeometry};
 use crate::{PredictorStats, ValuePredictor};
@@ -105,7 +103,8 @@ pub struct FcmPredictor {
     l1: PredTable<Entry>,
     /// Second level: `(pc, context)` hash → next value. Shared across PCs,
     /// as in the original proposal's global value prediction table.
-    l2: HashMap<u64, u64>,
+    /// Fx-hashed: probed twice per value-producing instruction.
+    l2: fetchvp_metrics::FxHashMap<u64, u64>,
     confidence: ConfidenceConfig,
     stats: PredictorStats,
 }
@@ -121,7 +120,7 @@ impl FcmPredictor {
     pub fn new(geometry: TableGeometry, confidence: ConfidenceConfig) -> FcmPredictor {
         FcmPredictor {
             l1: PredTable::new(geometry),
-            l2: HashMap::new(),
+            l2: fetchvp_metrics::FxHashMap::default(),
             confidence,
             stats: PredictorStats::default(),
         }

@@ -1,7 +1,8 @@
 //! Prediction-table storage with configurable geometry.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use fetchvp_metrics::FxHashMap;
 
 /// The size/shape of a prediction table.
 ///
@@ -62,7 +63,9 @@ impl fmt::Display for TableGeometry {
 #[derive(Debug, Clone)]
 pub struct PredTable<E> {
     geometry: TableGeometry,
-    infinite: HashMap<u64, E>,
+    // Fx-hashed: probed on every lookup/commit of every value-producing
+    // instruction, the hottest map in the simulator.
+    infinite: FxHashMap<u64, E>,
     finite: Vec<Option<(u64, E)>>,
 }
 
@@ -77,7 +80,7 @@ impl<E: Default> PredTable<E> {
             }
             None => Vec::new(),
         };
-        PredTable { geometry, infinite: HashMap::new(), finite }
+        PredTable { geometry, infinite: FxHashMap::default(), finite }
     }
 
     /// The table's geometry.

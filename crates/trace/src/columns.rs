@@ -1,0 +1,650 @@
+//! Columnar (structure-of-arrays) storage for dynamic instruction traces.
+//!
+//! The machine models walk multi-million-instruction traces once per
+//! configuration, touching only a few fields per instruction per pass (the
+//! scheduler wants source/destination registers and results; fetch engines
+//! want PCs and branch outcomes). Storing the stream as an array of
+//! [`DynInstr`] structs drags every field of every record through the cache
+//! on every pass. This module stores the trace as parallel columns instead:
+//!
+//! * `u64` columns for PCs, next-PCs, produced values and memory addresses;
+//! * one packed `u8` flag byte per instruction for the boolean facts
+//!   (control/branch kind, memory op, taken, address validity);
+//! * `u8` register columns (destination and the two sources) using
+//!   [`NO_REG`] as the "absent" sentinel;
+//! * a `u32` index per instruction into a small interned table of distinct
+//!   static [`Instr`]s — the full instruction word is rarely needed, and a
+//!   trace touches only as many distinct instructions as its static
+//!   footprint.
+//!
+//! Consumers iterate through [`TraceView`], a zero-copy, `Copy` view whose
+//! [`Slot`] accessor reads individual fields straight out of the columns.
+//! The record-oriented API ([`TraceColumns::to_record`] and the iterators on
+//! `Trace`) materializes [`DynInstr`] values on demand for cold paths such
+//! as trace-file serialization; the two representations are interconvertible
+//! and round-trip exactly (see `tests/properties.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_isa::{AluOp, ProgramBuilder, Reg};
+//! use fetchvp_trace::trace_program;
+//!
+//! # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+//! let mut b = ProgramBuilder::new("p");
+//! b.load_imm(Reg::R1, 20);
+//! b.alu_imm(AluOp::Add, Reg::R2, Reg::R1, 22);
+//! b.halt();
+//! let trace = trace_program(&b.build()?, 10);
+//!
+//! // Zero-copy field access through the view:
+//! let view = trace.view();
+//! let add = view.slot(1);
+//! assert_eq!(add.result(), 42);
+//! assert_eq!(add.dst(), Some(Reg::R2));
+//! assert!(!add.is_control());
+//!
+//! // Cold paths can still materialize full records:
+//! assert_eq!(view.get(1), trace.get(1));
+//! # Ok(())
+//! # }
+//! ```
+
+use fetchvp_isa::{Instr, Reg};
+use fetchvp_metrics::FxHashMap;
+
+use crate::record::DynInstr;
+
+/// Sentinel register byte meaning "no register" in the destination and
+/// source columns.
+pub const NO_REG: u8 = 0xFF;
+
+/// Bit assignments of the per-instruction flag byte.
+pub mod flag {
+    /// The instruction is a control-flow instruction.
+    pub const CONTROL: u8 = 1 << 0;
+    /// The instruction is a conditional branch.
+    pub const COND_BRANCH: u8 = 1 << 1;
+    /// The instruction is a direct unconditional transfer (jump or call).
+    pub const DIRECT: u8 = 1 << 2;
+    /// The instruction is an indirect jump.
+    pub const INDIRECT: u8 = 1 << 3;
+    /// The instruction is a memory operation (load or store).
+    pub const MEM: u8 = 1 << 4;
+    /// Control actually transferred away from `pc + 1`.
+    pub const TAKEN: u8 = 1 << 5;
+    /// The memory-address column holds a valid effective address.
+    pub const HAS_MEM_ADDR: u8 = 1 << 6;
+}
+
+/// The structure-of-arrays trace store.
+///
+/// One entry per retired dynamic instruction, in retirement order; the
+/// instruction at index `i` has sequence number `i` (sequence numbers are
+/// implicit, unlike [`DynInstr::seq`]). See the [module docs](self) for the
+/// column layout.
+#[derive(Debug, Clone, Default)]
+pub struct TraceColumns {
+    pcs: Vec<u64>,
+    next_pcs: Vec<u64>,
+    results: Vec<u64>,
+    /// Valid only where [`flag::HAS_MEM_ADDR`] is set; zero elsewhere.
+    mem_addrs: Vec<u64>,
+    flags: Vec<u8>,
+    /// Destination-register index, or [`NO_REG`] (writes to the hardwired
+    /// zero register count as "no destination", matching [`Instr::dst`]).
+    dsts: Vec<u8>,
+    /// First source-register index (including `r0`), or [`NO_REG`].
+    src1s: Vec<u8>,
+    /// Second source-register index (including `r0`), or [`NO_REG`].
+    src2s: Vec<u8>,
+    /// Per-instruction index into `instr_table`.
+    instr_idxs: Vec<u32>,
+    /// Interned distinct static instructions.
+    instr_table: Vec<Instr>,
+    /// Interning map from instruction to its `instr_table` index.
+    intern: FxHashMap<Instr, u32>,
+}
+
+impl TraceColumns {
+    /// An empty column store.
+    pub fn new() -> TraceColumns {
+        TraceColumns::default()
+    }
+
+    /// An empty column store with room for `n` instructions.
+    pub fn with_capacity(n: usize) -> TraceColumns {
+        TraceColumns {
+            pcs: Vec::with_capacity(n),
+            next_pcs: Vec::with_capacity(n),
+            results: Vec::with_capacity(n),
+            mem_addrs: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            dsts: Vec::with_capacity(n),
+            src1s: Vec::with_capacity(n),
+            src2s: Vec::with_capacity(n),
+            instr_idxs: Vec::with_capacity(n),
+            instr_table: Vec::new(),
+            intern: FxHashMap::default(),
+        }
+    }
+
+    /// Builds a column store from a record slice ([`DynInstr::seq`] fields
+    /// are discarded; sequence numbers are implicit in columnar storage).
+    pub fn from_records(records: &[DynInstr]) -> TraceColumns {
+        let mut cols = TraceColumns::with_capacity(records.len());
+        for rec in records {
+            cols.push(rec);
+        }
+        cols
+    }
+
+    /// Appends one retired instruction.
+    pub fn push(&mut self, rec: &DynInstr) {
+        let prepared = self.prepare(rec.instr);
+        self.push_prepared(prepared, rec.pc, rec.next_pc, rec.result, rec.mem_addr, rec.taken);
+    }
+
+    /// Interns `instr` and precomputes its static column values.
+    ///
+    /// The returned [`PreparedInstr`] is valid for this store only. Callers
+    /// replaying a static program (the executor hot path) prepare each
+    /// static instruction once and push its dynamic instances with
+    /// [`TraceColumns::push_prepared`], skipping the per-record flag
+    /// computation and intern-table probe.
+    pub fn prepare(&mut self, instr: Instr) -> PreparedInstr {
+        let mut flags = 0u8;
+        if instr.is_control() {
+            flags |= flag::CONTROL;
+        }
+        if instr.is_cond_branch() {
+            flags |= flag::COND_BRANCH;
+        }
+        if matches!(instr, Instr::Jump { .. } | Instr::Call { .. }) {
+            flags |= flag::DIRECT;
+        }
+        if matches!(instr, Instr::JumpInd { .. }) {
+            flags |= flag::INDIRECT;
+        }
+        if instr.is_mem() {
+            flags |= flag::MEM;
+        }
+        let [src1, src2] = instr.srcs();
+        PreparedInstr {
+            flags,
+            dst: instr.dst().map_or(NO_REG, |r| r.index() as u8),
+            src1: src1.map_or(NO_REG, |r| r.index() as u8),
+            src2: src2.map_or(NO_REG, |r| r.index() as u8),
+            idx: self.intern_instr(instr),
+        }
+    }
+
+    /// Appends one dynamic instance of a [prepared](TraceColumns::prepare)
+    /// instruction — the executor's zero-hash fast path.
+    #[inline]
+    pub fn push_prepared(
+        &mut self,
+        prepared: PreparedInstr,
+        pc: u64,
+        next_pc: u64,
+        result: u64,
+        mem_addr: Option<u64>,
+        taken: bool,
+    ) {
+        let mut flags = prepared.flags;
+        if taken {
+            flags |= flag::TAKEN;
+        }
+        if mem_addr.is_some() {
+            flags |= flag::HAS_MEM_ADDR;
+        }
+        self.pcs.push(pc);
+        self.next_pcs.push(next_pc);
+        self.results.push(result);
+        self.mem_addrs.push(mem_addr.unwrap_or(0));
+        self.flags.push(flags);
+        self.dsts.push(prepared.dst);
+        self.src1s.push(prepared.src1);
+        self.src2s.push(prepared.src2);
+        self.instr_idxs.push(prepared.idx);
+    }
+
+    fn intern_instr(&mut self, instr: Instr) -> u32 {
+        use std::collections::hash_map::Entry;
+        match self.intern.entry(instr) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = self.instr_table.len() as u32;
+                self.instr_table.push(instr);
+                e.insert(id);
+                id
+            }
+        }
+    }
+
+    /// Number of stored instructions.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Number of distinct static instructions seen (the interned-table
+    /// size; bounded by the program's static footprint).
+    pub fn distinct_instrs(&self) -> usize {
+        self.instr_table.len()
+    }
+
+    /// The accessor for instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn slot(&self, index: usize) -> Slot<'_> {
+        assert!(index < self.len(), "slot {index} beyond {} instructions", self.len());
+        Slot { cols: self, idx: index }
+    }
+
+    /// A zero-copy view over the whole store.
+    #[inline]
+    pub fn view(&self) -> TraceView<'_> {
+        TraceView { cols: self }
+    }
+
+    /// Materializes the record at `index` (with `seq == index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn to_record(&self, index: usize) -> DynInstr {
+        self.slot(index).to_record()
+    }
+
+    /// Copies out the instructions in `range` as a new store (implicitly
+    /// re-sequenced from zero). The interned instruction table is shared
+    /// wholesale rather than re-interned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> TraceColumns {
+        TraceColumns {
+            pcs: self.pcs[range.clone()].to_vec(),
+            next_pcs: self.next_pcs[range.clone()].to_vec(),
+            results: self.results[range.clone()].to_vec(),
+            mem_addrs: self.mem_addrs[range.clone()].to_vec(),
+            flags: self.flags[range.clone()].to_vec(),
+            dsts: self.dsts[range.clone()].to_vec(),
+            src1s: self.src1s[range.clone()].to_vec(),
+            src2s: self.src2s[range.clone()].to_vec(),
+            instr_idxs: self.instr_idxs[range].to_vec(),
+            instr_table: self.instr_table.clone(),
+            intern: self.intern.clone(),
+        }
+    }
+}
+
+/// Equality is *logical*: two stores are equal when they describe the same
+/// dynamic instruction stream, regardless of how their interned instruction
+/// tables are laid out (a [`TraceColumns::slice`] shares its parent's full
+/// table; an equal stream built by [`TraceColumns::push`] interns only what
+/// it sees).
+impl PartialEq for TraceColumns {
+    fn eq(&self, other: &TraceColumns) -> bool {
+        self.pcs == other.pcs
+            && self.next_pcs == other.next_pcs
+            && self.results == other.results
+            && self.mem_addrs == other.mem_addrs
+            && self.flags == other.flags
+            && self.dsts == other.dsts
+            && self.src1s == other.src1s
+            && self.src2s == other.src2s
+            && self
+                .instr_idxs
+                .iter()
+                .zip(&other.instr_idxs)
+                .all(|(&a, &b)| self.instr_table[a as usize] == other.instr_table[b as usize])
+    }
+}
+
+impl Eq for TraceColumns {}
+
+/// The precomputed static column values of one interned instruction (see
+/// [`TraceColumns::prepare`]). Valid only for the store that produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedInstr {
+    /// Static flag bits (everything but `TAKEN` / `HAS_MEM_ADDR`).
+    flags: u8,
+    dst: u8,
+    src1: u8,
+    src2: u8,
+    idx: u32,
+}
+
+/// A zero-copy, copyable view over a [`TraceColumns`] store.
+///
+/// Being `Copy`, a view can be passed by value into fetch engines and
+/// machine loops without borrow-checker friction (the engine borrows the
+/// columns immutably while mutating its own state).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    cols: &'a TraceColumns,
+}
+
+impl<'a> TraceView<'a> {
+    /// Number of instructions in view.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The accessor for instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn slot(self, index: usize) -> Slot<'a> {
+        self.cols.slot(index)
+    }
+
+    /// Materializes the record at `index` (with `seq == index`).
+    pub fn get(self, index: usize) -> DynInstr {
+        self.cols.to_record(index)
+    }
+
+    /// Iterates over all slots in retirement order.
+    pub fn slots(self) -> impl ExactSizeIterator<Item = Slot<'a>> {
+        let cols = self.cols;
+        (0..cols.len()).map(move |idx| Slot { cols, idx })
+    }
+
+    /// Iterates over the slots in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds the view length.
+    pub fn slots_in(
+        self,
+        range: std::ops::Range<usize>,
+    ) -> impl ExactSizeIterator<Item = Slot<'a>> {
+        assert!(range.end <= self.len(), "range end {} beyond {}", range.end, self.len());
+        let cols = self.cols;
+        range.map(move |idx| Slot { cols, idx })
+    }
+}
+
+/// A zero-copy accessor for one instruction of a [`TraceColumns`] store.
+///
+/// All field reads are direct column indexing; nothing is materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct Slot<'a> {
+    cols: &'a TraceColumns,
+    idx: usize,
+}
+
+impl<'a> Slot<'a> {
+    /// Position in the dynamic stream (equals the sequence number).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.idx
+    }
+
+    /// Sequence number (the paper's "appearance order").
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.idx as u64
+    }
+
+    /// Program index of the instruction.
+    #[inline]
+    pub fn pc(self) -> u64 {
+        self.cols.pcs[self.idx]
+    }
+
+    /// The PC of the next dynamic instruction.
+    #[inline]
+    pub fn next_pc(self) -> u64 {
+        self.cols.next_pcs[self.idx]
+    }
+
+    /// The value written to the destination register (`0` when there is
+    /// none).
+    #[inline]
+    pub fn result(self) -> u64 {
+        self.cols.results[self.idx]
+    }
+
+    /// The effective address for loads and stores.
+    #[inline]
+    pub fn mem_addr(self) -> Option<u64> {
+        if self.flags() & flag::HAS_MEM_ADDR != 0 {
+            Some(self.cols.mem_addrs[self.idx])
+        } else {
+            None
+        }
+    }
+
+    /// The raw flag byte (see [`flag`]).
+    #[inline]
+    pub fn flags(self) -> u8 {
+        self.cols.flags[self.idx]
+    }
+
+    /// Whether control transferred away from `pc + 1`.
+    #[inline]
+    pub fn taken(self) -> bool {
+        self.flags() & flag::TAKEN != 0
+    }
+
+    /// Whether this is a control-flow instruction.
+    #[inline]
+    pub fn is_control(self) -> bool {
+        self.flags() & flag::CONTROL != 0
+    }
+
+    /// Whether this is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        self.flags() & flag::COND_BRANCH != 0
+    }
+
+    /// Whether this is a direct unconditional transfer (jump or call).
+    #[inline]
+    pub fn is_direct_jump(self) -> bool {
+        self.flags() & flag::DIRECT != 0
+    }
+
+    /// Whether this is an indirect jump.
+    #[inline]
+    pub fn is_indirect_jump(self) -> bool {
+        self.flags() & flag::INDIRECT != 0
+    }
+
+    /// Whether this is a memory operation.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        self.flags() & flag::MEM != 0
+    }
+
+    /// Whether this instruction writes a (non-zero) destination register —
+    /// exactly when [`Slot::dst`] is `Some`.
+    #[inline]
+    pub fn produces_value(self) -> bool {
+        self.cols.dsts[self.idx] != NO_REG
+    }
+
+    /// Destination-register index, or [`NO_REG`]. The hot-path form of
+    /// [`Slot::dst`]: usable directly as an array index after the sentinel
+    /// check.
+    #[inline]
+    pub fn dst_byte(self) -> u8 {
+        self.cols.dsts[self.idx]
+    }
+
+    /// First source-register index (including `r0`), or [`NO_REG`].
+    #[inline]
+    pub fn src1_byte(self) -> u8 {
+        self.cols.src1s[self.idx]
+    }
+
+    /// Second source-register index (including `r0`), or [`NO_REG`].
+    #[inline]
+    pub fn src2_byte(self) -> u8 {
+        self.cols.src2s[self.idx]
+    }
+
+    /// The register written by this instruction, if any.
+    #[inline]
+    pub fn dst(self) -> Option<Reg> {
+        reg_from_byte(self.cols.dsts[self.idx])
+    }
+
+    /// The registers read by this instruction (matching
+    /// [`Instr::srcs`]).
+    #[inline]
+    pub fn srcs(self) -> [Option<Reg>; 2] {
+        [reg_from_byte(self.cols.src1s[self.idx]), reg_from_byte(self.cols.src2s[self.idx])]
+    }
+
+    /// The full static instruction (one indirection through the interned
+    /// table).
+    #[inline]
+    pub fn instr(self) -> &'a Instr {
+        &self.cols.instr_table[self.cols.instr_idxs[self.idx] as usize]
+    }
+
+    /// Materializes this slot as a [`DynInstr`] (with `seq` equal to the
+    /// slot index).
+    pub fn to_record(self) -> DynInstr {
+        DynInstr {
+            seq: self.seq(),
+            pc: self.pc(),
+            instr: *self.instr(),
+            result: self.result(),
+            mem_addr: self.mem_addr(),
+            taken: self.taken(),
+            next_pc: self.next_pc(),
+        }
+    }
+}
+
+#[inline]
+fn reg_from_byte(byte: u8) -> Option<Reg> {
+    if byte == NO_REG {
+        None
+    } else {
+        Reg::new(byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_program;
+    use fetchvp_isa::{AluOp, Cond, ProgramBuilder};
+
+    fn sample() -> crate::Trace {
+        let mut b = ProgramBuilder::new("sample");
+        b.load_imm(Reg::R1, 0x40);
+        b.load_imm(Reg::R2, 3);
+        let head = b.bind_label("head");
+        b.store(Reg::R2, Reg::R1, 0);
+        b.load(Reg::R3, Reg::R1, 0);
+        b.alu(AluOp::Add, Reg::R4, Reg::R3, Reg::R2);
+        b.alu_imm(AluOp::Sub, Reg::R2, Reg::R2, 1);
+        b.branch(Cond::Ne, Reg::R2, Reg::R0, head);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000)
+    }
+
+    #[test]
+    fn slots_match_materialized_records() {
+        let t = sample();
+        let view = t.view();
+        for (i, rec) in t.iter().enumerate() {
+            let s = view.slot(i);
+            assert_eq!(s.seq(), rec.seq);
+            assert_eq!(s.pc(), rec.pc);
+            assert_eq!(s.next_pc(), rec.next_pc);
+            assert_eq!(s.result(), rec.result);
+            assert_eq!(s.mem_addr(), rec.mem_addr);
+            assert_eq!(s.taken(), rec.taken);
+            assert_eq!(s.is_control(), rec.is_control());
+            assert_eq!(s.is_cond_branch(), rec.is_cond_branch());
+            assert_eq!(s.is_mem(), rec.instr.is_mem());
+            assert_eq!(s.produces_value(), rec.produces_value());
+            assert_eq!(s.dst(), rec.dst());
+            assert_eq!(s.srcs(), rec.srcs());
+            assert_eq!(*s.instr(), rec.instr);
+            assert_eq!(s.to_record(), rec);
+        }
+    }
+
+    #[test]
+    fn from_records_round_trips() {
+        let t = sample();
+        let records: Vec<DynInstr> = t.iter().collect();
+        let cols = TraceColumns::from_records(&records);
+        assert_eq!(cols.len(), records.len());
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(cols.to_record(i), *rec);
+        }
+    }
+
+    #[test]
+    fn interning_is_bounded_by_static_footprint() {
+        let t = sample();
+        let footprint = t.stats().static_footprint as usize;
+        assert!(t.columns().distinct_instrs() <= footprint);
+        assert!(t.columns().distinct_instrs() > 0);
+    }
+
+    #[test]
+    fn slice_preserves_records_and_resequences() {
+        let t = sample();
+        let cols = t.columns().slice(3..8);
+        assert_eq!(cols.len(), 5);
+        for i in 0..5 {
+            let expected = DynInstr { seq: i as u64, ..t.get(3 + i) };
+            assert_eq!(cols.to_record(i), expected);
+        }
+    }
+
+    #[test]
+    fn sliced_store_equals_freshly_built_store() {
+        let t = sample();
+        let sliced = t.columns().slice(2..10);
+        let records: Vec<DynInstr> = (2..10).map(|i| t.get(i)).collect();
+        let rebuilt = TraceColumns::from_records(&records);
+        // The slice carries the full parent instruction table; the rebuilt
+        // store interns only what it saw. Equality must be logical.
+        assert_eq!(sliced, rebuilt);
+    }
+
+    #[test]
+    fn view_iterators_cover_the_trace() {
+        let t = sample();
+        let view = t.view();
+        assert_eq!(view.slots().count(), t.len());
+        assert_eq!(view.slots_in(4..9).count(), 5);
+        assert_eq!(view.slots_in(4..9).next().unwrap().seq(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn out_of_range_slot_panics() {
+        let t = sample();
+        t.view().slot(t.len());
+    }
+}

@@ -2,10 +2,14 @@
 //!
 //! This crate turns a [`fetchvp_isa::Program`] into the *dynamic instruction
 //! stream* that every analysis and machine model in the workspace consumes.
-//! It plays the role that the Sun *Shade* tracer plays in the paper: a purely
-//! functional, implementation-independent executor that records, for each
-//! retired instruction, its PC, its operands, the value it produced and its
-//! control-flow outcome.
+//! It plays the role that the Sun *Shade* tracer plays in the paper's
+//! trace-driven methodology (§3): a purely functional,
+//! implementation-independent executor that records, for each retired
+//! instruction, its PC, its operands, the value it produced and its
+//! control-flow outcome. The captured stream is stored columnar
+//! ([`TraceColumns`]) so the §3 ideal machine, the §5 realistic machines and
+//! the §3.3 DID analysis can iterate it zero-copy through [`TraceView`] /
+//! [`Slot`] accessors.
 //!
 //! The main entry points are:
 //!
@@ -41,7 +45,11 @@
 //! # }
 //! ```
 
+// Public API of the hot path: every item must explain itself.
+#![deny(missing_docs)]
+
 pub mod bb;
+pub mod columns;
 pub mod exec;
 pub mod io;
 pub mod memory;
@@ -49,6 +57,7 @@ pub mod record;
 pub mod stats;
 
 pub use bb::{BasicBlocks, BlockId};
+pub use columns::{Slot, TraceColumns, TraceView, NO_REG};
 pub use exec::{ExecOutcome, Executor};
 pub use io::{read_trace, write_trace};
 pub use memory::SparseMemory;
@@ -59,9 +68,11 @@ use fetchvp_isa::Program;
 
 /// A captured dynamic instruction stream.
 ///
-/// A `Trace` owns the sequence of [`DynInstr`] records produced by executing
-/// a program, in retirement order. The record at index `i` has sequence
-/// number `i`.
+/// A `Trace` stores the retired instructions of one program execution in
+/// columnar ([`TraceColumns`]) form. The instruction at index `i` has
+/// sequence number `i`. Hot paths iterate zero-copy through
+/// [`Trace::view`]/[`Slot`]; cold paths can materialize [`DynInstr`]
+/// records with [`Trace::get`] or [`Trace::iter`].
 ///
 /// # Example
 ///
@@ -75,20 +86,21 @@ use fetchvp_isa::Program;
 /// b.halt();
 /// let trace = trace_program(&b.build()?, 10);
 /// assert_eq!(trace.name(), "p");
-/// assert_eq!(trace.records()[0].result, 7);
+/// assert_eq!(trace.view().slot(0).result(), 7); // zero-copy
+/// assert_eq!(trace.get(0).result, 7); // materialized
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     name: String,
-    records: Vec<DynInstr>,
+    columns: TraceColumns,
     outcome: ExecOutcome,
 }
 
 impl Trace {
-    /// Builds a trace from parts. Records must be in retirement order; the
-    /// record at index `i` must have `seq == i`.
+    /// Builds a trace from records. Records must be in retirement order;
+    /// the record at index `i` must have `seq == i`.
     ///
     /// # Panics
     ///
@@ -99,7 +111,16 @@ impl Trace {
         outcome: ExecOutcome,
     ) -> Trace {
         debug_assert!(records.iter().enumerate().all(|(i, r)| r.seq == i as u64));
-        Trace { name: name.into(), records, outcome }
+        Trace { name: name.into(), columns: TraceColumns::from_records(&records), outcome }
+    }
+
+    /// Builds a trace directly from a column store.
+    pub fn from_columns(
+        name: impl Into<String>,
+        columns: TraceColumns,
+        outcome: ExecOutcome,
+    ) -> Trace {
+        Trace { name: name.into(), columns, outcome }
     }
 
     /// The traced program's name.
@@ -109,17 +130,43 @@ impl Trace {
 
     /// Number of dynamic instructions.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.columns.len()
     }
 
     /// Whether the trace contains no instructions.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.columns.is_empty()
     }
 
-    /// The records in retirement order.
-    pub fn records(&self) -> &[DynInstr] {
-        &self.records
+    /// The underlying column store.
+    pub fn columns(&self) -> &TraceColumns {
+        &self.columns
+    }
+
+    /// A zero-copy view over the trace — the machine models' iteration
+    /// surface.
+    #[inline]
+    pub fn view(&self) -> TraceView<'_> {
+        self.columns.view()
+    }
+
+    /// The zero-copy accessor for instruction `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn slot(&self, index: usize) -> Slot<'_> {
+        self.columns.slot(index)
+    }
+
+    /// Materializes the record at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> DynInstr {
+        self.columns.to_record(index)
     }
 
     /// How execution ended.
@@ -127,14 +174,17 @@ impl Trace {
         self.outcome
     }
 
-    /// Iterates over the records in retirement order.
-    pub fn iter(&self) -> std::slice::Iter<'_, DynInstr> {
-        self.records.iter()
+    /// Iterates over the trace, materializing each record by value.
+    ///
+    /// Cold-path convenience; hot paths should iterate
+    /// [`Trace::view`] slots instead.
+    pub fn iter(&self) -> TraceRecords<'_> {
+        TraceRecords { view: self.view(), range: 0..self.len() }
     }
 
     /// Computes summary statistics over the trace.
     pub fn stats(&self) -> TraceStats {
-        TraceStats::from_records(&self.records)
+        TraceStats::from_view(self.view())
     }
 
     /// Splits the trace at `index` into a prefix and a re-sequenced suffix
@@ -148,48 +198,89 @@ impl Trace {
     /// Panics if `index` exceeds the trace length.
     pub fn split_at(&self, index: usize) -> (Trace, Trace) {
         assert!(index <= self.len(), "split index {index} beyond {} records", self.len());
-        let prefix = self.records[..index].to_vec();
-        let suffix: Vec<DynInstr> = self.records[index..]
-            .iter()
-            .enumerate()
-            .map(|(i, r)| DynInstr { seq: i as u64, ..*r })
-            .collect();
         (
-            Trace::from_records(self.name.clone(), prefix, ExecOutcome::LimitReached),
-            Trace::from_records(self.name.clone(), suffix, self.outcome),
+            Trace::from_columns(
+                self.name.clone(),
+                self.columns.slice(0..index),
+                ExecOutcome::LimitReached,
+            ),
+            Trace::from_columns(
+                self.name.clone(),
+                self.columns.slice(index..self.len()),
+                self.outcome,
+            ),
         )
     }
 }
 
+/// A materializing iterator over a trace's records (see [`Trace::iter`]).
+#[derive(Debug, Clone)]
+pub struct TraceRecords<'a> {
+    view: TraceView<'a>,
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for TraceRecords<'_> {
+    type Item = DynInstr;
+
+    fn next(&mut self) -> Option<DynInstr> {
+        self.range.next().map(|i| self.view.get(i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TraceRecords<'_> {}
+
+impl DoubleEndedIterator for TraceRecords<'_> {
+    fn next_back(&mut self) -> Option<DynInstr> {
+        self.range.next_back().map(|i| self.view.get(i))
+    }
+}
+
 impl<'a> IntoIterator for &'a Trace {
-    type Item = &'a DynInstr;
-    type IntoIter = std::slice::Iter<'a, DynInstr>;
+    type Item = DynInstr;
+    type IntoIter = TraceRecords<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.records.iter()
+        self.iter()
     }
 }
 
 /// Executes `program` for at most `max_instrs` dynamic instructions and
 /// captures the resulting trace.
 ///
-/// This is the convenience path used by experiments; use [`Executor`]
-/// directly for streaming consumption.
+/// Records stream straight into columnar storage; no intermediate record
+/// vector is built. This is the convenience path used by experiments; use
+/// [`Executor`] directly for streaming consumption.
 ///
 /// # Example
 ///
 /// See the [crate-level example](crate).
 pub fn trace_program(program: &Program, max_instrs: u64) -> Trace {
     let mut exec = Executor::new(program);
-    let mut records = Vec::new();
-    while (records.len() as u64) < max_instrs {
+    let mut columns = TraceColumns::new();
+    // Static facts (flags, register bytes, intern index) depend only on the
+    // PC; prepare each static instruction on first retirement and reuse the
+    // result for every later dynamic instance.
+    let mut prepared: Vec<Option<columns::PreparedInstr>> = vec![None; program.len()];
+    while (columns.len() as u64) < max_instrs {
         match exec.step() {
-            Some(rec) => records.push(rec),
+            Some(rec) => {
+                let slot = &mut prepared[rec.pc as usize];
+                let p = match *slot {
+                    Some(p) => p,
+                    None => *slot.insert(columns.prepare(rec.instr)),
+                };
+                columns.push_prepared(p, rec.pc, rec.next_pc, rec.result, rec.mem_addr, rec.taken);
+            }
             None => break,
         }
     }
     let outcome = if exec.halted() { ExecOutcome::Halted } else { ExecOutcome::LimitReached };
-    Trace::from_records(program.name(), records, outcome)
+    Trace::from_columns(program.name(), columns, outcome)
 }
 
 #[cfg(test)]
@@ -239,8 +330,8 @@ mod tests {
         let (a, b) = t.split_at(1);
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
-        assert_eq!(b.records()[0].seq, 0);
-        assert_eq!(b.records()[0].pc, t.records()[1].pc);
+        assert_eq!(b.get(0).seq, 0);
+        assert_eq!(b.get(0).pc, t.get(1).pc);
         assert_eq!(b.outcome(), t.outcome());
     }
 

@@ -1,6 +1,6 @@
 //! Sparse data memory.
 
-use std::collections::HashMap;
+use fetchvp_metrics::FxHashMap;
 
 /// A sparse, word-granular data memory.
 ///
@@ -21,7 +21,9 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseMemory {
-    words: HashMap<u64, u64>,
+    // Fx-hashed: addresses are simulator-generated, and the executor's
+    // load/store path dominates trace-generation time.
+    words: FxHashMap<u64, u64>,
 }
 
 impl SparseMemory {

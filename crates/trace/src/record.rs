@@ -20,7 +20,7 @@ use fetchvp_isa::{Instr, Reg};
 /// b.load_imm(Reg::R1, 9);
 /// b.halt();
 /// let trace = trace_program(&b.build()?, 10);
-/// let rec = &trace.records()[0];
+/// let rec = trace.get(0);
 /// assert_eq!(rec.pc, 0);
 /// assert_eq!(rec.dst(), Some(Reg::R1));
 /// assert_eq!(rec.result, 9);

@@ -1,10 +1,10 @@
 //! Trace summary statistics.
 
-use std::collections::HashSet;
 use std::fmt;
 
-use fetchvp_metrics::{MetricsSink, Registry};
+use fetchvp_metrics::{FxHashSet, MetricsSink, Registry};
 
+use crate::columns::TraceView;
 use crate::record::DynInstr;
 
 /// Instruction-mix and control-flow statistics for a dynamic trace.
@@ -55,14 +55,14 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
-    /// Computes statistics over a record slice.
-    pub fn from_records(records: &[DynInstr]) -> TraceStats {
-        let mut s = TraceStats { total: records.len() as u64, ..TraceStats::default() };
-        let mut pcs = HashSet::new();
-        for r in records {
-            pcs.insert(r.pc);
-            if r.instr.is_mem() {
-                if r.dst().is_some() {
+    /// Computes statistics over a columnar trace view (zero-copy).
+    pub fn from_view(view: TraceView<'_>) -> TraceStats {
+        let mut s = TraceStats { total: view.len() as u64, ..TraceStats::default() };
+        let mut pcs = FxHashSet::default();
+        for r in view.slots() {
+            pcs.insert(r.pc());
+            if r.is_mem() {
+                if r.produces_value() {
                     s.loads += 1;
                 } else {
                     s.stores += 1;
@@ -70,12 +70,12 @@ impl TraceStats {
             }
             if r.is_control() {
                 s.control += 1;
-                if r.taken {
+                if r.taken() {
                     s.taken_control += 1;
                 }
                 if r.is_cond_branch() {
                     s.cond_branches += 1;
-                    if r.taken {
+                    if r.taken() {
                         s.taken_cond_branches += 1;
                     }
                 }
@@ -86,6 +86,12 @@ impl TraceStats {
         }
         s.static_footprint = pcs.len() as u64;
         s
+    }
+
+    /// Computes statistics over a record slice (cold-path convenience;
+    /// prefer [`TraceStats::from_view`]).
+    pub fn from_records(records: &[DynInstr]) -> TraceStats {
+        TraceStats::from_view(crate::columns::TraceColumns::from_records(records).view())
     }
 
     /// Fraction of instructions that redirect control flow when executed.

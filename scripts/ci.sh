@@ -22,6 +22,11 @@ cargo clippy $OFFLINE --workspace --all-targets -- -D warnings
 echo "== cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc $OFFLINE --workspace --no-deps --quiet
 
+# Doc examples are the API's contract — including the README code blocks,
+# which doc-test through fetchvp-experiments.
+echo "== cargo test --doc"
+cargo test $OFFLINE -q --doc --workspace
+
 echo "== tier-1: cargo build --release"
 cargo build $OFFLINE --release
 

@@ -85,3 +85,28 @@ fn bench_counters_are_integer_only() {
         }
     }
 }
+
+/// The `profile` phase times are measured inside each workload's wall
+/// interval, so they can never exceed it — and the four phases *are* the
+/// work, so their sum must account for the bulk of it (the remainder is
+/// harness overhead: statistics and allocation teardown).
+#[test]
+fn profile_phases_sum_to_wall_time() {
+    let report = fetchvp_experiments::profile::run(&small_config());
+    assert_eq!(report.workloads.len(), 8);
+    for w in &report.workloads {
+        let sum = w.phases.sum();
+        assert!(
+            sum <= w.wall_seconds + 1e-9,
+            "{}: phase sum {sum:.4}s exceeds wall time {:.4}s",
+            w.name,
+            w.wall_seconds
+        );
+        assert!(
+            sum >= 0.5 * w.wall_seconds,
+            "{}: phase sum {sum:.4}s is less than half the wall time {:.4}s",
+            w.name,
+            w.wall_seconds
+        );
+    }
+}

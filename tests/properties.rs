@@ -47,8 +47,8 @@ fn traces_are_well_formed() {
             assert!(program.get(rec.pc).is_some(), "case {case}");
         }
         // Consecutive records follow the recorded control flow.
-        for w in a.records().windows(2) {
-            assert_eq!(w[0].next_pc, w[1].pc, "case {case}");
+        for i in 1..a.len() {
+            assert_eq!(a.slot(i - 1).next_pc(), a.slot(i).pc(), "case {case}");
         }
     });
 }
@@ -96,8 +96,8 @@ fn scheduler_respects_dataflow() {
         let trace = trace_program(&program, 2_000);
         let mut sched = Scheduler::new(40, Some(fetch_rate));
         let mut last_write: [Option<u64>; 32] = [None; 32]; // complete times
-        for (i, rec) in trace.iter().enumerate() {
-            let t = sched.schedule(rec, (i / fetch_rate) as u64, VpDisposition::None);
+        for rec in trace.view().slots() {
+            let t = sched.schedule(rec, (rec.index() / fetch_rate) as u64, VpDisposition::None);
             assert!(t.dispatch < t.execute, "case {case}");
             assert_eq!(t.complete, t.execute + 1, "case {case}");
             for src in rec.srcs().into_iter().flatten() {
@@ -168,4 +168,35 @@ fn tight_loop_degenerate_case() {
     assert_eq!(trace.len(), 1 + 100 * 2);
     let bbs = BasicBlocks::analyze(&program);
     assert_eq!(bbs.num_blocks(), 3);
+}
+
+/// The columnar trace representation round-trips exactly: rebuilding
+/// `TraceColumns` from the record iterator and reading every slot back
+/// reproduces the original records — accessors included — on all nine
+/// workloads of the extended suite.
+#[test]
+fn trace_columns_round_trip_records() {
+    use fetchvp_trace::{DynInstr, TraceColumns};
+    use fetchvp_workloads::{extended_suite, WorkloadParams};
+
+    for workload in extended_suite(&WorkloadParams::default()) {
+        let trace = trace_program(workload.program(), 4_000);
+        let records: Vec<DynInstr> = trace.iter().collect();
+        let cols = TraceColumns::from_records(&records);
+        assert_eq!(cols.len(), records.len(), "{}", workload.name());
+        for (i, rec) in records.iter().enumerate() {
+            let slot = cols.slot(i);
+            assert_eq!(slot.to_record(), *rec, "{} slot {i}", workload.name());
+            assert_eq!(slot.dst(), rec.dst(), "{} slot {i}", workload.name());
+            assert_eq!(slot.srcs(), rec.srcs(), "{} slot {i}", workload.name());
+            assert_eq!(slot.is_control(), rec.is_control(), "{} slot {i}", workload.name());
+            assert_eq!(slot.is_cond_branch(), rec.is_cond_branch(), "{} slot {i}", workload.name());
+            assert_eq!(slot.produces_value(), rec.produces_value(), "{} slot {i}", workload.name());
+        }
+        // The view iterator agrees with per-index access.
+        for (i, slot) in cols.view().slots().enumerate() {
+            assert_eq!(slot.index(), i, "{}", workload.name());
+            assert_eq!(slot.to_record(), records[i], "{}", workload.name());
+        }
+    }
 }
