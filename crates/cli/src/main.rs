@@ -15,6 +15,7 @@
 //!   fig5-1     realistic machine, ideal BTB, taken-branch sweep
 //!   fig5-2     realistic machine, 2-level BTB, taken-branch sweep
 //!   fig5-3     realistic machine with trace cache
+//!   usefulness correct predictions useful vs useless, fetch-4 vs fetch-40
 //!   all        everything above, in paper order
 //!
 //! ablations (beyond the paper):
@@ -37,8 +38,15 @@
 //!   trace-info <file>               print a saved trace's statistics
 //!   run-asm <file.s>                assemble, trace and simulate a program
 //!
+//! observability:
+//!   trace-viz <workload> [--cycles A..B] [--out FILE]
+//!                                   export a cycle-accurate pipeline witness as
+//!                                   Chrome trace-event JSON (Perfetto-loadable)
+//!
 //! benchmarking (the perf-regression loop):
-//!   bench [--quick] [--out FILE]    run the workload suite, write BENCH_<date>.json
+//!   bench [--quick] [--repeat N] [--out FILE]
+//!                                   run the workload suite (best-of-N cell timing),
+//!                                   write BENCH_<date>.json
 //!   bench-compare <old> <new> [--threshold PCT]
 //!                                   diff two reports, exit nonzero on regression
 //!   profile                         per-phase wall-time breakdown
@@ -66,14 +74,15 @@ use fetchvp_workloads::{by_name, WorkloadParams};
 const USAGE: &str =
     "usage: fetchvp <experiment> [--trace-len N] [--seed S] [--jobs N] [--csv] [--chart]
 experiments: table3-1 fig3-1 table3-2 fig3-3 fig3-4 fig3-5 fig5-1 fig5-2
-             fig5-3 accuracy breakdown all
+             fig5-3 accuracy breakdown usefulness all
 ablations:   ablation-banks ablation-window ablation-confidence \
              ablation-predictors ablation-partial ablation-btb \
              ablation-fetch ablation-penalty ablation-tc ablation-hints
              ablation-model ablation-seeds ablations
 trace files: save-trace <benchmark> <file> / trace-info <file> / run-asm <file.s>
-benchmarks:  bench [--quick] [--out FILE] / bench-compare <old.json> <new.json> \
-             [--threshold PCT] / profile
+tracing:     trace-viz <workload> [--cycles A..B] [--out FILE]
+benchmarks:  bench [--quick] [--repeat N] [--out FILE] / bench-compare \
+             <old.json> <new.json> [--threshold PCT] / profile
 serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 other:       --version";
 
@@ -104,9 +113,11 @@ const COMMANDS: &[&str] = &[
     "ablation-model",
     "ablation-seeds",
     "ablations",
+    "usefulness",
     "save-trace",
     "trace-info",
     "run-asm",
+    "trace-viz",
     "bench",
     "bench-compare",
     "profile",
@@ -154,8 +165,13 @@ struct Options {
     quick: bool,
     /// `bench`: output path (default `BENCH_<date>.json`).
     out: Option<String>,
+    /// `bench`: timing repetitions per cell (best wall time kept).
+    repeat: usize,
     /// `bench-compare`: tolerated throughput drop, percent.
     threshold: f64,
+    /// `trace-viz`: restrict the export to events overlapping this
+    /// inclusive cycle window.
+    cycles: Option<(u64, u64)>,
     /// `serve`: listen address.
     addr: Option<String>,
     /// `serve`: pool worker threads.
@@ -173,7 +189,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut chart = false;
     let mut quick = false;
     let mut out = None;
+    let mut repeat = 3;
     let mut threshold = 100.0 * bench::DEFAULT_THRESHOLD;
+    let mut cycles = None;
     let mut addr = None;
     let mut workers = None;
     let mut queue_depth = None;
@@ -204,6 +222,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 out = Some(v.clone());
             }
+            "--repeat" => {
+                let v = it.next().ok_or("--repeat needs a value")?;
+                repeat = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad repeat count `{v}` (need an integer >= 1)"))?;
+            }
             "--threshold" => {
                 let v = it.next().ok_or("--threshold needs a value")?;
                 threshold = v
@@ -211,6 +237,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok()
                     .filter(|&t: &f64| t.is_finite() && t >= 0.0)
                     .ok_or(format!("bad threshold `{v}` (need a percentage >= 0)"))?;
+            }
+            "--cycles" => {
+                let v = it.next().ok_or("--cycles needs a value (FIRST..LAST)")?;
+                let window = v.split_once("..").and_then(|(a, b)| {
+                    Some((a.parse().ok()?, b.parse().ok()?)).filter(|&(a, b): &(u64, u64)| a <= b)
+                });
+                cycles = Some(window.ok_or(format!("bad cycle window `{v}` (need FIRST..LAST)"))?);
             }
             "--addr" => {
                 let v = it.next().ok_or("--addr needs a value (HOST:PORT)")?;
@@ -254,7 +287,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         chart,
         quick,
         out,
+        repeat,
         threshold,
+        cycles,
         addr,
         workers,
         queue_depth,
@@ -321,7 +356,7 @@ fn run_asm(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
 }
 
 fn run_bench(sweep: &Sweep, opts: &Options) -> Result<(), String> {
-    let report = bench::run_with(sweep, opts.quick);
+    let report = bench::run_repeat(sweep, opts.quick, opts.repeat);
     let path = opts.out.clone().unwrap_or_else(|| report.filename());
     let text = report.to_json().to_json() + "\n";
     std::fs::write(&path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
@@ -339,10 +374,36 @@ fn run_bench(sweep: &Sweep, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn run_trace_viz(sweep: &Sweep, opts: &Options) -> Result<(), String> {
+    let [workload] = opts.positionals.as_slice() else {
+        return Err("trace-viz needs: <workload> [--cycles FIRST..LAST] [--out FILE]".into());
+    };
+    let viz = fetchvp_experiments::traceviz::run_with(sweep, workload, opts.cycles)?;
+    let path = opts.out.clone().unwrap_or_else(|| format!("trace_{workload}.json"));
+    std::fs::write(&path, viz.json.clone() + "\n")
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!(
+        "trace-viz: {} events ({} dropped) over {} cycles of `{}`",
+        viz.events, viz.dropped, viz.result.cycles, viz.workload
+    );
+    println!("wrote {path} — load it in Perfetto (ui.perfetto.dev) or chrome://tracing");
+    Ok(())
+}
+
 fn run_bench_compare(opts: &Options) -> Result<(), String> {
     let [old_path, new_path] = opts.positionals.as_slice() else {
         return Err("bench-compare needs: <old.json> <new.json>".into());
     };
+    // A missing baseline is the expected state of a fresh checkout (the
+    // first bench run creates it), not a regression: warn and pass.
+    if !std::path::Path::new(old_path.as_str()).exists() {
+        eprintln!(
+            "warning: baseline `{old_path}` not found — nothing to compare against; \
+             run `fetchvp bench --out {old_path}` to create one"
+        );
+        println!("OK: no baseline, comparison skipped");
+        return Ok(());
+    }
     let load = |path: &str| -> Result<Json, String> {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -397,6 +458,8 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
         "run-asm" => return run_asm(cfg, positionals),
         "bench" => return run_bench(sweep, opts),
         "bench-compare" => return run_bench_compare(opts),
+        "trace-viz" => return run_trace_viz(sweep, opts),
+        "usefulness" => emit(&fetchvp_experiments::usefulness::run_with(sweep).to_table(), csv),
         "profile" => emit(&fetchvp_experiments::profile::run(cfg).to_table(), csv),
         "serve" => return run_serve(opts),
         "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),
@@ -550,7 +613,16 @@ mod tests {
         assert!(o.quick);
         assert_eq!(o.out.as_deref(), Some("report.json"));
         assert!((o.threshold - 15.0).abs() < 1e-12, "default threshold is 15%");
+        assert_eq!(o.repeat, 3, "bench defaults to best-of-3 timing");
         assert!(opts(&["bench", "--out"]).is_err());
+    }
+
+    #[test]
+    fn parses_repeat() {
+        assert_eq!(opts(&["bench", "--repeat", "5"]).unwrap().repeat, 5);
+        assert!(opts(&["bench", "--repeat", "0"]).is_err());
+        assert!(opts(&["bench", "--repeat", "many"]).is_err());
+        assert!(opts(&["bench", "--repeat"]).is_err());
     }
 
     #[test]
@@ -599,6 +671,30 @@ mod tests {
         let sweep = Sweep::with_jobs(&o.config, o.jobs);
         let err = run_one(&o.experiment, &sweep, &o).unwrap_err();
         assert!(err.contains("did you mean `bench`?"), "{err}");
+    }
+
+    #[test]
+    fn parses_cycles_window() {
+        let o = opts(&["trace-viz", "gcc", "--cycles", "100..500"]).unwrap();
+        assert_eq!(o.experiment, "trace-viz");
+        assert_eq!(o.positionals, ["gcc"]);
+        assert_eq!(o.cycles, Some((100, 500)));
+        assert!(opts(&["trace-viz", "gcc", "--cycles", "500..100"]).is_err());
+        assert!(opts(&["trace-viz", "gcc", "--cycles", "abc"]).is_err());
+        assert!(opts(&["trace-viz", "gcc", "--cycles"]).is_err());
+    }
+
+    #[test]
+    fn trace_viz_needs_a_workload() {
+        let o = opts(&["trace-viz"]).unwrap();
+        let sweep = Sweep::with_jobs(&o.config, o.jobs);
+        assert!(run_one(&o.experiment, &sweep, &o).is_err());
+    }
+
+    #[test]
+    fn bench_compare_passes_when_the_baseline_is_missing() {
+        let o = opts(&["bench-compare", "/nonexistent/baseline.json", "new.json"]).unwrap();
+        run_one(&o.experiment, &Sweep::with_jobs(&o.config, o.jobs), &o).unwrap();
     }
 
     #[test]

@@ -18,7 +18,7 @@ use fetchvp_trace::{Trace, NO_REG};
 
 use crate::ideal::disposition_for;
 use crate::realistic::RealisticConfig;
-use crate::sched::{DepStats, VpDisposition};
+use crate::sched::{DepStats, UsefulnessStats, VpDisposition};
 use crate::{CycleBreakdown, MachineResult};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,18 @@ enum State {
         /// Cycle the result is available / the entry may retire.
         at: u64,
     },
+}
+
+/// Per-register producer record for prediction-usefulness attribution.
+/// Unlike the `producer` id array, it survives the producer's retirement
+/// (carrying its disposition), so the first consumer can always classify
+/// the prediction exactly — no retired-producer approximation.
+#[derive(Debug, Clone, Copy)]
+struct RegAttr {
+    /// Entry id (= trace index) of the producing instruction.
+    id: usize,
+    vp: VpDisposition,
+    consumed: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -115,6 +127,7 @@ impl EventMachine {
         let mut retired_entries = 0usize; // id offset of window[0]
                                           // Per-register: id of the in-flight producer entry, if any.
         let mut producer: [Option<usize>; NUM_REGS] = [None; NUM_REGS];
+        let mut attr: [Option<RegAttr>; NUM_REGS] = [None; NUM_REGS];
 
         let mut pos = 0usize; // next trace index to fetch
         let mut cycle = 0u64;
@@ -124,6 +137,7 @@ impl EventMachine {
         let mut stall_until = 0u64;
 
         let mut deps = DepStats::default();
+        let mut usefulness = UsefulnessStats::default();
         let mut value_replays = 0u64;
         let mut retired = 0u64;
         let total = view.len() as u64;
@@ -217,6 +231,27 @@ impl EventMachine {
                     if src == NO_REG || src == 0 {
                         continue;
                     }
+                    // First-consumer prediction attribution: useful iff this
+                    // consumer dispatches (now, at `cycle`) before the
+                    // producer's writeback.
+                    if let Some(a) = attr[src as usize] {
+                        if a.vp == VpDisposition::Correct && !a.consumed {
+                            attr[src as usize] = Some(RegAttr { consumed: true, ..a });
+                            let did = (id - a.id) as u64;
+                            let useful = a.id >= retired_entries
+                                && match window[a.id - retired_entries].state {
+                                    State::Waiting => true,
+                                    State::Done { at } => cycle < at,
+                                };
+                            if useful {
+                                usefulness.useful += 1;
+                                usefulness.did_useful.record(did);
+                            } else {
+                                usefulness.useless += 1;
+                                usefulness.did_useless.record(did);
+                            }
+                        }
+                    }
                     if let Some(pid) = producer[src as usize] {
                         deps.total += 1;
                         if pid >= retired_entries {
@@ -241,6 +276,12 @@ impl EventMachine {
                 let dst = rec.dst_byte();
                 if dst != NO_REG {
                     producer[dst as usize] = Some(id);
+                    let fresh = RegAttr { id, vp, consumed: false };
+                    if let Some(prev) = attr[dst as usize].replace(fresh) {
+                        if prev.vp == VpDisposition::Correct && !prev.consumed {
+                            usefulness.useless += 1;
+                        }
+                    }
                 }
                 window.push_back(Entry {
                     vp,
@@ -300,11 +341,19 @@ impl EventMachine {
             );
         }
 
+        // End of run: correct predictions never consumed are useless.
+        for a in attr.iter().flatten() {
+            if a.vp == VpDisposition::Correct && !a.consumed {
+                usefulness.useless += 1;
+            }
+        }
+
         MachineResult {
             instructions: total,
             cycles: last_retire_cycle,
             vp_stats: predictor.map(|p| p.stats()),
             deps,
+            usefulness,
             value_replays,
             bpred_stats: Some(engine.bpred_stats()),
             trace_cache_stats: engine.trace_cache_stats(),
@@ -414,6 +463,16 @@ mod tests {
         };
         let r = EventMachine::new(cfg).run(&t);
         assert!(r.ipc() <= 4.0 + 1e-9, "IPC {}", r.ipc());
+    }
+
+    #[test]
+    fn usefulness_attribution_covers_all_correct_predictions() {
+        let t = chain_trace(2_000);
+        let r = EventMachine::new(RealisticConfig::paper(fe(Some(4)), VpConfig::stride_infinite()))
+            .run(&t);
+        let s = r.vp_stats.as_ref().expect("vp stats present");
+        assert_eq!(r.usefulness.useful + r.usefulness.useless, s.correct);
+        assert!(s.correct > 0);
     }
 
     #[test]

@@ -85,12 +85,14 @@ impl IdealMachine {
             let disposition = disposition_for(rec, &self.config.vp, &mut vp);
             sched.schedule(rec, fetch_cycle, disposition);
         }
+        sched.finish();
         let stats = sched.stats();
         MachineResult {
             instructions: stats.instructions,
             cycles: stats.last_complete,
             vp_stats: vp.map(|p| p.stats()),
             deps: stats.deps,
+            usefulness: sched.usefulness().clone(),
             value_replays: stats.value_replays,
             bpred_stats: None,
             trace_cache_stats: None,
@@ -307,6 +309,21 @@ mod tests {
         let r = run(4, VpConfig::stride_infinite(), &t);
         let s = r.vp_stats.expect("stride predictor reports stats");
         assert!(s.lookups > 0);
+    }
+
+    #[test]
+    fn usefulness_attribution_covers_all_correct_predictions() {
+        let t = chain_trace(2_000);
+        let narrow = run(4, VpConfig::stride_infinite(), &t);
+        let s = narrow.vp_stats.as_ref().expect("stride predictor reports stats");
+        assert_eq!(narrow.usefulness.useful + narrow.usefulness.useless, s.correct);
+        let wide = run(40, VpConfig::stride_infinite(), &t);
+        let ws = wide.vp_stats.as_ref().unwrap();
+        assert_eq!(wide.usefulness.useful + wide.usefulness.useless, ws.correct);
+        // DID samples exist only for consumed predictions.
+        let u = &narrow.usefulness;
+        assert!(u.did_useful.count() + u.did_useless.count() <= s.correct);
+        assert!(u.useful > 0, "a stride chain exploits its predictions");
     }
 
     #[test]

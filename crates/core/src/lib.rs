@@ -70,7 +70,7 @@ pub mod vp;
 pub use event::EventMachine;
 pub use ideal::{pipeline_trace, IdealConfig, IdealMachine, StageTimes};
 pub use realistic::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine};
-pub use sched::{DepStats, SchedStats};
+pub use sched::{DepStats, SchedStats, UsefulnessStats};
 pub use vp::{PredictorKind, VpConfig};
 
 use std::fmt;
@@ -136,6 +136,9 @@ pub struct MachineResult {
     pub vp_stats: Option<PredictorStats>,
     /// Dependence-level usefulness classification.
     pub deps: DepStats,
+    /// Per-prediction usefulness attribution (first-consumer rule). All
+    /// zero when value prediction is off.
+    pub usefulness: UsefulnessStats,
     /// Consumers replayed due to a value misprediction (1-cycle penalty).
     pub value_replays: u64,
     /// Branch-predictor statistics (realistic machine only).
@@ -205,6 +208,13 @@ impl MachineResult {
         if let Some(s) = &self.vp_stats {
             s.export_metrics(&mut reg, "predictor");
         }
+        // Prediction-level attribution: `predictor.useful` /
+        // `predictor.useless` (summing to the correct predictions) and the
+        // DID histograms under `machine.did_hist.*`. Omitted entirely when
+        // no prediction was made, like the other optional sections.
+        if self.vp_stats.is_some() || self.usefulness != UsefulnessStats::default() {
+            self.usefulness.export(&mut reg);
+        }
         if let Some(s) = &self.banked_stats {
             s.export_metrics(&mut reg, "predictor.banked");
         }
@@ -266,6 +276,16 @@ impl fmt::Display for MachineResult {
             "dependencies     : {} total — {} useful, {} correct-but-useless, {} wrong, {} unpredicted",
             d.total, d.useful, d.useless_correct, d.wrong, d.unpredicted
         )?;
+        let u = &self.usefulness;
+        if u.useful + u.useless > 0 {
+            writeln!(
+                f,
+                "prediction use   : {} useful, {} useless ({:.1}% useful)",
+                u.useful,
+                u.useless,
+                100.0 * u.useful_fraction()
+            )?;
+        }
         if let Some(b) = &self.bpred_stats {
             writeln!(
                 f,

@@ -4,8 +4,9 @@ use fetchvp_bpred::{GshareBtb, GshareConfig, PerfectBtb, TwoLevelBtb, TwoLevelCo
 use fetchvp_fetch::{
     BacConfig, BacFetch, ConventionalFetch, FetchEngine, TraceCacheConfig, TraceCacheFetch,
 };
-use fetchvp_predictor::{BankedConfig, BankedFrontEnd, ValuePredictor};
+use fetchvp_predictor::{BankedConfig, BankedFrontEnd, SlotGrant, ValuePredictor};
 use fetchvp_trace::Trace;
+use fetchvp_tracing::{Event, EventSink, Lane};
 
 use crate::ideal::disposition_for;
 use crate::sched::{Scheduler, VpDisposition};
@@ -206,6 +207,19 @@ impl RealisticMachine {
 
     /// Runs the model over a captured trace.
     pub fn run(&self, trace: &Trace) -> MachineResult {
+        self.run_traced(trace, None)
+    }
+
+    /// Runs the model, streaming a cycle-level pipeline witness into `sink`
+    /// when one is given: per-instruction fetch/dispatch/issue/writeback
+    /// spans, per-prediction outcome instants, and address-router
+    /// bank-conflict instants (banked front-end only).
+    ///
+    /// Passing `None` is the zero-cost disabled path — one predictable
+    /// branch per instruction, no allocation, no formatting — and is
+    /// exactly what [`RealisticMachine::run`] does. The event stream is
+    /// deterministic: same trace, same configuration, same events.
+    pub fn run_traced(&self, trace: &Trace, mut sink: Option<&mut dyn EventSink>) -> MachineResult {
         let cfg = &self.config;
         let mut engine = cfg.front_end.build();
         let mut sched =
@@ -231,6 +245,10 @@ impl RealisticMachine {
         // Per-group scratch buffers, allocated once and reused every cycle.
         let mut pcs: Vec<u64> = Vec::new();
         let mut dispositions: Vec<VpDisposition> = Vec::new();
+        // Bank conflicts observed in the current group; only populated when
+        // a sink is attached, so the disabled path never touches it.
+        let tracing = sink.is_some();
+        let mut conflicts: Vec<(u64, u32)> = Vec::new();
         while pos < view.len() {
             let group = engine.fetch(view, pos, cfg.issue_width);
             assert!(group.len > 0, "fetch engine must make progress");
@@ -255,6 +273,9 @@ impl RealisticMachine {
                             return VpDisposition::None;
                         }
                         let slot = it.next().expect("one outcome per value producer");
+                        if tracing && slot.grant == SlotGrant::DeniedConflict {
+                            conflicts.push((rec.pc(), slot.bank));
+                        }
                         fe.commit(rec.pc(), rec.result(), slot.prediction);
                         match slot.prediction {
                             None => VpDisposition::None,
@@ -274,9 +295,45 @@ impl RealisticMachine {
             let mut resume_after = None;
             for (k, rec) in view.slots_in(group_range).enumerate() {
                 let t = sched.schedule(rec, fetch_cycle, dispositions[k]);
+                if let Some(sink) = sink.as_deref_mut() {
+                    let (seq, pc) = (rec.seq(), rec.pc());
+                    sink.record(Event::span(Lane::Fetch, fetch_cycle, 1, "instr", seq, pc));
+                    sink.record(Event::span(Lane::Dispatch, t.dispatch, 1, "instr", seq, pc));
+                    sink.record(Event::span(Lane::Issue, t.execute, 1, "instr", seq, pc));
+                    sink.record(Event::span(Lane::Writeback, t.complete, 1, "instr", seq, pc));
+                    match dispositions[k] {
+                        VpDisposition::Correct => sink.record(Event::instant(
+                            Lane::Predict,
+                            fetch_cycle,
+                            "vp_correct",
+                            seq,
+                            pc,
+                        )),
+                        VpDisposition::Wrong => sink.record(Event::instant(
+                            Lane::Predict,
+                            fetch_cycle,
+                            "vp_wrong",
+                            seq,
+                            pc,
+                        )),
+                        VpDisposition::None => {}
+                    }
+                }
                 if group.mispredict == Some(k) {
                     resume_after = Some(t.execute + cfg.branch_penalty);
                 }
+            }
+            if let Some(sink) = sink.as_deref_mut() {
+                for &(pc, bank) in &conflicts {
+                    sink.record(Event::instant(
+                        Lane::BankConflict,
+                        fetch_cycle,
+                        "bank_conflict",
+                        bank as u64,
+                        pc,
+                    ));
+                }
+                conflicts.clear();
             }
 
             pos += group.len;
@@ -286,6 +343,7 @@ impl RealisticMachine {
             };
         }
 
+        sched.finish();
         let stats = sched.stats();
         let (vp_stats, banked_stats) = match banked {
             Ok(fe) => (Some(fe.predictor_stats()), Some(fe.banked_stats())),
@@ -297,6 +355,7 @@ impl RealisticMachine {
             cycles: stats.last_complete,
             vp_stats,
             deps: stats.deps,
+            usefulness: sched.usefulness().clone(),
             value_replays: stats.value_replays,
             bpred_stats: Some(engine.bpred_stats()),
             trace_cache_stats: engine.trace_cache_stats(),
@@ -455,6 +514,45 @@ mod tests {
         ] {
             let r = run(fe, VpConfig::stride_infinite(), &t);
             assert_eq!(r.instructions, t.len() as u64);
+        }
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_emits_all_pipeline_lanes() {
+        let t = chain_trace(500);
+        let fe = FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb: BtbKind::Perfect };
+        let cfg = RealisticConfig::paper(fe, VpConfig::stride_infinite())
+            .with_banked(BankedConfig::new(1));
+        let machine = RealisticMachine::new(cfg);
+        let plain = machine.run(&t);
+        let mut events: Vec<Event> = Vec::new();
+        let traced = machine.run_traced(&t, Some(&mut events));
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+        // Four spans per instruction.
+        let spans = events.iter().filter(|e| e.kind == fetchvp_tracing::EventKind::Span).count();
+        assert_eq!(spans as u64, 4 * traced.instructions);
+        for lane in [Lane::Fetch, Lane::Dispatch, Lane::Issue, Lane::Writeback, Lane::Predict] {
+            assert!(events.iter().any(|e| e.lane == lane), "no events in {lane:?}");
+        }
+        // One bank forces conflicts on this workload (denied > 0 asserted
+        // in `banked_with_one_bank_loses_performance`).
+        assert!(events.iter().any(|e| e.lane == Lane::BankConflict));
+    }
+
+    #[test]
+    fn usefulness_attribution_covers_all_correct_predictions() {
+        let t = chain_trace(2_000);
+        for banked in [None, Some(BankedConfig::new(2))] {
+            let fe = conventional(Some(4), BtbKind::two_level_paper());
+            let mut cfg = RealisticConfig::paper(fe, VpConfig::stride_infinite());
+            cfg.banked = banked;
+            let r = RealisticMachine::new(cfg).run(&t);
+            let s = r.vp_stats.as_ref().expect("vp stats present");
+            assert_eq!(
+                r.usefulness.useful + r.usefulness.useless,
+                s.correct,
+                "attribution must cover every correct prediction (banked: {banked:?})"
+            );
         }
     }
 

@@ -18,7 +18,7 @@
 //!   invalidates only the dependent instructions and reschedules them").
 
 use fetchvp_isa::reg::NUM_REGS;
-use fetchvp_metrics::FxHashMap;
+use fetchvp_metrics::{FxHashMap, Histogram};
 use fetchvp_trace::{Slot, NO_REG};
 
 /// The value-prediction disposition of one dynamic instruction's result.
@@ -106,10 +106,71 @@ impl fetchvp_metrics::MetricsSink for SchedStats {
     }
 }
 
+/// Per-*prediction* usefulness attribution — the observable behind the
+/// paper's §3.3 mechanism. Where [`DepStats`] classifies every register
+/// dependence, this classifies every **correct prediction** exactly once,
+/// by its *first* consumer: the prediction was useful iff that consumer
+/// dispatched before the producer's writeback (otherwise the value was
+/// architecturally available and the prediction bought nothing). Correct
+/// predictions whose value is never read before being overwritten (or
+/// before the run ends) are useless by definition — no consumer existed to
+/// exploit them.
+///
+/// The invariant `useful + useless == predictor.correct` holds for every
+/// machine model; the DID histograms cover only *consumed* predictions
+/// (unconsumed ones have no consumer, hence no instruction distance).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsefulnessStats {
+    /// Correct predictions whose first consumer dispatched before the
+    /// producer's writeback.
+    pub useful: u64,
+    /// Correct predictions consumed too late — or never consumed at all.
+    pub useless: u64,
+    /// Dynamic instruction distance (producer → first consumer) of useful
+    /// predictions.
+    pub did_useful: Histogram,
+    /// Dynamic instruction distance of useless consumed predictions.
+    pub did_useless: Histogram,
+}
+
+impl UsefulnessStats {
+    /// Fraction of correct predictions that were useful (0 when none).
+    pub fn useful_fraction(&self) -> f64 {
+        let total = self.useful + self.useless;
+        if total == 0 {
+            0.0
+        } else {
+            self.useful as f64 / total as f64
+        }
+    }
+
+    /// Merges another run's attribution (for aggregating across workloads).
+    pub fn merge(&mut self, other: &UsefulnessStats) {
+        self.useful += other.useful;
+        self.useless += other.useless;
+        self.did_useful.merge(&other.did_useful);
+        self.did_useless.merge(&other.did_useless);
+    }
+
+    /// Exports the counters under `predictor.*` and the DID histograms
+    /// under `machine.did_hist.*`.
+    pub fn export(&self, reg: &mut fetchvp_metrics::Registry) {
+        reg.counter("predictor", "useful", self.useful);
+        reg.counter("predictor", "useless", self.useless);
+        reg.gauge("predictor", "useful_fraction", self.useful_fraction());
+        reg.histogram("machine.did_hist", "useful", &self.did_useful);
+        reg.histogram("machine.did_hist", "useless", &self.did_useless);
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Producer {
     complete: u64,
     vp: VpDisposition,
+    /// Trace index of the producing instruction (for DID).
+    seq: u64,
+    /// Whether a first consumer has already classified this prediction.
+    consumed: bool,
 }
 
 /// The incremental dataflow scheduler.
@@ -163,6 +224,7 @@ pub struct Scheduler {
     disp_cursor_cycle: u64,
     disp_cursor_count: usize,
     stats: SchedStats,
+    usefulness: UsefulnessStats,
 }
 
 impl Scheduler {
@@ -208,6 +270,7 @@ impl Scheduler {
             disp_cursor_cycle: 0,
             disp_cursor_count: 0,
             stats: SchedStats::default(),
+            usefulness: UsefulnessStats::default(),
         }
     }
 
@@ -234,6 +297,32 @@ impl Scheduler {
     /// Accumulated statistics.
     pub fn stats(&self) -> SchedStats {
         self.stats
+    }
+
+    /// Per-prediction usefulness attribution accumulated so far. Complete
+    /// only after [`Scheduler::finish`] has flushed unconsumed producers.
+    pub fn usefulness(&self) -> &UsefulnessStats {
+        &self.usefulness
+    }
+
+    /// Ends the run: correct predictions still live in the register file —
+    /// issued but never consumed — are flushed as useless. Call once after
+    /// the last instruction; the scheduler must not be reused afterwards
+    /// (the dataflow state is cleared).
+    pub fn finish(&mut self) {
+        for slot in 0..NUM_REGS {
+            if let Some(p) = self.last_writer[slot].take() {
+                self.flush_unconsumed(p);
+            }
+        }
+    }
+
+    /// An overwritten or end-of-run producer: if it carried a correct
+    /// prediction nobody read, the prediction was useless.
+    fn flush_unconsumed(&mut self, p: Producer) {
+        if p.vp == VpDisposition::Correct && !p.consumed {
+            self.usefulness.useless += 1;
+        }
     }
 
     /// Books an execution slot at the earliest cycle >= `candidate`.
@@ -341,9 +430,22 @@ impl Scheduler {
                     repair_time = repair_time.max(p.complete);
                 }
                 VpDisposition::Correct => {
-                    // Usefulness is classified after exec is known, below;
-                    // record the producer for that purpose via a second pass
-                    // marker (complete time retained in `correct_producers`).
+                    // The dependence is freed (no spec_time update). The
+                    // *dependence*-level usefulness is classified after exec
+                    // is known, below; the *prediction*-level attribution is
+                    // decided here by the first consumer: useful iff this
+                    // consumer dispatched before the producer's writeback.
+                    if !p.consumed {
+                        self.last_writer[src as usize] = Some(Producer { consumed: true, ..p });
+                        let did = self.scheduled - p.seq;
+                        if dispatch < p.complete {
+                            self.usefulness.useful += 1;
+                            self.usefulness.did_useful.record(did);
+                        } else {
+                            self.usefulness.useless += 1;
+                            self.usefulness.did_useless.record(did);
+                        }
+                    }
                 }
                 VpDisposition::Wrong => {
                     any_wrong = true;
@@ -408,7 +510,10 @@ impl Scheduler {
 
         let dst = rec.dst_byte();
         if dst != NO_REG {
-            self.last_writer[dst as usize] = Some(Producer { complete, vp });
+            let fresh = Producer { complete, vp, seq: self.scheduled, consumed: false };
+            if let Some(prev) = self.last_writer[dst as usize].replace(fresh) {
+                self.flush_unconsumed(prev);
+            }
         }
 
         self.scheduled += 1;
@@ -610,6 +715,69 @@ mod tests {
         // A load from a different address is unconstrained.
         let other = sched1(&mut s, load(Reg::R5, Reg::R6, 0x200), 0, VpDisposition::None);
         assert_eq!(other.execute, other.dispatch + 1);
+    }
+
+    #[test]
+    fn first_consumer_classifies_a_prediction_once() {
+        let mut s = Scheduler::new(40, None);
+        sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
+        // First consumer dispatches at 1, producer writes back at 3: useful.
+        sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 0, VpDisposition::None);
+        // A second consumer must not re-classify the same prediction.
+        sched1(&mut s, alu(Reg::R3, Reg::R1, Reg::R0), 0, VpDisposition::None);
+        s.finish();
+        let u = s.usefulness();
+        assert_eq!((u.useful, u.useless), (1, 0));
+        assert_eq!(u.did_useful.count(), 1);
+        assert_eq!(u.did_useful.sum(), 1); // DID = 1
+    }
+
+    #[test]
+    fn late_first_consumer_makes_the_prediction_useless() {
+        let mut s = Scheduler::new(40, None);
+        sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
+        // Dispatch at 11, long after the writeback at 3.
+        sched1(&mut s, alu(Reg::R2, Reg::R1, Reg::R0), 10, VpDisposition::None);
+        s.finish();
+        let u = s.usefulness();
+        assert_eq!((u.useful, u.useless), (0, 1));
+        assert_eq!(u.did_useless.count(), 1);
+    }
+
+    #[test]
+    fn unconsumed_correct_predictions_flush_as_useless() {
+        let mut s = Scheduler::new(40, None);
+        // Overwritten before any read.
+        sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
+        sched1(&mut s, alu(Reg::R1, Reg::R0, Reg::R0), 0, VpDisposition::None);
+        // Still live at end of run.
+        sched1(&mut s, alu(Reg::R2, Reg::R0, Reg::R0), 0, VpDisposition::Correct);
+        s.finish();
+        let u = s.usefulness();
+        assert_eq!((u.useful, u.useless), (0, 2));
+        // Unconsumed predictions carry no DID sample.
+        assert_eq!(u.did_useful.count() + u.did_useless.count(), 0);
+    }
+
+    #[test]
+    fn attribution_covers_every_correct_prediction() {
+        let mut s = Scheduler::new(40, None);
+        let dispositions = [
+            VpDisposition::Correct,
+            VpDisposition::Wrong,
+            VpDisposition::Correct,
+            VpDisposition::None,
+            VpDisposition::Correct,
+        ];
+        for (i, vp) in dispositions.iter().enumerate() {
+            let dst = Reg::new((i % 3 + 1) as u8).unwrap();
+            let src = Reg::new((i % 2 + 1) as u8).unwrap();
+            sched1(&mut s, alu(dst, src, Reg::R0), i as u64, *vp);
+        }
+        s.finish();
+        let correct = dispositions.iter().filter(|v| **v == VpDisposition::Correct).count();
+        let u = s.usefulness();
+        assert_eq!(u.useful + u.useless, correct as u64);
     }
 
     #[test]

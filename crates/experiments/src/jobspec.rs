@@ -30,7 +30,7 @@ use fetchvp_metrics::{Json, Registry};
 
 use crate::{
     ablations, accuracy, bench, breakdown, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3,
-    table3_1, ExperimentConfig, Sweep, Table,
+    table3_1, usefulness, ExperimentConfig, Sweep, Table,
 };
 
 /// Upper bound on a served job's `trace_len`.
@@ -62,6 +62,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fig5-3",
     "ablation-predictors",
     "ablation-fetch",
+    "usefulness",
 ];
 
 /// A validated request to run one experiment.
@@ -210,6 +211,7 @@ impl JobSpec {
             "fig5-3" => fig5_3::run_with(sweep).to_table(),
             "ablation-predictors" => ablations::predictor_comparison_with(sweep).to_table(),
             "ablation-fetch" => ablations::fetch_mechanisms_with(sweep).to_table(),
+            "usefulness" => usefulness::run_with(sweep).to_table(),
             other => unreachable!("validated experiment `{other}` has no runner"),
         }
     }

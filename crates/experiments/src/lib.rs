@@ -22,7 +22,10 @@
 //! predictor kind, trace-cache partial matching). The [`mod@bench`] module is
 //! the perf-regression suite and the [`profile`] module attributes its wall
 //! time to the simulator's phases (trace generation / fetch / predict /
-//! schedule).
+//! schedule). The [`usefulness`] module measures the §3.3 mechanism
+//! directly — which correct predictions actually shorten the critical path
+//! at fetch-4 vs fetch-40 — and the [`traceviz`] module exports a
+//! cycle-accurate pipeline witness as Chrome trace-event JSON for Perfetto.
 //!
 //! Every runner takes an [`ExperimentConfig`] (trace length and workload
 //! parameters) and returns structured results plus a markdown [`Table`] for
@@ -64,6 +67,8 @@ pub mod report;
 pub mod sweep;
 pub mod table3_1;
 pub mod table3_2;
+pub mod traceviz;
+pub mod usefulness;
 
 pub use jobspec::{JobOutcome, JobSpec};
 pub use report::Table;

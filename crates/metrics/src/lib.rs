@@ -135,10 +135,53 @@ impl Histogram {
         &self.counts
     }
 
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the bucket
+    /// holding the rank-`⌈q·count⌉` sample — deterministic, derived purely
+    /// from the bucket layout (bucket 0 → 0, bucket `i` → `2^i − 1`). An
+    /// empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if bucket == 0 {
+                    0
+                } else if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+            }
+        }
+        u64::MAX // unreachable: count equals the bucket sum
+    }
+
+    /// The median bucket upper bound ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// The 95th-percentile bucket upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile bucket upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     fn to_json(&self) -> Json {
         Json::object([
             ("count".to_string(), Json::UInt(self.count)),
             ("sum".to_string(), Json::UInt(self.sum)),
+            ("p50".to_string(), Json::UInt(self.p50())),
+            ("p95".to_string(), Json::UInt(self.p95())),
+            ("p99".to_string(), Json::UInt(self.p99())),
             (
                 "log2_buckets".to_string(),
                 Json::Array(self.counts.iter().map(|&c| Json::UInt(c)).collect()),
@@ -218,6 +261,29 @@ impl Registry {
         match self.metrics.entry(key).or_insert_with(|| Metric::Histogram(Histogram::new())) {
             Metric::Histogram(h) => h.record(value),
             other => panic!("metric type conflict: histogram vs {other:?}"),
+        }
+    }
+
+    /// Merges a whole pre-built histogram into `prefix.name` bucket-wise
+    /// (creating it empty) — for exporting distributions accumulated outside
+    /// the registry, such as the schedulers' DID histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already holds a counter or gauge.
+    pub fn histogram(&mut self, prefix: &str, name: &str, value: &Histogram) {
+        let key = Registry::key(prefix, name);
+        match self.metrics.entry(key).or_insert_with(|| Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h.merge(value),
+            other => panic!("metric type conflict: histogram vs {other:?}"),
+        }
+    }
+
+    /// A clone of the histogram stored under `key`, if present.
+    pub fn get_histogram(&self, key: &str) -> Option<Histogram> {
+        match self.metrics.get(key) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
         }
     }
 

@@ -45,7 +45,7 @@ pub mod last_value;
 pub mod stride;
 pub mod table;
 
-pub use banked::{BankedConfig, BankedFrontEnd, BankedStats, SlotOutcome};
+pub use banked::{BankedConfig, BankedFrontEnd, BankedStats, SlotGrant, SlotOutcome};
 pub use counter::{ConfidenceConfig, SaturatingCounter};
 pub use fcm::FcmPredictor;
 pub use hybrid::HybridPredictor;

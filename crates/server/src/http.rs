@@ -23,8 +23,18 @@ pub struct Request {
     /// The request target, e.g. `/jobs/3` (query strings are not split
     /// off; no endpoint takes one).
     pub path: String,
+    /// Request headers as `(name, value)` with names lowercased; values
+    /// are trimmed. Duplicate headers keep every occurrence.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, looked up case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read.
@@ -76,12 +86,15 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_string());
+        if name == "content-length" {
             content_length =
-                value.trim().parse().map_err(|_| RequestError::Malformed("bad Content-Length"))?;
+                value.parse().map_err(|_| RequestError::Malformed("bad Content-Length"))?;
         }
+        headers.push((name, value));
     }
     if content_length > max_body {
         return Err(RequestError::TooLarge("request body"));
@@ -102,21 +115,23 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         }
     }
 
-    Ok(Request { method: method.to_string(), path: path.to_string(), body })
+    Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// An outgoing response: a status code, a JSON body and an optional
-/// `Retry-After` hint (the backpressure signal on `503`).
+/// An outgoing response: a status code, a body with its content type and
+/// an optional `Retry-After` hint (the backpressure signal on `503`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body text.
+    /// Body text.
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: String,
     /// Seconds for a `Retry-After` header, when set.
     pub retry_after: Option<u64>,
 }
@@ -124,12 +139,18 @@ pub struct Response {
 impl Response {
     /// A response with the given status and JSON body.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, body, retry_after: None }
+        Response { status, body, content_type: "application/json".to_string(), retry_after: None }
+    }
+
+    /// A response with an explicit content type (e.g. Prometheus text
+    /// exposition on `/metrics`).
+    pub fn text(status: u16, body: String, content_type: &str) -> Response {
+        Response { status, body, content_type: content_type.to_string(), retry_after: None }
     }
 
     /// A `Retry-After` variant of [`Response::json`].
     pub fn retry_after(status: u16, body: String, seconds: u64) -> Response {
-        Response { status, body, retry_after: Some(seconds) }
+        Response { retry_after: Some(seconds), ..Response::json(status, body) }
     }
 
     /// The standard reason phrase for the status code.
@@ -150,9 +171,10 @@ impl Response {
     /// Serializes the response (with `Connection: close`) onto the stream.
     pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len()
         );
         if let Some(seconds) = self.retry_after {
@@ -206,6 +228,16 @@ mod tests {
     }
 
     #[test]
+    fn headers_are_collected_case_insensitively() {
+        let req = parse_bytes(b"GET /metrics HTTP/1.1\r\nAccept: text/plain\r\nX-Thing: A\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.header("accept"), Some("text/plain"));
+        assert_eq!(req.header("ACCEPT"), Some("text/plain"));
+        assert_eq!(req.header("x-thing"), Some("A"));
+        assert_eq!(req.header("absent"), None);
+    }
+
+    #[test]
     fn rejects_malformed_and_oversized() {
         assert!(matches!(parse_bytes(b"nonsense\r\n\r\n"), Err(RequestError::Malformed(_))));
         assert!(matches!(
@@ -243,5 +275,21 @@ mod tests {
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("{\n  \"error\": \"queue full\"\n}"), "{text}");
+    }
+
+    #[test]
+    fn text_responses_carry_their_content_type() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        Response::text(200, "fetchvp_up 1\n".to_string(), "text/plain; version=0.0.4")
+            .write_to(&mut server_side)
+            .unwrap();
+        drop(server_side);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"), "{text}");
+        assert!(text.ends_with("fetchvp_up 1\n"), "{text}");
     }
 }

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use fetchvp_experiments::{ExperimentConfig, JobSpec, Sweep};
 use fetchvp_metrics::{Json, SharedRegistry};
+use fetchvp_tracing::{log_with, Level};
 
 use http::{error_body, read_request, Request, RequestError, Response};
 use jobs::JobTable;
@@ -257,10 +258,16 @@ fn worker_loop(state: &Shared) {
     }
 }
 
+/// Monotone id shared by every connection handler, for correlating access
+/// log lines (`FETCHVP_LOG=server=info`) across threads.
+static REQUEST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Reads one request, routes it, writes the response, records metrics.
 fn handle_connection(state: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let started = Instant::now();
+    let id = REQUEST_ID.fetch_add(1, Ordering::Relaxed) + 1;
     let response = match read_request(&mut stream, state.config.max_body_bytes) {
         Ok(request) => {
             let response = route(state, &request);
@@ -269,6 +276,14 @@ fn handle_connection(state: &Shared, mut stream: TcpStream) {
                 &format!("{}.{}", endpoint_label(&request.path), response.status),
                 1,
             );
+            let micros = started.elapsed().as_micros() as u64;
+            state.metrics.observe("server", "request_latency_us", micros);
+            log_with("server.http", Level::Info, || {
+                format!(
+                    "req={id} {} {} -> {} in {micros}us",
+                    request.method, request.path, response.status
+                )
+            });
             response
         }
         Err(RequestError::Io(_)) => {
@@ -308,7 +323,7 @@ fn endpoint_label(path: &str) -> &'static str {
 fn route(state: &Shared, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
-        ("GET", "/metrics") => metrics_snapshot(state),
+        ("GET", "/metrics") => metrics_snapshot(state, request),
         ("POST", "/run") => submit(state, &request.body),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
@@ -349,7 +364,15 @@ fn healthz(state: &Shared) -> Response {
     Response::json(200, body.to_json())
 }
 
-fn metrics_snapshot(state: &Shared) -> Response {
+/// Whether the request's `Accept` header asks for Prometheus text
+/// exposition rather than the default JSON snapshot.
+fn wants_prometheus(request: &Request) -> bool {
+    request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("text/plain") || accept.contains("openmetrics"))
+}
+
+fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
     // Point-in-time gauges, refreshed at scrape time like Prometheus
     // collectors do; counters accumulate across the daemon's lifetime.
     state.metrics.gauge("server.queue", "depth", state.queue.len() as f64);
@@ -361,7 +384,15 @@ fn metrics_snapshot(state: &Shared) -> Response {
     // `server.started` (recorded at bind) guarantees the `server.*`
     // namespace is present even in the very first scrape; this request's
     // own counter lands in the *next* snapshot via handle_connection.
-    Response::json(200, state.metrics.snapshot().to_json().to_json())
+    let snapshot = state.metrics.snapshot();
+    if wants_prometheus(request) {
+        return Response::text(
+            200,
+            fetchvp_tracing::prom::render(&snapshot),
+            fetchvp_tracing::prom::CONTENT_TYPE,
+        );
+    }
+    Response::json(200, snapshot.to_json().to_json())
 }
 
 fn submit(state: &Shared, body: &[u8]) -> Response {
@@ -475,7 +506,12 @@ mod tests {
     fn get(state: &Shared, path: &str) -> Response {
         route(
             state,
-            &Request { method: "GET".to_string(), path: path.to_string(), body: Vec::new() },
+            &Request {
+                method: "GET".to_string(),
+                path: path.to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
         )
     }
 
@@ -485,6 +521,7 @@ mod tests {
             &Request {
                 method: "POST".to_string(),
                 path: path.to_string(),
+                headers: Vec::new(),
                 body: body.as_bytes().to_vec(),
             },
         )
@@ -556,6 +593,34 @@ mod tests {
         let snapshot = state.metrics.snapshot();
         assert_eq!(snapshot.get_counter("server.jobs.completed"), Some(1));
         assert_eq!(snapshot.get_counter("server.sweep_pool.misses"), Some(1));
+    }
+
+    #[test]
+    fn metrics_negotiates_prometheus_exposition() {
+        let state = test_state(4);
+        state.metrics.counter("server", "started", 1); // recorded by bind()
+        let json = get(&state, "/metrics");
+        assert_eq!(json.status, 200);
+        assert_eq!(json.content_type, "application/json");
+        Json::parse(&json.body).expect("default /metrics body stays JSON");
+
+        let prom = route(
+            &state,
+            &Request {
+                method: "GET".to_string(),
+                path: "/metrics".to_string(),
+                headers: vec![("accept".to_string(), "text/plain".to_string())],
+                body: Vec::new(),
+            },
+        );
+        assert_eq!(prom.status, 200);
+        assert_eq!(prom.content_type, fetchvp_tracing::prom::CONTENT_TYPE);
+        assert!(
+            prom.body.lines().any(|l| l == "fetchvp_server_started 1"),
+            "exposition must carry the started counter:\n{}",
+            prom.body
+        );
+        assert!(prom.body.contains("# TYPE fetchvp_server_started counter"), "{}", prom.body);
     }
 
     #[test]

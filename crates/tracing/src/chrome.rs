@@ -1,0 +1,130 @@
+//! Deterministic Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! The [trace-event format] is the JSON dialect understood by Perfetto and
+//! `chrome://tracing`: an object with a `traceEvents` array whose entries
+//! carry a phase (`ph`), timestamps in microseconds, and a `pid`/`tid`
+//! pair selecting the track. We map one simulated cycle to one microsecond
+//! and one [`Lane`] to one thread, so the UI shows the pipeline as stacked
+//! per-stage tracks on a cycle axis.
+//!
+//! [trace-event format]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::witness::{Event, EventKind, Lane};
+use fetchvp_metrics::Json;
+
+/// Renders events as a Chrome trace-event document.
+///
+/// Events are stably sorted by `(lane, ts)` before export, so every lane's
+/// timestamps are monotonically non-decreasing regardless of capture order
+/// (writeback events, for example, are captured in trace order but complete
+/// out of order). The output is deterministic: same events in, same JSON
+/// out, byte for byte.
+pub fn chrome_trace(events: &[Event], process_name: &str) -> Json {
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.lane, e.ts));
+
+    let mut out: Vec<Json> = Vec::with_capacity(sorted.len() + 1 + Lane::ALL.len());
+    out.push(meta(0, "process_name", process_name));
+    for lane in Lane::ALL {
+        out.push(meta(lane.tid(), "thread_name", lane.name()));
+    }
+    out.extend(sorted.into_iter().map(event_json));
+    Json::object([("traceEvents".to_string(), Json::Array(out))])
+}
+
+fn str_json(s: &str) -> Json {
+    Json::Str(s.to_string())
+}
+
+fn meta(tid: u64, name: &str, value: &str) -> Json {
+    Json::object([
+        ("name".to_string(), str_json(name)),
+        ("ph".to_string(), str_json("M")),
+        ("pid".to_string(), Json::UInt(1)),
+        ("tid".to_string(), Json::UInt(tid)),
+        ("args".to_string(), Json::object([("name".to_string(), str_json(value))])),
+    ])
+}
+
+fn event_json(ev: &Event) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("name".to_string(), str_json(ev.name)),
+        ("cat".to_string(), str_json("pipeline")),
+        ("pid".to_string(), Json::UInt(1)),
+        ("tid".to_string(), Json::UInt(ev.lane.tid())),
+        ("ts".to_string(), Json::UInt(ev.ts)),
+    ];
+    match ev.kind {
+        EventKind::Span => {
+            pairs.push(("ph".to_string(), str_json("X")));
+            pairs.push(("dur".to_string(), Json::UInt(ev.dur)));
+            pairs.push(("args".to_string(), args(ev)));
+        }
+        EventKind::Instant => {
+            pairs.push(("ph".to_string(), str_json("i")));
+            // Thread-scoped instant: drawn inside the lane, not full-height.
+            pairs.push(("s".to_string(), str_json("t")));
+            pairs.push(("args".to_string(), args(ev)));
+        }
+        EventKind::Counter => {
+            pairs.push(("ph".to_string(), str_json("C")));
+            pairs.push((
+                "args".to_string(),
+                Json::object([("value".to_string(), Json::UInt(ev.seq))]),
+            ));
+        }
+    }
+    Json::object(pairs)
+}
+
+fn args(ev: &Event) -> Json {
+    Json::object([("seq".to_string(), Json::UInt(ev.seq)), ("pc".to_string(), Json::UInt(ev.pc))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::EventSink;
+    use crate::Ring;
+
+    #[test]
+    fn output_parses_and_sorts_each_lane_monotonically() {
+        let mut ring = Ring::new(8);
+        // Captured out of ts order within the Issue lane.
+        ring.record(Event::span(Lane::Issue, 5, 1, "instr", 1, 0x10));
+        ring.record(Event::span(Lane::Issue, 3, 1, "instr", 2, 0x14));
+        ring.record(Event::instant(Lane::Predict, 4, "vp_correct", 2, 0x14));
+        let doc = chrome_trace(&ring.drain(), "test");
+        let text = doc.to_json();
+        let parsed = Json::parse(&text).expect("chrome trace must be valid JSON");
+        let events = match parsed.get("traceEvents") {
+            Some(Json::Array(items)) => items,
+            other => panic!("expected traceEvents array, got {other:?}"),
+        };
+        // 1 process + 7 lane metadata events + 3 captured events.
+        assert_eq!(events.len(), 1 + Lane::ALL.len() + 3);
+        let mut last_ts: Vec<Option<u64>> = vec![None; Lane::ALL.len() + 2];
+        for ev in events {
+            if ev.get("ph").and_then(Json::as_str) == Some("M") {
+                continue;
+            }
+            let tid = ev.get("tid").and_then(Json::as_u64).unwrap() as usize;
+            let ts = ev.get("ts").and_then(Json::as_u64).unwrap();
+            assert!(last_ts[tid].is_none_or(|prev| prev <= ts), "lane {tid} not monotone");
+            last_ts[tid] = Some(ts);
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![
+            Event::counter(Lane::Window, 2, "occupancy", 7),
+            Event::span(Lane::Fetch, 0, 1, "instr", 0, 0x4),
+        ];
+        let a = chrome_trace(&events, "p").to_json();
+        let b = chrome_trace(&events, "p").to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"ph\": \"C\"") || a.contains("\"ph\":\"C\""));
+    }
+}

@@ -1,0 +1,221 @@
+//! `FETCHVP_LOG` parsing and the global leveled log entry point.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+/// Log severity, from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Unrecoverable or clearly-wrong conditions.
+    Error,
+    /// Suspicious conditions the run survives.
+    Warn,
+    /// High-level progress (one line per request / experiment).
+    Info,
+    /// Per-operation detail.
+    Debug,
+    /// Per-instruction / per-cycle detail.
+    Trace,
+}
+
+impl Level {
+    /// Fixed-width upper-case name (`ERROR`, `WARN`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses a level name case-insensitively (`None` for unknown names).
+    pub fn parse(text: &str) -> Option<Level> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+/// A parsed `FETCHVP_LOG` spec: a default maximum level plus per-target
+/// overrides.
+///
+/// Grammar (comma-separated directives, whitespace ignored):
+///
+/// - `off` — disable everything (also the behaviour when the variable is
+///   unset or empty);
+/// - `<level>` — set the default maximum level (`error`…`trace`);
+/// - `<target>=<level>` / `<target>=off` — override one target and its
+///   dot-separated children (`server=debug` also enables `server.http`).
+///
+/// Unknown level names are ignored rather than rejected, so a typo degrades
+/// to "no directive" instead of killing the process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Filter {
+    default: Option<Level>,
+    directives: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    /// The all-off filter (everything disabled).
+    pub fn off() -> Filter {
+        Filter::default()
+    }
+
+    /// Parses a spec string (see the type-level grammar).
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            match token.split_once('=') {
+                None => {
+                    if token.eq_ignore_ascii_case("off") {
+                        filter.default = None;
+                    } else if let Some(level) = Level::parse(token) {
+                        filter.default = Some(level);
+                    }
+                }
+                Some((target, level)) => {
+                    let target = target.trim();
+                    if target.is_empty() {
+                        continue;
+                    }
+                    if level.trim().eq_ignore_ascii_case("off") {
+                        filter.directives.push((target.to_string(), None));
+                    } else if let Some(level) = Level::parse(level) {
+                        filter.directives.push((target.to_string(), Some(level)));
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    /// Parses the `FETCHVP_LOG` environment variable (unset / empty → off).
+    pub fn from_env() -> Filter {
+        match std::env::var("FETCHVP_LOG") {
+            Ok(spec) => Filter::parse(&spec),
+            Err(_) => Filter::off(),
+        }
+    }
+
+    /// Whether `level` messages for `target` pass the filter. The most
+    /// specific matching directive wins; the default level applies
+    /// otherwise.
+    pub fn enabled(&self, target: &str, level: Level) -> bool {
+        let mut best: Option<(usize, Option<Level>)> = None;
+        for (name, max) in &self.directives {
+            let matches = target == name
+                || (target.len() > name.len()
+                    && target.starts_with(name.as_str())
+                    && target.as_bytes()[name.len()] == b'.');
+            if matches && best.is_none_or(|(len, _)| name.len() >= len) {
+                best = Some((name.len(), *max));
+            }
+        }
+        let max = match best {
+            Some((_, max)) => max,
+            None => self.default,
+        };
+        max.is_some_and(|max| level <= max)
+    }
+}
+
+static GLOBAL: OnceLock<Filter> = OnceLock::new();
+
+/// The process-wide filter, initialised from `FETCHVP_LOG` on first use.
+fn global() -> &'static Filter {
+    GLOBAL.get_or_init(Filter::from_env)
+}
+
+/// Whether `level` messages for `target` would be emitted.
+pub fn enabled(target: &str, level: Level) -> bool {
+    global().enabled(target, level)
+}
+
+/// Emits one log line to stderr if `(target, level)` passes the global
+/// filter. The message closure is only invoked when enabled, so a disabled
+/// call costs one filter lookup — no formatting, no allocation.
+pub fn log_with(target: &str, level: Level, message: impl FnOnce() -> String) {
+    if enabled(target, level) {
+        let line = format!("[{level:<5} {target}] {}\n", message());
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_and_off_disable_everything() {
+        for filter in [Filter::off(), Filter::parse(""), Filter::parse("off")] {
+            assert!(!filter.enabled("server", Level::Error));
+            assert!(!filter.enabled("sched", Level::Trace));
+        }
+    }
+
+    #[test]
+    fn bare_level_sets_the_default() {
+        let filter = Filter::parse("info");
+        assert!(filter.enabled("anything", Level::Error));
+        assert!(filter.enabled("anything", Level::Info));
+        assert!(!filter.enabled("anything", Level::Debug));
+    }
+
+    #[test]
+    fn target_directives_override_the_default() {
+        let filter = Filter::parse("warn,server=debug,sched=off");
+        assert!(filter.enabled("server", Level::Debug));
+        assert!(filter.enabled("server.http", Level::Debug));
+        assert!(!filter.enabled("server.http", Level::Trace));
+        assert!(!filter.enabled("sched", Level::Error));
+        assert!(filter.enabled("fetch", Level::Warn));
+        assert!(!filter.enabled("fetch", Level::Info));
+    }
+
+    #[test]
+    fn most_specific_directive_wins() {
+        let filter = Filter::parse("server=error,server.http=trace");
+        assert!(filter.enabled("server.http", Level::Trace));
+        assert!(!filter.enabled("server.jobs", Level::Info));
+    }
+
+    #[test]
+    fn prefix_match_requires_a_dot_boundary() {
+        let filter = Filter::parse("sched=trace");
+        assert!(filter.enabled("sched.window", Level::Trace));
+        assert!(!filter.enabled("scheduler", Level::Error));
+    }
+
+    #[test]
+    fn unknown_levels_are_ignored() {
+        let filter = Filter::parse("bogus,server=verbose,info");
+        assert!(filter.enabled("server", Level::Info));
+        assert!(!filter.enabled("server", Level::Debug));
+    }
+
+    #[test]
+    fn levels_parse_case_insensitively_and_order_by_severity() {
+        assert_eq!(Level::parse("TRACE"), Some(Level::Trace));
+        assert_eq!(Level::parse("Warning"), Some(Level::Warn));
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(format!("{:<5}", Level::Warn), "WARN ");
+    }
+}

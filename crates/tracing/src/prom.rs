@@ -1,0 +1,122 @@
+//! Prometheus text exposition over a [`fetchvp_metrics::Registry`].
+//!
+//! Renders the registry in the [text-based exposition format] version
+//! 0.0.4: counters and gauges as single samples, histograms as
+//! summary-style quantile samples (`{quantile="0.5"}` / `0.95` / `0.99`,
+//! derived deterministically from the log₂ bucket layout) plus `_sum` and
+//! `_count`. Dotted metric keys are sanitised to underscores and prefixed
+//! with `fetchvp_`, so `server.jobs_completed` becomes
+//! `fetchvp_server_jobs_completed`.
+//!
+//! [text-based exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use fetchvp_metrics::{Metric, Registry};
+use std::fmt::Write as _;
+
+/// The `Content-Type` a Prometheus scraper expects for this format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a dotted registry key to a Prometheus metric name.
+pub fn metric_name(key: &str) -> String {
+    let mut name = String::with_capacity(key.len() + 8);
+    name.push_str("fetchvp_");
+    for c in key.chars() {
+        if c.is_ascii_alphanumeric() {
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
+fn float(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders the whole registry as Prometheus exposition text.
+///
+/// Deterministic: the registry iterates in sorted key order and every
+/// number formats identically run to run.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (key, metric) in registry.iter() {
+        let name = metric_name(key);
+        match metric {
+            Metric::Counter(n) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {n}");
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", float(*g));
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} summary");
+                for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                }
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitises_dotted_keys() {
+        assert_eq!(metric_name("server.jobs_completed"), "fetchvp_server_jobs_completed");
+        assert_eq!(metric_name("machine.did_hist.useful"), "fetchvp_machine_did_hist_useful");
+    }
+
+    #[test]
+    fn renders_all_three_metric_kinds() {
+        let mut reg = Registry::new();
+        reg.counter("server", "requests", 3);
+        reg.gauge("machine", "ipc", 2.5);
+        for v in [1, 2, 3, 100] {
+            reg.observe("server", "request_latency_us", v);
+        }
+        let text = render(&reg);
+        assert!(
+            text.contains("# TYPE fetchvp_server_requests counter\nfetchvp_server_requests 3\n")
+        );
+        assert!(text.contains("# TYPE fetchvp_machine_ipc gauge\nfetchvp_machine_ipc 2.5\n"));
+        assert!(text.contains("# TYPE fetchvp_server_request_latency_us summary"));
+        assert!(text.contains("fetchvp_server_request_latency_us{quantile=\"0.5\"} "));
+        assert!(text.contains("fetchvp_server_request_latency_us_sum 106\n"));
+        assert!(text.contains("fetchvp_server_request_latency_us_count 4\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_style() {
+        let mut reg = Registry::new();
+        reg.gauge("x", "nan", f64::NAN);
+        reg.gauge("x", "inf", f64::INFINITY);
+        let text = render(&reg);
+        assert!(text.contains("fetchvp_x_nan NaN"));
+        assert!(text.contains("fetchvp_x_inf +Inf"));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let mut reg = Registry::new();
+        reg.counter("a", "b", 1);
+        reg.observe("c", "d", 9);
+        assert_eq!(render(&reg), render(&reg));
+    }
+}

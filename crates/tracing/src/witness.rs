@@ -1,0 +1,244 @@
+//! Pipeline witness events and the drop-oldest ring buffer.
+
+/// A pipeline lane — one horizontal track in the exported trace.
+///
+/// The discriminant order is the display order (top to bottom in Perfetto).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Instructions entering the front end.
+    Fetch,
+    /// Instructions entering the scheduling window.
+    Dispatch,
+    /// Instructions beginning execution.
+    Issue,
+    /// Results written back / available for bypass.
+    Writeback,
+    /// Value-prediction outcomes (correct / wrong instants).
+    Predict,
+    /// Address-router bank conflicts in the banked predictor.
+    BankConflict,
+    /// Derived counters (window occupancy).
+    Window,
+}
+
+impl Lane {
+    /// Every lane, in display order.
+    pub const ALL: [Lane; 7] = [
+        Lane::Fetch,
+        Lane::Dispatch,
+        Lane::Issue,
+        Lane::Writeback,
+        Lane::Predict,
+        Lane::BankConflict,
+        Lane::Window,
+    ];
+
+    /// Human-readable lane name used for Chrome `thread_name` metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Fetch => "fetch",
+            Lane::Dispatch => "dispatch",
+            Lane::Issue => "issue",
+            Lane::Writeback => "writeback",
+            Lane::Predict => "predict",
+            Lane::BankConflict => "bank_conflict",
+            Lane::Window => "window",
+        }
+    }
+
+    /// The Chrome `tid` assigned to this lane (1-based; 0 is the process).
+    pub fn tid(self) -> u64 {
+        self as u64 + 1
+    }
+}
+
+/// How an [`Event`] renders in the Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A duration (`ph: "X"`) — e.g. an instruction occupying a stage.
+    Span,
+    /// A point-in-time marker (`ph: "i"`) — e.g. a prediction outcome.
+    Instant,
+    /// A sampled counter (`ph: "C"`) — e.g. window occupancy.
+    Counter,
+}
+
+/// One captured pipeline event. `Copy` and allocation-free by design: the
+/// hot path moves 7 machine words into a preallocated ring, nothing more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Start cycle (exported as microseconds: 1 cycle = 1 µs).
+    pub ts: u64,
+    /// Duration in cycles (0 for instants and counters).
+    pub dur: u64,
+    /// The lane this event belongs to.
+    pub lane: Lane,
+    /// Render style in the exported trace.
+    pub kind: EventKind,
+    /// Event name (static so capture never allocates).
+    pub name: &'static str,
+    /// Dynamic instruction sequence number — or the sampled value for
+    /// [`EventKind::Counter`] events.
+    pub seq: u64,
+    /// Program counter (0 when not applicable).
+    pub pc: u64,
+}
+
+impl Event {
+    /// A duration event covering cycles `[ts, ts + dur)`.
+    pub fn span(lane: Lane, ts: u64, dur: u64, name: &'static str, seq: u64, pc: u64) -> Event {
+        Event { ts, dur, lane, kind: EventKind::Span, name, seq, pc }
+    }
+
+    /// A point-in-time event at cycle `ts`.
+    pub fn instant(lane: Lane, ts: u64, name: &'static str, seq: u64, pc: u64) -> Event {
+        Event { ts, dur: 0, lane, kind: EventKind::Instant, name, seq, pc }
+    }
+
+    /// A counter sample: at cycle `ts`, `name` has `value`.
+    pub fn counter(lane: Lane, ts: u64, name: &'static str, value: u64) -> Event {
+        Event { ts, dur: 0, lane, kind: EventKind::Counter, name, seq: value, pc: 0 }
+    }
+}
+
+/// Anything that can absorb captured events.
+///
+/// The simulators take `Option<&mut dyn EventSink>`; passing `None` is the
+/// zero-cost disabled path (one predictable branch per instruction, no
+/// allocation, no formatting).
+pub trait EventSink {
+    /// Records one event.
+    fn record(&mut self, ev: Event);
+}
+
+impl EventSink for Vec<Event> {
+    fn record(&mut self, ev: Event) {
+        self.push(ev);
+    }
+}
+
+/// A bounded, single-owner ring buffer of [`Event`]s.
+///
+/// On overflow the **oldest** event is dropped and counted — a witness
+/// window that always shows the most recent activity, never blocks, and
+/// reports exactly how much history it lost. Each simulation run owns its
+/// own ring (sweep workers never share one), so capture needs no locks.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event when the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// An empty ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        Ring { buf: Vec::with_capacity(capacity), capacity, head: 0, dropped: 0 }
+    }
+
+    /// Appends an event, dropping (and counting) the oldest on overflow.
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events evicted by overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all events in arrival order (oldest first).
+    pub fn drain(&mut self) -> Vec<Event> {
+        let head = std::mem::take(&mut self.head);
+        let mut events = std::mem::replace(&mut self.buf, Vec::with_capacity(self.capacity));
+        events.rotate_left(head);
+        events
+    }
+}
+
+impl EventSink for Ring {
+    fn record(&mut self, ev: Event) {
+        self.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> Event {
+        Event::instant(Lane::Fetch, ts, "e", ts, 0)
+    }
+
+    #[test]
+    fn ring_keeps_arrival_order_below_capacity() {
+        let mut ring = Ring::new(4);
+        for t in 0..3 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0);
+        let ts: Vec<u64> = ring.drain().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_on_overflow() {
+        let mut ring = Ring::new(3);
+        for t in 0..7 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 4);
+        let ts: Vec<u64> = ring.drain().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![4, 5, 6]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn drain_resets_the_ring_for_reuse() {
+        let mut ring = Ring::new(2);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert_eq!(ring.drain().len(), 2);
+        ring.push(ev(9));
+        assert_eq!(ring.drain().first().map(|e| e.ts), Some(9));
+    }
+
+    #[test]
+    fn lane_tids_are_unique_and_nonzero() {
+        let mut tids: Vec<u64> = Lane::ALL.iter().map(|l| l.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), Lane::ALL.len());
+        assert!(tids.iter().all(|&t| t > 0));
+    }
+}

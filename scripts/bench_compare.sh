@@ -20,6 +20,18 @@ old=$1
 new=$2
 threshold=${3:-15}
 
+# A missing baseline is the expected state of a fresh checkout (the first
+# bench run creates it) — nothing to gate against, so pass with a notice.
+if [[ ! -f "$old" ]]; then
+    echo "bench_compare: baseline '$old' not found — nothing to compare against (pass)"
+    echo "bench_compare: create one with: cargo run --release -p fetchvp-cli -- bench --quick --out '$old'"
+    exit 0
+fi
+if [[ ! -f "$new" ]]; then
+    echo "bench_compare: new report '$new' not found" >&2
+    exit 2
+fi
+
 bin=target/release/fetchvp-cli
 if [[ ! -x "$bin" ]]; then
     echo "== building fetchvp-cli (release)"

@@ -67,6 +67,30 @@ echo "$METRICS" | grep -q '"server.jobs.completed": 1'
 echo "$METRICS" | grep -q '"sched\.'
 echo "$METRICS" | grep -q '"trace\.'
 
+# http_prom PATH — GET with an Accept header asking for Prometheus text
+# exposition; prints headers and body so the content type is assertable.
+http_prom() {
+    local path=$1
+    if command -v curl >/dev/null; then
+        curl -sS -i -H 'Accept: text/plain' "http://$ADDR$path"
+    else
+        exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+        printf 'GET %s HTTP/1.1\r\nHost: %s\r\nAccept: text/plain\r\n\r\n' \
+            "$path" "$ADDR" >&3
+        cat <&3
+        exec 3<&-
+    fi
+}
+
+echo "== serve: GET /metrics (Prometheus exposition)"
+PROM=$(http_prom /metrics)
+echo "$PROM" | grep -qi 'content-type: text/plain; version=0.0.4' \
+    || { echo "missing Prometheus content type:"; echo "$PROM" | head -5; exit 1; }
+echo "$PROM" | grep -q '^fetchvp_server_jobs_completed 1' \
+    || { echo "missing fetchvp_server_jobs_completed counter:"; echo "$PROM" | head -30; exit 1; }
+echo "$PROM" | grep -q '^# TYPE fetchvp_server_jobs_completed counter' \
+    || { echo "missing TYPE line:"; echo "$PROM" | head -30; exit 1; }
+
 echo "== serve: POST /shutdown"
 http POST /shutdown | grep -q "shutting down"
 wait "$PID"

@@ -2,7 +2,8 @@
 //! trace length. These are the headline claims the reproduction must hold.
 
 use fetchvp_experiments::{
-    fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3, table3_1, table3_2, ExperimentConfig,
+    fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3, table3_1, table3_2, usefulness,
+    ExperimentConfig,
 };
 
 fn cfg() -> ExperimentConfig {
@@ -130,4 +131,23 @@ fn figure5_3_trace_cache_value_prediction() {
     // the ideal-BTB bound is higher.
     assert!(two_level > 0.10, "TC+2level average {two_level:.3}");
     assert!(ideal > two_level, "TC+ideal {ideal:.3} vs TC+2level {two_level:.3}");
+}
+
+#[test]
+fn usefulness_breakdown_follows_fetch_bandwidth() {
+    let r = usefulness::run(&cfg());
+    assert_eq!(r.rows.len(), 9);
+    // §3.3's mechanism: bandwidth converts correct predictions from
+    // useless to useful, on average and for every benchmark.
+    let (narrow, wide) = (r.average_useful_narrow(), r.average_useful_wide());
+    assert!(wide > narrow, "fetch-40 useful {wide:.3} <= fetch-4 useful {narrow:.3}");
+    for (name, row) in &r.rows {
+        assert!(row.correct > 0, "{name}: no correct predictions");
+        assert!(
+            row.useful_wide >= row.useful_narrow - 0.03,
+            "{name}: usefulness fell with bandwidth ({:.3} -> {:.3})",
+            row.useful_narrow,
+            row.useful_wide
+        );
+    }
 }
