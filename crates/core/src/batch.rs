@@ -1,0 +1,542 @@
+//! The batch simulation kernel: one pass over a trace advances many
+//! machine configurations in lockstep.
+//!
+//! Every figure and ablation in the paper is a cartesian product of
+//! benchmarks × machine configurations, and before this module each cell
+//! re-walked its trace from scratch. [`run_batch`] instead walks the
+//! shared [`Trace`] **once** per batch, stepping each configuration's
+//! `Pipeline` at every trace slot, so the structure-of-arrays pc/result
+//! columns are read once per batch and stay hot in cache while the (small)
+//! predictor tables and scheduler state of each config are advanced.
+//!
+//! The serial machines are thin wrappers over the same stepper:
+//! [`IdealMachine::run`](crate::IdealMachine::run) and
+//! [`RealisticMachine::run_traced`](crate::RealisticMachine::run_traced)
+//! construct a single `Pipeline` and drive it to completion, which is
+//! what makes batch-vs-serial byte-identity a structural property rather
+//! than a testing aspiration (the differential test in
+//! `fetchvp-experiments` checks it anyway).
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_core::{run_batch, IdealConfig, MachineConfig, VpConfig};
+//! use fetchvp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+//! use fetchvp_trace::trace_program;
+//!
+//! # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+//! let mut b = ProgramBuilder::new("chain");
+//! b.load_imm(Reg::R1, 0);
+//! b.load_imm(Reg::R2, 1_000);
+//! let head = b.bind_label("head");
+//! b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 3);
+//! b.branch(Cond::Lt, Reg::R1, Reg::R2, head);
+//! b.halt();
+//! let trace = trace_program(&b.build()?, 10_000);
+//!
+//! // One walk of the trace, two machines.
+//! let configs = [
+//!     MachineConfig::Ideal(IdealConfig { fetch_rate: 16, ..IdealConfig::default() }),
+//!     MachineConfig::Ideal(IdealConfig {
+//!         fetch_rate: 16,
+//!         vp: VpConfig::stride_infinite(),
+//!         ..IdealConfig::default()
+//!     }),
+//! ];
+//! let results = run_batch(&trace, &configs);
+//! assert!(results[1].ipc() >= results[0].ipc());
+//! # Ok(())
+//! # }
+//! ```
+
+use fetchvp_fetch::FetchEngine;
+use fetchvp_predictor::{BankedFrontEnd, SlotGrant, ValuePredictor};
+use fetchvp_trace::{Trace, TraceView};
+use fetchvp_tracing::{Event, EventSink, Lane};
+
+use crate::ideal::{disposition_for, IdealConfig};
+use crate::realistic::RealisticConfig;
+use crate::sched::{Scheduler, VpDisposition};
+use crate::vp::VpConfig;
+use crate::MachineResult;
+
+/// One machine configuration a [`run_batch`] call can advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineConfig {
+    /// The §3 ideal (implementation-independent) machine.
+    Ideal(IdealConfig),
+    /// The §5 realistic machine.
+    Realistic(RealisticConfig),
+}
+
+impl From<IdealConfig> for MachineConfig {
+    fn from(config: IdealConfig) -> MachineConfig {
+        MachineConfig::Ideal(config)
+    }
+}
+
+impl From<RealisticConfig> for MachineConfig {
+    fn from(config: RealisticConfig) -> MachineConfig {
+        MachineConfig::Realistic(config)
+    }
+}
+
+/// The value-prediction path of one pipeline: an optional real predictor,
+/// optionally behind the §4 banked front-end.
+enum ValuePath {
+    Banked(BankedFrontEnd<Box<dyn ValuePredictor>>),
+    Plain(Option<Box<dyn ValuePredictor>>),
+}
+
+/// The fetch front-end state of one pipeline. The ideal machine's fetch is
+/// a pure function of the slot index; the realistic machine carries the
+/// fetch engine plus the in-flight group's bookkeeping between steps.
+enum Front {
+    Ideal {
+        fetch_rate: usize,
+    },
+    Realistic {
+        engine: Box<dyn FetchEngine>,
+        issue_width: usize,
+        branch_penalty: u64,
+        /// Cycle the current fetch group was fetched in.
+        fetch_cycle: u64,
+        /// Trace index of the current group's first instruction.
+        group_start: usize,
+        /// Trace index one past the current group's last instruction; a
+        /// step at this index fetches the next group.
+        group_end: usize,
+        /// Index within the group of a mispredicted control transfer.
+        mispredict: Option<usize>,
+        /// Cycle fetch may resume after the group's misprediction.
+        resume_after: Option<u64>,
+        /// Per-group scratch, allocated once and reused every group.
+        dispositions: Vec<VpDisposition>,
+        pcs: Vec<u64>,
+        /// Bank conflicts of the current group (tracing runs only).
+        conflicts: Vec<(u64, u32)>,
+    },
+}
+
+/// One machine configuration's complete execution state, advanced one
+/// trace slot at a time so many pipelines can share a single trace walk.
+pub(crate) struct Pipeline {
+    sched: Scheduler,
+    vp_mode: VpConfig,
+    value_path: ValuePath,
+    front: Front,
+}
+
+impl Pipeline {
+    /// Builds the execution state for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the corresponding machine
+    /// constructor: a zero fetch rate, window or issue width.
+    pub(crate) fn new(config: &MachineConfig) -> Pipeline {
+        match *config {
+            MachineConfig::Ideal(cfg) => {
+                assert!(cfg.fetch_rate > 0, "fetch rate must be positive");
+                assert!(cfg.window > 0, "window must be positive");
+                let mut sched = Scheduler::new(cfg.window, Some(cfg.fetch_rate));
+                sched.set_exec_width(cfg.exec_units);
+                sched.set_memory_deps(cfg.memory_deps);
+                let vp = match cfg.vp {
+                    VpConfig::Predictor(kind) => Some(kind.build()),
+                    _ => None,
+                };
+                Pipeline {
+                    sched,
+                    vp_mode: cfg.vp,
+                    value_path: ValuePath::Plain(vp),
+                    front: Front::Ideal { fetch_rate: cfg.fetch_rate },
+                }
+            }
+            MachineConfig::Realistic(cfg) => {
+                assert!(cfg.window > 0, "window must be positive");
+                assert!(cfg.issue_width > 0, "issue width must be positive");
+                let mut sched = Scheduler::with_value_penalty(
+                    cfg.window,
+                    Some(cfg.issue_width),
+                    cfg.value_penalty,
+                );
+                sched.set_exec_width(cfg.exec_units);
+                sched.set_memory_deps(cfg.memory_deps);
+                let predictor = match cfg.vp {
+                    VpConfig::Predictor(kind) => Some(kind.build()),
+                    _ => None,
+                };
+                let value_path = match (predictor, cfg.banked) {
+                    (Some(p), Some(bcfg)) => ValuePath::Banked(BankedFrontEnd::new(bcfg, p)),
+                    (p, _) => ValuePath::Plain(p),
+                };
+                Pipeline {
+                    sched,
+                    vp_mode: cfg.vp,
+                    value_path,
+                    front: Front::Realistic {
+                        engine: cfg.front_end.build(),
+                        issue_width: cfg.issue_width,
+                        branch_penalty: cfg.branch_penalty,
+                        fetch_cycle: 0,
+                        group_start: 0,
+                        group_end: 0,
+                        mispredict: None,
+                        resume_after: None,
+                        dispositions: Vec::new(),
+                        pcs: Vec::new(),
+                        conflicts: Vec::new(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Advances this pipeline over the trace slots `start..end`. Callers
+    /// must cover every slot of `view` exactly once, in order (any block
+    /// partitioning), before calling [`Pipeline::finish`]. The sink is
+    /// passed as `&mut Option<…>` so a tracing caller can lend the same
+    /// sink to every block.
+    ///
+    /// The front-end and value-path variants are resolved once per block,
+    /// not per slot — at one trace slot per call the dispatch overhead
+    /// dominates the work, and the batch loop tiles thousands of slots per
+    /// call precisely so it doesn't.
+    pub(crate) fn run_block(
+        &mut self,
+        view: TraceView<'_>,
+        start: usize,
+        end: usize,
+        sink: &mut Option<&mut dyn EventSink>,
+    ) {
+        let Pipeline { sched, vp_mode, value_path, front } = self;
+        match front {
+            Front::Ideal { fetch_rate } => {
+                let ValuePath::Plain(predictor) = value_path else {
+                    unreachable!("the ideal machine has no banked path")
+                };
+                for rec in view.slots_in(start..end) {
+                    let fetch_cycle = (rec.index() / *fetch_rate) as u64;
+                    let disposition = disposition_for(rec, vp_mode, predictor);
+                    sched.schedule(rec, fetch_cycle, disposition);
+                }
+            }
+            Front::Realistic {
+                engine,
+                issue_width,
+                branch_penalty,
+                fetch_cycle,
+                group_start,
+                group_end,
+                mispredict,
+                resume_after,
+                dispositions,
+                pcs,
+                conflicts,
+            } => {
+                // Group-at-a-time, clamped to the block: a group that spans
+                // the block boundary is resumed by the next call, its
+                // bookkeeping deferred until its last slot is scheduled.
+                let mut i = start;
+                while i < end {
+                    if i == *group_end {
+                        let group = engine.fetch(view, i, *issue_width);
+                        assert!(group.len > 0, "fetch engine must make progress");
+                        *group_start = i;
+                        *group_end = i + group.len;
+                        *mispredict = group.mispredict;
+                        *resume_after = None;
+                        let group_range = i..*group_end;
+
+                        // Value predictions for the whole fetch group. With
+                        // the banked front-end the group's PCs contend for
+                        // table banks; otherwise each instruction performs
+                        // a private lookup.
+                        dispositions.clear();
+                        match value_path {
+                            ValuePath::Banked(fe) => {
+                                pcs.clear();
+                                pcs.extend(
+                                    view.slots_in(group_range.clone())
+                                        .filter(|r| r.produces_value())
+                                        .map(|r| r.pc()),
+                                );
+                                let outcomes = fe.predict_group(pcs);
+                                let mut it = outcomes.into_iter();
+                                let tracing = sink.is_some();
+                                dispositions.extend(view.slots_in(group_range).map(|rec| {
+                                    if !rec.produces_value() {
+                                        return VpDisposition::None;
+                                    }
+                                    let slot = it.next().expect("one outcome per value producer");
+                                    if tracing && slot.grant == SlotGrant::DeniedConflict {
+                                        conflicts.push((rec.pc(), slot.bank));
+                                    }
+                                    fe.commit(rec.pc(), rec.result(), slot.prediction);
+                                    match slot.prediction {
+                                        None => VpDisposition::None,
+                                        Some(v) if v == rec.result() => VpDisposition::Correct,
+                                        Some(_) => VpDisposition::Wrong,
+                                    }
+                                }));
+                            }
+                            ValuePath::Plain(predictor) => {
+                                dispositions.extend(
+                                    view.slots_in(group_range)
+                                        .map(|rec| disposition_for(rec, vp_mode, predictor)),
+                                );
+                            }
+                        }
+                    }
+
+                    let stop = (*group_end).min(end);
+                    let base = *group_start;
+                    for (rec, j) in view.slots_in(i..stop).zip(i..stop) {
+                        let k = j - base;
+                        let t = sched.schedule(rec, *fetch_cycle, dispositions[k]);
+                        if let Some(sink) = sink.as_deref_mut() {
+                            let (seq, pc) = (rec.seq(), rec.pc());
+                            sink.record(Event::span(
+                                Lane::Fetch,
+                                *fetch_cycle,
+                                1,
+                                "instr",
+                                seq,
+                                pc,
+                            ));
+                            sink.record(Event::span(
+                                Lane::Dispatch,
+                                t.dispatch,
+                                1,
+                                "instr",
+                                seq,
+                                pc,
+                            ));
+                            sink.record(Event::span(Lane::Issue, t.execute, 1, "instr", seq, pc));
+                            sink.record(Event::span(
+                                Lane::Writeback,
+                                t.complete,
+                                1,
+                                "instr",
+                                seq,
+                                pc,
+                            ));
+                            match dispositions[k] {
+                                VpDisposition::Correct => sink.record(Event::instant(
+                                    Lane::Predict,
+                                    *fetch_cycle,
+                                    "vp_correct",
+                                    seq,
+                                    pc,
+                                )),
+                                VpDisposition::Wrong => sink.record(Event::instant(
+                                    Lane::Predict,
+                                    *fetch_cycle,
+                                    "vp_wrong",
+                                    seq,
+                                    pc,
+                                )),
+                                VpDisposition::None => {}
+                            }
+                        }
+                        if *mispredict == Some(k) {
+                            *resume_after = Some(t.execute + *branch_penalty);
+                        }
+                    }
+
+                    if stop == *group_end {
+                        if let Some(sink) = sink.as_deref_mut() {
+                            for &(pc, bank) in conflicts.iter() {
+                                sink.record(Event::instant(
+                                    Lane::BankConflict,
+                                    *fetch_cycle,
+                                    "bank_conflict",
+                                    bank as u64,
+                                    pc,
+                                ));
+                            }
+                            conflicts.clear();
+                        }
+                        *fetch_cycle = match *resume_after {
+                            Some(resume) => resume.max(*fetch_cycle + 1),
+                            None => *fetch_cycle + 1,
+                        };
+                    }
+                    i = stop;
+                }
+            }
+        }
+    }
+
+    /// Retires the pipeline and assembles its [`MachineResult`].
+    pub(crate) fn finish(mut self) -> MachineResult {
+        self.sched.finish();
+        let stats = self.sched.stats();
+        let (vp_stats, banked_stats) = match self.value_path {
+            ValuePath::Banked(fe) => (Some(fe.predictor_stats()), Some(fe.banked_stats())),
+            ValuePath::Plain(Some(p)) => (Some(p.stats()), None),
+            ValuePath::Plain(None) => (None, None),
+        };
+        let (bpred_stats, trace_cache_stats, bac_stats) = match &self.front {
+            Front::Ideal { .. } => (None, None, None),
+            Front::Realistic { engine, .. } => {
+                (Some(engine.bpred_stats()), engine.trace_cache_stats(), engine.bac_stats())
+            }
+        };
+        MachineResult {
+            instructions: stats.instructions,
+            cycles: stats.last_complete,
+            vp_stats,
+            deps: stats.deps,
+            usefulness: self.sched.usefulness().clone(),
+            value_replays: stats.value_replays,
+            bpred_stats,
+            trace_cache_stats,
+            banked_stats,
+            bac_stats,
+            cycle_breakdown: None,
+        }
+    }
+}
+
+/// Slots each pipeline advances before the batch loop moves to the next
+/// pipeline. Tiling trades the two locality costs against each other: a
+/// block of trace columns is read once and stays cache-hot while every
+/// pipeline consumes it, and each pipeline's scheduler and predictor state
+/// stays hot for a whole block instead of being evicted between
+/// single-slot turns. Purely a performance knob — results are independent
+/// of it, because pipelines share nothing.
+const BATCH_BLOCK_SLOTS: usize = 4096;
+
+/// Runs every configuration in `configs` over `trace` with a **single**
+/// pass over the trace, advancing all pipelines in lockstep per block of
+/// `BATCH_BLOCK_SLOTS` slots.
+///
+/// Results come back in `configs` order and are byte-identical to running
+/// each configuration alone through [`IdealMachine::run`] or
+/// [`RealisticMachine::run`] — the machines are thin wrappers over the
+/// same per-slot stepper, and no state is shared between pipelines.
+///
+/// Callers batching very many configurations should chunk them (the
+/// experiments crate uses chunks of 8) so each batch's working set stays
+/// cache-resident; correctness does not depend on the chunk size.
+///
+/// [`IdealMachine::run`]: crate::IdealMachine::run
+/// [`RealisticMachine::run`]: crate::RealisticMachine::run
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid (zero fetch rate, window or
+/// issue width), exactly as the machine constructors do.
+pub fn run_batch(trace: &Trace, configs: &[MachineConfig]) -> Vec<MachineResult> {
+    let view = trace.view();
+    let mut pipes: Vec<Pipeline> = configs.iter().map(Pipeline::new).collect();
+    let mut no_sink: Option<&mut dyn EventSink> = None;
+    for start in (0..view.len()).step_by(BATCH_BLOCK_SLOTS) {
+        let end = (start + BATCH_BLOCK_SLOTS).min(view.len());
+        for pipe in &mut pipes {
+            pipe.run_block(view, start, end, &mut no_sink);
+        }
+    }
+    pipes.into_iter().map(Pipeline::finish).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realistic::{BtbKind, FrontEnd};
+    use crate::{IdealMachine, RealisticMachine};
+    use fetchvp_fetch::TraceCacheConfig;
+    use fetchvp_isa::{AluOp, Cond, ProgramBuilder, Reg};
+    use fetchvp_predictor::BankedConfig;
+    use fetchvp_trace::trace_program;
+
+    fn chain_trace(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new("chain");
+        b.load_imm(Reg::R1, 0);
+        b.load_imm(Reg::R2, iters);
+        let head = b.bind_label("head");
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 7);
+        b.alu_imm(AluOp::Sub, Reg::R2, Reg::R2, 1);
+        b.branch(Cond::Ne, Reg::R2, Reg::R0, head);
+        b.halt();
+        trace_program(&b.build().unwrap(), u64::MAX)
+    }
+
+    fn mixed_configs() -> Vec<MachineConfig> {
+        let conv = FrontEnd::Conventional { width: 40, max_taken: Some(4), btb: BtbKind::Perfect };
+        let tc = FrontEnd::TraceCache {
+            config: TraceCacheConfig::paper(),
+            btb: BtbKind::two_level_paper(),
+        };
+        vec![
+            MachineConfig::Ideal(IdealConfig { fetch_rate: 16, ..IdealConfig::default() }),
+            MachineConfig::Ideal(IdealConfig {
+                fetch_rate: 16,
+                vp: VpConfig::stride_infinite(),
+                ..IdealConfig::default()
+            }),
+            MachineConfig::Realistic(RealisticConfig::paper(conv, VpConfig::None)),
+            MachineConfig::Realistic(RealisticConfig::paper(tc, VpConfig::stride_infinite())),
+            MachineConfig::Realistic(
+                RealisticConfig::paper(tc, VpConfig::stride_infinite())
+                    .with_banked(BankedConfig::new(2)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_serial_runs_exactly() {
+        let t = chain_trace(2_000);
+        let configs = mixed_configs();
+        let batch = run_batch(&t, &configs);
+        for (config, batched) in configs.iter().zip(&batch) {
+            let serial = match *config {
+                MachineConfig::Ideal(cfg) => IdealMachine::new(cfg).run(&t),
+                MachineConfig::Realistic(cfg) => RealisticMachine::new(cfg).run(&t),
+            };
+            assert_eq!(&serial, batched, "batched run diverged for {config:?}");
+        }
+    }
+
+    #[test]
+    fn batch_order_and_duplicates_are_preserved() {
+        let t = chain_trace(500);
+        let cfg = IdealConfig { fetch_rate: 8, vp: VpConfig::Perfect, ..IdealConfig::default() };
+        let configs = [
+            MachineConfig::Ideal(cfg),
+            MachineConfig::Ideal(IdealConfig { fetch_rate: 4, ..cfg }),
+            MachineConfig::Ideal(cfg),
+        ];
+        let results = run_batch(&t, &configs);
+        assert_eq!(results[0], results[2], "duplicate configs must agree");
+        assert_ne!(results[0].cycles, results[1].cycles);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_trace_are_fine() {
+        let t = chain_trace(10);
+        assert!(run_batch(&t, &[]).is_empty());
+        let short = trace_program(
+            &{
+                let mut b = ProgramBuilder::new("halt");
+                b.halt();
+                b.build().unwrap()
+            },
+            1,
+        );
+        let r = run_batch(&short, &[MachineConfig::Ideal(IdealConfig::default())]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fetch rate must be positive")]
+    fn invalid_config_panics_like_the_machine_constructor() {
+        let t = chain_trace(10);
+        run_batch(
+            &t,
+            &[MachineConfig::Ideal(IdealConfig { fetch_rate: 0, ..IdealConfig::default() })],
+        );
+    }
+}

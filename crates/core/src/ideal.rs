@@ -72,34 +72,14 @@ impl IdealMachine {
     }
 
     /// Runs the model over a captured trace.
+    ///
+    /// This is a single-config [`crate::run_batch`]: both paths drive the
+    /// same per-slot pipeline stepper, so batched and serial runs are
+    /// byte-identical by construction.
     pub fn run(&self, trace: &Trace) -> MachineResult {
-        let mut sched = Scheduler::new(self.config.window, Some(self.config.fetch_rate));
-        sched.set_exec_width(self.config.exec_units);
-        sched.set_memory_deps(self.config.memory_deps);
-        let mut vp = match self.config.vp {
-            VpConfig::Predictor(kind) => Some(kind.build()),
-            _ => None,
-        };
-        for rec in trace.view().slots() {
-            let fetch_cycle = (rec.index() / self.config.fetch_rate) as u64;
-            let disposition = disposition_for(rec, &self.config.vp, &mut vp);
-            sched.schedule(rec, fetch_cycle, disposition);
-        }
-        sched.finish();
-        let stats = sched.stats();
-        MachineResult {
-            instructions: stats.instructions,
-            cycles: stats.last_complete,
-            vp_stats: vp.map(|p| p.stats()),
-            deps: stats.deps,
-            usefulness: sched.usefulness().clone(),
-            value_replays: stats.value_replays,
-            bpred_stats: None,
-            trace_cache_stats: None,
-            banked_stats: None,
-            bac_stats: None,
-            cycle_breakdown: None,
-        }
+        crate::batch::run_batch(trace, &[crate::batch::MachineConfig::Ideal(self.config)])
+            .pop()
+            .expect("one result per config")
     }
 }
 

@@ -18,6 +18,11 @@
 //! the analytic one with explicit per-cycle structures and fetch-queue
 //! back-pressure.
 //!
+//! Both primary machines are thin wrappers over the [`batch`] module's
+//! per-slot pipeline stepper; [`run_batch`] advances many configurations
+//! in lockstep over a single trace walk, which is how the experiment
+//! sweeps amortize trace traversal across configs.
+//!
 //! Both primary models share the same dataflow [`sched`]uling core, and both follow
 //! the paper's pipeline of Table 3.2 (Fetch → Decode/Issue → Execute →
 //! Commit, unit execution latency).
@@ -61,12 +66,14 @@
 // Public API of the hot path: every item must explain itself.
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod event;
 pub mod ideal;
 pub mod realistic;
 pub mod sched;
 pub mod vp;
 
+pub use batch::{run_batch, MachineConfig};
 pub use event::EventMachine;
 pub use ideal::{pipeline_trace, IdealConfig, IdealMachine, StageTimes};
 pub use realistic::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine};

@@ -4,12 +4,10 @@ use fetchvp_bpred::{GshareBtb, GshareConfig, PerfectBtb, TwoLevelBtb, TwoLevelCo
 use fetchvp_fetch::{
     BacConfig, BacFetch, ConventionalFetch, FetchEngine, TraceCacheConfig, TraceCacheFetch,
 };
-use fetchvp_predictor::{BankedConfig, BankedFrontEnd, SlotGrant, ValuePredictor};
+use fetchvp_predictor::BankedConfig;
 use fetchvp_trace::Trace;
-use fetchvp_tracing::{Event, EventSink, Lane};
+use fetchvp_tracing::EventSink;
 
-use crate::ideal::disposition_for;
-use crate::sched::{Scheduler, VpDisposition};
 use crate::vp::VpConfig;
 use crate::MachineResult;
 
@@ -220,149 +218,15 @@ impl RealisticMachine {
     /// exactly what [`RealisticMachine::run`] does. The event stream is
     /// deterministic: same trace, same configuration, same events.
     pub fn run_traced(&self, trace: &Trace, mut sink: Option<&mut dyn EventSink>) -> MachineResult {
-        let cfg = &self.config;
-        let mut engine = cfg.front_end.build();
-        let mut sched =
-            Scheduler::with_value_penalty(cfg.window, Some(cfg.issue_width), cfg.value_penalty);
-        sched.set_exec_width(cfg.exec_units);
-        sched.set_memory_deps(cfg.memory_deps);
-
-        // The value-prediction path: an optional real predictor, optionally
-        // behind the §4 banked front-end.
-        let predictor = match cfg.vp {
-            VpConfig::Predictor(kind) => Some(kind.build()),
-            _ => None,
-        };
-        let mut banked = match (predictor, cfg.banked) {
-            (Some(p), Some(bcfg)) => Ok(BankedFrontEnd::new(bcfg, p)),
-            (Some(p), None) => Err(Some(p)),
-            (None, _) => Err(None),
-        };
-
+        // A single-config batch pipeline: the group-based fetch loop
+        // (whole-group dispositions, misprediction stalls, bank-conflict
+        // tracing) lives in `crate::batch::Pipeline`, shared with
+        // `run_batch` so serial and batched runs cannot diverge.
         let view = trace.view();
-        let mut pos = 0usize;
-        let mut fetch_cycle = 0u64;
-        // Per-group scratch buffers, allocated once and reused every cycle.
-        let mut pcs: Vec<u64> = Vec::new();
-        let mut dispositions: Vec<VpDisposition> = Vec::new();
-        // Bank conflicts observed in the current group; only populated when
-        // a sink is attached, so the disabled path never touches it.
-        let tracing = sink.is_some();
-        let mut conflicts: Vec<(u64, u32)> = Vec::new();
-        while pos < view.len() {
-            let group = engine.fetch(view, pos, cfg.issue_width);
-            assert!(group.len > 0, "fetch engine must make progress");
-            let group_range = pos..pos + group.len;
-
-            // Value predictions for the whole fetch group. With the banked
-            // front-end the group's PCs contend for table banks; otherwise
-            // each instruction performs a private lookup.
-            dispositions.clear();
-            match &mut banked {
-                Ok(fe) => {
-                    pcs.clear();
-                    pcs.extend(
-                        view.slots_in(group_range.clone())
-                            .filter(|r| r.produces_value())
-                            .map(|r| r.pc()),
-                    );
-                    let outcomes = fe.predict_group(&pcs);
-                    let mut it = outcomes.into_iter();
-                    dispositions.extend(view.slots_in(group_range.clone()).map(|rec| {
-                        if !rec.produces_value() {
-                            return VpDisposition::None;
-                        }
-                        let slot = it.next().expect("one outcome per value producer");
-                        if tracing && slot.grant == SlotGrant::DeniedConflict {
-                            conflicts.push((rec.pc(), slot.bank));
-                        }
-                        fe.commit(rec.pc(), rec.result(), slot.prediction);
-                        match slot.prediction {
-                            None => VpDisposition::None,
-                            Some(v) if v == rec.result() => VpDisposition::Correct,
-                            Some(_) => VpDisposition::Wrong,
-                        }
-                    }));
-                }
-                Err(predictor) => {
-                    dispositions.extend(
-                        view.slots_in(group_range.clone())
-                            .map(|rec| disposition_for(rec, &cfg.vp, predictor)),
-                    );
-                }
-            }
-
-            let mut resume_after = None;
-            for (k, rec) in view.slots_in(group_range).enumerate() {
-                let t = sched.schedule(rec, fetch_cycle, dispositions[k]);
-                if let Some(sink) = sink.as_deref_mut() {
-                    let (seq, pc) = (rec.seq(), rec.pc());
-                    sink.record(Event::span(Lane::Fetch, fetch_cycle, 1, "instr", seq, pc));
-                    sink.record(Event::span(Lane::Dispatch, t.dispatch, 1, "instr", seq, pc));
-                    sink.record(Event::span(Lane::Issue, t.execute, 1, "instr", seq, pc));
-                    sink.record(Event::span(Lane::Writeback, t.complete, 1, "instr", seq, pc));
-                    match dispositions[k] {
-                        VpDisposition::Correct => sink.record(Event::instant(
-                            Lane::Predict,
-                            fetch_cycle,
-                            "vp_correct",
-                            seq,
-                            pc,
-                        )),
-                        VpDisposition::Wrong => sink.record(Event::instant(
-                            Lane::Predict,
-                            fetch_cycle,
-                            "vp_wrong",
-                            seq,
-                            pc,
-                        )),
-                        VpDisposition::None => {}
-                    }
-                }
-                if group.mispredict == Some(k) {
-                    resume_after = Some(t.execute + cfg.branch_penalty);
-                }
-            }
-            if let Some(sink) = sink.as_deref_mut() {
-                for &(pc, bank) in &conflicts {
-                    sink.record(Event::instant(
-                        Lane::BankConflict,
-                        fetch_cycle,
-                        "bank_conflict",
-                        bank as u64,
-                        pc,
-                    ));
-                }
-                conflicts.clear();
-            }
-
-            pos += group.len;
-            fetch_cycle = match resume_after {
-                Some(resume) => resume.max(fetch_cycle + 1),
-                None => fetch_cycle + 1,
-            };
-        }
-
-        sched.finish();
-        let stats = sched.stats();
-        let (vp_stats, banked_stats) = match banked {
-            Ok(fe) => (Some(fe.predictor_stats()), Some(fe.banked_stats())),
-            Err(Some(p)) => (Some(p.stats()), None),
-            Err(None) => (None, None),
-        };
-        MachineResult {
-            instructions: stats.instructions,
-            cycles: stats.last_complete,
-            vp_stats,
-            deps: stats.deps,
-            usefulness: sched.usefulness().clone(),
-            value_replays: stats.value_replays,
-            bpred_stats: Some(engine.bpred_stats()),
-            trace_cache_stats: engine.trace_cache_stats(),
-            banked_stats,
-            bac_stats: engine.bac_stats(),
-            cycle_breakdown: None,
-        }
+        let mut pipe =
+            crate::batch::Pipeline::new(&crate::batch::MachineConfig::Realistic(self.config));
+        pipe.run_block(view, 0, view.len(), &mut sink);
+        pipe.finish()
     }
 }
 
@@ -371,6 +235,7 @@ mod tests {
     use super::*;
     use fetchvp_isa::{AluOp, Cond, ProgramBuilder, Reg};
     use fetchvp_trace::trace_program;
+    use fetchvp_tracing::{Event, Lane};
 
     /// A loop with a strided dependence chain and a small body.
     fn chain_trace(iters: i64) -> Trace {

@@ -33,18 +33,20 @@
 
 use fetchvp_bpred::{GshareConfig, TwoLevelConfig};
 use fetchvp_core::{
-    BtbKind, FrontEnd, IdealConfig, IdealMachine, PredictorKind, RealisticConfig, RealisticMachine,
-    VpConfig,
+    BtbKind, FrontEnd, IdealConfig, MachineConfig, PredictorKind, RealisticConfig, VpConfig,
 };
 use fetchvp_dfg::profiling::profile_hints;
 use fetchvp_fetch::{BacConfig, TraceCacheConfig};
 use fetchvp_predictor::{BankedConfig, ConfidenceConfig, StrideKind, TableGeometry};
 use fetchvp_predictor::{HybridPredictor, StridePredictor, ValuePredictor};
-use fetchvp_trace::Trace;
 
 use crate::report::{num, pct, Table};
 use crate::sweep::Sweep;
 use crate::{mean, ExperimentConfig};
+
+/// Per-workload rows of (coverage, accuracy, speedup) triples, one
+/// column per swept predictor variant.
+type VpTripleRows = Vec<(&'static str, Vec<(f64, f64, f64)>)>;
 
 /// The arithmetic mean of column `i` across per-workload result rows.
 fn column_mean<R>(rows: &[(&'static str, Vec<R>)], i: usize, f: impl Fn(&R) -> f64) -> f64 {
@@ -84,24 +86,32 @@ pub fn bank_sweep(cfg: &ExperimentConfig) -> BankSweepResult {
     bank_sweep_with(&Sweep::serial(cfg))
 }
 
-/// [`bank_sweep`] on a [`Sweep`], one job per benchmark (the baseline run
-/// is shared across bank counts).
+/// [`bank_sweep`] on a [`Sweep`]: per benchmark, the baseline and all bank
+/// counts advance in batched lockstep over one trace walk.
 pub fn bank_sweep_with(sweep: &Sweep) -> BankSweepResult {
-    let rows = sweep.per_workload(|_, trace| {
-        let base = RealisticMachine::new(RealisticConfig::paper(tc_front_end(), VpConfig::None))
-            .run(trace);
-        BANK_SWEEP
-            .iter()
-            .map(|&banks| {
-                let vp = RealisticMachine::new(
-                    RealisticConfig::paper(tc_front_end(), VpConfig::stride_infinite())
-                        .with_banked(BankedConfig::new(banks)),
-                )
-                .run(trace);
-                (vp.speedup_over(&base), vp.banked_stats.expect("banked stats").denial_rate())
-            })
-            .collect::<Vec<_>>()
-    });
+    let mut configs =
+        vec![MachineConfig::Realistic(RealisticConfig::paper(tc_front_end(), VpConfig::None))];
+    configs.extend(BANK_SWEEP.iter().map(|&banks| {
+        MachineConfig::Realistic(
+            RealisticConfig::paper(tc_front_end(), VpConfig::stride_infinite())
+                .with_banked(BankedConfig::new(banks)),
+        )
+    }));
+    let rows: Vec<(&'static str, Vec<(f64, f64)>)> = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let (base, vps) = (&results[0], &results[1..]);
+            let cols = vps
+                .iter()
+                .map(|vp| {
+                    let banked = vp.banked_stats.as_ref().expect("banked stats");
+                    (vp.speedup_over(base), banked.denial_rate())
+                })
+                .collect();
+            (name, cols)
+        })
+        .collect();
     BankSweepResult {
         points: BANK_SWEEP
             .iter()
@@ -142,17 +152,29 @@ pub fn window_sweep(cfg: &ExperimentConfig) -> WindowSweepResult {
     window_sweep_with(&Sweep::serial(cfg))
 }
 
-/// [`window_sweep`] on a [`Sweep`], one job per (benchmark, window) cell.
+/// [`window_sweep`] on a [`Sweep`]: per benchmark, the base/VP pairs of
+/// all window sizes advance in batched lockstep over one trace walk.
 pub fn window_sweep_with(sweep: &Sweep) -> WindowSweepResult {
-    let rows = sweep.cells(&WINDOW_SWEEP, |_, trace, &window| {
-        let run = |vp| {
-            IdealMachine::new(IdealConfig { fetch_rate: 16, window, vp, ..IdealConfig::default() })
-                .run(trace)
-        };
-        let base = run(VpConfig::None);
-        let vp = run(VpConfig::stride_infinite());
-        vp.speedup_over(&base)
-    });
+    let configs: Vec<MachineConfig> = WINDOW_SWEEP
+        .iter()
+        .flat_map(|&window| {
+            [VpConfig::None, VpConfig::stride_infinite()].map(|vp| {
+                MachineConfig::Ideal(IdealConfig {
+                    fetch_rate: 16,
+                    window,
+                    vp,
+                    ..IdealConfig::default()
+                })
+            })
+        })
+        .collect();
+    let rows: Vec<(&'static str, Vec<f64>)> = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            (name, results.chunks_exact(2).map(|pair| pair[1].speedup_over(&pair[0])).collect())
+        })
+        .collect();
     WindowSweepResult {
         points: WINDOW_SWEEP
             .iter()
@@ -188,36 +210,35 @@ pub fn confidence_sweep(cfg: &ExperimentConfig) -> ConfidenceSweepResult {
     confidence_sweep_with(&Sweep::serial(cfg))
 }
 
-/// [`confidence_sweep`] on a [`Sweep`], one job per benchmark (the
-/// baseline run is shared across thresholds).
+/// [`confidence_sweep`] on a [`Sweep`]: per benchmark, the baseline and
+/// all thresholds advance in batched lockstep over one trace walk.
 pub fn confidence_sweep_with(sweep: &Sweep) -> ConfidenceSweepResult {
     let thresholds: [u8; 4] = [0, 1, 2, 3];
-    let rows = sweep.per_workload(|_, trace| {
-        let base = IdealMachine::new(IdealConfig {
-            fetch_rate: 16,
-            vp: VpConfig::None,
-            ..IdealConfig::default()
-        })
-        .run(trace);
-        thresholds
-            .iter()
-            .map(|&predict_at| {
-                let kind = PredictorKind::Stride {
-                    geometry: TableGeometry::Infinite,
-                    confidence: ConfidenceConfig { bits: 2, predict_at, initial: 0 },
-                    kind: StrideKind::Simple,
-                };
-                let vp = IdealMachine::new(IdealConfig {
-                    fetch_rate: 16,
-                    vp: VpConfig::Predictor(kind),
-                    ..IdealConfig::default()
+    let ideal16 =
+        |vp| MachineConfig::Ideal(IdealConfig { fetch_rate: 16, vp, ..IdealConfig::default() });
+    let mut configs = vec![ideal16(VpConfig::None)];
+    configs.extend(thresholds.iter().map(|&predict_at| {
+        ideal16(VpConfig::Predictor(PredictorKind::Stride {
+            geometry: TableGeometry::Infinite,
+            confidence: ConfidenceConfig { bits: 2, predict_at, initial: 0 },
+            kind: StrideKind::Simple,
+        }))
+    }));
+    let rows: VpTripleRows = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let (base, vps) = (&results[0], &results[1..]);
+            let cols = vps
+                .iter()
+                .map(|vp| {
+                    let s = vp.vp_stats.as_ref().expect("predictor stats");
+                    (s.coverage(), s.accuracy(), vp.speedup_over(base))
                 })
-                .run(trace);
-                let s = vp.vp_stats.expect("predictor stats");
-                (s.coverage(), s.accuracy(), vp.speedup_over(&base))
-            })
-            .collect::<Vec<_>>()
-    });
+                .collect();
+            (name, cols)
+        })
+        .collect();
     ConfidenceSweepResult {
         points: thresholds
             .iter()
@@ -267,8 +288,9 @@ pub fn predictor_comparison(cfg: &ExperimentConfig) -> PredictorComparisonResult
     predictor_comparison_with(&Sweep::serial(cfg))
 }
 
-/// [`predictor_comparison`] on a [`Sweep`], one job per benchmark (the
-/// baseline run is shared across predictor kinds).
+/// [`predictor_comparison`] on a [`Sweep`]: per benchmark, the baseline
+/// and all predictor kinds advance in batched lockstep over one trace
+/// walk.
 pub fn predictor_comparison_with(sweep: &Sweep) -> PredictorComparisonResult {
     let kinds: [(&str, PredictorKind); 5] = [
         (
@@ -297,27 +319,33 @@ pub fn predictor_comparison_with(sweep: &Sweep) -> PredictorComparisonResult {
         ("hybrid", PredictorKind::Hybrid),
         ("fcm", PredictorKind::Fcm { confidence: ConfidenceConfig::paper() }),
     ];
-    let rows = sweep.per_workload(|_, trace| {
-        let base = IdealMachine::new(IdealConfig {
+    let mut configs = vec![MachineConfig::Ideal(IdealConfig {
+        fetch_rate: 16,
+        vp: VpConfig::None,
+        ..IdealConfig::default()
+    })];
+    configs.extend(kinds.iter().map(|(_, kind)| {
+        MachineConfig::Ideal(IdealConfig {
             fetch_rate: 16,
-            vp: VpConfig::None,
+            vp: VpConfig::Predictor(*kind),
             ..IdealConfig::default()
         })
-        .run(trace);
-        kinds
-            .iter()
-            .map(|(_, kind)| {
-                let vp = IdealMachine::new(IdealConfig {
-                    fetch_rate: 16,
-                    vp: VpConfig::Predictor(*kind),
-                    ..IdealConfig::default()
+    }));
+    let rows: VpTripleRows = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let (base, vps) = (&results[0], &results[1..]);
+            let cols = vps
+                .iter()
+                .map(|vp| {
+                    let s = vp.vp_stats.as_ref().expect("predictor stats");
+                    (s.coverage(), s.accuracy(), vp.speedup_over(base))
                 })
-                .run(trace);
-                let s = vp.vp_stats.expect("predictor stats");
-                (s.coverage(), s.accuracy(), vp.speedup_over(&base))
-            })
-            .collect::<Vec<_>>()
-    });
+                .collect();
+            (name, cols)
+        })
+        .collect();
     PredictorComparisonResult {
         points: kinds
             .iter()
@@ -423,8 +451,8 @@ pub fn model_assumptions(cfg: &ExperimentConfig) -> ModelAssumptionsResult {
     model_assumptions_with(&Sweep::serial(cfg))
 }
 
-/// [`model_assumptions`] on a [`Sweep`], one job per (benchmark, variant)
-/// cell.
+/// [`model_assumptions`] on a [`Sweep`]: per benchmark, the base/VP pairs
+/// of all variants advance in batched lockstep over one trace walk.
 pub fn model_assumptions_with(sweep: &Sweep) -> ModelAssumptionsResult {
     let variants: [(&str, Option<usize>, bool); 4] = [
         ("paper model (no structural/memory constraints)", None, false),
@@ -432,21 +460,31 @@ pub fn model_assumptions_with(sweep: &Sweep) -> ModelAssumptionsResult {
         ("+ 8 execution units", Some(8), false),
         ("+ both", Some(8), true),
     ];
-    let rows = sweep.cells(&variants, |_, trace, &(_, exec_units, memory_deps)| {
-        let run = |vp| {
-            IdealMachine::new(IdealConfig {
-                fetch_rate: 16,
-                vp,
-                exec_units,
-                memory_deps,
-                ..IdealConfig::default()
+    let configs: Vec<MachineConfig> = variants
+        .iter()
+        .flat_map(|&(_, exec_units, memory_deps)| {
+            [VpConfig::None, VpConfig::stride_infinite()].map(|vp| {
+                MachineConfig::Ideal(IdealConfig {
+                    fetch_rate: 16,
+                    vp,
+                    exec_units,
+                    memory_deps,
+                    ..IdealConfig::default()
+                })
             })
-            .run(trace)
-        };
-        let base = run(VpConfig::None);
-        let vp = run(VpConfig::stride_infinite());
-        (base.ipc(), vp.speedup_over(&base))
-    });
+        })
+        .collect();
+    let rows: Vec<(&'static str, Vec<(f64, f64)>)> = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let cols = results
+                .chunks_exact(2)
+                .map(|pair| (pair[0].ipc(), pair[1].speedup_over(&pair[0])))
+                .collect();
+            (name, cols)
+        })
+        .collect();
     ModelAssumptionsResult {
         points: variants
             .iter()
@@ -486,30 +524,31 @@ pub fn penalty_sweep(cfg: &ExperimentConfig) -> PenaltySweepResult {
     penalty_sweep_with(&Sweep::serial(cfg))
 }
 
-/// [`penalty_sweep`] on a [`Sweep`], one job per (benchmark, grid-point)
-/// cell.
+/// [`penalty_sweep`] on a [`Sweep`]: per benchmark, the base/VP pairs of
+/// all grid points advance in batched lockstep over one trace walk.
 pub fn penalty_sweep_with(sweep: &Sweep) -> PenaltySweepResult {
     let grid: [(u64, u64); 5] = [(0, 1), (3, 0), (3, 1), (3, 3), (10, 1)];
-    let rows = sweep.cells(&grid, |_, trace, &(branch_penalty, value_penalty)| {
-        let fe = FrontEnd::Conventional {
-            width: 40,
-            max_taken: Some(4),
-            btb: BtbKind::two_level_paper(),
-        };
-        let base = RealisticMachine::new(RealisticConfig {
-            branch_penalty,
-            value_penalty,
-            ..RealisticConfig::paper(fe, VpConfig::None)
+    let fe =
+        FrontEnd::Conventional { width: 40, max_taken: Some(4), btb: BtbKind::two_level_paper() };
+    let configs: Vec<MachineConfig> = grid
+        .iter()
+        .flat_map(|&(branch_penalty, value_penalty)| {
+            [VpConfig::None, VpConfig::stride_infinite()].map(|vp| {
+                MachineConfig::Realistic(RealisticConfig {
+                    branch_penalty,
+                    value_penalty,
+                    ..RealisticConfig::paper(fe, vp)
+                })
+            })
         })
-        .run(trace);
-        let vp = RealisticMachine::new(RealisticConfig {
-            branch_penalty,
-            value_penalty,
-            ..RealisticConfig::paper(fe, VpConfig::stride_infinite())
+        .collect();
+    let rows: Vec<(&'static str, Vec<f64>)> = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            (name, results.chunks_exact(2).map(|pair| pair[1].speedup_over(&pair[0])).collect())
         })
-        .run(trace);
-        vp.speedup_over(&base)
-    });
+        .collect();
     PenaltySweepResult {
         points: grid
             .iter()
@@ -547,19 +586,32 @@ pub fn tc_geometry(cfg: &ExperimentConfig) -> TcGeometryResult {
     tc_geometry_with(&Sweep::serial(cfg))
 }
 
-/// [`tc_geometry`] on a [`Sweep`], one job per (benchmark, geometry) cell.
+/// [`tc_geometry`] on a [`Sweep`]: per benchmark, the base/VP pairs of
+/// all geometries advance in batched lockstep over one trace walk.
 pub fn tc_geometry_with(sweep: &Sweep) -> TcGeometryResult {
     let geometries: [(usize, usize); 4] = [(16, 16), (64, 16), (64, 32), (256, 32)];
-    let rows = sweep.cells(&geometries, |_, trace, &(entries, max_instrs)| {
-        let fe = FrontEnd::TraceCache {
-            config: TraceCacheConfig { entries, max_instrs, ..TraceCacheConfig::paper() },
-            btb: BtbKind::two_level_paper(),
-        };
-        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-            .run(trace);
-        (base.ipc(), vp.speedup_over(&base))
-    });
+    let configs: Vec<MachineConfig> = geometries
+        .iter()
+        .flat_map(|&(entries, max_instrs)| {
+            let fe = FrontEnd::TraceCache {
+                config: TraceCacheConfig { entries, max_instrs, ..TraceCacheConfig::paper() },
+                btb: BtbKind::two_level_paper(),
+            };
+            [VpConfig::None, VpConfig::stride_infinite()]
+                .map(|vp| MachineConfig::Realistic(RealisticConfig::paper(fe, vp)))
+        })
+        .collect();
+    let rows: Vec<(&'static str, Vec<(f64, f64)>)> = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let cols = results
+                .chunks_exact(2)
+                .map(|pair| (pair[0].ipc(), pair[1].speedup_over(&pair[0])))
+                .collect();
+            (name, cols)
+        })
+        .collect();
     TcGeometryResult {
         points: geometries
             .iter()
@@ -688,8 +740,8 @@ pub fn fetch_mechanisms(cfg: &ExperimentConfig) -> FetchMechanismResult {
     fetch_mechanisms_with(&Sweep::serial(cfg))
 }
 
-/// [`fetch_mechanisms`] on a [`Sweep`], one job per (benchmark, front-end)
-/// cell.
+/// [`fetch_mechanisms`] on a [`Sweep`]: per benchmark, the base/VP pairs
+/// of all front-ends advance in batched lockstep over one trace walk.
 pub fn fetch_mechanisms_with(sweep: &Sweep) -> FetchMechanismResult {
     let front_ends: [(&str, FrontEnd); 4] = [
         (
@@ -723,12 +775,24 @@ pub fn fetch_mechanisms_with(sweep: &Sweep) -> FetchMechanismResult {
             },
         ),
     ];
-    let rows = sweep.cells(&front_ends, |_, trace, &(_, fe)| {
-        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-            .run(trace);
-        (base.ipc(), vp.speedup_over(&base))
-    });
+    let configs: Vec<MachineConfig> = front_ends
+        .iter()
+        .flat_map(|&(_, fe)| {
+            [VpConfig::None, VpConfig::stride_infinite()]
+                .map(|vp| MachineConfig::Realistic(RealisticConfig::paper(fe, vp)))
+        })
+        .collect();
+    let rows: Vec<(&'static str, Vec<(f64, f64)>)> = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let cols = results
+                .chunks_exact(2)
+                .map(|pair| (pair[0].ipc(), pair[1].speedup_over(&pair[0])))
+                .collect();
+            (name, cols)
+        })
+        .collect();
     FetchMechanismResult {
         points: front_ends
             .iter()
@@ -769,7 +833,8 @@ pub fn btb_sensitivity(cfg: &ExperimentConfig) -> BtbSensitivityResult {
     btb_sensitivity_with(&Sweep::serial(cfg))
 }
 
-/// [`btb_sensitivity`] on a [`Sweep`], one job per (benchmark, BTB) cell.
+/// [`btb_sensitivity`] on a [`Sweep`]: per benchmark, the base/VP pairs
+/// of all BTBs advance in batched lockstep over one trace walk.
 pub fn btb_sensitivity_with(sweep: &Sweep) -> BtbSensitivityResult {
     let btbs: [(&str, BtbKind); 4] = [
         (
@@ -780,17 +845,33 @@ pub fn btb_sensitivity_with(sweep: &Sweep) -> BtbSensitivityResult {
         ("gshare, 12-bit history", BtbKind::Gshare(GshareConfig::default_budget())),
         ("ideal", BtbKind::Perfect),
     ];
-    let rows = sweep.cells(&btbs, |_, trace, &(_, btb)| {
-        let fe = FrontEnd::Conventional { width: 40, max_taken: Some(4), btb };
-        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-            .run(trace);
-        let bp = vp.bpred_stats.expect("bpred stats");
-        // The perfect predictor never sees conditional branches as
-        // "cond" mispredictions; report 100% explicitly.
-        let acc = if matches!(btb, BtbKind::Perfect) { 1.0 } else { bp.cond_accuracy() };
-        (acc, vp.speedup_over(&base))
-    });
+    let configs: Vec<MachineConfig> = btbs
+        .iter()
+        .flat_map(|&(_, btb)| {
+            let fe = FrontEnd::Conventional { width: 40, max_taken: Some(4), btb };
+            [VpConfig::None, VpConfig::stride_infinite()]
+                .map(|vp| MachineConfig::Realistic(RealisticConfig::paper(fe, vp)))
+        })
+        .collect();
+    let rows: Vec<(&'static str, Vec<(f64, f64)>)> = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let cols = results
+                .chunks_exact(2)
+                .zip(&btbs)
+                .map(|(pair, &(_, btb))| {
+                    let bp = pair[1].bpred_stats.as_ref().expect("bpred stats");
+                    // The perfect predictor never sees conditional branches
+                    // as "cond" mispredictions; report 100% explicitly.
+                    let acc =
+                        if matches!(btb, BtbKind::Perfect) { 1.0 } else { bp.cond_accuracy() };
+                    (acc, pair[1].speedup_over(&pair[0]))
+                })
+                .collect();
+            (name, cols)
+        })
+        .collect();
     BtbSensitivityResult {
         points: btbs
             .iter()
@@ -823,28 +904,28 @@ impl PartialMatchingResult {
     }
 }
 
-fn tc_ipc(trace: &Trace, partial_matching: bool) -> f64 {
-    let fe = FrontEnd::TraceCache {
-        config: TraceCacheConfig { partial_matching, ..TraceCacheConfig::paper() },
-        btb: BtbKind::two_level_paper(),
-    };
-    RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite())).run(trace).ipc()
-}
-
 /// Compares the base (full-match-or-miss) trace cache against partial
 /// matching (paper reference \[6\]).
 pub fn partial_matching(cfg: &ExperimentConfig) -> PartialMatchingResult {
     partial_matching_with(&Sweep::serial(cfg))
 }
 
-/// [`partial_matching`] on a [`Sweep`], one job per (benchmark, policy)
-/// cell.
+/// [`partial_matching`] on a [`Sweep`]: per benchmark, both policies
+/// advance in batched lockstep over one trace walk.
 pub fn partial_matching_with(sweep: &Sweep) -> PartialMatchingResult {
-    let policies = [false, true];
-    let rows = sweep.cells(&policies, |_, trace, &partial| tc_ipc(trace, partial));
-    PartialMatchingResult {
-        rows: rows.into_iter().map(|(n, ipcs)| (n.to_string(), ipcs[0], ipcs[1])).collect(),
-    }
+    let configs = [false, true].map(|partial_matching| {
+        let fe = FrontEnd::TraceCache {
+            config: TraceCacheConfig { partial_matching, ..TraceCacheConfig::paper() },
+            btb: BtbKind::two_level_paper(),
+        };
+        MachineConfig::Realistic(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
+    });
+    let rows = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(n, ipcs)| (n.to_string(), ipcs[0].ipc(), ipcs[1].ipc()))
+        .collect();
+    PartialMatchingResult { rows }
 }
 
 #[cfg(test)]

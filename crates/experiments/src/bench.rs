@@ -36,7 +36,7 @@
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use fetchvp_core::{
-    BtbKind, FrontEnd, IdealConfig, IdealMachine, RealisticConfig, RealisticMachine, VpConfig,
+    run_batch, BtbKind, FrontEnd, IdealConfig, MachineConfig, RealisticConfig, VpConfig,
 };
 use fetchvp_fetch::{BacConfig, TraceCacheConfig};
 use fetchvp_metrics::{Json, MetricsSink, Registry};
@@ -165,48 +165,43 @@ impl BenchReport {
 }
 
 /// The machine configurations a bench cell runs, spanning every counted
-/// subsystem. Returns `(label, simulated instructions, metrics)` per run.
+/// subsystem. All four advance in batched lockstep over one trace walk.
+/// Returns `(label, simulated instructions, metrics)` per run.
 fn machine_runs(trace: &Trace) -> Vec<(&'static str, u64, Registry)> {
     let btb = BtbKind::two_level_paper();
-    let mut runs = Vec::new();
-
-    // §3 ideal machine, fetch 16, stride VP: predictor.* and sched.*.
-    let ideal = IdealMachine::new(IdealConfig {
-        fetch_rate: 16,
-        vp: VpConfig::stride_infinite(),
-        ..IdealConfig::default()
-    })
-    .run(trace);
-    runs.push(("ideal16", ideal.instructions, ideal.metrics()));
-
-    // §5 conventional fetch behind the §4 banked table: predictor.banked.*.
-    let conv = RealisticMachine::new(
-        RealisticConfig::paper(
-            FrontEnd::Conventional { width: 40, max_taken: Some(4), btb },
+    let configs = [
+        // §3 ideal machine, fetch 16, stride VP: predictor.* and sched.*.
+        MachineConfig::Ideal(IdealConfig {
+            fetch_rate: 16,
+            vp: VpConfig::stride_infinite(),
+            ..IdealConfig::default()
+        }),
+        // §5 conventional fetch behind the §4 banked table:
+        // predictor.banked.*.
+        MachineConfig::Realistic(
+            RealisticConfig::paper(
+                FrontEnd::Conventional { width: 40, max_taken: Some(4), btb },
+                VpConfig::stride_infinite(),
+            )
+            .with_banked(BankedConfig::default()),
+        ),
+        // §2.2 branch address cache: fetch.bac.*.
+        MachineConfig::Realistic(RealisticConfig::paper(
+            FrontEnd::BranchAddressCache { config: BacConfig::classic(), btb },
             VpConfig::stride_infinite(),
-        )
-        .with_banked(BankedConfig::default()),
-    )
-    .run(trace);
-    runs.push(("conv4_banked", conv.instructions, conv.metrics()));
-
-    // §2.2 branch address cache: fetch.bac.*.
-    let bac = RealisticMachine::new(RealisticConfig::paper(
-        FrontEnd::BranchAddressCache { config: BacConfig::classic(), btb },
-        VpConfig::stride_infinite(),
-    ))
-    .run(trace);
-    runs.push(("bac", bac.instructions, bac.metrics()));
-
-    // §5 trace cache: fetch.trace_cache.*.
-    let tc = RealisticMachine::new(RealisticConfig::paper(
-        FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb },
-        VpConfig::stride_infinite(),
-    ))
-    .run(trace);
-    runs.push(("trace_cache", tc.instructions, tc.metrics()));
-
-    runs
+        )),
+        // §5 trace cache: fetch.trace_cache.*.
+        MachineConfig::Realistic(RealisticConfig::paper(
+            FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb },
+            VpConfig::stride_infinite(),
+        )),
+    ];
+    let labels = ["ideal16", "conv4_banked", "bac", "trace_cache"];
+    run_batch(trace, &configs)
+        .into_iter()
+        .zip(labels)
+        .map(|(r, label)| (label, r.instructions, r.metrics()))
+        .collect()
 }
 
 /// Runs the bench suite on an existing [`Sweep`] (its configuration decides
@@ -359,10 +354,18 @@ pub fn compare(old: &Json, new: &Json, threshold: f64) -> Result<Comparison, Str
             out.warnings.push(format!("{label}: missing sim_ips, skipped"));
             return;
         };
-        let delta = if a > 0.0 { b / a - 1.0 } else { 0.0 };
+        // A zero, negative or non-finite baseline makes the ratio
+        // meaningless; it must not silently count as "no regression".
+        if !(a.is_finite() && a > 0.0 && b.is_finite()) {
+            out.warnings.push(format!(
+                "{label}: degenerate sim_ips ({a} -> {b}), gate skipped for this section"
+            ));
+            return;
+        }
+        let delta = b / a - 1.0;
         out.lines
             .push(format!("{label:<12} {a:>14.0} -> {b:>14.0} instr/s  ({:+.1}%)", 100.0 * delta));
-        if a > 0.0 && b < a * (1.0 - threshold) {
+        if b < a * (1.0 - threshold) {
             // A cell too quick to time cannot fail the gate — its jitter
             // alone exceeds any sane threshold. Sections without a wall
             // time (and the suite total, which always carries one measured
@@ -484,6 +487,46 @@ mod tests {
         let c = compare(&timed_report(1000.0, 1.0), &timed_report(500.0, 1.0), 0.15).unwrap();
         assert!(!c.passed());
         assert_eq!(c.regressions.len(), 1, "{:?}", c.regressions);
+    }
+
+    #[test]
+    fn zero_baseline_warns_instead_of_passing_silently() {
+        // Old gate bug: a 0.0 baseline made `delta = 0.0`, so an arbitrary
+        // regression against a broken baseline always passed quietly.
+        let c = compare(&tiny_report(0.0), &tiny_report(500.0), 0.15).unwrap();
+        assert!(c.passed(), "degenerate sections must not fail the gate");
+        let degenerate = c.warnings.iter().filter(|w| w.contains("degenerate sim_ips")).count();
+        assert_eq!(degenerate, 2, "go + TOTAL should both warn: {:?}", c.warnings);
+        assert!(c.lines.is_empty(), "no delta line for an unmeasurable ratio");
+    }
+
+    /// Builds a schema-correct report with `sim_ips` set to an arbitrary
+    /// float (including non-finite values JSON text cannot carry).
+    fn report_with_raw_ips(ips: f64) -> Json {
+        let section = Json::object([
+            ("instructions".to_string(), Json::UInt(100)),
+            ("wall_seconds".to_string(), Json::Float(1.0)),
+            ("sim_ips".to_string(), Json::Float(ips)),
+        ]);
+        Json::object([
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            ("env".to_string(), Json::object([("trace_len".to_string(), Json::UInt(100))])),
+            ("totals".to_string(), section.clone()),
+            ("workloads".to_string(), Json::object([("go".to_string(), section)])),
+        ])
+    }
+
+    #[test]
+    fn non_finite_sim_ips_warns_instead_of_gating() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let c = compare(&report_with_raw_ips(bad), &report_with_raw_ips(500.0), 0.15).unwrap();
+            assert!(c.passed(), "{bad}: {:?}", c.regressions);
+            assert!(
+                c.warnings.iter().any(|w| w.contains("degenerate sim_ips")),
+                "{bad}: {:?}",
+                c.warnings
+            );
+        }
     }
 
     #[test]

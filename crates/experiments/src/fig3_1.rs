@@ -6,7 +6,7 @@
 //! vortex as dramatic outliers (4% → 112% and 1.5% → 83% between fetch-4
 //! and fetch-16).
 
-use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
+use fetchvp_core::{IdealConfig, MachineConfig, VpConfig};
 
 use crate::chart::BarChart;
 use crate::report::{pct, Table};
@@ -76,25 +76,28 @@ pub fn run(cfg: &ExperimentConfig) -> Fig31Result {
     run_with(&Sweep::serial(cfg))
 }
 
-/// Runs the experiment on a [`Sweep`], one job per (benchmark, fetch-rate)
-/// cell.
+/// Runs the experiment on a [`Sweep`]: per benchmark, all ten machines
+/// (base + VP at each fetch rate) advance in batched lockstep over one
+/// trace walk.
 pub fn run_with(sweep: &Sweep) -> Fig31Result {
-    let rows = sweep.cells(&FETCH_RATES, |_, trace, &rate| {
-        let base = IdealMachine::new(IdealConfig {
-            fetch_rate: rate,
-            vp: VpConfig::None,
-            ..IdealConfig::default()
+    let configs: Vec<MachineConfig> = FETCH_RATES
+        .iter()
+        .flat_map(|&rate| {
+            [VpConfig::None, VpConfig::stride_infinite()].map(|vp| {
+                MachineConfig::Ideal(IdealConfig { fetch_rate: rate, vp, ..IdealConfig::default() })
+            })
         })
-        .run(trace);
-        let vp = IdealMachine::new(IdealConfig {
-            fetch_rate: rate,
-            vp: VpConfig::stride_infinite(),
-            ..IdealConfig::default()
+        .collect();
+    let rows = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let speedups =
+                results.chunks_exact(2).map(|pair| pair[1].speedup_over(&pair[0])).collect();
+            (name.to_string(), speedups)
         })
-        .run(trace);
-        vp.speedup_over(&base)
-    });
-    Fig31Result { rows: rows.into_iter().map(|(n, s)| (n.to_string(), s)).collect() }
+        .collect();
+    Fig31Result { rows }
 }
 
 #[cfg(test)]

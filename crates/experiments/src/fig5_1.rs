@@ -5,7 +5,7 @@
 //! Paper shape: ≈3% average speedup at 1 taken branch/cycle, rising to
 //! ≈50% at 4 and beyond.
 
-use fetchvp_core::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine, VpConfig};
+use fetchvp_core::{BtbKind, FrontEnd, MachineConfig, RealisticConfig, VpConfig};
 
 use crate::chart::BarChart;
 use crate::report::{pct, Table};
@@ -80,19 +80,27 @@ impl TakenSweepResult {
 }
 
 /// Runs the taken-branch sweep with the given BTB (shared by Figures 5.1
-/// and 5.2), one job per (benchmark, allowance) cell.
+/// and 5.2): per benchmark, the base/VP machine pairs of all five
+/// allowances advance in batched lockstep over one trace walk.
 pub(crate) fn taken_sweep(sweep: &Sweep, btb: BtbKind, title: &str) -> TakenSweepResult {
-    let rows = sweep.cells(&TAKEN_SWEEP, |_, trace, &max_taken| {
-        let fe = FrontEnd::Conventional { width: 40, max_taken, btb };
-        let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-        let vp = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::stride_infinite()))
-            .run(trace);
-        vp.speedup_over(&base)
-    });
-    TakenSweepResult {
-        title: title.to_string(),
-        rows: rows.into_iter().map(|(n, s)| (n.to_string(), s)).collect(),
-    }
+    let configs: Vec<MachineConfig> = TAKEN_SWEEP
+        .iter()
+        .flat_map(|&max_taken| {
+            let fe = FrontEnd::Conventional { width: 40, max_taken, btb };
+            [VpConfig::None, VpConfig::stride_infinite()]
+                .map(|vp| MachineConfig::Realistic(RealisticConfig::paper(fe, vp)))
+        })
+        .collect();
+    let rows = sweep
+        .machines(&configs)
+        .into_iter()
+        .map(|(name, results)| {
+            let speedups =
+                results.chunks_exact(2).map(|pair| pair[1].speedup_over(&pair[0])).collect();
+            (name.to_string(), speedups)
+        })
+        .collect();
+    TakenSweepResult { title: title.to_string(), rows }
 }
 
 /// Runs the experiment serially.

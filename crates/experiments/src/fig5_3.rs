@@ -10,7 +10,7 @@
 //! on average; with an ideal BTB the average is below 40% — and both are
 //! bounded by the BTB/trace-cache quality.
 
-use fetchvp_core::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine, VpConfig};
+use fetchvp_core::{BtbKind, FrontEnd, MachineConfig, RealisticConfig, VpConfig};
 use fetchvp_fetch::TraceCacheConfig;
 use fetchvp_predictor::BankedConfig;
 
@@ -69,15 +69,16 @@ impl Fig53Result {
     }
 }
 
-fn speedup_with(btb: BtbKind, trace: &fetchvp_trace::Trace) -> f64 {
+/// The base/VP machine pair for one BTB choice.
+fn config_pair(btb: BtbKind) -> [MachineConfig; 2] {
     let fe = FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb };
-    let base = RealisticMachine::new(RealisticConfig::paper(fe, VpConfig::None)).run(trace);
-    let vp = RealisticMachine::new(
-        RealisticConfig::paper(fe, VpConfig::stride_infinite())
-            .with_banked(BankedConfig::new(BANKS)),
-    )
-    .run(trace);
-    vp.speedup_over(&base)
+    [
+        MachineConfig::Realistic(RealisticConfig::paper(fe, VpConfig::None)),
+        MachineConfig::Realistic(
+            RealisticConfig::paper(fe, VpConfig::stride_infinite())
+                .with_banked(BankedConfig::new(BANKS)),
+        ),
+    ]
 }
 
 /// Runs the experiment serially.
@@ -91,9 +92,14 @@ pub fn run(cfg: &ExperimentConfig) -> Fig53Result {
 /// `mgrid` alongside the integer suite, this runner uses the extended
 /// suite (the only consumer of the trace cache's ninth slot).
 pub fn run_with(sweep: &Sweep) -> Fig53Result {
-    let btbs = [BtbKind::two_level_paper(), BtbKind::Perfect];
-    let rows = sweep.cells_extended(&btbs, |_, trace, &btb| speedup_with(btb, trace));
-    Fig53Result { rows: rows.into_iter().map(|(n, s)| (n.to_string(), s[0], s[1])).collect() }
+    let configs: Vec<MachineConfig> =
+        [BtbKind::two_level_paper(), BtbKind::Perfect].into_iter().flat_map(config_pair).collect();
+    let rows = sweep
+        .machines_extended(&configs)
+        .into_iter()
+        .map(|(n, r)| (n.to_string(), r[1].speedup_over(&r[0]), r[3].speedup_over(&r[2])))
+        .collect();
+    Fig53Result { rows }
 }
 
 #[cfg(test)]

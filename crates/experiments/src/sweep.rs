@@ -33,10 +33,19 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use fetchvp_core::{run_batch, MachineConfig, MachineResult};
 use fetchvp_trace::{trace_program, Trace};
 use fetchvp_workloads::{extended_suite, Workload};
 
 use crate::ExperimentConfig;
+
+/// Machine configurations per batch job: each `(workload, chunk)` cell
+/// advances up to this many pipelines through one pass over the trace
+/// ([`fetchvp_core::run_batch`]). Eight keeps a chunk's scheduler and
+/// predictor state cache-resident while amortizing the trace walk; the
+/// value is fixed (independent of `--jobs`) so cell decomposition — and
+/// therefore output — never depends on the host.
+pub const BATCH_CHUNK: usize = 8;
 
 /// Number of benchmarks in the paper's integer suite (the extended suite
 /// appends `mgrid` for Figure 5.3).
@@ -178,6 +187,39 @@ impl Sweep {
             .collect()
     }
 
+    /// Runs every machine configuration against every workload of the
+    /// 8-benchmark suite with config batching: configurations are split
+    /// into [`BATCH_CHUNK`]-sized chunks, each `(workload, chunk)` cell
+    /// walks its trace **once** via [`fetchvp_core::run_batch`], and cells
+    /// parallelize across `--jobs` workers like any other sweep. Returns,
+    /// per workload in suite order, the results in `configs` order —
+    /// byte-identical to serial per-config runs regardless of jobs or
+    /// chunking.
+    pub fn machines(&self, configs: &[MachineConfig]) -> Vec<(&'static str, Vec<MachineResult>)> {
+        self.machines_on(false, configs)
+    }
+
+    /// [`Sweep::machines`] over the extended suite (including `mgrid`).
+    pub fn machines_extended(
+        &self,
+        configs: &[MachineConfig],
+    ) -> Vec<(&'static str, Vec<MachineResult>)> {
+        self.machines_on(true, configs)
+    }
+
+    fn machines_on(
+        &self,
+        extended: bool,
+        configs: &[MachineConfig],
+    ) -> Vec<(&'static str, Vec<MachineResult>)> {
+        assert!(!configs.is_empty(), "a machine sweep needs at least one config");
+        let chunks: Vec<&[MachineConfig]> = configs.chunks(BATCH_CHUNK).collect();
+        self.cells_on(extended, &chunks, |_, trace, chunk| run_batch(trace, chunk))
+            .into_iter()
+            .map(|(name, per_chunk)| (name, per_chunk.into_iter().flatten().collect()))
+            .collect()
+    }
+
     fn cells_on<P: Sync, R: Send>(
         &self,
         extended: bool,
@@ -315,5 +357,38 @@ mod tests {
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
         assert!(Sweep::with_jobs(&cfg(), 0).jobs() == 1);
+    }
+
+    #[test]
+    fn machines_preserves_config_order_across_chunks_and_jobs() {
+        use fetchvp_core::{IdealConfig, MachineConfig, VpConfig};
+        // Ten configs: crosses the BATCH_CHUNK = 8 boundary, so each
+        // workload becomes two cells that must be reassembled in order.
+        let configs: Vec<MachineConfig> = [4, 8, 16, 32, 40]
+            .into_iter()
+            .flat_map(|rate| {
+                [VpConfig::None, VpConfig::stride_infinite()].map(|vp| {
+                    MachineConfig::Ideal(IdealConfig {
+                        fetch_rate: rate,
+                        vp,
+                        ..IdealConfig::default()
+                    })
+                })
+            })
+            .collect();
+        assert!(configs.len() > BATCH_CHUNK);
+        let serial = Sweep::with_jobs(&cfg(), 1).machines(&configs);
+        let parallel = Sweep::with_jobs(&cfg(), 8).machines(&configs);
+        assert_eq!(serial, parallel, "job count must not change machine results");
+        assert_eq!(serial.len(), SUITE_LEN);
+        for (name, results) in &serial {
+            assert_eq!(results.len(), configs.len(), "{name}: one result per config");
+            // Config order is preserved: the VP runs (odd slots) never run
+            // slower than their paired baselines, and the paper's headline
+            // effect orders the pairs by fetch rate.
+            for pair in results.chunks_exact(2) {
+                assert!(pair[1].cycles <= pair[0].cycles, "{name}: VP slowed the machine");
+            }
+        }
     }
 }

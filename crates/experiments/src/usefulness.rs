@@ -10,7 +10,7 @@
 //! fetch-40 the majority becomes useful. This is the same story Figure 3.5
 //! tells statically over DFG arcs, now measured dynamically in the machine.
 
-use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
+use fetchvp_core::{IdealConfig, MachineConfig, VpConfig};
 
 use crate::report::{pct, Table};
 use crate::sweep::Sweep;
@@ -80,24 +80,30 @@ pub fn run(cfg: &ExperimentConfig) -> UsefulnessResult {
     run_with(&Sweep::serial(cfg))
 }
 
-/// Runs the experiment on a [`Sweep`], one job per (benchmark, rate) cell.
+/// Runs the experiment on a [`Sweep`]: per benchmark, both fetch rates
+/// advance in batched lockstep over one trace walk.
 pub fn run_with(sweep: &Sweep) -> UsefulnessResult {
-    let cells = sweep.cells_extended(&[NARROW_FETCH, WIDE_FETCH], |_, trace, &rate| {
-        let cfg = IdealConfig {
+    let configs = [NARROW_FETCH, WIDE_FETCH].map(|rate| {
+        MachineConfig::Ideal(IdealConfig {
             fetch_rate: rate,
             vp: VpConfig::stride_infinite(),
             ..IdealConfig::default()
-        };
-        let r = IdealMachine::new(cfg).run(trace);
-        let correct = r.vp_stats.as_ref().map_or(0, |s| s.correct);
-        debug_assert_eq!(r.usefulness.useful + r.usefulness.useless, correct);
-        (correct, r.usefulness.useful_fraction())
+        })
     });
-    let rows = cells
+    let rows = sweep
+        .machines_extended(&configs)
         .into_iter()
-        .map(|(name, rates)| {
+        .map(|(name, results)| {
+            let cells: Vec<(u64, f64)> = results
+                .iter()
+                .map(|r| {
+                    let correct = r.vp_stats.as_ref().map_or(0, |s| s.correct);
+                    debug_assert_eq!(r.usefulness.useful + r.usefulness.useless, correct);
+                    (correct, r.usefulness.useful_fraction())
+                })
+                .collect();
             let [(correct, narrow), (correct_wide, wide)] =
-                rates.try_into().expect("two rates per benchmark");
+                cells.try_into().expect("two rates per benchmark");
             assert_eq!(correct, correct_wide, "{name}: fetch rate must not change the predictor");
             (name.to_string(), UsefulnessRow { correct, useful_narrow: narrow, useful_wide: wide })
         })

@@ -1,0 +1,122 @@
+//! Differential test for the batch simulation kernel: every machine
+//! configuration run through [`fetchvp_core::run_batch`] alongside others
+//! must produce counters byte-identical to the same configuration run
+//! alone through its serial machine — on all nine workloads of the
+//! extended suite, at `--jobs 1` and `--jobs 8`.
+//!
+//! The comparison surface is the deterministic metrics JSON of each
+//! [`MachineResult`]: any divergence in cycles, predictor counters,
+//! front-end statistics or usefulness attribution changes the bytes.
+
+use fetchvp_core::{
+    BtbKind, FrontEnd, IdealConfig, IdealMachine, MachineConfig, RealisticConfig, RealisticMachine,
+    VpConfig,
+};
+use fetchvp_experiments::{ExperimentConfig, Sweep};
+use fetchvp_fetch::{BacConfig, TraceCacheConfig};
+use fetchvp_predictor::BankedConfig;
+
+/// A config set spanning every pipeline variant the kernel batches: ideal
+/// front-ends at two widths, and realistic ones over the conventional,
+/// banked-table, branch-address-cache and trace-cache paths.
+fn spanning_configs() -> Vec<MachineConfig> {
+    let btb = BtbKind::two_level_paper();
+    vec![
+        MachineConfig::Ideal(IdealConfig { fetch_rate: 4, ..IdealConfig::default() }),
+        MachineConfig::Ideal(IdealConfig {
+            fetch_rate: 40,
+            vp: VpConfig::stride_infinite(),
+            ..IdealConfig::default()
+        }),
+        MachineConfig::Realistic(
+            RealisticConfig::paper(
+                FrontEnd::Conventional { width: 40, max_taken: Some(4), btb },
+                VpConfig::stride_infinite(),
+            )
+            .with_banked(BankedConfig::default()),
+        ),
+        MachineConfig::Realistic(RealisticConfig::paper(
+            FrontEnd::BranchAddressCache { config: BacConfig::classic(), btb },
+            VpConfig::stride_infinite(),
+        )),
+        MachineConfig::Realistic(RealisticConfig::paper(
+            FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb },
+            VpConfig::None,
+        )),
+    ]
+}
+
+/// The serial reference: each config alone on its own machine, no
+/// batching anywhere in the cell.
+fn serial_metrics(cfg: &ExperimentConfig, configs: &[MachineConfig]) -> Vec<(String, Vec<String>)> {
+    Sweep::serial(cfg)
+        .cells_extended(configs, |_, trace, c| match *c {
+            MachineConfig::Ideal(ic) => IdealMachine::new(ic).run(trace).metrics().to_json(),
+            MachineConfig::Realistic(rc) => {
+                RealisticMachine::new(rc).run(trace).metrics().to_json()
+            }
+        })
+        .into_iter()
+        .map(|(name, cells)| (name.to_string(), cells.iter().map(|j| j.to_json()).collect()))
+        .collect()
+}
+
+#[test]
+fn batch_counters_match_serial_bytes_on_every_workload_and_job_count() {
+    let cfg = ExperimentConfig { trace_len: 8_000, ..ExperimentConfig::default() };
+    let configs = spanning_configs();
+    let reference = serial_metrics(&cfg, &configs);
+    assert_eq!(reference.len(), 9, "the extended suite has nine workloads");
+
+    for jobs in [1usize, 8] {
+        let batched: Vec<(String, Vec<String>)> = Sweep::with_jobs(&cfg, jobs)
+            .machines_extended(&configs)
+            .into_iter()
+            .map(|(name, results)| {
+                (
+                    name.to_string(),
+                    results.iter().map(|r| r.metrics().to_json().to_json()).collect(),
+                )
+            })
+            .collect();
+        assert_eq!(batched.len(), reference.len());
+        for ((ref_name, ref_cells), (name, cells)) in reference.iter().zip(&batched) {
+            assert_eq!(ref_name, name, "jobs={jobs}: workload order changed");
+            assert_eq!(ref_cells.len(), cells.len(), "{name}: result count");
+            for (i, (a, b)) in ref_cells.iter().zip(cells).enumerate() {
+                assert_eq!(
+                    a, b,
+                    "jobs={jobs}, workload={name}, config #{i}: batch metrics diverged from serial"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batching_is_insensitive_to_companions() {
+    // A config's result must not depend on what it is batched with: run
+    // the same config in two different batch mixes and compare bytes.
+    let cfg = ExperimentConfig { trace_len: 8_000, ..ExperimentConfig::default() };
+    let probe = MachineConfig::Ideal(IdealConfig {
+        fetch_rate: 16,
+        vp: VpConfig::stride_infinite(),
+        ..IdealConfig::default()
+    });
+    let mut mix_a = vec![probe];
+    mix_a.extend(spanning_configs());
+    let mix_b = vec![probe; 3];
+
+    let sweep = Sweep::serial(&cfg);
+    let a: Vec<String> = sweep
+        .machines(&mix_a)
+        .into_iter()
+        .map(|(_, r)| r[0].metrics().to_json().to_json())
+        .collect();
+    let b: Vec<String> = sweep
+        .machines(&mix_b)
+        .into_iter()
+        .map(|(_, r)| r[2].metrics().to_json().to_json())
+        .collect();
+    assert_eq!(a, b, "companion configs leaked into the probe's counters");
+}

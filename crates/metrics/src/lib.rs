@@ -118,15 +118,18 @@ impl Histogram {
         }
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Counts saturate at
+    /// [`u64::MAX`] rather than wrapping (or panicking in debug builds):
+    /// merge trees over long-running shards can exceed what any single
+    /// recording ever could.
     pub fn merge(&mut self, other: &Histogram) {
         if self.counts.len() < other.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
         for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
-            *dst += src;
+            *dst = dst.saturating_add(*src);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
     }
 
@@ -143,7 +146,13 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The rank `⌈q·count⌉` is taken in integer arithmetic: `q` equals
+        // `qn / 2^64` exactly (scaling a float by a power of two only
+        // shifts its exponent), while `count as f64` rounds above 2^53 and
+        // can shift the rank by hundreds of samples on merged histograms.
+        let qn = (q.clamp(0.0, 1.0) * 2f64.powi(64)) as u128;
+        let rank_wide = (self.count as u128 * qn).div_ceil(1u128 << 64);
+        let rank = (rank_wide.min(self.count as u128) as u64).max(1);
         let mut seen = 0u64;
         for (bucket, &n) in self.counts.iter().enumerate() {
             seen += n;
@@ -568,6 +577,56 @@ mod tests {
         assert_eq!(h.buckets()[4], 1); // 8
         assert_eq!(h.buckets()[41], 1); // 2^40
         assert!((h.mean() - (h.sum() as f64 / 8.0)).abs() < 1e-12);
+    }
+
+    /// A histogram whose fields are set directly — recording 2^63 samples
+    /// is not an option in a unit test.
+    fn synthetic(counts: Vec<u64>, sum: u64) -> Histogram {
+        let count = counts.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+        Histogram { counts, count, sum }
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        // Regression: merging two near-full histograms used to wrap (or
+        // panic in debug builds) on `count` and the per-bucket counts.
+        let mut a = synthetic(vec![u64::MAX - 1, 2], u64::MAX);
+        let b = synthetic(vec![3, u64::MAX - 1], 10);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.buckets(), [u64::MAX, u64::MAX]);
+        assert_eq!(a.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_above_f64_precision() {
+        // 2^53 samples of 0 and one sample of 1: the maximum is rank
+        // 2^53 + 1, but `count as f64` rounds that count down to 2^53, so
+        // the old float rank landed on the last zero and p100 reported
+        // bucket 0 instead of the bucket holding the real maximum.
+        let h = synthetic(vec![1u64 << 53, 1], 1);
+        assert_eq!(h.quantile(1.0), 1, "the maximum sample lives in bucket 1");
+        assert_eq!(h.p50(), 0);
+
+        // Near u64::MAX the f64 rank drifts by thousands of samples; the
+        // integer rank must still resolve the single-sample tail bucket.
+        let h = synthetic(vec![u64::MAX - 1, 1], u64::MAX);
+        assert_eq!(h.quantile(1.0), 1);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_boundaries_are_sane() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Quantiles are bucket upper bounds: rank 50 is the value 50, in
+        // bucket 6 (32..=63) whose bound is 63.
+        assert_eq!(h.p50(), 63);
+        assert_eq!(h.quantile(1.0), 127);
+        // q = 0 clamps to rank 1 (the minimum sample's bucket).
+        assert_eq!(h.quantile(0.0), 1);
     }
 
     #[test]

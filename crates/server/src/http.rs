@@ -85,34 +85,41 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         return Err(RequestError::Malformed("bad request line"));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut headers = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let (name, value) = (name.trim().to_ascii_lowercase(), value.trim().to_string());
         if name == "content-length" {
-            content_length =
+            let parsed =
                 value.parse().map_err(|_| RequestError::Malformed("bad Content-Length"))?;
+            // RFC 9110 §8.6: repeated Content-Length headers are a request
+            // smuggling vector unless every occurrence agrees.
+            if content_length.is_some_and(|seen| seen != parsed) {
+                return Err(RequestError::Malformed("conflicting Content-Length"));
+            }
+            content_length = Some(parsed);
         }
         headers.push((name, value));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(RequestError::TooLarge("request body"));
     }
 
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        return Err(RequestError::Malformed("body longer than Content-Length"));
-    }
+    // Bytes past the head may belong to a pipelined follow-up request (or
+    // keep-alive chatter); take exactly `content_length` of them as the body
+    // and leave the rest unread on the socket — this daemon answers one
+    // request per connection, so they are discarded with it.
+    let after_head = &buf[head_end + 4..];
+    let mut body = after_head[..after_head.len().min(content_length)].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
         if n == 0 {
             return Err(RequestError::Malformed("connection closed mid-body"));
         }
         body.extend_from_slice(&chunk[..n]);
-        if body.len() > content_length {
-            return Err(RequestError::Malformed("body longer than Content-Length"));
-        }
     }
 
     Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
@@ -250,6 +257,50 @@ mod tests {
         ));
         let huge = vec![b'x'; MAX_HEAD_BYTES + 16];
         assert!(matches!(parse_bytes(&huge), Err(RequestError::TooLarge(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_after_the_body_are_not_an_error() {
+        // Regression: the reader used to reject any bytes beyond
+        // Content-Length that arrived in the same segment as the head —
+        // e.g. a pipelined follow-up request — as "body longer than
+        // Content-Length".
+        let req = parse_bytes(
+            b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"GET /healthz HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn body_read_stops_exactly_at_content_length() {
+        // Same regression across the read loop: head in one segment, body
+        // plus trailing bytes in later ones. A fresh stream write lands in
+        // separate reads often enough that the old full-chunk reads
+        // overshot and errored.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"POST /run HTTP/1.1\r\nContent-Length: 6\r\n\r\n").unwrap();
+        client.flush().unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        client.write_all(b"abcdefTRAILING-JUNK").unwrap();
+        drop(client);
+        let req = read_request(&mut server_side, 1024).unwrap();
+        assert_eq!(req.body, b"abcdef");
+    }
+
+    #[test]
+    fn duplicate_content_length_must_agree() {
+        // Agreeing duplicates are tolerated (RFC 9110 §8.6)…
+        let req =
+            parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        assert_eq!(req.body, b"ok");
+        // …conflicting ones are rejected rather than last-one-wins.
+        let err =
+            parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 90\r\n\r\nok");
+        assert!(matches!(err, Err(RequestError::Malformed("conflicting Content-Length"))));
     }
 
     #[test]

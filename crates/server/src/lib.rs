@@ -94,7 +94,10 @@ impl Default for ServerConfig {
 const SWEEP_POOL_SLOTS: usize = 8;
 
 /// An MRU pool of [`Sweep`]s keyed by [`ExperimentConfig`] — the
-/// cross-request trace cache.
+/// cross-request trace cache. Served experiments run through the pooled
+/// sweep's batch API (`Sweep::machines` → `fetchvp_core::run_batch`), so
+/// a job's `jobs` worker count composes with per-cell config batching
+/// exactly as it does on the CLI.
 struct SweepPool {
     slots: Mutex<Vec<(ExperimentConfig, Sweep)>>,
 }

@@ -33,6 +33,26 @@ cargo build $OFFLINE --release
 echo "== tier-1: cargo test -q"
 cargo test $OFFLINE -q
 
+# The batch kernel's correctness contract: batched configs produce counters
+# byte-identical to serial runs, on every workload, at --jobs 1 and 8.
+echo "== batch-vs-serial differential"
+cargo test $OFFLINE -q -p fetchvp-experiments --test batch_vs_serial
+
+# HTTP reader regressions: trailing keep-alive bytes, exact body reads and
+# duplicate Content-Length handling.
+echo "== http reader regressions"
+cargo test $OFFLINE -q -p fetchvp-server --lib http::
+
+# Throughput expectation for the batched kernel (see EXPERIMENTS.md):
+# warn-only, because wall-clock on shared CI hosts is too noisy to gate.
+if [ -f benchmarks/BENCH_baseline.json ]; then
+    echo "== bench gate (warn-only)"
+    cargo run $OFFLINE --release -p fetchvp-cli -- bench --quick --out /tmp/BENCH_ci.json \
+        >/dev/null
+    BENCH_WARN_ONLY=1 ./scripts/bench_compare.sh benchmarks/BENCH_baseline.json \
+        /tmp/BENCH_ci.json
+fi
+
 for example in quickstart did_analysis trace_cache_vp custom_workload event_vs_analytic serve_client; do
     echo "== example: $example"
     cargo run $OFFLINE --release --example "$example" >/dev/null
