@@ -55,6 +55,16 @@
 //! serving (simulation as a service):
 //!   serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!                                   run the HTTP daemon (see fetchvp-server)
+//!
+//! fuzzing (the standing invariant gate):
+//!   fuzz [--cases N] [--seed S] [--max-len N] [--out FILE]
+//!                                   differentially fuzz sampled workload-family
+//!                                   points across the machine set; nonzero exit
+//!                                   on any invariant violation, each printed as
+//!                                   a replayable repro tuple
+//!   fuzz --replay "TUPLE"           re-check one printed repro tuple
+//!   atlas [family] [--trace-len N]  sweep a coarse knob grid and map where the
+//!                                   fetch-bandwidth effect is largest
 //! ```
 
 use std::fs::File;
@@ -63,8 +73,8 @@ use std::process::ExitCode;
 
 use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
 use fetchvp_experiments::{
-    ablations, bench, default_jobs, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3,
-    table3_1, table3_2, ExperimentConfig, Sweep, Table,
+    ablations, atlas, bench, default_jobs, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3,
+    fuzz, table3_1, table3_2, ExperimentConfig, Sweep, Table,
 };
 use fetchvp_isa::parse_program;
 use fetchvp_metrics::Json;
@@ -84,6 +94,8 @@ tracing:     trace-viz <workload> [--cycles A..B] [--out FILE]
 benchmarks:  bench [--quick] [--repeat N] [--out FILE] / bench-compare \
              <old.json> <new.json> [--threshold PCT] / profile
 serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+fuzzing:     fuzz [--cases N] [--seed S] [--max-len N] [--replay TUPLE] [--out FILE]
+             atlas [family] [--trace-len N]
 other:       --version";
 
 /// Every subcommand, for `did you mean …` suggestions on typos.
@@ -122,7 +134,90 @@ const COMMANDS: &[&str] = &[
     "bench-compare",
     "profile",
     "serve",
+    "fuzz",
+    "atlas",
 ];
+
+/// Every flag the parser understands, for used-flag tracking.
+const KNOWN_FLAGS: &[&str] = &[
+    "--trace-len",
+    "--seed",
+    "--jobs",
+    "--csv",
+    "--chart",
+    "--quick",
+    "--out",
+    "--repeat",
+    "--threshold",
+    "--cycles",
+    "--addr",
+    "--workers",
+    "--queue-depth",
+    "--cases",
+    "--max-len",
+    "--replay",
+];
+
+/// Flags shared by every figure/table/ablation experiment runner.
+const EXPERIMENT_FLAGS: &[&str] = &["--trace-len", "--seed", "--jobs", "--csv", "--chart"];
+
+/// What one subcommand accepts: its flags and its positional-argument cap.
+struct CommandSpec {
+    flags: &'static [&'static str],
+    positionals: usize,
+}
+
+/// The accepted surface of each known subcommand. `None` for unknown
+/// subcommands (those take the did-you-mean path in [`run_one`]).
+fn command_spec(name: &str) -> Option<CommandSpec> {
+    let spec = |flags, positionals| Some(CommandSpec { flags, positionals });
+    match name {
+        "save-trace" => spec(&["--trace-len", "--seed"], 2),
+        "trace-info" => spec(&[], 1),
+        "run-asm" => spec(&["--trace-len", "--seed"], 1),
+        "trace-viz" => spec(&["--trace-len", "--seed", "--jobs", "--cycles", "--out"], 1),
+        "bench" => spec(&["--trace-len", "--seed", "--jobs", "--quick", "--repeat", "--out"], 0),
+        "bench-compare" => spec(&["--threshold"], 2),
+        "profile" => spec(&["--trace-len", "--seed", "--csv"], 0),
+        "serve" => spec(&["--addr", "--workers", "--queue-depth"], 0),
+        "fuzz" => spec(&["--cases", "--seed", "--max-len", "--replay", "--out"], 0),
+        "atlas" => spec(&["--trace-len", "--seed", "--csv"], 1),
+        name if COMMANDS.contains(&name) => spec(EXPERIMENT_FLAGS, 0),
+        _ => None,
+    }
+}
+
+/// Rejects flags and stray positionals a known subcommand does not take
+/// (unknown subcommands are reported with suggestions by [`run_one`]).
+fn validate_invocation(opts: &Options) -> Result<(), String> {
+    let Some(spec) = command_spec(&opts.experiment) else { return Ok(()) };
+    for flag in &opts.used_flags {
+        if !spec.flags.contains(flag) {
+            let suggestion = spec
+                .flags
+                .iter()
+                .map(|&known| (edit_distance(flag, known), known))
+                .min()
+                .filter(|&(distance, _)| distance <= 3)
+                .map(|(_, known)| format!(" (did you mean `{known}`?)"))
+                .unwrap_or_default();
+            return Err(format!(
+                "`{}` does not take the flag `{flag}`{suggestion}",
+                opts.experiment
+            ));
+        }
+    }
+    if opts.positionals.len() > spec.positionals {
+        return Err(format!(
+            "`{}` takes at most {} positional argument(s), got {} (first extra: `{}`)",
+            opts.experiment,
+            spec.positionals,
+            opts.positionals.len(),
+            opts.positionals[spec.positionals]
+        ));
+    }
+    Ok(())
+}
 
 /// Levenshtein edit distance — small inputs only (command names).
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -178,6 +273,14 @@ struct Options {
     workers: Option<usize>,
     /// `serve`: bounded job-queue capacity.
     queue_depth: Option<usize>,
+    /// `fuzz`: cases to sample.
+    cases: usize,
+    /// `fuzz`: upper bound on each case's trace length.
+    max_len: u64,
+    /// `fuzz`: re-check one printed repro tuple instead of sampling.
+    replay: Option<String>,
+    /// Flags seen on the command line, for per-subcommand validation.
+    used_flags: Vec<&'static str>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -195,8 +298,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut addr = None;
     let mut workers = None;
     let mut queue_depth = None;
+    let mut cases = fuzz::FuzzOptions::default().cases;
+    let mut max_len = fuzz::FuzzOptions::default().max_len;
+    let mut replay = None;
+    let mut used_flags = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if let Some(flag) = KNOWN_FLAGS.iter().find(|&&f| f == arg.as_str()) {
+            used_flags.push(*flag);
+        }
         match arg.as_str() {
             "--trace-len" => {
                 let v = it.next().ok_or("--trace-len needs a value")?;
@@ -267,6 +377,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or(format!("bad queue depth `{v}` (need an integer >= 1)"))?,
                 );
             }
+            "--cases" => {
+                let v = it.next().ok_or("--cases needs a value")?;
+                cases = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad case count `{v}` (need an integer >= 1)"))?;
+            }
+            "--max-len" => {
+                let v = it.next().ok_or("--max-len needs a value")?;
+                max_len = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad max length `{v}` (need an integer >= 1)"))?;
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a repro tuple")?;
+                replay = Some(v.clone());
+            }
             other if !other.starts_with('-') => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
@@ -293,6 +423,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         addr,
         workers,
         queue_depth,
+        cases,
+        max_len,
+        replay,
+        used_flags,
     })
 }
 
@@ -448,6 +582,57 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn run_fuzz(opts: &Options) -> Result<(), String> {
+    if let Some(tuple) = &opts.replay {
+        let spec = fuzz::CaseSpec::parse(tuple)?;
+        return match fuzz::replay(&spec) {
+            None => {
+                println!("replay: {spec}\nreplay: every invariant holds");
+                Ok(())
+            }
+            Some(invariant) => {
+                println!("replay: {spec}");
+                Err(format!("replayed case still fails: {invariant}"))
+            }
+        };
+    }
+    let options = fuzz::FuzzOptions {
+        cases: opts.cases,
+        seed: opts.config.workloads.seed,
+        max_len: opts.max_len,
+    };
+    let report = fuzz::run(&options);
+    print!("{}", report.render());
+    if let Some(path) = &opts.out {
+        std::fs::write(path, report.repro_lines())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {} repro tuple(s) to {path}", report.failures.len());
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} invariant failure(s)", report.failures.len()))
+    }
+}
+
+fn run_atlas(opts: &Options) -> Result<(), String> {
+    let family = match opts.positionals.as_slice() {
+        [] => "m88ksim",
+        [family] => family.as_str(),
+        _ => return Err("atlas takes at most one family name".into()),
+    };
+    // The default 1M-point grid would dominate a CI run; the atlas is a
+    // map, not a measurement, so it defaults to the quick length (an
+    // explicit --trace-len still wins).
+    let trace_len = if opts.used_flags.contains(&"--trace-len") {
+        opts.config.trace_len
+    } else {
+        ExperimentConfig::quick().trace_len
+    };
+    emit(&atlas::run(family, trace_len)?.to_table(), opts.csv);
+    Ok(())
+}
+
 fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
     let cfg = sweep.config();
     let (csv, chart, positionals) = (opts.csv, opts.chart, opts.positionals.as_slice());
@@ -462,6 +647,8 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
         "usefulness" => emit(&fetchvp_experiments::usefulness::run_with(sweep).to_table(), csv),
         "profile" => emit(&fetchvp_experiments::profile::run(cfg).to_table(), csv),
         "serve" => return run_serve(opts),
+        "fuzz" => return run_fuzz(opts),
+        "atlas" => return run_atlas(opts),
         "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),
         "accuracy" => emit(&fetchvp_experiments::accuracy::run_with(sweep).to_table(), csv),
         "breakdown" => emit(&fetchvp_experiments::breakdown::run_with(sweep).to_table(), csv),
@@ -531,7 +718,7 @@ fn main() -> ExitCode {
         println!("fetchvp {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
     }
-    let options = match parse_args(&args) {
+    let options = match parse_args(&args).and_then(|o| validate_invocation(&o).map(|()| o)) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -689,6 +876,82 @@ mod tests {
         let o = opts(&["trace-viz"]).unwrap();
         let sweep = Sweep::with_jobs(&o.config, o.jobs);
         assert!(run_one(&o.experiment, &sweep, &o).is_err());
+    }
+
+    #[test]
+    fn rejects_inapplicable_known_flags() {
+        // Regression: `fetchvp table3-1 --quick` used to exit 0, silently
+        // ignoring the flag. Known flags must be rejected on subcommands
+        // that do not take them.
+        let o = opts(&["table3-1", "--quick"]).unwrap();
+        let err = validate_invocation(&o).unwrap_err();
+        assert!(err.contains("does not take the flag `--quick`"), "{err}");
+
+        // Near-miss flags get the did-you-mean path.
+        let o = opts(&["fuzz", "--cycles", "0..9"]).unwrap();
+        let err = validate_invocation(&o).unwrap_err();
+        assert!(err.contains("did you mean `--cases`?"), "{err}");
+
+        // Applicable flags still pass on every surface they belong to.
+        for line in [
+            vec!["fig3-1", "--trace-len", "500", "--jobs", "2", "--csv", "--chart"],
+            vec!["bench", "--quick", "--repeat", "2", "--out", "r.json"],
+            vec!["trace-viz", "gcc", "--cycles", "0..9", "--out", "t.json"],
+            vec!["serve", "--addr", "127.0.0.1:0", "--workers", "2"],
+            vec!["fuzz", "--cases", "8", "--seed", "7", "--max-len", "900"],
+            vec!["atlas", "mgrid", "--trace-len", "800"],
+        ] {
+            let o = opts(&line).unwrap();
+            validate_invocation(&o).unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_stray_positionals() {
+        // Regression: `fetchvp fig3-1 extra` used to exit 0 with the
+        // stray word silently dropped.
+        let o = opts(&["fig3-1", "extra"]).unwrap();
+        let err = validate_invocation(&o).unwrap_err();
+        assert!(err.contains("positional"), "{err}");
+        assert!(err.contains("`extra`"), "{err}");
+        validate_invocation(&opts(&["save-trace", "gcc", "f.bin"]).unwrap()).unwrap();
+        assert!(validate_invocation(&opts(&["save-trace", "gcc", "f.bin", "x"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommands_still_take_the_suggestion_path() {
+        // validate_invocation must not shadow run_one's did-you-mean
+        // handling for unknown subcommands.
+        let o = opts(&["benhc", "--quick"]).unwrap();
+        validate_invocation(&o).unwrap();
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let o = opts(&["fuzz", "--cases", "16", "--seed", "7", "--max-len", "9000"]).unwrap();
+        assert_eq!(o.cases, 16);
+        assert_eq!(o.config.workloads.seed, 7);
+        assert_eq!(o.max_len, 9000);
+        assert!(o.replay.is_none());
+        assert!(opts(&["fuzz", "--cases", "0"]).is_err());
+        assert!(opts(&["fuzz", "--max-len", "wat"]).is_err());
+        assert!(opts(&["fuzz", "--replay"]).is_err());
+        let o = opts(&["fuzz", "--replay", "gcc did=1 len=600"]).unwrap();
+        assert_eq!(o.replay.as_deref(), Some("gcc did=1 len=600"));
+    }
+
+    #[test]
+    fn fuzz_replay_runs_end_to_end() {
+        let o = opts(&["fuzz", "--replay", "m88ksim did=0.5 len=600"]).unwrap();
+        run_fuzz(&o).unwrap();
+        let o = opts(&["fuzz", "--replay", "nonesuch len=600"]).unwrap();
+        assert!(run_fuzz(&o).is_err());
+    }
+
+    #[test]
+    fn atlas_rejects_unknown_families() {
+        let o = opts(&["atlas", "nonesuch"]).unwrap();
+        assert!(run_atlas(&o).is_err());
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Scenario atlas: a coarse sweep of one workload family's knob grid,
+//! mapping **where in workload space** the paper's fetch-bandwidth ×
+//! value-prediction effect is largest.
+//!
+//! For every grid point — dependence-distance stretch `did` ∈ {0,1,2,3} ×
+//! predictable-value weight `p` ∈ {0,⅓,⅔,1} (`mix_stride = p`,
+//! `mix_random = 1 − p`) — the ideal machine runs with and without the
+//! stride predictor at fetch-4 and fetch-40 in one batch, and the table
+//! reports the VP speedup at both widths plus the PR-5 useful-fraction
+//! shift. The legacy benchmark is the family origin next to the
+//! `did=0, p=0` corner (with both mix knobs zero rather than
+//! `mix_random=1`), so the atlas always brackets the paper's own
+//! measurement point.
+
+use fetchvp_core::{run_batch, IdealConfig, MachineConfig, VpConfig};
+use fetchvp_trace::trace_program;
+use fetchvp_workloads::{family_by_name, Knobs, WorkloadParams};
+
+use crate::report::{pct, Table};
+use crate::usefulness::{NARROW_FETCH, WIDE_FETCH};
+
+/// The `did` knob values the atlas sweeps.
+pub const DID_GRID: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
+/// The predictable-value weights the atlas sweeps.
+pub const MIX_GRID: [f64; 4] = [0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0];
+
+/// One grid point's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtlasCell {
+    /// Dependence-distance stretch knob.
+    pub did: f64,
+    /// Predictable-value weight (`mix_stride = p`, `mix_random = 1 − p`).
+    pub predictable: f64,
+    /// VP speedup at fetch-4 (fraction, the paper's figure unit).
+    pub speedup_narrow: f64,
+    /// VP speedup at fetch-40.
+    pub speedup_wide: f64,
+    /// Useful fraction of correct predictions at fetch-4.
+    pub useful_narrow: f64,
+    /// Useful fraction of correct predictions at fetch-40.
+    pub useful_wide: f64,
+}
+
+impl AtlasCell {
+    /// How much of the VP speedup only fetch bandwidth unlocks — the
+    /// paper's headline effect, as a per-point observable.
+    pub fn bandwidth_gain(&self) -> f64 {
+        self.speedup_wide - self.speedup_narrow
+    }
+}
+
+/// The full atlas of one family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtlasResult {
+    /// The swept family's name.
+    pub family: String,
+    /// Instructions traced per grid point.
+    pub trace_len: u64,
+    /// One cell per grid point, `did`-major.
+    pub cells: Vec<AtlasCell>,
+}
+
+impl AtlasResult {
+    /// The grid point where widening fetch 4 → 40 unlocks the most
+    /// speedup.
+    pub fn hottest(&self) -> Option<&AtlasCell> {
+        self.cells
+            .iter()
+            .max_by(|a, b| a.bandwidth_gain().partial_cmp(&b.bandwidth_gain()).unwrap())
+    }
+
+    /// Renders the atlas as a markdown table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Scenario atlas — `{}` family, ideal machine, stride VP ({} instructions/point)",
+                self.family, self.trace_len
+            ),
+            &[
+                "did",
+                "predictable",
+                "speedup @ fetch-4",
+                "speedup @ fetch-40",
+                "bandwidth gain",
+                "useful @ fetch-4",
+                "useful @ fetch-40",
+            ],
+        );
+        for c in &self.cells {
+            t.row(&[
+                format!("{:.0}", c.did),
+                pct(c.predictable),
+                pct(c.speedup_narrow),
+                pct(c.speedup_wide),
+                pct(c.bandwidth_gain()),
+                pct(c.useful_narrow),
+                pct(c.useful_wide),
+            ]);
+        }
+        t
+    }
+}
+
+/// Sweeps the atlas grid of one family. Errors on an unknown family name.
+pub fn run(family: &str, trace_len: u64) -> Result<AtlasResult, String> {
+    let fam = family_by_name(family)
+        .ok_or_else(|| format!("unknown workload family `{family}` (see `fetchvp table3-1`)"))?;
+    let params = WorkloadParams::default();
+    let ideal = |fetch_rate: usize, vp: VpConfig| {
+        MachineConfig::Ideal(IdealConfig { fetch_rate, vp, ..IdealConfig::default() })
+    };
+    let configs = [
+        ideal(NARROW_FETCH, VpConfig::None),
+        ideal(NARROW_FETCH, VpConfig::stride_infinite()),
+        ideal(WIDE_FETCH, VpConfig::None),
+        ideal(WIDE_FETCH, VpConfig::stride_infinite()),
+    ];
+    let mut cells = Vec::new();
+    for did in DID_GRID {
+        for predictable in MIX_GRID {
+            let knobs = Knobs {
+                did,
+                mix_stride: predictable,
+                mix_random: 1.0 - predictable,
+                ..Knobs::default()
+            };
+            let trace = trace_program(&fam.program(&params, &knobs), trace_len);
+            let r = run_batch(&trace, &configs);
+            cells.push(AtlasCell {
+                did,
+                predictable,
+                speedup_narrow: r[1].speedup_over(&r[0]),
+                speedup_wide: r[3].speedup_over(&r[2]),
+                useful_narrow: r[1].usefulness.useful_fraction(),
+                useful_wide: r[3].usefulness.useful_fraction(),
+            });
+        }
+    }
+    Ok(AtlasResult { family: fam.name().to_string(), trace_len, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_family_errors() {
+        assert!(run("nonesuch", 1_000).is_err());
+    }
+
+    #[test]
+    fn covers_the_full_grid() {
+        let atlas = run("m88ksim", 4_000).unwrap();
+        assert_eq!(atlas.cells.len(), DID_GRID.len() * MIX_GRID.len());
+        assert!(atlas.hottest().is_some());
+        let text = atlas.to_table().to_string();
+        assert_eq!(text.lines().filter(|l| l.starts_with('|')).count(), 2 + atlas.cells.len());
+    }
+
+    #[test]
+    fn bandwidth_widens_speedup_somewhere() {
+        // The paper's effect must be visible on the atlas: at least one
+        // grid point gains speedup from fetch bandwidth.
+        let atlas = run("m88ksim", 8_000).unwrap();
+        assert!(
+            atlas.hottest().unwrap().bandwidth_gain() > 0.0,
+            "no grid point gained from fetch bandwidth"
+        );
+    }
+}

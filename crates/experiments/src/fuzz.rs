@@ -1,0 +1,445 @@
+//! Differential fuzzing over workload families: the standing invariant
+//! gate.
+//!
+//! Each case draws one [`FamilyPoint`] from workload space (see
+//! [`fetchvp_workloads::family`]), traces it, and advances the
+//! [`fuzz_configs`] machine set through [`fetchvp_core::run_batch`]. The
+//! deterministic metrics-JSON surface of every [`MachineResult`] is then
+//! checked against the cross-machine invariants:
+//!
+//! * **I1 ideal dominance** — at equal fetch width and equal value
+//!   predictor, the ideal front-end never loses to a realistic one
+//!   (`ideal.cycles <= realistic.cycles`).
+//! * **I2 usefulness conservation** — every correct prediction is
+//!   attributed exactly once: `useful + useless == correct` (PR 5's
+//!   first-consumer rule).
+//! * **I3 batch-vs-serial identity** — each config's batched metrics JSON
+//!   is byte-identical to the same config run alone on its serial machine.
+//! * **I4 companion independence** — splitting the config set into two
+//!   batches changes no bytes (the `--jobs`/chunking-independence analog
+//!   for a single trace).
+//! * **I5 fetch monotonicity** — on the ideal machine, IPC is
+//!   non-decreasing in fetch bandwidth (cycles non-increasing over fetch
+//!   4 → 8 → 16 → 40).
+//!
+//! Every failure is reported as a replayable repro tuple —
+//! `family knobs… seed=0x… len=N` — and minimized by halving the trace
+//! length while the invariant still fails. `fetchvp fuzz --replay "…"`
+//! re-checks a printed tuple; [`CaseSpec::parse`] round-trips the
+//! [`std::fmt::Display`] rendering exactly.
+
+use fetchvp_core::{
+    run_batch, BtbKind, FrontEnd, IdealConfig, IdealMachine, MachineConfig, MachineResult,
+    RealisticConfig, RealisticMachine, VpConfig,
+};
+use fetchvp_predictor::BankedConfig;
+use fetchvp_trace::{trace_program, Trace};
+use fetchvp_workloads::rng::SplitMix64;
+use fetchvp_workloads::{family_by_name, FamilyPoint, Knobs, WorkloadParams};
+
+/// Fuzzing-run parameters (the CLI's `fuzz` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzOptions {
+    /// Cases to sample and check.
+    pub cases: usize,
+    /// Base seed; equal options replay the identical case sequence.
+    pub seed: u64,
+    /// Upper bound on each case's trace length.
+    pub max_len: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions { cases: 256, seed: 0x1998, max_len: 60_000 }
+    }
+}
+
+/// Shortest trace the sampler draws and the shrinker keeps — below this
+/// the machines barely leave their pipeline fill transient.
+pub const MIN_LEN: u64 = 512;
+
+/// One fully-specified fuzz case: a workload-space point plus a trace
+/// length. Its [`std::fmt::Display`] rendering is the replayable repro
+/// tuple; [`CaseSpec::parse`] inverts it exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseSpec {
+    /// The sampled workload-space point.
+    pub point: FamilyPoint,
+    /// Dynamic instructions to trace.
+    pub len: u64,
+}
+
+impl CaseSpec {
+    /// Derives the whole case from one seed: family, knobs, workload seed
+    /// and trace length are all functions of `case_seed`.
+    pub fn from_seed(case_seed: u64, max_len: u64) -> CaseSpec {
+        let mut rng = SplitMix64::new(case_seed);
+        let point = FamilyPoint::sample(&mut rng);
+        let lo = MIN_LEN.min(max_len.max(1));
+        let hi = max_len.max(lo);
+        let len = lo + if hi > lo { rng.below(hi - lo + 1) } else { 0 };
+        CaseSpec { point, len }
+    }
+
+    /// Parses a repro tuple as printed by [`std::fmt::Display`]:
+    /// `family key=value… seed=0x… len=N`.
+    pub fn parse(text: &str) -> Result<CaseSpec, String> {
+        let mut tokens = text.split_whitespace();
+        let family = tokens.next().ok_or("empty repro tuple")?;
+        let family =
+            family_by_name(family).ok_or_else(|| format!("unknown family `{family}`"))?.name();
+        let mut knobs = Knobs::default();
+        let mut params = WorkloadParams::default();
+        let mut len = None;
+        for token in tokens {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{token}`"))?;
+            match key {
+                "seed" => {
+                    let digits = value.strip_prefix("0x").unwrap_or(value);
+                    let radix = if digits.len() < value.len() { 16 } else { 10 };
+                    params.seed = u64::from_str_radix(digits, radix)
+                        .map_err(|_| format!("bad seed `{value}`"))?;
+                }
+                "len" => {
+                    len = Some(value.parse().map_err(|_| format!("bad length `{value}`"))?);
+                }
+                _ => {
+                    let parsed: f64 =
+                        value.parse().map_err(|_| format!("bad value for `{key}`: `{value}`"))?;
+                    if !knobs.set(key, parsed) {
+                        return Err(format!("unknown knob `{key}`"));
+                    }
+                }
+            }
+        }
+        let len = len.ok_or("repro tuple is missing len=N")?;
+        Ok(CaseSpec { point: FamilyPoint { family, knobs, params }, len })
+    }
+}
+
+impl std::fmt::Display for CaseSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} len={}", self.point, self.len)
+    }
+}
+
+/// How a case's machine set is executed. The production implementation is
+/// [`BatchRunner`]; tests inject corrupting runners to prove the harness
+/// catches and shrinks seeded failures.
+pub trait CaseRunner {
+    /// Runs every config over the trace, one result per config.
+    fn run(&self, trace: &Trace, configs: &[MachineConfig]) -> Vec<MachineResult>;
+}
+
+/// The production runner: the batch pipeline kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchRunner;
+
+impl CaseRunner for BatchRunner {
+    fn run(&self, trace: &Trace, configs: &[MachineConfig]) -> Vec<MachineResult> {
+        run_batch(trace, configs)
+    }
+}
+
+// Indices into `fuzz_configs()`, used by the invariant checks below.
+const IDEAL_40_STRIDE: usize = 0;
+const CONV_40_STRIDE: usize = 1;
+const IDEAL_40_NONE: usize = 2;
+const CONV_40_NONE: usize = 3;
+const IDEAL_4_STRIDE: usize = 4;
+const IDEAL_8_STRIDE: usize = 5;
+const IDEAL_16_STRIDE: usize = 6;
+#[cfg(test)]
+const CONV_40_BANKED: usize = 7;
+
+/// The differential machine set: ideal front-ends at four widths, the
+/// realistic conventional front-end with and without value prediction,
+/// and the §4 banked-table variant — eight configs, one batch chunk.
+pub fn fuzz_configs() -> Vec<MachineConfig> {
+    let ideal = |fetch_rate: usize, vp: VpConfig| {
+        MachineConfig::Ideal(IdealConfig { fetch_rate, vp, ..IdealConfig::default() })
+    };
+    let conv = |vp: VpConfig| {
+        RealisticConfig::paper(
+            FrontEnd::Conventional {
+                width: 40,
+                max_taken: Some(4),
+                btb: BtbKind::two_level_paper(),
+            },
+            vp,
+        )
+    };
+    vec![
+        ideal(40, VpConfig::stride_infinite()),
+        MachineConfig::Realistic(conv(VpConfig::stride_infinite())),
+        ideal(40, VpConfig::None),
+        MachineConfig::Realistic(conv(VpConfig::None)),
+        ideal(4, VpConfig::stride_infinite()),
+        ideal(8, VpConfig::stride_infinite()),
+        ideal(16, VpConfig::stride_infinite()),
+        MachineConfig::Realistic(
+            conv(VpConfig::stride_infinite()).with_banked(BankedConfig::default()),
+        ),
+    ]
+}
+
+/// One caught invariant violation: the original failing case, its
+/// shrunk minimum, and which invariant broke.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzFailure {
+    /// Index of the case in the run's sequence.
+    pub case_index: usize,
+    /// The case as sampled.
+    pub spec: CaseSpec,
+    /// The shortest still-failing version of the case.
+    pub shrunk: CaseSpec,
+    /// Which invariant failed, with the offending counter values.
+    pub invariant: String,
+}
+
+/// The outcome of one fuzzing run. Equal [`FuzzOptions`] produce equal
+/// reports — the run is deterministic end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// The options the run used.
+    pub options: FuzzOptions,
+    /// Every caught violation, in case order.
+    pub failures: Vec<FuzzFailure>,
+    /// Total instructions traced across all cases (repro-tuple traces
+    /// only; shrinking re-runs are not counted).
+    pub instructions: u64,
+}
+
+impl FuzzReport {
+    /// True when every case satisfied every invariant.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable run summary (deterministic for equal options).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fuzz: {} cases, seed {:#x}, max-len {}, {} machine configs\n",
+            self.options.cases,
+            self.options.seed,
+            self.options.max_len,
+            fuzz_configs().len()
+        );
+        for failure in &self.failures {
+            out.push_str(&format!(
+                "fuzz: case {} FAILED: {}\n  repro:  {}\n  shrunk: {}\n",
+                failure.case_index, failure.invariant, failure.spec, failure.shrunk
+            ));
+        }
+        if self.passed() {
+            out.push_str(&format!(
+                "fuzz: all {} cases passed ({} instructions traced)\n",
+                self.options.cases, self.instructions
+            ));
+        } else {
+            out.push_str(&format!(
+                "fuzz: {} of {} cases FAILED\n",
+                self.failures.len(),
+                self.options.cases
+            ));
+        }
+        out
+    }
+
+    /// One repro tuple per line, for the nightly failure artifact.
+    pub fn repro_lines(&self) -> String {
+        self.failures.iter().map(|f| format!("{}\n", f.shrunk)).collect()
+    }
+}
+
+/// Checks one case; `Some(message)` names the violated invariant.
+fn check_case(runner: &dyn CaseRunner, spec: &CaseSpec) -> Option<String> {
+    let program = spec.point.program();
+    let trace = trace_program(&program, spec.len);
+    let configs = fuzz_configs();
+    let results = runner.run(&trace, &configs);
+    if results.len() != configs.len() {
+        return Some(format!(
+            "runner returned {} results for {} configs",
+            results.len(),
+            configs.len()
+        ));
+    }
+
+    // I2: usefulness conservation on every value-predicting machine.
+    for (i, r) in results.iter().enumerate() {
+        if let Some(vp) = &r.vp_stats {
+            let attributed = r.usefulness.useful + r.usefulness.useless;
+            if attributed != vp.correct {
+                return Some(format!(
+                    "I2 usefulness-conservation: config #{i}: useful {} + useless {} != correct {}",
+                    r.usefulness.useful, r.usefulness.useless, vp.correct
+                ));
+            }
+        }
+    }
+
+    // I1: ideal dominance at equal width and equal predictor.
+    for (ideal, realistic) in [(IDEAL_40_STRIDE, CONV_40_STRIDE), (IDEAL_40_NONE, CONV_40_NONE)] {
+        if results[ideal].cycles > results[realistic].cycles {
+            return Some(format!(
+                "I1 ideal-dominance: ideal config #{ideal} took {} cycles, realistic #{realistic} only {}",
+                results[ideal].cycles, results[realistic].cycles
+            ));
+        }
+    }
+
+    // I5: ideal-machine IPC monotone in fetch bandwidth.
+    let ladder = [IDEAL_4_STRIDE, IDEAL_8_STRIDE, IDEAL_16_STRIDE, IDEAL_40_STRIDE];
+    for pair in ladder.windows(2) {
+        let (narrow, wide) = (pair[0], pair[1]);
+        if results[wide].cycles > results[narrow].cycles {
+            return Some(format!(
+                "I5 fetch-monotonicity: widening fetch (config #{narrow} -> #{wide}) raised cycles {} -> {}",
+                results[narrow].cycles, results[wide].cycles
+            ));
+        }
+    }
+
+    let bytes: Vec<String> = results.iter().map(|r| r.metrics().to_json().to_json()).collect();
+
+    // I3: batched bytes match the serial machines.
+    for (i, config) in configs.iter().enumerate() {
+        let serial = match *config {
+            MachineConfig::Ideal(ic) => IdealMachine::new(ic).run(&trace),
+            MachineConfig::Realistic(rc) => RealisticMachine::new(rc).run(&trace),
+        };
+        if serial.metrics().to_json().to_json() != bytes[i] {
+            return Some(format!(
+                "I3 batch-vs-serial: config #{i} diverged from its serial machine"
+            ));
+        }
+    }
+
+    // I4: companion independence — two half-batches, same bytes.
+    let (front, back) = configs.split_at(configs.len() / 2);
+    let mut split = runner.run(&trace, front);
+    split.extend(runner.run(&trace, back));
+    for (i, r) in split.iter().enumerate() {
+        if r.metrics().to_json().to_json() != bytes[i] {
+            return Some(format!(
+                "I4 companion-independence: config #{i} changed when batched separately"
+            ));
+        }
+    }
+
+    None
+}
+
+/// Minimizes a failing case by halving its trace length while the failure
+/// reproduces, stopping at [`MIN_LEN`].
+fn shrink(runner: &dyn CaseRunner, spec: &CaseSpec) -> CaseSpec {
+    let mut best = *spec;
+    while best.len / 2 >= MIN_LEN {
+        let candidate = CaseSpec { len: best.len / 2, ..best };
+        if check_case(runner, &candidate).is_none() {
+            break;
+        }
+        best = candidate;
+    }
+    best
+}
+
+/// Re-checks one printed repro tuple; `Some(message)` means it still
+/// fails.
+pub fn replay(spec: &CaseSpec) -> Option<String> {
+    replay_with(&BatchRunner, spec)
+}
+
+/// [`replay`] against an injected runner — lets tests confirm a shrunk
+/// tuple still trips the same seeded bug that produced it.
+pub fn replay_with(runner: &dyn CaseRunner, spec: &CaseSpec) -> Option<String> {
+    check_case(runner, spec)
+}
+
+/// Runs the fuzzer with the production [`BatchRunner`].
+pub fn run(options: &FuzzOptions) -> FuzzReport {
+    run_with(&BatchRunner, options)
+}
+
+/// Runs the fuzzer with an injected [`CaseRunner`] (the test seam).
+pub fn run_with(runner: &dyn CaseRunner, options: &FuzzOptions) -> FuzzReport {
+    let mut failures = Vec::new();
+    let mut instructions = 0;
+    for case_index in 0..options.cases {
+        // Decorate the index so consecutive cases start far apart in the
+        // SplitMix64 sequence (the testutil `for_cases` recipe).
+        let case_seed = (case_index as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ options.seed;
+        let spec = CaseSpec::from_seed(case_seed, options.max_len);
+        instructions += spec.len;
+        if let Some(invariant) = check_case(runner, &spec) {
+            let shrunk = shrink(runner, &spec);
+            failures.push(FuzzFailure { case_index, spec, shrunk, invariant });
+        }
+    }
+    FuzzReport { options: *options, failures, instructions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_specs_are_deterministic_and_bounded() {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let a = CaseSpec::from_seed(seed, 10_000);
+            let b = CaseSpec::from_seed(seed, 10_000);
+            assert_eq!(a, b);
+            assert!((MIN_LEN..=10_000).contains(&a.len));
+        }
+    }
+
+    #[test]
+    fn repro_tuples_round_trip() {
+        for seed in 0..32u64 {
+            let spec = CaseSpec::from_seed(seed, 60_000);
+            let printed = spec.to_string();
+            let parsed = CaseSpec::parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(parsed, spec, "{printed}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tuples() {
+        assert!(CaseSpec::parse("").is_err());
+        assert!(CaseSpec::parse("nonesuch len=100").is_err());
+        assert!(CaseSpec::parse("gcc wat=1 len=100").is_err());
+        assert!(CaseSpec::parse("gcc did=zz len=100").is_err());
+        assert!(CaseSpec::parse("gcc did=1").is_err(), "missing len");
+    }
+
+    #[test]
+    fn config_indices_line_up() {
+        let configs = fuzz_configs();
+        assert_eq!(configs.len(), 8);
+        let rate = |i: usize| match configs[i] {
+            MachineConfig::Ideal(ic) => ic.fetch_rate,
+            MachineConfig::Realistic(_) => panic!("config #{i} should be ideal"),
+        };
+        assert_eq!(rate(IDEAL_4_STRIDE), 4);
+        assert_eq!(rate(IDEAL_8_STRIDE), 8);
+        assert_eq!(rate(IDEAL_16_STRIDE), 16);
+        assert_eq!(rate(IDEAL_40_STRIDE), 40);
+        assert_eq!(rate(IDEAL_40_NONE), 40);
+        for i in [CONV_40_STRIDE, CONV_40_NONE, CONV_40_BANKED] {
+            assert!(matches!(configs[i], MachineConfig::Realistic(_)), "config #{i}");
+        }
+    }
+
+    #[test]
+    fn a_small_run_passes_and_is_deterministic() {
+        let options = FuzzOptions { cases: 4, seed: 11, max_len: 4_000 };
+        let a = run(&options);
+        let b = run(&options);
+        assert_eq!(a, b);
+        assert!(a.passed(), "{}", a.render());
+        assert!(a.render().contains("all 4 cases passed"));
+    }
+}

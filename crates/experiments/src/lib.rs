@@ -51,6 +51,7 @@ pub struct ReadmeDoctests;
 
 pub mod ablations;
 pub mod accuracy;
+pub mod atlas;
 pub mod bench;
 pub mod breakdown;
 pub mod chart;
@@ -61,6 +62,7 @@ pub mod fig3_5;
 pub mod fig5_1;
 pub mod fig5_2;
 pub mod fig5_3;
+pub mod fuzz;
 pub mod jobspec;
 pub mod profile;
 pub mod report;

@@ -86,6 +86,12 @@ impl Rng {
         self.next_u64() & 1 == 1
     }
 
+    /// A uniform float in `[0, 1)`, built from the top 53 bits of one
+    /// draw so every representable value is an exact dyadic rational.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
     /// A vector of `self.range_usize(len_lo, len_hi)` elements, each drawn
     /// by `f`.
     pub fn vec_with<T>(
@@ -159,6 +165,14 @@ mod tests {
             let v = r.vec_with(2, 6, |r| r.below(10));
             assert!((2..6).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range_and_varies() {
+        let mut r = Rng::new(3);
+        let draws: Vec<f64> = (0..200).map(|_| r.unit_f64()).collect();
+        assert!(draws.iter().all(|x| (0.0..1.0).contains(x)));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
@@ -15,9 +16,11 @@ const INPUT: u64 = 0x50_0000;
 const TABLE: u64 = 0x60_0000;
 const TABLE_SLOTS: u64 = 1024;
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0xC0);
     let mut b = ProgramBuilder::new("compress");
+    let mut kb = KnobBlock::new(params, knobs, 3);
+    kb.install_data(&mut b);
 
     // Input stream: pseudo-random bytes (high entropy — worst case for LZ).
     let input_len = 4096u64 * params.scale as u64;
@@ -40,6 +43,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     let out_bits = Reg::R6; // output-length accounting chain (predictable)
 
     let head = b.bind_label("next_byte");
+    kb.emit(&mut b);
     // -- fetch the next input byte, interleaved with the stream counters so
     //    the short address chain still spans a few instructions --
     b.alu_imm(AluOp::And, t0, pos, (input_len - 1) as i64);
@@ -91,13 +95,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn hash_values_are_not_strided() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let t = trace_program(&p, 30_000);
         // Find the `and hash, t1, mask` results (pc of the 3rd hash step).
         let hashes: Vec<u64> =
@@ -112,7 +116,7 @@ mod tests {
 
     #[test]
     fn dictionary_fills_over_time() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let mut exec = fetchvp_trace::Executor::new(&p);
         for _ in 0..100_000 {
             if exec.step().is_none() {

@@ -1,0 +1,504 @@
+//! Parameterized workload **families**: every fixed benchmark generalized
+//! into a continuous neighbourhood of programs.
+//!
+//! The nine synthetic benchmarks are single points in workload space. A
+//! [`WorkloadFamily`] keeps each benchmark's hand-tuned kernel and grafts a
+//! *knob block* into its main loop: a short instruction sequence whose
+//! shape is controlled by the continuous [`Knobs`]. The grafting is
+//! strictly **additive** — with the all-zero [`Knobs::default`] the block
+//! emits no instructions and no data, so the legacy benchmark is the exact
+//! origin point of its family (byte-identical program, byte-identical
+//! trace), which the differential tests enforce.
+//!
+//! Knob semantics (each knob scales one trace-level property the paper
+//! measures):
+//!
+//! * `did` — dependence-distance stretch: `round(did × 4)` spacer `nop`s
+//!   per iteration push loop-carried producers and consumers further apart
+//!   (the paper's dynamic instruction distance, §3.2).
+//! * `mix_constant` / `mix_stride` / `mix_periodic` / `mix_random` —
+//!   value-pattern mix: `round(knob × 4)` extra value producers per
+//!   iteration of the corresponding predictability class (repeated
+//!   immediate load, strided accumulator, period-2 toggle, table-random
+//!   load).
+//! * `branch_entropy` — when positive, one extra data-dependent branch per
+//!   iteration taken with probability ≈ `branch_entropy` (maximum entropy
+//!   at 0.5; 0 leaves the kernel's control flow untouched).
+//! * `mem_density` — `round(knob × 4)` extra store/load pairs per
+//!   iteration on a private scratch region.
+//!
+//! A [`FamilyPoint`] names one sampled program — `(family, knobs, seed)` —
+//! and [`FamilyPoint::sample`] draws points on a 1/64 grid so a printed
+//! point round-trips exactly through its decimal rendering (the fuzzing
+//! repro tuples depend on this).
+//!
+//! # Example
+//!
+//! ```
+//! use fetchvp_workloads::family::{families, FamilyPoint, Knobs};
+//!
+//! assert_eq!(families().len(), 9);
+//! // The legacy benchmark is the all-zero point of its family.
+//! let origin = FamilyPoint::legacy("gcc").unwrap();
+//! assert_eq!(origin.knobs, Knobs::default());
+//! let program = origin.program();
+//! assert!(program.len() > 0);
+//! ```
+
+use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+use crate::rng::SplitMix64;
+use crate::{compress, gcc, go, ijpeg, li, m88ksim, mgrid, perl, vortex, WorkloadParams};
+
+/// Base address of the knob block's random-value table (no legacy workload
+/// touches addresses at or above `0xE0_0000`).
+const TABLE: u64 = 0xE0_0000;
+/// Words in the random-value table (power of two for cheap masking).
+const TABLE_WORDS: u64 = 1024;
+/// Base address of the knob block's private store/load scratch region.
+const SCRATCH: u64 = 0xF0_0000;
+/// Words in the scratch region (power of two for cheap masking).
+const SCRATCH_WORDS: u64 = 256;
+
+// Registers reserved for the knob block. The legacy kernels use R1–R21
+// (plus R31 as li's link register), so R24–R30 are free in every family.
+const KNOB_CONST: Reg = Reg::R24;
+const KNOB_STRIDE: Reg = Reg::R25;
+const KNOB_PERIODIC: Reg = Reg::R26;
+const KNOB_CURSOR: Reg = Reg::R27;
+const KNOB_VALUE: Reg = Reg::R28;
+const KNOB_THRESH: Reg = Reg::R29;
+const KNOB_ADDR: Reg = Reg::R30;
+
+/// Emitted instructions per unit of the `did` knob.
+const DID_UNIT: f64 = 4.0;
+/// Emitted value producers per unit of each `mix_*` knob.
+const MIX_UNIT: f64 = 4.0;
+/// Emitted store/load pairs per unit of the `mem_density` knob.
+const MEM_UNIT: f64 = 4.0;
+
+/// Continuous workload-space coordinates. [`Knobs::default`] (all zeros)
+/// is the legacy benchmark itself; see the module docs for what each axis
+/// stretches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Knobs {
+    /// Dependence-distance stretch (spacer instructions), `0.0..=4.0`.
+    pub did: f64,
+    /// Extra constant-value producers per iteration, `0.0..=1.0`.
+    pub mix_constant: f64,
+    /// Extra strided-value producers per iteration, `0.0..=1.0`.
+    pub mix_stride: f64,
+    /// Extra period-2 value producers per iteration, `0.0..=1.0`.
+    pub mix_periodic: f64,
+    /// Extra random-value producers per iteration, `0.0..=1.0`.
+    pub mix_random: f64,
+    /// Taken-probability of one extra data-dependent branch per iteration
+    /// (`0.0` emits no branch), `0.0..=1.0`.
+    pub branch_entropy: f64,
+    /// Extra store/load pairs per iteration, `0.0..=1.0`.
+    pub mem_density: f64,
+}
+
+impl Default for Knobs {
+    fn default() -> Knobs {
+        Knobs {
+            did: 0.0,
+            mix_constant: 0.0,
+            mix_stride: 0.0,
+            mix_periodic: 0.0,
+            mix_random: 0.0,
+            branch_entropy: 0.0,
+            mem_density: 0.0,
+        }
+    }
+}
+
+impl Knobs {
+    /// `(key, value)` view of every knob, in the canonical rendering
+    /// order used by [`std::fmt::Display`] and the repro-tuple parsers.
+    pub fn fields(&self) -> [(&'static str, f64); 7] {
+        [
+            ("did", self.did),
+            ("const", self.mix_constant),
+            ("stride", self.mix_stride),
+            ("periodic", self.mix_periodic),
+            ("random", self.mix_random),
+            ("bentropy", self.branch_entropy),
+            ("mem", self.mem_density),
+        ]
+    }
+
+    /// Sets one knob by its canonical key (see [`Knobs::fields`]).
+    /// Returns `false` for an unknown key.
+    pub fn set(&mut self, key: &str, value: f64) -> bool {
+        match key {
+            "did" => self.did = value,
+            "const" => self.mix_constant = value,
+            "stride" => self.mix_stride = value,
+            "periodic" => self.mix_periodic = value,
+            "random" => self.mix_random = value,
+            "bentropy" => self.branch_entropy = value,
+            "mem" => self.mem_density = value,
+            _ => return false,
+        }
+        true
+    }
+
+    /// True at the all-zero origin — the legacy benchmark point, where the
+    /// knob block emits nothing.
+    pub fn is_origin(&self) -> bool {
+        *self == Knobs::default()
+    }
+}
+
+impl std::fmt::Display for Knobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (key, value)) in self.fields().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            // `{}` on f64 is shortest-round-trip: parsing the rendering
+            // recovers the exact value, which the repro tuples rely on.
+            write!(f, "{key}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Instruction count for a knob at `unit` instructions per knob unit.
+fn knob_count(knob: f64, unit: f64) -> u32 {
+    (knob.clamp(0.0, 8.0) * unit).round() as u32
+}
+
+/// The per-family knob-block emitter.
+///
+/// Construct once per build, install its data words, then call
+/// [`KnobBlock::emit`] at one point inside the kernel's main loop. At the
+/// all-zero origin every method is a no-op, so the legacy program bytes
+/// are untouched.
+pub(crate) struct KnobBlock {
+    n_did: u32,
+    n_const: u32,
+    n_stride: u32,
+    n_periodic: u32,
+    n_random: u32,
+    n_mem: u32,
+    /// 32-bit taken-threshold of the entropy branch; `None` emits none.
+    taken_threshold: Option<u64>,
+    const_value: i64,
+    stride_step: i64,
+    period_xor: i64,
+    /// Random table words, empty unless a knob reads the table.
+    table_words: Vec<u64>,
+    next_label: u32,
+}
+
+impl KnobBlock {
+    /// Derives the block shape from the knobs. The block's data draws come
+    /// from its own generator (`seed ^ 0xFA41 ^ family_tag`) so it never
+    /// perturbs the kernel's existing random streams.
+    pub(crate) fn new(params: &WorkloadParams, knobs: &Knobs, family_tag: u64) -> KnobBlock {
+        let mut rng = SplitMix64::new(params.seed ^ 0xFA41 ^ family_tag);
+        let const_value = rng.below(1 << 20) as i64;
+        let stride_step = 1 + rng.below(61) as i64;
+        let period_xor = 1 + rng.below(1 << 16) as i64;
+        let n_random = knob_count(knobs.mix_random, MIX_UNIT);
+        let taken_threshold = if knobs.branch_entropy > 0.0 {
+            Some((knobs.branch_entropy.clamp(0.0, 1.0) * 4_294_967_296.0) as u64)
+        } else {
+            None
+        };
+        let table_words = if n_random > 0 || taken_threshold.is_some() {
+            (0..TABLE_WORDS).map(|_| rng.next_u64()).collect()
+        } else {
+            Vec::new()
+        };
+        KnobBlock {
+            n_did: knob_count(knobs.did, DID_UNIT),
+            n_const: knob_count(knobs.mix_constant, MIX_UNIT),
+            n_stride: knob_count(knobs.mix_stride, MIX_UNIT),
+            n_periodic: knob_count(knobs.mix_periodic, MIX_UNIT),
+            n_random,
+            n_mem: knob_count(knobs.mem_density, MEM_UNIT),
+            taken_threshold,
+            const_value,
+            stride_step,
+            period_xor,
+            table_words,
+            next_label: 0,
+        }
+    }
+
+    /// Installs the random-value table, when any knob reads it.
+    pub(crate) fn install_data(&self, b: &mut ProgramBuilder) {
+        for (i, word) in self.table_words.iter().enumerate() {
+            b.data_word(TABLE + i as u64, *word);
+        }
+    }
+
+    /// Emits one knob block. Call exactly once, inside the kernel's main
+    /// loop, so the block executes every iteration.
+    pub(crate) fn emit(&mut self, b: &mut ProgramBuilder) {
+        // Dependence-distance stretch: pure spacing, no values.
+        for _ in 0..self.n_did {
+            b.nop();
+        }
+        // Value-pattern mix: one producer class per knob.
+        for i in 0..self.n_const {
+            b.load_imm(KNOB_CONST, self.const_value + i as i64);
+        }
+        for _ in 0..self.n_stride {
+            b.alu_imm(AluOp::Add, KNOB_STRIDE, KNOB_STRIDE, self.stride_step);
+        }
+        for _ in 0..self.n_periodic {
+            b.alu_imm(AluOp::Xor, KNOB_PERIODIC, KNOB_PERIODIC, self.period_xor);
+        }
+        for _ in 0..self.n_random {
+            b.alu_imm(AluOp::Add, KNOB_CURSOR, KNOB_CURSOR, 1);
+            b.alu_imm(AluOp::And, KNOB_ADDR, KNOB_CURSOR, (TABLE_WORDS - 1) as i64);
+            b.load(KNOB_VALUE, KNOB_ADDR, TABLE as i64);
+        }
+        // Memory density: store/load pairs on the private scratch region
+        // (store first, so every load reads a defined word).
+        for _ in 0..self.n_mem {
+            b.alu_imm(AluOp::Add, KNOB_CURSOR, KNOB_CURSOR, 1);
+            b.alu_imm(AluOp::And, KNOB_ADDR, KNOB_CURSOR, (SCRATCH_WORDS - 1) as i64);
+            b.store(KNOB_STRIDE, KNOB_ADDR, SCRATCH as i64);
+            b.load(KNOB_VALUE, KNOB_ADDR, SCRATCH as i64);
+        }
+        // Entropy branch: taken iff the next table word's low 32 bits fall
+        // below the threshold, so P(taken) ≈ branch_entropy.
+        if let Some(threshold) = self.taken_threshold {
+            b.alu_imm(AluOp::Add, KNOB_CURSOR, KNOB_CURSOR, 1);
+            b.alu_imm(AluOp::And, KNOB_ADDR, KNOB_CURSOR, (TABLE_WORDS - 1) as i64);
+            b.load(KNOB_VALUE, KNOB_ADDR, TABLE as i64);
+            b.alu_imm(AluOp::And, KNOB_VALUE, KNOB_VALUE, 0xFFFF_FFFF);
+            b.load_imm(KNOB_THRESH, threshold as i64);
+            let skip = b.label(format!("knob_skip_{}", self.next_label));
+            self.next_label += 1;
+            b.branch(Cond::Ltu, KNOB_VALUE, KNOB_THRESH, skip);
+            b.alu_imm(AluOp::Or, KNOB_VALUE, KNOB_VALUE, 1);
+            b.bind(skip);
+        }
+    }
+}
+
+/// One parameterized benchmark family: the legacy kernel plus its knob
+/// block. [`families`] lists all nine.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadFamily {
+    name: &'static str,
+    description: &'static str,
+    build: fn(&WorkloadParams, &Knobs) -> Program,
+}
+
+impl WorkloadFamily {
+    /// The family's (SPEC benchmark) name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The legacy benchmark's description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Builds the program at one point of the family.
+    pub fn program(&self, params: &WorkloadParams, knobs: &Knobs) -> Program {
+        (self.build)(params, knobs)
+    }
+}
+
+/// All nine families, in extended-suite order (the eight SPECint95
+/// benchmarks plus `mgrid`).
+pub fn families() -> Vec<WorkloadFamily> {
+    vec![
+        WorkloadFamily { name: "go", description: "Game playing.", build: go::build },
+        WorkloadFamily {
+            name: "m88ksim",
+            description: "A simulator for the 88100 processor.",
+            build: m88ksim::build,
+        },
+        WorkloadFamily {
+            name: "gcc",
+            description: "A GNU C compiler version 2.5.3.",
+            build: gcc::build,
+        },
+        WorkloadFamily {
+            name: "compress",
+            description: "Data compression program using adaptive Lempel-Ziv coding.",
+            build: compress::build,
+        },
+        WorkloadFamily { name: "li", description: "Lisp interpreter.", build: li::build },
+        WorkloadFamily { name: "ijpeg", description: "JPEG encoder.", build: ijpeg::build },
+        WorkloadFamily { name: "perl", description: "Anagram search program.", build: perl::build },
+        WorkloadFamily {
+            name: "vortex",
+            description: "A single-user object-oriented database transaction benchmark.",
+            build: vortex::build,
+        },
+        WorkloadFamily {
+            name: "mgrid",
+            description: "Multi-grid solver in 3D potential field (SPECfp95).",
+            build: mgrid::build,
+        },
+    ]
+}
+
+/// Finds one family by name; `None` for an unknown name.
+pub fn family_by_name(name: &str) -> Option<WorkloadFamily> {
+    families().into_iter().find(|f| f.name == name)
+}
+
+/// One fully-specified program in workload space: a family plus its knob
+/// coordinates and generation parameters. This triple (with a trace
+/// length) is the fuzzing harness's replayable repro tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyPoint {
+    /// The family's name (always one of [`families`]).
+    pub family: &'static str,
+    /// Workload-space coordinates.
+    pub knobs: Knobs,
+    /// Data-generation parameters (seed, scale).
+    pub params: WorkloadParams,
+}
+
+impl FamilyPoint {
+    /// The legacy benchmark as a family point: all-zero knobs, default
+    /// parameters. `None` for an unknown name.
+    pub fn legacy(name: &str) -> Option<FamilyPoint> {
+        family_by_name(name).map(|f| FamilyPoint {
+            family: f.name,
+            knobs: Knobs::default(),
+            params: WorkloadParams::default(),
+        })
+    }
+
+    /// Draws a uniformly random point: family uniform over the nine, every
+    /// knob on a 1/64 grid (`did` in `0..=4`, the rest in `0..=1`), seed a
+    /// full 64-bit draw. The grid keeps printed points exact: each
+    /// coordinate's decimal rendering parses back to the same `f64`.
+    pub fn sample(rng: &mut SplitMix64) -> FamilyPoint {
+        let all = families();
+        let family = all[rng.below(all.len() as u64) as usize].name;
+        let grid = |rng: &mut SplitMix64, cells: u64| rng.below(cells + 1) as f64 / 64.0;
+        let knobs = Knobs {
+            did: grid(rng, 4 * 64),
+            mix_constant: grid(rng, 64),
+            mix_stride: grid(rng, 64),
+            mix_periodic: grid(rng, 64),
+            mix_random: grid(rng, 64),
+            branch_entropy: grid(rng, 64),
+            mem_density: grid(rng, 64),
+        };
+        let params = WorkloadParams { seed: rng.next_u64(), scale: 1 };
+        FamilyPoint { family, knobs, params }
+    }
+
+    /// Builds the program at this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `family` names no known family (impossible for points
+    /// from [`FamilyPoint::legacy`] / [`FamilyPoint::sample`]).
+    pub fn program(&self) -> Program {
+        family_by_name(self.family)
+            .unwrap_or_else(|| panic!("unknown family `{}`", self.family))
+            .program(&self.params, &self.knobs)
+    }
+}
+
+impl std::fmt::Display for FamilyPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} seed={:#x}", self.family, self.knobs, self.params.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fetchvp_trace::trace_program;
+
+    #[test]
+    fn origin_knobs_change_nothing() {
+        for family in families() {
+            let params = WorkloadParams::default();
+            let legacy = crate::by_name(family.name(), &params).unwrap();
+            let at_origin = family.program(&params, &Knobs::default());
+            assert_eq!(legacy.program(), &at_origin, "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn every_knob_alone_still_sustains_a_trace() {
+        let params = WorkloadParams::default();
+        for family in families() {
+            for key in ["did", "const", "stride", "periodic", "random", "bentropy", "mem"] {
+                let mut knobs = Knobs::default();
+                assert!(knobs.set(key, 0.75));
+                let program = family.program(&params, &knobs);
+                let trace = trace_program(&program, 5_000);
+                assert_eq!(trace.len(), 5_000, "{} with {key}=0.75", family.name());
+            }
+        }
+    }
+
+    #[test]
+    fn did_knob_grows_the_program() {
+        let params = WorkloadParams::default();
+        for family in families() {
+            let base = family.program(&params, &Knobs::default()).len();
+            let stretched = family.program(&params, &Knobs { did: 2.0, ..Knobs::default() }).len();
+            assert!(stretched > base, "{}: {stretched} <= {base}", family.name());
+        }
+    }
+
+    #[test]
+    fn entropy_branch_is_taken_at_roughly_the_knob_rate() {
+        let params = WorkloadParams::default();
+        let family = family_by_name("m88ksim").unwrap();
+        let mut taken_rates = Vec::new();
+        for entropy in [0.25, 0.75] {
+            let knobs = Knobs { branch_entropy: entropy, ..Knobs::default() };
+            let program = family.program(&params, &knobs);
+            let trace = trace_program(&program, 40_000);
+            taken_rates.push(trace.stats().taken_control_rate());
+        }
+        assert!(
+            taken_rates[1] > taken_rates[0],
+            "higher entropy knob must take its branch more often: {taken_rates:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_points_round_trip_through_display() {
+        let mut rng = SplitMix64::new(0x1998);
+        for _ in 0..64 {
+            let point = FamilyPoint::sample(&mut rng);
+            for (key, value) in point.knobs.fields() {
+                let rendered = format!("{value}");
+                let parsed: f64 = rendered.parse().unwrap();
+                assert_eq!(parsed, value, "{key}={rendered}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_points_build_and_trace() {
+        let mut rng = SplitMix64::new(7);
+        for case in 0..24 {
+            let point = FamilyPoint::sample(&mut rng);
+            let trace = trace_program(&point.program(), 4_000);
+            assert_eq!(trace.len(), 4_000, "case {case}: {point}");
+        }
+    }
+
+    #[test]
+    fn knob_set_rejects_unknown_keys() {
+        let mut knobs = Knobs::default();
+        assert!(!knobs.set("wat", 1.0));
+        assert!(knobs.is_origin());
+        assert!(knobs.set("mem", 0.5));
+        assert!(!knobs.is_origin());
+    }
+}

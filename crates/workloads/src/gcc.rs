@@ -13,6 +13,7 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
@@ -20,9 +21,11 @@ const NODES: u64 = 0x30_0000;
 const HANDLES: u64 = 0x38_0000;
 const NODE_SIZE: u64 = 4; // kind, payload, handle pointer (word-granular)
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0x6CC);
     let mut b = ProgramBuilder::new("gcc");
+    let mut kb = KnobBlock::new(params, knobs, 2);
+    kb.install_data(&mut b);
 
     // Build a circular linked list threaded through a random permutation of
     // the node array, with one level of *handle* indirection (as in a
@@ -64,6 +67,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     b.load_imm(node, (NODES + perm[0] * NODE_SIZE) as i64);
 
     let head = b.bind_label("walk");
+    kb.emit(&mut b);
     // -- predictable pass bookkeeping --
     b.alu_imm(AluOp::Add, chain, chain, 2);
     b.alu_imm(AluOp::Add, visited, visited, 1);
@@ -119,13 +123,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn walks_every_node() {
-        let p = build(&WorkloadParams { seed: 3, scale: 1 });
+        let p = build(&WorkloadParams { seed: 3, scale: 1 }, &Knobs::default());
         let t = trace_program(&p, 50_000);
         // The chase load reads from the handle table; it must visit many
         // distinct handles (the permutation cycle).
@@ -139,7 +143,7 @@ mod tests {
 
     #[test]
     fn next_pointers_are_not_strided() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let t = trace_program(&p, 30_000);
         let nexts: Vec<u64> = t
             .iter()

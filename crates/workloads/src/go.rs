@@ -12,14 +12,17 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
 const BOARD: u64 = 0x40_0000;
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0x60);
     let mut b = ProgramBuilder::new("go");
+    let mut kb = KnobBlock::new(params, knobs, 0);
+    kb.install_data(&mut b);
 
     // A 19x19-ish board padded to 512 slots: 0 empty, 1 black, 2 white.
     let slots = 512u64 * params.scale as u64;
@@ -44,6 +47,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
                         // backbone; go's is short and its gain small)
 
     let head = b.bind_label("genmove");
+    kb.emit(&mut b);
     // -- xorshift move generator (two stages, a 4-deep unpredictable
     //    loop-carried chain), interleaved with independent bookkeeping so
     //    that even these dependencies span a few instructions --
@@ -104,13 +108,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn is_branchy() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let stats = trace_program(&p, 30_000).stats();
         // Go's signature: short dynamic basic blocks.
         assert!(stats.avg_run_length() < 12.0, "run length {}", stats.avg_run_length());
@@ -118,7 +122,7 @@ mod tests {
 
     #[test]
     fn board_reads_cover_the_board() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let t = trace_program(&p, 60_000);
         let addrs: std::collections::HashSet<u64> = t.iter().filter_map(|r| r.mem_addr).collect();
         assert!(addrs.len() > 200, "only {} distinct board slots touched", addrs.len());

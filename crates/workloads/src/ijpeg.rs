@@ -10,6 +10,7 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
@@ -17,9 +18,11 @@ const IMAGE: u64 = 0x80_0000;
 const OUTPUT: u64 = 0x90_0000;
 const BLOCK: u64 = 4;
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0x19E6);
     let mut b = ProgramBuilder::new("ijpeg");
+    let mut kb = KnobBlock::new(params, knobs, 5);
+    kb.install_data(&mut b);
 
     // Input image: pseudo-random pixels.
     let n_pixels = 4096u64 * params.scale as u64;
@@ -49,6 +52,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     // shallow *tree* (not a loop-carried chain), while the cursors and
     // rate-control bookkeeping are strided.
     let block_head = b.bind_label("block");
+    kb.emit(&mut b);
     b.alu_imm(AluOp::Add, chain, chain, 2); // chain step 1
     b.load(p0, src, IMAGE as i64); // four parallel pixel loads
     b.load(p1, src, IMAGE as i64 + 1);
@@ -97,13 +101,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn has_long_basic_blocks() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let stats = trace_program(&p, 30_000).stats();
         // Regular loop code: longer runs than the branchiest benchmarks,
         // though layout breaks keep the taken-branch density realistic.
@@ -112,7 +116,7 @@ mod tests {
 
     #[test]
     fn emits_output_blocks() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let mut exec = fetchvp_trace::Executor::new(&p);
         for _ in 0..50_000 {
             if exec.step().is_none() {

@@ -12,15 +12,18 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
 const CELLS: u64 = 0x70_0000;
 const CELL_SIZE: u64 = 16; // car, cdr
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0x11);
     let mut b = ProgramBuilder::new("li");
+    let mut kb = KnobBlock::new(params, knobs, 4);
+    kb.install_data(&mut b);
 
     // A chain of sequentially allocated cons cells, closed into a ring.
     let n_cells = (512 * params.scale as usize).max(8);
@@ -53,6 +56,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     let steps = Reg::R6; // interpreter step-budget chain (predictable)
 
     let head = b.bind_label("mapcar");
+    kb.emit(&mut b);
     // -- interpreter bookkeeping: a multi-step, path-independent chain
     //    (step budget accounting) is the serial backbone a value predictor
     //    can collapse --
@@ -110,13 +114,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn performs_calls_and_returns() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let t = trace_program(&p, 20_000);
         let calls = t.iter().filter(|r| matches!(r.instr, Instr::Call { .. })).count();
         let returns = t.iter().filter(|r| matches!(r.instr, Instr::JumpInd { .. })).count();
@@ -127,7 +131,7 @@ mod tests {
 
     #[test]
     fn cdr_loads_are_strided() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let t = trace_program(&p, 30_000);
         let cdrs: Vec<u64> = t
             .iter()

@@ -37,6 +37,7 @@
 //! ```
 
 mod compress;
+pub mod family;
 mod gcc;
 mod go;
 mod ijpeg;
@@ -49,6 +50,8 @@ mod m88ksim;
 mod mgrid;
 
 use fetchvp_isa::Program;
+
+pub use family::{families, family_by_name, FamilyPoint, Knobs, WorkloadFamily};
 
 /// Scaling and seeding parameters shared by all workload generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,7 +104,7 @@ pub fn extended_suite(params: &WorkloadParams) -> Vec<Workload> {
     all.push(Workload {
         name: "mgrid",
         description: "Multi-grid solver in 3D potential field (SPECfp95).",
-        program: mgrid::build(params),
+        program: mgrid::build(params, &Knobs::default()),
     });
     all
 }
@@ -109,33 +112,45 @@ pub fn extended_suite(params: &WorkloadParams) -> Vec<Workload> {
 /// Builds the full 8-benchmark suite in the paper's order.
 pub fn suite(params: &WorkloadParams) -> Vec<Workload> {
     vec![
-        Workload { name: "go", description: "Game playing.", program: go::build(params) },
+        Workload {
+            name: "go",
+            description: "Game playing.",
+            program: go::build(params, &Knobs::default()),
+        },
         Workload {
             name: "m88ksim",
             description: "A simulator for the 88100 processor.",
-            program: m88ksim::build(params),
+            program: m88ksim::build(params, &Knobs::default()),
         },
         Workload {
             name: "gcc",
             description: "A GNU C compiler version 2.5.3.",
-            program: gcc::build(params),
+            program: gcc::build(params, &Knobs::default()),
         },
         Workload {
             name: "compress",
             description: "Data compression program using adaptive Lempel-Ziv coding.",
-            program: compress::build(params),
+            program: compress::build(params, &Knobs::default()),
         },
-        Workload { name: "li", description: "Lisp interpreter.", program: li::build(params) },
-        Workload { name: "ijpeg", description: "JPEG encoder.", program: ijpeg::build(params) },
+        Workload {
+            name: "li",
+            description: "Lisp interpreter.",
+            program: li::build(params, &Knobs::default()),
+        },
+        Workload {
+            name: "ijpeg",
+            description: "JPEG encoder.",
+            program: ijpeg::build(params, &Knobs::default()),
+        },
         Workload {
             name: "perl",
             description: "Anagram search program.",
-            program: perl::build(params),
+            program: perl::build(params, &Knobs::default()),
         },
         Workload {
             name: "vortex",
             description: "A single-user object-oriented database transaction benchmark.",
-            program: vortex::build(params),
+            program: vortex::build(params, &Knobs::default()),
         },
     ]
 }

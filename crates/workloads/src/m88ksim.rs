@@ -17,15 +17,18 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
 const IMEM: u64 = 0x1_0000;
 const SREGS: u64 = 0x2_0000;
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0x88100);
     let mut b = ProgramBuilder::new("m88ksim");
+    let mut kb = KnobBlock::new(params, knobs, 1);
+    kb.install_data(&mut b);
 
     // Simulated instruction memory: a cyclic synthetic program. (Word
     // addressing is dense: the simulated machine's memory is word-granular,
@@ -69,6 +72,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     let tick_c = Reg::R17;
 
     let head = b.bind_label("dispatch");
+    kb.emit(&mut b);
     // -- chain step 1 + per-iteration counters (predictable, DID = body),
     //    interleaved with the (shallow) fetch slice so in-body dependencies
     //    also span several instructions --
@@ -151,13 +155,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn exercises_all_decode_cases() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let t = trace_program(&p, 20_000);
         // All three per-case statistic counters must have been updated:
         // their PCs appear in the trace.
@@ -168,7 +172,7 @@ mod tests {
 
     #[test]
     fn simulated_state_is_deterministic() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let a = trace_program(&p, 5_000);
         let b = trace_program(&p, 5_000);
         assert_eq!(a, b);

@@ -10,15 +10,18 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
 const GRID: u64 = 0xC0_0000;
 const OUT: u64 = 0xD0_0000;
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0x916D);
     let mut b = ProgramBuilder::new("mgrid");
+    let mut kb = KnobBlock::new(params, knobs, 8);
+    kb.install_data(&mut b);
 
     // A 1-D restriction of the 3-D grid: enough to express the stencil's
     // dependence structure (neighbour loads + weighted sum).
@@ -39,6 +42,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     b.load_imm(i, 1);
 
     let head = b.bind_label("relax");
+    kb.emit(&mut b);
     // -- one stencil point per iteration: load the 3-point neighbourhood --
     b.alu_imm(AluOp::Add, chain, chain, 3); // chain step 1
     b.load(left, i, GRID as i64 - 1);
@@ -76,13 +80,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn is_the_most_regular_workload() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let stats = trace_program(&p, 30_000).stats();
         // Long sweeps: very few conditional branches are taken.
         assert!(stats.taken_branch_rate() < 0.05, "{}", stats.taken_branch_rate());
@@ -90,7 +94,7 @@ mod tests {
 
     #[test]
     fn writes_the_output_grid() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let mut exec = fetchvp_trace::Executor::new(&p);
         for _ in 0..50_000 {
             if exec.step().is_none() {

@@ -8,6 +8,7 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::rng::SplitMix64;
 use crate::WorkloadParams;
 
@@ -15,9 +16,11 @@ const TEXT: u64 = 0xA0_0000;
 const SIGS: u64 = 0xB0_0000;
 const WORD_LEN: u64 = 6;
 
-pub(crate) fn build(params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     let mut rng = SplitMix64::new(params.seed ^ 0x9E21);
     let mut b = ProgramBuilder::new("perl");
+    let mut kb = KnobBlock::new(params, knobs, 6);
+    kb.install_data(&mut b);
 
     // Dictionary: fixed-length pseudo-random "words" (one char per word).
     let n_words = 512u64 * params.scale as u64;
@@ -37,6 +40,7 @@ pub(crate) fn build(params: &WorkloadParams) -> Program {
     let t1 = Reg::R10;
 
     let word_head = b.bind_label("word");
+    kb.emit(&mut b);
     b.alu(AluOp::Xor, sig, sig, sig); // fresh signature
     b.load_imm(k, WORD_LEN as i64);
     let char_head = b.bind_label("char");
@@ -86,7 +90,7 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
@@ -94,7 +98,7 @@ mod tests {
     fn signatures_repeat_once_the_dictionary_wraps() {
         // After a full pass, re-hashing the same words produces the same
         // signatures, so probes must eventually hit.
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let mut exec = fetchvp_trace::Executor::new(&p);
         // One word is ~85 instructions; run two dictionary passes.
         for _ in 0..(512 * 90 * 2) + 1000 {
@@ -107,7 +111,7 @@ mod tests {
 
     #[test]
     fn char_loop_dominates_the_mix() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let stats = trace_program(&p, 30_000).stats();
         // ~7 loads per ~55-instruction word iteration.
         assert!(stats.loads > 1_500, "too few loads: {}", stats.loads);

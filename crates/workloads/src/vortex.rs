@@ -16,16 +16,19 @@
 
 use fetchvp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
 
+use crate::family::{KnobBlock, Knobs};
 use crate::WorkloadParams;
 
 const HEAP: u64 = 0x10_0000;
 const INDEX: u64 = 0x20_0000;
 const OBJ_SIZE: u64 = 32; // four 8-byte fields
 
-pub(crate) fn build(_params: &WorkloadParams) -> Program {
+pub(crate) fn build(params: &WorkloadParams, knobs: &Knobs) -> Program {
     // Vortex's data is entirely self-generated (strided object ids), so the
     // seed does not enter this workload.
     let mut b = ProgramBuilder::new("vortex");
+    let mut kb = KnobBlock::new(params, knobs, 7);
+    kb.install_data(&mut b);
 
     let alloc = Reg::R1; // bump allocator (strided)
     let obj_id = Reg::R2; // monotone object id (strided)
@@ -44,6 +47,7 @@ pub(crate) fn build(_params: &WorkloadParams) -> Program {
     let qid = Reg::R8; // the queried object's id
 
     let head = b.bind_label("txn");
+    kb.emit(&mut b);
     // The transaction body interleaves its four activities (allocation,
     // field init, index update, query) so that each dependence spans
     // several instructions — vortex's predictable dependencies are *long*
@@ -95,13 +99,13 @@ mod tests {
 
     #[test]
     fn sustains_long_traces() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         assert_eq!(trace_program(&p, 20_000).len(), 20_000);
     }
 
     #[test]
     fn queried_ids_are_strided() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let t = trace_program(&p, 50_000);
         // The query load (the only load in the program) returns ids that
         // advance by exactly 1 once the pipeline of 16 objects is primed.
@@ -113,7 +117,7 @@ mod tests {
 
     #[test]
     fn heap_footprint_is_bounded() {
-        let p = build(&WorkloadParams::default());
+        let p = build(&WorkloadParams::default(), &Knobs::default());
         let mut exec = fetchvp_trace::Executor::new(&p);
         for _ in 0..200_000 {
             if exec.step().is_none() {

@@ -43,6 +43,12 @@ cargo test $OFFLINE -q -p fetchvp-experiments --test batch_vs_serial
 echo "== http reader regressions"
 cargo test $OFFLINE -q -p fetchvp-server --lib http::
 
+# The standing invariant gate: differentially fuzz sampled workload-family
+# points across the spanning machine set (fixed seed — deterministic, and
+# any failure prints a replayable repro tuple; see EXPERIMENTS.md).
+echo "== fuzz-smoke"
+cargo run $OFFLINE --release -p fetchvp-cli -- fuzz --cases 64 --seed 7
+
 # Throughput expectation for the batched kernel (see EXPERIMENTS.md):
 # warn-only, because wall-clock on shared CI hosts is too noisy to gate.
 if [ -f benchmarks/BENCH_baseline.json ]; then
