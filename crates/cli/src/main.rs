@@ -34,9 +34,19 @@
 //!   ablations             all of the above
 //!
 //! trace files (the Shade workflow):
-//!   save-trace <benchmark> <file>   capture a trace to disk
-//!   trace-info <file>               print a saved trace's statistics
+//!   save-trace <benchmark> <file>   capture a trace to disk (chunked FVPS format,
+//!                                   streamed — works at the paper's 100M scale)
+//!   trace-gen <benchmark>           populate the content-addressed trace cache
+//!                                   (--trace-dir DIR or $FETCHVP_TRACE_DIR;
+//!                                   --out FILE streams to a plain file instead)
+//!   trace-info <file>               print a saved trace's statistics (streams
+//!                                   chunked stores; legacy FVPT still readable)
 //!   run-asm <file.s>                assemble, trace and simulate a program
+//!
+//! out-of-core runs: every experiment accepts --trace-dir DIR (default
+//! $FETCHVP_TRACE_DIR); machine sweeps (bench, fig3-1, fig5-1/2/3,
+//! usefulness) then replay chunk-by-chunk from the cache and may exceed
+//! the in-memory --trace-len limit, up to 100M instructions.
 //!
 //! observability:
 //!   trace-viz <workload> [--cycles A..B] [--out FILE]
@@ -71,29 +81,37 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
 use fetchvp_experiments::{
     ablations, atlas, bench, default_jobs, fig3_1, fig3_3, fig3_4, fig3_5, fig5_1, fig5_2, fig5_3,
-    fuzz, table3_1, table3_2, ExperimentConfig, Sweep, Table,
+    fuzz, jobspec, table3_1, table3_2, ExperimentConfig, Sweep, Table, MAX_IN_MEMORY_TRACE_LEN,
 };
 use fetchvp_isa::parse_program;
 use fetchvp_metrics::Json;
-use fetchvp_trace::{read_trace, trace_program, write_trace};
+use fetchvp_trace::{read_trace, trace_program};
+use fetchvp_tracestore::{
+    stream_program_to_store, stream_store_stats, TraceDir, TraceKey, TraceStore, DEFAULT_CHUNK_LEN,
+    MAGIC,
+};
 use fetchvp_workloads::{by_name, WorkloadParams};
 
 const USAGE: &str =
     "usage: fetchvp <experiment> [--trace-len N] [--seed S] [--jobs N] [--csv] [--chart]
+                   [--trace-dir DIR]
 experiments: table3-1 fig3-1 table3-2 fig3-3 fig3-4 fig3-5 fig5-1 fig5-2
              fig5-3 accuracy breakdown usefulness all
 ablations:   ablation-banks ablation-window ablation-confidence \
              ablation-predictors ablation-partial ablation-btb \
              ablation-fetch ablation-penalty ablation-tc ablation-hints
              ablation-model ablation-seeds ablations
-trace files: save-trace <benchmark> <file> / trace-info <file> / run-asm <file.s>
+trace files: save-trace <benchmark> <file> / trace-gen <benchmark> \
+             [--trace-dir DIR | --out FILE] / trace-info <file> / run-asm <file.s>
 tracing:     trace-viz <workload> [--cycles A..B] [--out FILE]
 benchmarks:  bench [--quick] [--repeat N] [--out FILE] / bench-compare \
              <old.json> <new.json> [--threshold PCT] / profile
-serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--trace-dir DIR]
 fuzzing:     fuzz [--cases N] [--seed S] [--max-len N] [--replay TUPLE] [--out FILE]
              atlas [family] [--trace-len N]
 other:       --version";
@@ -127,6 +145,7 @@ const COMMANDS: &[&str] = &[
     "ablations",
     "usefulness",
     "save-trace",
+    "trace-gen",
     "trace-info",
     "run-asm",
     "trace-viz",
@@ -156,10 +175,12 @@ const KNOWN_FLAGS: &[&str] = &[
     "--cases",
     "--max-len",
     "--replay",
+    "--trace-dir",
 ];
 
 /// Flags shared by every figure/table/ablation experiment runner.
-const EXPERIMENT_FLAGS: &[&str] = &["--trace-len", "--seed", "--jobs", "--csv", "--chart"];
+const EXPERIMENT_FLAGS: &[&str] =
+    &["--trace-len", "--seed", "--jobs", "--csv", "--chart", "--trace-dir"];
 
 /// What one subcommand accepts: its flags and its positional-argument cap.
 struct CommandSpec {
@@ -173,13 +194,17 @@ fn command_spec(name: &str) -> Option<CommandSpec> {
     let spec = |flags, positionals| Some(CommandSpec { flags, positionals });
     match name {
         "save-trace" => spec(&["--trace-len", "--seed"], 2),
+        "trace-gen" => spec(&["--trace-len", "--seed", "--trace-dir", "--out"], 1),
         "trace-info" => spec(&[], 1),
         "run-asm" => spec(&["--trace-len", "--seed"], 1),
         "trace-viz" => spec(&["--trace-len", "--seed", "--jobs", "--cycles", "--out"], 1),
-        "bench" => spec(&["--trace-len", "--seed", "--jobs", "--quick", "--repeat", "--out"], 0),
+        "bench" => spec(
+            &["--trace-len", "--seed", "--jobs", "--quick", "--repeat", "--out", "--trace-dir"],
+            0,
+        ),
         "bench-compare" => spec(&["--threshold"], 2),
         "profile" => spec(&["--trace-len", "--seed", "--csv"], 0),
-        "serve" => spec(&["--addr", "--workers", "--queue-depth"], 0),
+        "serve" => spec(&["--addr", "--workers", "--queue-depth", "--trace-dir"], 0),
         "fuzz" => spec(&["--cases", "--seed", "--max-len", "--replay", "--out"], 0),
         "atlas" => spec(&["--trace-len", "--seed", "--csv"], 1),
         name if COMMANDS.contains(&name) => spec(EXPERIMENT_FLAGS, 0),
@@ -214,6 +239,43 @@ fn validate_invocation(opts: &Options) -> Result<(), String> {
             spec.positionals,
             opts.positionals.len(),
             opts.positionals[spec.positionals]
+        ));
+    }
+    Ok(())
+}
+
+/// Enforces the in-memory/out-of-core trace-length boundary before any
+/// generation starts, distinguishing "too big for memory" (with the fix
+/// named) from a plainly invalid value.
+fn validate_scale(opts: &Options) -> Result<(), String> {
+    let n = opts.config.trace_len;
+    if n <= MAX_IN_MEMORY_TRACE_LEN {
+        return Ok(());
+    }
+    if n > jobspec::MAX_TRACE_LEN_OOC {
+        return Err(format!(
+            "--trace-len {n} exceeds even the out-of-core cap of {} instructions",
+            jobspec::MAX_TRACE_LEN_OOC
+        ));
+    }
+    // save-trace and trace-gen stream straight to disk at any size.
+    if matches!(opts.experiment.as_str(), "save-trace" | "trace-gen") {
+        return Ok(());
+    }
+    if !jobspec::supports_out_of_core(&opts.experiment) {
+        return Err(format!(
+            "--trace-len {n} exceeds the in-memory limit of {MAX_IN_MEMORY_TRACE_LEN} \
+             instructions, and `{}` cannot replay out-of-core (machine sweeps can: bench, \
+             fig3-1, fig5-1, fig5-2, fig5-3, usefulness; save-trace and trace-gen always \
+             stream)",
+            opts.experiment
+        ));
+    }
+    if opts.resolved_trace_dir().is_none() {
+        return Err(format!(
+            "--trace-len {n} exceeds the in-memory limit of {MAX_IN_MEMORY_TRACE_LEN} \
+             instructions; out-of-core replay needs a trace directory: pass --trace-dir DIR \
+             (or set FETCHVP_TRACE_DIR)"
         ));
     }
     Ok(())
@@ -279,8 +341,24 @@ struct Options {
     max_len: u64,
     /// `fuzz`: re-check one printed repro tuple instead of sampling.
     replay: Option<String>,
+    /// Content-addressed trace cache directory (`--trace-dir`, falling
+    /// back to `$FETCHVP_TRACE_DIR`).
+    trace_dir: Option<String>,
     /// Flags seen on the command line, for per-subcommand validation.
     used_flags: Vec<&'static str>,
+}
+
+impl Options {
+    /// The trace directory to use: the `--trace-dir` flag, else the
+    /// `FETCHVP_TRACE_DIR` environment variable (empty means unset).
+    fn resolved_trace_dir(&self) -> Option<std::path::PathBuf> {
+        if let Some(dir) = &self.trace_dir {
+            return Some(std::path::PathBuf::from(dir));
+        }
+        std::env::var_os("FETCHVP_TRACE_DIR")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from)
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -301,6 +379,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut cases = fuzz::FuzzOptions::default().cases;
     let mut max_len = fuzz::FuzzOptions::default().max_len;
     let mut replay = None;
+    let mut trace_dir = None;
     let mut used_flags = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -397,6 +476,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--replay needs a repro tuple")?;
                 replay = Some(v.clone());
             }
+            "--trace-dir" => {
+                let v = it.next().ok_or("--trace-dir needs a directory path")?;
+                trace_dir = Some(v.clone());
+            }
             other if !other.starts_with('-') => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
@@ -426,6 +509,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cases,
         max_len,
         replay,
+        trace_dir,
         used_flags,
     })
 }
@@ -444,10 +528,73 @@ fn save_trace(cfg: &ExperimentConfig, args: &[String]) -> Result<(), String> {
     };
     let workload =
         by_name(bench, &cfg.workloads).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
-    let trace = trace_program(workload.program(), cfg.trace_len);
+    // Streamed generation: the trace goes to disk chunk by chunk, so this
+    // works at the paper's 100M scale without materializing anything.
     let file = File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
-    write_trace(&trace, BufWriter::new(file)).map_err(|e| format!("write failed: {e}"))?;
-    println!("wrote {} instructions of `{bench}` to {path}", trace.len());
+    let summary = stream_program_to_store(
+        workload.program(),
+        bench,
+        cfg.trace_len,
+        DEFAULT_CHUNK_LEN,
+        BufWriter::new(file),
+    )
+    .map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "wrote {} instructions of `{bench}` to {path} ({} chunk(s), {} bytes)",
+        summary.instructions, summary.chunks, summary.bytes
+    );
+    Ok(())
+}
+
+fn trace_gen(cfg: &ExperimentConfig, opts: &Options) -> Result<(), String> {
+    let [bench] = opts.positionals.as_slice() else {
+        return Err("trace-gen needs: <benchmark> [--trace-dir DIR | --out FILE]".into());
+    };
+    let workload =
+        by_name(bench, &cfg.workloads).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    if let Some(path) = &opts.out {
+        let file = File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        let summary = stream_program_to_store(
+            workload.program(),
+            bench,
+            cfg.trace_len,
+            DEFAULT_CHUNK_LEN,
+            BufWriter::new(file),
+        )
+        .map_err(|e| format!("write failed: {e}"))?;
+        println!(
+            "wrote {} instructions of `{bench}` to {path} ({} chunk(s), {} bytes)",
+            summary.instructions, summary.chunks, summary.bytes
+        );
+        return Ok(());
+    }
+    let root = opts.resolved_trace_dir().or_else(TraceDir::default_root).ok_or(
+        "trace-gen needs a destination: --trace-dir DIR, $FETCHVP_TRACE_DIR, or --out FILE \
+         (no home directory found for the default ~/.cache/fetchvp)",
+    )?;
+    let dir = TraceDir::new(root);
+    let key = TraceKey::benchmark(bench, cfg.workloads.seed, cfg.workloads.scale, cfg.trace_len);
+    let store = dir
+        .open_or_create(&key, |path| {
+            let file = File::create(path)?;
+            stream_program_to_store(
+                workload.program(),
+                bench,
+                cfg.trace_len,
+                DEFAULT_CHUNK_LEN,
+                BufWriter::new(file),
+            )
+            .map(|_| ())
+        })
+        .map_err(|e| format!("cannot populate trace cache: {e}"))?;
+    let counters = dir.counters();
+    let state = if counters.hits > 0 { "already cached" } else { "generated" };
+    println!(
+        "{state}: {} instructions of `{bench}` at {} ({} chunk(s))",
+        store.len(),
+        store.path().display(),
+        store.chunks().len()
+    );
     Ok(())
 }
 
@@ -455,7 +602,26 @@ fn trace_info(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err("trace-info needs: <file>".into());
     };
-    let file = File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let mut file = File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    let mut magic = [0u8; 4];
+    use std::io::Read;
+    let is_store = file.read_exact(&mut magic).is_ok() && &magic == MAGIC;
+    if is_store {
+        // Chunked store: stats stream per chunk, so a 100M-instruction
+        // file is summarized in bounded memory.
+        let store = TraceStore::open(path).map_err(|e| format!("read failed: {e}"))?;
+        let stats = stream_store_stats(&store).map_err(|e| format!("read failed: {e}"))?;
+        println!("trace `{}` ({:?})", store.name(), store.outcome());
+        println!(
+            "chunked store: {} chunk(s) of <= {} instructions",
+            store.chunks().len(),
+            store.chunk_target()
+        );
+        println!("{stats}");
+        return Ok(());
+    }
+    use std::io::Seek;
+    file.rewind().map_err(|e| format!("cannot rewind `{path}`: {e}"))?;
     let trace = read_trace(BufReader::new(file)).map_err(|e| format!("read failed: {e}"))?;
     println!("trace `{}` ({:?})", trace.name(), trace.outcome());
     println!("{}", trace.stats());
@@ -503,6 +669,12 @@ fn run_bench(sweep: &Sweep, opts: &Options) -> Result<(), String> {
     );
     for w in &report.workloads {
         println!("  {:<10} {:>12} instrs  {:>12.0} instr/s", w.name, w.instructions, w.sim_ips());
+    }
+    if let Some(c) = &report.trace_cache {
+        println!(
+            "trace cache: {} hit(s), {} miss(es), {} bytes written",
+            c.hits, c.misses, c.bytes
+        );
     }
     println!("wrote {path}");
     Ok(())
@@ -572,6 +744,10 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     if let Some(queue_depth) = opts.queue_depth {
         config.queue_depth = queue_depth;
     }
+    config.trace_dir = opts.resolved_trace_dir();
+    if let Some(dir) = &config.trace_dir {
+        println!("trace cache: {} (out-of-core jobs enabled)", dir.display());
+    }
     let server =
         fetchvp_server::Server::bind(config).map_err(|e| format!("cannot bind server: {e}"))?;
     let addr = server.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
@@ -595,6 +771,13 @@ fn run_fuzz(opts: &Options) -> Result<(), String> {
                 Err(format!("replayed case still fails: {invariant}"))
             }
         };
+    }
+    if opts.max_len > MAX_IN_MEMORY_TRACE_LEN {
+        return Err(format!(
+            "--max-len {} exceeds the in-memory limit of {MAX_IN_MEMORY_TRACE_LEN} instructions; \
+             fuzzing replays every case in memory and cannot use a trace directory",
+            opts.max_len
+        ));
     }
     let options = fuzz::FuzzOptions {
         cases: opts.cases,
@@ -639,6 +822,7 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
     #[allow(clippy::match_like_matches_macro)]
     match name {
         "save-trace" => return save_trace(cfg, positionals),
+        "trace-gen" => return trace_gen(cfg, opts),
         "trace-info" => return trace_info(positionals),
         "run-asm" => return run_asm(cfg, positionals),
         "bench" => return run_bench(sweep, opts),
@@ -718,7 +902,10 @@ fn main() -> ExitCode {
         println!("fetchvp {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
     }
-    let options = match parse_args(&args).and_then(|o| validate_invocation(&o).map(|()| o)) {
+    let options = match parse_args(&args)
+        .and_then(|o| validate_invocation(&o).map(|()| o))
+        .and_then(|o| validate_scale(&o).map(|()| o))
+    {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
@@ -733,7 +920,8 @@ fn main() -> ExitCode {
     if options.experiment == "bench" && options.quick {
         config.trace_len = config.trace_len.min(ExperimentConfig::quick().trace_len);
     }
-    let sweep = Sweep::with_jobs(&config, options.jobs);
+    let trace_dir = options.resolved_trace_dir().map(|root| Arc::new(TraceDir::new(root)));
+    let sweep = Sweep::with_trace_dir(&config, trace_dir, options.jobs);
     match run_one(&options.experiment, &sweep, &options) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -952,6 +1140,102 @@ mod tests {
     fn atlas_rejects_unknown_families() {
         let o = opts(&["atlas", "nonesuch"]).unwrap();
         assert!(run_atlas(&o).is_err());
+    }
+
+    #[test]
+    fn parses_trace_dir_flag() {
+        let o = opts(&["fig3-1", "--trace-dir", "/tmp/fetchvp-cache"]).unwrap();
+        assert_eq!(o.trace_dir.as_deref(), Some("/tmp/fetchvp-cache"));
+        validate_invocation(&o).unwrap();
+        assert!(opts(&["fig3-1", "--trace-dir"]).is_err());
+        // Surfaces that never read traces from disk reject the flag.
+        let o = opts(&["trace-info", "f.bin", "--trace-dir", "/tmp/x"]).unwrap();
+        assert!(validate_invocation(&o).is_err());
+        // serve and trace-gen accept it.
+        validate_invocation(&opts(&["serve", "--trace-dir", "/tmp/x"]).unwrap()).unwrap();
+        validate_invocation(&opts(&["trace-gen", "gcc", "--trace-dir", "/tmp/x"]).unwrap())
+            .unwrap();
+    }
+
+    #[test]
+    fn scale_gate_distinguishes_capability_from_invalid() {
+        let big = (MAX_IN_MEMORY_TRACE_LEN + 1).to_string();
+        // A machine sweep without a trace dir: the error names the fix.
+        let o = opts(&["fig3-1", "--trace-len", &big]).unwrap();
+        if o.resolved_trace_dir().is_none() {
+            let err = validate_scale(&o).unwrap_err();
+            assert!(err.contains("--trace-dir"), "{err}");
+        }
+        // The same length with a dir passes the gate.
+        let o = opts(&["fig3-1", "--trace-len", &big, "--trace-dir", "/tmp/x"]).unwrap();
+        validate_scale(&o).unwrap();
+        // Analysis experiments are blamed even with a dir.
+        let o = opts(&["fig3-4", "--trace-len", &big, "--trace-dir", "/tmp/x"]).unwrap();
+        let err = validate_scale(&o).unwrap_err();
+        assert!(err.contains("cannot replay out-of-core"), "{err}");
+        // save-trace streams at any in-cap size.
+        let o = opts(&["save-trace", "gcc", "f.fvps", "--trace-len", &big]).unwrap();
+        validate_scale(&o).unwrap();
+        // Beyond even the out-of-core cap: plainly invalid.
+        let too_big = (jobspec::MAX_TRACE_LEN_OOC + 1).to_string();
+        let o = opts(&["fig3-1", "--trace-len", &too_big, "--trace-dir", "/tmp/x"]).unwrap();
+        let err = validate_scale(&o).unwrap_err();
+        assert!(err.contains("out-of-core cap"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_rejects_out_of_core_max_len() {
+        let big = (MAX_IN_MEMORY_TRACE_LEN + 1).to_string();
+        let o = opts(&["fuzz", "--max-len", &big]).unwrap();
+        let err = run_fuzz(&o).unwrap_err();
+        assert!(err.contains("in memory"), "{err}");
+        assert!(err.contains(&MAX_IN_MEMORY_TRACE_LEN.to_string()), "{err}");
+    }
+
+    #[test]
+    fn save_trace_writes_chunked_stores_and_trace_info_reads_both_formats() {
+        let dir = std::env::temp_dir().join(format!("fetchvp-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_path = dir.join("go.fvps");
+        let o = opts(&["save-trace", "go", store_path.to_str().unwrap(), "--trace-len", "500"])
+            .unwrap();
+        save_trace(&o.config, &o.positionals).unwrap();
+        let magic = &std::fs::read(&store_path).unwrap()[..4];
+        assert_eq!(magic, MAGIC, "save-trace must write the chunked format");
+        trace_info(&[store_path.to_str().unwrap().to_string()]).unwrap();
+
+        // The legacy FVPT format stays readable.
+        let legacy_path = dir.join("go-legacy.bin");
+        let workload = by_name("go", &o.config.workloads).unwrap();
+        let trace = trace_program(workload.program(), 500);
+        let file = File::create(&legacy_path).unwrap();
+        fetchvp_trace::write_trace(&trace, BufWriter::new(file)).unwrap();
+        trace_info(&[legacy_path.to_str().unwrap().to_string()]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_gen_populates_and_reuses_the_cache() {
+        let dir = std::env::temp_dir().join(format!("fetchvp-cli-gen-{}", std::process::id()));
+        let o = opts(&[
+            "trace-gen",
+            "compress",
+            "--trace-len",
+            "400",
+            "--trace-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        trace_gen(&o.config, &o).unwrap();
+        let files = || {
+            std::fs::read_dir(&dir)
+                .map(|entries| entries.filter_map(Result::ok).count())
+                .unwrap_or(0)
+        };
+        assert_eq!(files(), 1, "one store generated");
+        trace_gen(&o.config, &o).unwrap();
+        assert_eq!(files(), 1, "second run reuses the cached store");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -431,15 +431,114 @@ const BATCH_BLOCK_SLOTS: usize = 4096;
 /// issue width), exactly as the machine constructors do.
 pub fn run_batch(trace: &Trace, configs: &[MachineConfig]) -> Vec<MachineResult> {
     let view = trace.view();
-    let mut pipes: Vec<Pipeline> = configs.iter().map(Pipeline::new).collect();
-    let mut no_sink: Option<&mut dyn EventSink> = None;
-    for start in (0..view.len()).step_by(BATCH_BLOCK_SLOTS) {
-        let end = (start + BATCH_BLOCK_SLOTS).min(view.len());
-        for pipe in &mut pipes {
-            pipe.run_block(view, start, end, &mut no_sink);
-        }
+    let mut runner = BatchRunner::new(configs);
+    runner.feed(view, 0, view.len());
+    runner.finish()
+}
+
+/// A resumable [`run_batch`]: the same lockstep pipelines, but fed the
+/// trace in caller-chosen contiguous segments instead of one call. This is
+/// the out-of-core replay seam — `fetchvp-tracestore` decodes an on-disk
+/// trace one chunk at a time into a re-based window buffer and feeds each
+/// chunk here, and the results are byte-identical to [`run_batch`] over
+/// the fully materialized trace.
+///
+/// # Window requirements
+///
+/// Each [`feed`](BatchRunner::feed) call advances every pipeline over the
+/// logical slots `start..end` of `view`. Calls must be contiguous (each
+/// `start` equals the previous `end`, beginning at 0). Because realistic
+/// front-ends fetch up to [`lookahead`](BatchRunner::lookahead) slots past
+/// the instruction being stepped, `view` must extend to at least
+/// `min(end + lookahead, total)` where `total` is the full trace length —
+/// i.e. either reach the true end of the trace or overshoot `end` by the
+/// lookahead. A whole-trace view (as in [`run_batch`]) always qualifies.
+///
+/// # Example
+///
+/// ```
+/// use fetchvp_core::{run_batch, BatchRunner, IdealConfig, MachineConfig};
+/// use fetchvp_isa::{AluOp, ProgramBuilder, Reg};
+/// use fetchvp_trace::trace_program;
+///
+/// # fn main() -> Result<(), fetchvp_isa::ProgramError> {
+/// let mut b = ProgramBuilder::new("p");
+/// let head = b.bind_label("head");
+/// b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+/// b.jump(head);
+/// let trace = trace_program(&b.build()?, 10_000);
+///
+/// let configs = [MachineConfig::Ideal(IdealConfig::default())];
+/// let mut runner = BatchRunner::new(&configs);
+/// runner.feed(trace.view(), 0, 6_000);
+/// runner.feed(trace.view(), 6_000, 10_000);
+/// assert_eq!(runner.finish(), run_batch(&trace, &configs));
+/// # Ok(())
+/// # }
+/// ```
+pub struct BatchRunner {
+    pipes: Vec<Pipeline>,
+    lookahead: usize,
+    next: usize,
+}
+
+impl BatchRunner {
+    /// Builds one pipeline per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration is invalid, exactly as [`run_batch`].
+    pub fn new(configs: &[MachineConfig]) -> BatchRunner {
+        let lookahead = configs
+            .iter()
+            .map(|c| match c {
+                MachineConfig::Ideal(_) => 0,
+                MachineConfig::Realistic(cfg) => cfg.issue_width,
+            })
+            .max()
+            .unwrap_or(0);
+        BatchRunner { pipes: configs.iter().map(Pipeline::new).collect(), lookahead, next: 0 }
     }
-    pipes.into_iter().map(Pipeline::finish).collect()
+
+    /// The furthest any pipeline's front-end may read past the instruction
+    /// currently being stepped (the widest realistic issue width — every
+    /// fetch engine clamps its group to the issue width it is handed, and
+    /// the ideal front-end never looks ahead at all).
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+
+    /// The logical index the next [`feed`](BatchRunner::feed) must start at.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Advances every pipeline over the logical slots `start..end`, tiled
+    /// into the same cache-sized blocks as [`run_batch`] (block boundaries
+    /// are a pure performance knob; results are independent of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not the previous call's `end`, if the range is
+    /// inverted, or if `view` does not cover it.
+    pub fn feed(&mut self, view: TraceView<'_>, start: usize, end: usize) {
+        assert_eq!(start, self.next, "feed must continue where the previous one stopped");
+        assert!(start <= end, "inverted feed range {start}..{end}");
+        assert!(end <= view.len(), "feed range end {end} beyond view length {}", view.len());
+        let mut no_sink: Option<&mut dyn EventSink> = None;
+        for block_start in (start..end).step_by(BATCH_BLOCK_SLOTS) {
+            let block_end = (block_start + BATCH_BLOCK_SLOTS).min(end);
+            for pipe in &mut self.pipes {
+                pipe.run_block(view, block_start, block_end, &mut no_sink);
+            }
+        }
+        self.next = end;
+    }
+
+    /// Retires every pipeline and returns the results in `configs` order.
+    pub fn finish(self) -> Vec<MachineResult> {
+        self.pipes.into_iter().map(Pipeline::finish).collect()
+    }
 }
 
 #[cfg(test)]
@@ -528,6 +627,39 @@ mod tests {
         );
         let r = run_batch(&short, &[MachineConfig::Ideal(IdealConfig::default())]);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn windowed_feeds_match_one_shot_batch() {
+        let t = chain_trace(2_000);
+        let configs = mixed_configs();
+        let expected = run_batch(&t, &configs);
+        // Feed through re-based window buffers — the out-of-core replay
+        // shape: each segment's view holds only segment + lookahead slots,
+        // with the store's base carrying the global indices.
+        for window in [1usize, 100, 4096, t.len()] {
+            let mut runner = BatchRunner::new(&configs);
+            let lookahead = runner.lookahead();
+            let mut start = 0;
+            while start < t.len() {
+                let end = (start + window).min(t.len());
+                let window_end = (end + lookahead).min(t.len());
+                let mut buf = t.columns().slice(start..window_end);
+                buf.set_base(start);
+                runner.feed(buf.view(), start, end);
+                start = end;
+            }
+            assert_eq!(runner.finish(), expected, "window {window} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must continue")]
+    fn non_contiguous_feed_panics() {
+        let t = chain_trace(100);
+        let mut runner = BatchRunner::new(&mixed_configs());
+        runner.feed(t.view(), 0, 10);
+        runner.feed(t.view(), 20, 30);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use fetchvp_fetch::{BacConfig, TraceCacheConfig};
 use fetchvp_metrics::{Json, MetricsSink, Registry};
 use fetchvp_predictor::BankedConfig;
 use fetchvp_trace::Trace;
+use fetchvp_tracestore::{run_batch_store, stream_store_stats, CacheCounters, TraceStore};
 
 use crate::{ExperimentConfig, Sweep};
 
@@ -101,6 +102,9 @@ pub struct BenchReport {
     /// seconds, excluding trace generation and harness overhead (which are
     /// not what the throughput gate tracks).
     pub wall_seconds: f64,
+    /// On-disk trace-cache effectiveness (hits/misses/bytes), when the run
+    /// used a trace directory. A warm second run shows zero misses.
+    pub trace_cache: Option<CacheCounters>,
     /// Per-benchmark results, extended-suite order.
     pub workloads: Vec<WorkloadBench>,
 }
@@ -154,22 +158,35 @@ impl BenchReport {
                 ]),
             )
         }));
-        Json::object([
+        let mut pairs = vec![
             ("schema".to_string(), Json::Str(SCHEMA.to_string())),
             ("date".to_string(), Json::Str(self.date.clone())),
             ("env".to_string(), env),
             ("totals".to_string(), totals),
-            ("workloads".to_string(), workloads),
-        ])
+        ];
+        if let Some(c) = self.trace_cache {
+            pairs.push((
+                "trace_cache".to_string(),
+                Json::object([
+                    ("hits".to_string(), Json::UInt(c.hits)),
+                    ("misses".to_string(), Json::UInt(c.misses)),
+                    ("bytes".to_string(), Json::UInt(c.bytes)),
+                ]),
+            ));
+        }
+        pairs.push(("workloads".to_string(), workloads));
+        Json::object(pairs)
     }
 }
 
+/// Labels of the bench machine set, in [`bench_configs`] order.
+const MACHINE_LABELS: [&str; 4] = ["ideal16", "conv4_banked", "bac", "trace_cache"];
+
 /// The machine configurations a bench cell runs, spanning every counted
 /// subsystem. All four advance in batched lockstep over one trace walk.
-/// Returns `(label, simulated instructions, metrics)` per run.
-fn machine_runs(trace: &Trace) -> Vec<(&'static str, u64, Registry)> {
+fn bench_configs() -> [MachineConfig; 4] {
     let btb = BtbKind::two_level_paper();
-    let configs = [
+    [
         // §3 ideal machine, fetch 16, stride VP: predictor.* and sched.*.
         MachineConfig::Ideal(IdealConfig {
             fetch_rate: 16,
@@ -195,11 +212,26 @@ fn machine_runs(trace: &Trace) -> Vec<(&'static str, u64, Registry)> {
             FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb },
             VpConfig::stride_infinite(),
         )),
-    ];
-    let labels = ["ideal16", "conv4_banked", "bac", "trace_cache"];
-    run_batch(trace, &configs)
+    ]
+}
+
+/// Runs the bench machine set over an in-memory trace. Returns
+/// `(label, simulated instructions, metrics)` per run.
+fn machine_runs(trace: &Trace) -> Vec<(&'static str, u64, Registry)> {
+    run_batch(trace, &bench_configs())
         .into_iter()
-        .zip(labels)
+        .zip(MACHINE_LABELS)
+        .map(|(r, label)| (label, r.instructions, r.metrics()))
+        .collect()
+}
+
+/// [`machine_runs`] over an on-disk store (chunked replay, byte-identical
+/// metrics).
+fn machine_runs_store(store: &TraceStore) -> Vec<(&'static str, u64, Registry)> {
+    run_batch_store(store, &bench_configs())
+        .unwrap_or_else(|e| panic!("out-of-core bench replay of `{}`: {e}", store.name()))
+        .into_iter()
+        .zip(MACHINE_LABELS)
         .map(|(r, label)| (label, r.instructions, r.metrics()))
         .collect()
 }
@@ -220,33 +252,33 @@ pub fn run_with(sweep: &Sweep, quick: bool) -> BenchReport {
 pub fn run_repeat(sweep: &Sweep, quick: bool, repeat: usize) -> BenchReport {
     let repeat = repeat.max(1);
     let cfg = *sweep.config();
-    let cells = sweep.cells_extended(&[()], |_, trace, ()| {
-        let mut best = f64::INFINITY;
-        let mut instructions = 0u64;
-        let mut registry = Registry::new();
-        for rep in 0..repeat {
-            let cell_start = Instant::now();
-            let mut reg = Registry::new();
-            trace.stats().export_metrics(&mut reg, "trace");
-            let mut instrs = 0u64;
-            for (_, n, metrics) in machine_runs(trace) {
-                instrs += n;
-                reg.merge(&metrics);
-            }
-            best = best.min(cell_start.elapsed().as_secs_f64());
-            if rep == 0 {
-                instructions = instrs;
-                registry = reg;
-            }
-        }
-        (instructions, best, registry)
-    });
+    // The counters are deterministic across both paths (`run_batch_store`
+    // is byte-identical to `run_batch`), so out-of-core only changes where
+    // the wall time goes.
+    let cells: Vec<(&'static str, (u64, f64, Registry))> = if sweep.cache().out_of_core() {
+        sweep.per_workload_store_extended(|_, store| {
+            bench_cell(repeat, &|| {
+                let stats = stream_store_stats(store)
+                    .unwrap_or_else(|e| panic!("streaming stats of `{}`: {e}", store.name()));
+                (stats, machine_runs_store(store))
+            })
+        })
+    } else {
+        sweep
+            .cells_extended(&[()], |_, trace, ()| {
+                bench_cell(repeat, &|| (trace.stats(), machine_runs(trace)))
+            })
+            .into_iter()
+            .map(|(name, mut rs)| (name, rs.pop().expect("one bench result per workload")))
+            .collect()
+    };
     let workloads: Vec<WorkloadBench> = cells
         .into_iter()
-        .map(|(name, mut results)| {
-            let (instructions, wall_seconds, registry) =
-                results.pop().expect("one bench result per workload");
-            WorkloadBench { name, instructions, wall_seconds, registry }
+        .map(|(name, (instructions, wall_seconds, registry))| WorkloadBench {
+            name,
+            instructions,
+            wall_seconds,
+            registry,
         })
         .collect();
     BenchReport {
@@ -257,8 +289,37 @@ pub fn run_repeat(sweep: &Sweep, quick: bool, repeat: usize) -> BenchReport {
         trace_len: cfg.trace_len,
         seed: cfg.workloads.seed,
         wall_seconds: workloads.iter().map(|w| w.wall_seconds).sum(),
+        trace_cache: sweep.trace_counters(),
         workloads,
     }
+}
+
+/// Times one workload's bench cell `repeat` times (best wall time kept,
+/// first repetition's deterministic counters kept).
+fn bench_cell(
+    repeat: usize,
+    run: &dyn Fn() -> (fetchvp_trace::TraceStats, Vec<(&'static str, u64, Registry)>),
+) -> (u64, f64, Registry) {
+    let mut best = f64::INFINITY;
+    let mut instructions = 0u64;
+    let mut registry = Registry::new();
+    for rep in 0..repeat {
+        let cell_start = Instant::now();
+        let (stats, runs) = run();
+        let mut reg = Registry::new();
+        stats.export_metrics(&mut reg, "trace");
+        let mut instrs = 0u64;
+        for (_, n, metrics) in runs {
+            instrs += n;
+            reg.merge(&metrics);
+        }
+        best = best.min(cell_start.elapsed().as_secs_f64());
+        if rep == 0 {
+            instructions = instrs;
+            registry = reg;
+        }
+    }
+    (instructions, best, registry)
 }
 
 /// Runs the bench suite from scratch with `jobs` workers. `quick` selects

@@ -16,6 +16,8 @@
 //! {
 //!   "experiment": "bench",   // required; see EXPERIMENTS
 //!   "trace_len": 60000,      // optional; 1..=MAX_TRACE_LEN, default 60000
+//!                            // (machine sweeps may go to MAX_TRACE_LEN_OOC
+//!                            //  when the daemon has a trace directory)
 //!   "seed": 1998,            // optional; workload data seed
 //!   "jobs": 1                // optional; 1..=MAX_JOBS sweep workers, default 1
 //! }
@@ -33,12 +35,18 @@ use crate::{
     table3_1, usefulness, ExperimentConfig, Sweep, Table,
 };
 
-/// Upper bound on a served job's `trace_len`.
+/// Upper bound on a served job's `trace_len` when the job must hold its
+/// traces in memory.
 ///
 /// The default CLI configuration traces 1M instructions per benchmark;
 /// 5M bounds a single request at a few suite-seconds of simulation while
 /// still covering every configuration the committed experiments use.
 pub const MAX_TRACE_LEN: u64 = 5_000_000;
+
+/// Upper bound on a served job's `trace_len` when the experiment can
+/// replay out-of-core ([`supports_out_of_core`]) *and* the server runs
+/// with a trace directory — the paper's 100M-instruction scale.
+pub const MAX_TRACE_LEN_OOC: u64 = 100_000_000;
 
 /// Default `trace_len` when the spec omits it — the `--quick` bench
 /// configuration, sized for interactive latency.
@@ -64,6 +72,14 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation-fetch",
     "usefulness",
 ];
+
+/// Whether `experiment` runs exclusively through the machine-sweep path
+/// (`Sweep::machines*`), which can replay chunk-by-chunk from an on-disk
+/// store. Analysis runners (DID distances, histograms, accuracy tables)
+/// walk whole traces and stay bounded by [`MAX_TRACE_LEN`].
+pub fn supports_out_of_core(experiment: &str) -> bool {
+    matches!(experiment, "bench" | "fig3-1" | "fig5-1" | "fig5-2" | "fig5-3" | "usefulness")
+}
 
 /// A validated request to run one experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,9 +123,20 @@ impl JobSpec {
     /// fields, wrong types, unknown experiment names and out-of-range
     /// values are all rejected with a message naming the offending field.
     pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        JobSpec::from_json_with_limits(doc, false)
+    }
+
+    /// [`JobSpec::from_json`] with the server's capabilities made
+    /// explicit: when `ooc_available` (the daemon has a trace directory),
+    /// machine-sweep experiments ([`supports_out_of_core`]) may request up
+    /// to [`MAX_TRACE_LEN_OOC`] instructions. The error messages
+    /// distinguish "too big for memory" (a capability problem, naming the
+    /// missing piece) from a plainly invalid value.
+    pub fn from_json_with_limits(doc: &Json, ooc_available: bool) -> Result<JobSpec, String> {
         let pairs = doc.as_object().ok_or("job spec must be a JSON object")?;
         let mut spec = JobSpec::default();
         let mut experiment = None;
+        let mut trace_len = None;
         for (key, value) in pairs {
             match key.as_str() {
                 "experiment" => {
@@ -124,14 +151,9 @@ impl JobSpec {
                     experiment = Some(name);
                 }
                 "trace_len" => {
-                    let n =
-                        value.as_u64().ok_or("field `trace_len` must be an unsigned integer")?;
-                    if n == 0 || n > MAX_TRACE_LEN {
-                        return Err(format!(
-                            "field `trace_len` must be in 1..={MAX_TRACE_LEN}, got {n}"
-                        ));
-                    }
-                    spec.trace_len = n;
+                    trace_len = Some(
+                        value.as_u64().ok_or("field `trace_len` must be an unsigned integer")?,
+                    );
                 }
                 "seed" => {
                     spec.seed = value.as_u64().ok_or("field `seed` must be an unsigned integer")?;
@@ -146,7 +168,32 @@ impl JobSpec {
                 other => return Err(format!("unknown field `{other}` in job spec")),
             }
         }
+        // `trace_len` is validated after the whole document is parsed: its
+        // cap depends on which experiment was requested.
         spec.experiment = experiment.ok_or("job spec is missing the `experiment` field")?;
+        if let Some(n) = trace_len {
+            let ooc_capable = supports_out_of_core(&spec.experiment);
+            let cap = if ooc_available && ooc_capable { MAX_TRACE_LEN_OOC } else { MAX_TRACE_LEN };
+            if n == 0 || n > cap {
+                return Err(if n > MAX_TRACE_LEN && n <= MAX_TRACE_LEN_OOC && !ooc_capable {
+                    format!(
+                        "field `trace_len` {n} exceeds the in-memory limit {MAX_TRACE_LEN}, and \
+                         experiment `{}` cannot replay out-of-core (only machine sweeps can: \
+                         bench, fig3-1, fig5-1, fig5-2, fig5-3, usefulness)",
+                        spec.experiment
+                    )
+                } else if n > MAX_TRACE_LEN && n <= MAX_TRACE_LEN_OOC && !ooc_available {
+                    format!(
+                        "field `trace_len` {n} exceeds the in-memory limit {MAX_TRACE_LEN}; \
+                         out-of-core replay (up to {MAX_TRACE_LEN_OOC}) needs the daemon started \
+                         with a trace directory (--trace-dir)"
+                    )
+                } else {
+                    format!("field `trace_len` must be in 1..={cap}, got {n}")
+                });
+            }
+            spec.trace_len = n;
+        }
         Ok(spec)
     }
 
@@ -263,6 +310,38 @@ mod tests {
             let err = parse_spec(text).expect_err(text);
             assert!(err.contains(needle), "{text}: error `{err}` should mention {needle}");
         }
+    }
+
+    #[test]
+    fn out_of_core_lengths_need_a_capable_experiment_and_a_trace_dir() {
+        let big = MAX_TRACE_LEN + 1;
+        let parse =
+            |text: &str, ooc| JobSpec::from_json_with_limits(&Json::parse(text).unwrap(), ooc);
+
+        // Capable experiment + trace dir: accepted up to the OOC cap.
+        let text = format!(r#"{{"experiment": "fig3-1", "trace_len": {MAX_TRACE_LEN_OOC}}}"#);
+        assert_eq!(parse(&text, true).unwrap().trace_len, MAX_TRACE_LEN_OOC);
+
+        // Capable experiment, no trace dir: the error names the missing
+        // capability, not just the range.
+        let text = format!(r#"{{"experiment": "bench", "trace_len": {big}}}"#);
+        let err = parse(&text, false).unwrap_err();
+        assert!(err.contains("trace directory"), "error should name the fix: {err}");
+
+        // Trace dir available, but an analysis experiment: the error says
+        // the experiment itself cannot replay out-of-core.
+        let text = format!(r#"{{"experiment": "fig3-3", "trace_len": {big}}}"#);
+        let err = parse(&text, true).unwrap_err();
+        assert!(err.contains("cannot replay out-of-core"), "error should blame fig3-3: {err}");
+
+        // Beyond even the OOC cap: plain range error.
+        let text = format!(r#"{{"experiment": "fig3-1", "trace_len": {}}}"#, MAX_TRACE_LEN_OOC + 1);
+        let err = parse(&text, true).unwrap_err();
+        assert!(err.contains(&MAX_TRACE_LEN_OOC.to_string()), "error should name the cap: {err}");
+
+        // Field order must not matter: trace_len before experiment.
+        let text = format!(r#"{{"trace_len": {big}, "experiment": "fig5-2"}}"#);
+        assert_eq!(parse(&text, true).unwrap().trace_len, big);
     }
 
     #[test]

@@ -30,11 +30,17 @@
 //! assert_eq!(sweep.cache().generated(), 8);
 //! ```
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use fetchvp_core::{run_batch, MachineConfig, MachineResult};
 use fetchvp_trace::{trace_program, Trace};
+use fetchvp_tracestore::{
+    run_batch_store, stream_program_to_store, CacheCounters, TraceDir, TraceKey, TraceStore,
+    DEFAULT_CHUNK_LEN,
+};
 use fetchvp_workloads::{extended_suite, Workload};
 
 use crate::ExperimentConfig;
@@ -51,6 +57,13 @@ pub const BATCH_CHUNK: usize = 8;
 /// appends `mgrid` for Figure 5.3).
 pub const SUITE_LEN: usize = 8;
 
+/// Largest trace the cache materializes in memory. A decoded instruction
+/// costs ~39 bytes of columns, so 8M instructions is roughly 300 MiB per
+/// workload — the last size where holding whole traces is reasonable.
+/// Beyond it, sweeps replay chunk-by-chunk from an on-disk store
+/// ([`fetchvp_tracestore`]), which requires a trace directory.
+pub const MAX_IN_MEMORY_TRACE_LEN: u64 = 8_000_000;
+
 /// Lazily generates and shares one trace per workload.
 ///
 /// Holds the *extended* suite (integer benchmarks plus `mgrid`); runners
@@ -58,17 +71,97 @@ pub const SUITE_LEN: usize = 8;
 /// slot, and its trace is never generated.
 pub struct TraceCache {
     cfg: ExperimentConfig,
+    /// Content-addressed on-disk cache. When set, trace generation goes
+    /// through it (streamed to disk, decoded or replayed from there), so a
+    /// second run against a warm directory generates nothing.
+    trace_dir: Option<Arc<TraceDir>>,
     workloads: Vec<Workload>,
     slots: Vec<OnceLock<Arc<Trace>>>,
+    store_slots: Vec<OnceLock<Arc<TraceStore>>>,
     generated: AtomicUsize,
 }
 
 impl TraceCache {
     /// Creates an empty cache for one experiment configuration.
     pub fn new(cfg: &ExperimentConfig) -> TraceCache {
+        TraceCache::with_trace_dir(cfg, None)
+    }
+
+    /// Like [`TraceCache::new`], backed by a content-addressed trace
+    /// directory: generation streams to disk once per key and is shared
+    /// across processes and runs.
+    pub fn with_trace_dir(cfg: &ExperimentConfig, trace_dir: Option<Arc<TraceDir>>) -> TraceCache {
         let workloads = extended_suite(&cfg.workloads);
         let slots = (0..workloads.len()).map(|_| OnceLock::new()).collect();
-        TraceCache { cfg: *cfg, workloads, slots, generated: AtomicUsize::new(0) }
+        let store_slots = (0..workloads.len()).map(|_| OnceLock::new()).collect();
+        TraceCache {
+            cfg: *cfg,
+            trace_dir,
+            workloads,
+            slots,
+            store_slots,
+            generated: AtomicUsize::new(0),
+        }
+    }
+
+    /// The backing trace directory, if any.
+    pub fn trace_dir(&self) -> Option<&Arc<TraceDir>> {
+        self.trace_dir.as_ref()
+    }
+
+    /// Whether this configuration's traces are too large to materialize
+    /// (see [`MAX_IN_MEMORY_TRACE_LEN`]). Out-of-core runs replay from
+    /// disk and support machine sweeps only.
+    pub fn out_of_core(&self) -> bool {
+        self.cfg.trace_len > MAX_IN_MEMORY_TRACE_LEN
+    }
+
+    /// The content-address of workload `index`'s trace under this
+    /// configuration.
+    pub fn key(&self, index: usize) -> TraceKey {
+        TraceKey::benchmark(
+            self.workloads[index].name(),
+            self.cfg.workloads.seed,
+            self.cfg.workloads.scale,
+            self.cfg.trace_len,
+        )
+    }
+
+    /// The on-disk store of workload `index`, generated through the trace
+    /// directory on first request (a warm directory serves it without
+    /// generating). Requires a trace directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has no trace directory, or on I/O failure —
+    /// sweeps have no error channel, and a sweep that cannot read its
+    /// traces cannot do anything else either.
+    pub fn store(&self, index: usize) -> Arc<TraceStore> {
+        let dir = self.trace_dir.as_ref().expect(
+            "this run needs a trace directory for its on-disk traces: \
+             pass --trace-dir DIR (or set FETCHVP_TRACE_DIR)",
+        );
+        Arc::clone(self.store_slots[index].get_or_init(|| {
+            let key = self.key(index);
+            let store = dir
+                .open_or_create(&key, |path| {
+                    self.generated.fetch_add(1, Ordering::Relaxed);
+                    let out = BufWriter::new(File::create(path)?);
+                    let program = self.workloads[index].program();
+                    stream_program_to_store(
+                        program,
+                        program.name(),
+                        self.cfg.trace_len,
+                        DEFAULT_CHUNK_LEN,
+                        out,
+                    )?;
+                    Ok(())
+                })
+                .unwrap_or_else(|e| {
+                    panic!("trace store for `{}`: {e}", self.workloads[index].name())
+                });
+            Arc::new(store)
+        }))
     }
 
     /// The configuration the cached traces were generated under.
@@ -89,10 +182,35 @@ impl TraceCache {
     /// The trace of workload `index` (extended-suite order), generating it
     /// on first request. Concurrent requesters for the same workload block
     /// until the single generation finishes, then share the same `Arc`.
+    /// With a trace directory, generation goes through the on-disk cache
+    /// (stream out, decode back), which is byte-identical to direct
+    /// generation — the tracestore round-trip tests prove it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out-of-core
+    /// ([`MAX_IN_MEMORY_TRACE_LEN`]): analysis runners need the whole
+    /// trace, so they cannot run at those lengths.
     pub fn trace(&self, index: usize) -> Arc<Trace> {
-        Arc::clone(self.slots[index].get_or_init(|| {
-            self.generated.fetch_add(1, Ordering::Relaxed);
-            Arc::new(trace_program(self.workloads[index].program(), self.cfg.trace_len))
+        assert!(
+            !self.out_of_core(),
+            "trace_len {} exceeds the in-memory limit of {MAX_IN_MEMORY_TRACE_LEN} \
+             instructions; only machine sweeps (fig3-1, fig5-1/2/3, bench) can replay \
+             out-of-core",
+            self.cfg.trace_len
+        );
+        Arc::clone(self.slots[index].get_or_init(|| match &self.trace_dir {
+            Some(_) => {
+                let store = self.store(index);
+                let trace = store.to_trace().unwrap_or_else(|e| {
+                    panic!("decoding cached trace store {}: {e}", store.path().display())
+                });
+                Arc::new(trace)
+            }
+            None => {
+                self.generated.fetch_add(1, Ordering::Relaxed);
+                Arc::new(trace_program(self.workloads[index].program(), self.cfg.trace_len))
+            }
         }))
     }
 
@@ -123,7 +241,23 @@ impl Sweep {
     /// inline, serially, in index order — the oracle the parallel path must
     /// match bit-for-bit.
     pub fn with_jobs(cfg: &ExperimentConfig, jobs: usize) -> Sweep {
-        Sweep { cache: Arc::new(TraceCache::new(cfg)), jobs: jobs.max(1) }
+        Sweep::with_trace_dir(cfg, None, jobs)
+    }
+
+    /// A sweep whose trace cache is backed by a content-addressed trace
+    /// directory (required for out-of-core configurations; optional
+    /// cross-process caching for in-memory ones).
+    pub fn with_trace_dir(
+        cfg: &ExperimentConfig,
+        trace_dir: Option<Arc<TraceDir>>,
+        jobs: usize,
+    ) -> Sweep {
+        Sweep { cache: Arc::new(TraceCache::with_trace_dir(cfg, trace_dir)), jobs: jobs.max(1) }
+    }
+
+    /// The trace directory's hit/miss/bytes counters, if one is attached.
+    pub fn trace_counters(&self) -> Option<CacheCounters> {
+        self.cache.trace_dir().map(|d| d.counters())
     }
 
     /// A serial sweep (`jobs == 1`) — what the figure runners' plain
@@ -214,9 +348,58 @@ impl Sweep {
     ) -> Vec<(&'static str, Vec<MachineResult>)> {
         assert!(!configs.is_empty(), "a machine sweep needs at least one config");
         let chunks: Vec<&[MachineConfig]> = configs.chunks(BATCH_CHUNK).collect();
-        self.cells_on(extended, &chunks, |_, trace, chunk| run_batch(trace, chunk))
+        let per_workload = if self.cache.out_of_core() {
+            // Out-of-core: each cell replays its workload's on-disk store
+            // chunk-by-chunk. `run_batch_store` is byte-identical to
+            // `run_batch`, so the sweep output does not depend on which
+            // path ran.
+            self.cells_stores_on(extended, &chunks, |w, store, chunk| {
+                run_batch_store(store, chunk)
+                    .unwrap_or_else(|e| panic!("out-of-core replay of `{}`: {e}", w.name()))
+            })
+        } else {
+            self.cells_on(extended, &chunks, |_, trace, chunk| run_batch(trace, chunk))
+        };
+        per_workload
             .into_iter()
             .map(|(name, per_chunk)| (name, per_chunk.into_iter().flatten().collect()))
+            .collect()
+    }
+
+    /// Runs `f` over every `(workload, parameter)` cell against the
+    /// workloads' on-disk trace stores instead of in-memory traces — the
+    /// out-of-core counterpart of `cells_on`. Requires a trace directory.
+    fn cells_stores_on<P: Sync, R: Send>(
+        &self,
+        extended: bool,
+        params: &[P],
+        f: impl Fn(&Workload, &TraceStore, &P) -> R + Sync,
+    ) -> Vec<(&'static str, Vec<R>)> {
+        let workloads = self.cache.workloads(extended);
+        let np = params.len();
+        assert!(np > 0, "a sweep needs at least one parameter");
+        let flat = self.run_jobs(workloads.len() * np, |cell| {
+            let (w, p) = (cell / np, cell % np);
+            let store = self.cache.store(w);
+            f(&workloads[w], &store, &params[p])
+        });
+        let mut it = flat.into_iter();
+        workloads
+            .iter()
+            .map(|w| (w.name(), (0..np).map(|_| it.next().expect("cell result")).collect()))
+            .collect()
+    }
+
+    /// Runs `f` once per extended-suite workload against its on-disk trace
+    /// store — what the out-of-core bench path uses. Requires a trace
+    /// directory.
+    pub fn per_workload_store_extended<R: Send>(
+        &self,
+        f: impl Fn(&Workload, &TraceStore) -> R + Sync,
+    ) -> Vec<(&'static str, R)> {
+        self.cells_stores_on(true, &[()], |w, s, ()| f(w, s))
+            .into_iter()
+            .map(|(name, mut rs)| (name, rs.pop().expect("one result per workload")))
             .collect()
     }
 

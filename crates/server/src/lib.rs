@@ -42,12 +42,14 @@ pub mod queue;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use fetchvp_experiments::{ExperimentConfig, JobSpec, Sweep};
 use fetchvp_metrics::{Json, SharedRegistry};
+use fetchvp_tracestore::TraceDir;
 use fetchvp_tracing::{log_with, Level};
 
 use http::{error_body, read_request, Request, RequestError, Response};
@@ -71,6 +73,11 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Maximum accepted `POST` body, bytes.
     pub max_body_bytes: usize,
+    /// Content-addressed trace directory. When set, benchmark traces are
+    /// generated once to disk and replayed chunk-by-chunk, which lifts the
+    /// `trace_len` cap for machine-sweep experiments to
+    /// [`fetchvp_experiments::jobspec::MAX_TRACE_LEN_OOC`].
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +90,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_body_bytes: 256 * 1024,
+            trace_dir: None,
         }
     }
 }
@@ -100,11 +108,14 @@ const SWEEP_POOL_SLOTS: usize = 8;
 /// exactly as it does on the CLI.
 struct SweepPool {
     slots: Mutex<Vec<(ExperimentConfig, Sweep)>>,
+    /// One on-disk trace cache shared by every pooled sweep, so evicting a
+    /// slot never discards generated trace files.
+    trace_dir: Option<Arc<TraceDir>>,
 }
 
 impl SweepPool {
-    fn new() -> SweepPool {
-        SweepPool { slots: Mutex::new(Vec::new()) }
+    fn new(trace_dir: Option<Arc<TraceDir>>) -> SweepPool {
+        SweepPool { slots: Mutex::new(Vec::new()), trace_dir }
     }
 
     /// The pooled sweep for `spec`'s configuration (built on miss),
@@ -118,7 +129,7 @@ impl SweepPool {
             slots.insert(0, entry);
             return (sweep.reconfigured(spec.jobs), true);
         }
-        let sweep = Sweep::with_jobs(&cfg, 1);
+        let sweep = Sweep::with_trace_dir(&cfg, self.trace_dir.clone(), 1);
         slots.insert(0, (cfg, sweep.clone()));
         slots.truncate(SWEEP_POOL_SLOTS);
         (sweep.reconfigured(spec.jobs), false)
@@ -155,11 +166,12 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let metrics = SharedRegistry::new();
         metrics.counter("server", "started", 1);
+        let trace_dir = config.trace_dir.as_ref().map(|root| Arc::new(TraceDir::new(root)));
         let state = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
             jobs: JobTable::new(),
             metrics,
-            sweeps: SweepPool::new(),
+            sweeps: SweepPool::new(trace_dir),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config,
@@ -384,6 +396,12 @@ fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
         "active",
         state.active_connections.load(Ordering::SeqCst) as f64,
     );
+    if let Some(dir) = &state.sweeps.trace_dir {
+        let counters = dir.counters();
+        state.metrics.gauge("server.trace_cache", "hits", counters.hits as f64);
+        state.metrics.gauge("server.trace_cache", "misses", counters.misses as f64);
+        state.metrics.gauge("server.trace_cache", "bytes", counters.bytes as f64);
+    }
     // `server.started` (recorded at bind) guarantees the `server.*`
     // namespace is present even in the very first scrape; this request's
     // own counter lands in the *next* snapshot via handle_connection.
@@ -410,7 +428,7 @@ fn submit(state: &Shared, body: &[u8]) -> Response {
         Ok(doc) => doc,
         Err(e) => return Response::json(400, error_body(&e.to_string())),
     };
-    let spec = match JobSpec::from_json(&doc) {
+    let spec = match JobSpec::from_json_with_limits(&doc, state.sweeps.trace_dir.is_some()) {
         Ok(spec) => spec,
         Err(e) => return Response::json(400, error_body(&e)),
     };
@@ -500,7 +518,7 @@ mod tests {
             queue: BoundedQueue::new(queue_depth),
             jobs: JobTable::new(),
             metrics: SharedRegistry::new(),
-            sweeps: SweepPool::new(),
+            sweeps: SweepPool::new(None),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
         }
@@ -627,8 +645,36 @@ mod tests {
     }
 
     #[test]
+    fn out_of_core_specs_are_admitted_only_with_a_trace_dir() {
+        let big_spec = r#"{"experiment": "fig3-1", "trace_len": 50000000}"#;
+
+        let state = test_state(4);
+        let rejected = post(&state, "/run", big_spec);
+        assert_eq!(rejected.status, 400);
+        assert!(
+            rejected.body.contains("trace directory"),
+            "rejection must name the missing capability: {}",
+            rejected.body
+        );
+
+        // Same spec with a trace directory configured: admitted. The job
+        // only queues here (no worker), so nothing touches the disk yet
+        // and the lazily-created directory never materialises.
+        let dir = std::env::temp_dir().join("fetchvp-server-ooc-admission-test");
+        let state =
+            Shared { sweeps: SweepPool::new(Some(Arc::new(TraceDir::new(&dir)))), ..test_state(4) };
+        assert_eq!(post(&state, "/run", big_spec).status, 202);
+
+        // Analysis experiments stay memory-bound even with the directory.
+        let analysis = r#"{"experiment": "fig3-3", "trace_len": 50000000}"#;
+        let rejected = post(&state, "/run", analysis);
+        assert_eq!(rejected.status, 400);
+        assert!(rejected.body.contains("cannot replay out-of-core"), "{}", rejected.body);
+    }
+
+    #[test]
     fn sweep_pool_shares_traces_between_equal_configs() {
-        let pool = SweepPool::new();
+        let pool = SweepPool::new(None);
         let spec = JobSpec { trace_len: 500, ..JobSpec::default() };
         let (first, hit_first) = pool.sweep_for(&spec);
         first.cache().trace(0);

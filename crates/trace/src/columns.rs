@@ -104,6 +104,11 @@ pub struct TraceColumns {
     instr_table: Vec<Instr>,
     /// Interning map from instruction to its `instr_table` index.
     intern: FxHashMap<Instr, u32>,
+    /// Logical index of the first stored row. Zero for whole traces; a
+    /// chunk buffer decoded from an on-disk store sets it to the chunk's
+    /// starting sequence number so slots report their global position (see
+    /// [`TraceColumns::set_base`]).
+    base: usize,
 }
 
 impl TraceColumns {
@@ -126,6 +131,7 @@ impl TraceColumns {
             instr_idxs: Vec::with_capacity(n),
             instr_table: Vec::new(),
             intern: FxHashMap::default(),
+            base: 0,
         }
     }
 
@@ -222,14 +228,59 @@ impl TraceColumns {
         }
     }
 
-    /// Number of stored instructions.
+    /// The logical end of the store: `base + stored rows`. Slots occupy the
+    /// logical indices `base()..len()`; for whole traces (`base == 0`) this
+    /// is simply the number of stored instructions.
     pub fn len(&self) -> usize {
-        self.pcs.len()
+        self.base + self.pcs.len()
     }
 
-    /// Whether the store is empty.
+    /// Whether the store holds no rows (regardless of [`base`]).
+    ///
+    /// [`base`]: TraceColumns::base
     pub fn is_empty(&self) -> bool {
-        self.pcs.is_empty()
+        self.len() == 0
+    }
+
+    /// The logical index of the first stored row (zero except for chunk
+    /// buffers; see [`TraceColumns::set_base`]).
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Re-bases the store so its first row sits at logical index `base`.
+    ///
+    /// This is the windowed-replay seam: an on-disk trace is decoded one
+    /// chunk at a time into a reusable buffer whose base is set to the
+    /// chunk's starting sequence number, so machine models see the same
+    /// global indices, sequence numbers, and logical length bound they
+    /// would over the fully materialized trace. Rows already stored keep
+    /// their relative order; subsequent pushes append after them.
+    pub fn set_base(&mut self, base: usize) {
+        self.base = base;
+    }
+
+    /// Drops all rows but keeps the interned instruction table (and the
+    /// base), so a chunk buffer can be refilled without re-interning the
+    /// program's static footprint. [`PreparedInstr`]s from this store stay
+    /// valid across the clear.
+    pub fn clear_rows(&mut self) {
+        self.pcs.clear();
+        self.next_pcs.clear();
+        self.results.clear();
+        self.mem_addrs.clear();
+        self.flags.clear();
+        self.dsts.clear();
+        self.src1s.clear();
+        self.src2s.clear();
+        self.instr_idxs.clear();
+    }
+
+    /// The interned static-instruction table, indexable by
+    /// [`Slot::instr_index`].
+    pub fn instr_table(&self) -> &[Instr] {
+        &self.instr_table
     }
 
     /// Number of distinct static instructions seen (the interned-table
@@ -238,15 +289,21 @@ impl TraceColumns {
         self.instr_table.len()
     }
 
-    /// The accessor for instruction `index`.
+    /// The accessor for the instruction at logical `index` (i.e. its
+    /// global sequence number when the store is a re-based chunk buffer).
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics if `index` is outside `base()..len()`.
     #[inline]
     pub fn slot(&self, index: usize) -> Slot<'_> {
-        assert!(index < self.len(), "slot {index} beyond {} instructions", self.len());
-        Slot { cols: self, idx: index }
+        assert!(
+            (self.base..self.len()).contains(&index),
+            "slot {index} outside {}..{}",
+            self.base,
+            self.len()
+        );
+        Slot { cols: self, idx: index - self.base }
     }
 
     /// A zero-copy view over the whole store.
@@ -264,14 +321,16 @@ impl TraceColumns {
         self.slot(index).to_record()
     }
 
-    /// Copies out the instructions in `range` as a new store (implicitly
-    /// re-sequenced from zero). The interned instruction table is shared
-    /// wholesale rather than re-interned.
+    /// Copies out the instructions in logical `range` as a new store
+    /// (implicitly re-based and re-sequenced from zero). The interned
+    /// instruction table is shared wholesale rather than re-interned.
     ///
     /// # Panics
     ///
-    /// Panics if the range is out of bounds.
+    /// Panics if the range is outside `base()..len()`.
     pub fn slice(&self, range: std::ops::Range<usize>) -> TraceColumns {
+        assert!(range.start >= self.base, "range start {} before base {}", range.start, self.base);
+        let range = range.start - self.base..range.end - self.base;
         TraceColumns {
             pcs: self.pcs[range.clone()].to_vec(),
             next_pcs: self.next_pcs[range.clone()].to_vec(),
@@ -284,6 +343,7 @@ impl TraceColumns {
             instr_idxs: self.instr_idxs[range].to_vec(),
             instr_table: self.instr_table.clone(),
             intern: self.intern.clone(),
+            base: 0,
         }
     }
 }
@@ -295,7 +355,8 @@ impl TraceColumns {
 /// it sees).
 impl PartialEq for TraceColumns {
     fn eq(&self, other: &TraceColumns) -> bool {
-        self.pcs == other.pcs
+        self.base == other.base
+            && self.pcs == other.pcs
             && self.next_pcs == other.next_pcs
             && self.results == other.results
             && self.mem_addrs == other.mem_addrs
@@ -348,11 +409,18 @@ impl<'a> TraceView<'a> {
         self.cols.is_empty()
     }
 
-    /// The accessor for instruction `index`.
+    /// The logical index of the first instruction in view (zero except for
+    /// re-based chunk buffers; see [`TraceColumns::set_base`]).
+    #[inline]
+    pub fn base(self) -> usize {
+        self.cols.base
+    }
+
+    /// The accessor for the instruction at logical `index`.
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics if `index` is outside `base()..len()`.
     #[inline]
     pub fn slot(self, index: usize) -> Slot<'a> {
         self.cols.slot(index)
@@ -366,27 +434,36 @@ impl<'a> TraceView<'a> {
     /// Iterates over all slots in retirement order.
     pub fn slots(self) -> impl ExactSizeIterator<Item = Slot<'a>> {
         let cols = self.cols;
-        (0..cols.len()).map(move |idx| Slot { cols, idx })
+        (0..cols.pcs.len()).map(move |idx| Slot { cols, idx })
     }
 
-    /// Iterates over the slots in `range`.
+    /// Iterates over the slots in logical `range`.
     ///
     /// # Panics
     ///
-    /// Panics if the range end exceeds the view length.
+    /// Panics if the range falls outside `base()..len()`.
     pub fn slots_in(
         self,
         range: std::ops::Range<usize>,
     ) -> impl ExactSizeIterator<Item = Slot<'a>> {
+        assert!(
+            range.start >= self.base(),
+            "range start {} before base {}",
+            range.start,
+            self.base()
+        );
         assert!(range.end <= self.len(), "range end {} beyond {}", range.end, self.len());
         let cols = self.cols;
-        range.map(move |idx| Slot { cols, idx })
+        let base = cols.base;
+        range.map(move |idx| Slot { cols, idx: idx - base })
     }
 }
 
 /// A zero-copy accessor for one instruction of a [`TraceColumns`] store.
 ///
 /// All field reads are direct column indexing; nothing is materialized.
+/// `idx` is the *physical* row (logical index minus the store's base), so
+/// field reads stay a single indexed load even over re-based chunk buffers.
 #[derive(Debug, Clone, Copy)]
 pub struct Slot<'a> {
     cols: &'a TraceColumns,
@@ -394,16 +471,17 @@ pub struct Slot<'a> {
 }
 
 impl<'a> Slot<'a> {
-    /// Position in the dynamic stream (equals the sequence number).
+    /// Logical position in the dynamic stream (equals the sequence number),
+    /// global even when the slot comes from a re-based chunk buffer.
     #[inline]
     pub fn index(self) -> usize {
-        self.idx
+        self.cols.base + self.idx
     }
 
     /// Sequence number (the paper's "appearance order").
     #[inline]
     pub fn seq(self) -> u64 {
-        self.idx as u64
+        (self.cols.base + self.idx) as u64
     }
 
     /// Program index of the instruction.
@@ -524,6 +602,14 @@ impl<'a> Slot<'a> {
         &self.cols.instr_table[self.cols.instr_idxs[self.idx] as usize]
     }
 
+    /// This instruction's index into [`TraceColumns::instr_table`] — the
+    /// interned-table id trace serializers write instead of the full
+    /// instruction word.
+    #[inline]
+    pub fn instr_index(self) -> u32 {
+        self.cols.instr_idxs[self.idx]
+    }
+
     /// Materializes this slot as a [`DynInstr`] (with `seq` equal to the
     /// slot index).
     pub fn to_record(self) -> DynInstr {
@@ -642,9 +728,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "beyond")]
+    #[should_panic(expected = "outside")]
     fn out_of_range_slot_panics() {
         let t = sample();
         t.view().slot(t.len());
+    }
+
+    #[test]
+    fn rebased_buffer_reports_global_indices() {
+        let t = sample();
+        let full = t.view();
+        let mut buf = TraceColumns::new();
+        buf.set_base(3);
+        for i in 3..8 {
+            let s = full.slot(i);
+            let p = buf.prepare(*s.instr());
+            buf.push_prepared(p, s.pc(), s.next_pc(), s.result(), s.mem_addr(), s.taken());
+        }
+        assert_eq!(buf.base(), 3);
+        assert_eq!(buf.len(), 8);
+        let v = buf.view();
+        for i in 3..8 {
+            assert_eq!(v.slot(i).seq(), i as u64);
+            assert_eq!(v.slot(i).to_record(), t.get(i));
+        }
+        assert_eq!(v.slots_in(4..6).len(), 2);
+        assert_eq!(v.slots_in(4..6).next().unwrap().seq(), 4);
+        // Refill for the next window without re-interning.
+        let table_len = buf.distinct_instrs();
+        buf.clear_rows();
+        buf.set_base(8);
+        // `len` counts the logical prefix, so a rebased buffer with no
+        // rows is not "empty" — it still covers 0..8.
+        assert!(!buf.is_empty());
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.distinct_instrs(), table_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "before base")]
+    fn slot_below_base_panics() {
+        let mut buf = TraceColumns::new();
+        buf.set_base(4);
+        let p = buf.prepare(Instr::Nop);
+        buf.push_prepared(p, 0, 1, 0, None, false);
+        buf.view().slots_in(3..5).count();
     }
 }

@@ -86,7 +86,14 @@ fn reg_from(idx: u8) -> io::Result<Reg> {
     Reg::new(idx).ok_or_else(|| bad(format!("bad register index {idx}")))
 }
 
-fn write_instr<W: Write>(w: &mut W, instr: &Instr) -> io::Result<()> {
+/// Writes one static instruction in the tagged wire encoding shared by the
+/// legacy record format and the chunked tracestore format (a one-byte
+/// variant tag followed by the variant's fields).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_instr<W: Write>(w: &mut W, instr: &Instr) -> io::Result<()> {
     match *instr {
         Instr::Alu { op, dst, a, b } => {
             w.write_all(&[0, alu_op_tag(op), dst.index() as u8, a.index() as u8, b.index() as u8])
@@ -125,7 +132,13 @@ fn write_instr<W: Write>(w: &mut W, instr: &Instr) -> io::Result<()> {
     }
 }
 
-fn read_instr<R: Read>(r: &mut R) -> io::Result<Instr> {
+/// Reads one static instruction written by [`write_instr`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on an unknown tag, operation,
+/// condition, or register index, and propagates reader errors.
+pub fn read_instr<R: Read>(r: &mut R) -> io::Result<Instr> {
     Ok(match read_u8(r)? {
         0 => {
             let op = alu_op_from(read_u8(r)?)?;
@@ -202,13 +215,41 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// The smallest possible encoded record (a `Halt`/`Nop`: pc + one-byte
+/// instruction + result + mem-addr + taken + next-pc). Used to reject
+/// record counts that cannot fit in a file of known size.
+const MIN_RECORD_BYTES: u64 = 8 + 1 + 8 + 8 + 1 + 8;
+
 /// Reads a trace previously written by [`write_trace`].
 ///
 /// # Errors
 ///
 /// Returns [`io::ErrorKind::InvalidData`] on a bad magic number, version,
 /// or malformed record, and propagates reader errors.
-pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+///
+/// # Hostile input
+///
+/// Length prefixes are never trusted for up-front allocation: a corrupt
+/// record count makes the read fail with a truncation error once the
+/// stream runs dry, not abort on an out-of-memory allocation. When the
+/// total input size is known, prefer [`read_trace_sized`], which rejects
+/// impossible counts before decoding a single record.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+    read_trace_impl(r, None)
+}
+
+/// Reads a trace from an input whose total size in bytes is known (e.g. a
+/// file), rejecting headers whose record count could not possibly fit in
+/// `size_bytes` with a clear error instead of decoding to exhaustion.
+///
+/// # Errors
+///
+/// As [`read_trace`], plus `InvalidData` for an impossible record count.
+pub fn read_trace_sized<R: Read>(r: R, size_bytes: u64) -> io::Result<Trace> {
+    read_trace_impl(r, Some(size_bytes))
+}
+
+fn read_trace_impl<R: Read>(mut r: R, size_bytes: Option<u64>) -> io::Result<Trace> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -220,7 +261,7 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
     }
     let name_len = read_u32(&mut r)? as usize;
     if name_len > 1 << 20 {
-        return Err(bad("implausible name length"));
+        return Err(bad(format!("implausible name length {name_len} (cap {})", 1 << 20)));
     }
     let mut name = vec![0u8; name_len];
     r.read_exact(&mut name)?;
@@ -231,7 +272,18 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
         t => return Err(bad(format!("bad outcome tag {t}"))),
     };
     let count = read_u64(&mut r)?;
-    let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
+    if let Some(size) = size_bytes {
+        if count > size / MIN_RECORD_BYTES {
+            return Err(bad(format!(
+                "impossible record count {count} for a {size}-byte file \
+                 (records are at least {MIN_RECORD_BYTES} bytes each)"
+            )));
+        }
+    }
+    // Cap the up-front allocation: `count` is attacker-controlled when the
+    // size is unknown, and even the plausible-count path should not reserve
+    // gigabytes before a single record has decoded.
+    let mut records = Vec::with_capacity(count.min(1 << 16) as usize);
     for seq in 0..count {
         let pc = read_u64(&mut r)?;
         let instr = read_instr(&mut r)?;
@@ -331,6 +383,72 @@ mod tests {
         let header = 4 + 4 + 4 + t.name().len() + 1 + 8;
         buf[header + 8] = 200;
         assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn impossible_record_count_is_rejected_by_sized_reader() {
+        let mut buf = Vec::new();
+        let t = sample_trace();
+        write_trace(&t, &mut buf).unwrap();
+        // Smash the record count (little-endian u64 right after the
+        // outcome byte) to u64::MAX.
+        let count_at = 4 + 4 + 4 + t.name().len() + 1;
+        buf[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_trace_sized(buf.as_slice(), buf.len() as u64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("impossible record count"), "{err}");
+    }
+
+    #[test]
+    fn huge_count_without_size_fails_on_truncation_not_oom() {
+        let mut buf = Vec::new();
+        let t = sample_trace();
+        write_trace(&t, &mut buf).unwrap();
+        let count_at = 4 + 4 + 4 + t.name().len() + 1;
+        buf[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // The unsized reader cannot pre-validate the count, but it must
+        // not reserve for it either: it decodes what is there and fails
+        // at end-of-stream.
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected() {
+        let mut b = ProgramBuilder::new("tiny");
+        let head = b.bind_label("head");
+        b.nop();
+        b.jump(head);
+        let t = trace_program(&b.build().unwrap(), 40);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        for len in 0..buf.len() {
+            let err = read_trace_sized(&buf[..len], len as u64);
+            assert!(err.is_err(), "prefix of {len} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let mut b = ProgramBuilder::new("tiny");
+        b.data_word(0x100, 7);
+        let head = b.bind_label("head");
+        b.load(Reg::R2, Reg::R1, 0x100);
+        b.alu(AluOp::Add, Reg::R3, Reg::R2, Reg::R2);
+        b.store(Reg::R3, Reg::R1, 0x108);
+        b.jump(head);
+        let t = trace_program(&b.build().unwrap(), 40);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        for pos in 0..buf.len() {
+            for bit in 0..8 {
+                let mut flipped = buf.clone();
+                flipped[pos] ^= 1 << bit;
+                // A flipped bit may still decode to a (different) valid
+                // trace; the guarantee is a clean Ok/Err, never a panic
+                // or runaway allocation.
+                let _ = read_trace_sized(flipped.as_slice(), flipped.len() as u64);
+            }
+        }
     }
 
     #[test]

@@ -57,12 +57,12 @@ pub mod record;
 pub mod stats;
 
 pub use bb::{BasicBlocks, BlockId};
-pub use columns::{Slot, TraceColumns, TraceView, NO_REG};
+pub use columns::{PreparedInstr, Slot, TraceColumns, TraceView, NO_REG};
 pub use exec::{ExecOutcome, Executor};
-pub use io::{read_trace, write_trace};
+pub use io::{read_trace, read_trace_sized, write_trace};
 pub use memory::SparseMemory;
 pub use record::DynInstr;
-pub use stats::TraceStats;
+pub use stats::{StatsAccum, TraceStats};
 
 use fetchvp_isa::Program;
 

@@ -57,35 +57,9 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes statistics over a columnar trace view (zero-copy).
     pub fn from_view(view: TraceView<'_>) -> TraceStats {
-        let mut s = TraceStats { total: view.len() as u64, ..TraceStats::default() };
-        let mut pcs = FxHashSet::default();
-        for r in view.slots() {
-            pcs.insert(r.pc());
-            if r.is_mem() {
-                if r.produces_value() {
-                    s.loads += 1;
-                } else {
-                    s.stores += 1;
-                }
-            }
-            if r.is_control() {
-                s.control += 1;
-                if r.taken() {
-                    s.taken_control += 1;
-                }
-                if r.is_cond_branch() {
-                    s.cond_branches += 1;
-                    if r.taken() {
-                        s.taken_cond_branches += 1;
-                    }
-                }
-            }
-            if r.produces_value() {
-                s.value_producing += 1;
-            }
-        }
-        s.static_footprint = pcs.len() as u64;
-        s
+        let mut accum = StatsAccum::new();
+        accum.push_view(view);
+        accum.finish()
     }
 
     /// Computes statistics over a record slice (cold-path convenience;
@@ -118,6 +92,63 @@ impl TraceStats {
     /// Fraction of instructions that produce a register value.
     pub fn value_producing_rate(&self) -> f64 {
         ratio(self.value_producing, self.total)
+    }
+}
+
+/// A streaming accumulator for [`TraceStats`], for traces visited one
+/// window at a time (e.g. chunked replay from an on-disk store, where the
+/// whole trace never materializes). Per-window counts are pure sums; the
+/// distinct-PC set is carried across windows so `static_footprint` matches
+/// a single whole-trace pass exactly. The set is bounded by the program's
+/// static footprint, not the trace length, so the accumulator stays small.
+///
+/// [`TraceStats::from_view`] is the one-shot form of this.
+#[derive(Debug, Default)]
+pub struct StatsAccum {
+    stats: TraceStats,
+    pcs: FxHashSet<u64>,
+}
+
+impl StatsAccum {
+    /// An empty accumulator.
+    pub fn new() -> StatsAccum {
+        StatsAccum::default()
+    }
+
+    /// Folds every slot of `view` into the running statistics.
+    pub fn push_view(&mut self, view: TraceView<'_>) {
+        let s = &mut self.stats;
+        for r in view.slots() {
+            s.total += 1;
+            self.pcs.insert(r.pc());
+            if r.is_mem() {
+                if r.produces_value() {
+                    s.loads += 1;
+                } else {
+                    s.stores += 1;
+                }
+            }
+            if r.is_control() {
+                s.control += 1;
+                if r.taken() {
+                    s.taken_control += 1;
+                }
+                if r.is_cond_branch() {
+                    s.cond_branches += 1;
+                    if r.taken() {
+                        s.taken_cond_branches += 1;
+                    }
+                }
+            }
+            if r.produces_value() {
+                s.value_producing += 1;
+            }
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn finish(self) -> TraceStats {
+        TraceStats { static_footprint: self.pcs.len() as u64, ..self.stats }
     }
 }
 
@@ -214,6 +245,31 @@ mod tests {
         assert_eq!(stats.stores, 1);
         // load_imm, load produce values; store does not.
         assert_eq!(stats.value_producing, 2);
+    }
+
+    #[test]
+    fn windowed_accumulation_matches_single_pass() {
+        let mut b = ProgramBuilder::new("loop");
+        b.load_imm(Reg::R1, 0x200);
+        let head = b.bind_label("head");
+        b.store(Reg::R1, Reg::R1, 0);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 8);
+        b.branch(Cond::Ne, Reg::R1, Reg::R0, head);
+        b.halt();
+        let t = trace_program(&b.build().unwrap(), 997);
+        let whole = TraceStats::from_view(t.view());
+        for window in [1, 7, 256, t.len()] {
+            let mut accum = StatsAccum::new();
+            let mut start = 0;
+            while start < t.len() {
+                let end = (start + window).min(t.len());
+                let chunk = t.columns().slice(start..end);
+                accum.push_view(chunk.view());
+                start = end;
+            }
+            assert_eq!(accum.finish(), whole, "window {window}");
+        }
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! The content-addressed on-disk trace cache.
+//!
+//! A trace is fully determined by its generation inputs — workload (or
+//! family point), seed, scale, knob coordinates, trace length — plus the
+//! on-disk format version. [`TraceKey`] canonicalizes those into a stable
+//! string; its FNV-1a hash names the cache file. Anything producing the
+//! same key gets the same bytes, so sweeps, benches and the server share
+//! one generation per key instead of one per process.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::format::fnv1a;
+use crate::format::FORMAT_VERSION;
+use crate::reader::TraceStore;
+
+/// The generation inputs that content-address one cached trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceKey {
+    /// Workload or family name (e.g. `m88ksim`).
+    pub workload: String,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// Data-size multiplier.
+    pub scale: u32,
+    /// Canonical rendering of the family knob coordinates; empty for the
+    /// legacy benchmarks at the family origin. Callers must render knobs
+    /// deterministically (fixed field order, exact decimal values).
+    pub knobs: String,
+    /// Dynamic instructions in the trace.
+    pub trace_len: u64,
+}
+
+impl TraceKey {
+    /// A key for a legacy suite benchmark (origin knobs).
+    pub fn benchmark(workload: &str, seed: u64, scale: u32, trace_len: u64) -> TraceKey {
+        TraceKey { workload: workload.to_string(), seed, scale, knobs: String::new(), trace_len }
+    }
+
+    /// The canonical text form the hash is computed over. Includes the
+    /// format version, so a format bump silently invalidates every older
+    /// cache entry instead of misreading it.
+    pub fn canonical(&self) -> String {
+        format!(
+            "fetchvp-store-v{};workload={};seed={:#018x};scale={};knobs={};len={}",
+            FORMAT_VERSION, self.workload, self.seed, self.scale, self.knobs, self.trace_len
+        )
+    }
+
+    /// The stable 64-bit content hash of the canonical form.
+    pub fn hash(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+
+    /// The cache file name: workload for humans, hash for addressing.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.fvps", self.workload, self.hash())
+    }
+}
+
+/// Cumulative effectiveness counters of one [`TraceDir`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups satisfied by an existing valid store.
+    pub hits: u64,
+    /// Lookups that had to generate (absent or unreadable store).
+    pub misses: u64,
+    /// Bytes written by generations.
+    pub bytes: u64,
+}
+
+/// A directory of content-addressed trace stores.
+///
+/// Lookup-or-generate goes through
+/// [`open_or_create`](TraceDir::open_or_create): on a hit the existing
+/// store is opened (header + footer validated); on a miss the caller's
+/// generator writes to a temporary file in the same directory which is
+/// atomically renamed into place, so concurrent processes racing on the
+/// same key each produce a complete file and the last rename wins with
+/// identical content.
+#[derive(Debug)]
+pub struct TraceDir {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TraceDir {
+    /// A cache rooted at `root` (created lazily on first generation).
+    pub fn new(root: impl Into<PathBuf>) -> TraceDir {
+        TraceDir {
+            root: root.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The conventional user-level cache root, `~/.cache/fetchvp`
+    /// (respecting `$XDG_CACHE_HOME`), or `None` when no home directory
+    /// can be determined.
+    pub fn default_root() -> Option<PathBuf> {
+        if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME").filter(|v| !v.is_empty()) {
+            return Some(PathBuf::from(xdg).join("fetchvp"));
+        }
+        std::env::var_os("HOME")
+            .filter(|v| !v.is_empty())
+            .map(|home| PathBuf::from(home).join(".cache").join("fetchvp"))
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path a key's store lives at (whether or not it exists yet).
+    pub fn path_for(&self, key: &TraceKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    /// Opens the store for `key`, generating it first if it is absent or
+    /// unreadable. `generate` receives a temporary path to write a
+    /// complete store to; the file is renamed into place afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator and filesystem errors, and validation errors
+    /// from opening a freshly generated store (a generator that writes a
+    /// malformed file is a bug worth surfacing, not caching).
+    pub fn open_or_create(
+        &self,
+        key: &TraceKey,
+        generate: impl FnOnce(&Path) -> io::Result<()>,
+    ) -> io::Result<TraceStore> {
+        let path = self.path_for(key);
+        // A corrupt or half-written store (e.g. an interrupted process
+        // without the atomic rename) counts as a miss and is regenerated.
+        if let Ok(store) = TraceStore::open(&path) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(store);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        fs::create_dir_all(&self.root)?;
+        let tmp = self.root.join(format!(".{}.tmp-{}", key.file_name(), std::process::id()));
+        let result = generate(&tmp);
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let bytes = fs::metadata(&tmp).map(|m| m.len()).unwrap_or(0);
+        fs::rename(&tmp, &path)?;
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        TraceStore::open(&path)
+    }
+
+    /// A snapshot of the cumulative hit/miss/bytes counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_across_calls_and_instances() {
+        let a = TraceKey::benchmark("m88ksim", 0x5EED_1998, 1, 1_000_000);
+        let b = TraceKey::benchmark("m88ksim", 0x5EED_1998, 1, 1_000_000);
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.file_name(), b.file_name());
+        // Golden value: the canonical form is an on-disk contract — if
+        // this changes, every existing cache entry is orphaned, which
+        // must be a deliberate format-version bump, not an accident.
+        assert_eq!(
+            a.canonical(),
+            "fetchvp-store-v1;workload=m88ksim;seed=0x000000005eed1998;scale=1;knobs=;len=1000000"
+        );
+    }
+
+    #[test]
+    fn any_input_change_changes_the_hash() {
+        let base = TraceKey::benchmark("go", 7, 1, 1000);
+        let variants = [
+            TraceKey::benchmark("gcc", 7, 1, 1000),
+            TraceKey::benchmark("go", 8, 1, 1000),
+            TraceKey::benchmark("go", 7, 2, 1000),
+            TraceKey::benchmark("go", 7, 1, 1001),
+            TraceKey { knobs: "did=1".to_string(), ..base.clone() },
+        ];
+        for v in &variants {
+            assert_ne!(base.hash(), v.hash(), "{v:?}");
+        }
+    }
+}

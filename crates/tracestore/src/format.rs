@@ -1,0 +1,209 @@
+//! Wire-level primitives of the chunked trace format: varints, zigzag,
+//! checksums, and the header/footer layout shared by writer and reader.
+
+use std::io::{self, Read, Write};
+
+/// File magic of the chunked store format ("fetchvp store").
+pub const MAGIC: &[u8; 4] = b"FVPS";
+/// Trailer magic closing a complete file.
+pub(crate) const TRAILER_MAGIC: &[u8; 4] = b"FVPE";
+
+/// Version of the chunked on-disk format. Bumped on any layout change;
+/// part of every [cache key](crate::TraceKey), so cached traces from an
+/// older layout are simply never matched rather than misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Default instructions per chunk: large enough that varint decode and
+/// per-chunk bookkeeping amortize, small enough that the two-chunk replay
+/// window stays tens of megabytes (a decoded instruction costs ~39 bytes
+/// of buffer).
+pub const DEFAULT_CHUNK_LEN: usize = 1 << 20;
+
+/// Cap on length-prefixed name allocations (matches the legacy reader).
+pub(crate) const MAX_NAME_LEN: usize = 1 << 20;
+
+/// One chunk's entry in the footer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Sequence number of the chunk's first instruction.
+    pub start: u64,
+    /// Instructions in the chunk.
+    pub len: u32,
+    /// Byte offset of the chunk payload from the start of the file.
+    pub offset: u64,
+    /// Encoded payload length in bytes.
+    pub byte_len: u64,
+    /// FNV-1a checksum of the payload bytes.
+    pub checksum: u64,
+}
+
+/// Bytes one chunk-index entry occupies in the footer.
+pub(crate) const CHUNK_META_BYTES: u64 = 8 + 4 + 8 + 8 + 8;
+
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// FNV-1a over a byte slice — stable across platforms and processes, which
+/// makes it usable both for chunk checksums and for cache-key hashing.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends an LEB128 varint.
+pub(crate) fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A bounds-checked forward reader over an in-memory byte buffer. All
+/// reads return clean `InvalidData` errors on truncation, so corrupt
+/// length fields can never walk past the buffer.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take_bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(bad(format!("truncated: wanted {n} bytes, have {}", self.remaining())));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take_bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take_bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn varint(&mut self) -> io::Result<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(bad("varint longer than 64 bits"))
+    }
+}
+
+/// `Read` adapter for [`Cursor`] so the shared instruction decoder
+/// (`fetchvp_trace::io::read_instr`) can parse straight out of the footer
+/// buffer.
+impl Read for Cursor<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let n = out.len().min(self.remaining());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            1 << 20,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            push_varint(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &values {
+            assert_eq!(c.varint().unwrap(), v);
+        }
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes (the point of zigzag).
+        assert!(zigzag(-1) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn cursor_rejects_truncation() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert!(c.u64().is_err());
+        // A varint with continuation bits running off the buffer fails.
+        let mut c = Cursor::new(&[0x80, 0x80]);
+        assert!(c.varint().is_err());
+        // An over-long varint fails rather than looping.
+        let mut c = Cursor::new(&[0x80; 11]);
+        assert!(c.varint().is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Golden values: the checksum is part of the on-disk format and
+        // must never drift.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"fetchvp"), fnv1a(b"fetchvp"));
+        assert_ne!(fnv1a(b"fetchvp"), fnv1a(b"fetchvq"));
+    }
+}

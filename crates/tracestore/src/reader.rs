@@ -1,0 +1,378 @@
+//! Reading chunked trace stores: footer-index parsing with hostile-input
+//! hardening, per-chunk decoding into a reusable buffer, and full
+//! materialization for code that wants an in-memory [`Trace`].
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use fetchvp_isa::Instr;
+use fetchvp_trace::io::read_instr;
+use fetchvp_trace::{ExecOutcome, PreparedInstr, Trace, TraceColumns, TraceView};
+
+use crate::format::{
+    bad, fnv1a, unzigzag, ChunkMeta, Cursor, CHUNK_META_BYTES, FORMAT_VERSION, MAGIC, MAX_NAME_LEN,
+    TRAILER_MAGIC,
+};
+
+/// An opened chunked trace store: the parsed header and footer index plus
+/// the file path. Opening reads *only* the header and footer — chunk
+/// payloads stay on disk until a [`ChunkCursor`] decodes them.
+///
+/// The store itself holds no file handle; each cursor opens its own, so
+/// parallel sweep cells can replay the same store concurrently.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    path: PathBuf,
+    name: String,
+    outcome: ExecOutcome,
+    total: u64,
+    chunk_target: u64,
+    table: Vec<Instr>,
+    chunks: Vec<ChunkMeta>,
+}
+
+impl TraceStore {
+    /// Opens a store and validates its header, trailer, and footer index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] for anything that is not a
+    /// well-formed store — bad magic, unsupported version, counts that
+    /// cannot fit in the file, checksum mismatches, or a chunk index that
+    /// does not tile `0..total` — and propagates I/O errors. Length
+    /// fields are validated against the actual file size before any
+    /// allocation, so corrupt headers fail cleanly instead of aborting on
+    /// OOM.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<TraceStore> {
+        let path = path.as_ref();
+        let mut file = File::open(path)?;
+        let size = file.metadata()?.len();
+
+        // Header: magic, version, name, chunk target.
+        let header_min = (4 + 4 + 4 + 8) as u64;
+        let trailer = (8 + 4) as u64;
+        if size < header_min + trailer {
+            return Err(bad(format!("{}-byte file is too small to be a trace store", size)));
+        }
+        let mut fixed = [0u8; 12];
+        file.read_exact(&mut fixed)?;
+        if &fixed[0..4] != MAGIC {
+            return Err(bad("not a chunked fetchvp trace store (bad magic)"));
+        }
+        let version = u32::from_le_bytes(fixed[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(bad(format!("unsupported store version {version}")));
+        }
+        let name_len = u32::from_le_bytes(fixed[8..12].try_into().expect("4 bytes")) as usize;
+        if name_len > MAX_NAME_LEN || (name_len as u64) > size - header_min - trailer {
+            return Err(bad(format!("implausible name length {name_len}")));
+        }
+        let mut name = vec![0u8; name_len];
+        file.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("store name is not UTF-8"))?;
+        let mut chunk_target = [0u8; 8];
+        file.read_exact(&mut chunk_target)?;
+        let chunk_target = u64::from_le_bytes(chunk_target);
+        if chunk_target == 0 {
+            return Err(bad("zero chunk target"));
+        }
+        let header_len = header_min + name_len as u64;
+
+        // Trailer: footer length + closing magic.
+        file.seek(SeekFrom::End(-(trailer as i64)))?;
+        let mut tail = [0u8; 12];
+        file.read_exact(&mut tail)?;
+        if &tail[8..12] != TRAILER_MAGIC {
+            return Err(bad("missing store trailer (truncated file?)"));
+        }
+        let footer_len = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
+        if footer_len < 1 + 8 + 4 + 4 + 8 || footer_len > size - header_len - trailer {
+            return Err(bad(format!("implausible footer length {footer_len}")));
+        }
+
+        // Footer: bounded by the validated footer_len, which is bounded
+        // by the actual file size — the largest allocation hostile input
+        // can cause is the file's own length.
+        file.seek(SeekFrom::End(-((trailer + footer_len) as i64)))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.read_exact(&mut footer)?;
+        let (body, stored) = footer.split_at(footer.len() - 8);
+        let stored = u64::from_le_bytes(stored.try_into().expect("8 bytes"));
+        if fnv1a(body) != stored {
+            return Err(bad("footer checksum mismatch"));
+        }
+
+        let mut c = Cursor::new(body);
+        let outcome = match c.u8()? {
+            0 => ExecOutcome::Halted,
+            1 => ExecOutcome::LimitReached,
+            t => return Err(bad(format!("bad outcome tag {t}"))),
+        };
+        let total = c.u64()?;
+        let table_count = c.u32()? as usize;
+        // Every table entry is at least one byte.
+        if table_count > c.remaining() {
+            return Err(bad(format!("impossible instruction-table count {table_count}")));
+        }
+        let mut table = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            table.push(read_instr(&mut c)?);
+        }
+        let chunk_count = c.u32()? as u64;
+        if chunk_count > c.remaining() as u64 / CHUNK_META_BYTES {
+            return Err(bad(format!("impossible chunk count {chunk_count}")));
+        }
+        let mut chunks = Vec::with_capacity(chunk_count as usize);
+        let mut expected_start = 0u64;
+        let mut expected_offset = header_len;
+        for _ in 0..chunk_count {
+            let meta = ChunkMeta {
+                start: c.u64()?,
+                len: c.u32()?,
+                offset: c.u64()?,
+                byte_len: c.u64()?,
+                checksum: c.u64()?,
+            };
+            if meta.len == 0
+                || meta.start != expected_start
+                || meta.offset != expected_offset
+                || meta.byte_len > size - trailer - footer_len
+            {
+                return Err(bad(format!("corrupt chunk index entry at sequence {expected_start}")));
+            }
+            expected_start += meta.len as u64;
+            expected_offset += meta.byte_len;
+            chunks.push(meta);
+        }
+        if expected_start != total {
+            return Err(bad(format!(
+                "chunk index covers {expected_start} instructions, footer says {total}"
+            )));
+        }
+        if c.remaining() != 0 {
+            return Err(bad("trailing bytes in footer"));
+        }
+
+        Ok(TraceStore {
+            path: path.to_path_buf(),
+            name,
+            outcome,
+            total,
+            chunk_target,
+            table,
+            chunks,
+        })
+    }
+
+    /// The traced program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How the traced execution ended.
+    pub fn outcome(&self) -> ExecOutcome {
+        self.outcome
+    }
+
+    /// Total instructions in the store.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the store holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The nominal instructions-per-chunk the store was written with.
+    pub fn chunk_target(&self) -> u64 {
+        self.chunk_target
+    }
+
+    /// The file the store was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The footer's chunk index, in sequence order.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// The interned static-instruction table.
+    pub fn instr_table(&self) -> &[Instr] {
+        &self.table
+    }
+
+    /// Opens a decoding cursor over the store (its own file handle and
+    /// reusable decode buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from reopening the file.
+    pub fn cursor(&self) -> io::Result<ChunkCursor<'_>> {
+        let mut cols = TraceColumns::new();
+        // Re-intern the table in file order so the stored indices match
+        // the buffer's intern indices, and keep the prepared statics for
+        // push_prepared.
+        let prepared = self.table.iter().map(|&i| cols.prepare(i)).collect();
+        Ok(ChunkCursor {
+            store: self,
+            file: File::open(&self.path)?,
+            raw: Vec::new(),
+            cols,
+            prepared,
+            decoded: 0..0,
+        })
+    }
+
+    /// Fully materializes the store as an in-memory [`Trace`] (the
+    /// opposite of out-of-core replay; for code that needs random access
+    /// to the whole stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from chunk decoding.
+    pub fn to_trace(&self) -> io::Result<Trace> {
+        let mut cursor = self.cursor()?;
+        for k in 0..self.chunks.len() {
+            cursor.decode_chunk(k)?;
+        }
+        let ChunkCursor { cols, .. } = cursor;
+        Ok(Trace::from_columns(self.name.clone(), cols, self.outcome))
+    }
+}
+
+/// A chunk-at-a-time decoder over a [`TraceStore`], owning a reusable
+/// [`TraceColumns`] window buffer. [`load_window`](ChunkCursor::load_window)
+/// re-bases the buffer so its slots report their global sequence numbers —
+/// machine models consume the window exactly as they would the full trace.
+pub struct ChunkCursor<'s> {
+    store: &'s TraceStore,
+    file: File,
+    /// Reusable raw-payload buffer.
+    raw: Vec<u8>,
+    /// The decode target; base is the first decoded chunk's start.
+    cols: TraceColumns,
+    /// Per-table-entry prepared statics, index-aligned with the store's
+    /// instruction table (and, by construction, with `cols`'s interns).
+    prepared: Vec<PreparedInstr>,
+    /// Chunk indices currently decoded in `cols`.
+    decoded: std::ops::Range<usize>,
+}
+
+impl ChunkCursor<'_> {
+    /// Clears the buffer and decodes chunks starting at `first_chunk`
+    /// until the window's logical end reaches `min_end` (clamped to the
+    /// store length). The buffer's base becomes the first chunk's start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_chunk` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and chunk corruption (checksum or row-count
+    /// mismatches).
+    pub fn load_window(&mut self, first_chunk: usize, min_end: u64) -> io::Result<()> {
+        let min_end = min_end.min(self.store.total);
+        self.cols.clear_rows();
+        self.cols.set_base(self.store.chunks[first_chunk].start as usize);
+        self.decoded = first_chunk..first_chunk;
+        let mut k = first_chunk;
+        loop {
+            self.decode_chunk(k)?;
+            k += 1;
+            if self.cols.len() as u64 >= min_end || k == self.store.chunks.len() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Decodes chunk `k` and appends its rows to the buffer. Used through
+    /// [`load_window`](ChunkCursor::load_window) in replay; exposed for
+    /// whole-store materialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` does not directly follow the decoded range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and chunk corruption.
+    pub fn decode_chunk(&mut self, k: usize) -> io::Result<()> {
+        assert_eq!(k, self.decoded.end, "chunks must be appended in order");
+        let meta = self.store.chunks[k];
+        debug_assert_eq!(self.cols.len() as u64, meta.start);
+        self.raw.resize(meta.byte_len as usize, 0);
+        self.file.seek(SeekFrom::Start(meta.offset))?;
+        self.file.read_exact(&mut self.raw)?;
+        if fnv1a(&self.raw) != meta.checksum {
+            return Err(bad(format!("chunk at sequence {} fails its checksum", meta.start)));
+        }
+
+        let n = meta.len as usize;
+        let mut c = Cursor::new(&self.raw);
+        if c.u32()? as usize != n {
+            return Err(bad(format!(
+                "chunk at sequence {} disagrees with the index about its length",
+                meta.start
+            )));
+        }
+        let mut idxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = c.varint()? as usize;
+            if idx >= self.prepared.len() {
+                return Err(bad(format!("instruction index {idx} beyond table")));
+            }
+            idxs.push(idx as u32);
+        }
+        let mut pcs = Vec::with_capacity(n);
+        let mut pc = 0i64;
+        for _ in 0..n {
+            pc = pc.wrapping_add(unzigzag(c.varint()?));
+            pcs.push(pc as u64);
+        }
+        let mut next_pcs = Vec::with_capacity(n);
+        for &pc in &pcs {
+            let fallthrough = (pc as i64).wrapping_add(1);
+            next_pcs.push(fallthrough.wrapping_add(unzigzag(c.varint()?)) as u64);
+        }
+        let flag_bytes = c.take_bytes(n.div_ceil(4))?;
+        let dyn_bits = |i: usize| -> u8 { (flag_bytes[i / 4] >> ((i % 4) * 2)) & 0b11 };
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            results.push(c.varint()?);
+        }
+        let mut addr = 0i64;
+        for i in 0..n {
+            let bits = dyn_bits(i);
+            let mem_addr = if bits & 0b10 != 0 {
+                addr = addr.wrapping_add(unzigzag(c.varint()?));
+                Some(addr as u64)
+            } else {
+                None
+            };
+            self.cols.push_prepared(
+                self.prepared[idxs[i] as usize],
+                pcs[i],
+                next_pcs[i],
+                results[i],
+                mem_addr,
+                bits & 0b01 != 0,
+            );
+        }
+        if c.remaining() != 0 {
+            return Err(bad(format!("trailing bytes in chunk at sequence {}", meta.start)));
+        }
+        self.decoded.end = k + 1;
+        Ok(())
+    }
+
+    /// A view over the currently decoded window (logical indices; see
+    /// [`TraceColumns::set_base`]).
+    pub fn view(&self) -> TraceView<'_> {
+        self.cols.view()
+    }
+}

@@ -1,0 +1,69 @@
+//! Out-of-core replay: feeding an on-disk store chunk-by-chunk through
+//! [`fetchvp_core::BatchRunner`], plus streaming statistics.
+
+use std::io;
+
+use fetchvp_core::{BatchRunner, MachineConfig, MachineResult};
+use fetchvp_trace::{StatsAccum, TraceStats};
+
+use crate::reader::TraceStore;
+
+/// Runs every configuration over the on-disk trace with one sequential
+/// pass, decoding one chunk window at a time into a reusable buffer — the
+/// out-of-core counterpart of [`fetchvp_core::run_batch`], byte-identical
+/// to it for any trace that also fits in memory.
+///
+/// Peak heap is bounded by the window, not the trace: a window spans one
+/// chunk plus however many further chunks are needed to cover the widest
+/// realistic front-end's fetch lookahead (in practice: two chunks).
+///
+/// # Errors
+///
+/// Propagates I/O errors and chunk corruption from decoding.
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid, exactly as
+/// [`fetchvp_core::run_batch`].
+pub fn run_batch_store(
+    store: &TraceStore,
+    configs: &[MachineConfig],
+) -> io::Result<Vec<MachineResult>> {
+    let mut runner = BatchRunner::new(configs);
+    let lookahead = runner.lookahead() as u64;
+    if store.is_empty() {
+        return Ok(runner.finish());
+    }
+    let mut cursor = store.cursor()?;
+    for (k, meta) in store.chunks().iter().enumerate() {
+        let end = meta.start + meta.len as u64;
+        // The window must reach `end + lookahead` (or the true end of the
+        // trace) so fetch groups straddling the chunk boundary see the
+        // same slots they would in a whole-trace view. A chunk is decoded
+        // at most twice: once as lookahead, once as the fed chunk.
+        cursor.load_window(k, end + lookahead)?;
+        runner.feed(cursor.view(), meta.start as usize, end as usize);
+    }
+    Ok(runner.finish())
+}
+
+/// Computes [`TraceStats`] for an on-disk store by streaming one chunk at
+/// a time through a [`StatsAccum`] — exactly the statistics
+/// `Trace::stats` would report for the materialized trace, without
+/// materializing it.
+///
+/// # Errors
+///
+/// Propagates I/O errors and chunk corruption from decoding.
+pub fn stream_store_stats(store: &TraceStore) -> io::Result<TraceStats> {
+    let mut accum = StatsAccum::new();
+    if store.is_empty() {
+        return Ok(accum.finish());
+    }
+    let mut cursor = store.cursor()?;
+    for (k, meta) in store.chunks().iter().enumerate() {
+        cursor.load_window(k, meta.start + 1)?;
+        accum.push_view(cursor.view());
+    }
+    Ok(accum.finish())
+}

@@ -1,0 +1,276 @@
+//! Writing chunked trace stores: the low-level [`StoreWriter`], the
+//! whole-trace convenience [`write_store`], and streaming generation with
+//! [`stream_program_to_store`].
+
+use std::io::{self, Write};
+use std::ops::Range;
+
+use fetchvp_isa::{Instr, Program};
+use fetchvp_trace::io::write_instr;
+use fetchvp_trace::{ExecOutcome, Executor, PreparedInstr, Trace, TraceColumns, TraceView};
+
+use crate::format::{
+    fnv1a, push_varint, write_u32, write_u64, zigzag, ChunkMeta, FORMAT_VERSION, MAGIC,
+    TRAILER_MAGIC,
+};
+
+/// What a completed store write produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Total instructions written.
+    pub instructions: u64,
+    /// Number of chunks.
+    pub chunks: usize,
+    /// Total file size in bytes (header + chunks + footer + trailer).
+    pub bytes: u64,
+}
+
+/// An incremental writer for the chunked trace format.
+///
+/// Chunks are appended with [`write_chunk`](StoreWriter::write_chunk) in
+/// sequence order; [`finish`](StoreWriter::finish) writes the footer
+/// (outcome, instruction table, chunk index) and trailer. The writer is a
+/// single forward pass — no seeking — so it streams through a pipe or a
+/// `BufWriter` equally well.
+///
+/// Every chunk must come from views sharing **one** interned instruction
+/// table (the table handed to `finish`): the encoded rows store
+/// table *indices*, not instructions. Both callers in this crate satisfy
+/// this structurally — [`write_store`] encodes one in-memory trace, and
+/// [`stream_program_to_store`] reuses a single buffer whose table only
+/// grows.
+#[derive(Debug)]
+pub struct StoreWriter<W: Write> {
+    out: W,
+    /// Bytes written so far (the writer never seeks, so this is the file
+    /// offset the next chunk payload lands at).
+    position: u64,
+    chunks: Vec<ChunkMeta>,
+    total: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> StoreWriter<W> {
+    /// Writes the header and returns the writer.
+    ///
+    /// `name` is the trace's program name (as in [`Trace::name`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn new(mut out: W, name: &str, chunk_target: u64) -> io::Result<StoreWriter<W>> {
+        out.write_all(MAGIC)?;
+        write_u32(&mut out, FORMAT_VERSION)?;
+        write_u32(&mut out, name.len() as u32)?;
+        out.write_all(name.as_bytes())?;
+        write_u64(&mut out, chunk_target)?;
+        let position = (4 + 4 + 4 + name.len() + 8) as u64;
+        Ok(StoreWriter { out, position, chunks: Vec::new(), total: 0, scratch: Vec::new() })
+    }
+
+    /// Instructions written so far.
+    pub fn instructions(&self) -> u64 {
+        self.total
+    }
+
+    /// Encodes and appends the slots in logical `range` of `view` as one
+    /// chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` does not continue exactly where the previous
+    /// chunk ended, or is empty, or falls outside the view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_chunk(&mut self, view: TraceView<'_>, range: Range<usize>) -> io::Result<()> {
+        assert_eq!(range.start as u64, self.total, "chunks must be written in sequence order");
+        assert!(!range.is_empty(), "empty chunk");
+        let len = range.len();
+        let scratch = &mut self.scratch;
+        scratch.clear();
+        scratch.extend_from_slice(&(len as u32).to_le_bytes());
+
+        // Section: interned instruction-table indices.
+        for s in view.slots_in(range.clone()) {
+            push_varint(scratch, s.instr_index() as u64);
+        }
+        // Section: pcs, delta from the previous pc (chunk-local, so every
+        // chunk decodes independently).
+        let mut prev_pc = 0i64;
+        for s in view.slots_in(range.clone()) {
+            let pc = s.pc() as i64;
+            push_varint(scratch, zigzag(pc.wrapping_sub(prev_pc)));
+            prev_pc = pc;
+        }
+        // Section: next pcs as deltas from the fallthrough pc + 1 (zero
+        // for every non-taken instruction).
+        for s in view.slots_in(range.clone()) {
+            let fallthrough = (s.pc() as i64).wrapping_add(1);
+            push_varint(scratch, zigzag((s.next_pc() as i64).wrapping_sub(fallthrough)));
+        }
+        // Section: the two dynamic flag bits, packed four rows per byte.
+        let mut packed = 0u8;
+        for (i, s) in view.slots_in(range.clone()).enumerate() {
+            let bits = (s.taken() as u8) | ((s.mem_addr().is_some() as u8) << 1);
+            packed |= bits << ((i % 4) * 2);
+            if i % 4 == 3 {
+                scratch.push(packed);
+                packed = 0;
+            }
+        }
+        if !len.is_multiple_of(4) {
+            scratch.push(packed);
+        }
+        // Section: results.
+        for s in view.slots_in(range.clone()) {
+            push_varint(scratch, s.result());
+        }
+        // Section: memory addresses, delta-encoded, only for rows that
+        // have one.
+        let mut prev_addr = 0i64;
+        for s in view.slots_in(range.clone()) {
+            if let Some(addr) = s.mem_addr() {
+                let addr = addr as i64;
+                push_varint(scratch, zigzag(addr.wrapping_sub(prev_addr)));
+                prev_addr = addr;
+            }
+        }
+
+        let checksum = fnv1a(scratch);
+        self.out.write_all(scratch)?;
+        self.chunks.push(ChunkMeta {
+            start: range.start as u64,
+            len: len as u32,
+            offset: self.position,
+            byte_len: scratch.len() as u64,
+            checksum,
+        });
+        self.position += scratch.len() as u64;
+        self.total = range.end as u64;
+        Ok(())
+    }
+
+    /// Writes the footer (outcome, instruction table, chunk index) and
+    /// trailer, consuming the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn finish(mut self, outcome: ExecOutcome, table: &[Instr]) -> io::Result<StoreSummary> {
+        let mut footer = Vec::new();
+        footer.push(match outcome {
+            ExecOutcome::Halted => 0u8,
+            ExecOutcome::LimitReached => 1,
+        });
+        footer.extend_from_slice(&self.total.to_le_bytes());
+        footer.extend_from_slice(&(table.len() as u32).to_le_bytes());
+        for instr in table {
+            write_instr(&mut footer, instr)?;
+        }
+        footer.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            footer.extend_from_slice(&c.start.to_le_bytes());
+            footer.extend_from_slice(&c.len.to_le_bytes());
+            footer.extend_from_slice(&c.offset.to_le_bytes());
+            footer.extend_from_slice(&c.byte_len.to_le_bytes());
+            footer.extend_from_slice(&c.checksum.to_le_bytes());
+        }
+        let checksum = fnv1a(&footer);
+        footer.extend_from_slice(&checksum.to_le_bytes());
+        self.out.write_all(&footer)?;
+        write_u64(&mut self.out, footer.len() as u64)?;
+        self.out.write_all(TRAILER_MAGIC)?;
+        self.out.flush()?;
+        Ok(StoreSummary {
+            instructions: self.total,
+            chunks: self.chunks.len(),
+            bytes: self.position + footer.len() as u64 + 8 + 4,
+        })
+    }
+}
+
+/// Writes an in-memory trace as a chunked store with `chunk_len`
+/// instructions per chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_store<W: Write>(trace: &Trace, chunk_len: usize, out: W) -> io::Result<StoreSummary> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let mut writer = StoreWriter::new(out, trace.name(), chunk_len as u64)?;
+    let view = trace.view();
+    let mut start = 0;
+    while start < view.len() {
+        let end = (start + chunk_len).min(view.len());
+        writer.write_chunk(view, start..end)?;
+        start = end;
+    }
+    writer.finish(trace.outcome(), trace.columns().instr_table())
+}
+
+/// Executes `program` for at most `max_instrs` instructions, streaming
+/// the trace to `out` in `chunk_len`-instruction chunks — the
+/// `trace_program` loop without the whole-trace heap footprint: at any
+/// moment only one chunk of columns is materialized.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn stream_program_to_store<W: Write>(
+    program: &Program,
+    name: &str,
+    max_instrs: u64,
+    chunk_len: usize,
+    out: W,
+) -> io::Result<StoreSummary> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let mut writer = StoreWriter::new(out, name, chunk_len as u64)?;
+    let mut exec = Executor::new(program);
+    // One reusable chunk buffer. Its interned table grows monotonically
+    // across chunks (clear_rows keeps it), so the instruction-table
+    // indices the encoder writes stay globally consistent, and the
+    // per-PC prepared cache stays valid for the whole run.
+    let mut buf = TraceColumns::new();
+    let mut prepared: Vec<Option<PreparedInstr>> = vec![None; program.len()];
+    let mut produced: u64 = 0;
+    while produced < max_instrs {
+        match exec.step() {
+            Some(rec) => {
+                let slot = &mut prepared[rec.pc as usize];
+                let p = match *slot {
+                    Some(p) => p,
+                    None => *slot.insert(buf.prepare(rec.instr)),
+                };
+                buf.push_prepared(p, rec.pc, rec.next_pc, rec.result, rec.mem_addr, rec.taken);
+                produced += 1;
+                if buf.len() - buf.base() == chunk_len {
+                    flush(&mut writer, &mut buf)?;
+                }
+            }
+            None => break,
+        }
+    }
+    if buf.len() > buf.base() {
+        flush(&mut writer, &mut buf)?;
+    }
+    let outcome = if exec.halted() { ExecOutcome::Halted } else { ExecOutcome::LimitReached };
+    writer.finish(outcome, buf.instr_table())
+}
+
+fn flush<W: Write>(writer: &mut StoreWriter<W>, buf: &mut TraceColumns) -> io::Result<()> {
+    let (start, end) = (buf.base(), buf.len());
+    writer.write_chunk(buf.view(), start..end)?;
+    buf.clear_rows();
+    buf.set_base(end);
+    Ok(())
+}

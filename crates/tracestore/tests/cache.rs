@@ -1,0 +1,104 @@
+//! Behavior of the content-addressed trace cache: miss-then-hit, counter
+//! accounting, corrupt-entry regeneration, and failed-generation cleanup.
+
+mod common;
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter};
+
+use common::Scratch;
+use fetchvp_trace::trace_program;
+use fetchvp_tracestore::{stream_program_to_store, TraceDir, TraceKey};
+use fetchvp_workloads::{by_name, WorkloadParams};
+
+fn generate(key: &TraceKey, path: &std::path::Path) -> io::Result<()> {
+    let params = WorkloadParams { seed: key.seed, scale: key.scale };
+    let w = by_name(&key.workload, &params).expect("known workload");
+    let out = BufWriter::new(File::create(path)?);
+    stream_program_to_store(w.program(), &key.workload, key.trace_len, 1024, out)?;
+    Ok(())
+}
+
+#[test]
+fn second_lookup_hits_without_generating() {
+    let scratch = Scratch::new("cache-hit");
+    let dir = TraceDir::new(scratch.path().join("traces"));
+    let key = TraceKey::benchmark("gcc", WorkloadParams::default().seed, 1, 2_000);
+
+    let first = dir.open_or_create(&key, |p| generate(&key, p)).unwrap();
+    assert_eq!(first.len(), 2_000);
+    let after_miss = dir.counters();
+    assert_eq!((after_miss.hits, after_miss.misses), (0, 1));
+    assert!(after_miss.bytes > 0, "generation bytes must be counted");
+
+    // The second lookup must not invoke the generator at all.
+    let second = dir.open_or_create(&key, |_| panic!("generator ran on a warm cache")).unwrap();
+    assert_eq!(second.len(), 2_000);
+    let after_hit = dir.counters();
+    assert_eq!((after_hit.hits, after_hit.misses), (1, 1));
+    assert_eq!(after_hit.bytes, after_miss.bytes, "a hit writes nothing");
+
+    // A fresh `TraceDir` over the same root also hits: the cache is the
+    // directory contents, not process state.
+    let reopened = TraceDir::new(scratch.path().join("traces"));
+    reopened.open_or_create(&key, |_| panic!("generator ran across processes")).unwrap();
+    assert_eq!(reopened.counters().hits, 1);
+}
+
+#[test]
+fn different_keys_live_in_different_files() {
+    let scratch = Scratch::new("cache-keys");
+    let dir = TraceDir::new(scratch.path().join("traces"));
+    let a = TraceKey::benchmark("gcc", 1, 1, 1_000);
+    let b = TraceKey::benchmark("gcc", 2, 1, 1_000);
+    assert_ne!(dir.path_for(&a), dir.path_for(&b));
+    dir.open_or_create(&a, |p| generate(&a, p)).unwrap();
+    dir.open_or_create(&b, |p| generate(&b, p)).unwrap();
+    assert_eq!(dir.counters().misses, 2);
+    dir.open_or_create(&a, |_| panic!("warm key regenerated")).unwrap();
+}
+
+#[test]
+fn corrupt_entry_is_regenerated() {
+    let scratch = Scratch::new("cache-corrupt");
+    let dir = TraceDir::new(scratch.path().join("traces"));
+    let key = TraceKey::benchmark("perl", WorkloadParams::default().seed, 1, 1_500);
+    dir.open_or_create(&key, |p| generate(&key, p)).unwrap();
+
+    // Truncate the cached file; the next lookup must treat it as a miss
+    // and regenerate, and the replacement must decode to the real trace.
+    let path = dir.path_for(&key);
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    let store = dir.open_or_create(&key, |p| generate(&key, p)).unwrap();
+    assert_eq!(dir.counters().misses, 2);
+    let params = WorkloadParams::default();
+    let expected = trace_program(by_name("perl", &params).unwrap().program(), 1_500);
+    assert_eq!(store.to_trace().unwrap().columns(), expected.columns());
+}
+
+#[test]
+fn failed_generation_leaves_no_residue() {
+    let scratch = Scratch::new("cache-fail");
+    let root = scratch.path().join("traces");
+    let dir = TraceDir::new(&root);
+    let key = TraceKey::benchmark("go", 3, 1, 1_000);
+    let err = dir
+        .open_or_create(&key, |p| {
+            // Write something, then fail: the partial temp file must be
+            // removed and the final path must not appear.
+            fs::write(p, b"partial")?;
+            Err(io::Error::other("generator exploded"))
+        })
+        .unwrap_err();
+    assert_eq!(err.to_string(), "generator exploded");
+    assert!(!dir.path_for(&key).exists());
+    let leftovers: Vec<_> = fs::read_dir(&root)
+        .map(|d| d.filter_map(Result::ok).map(|e| e.file_name()).collect())
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+
+    // The failure is not cached: a working generator succeeds afterwards.
+    dir.open_or_create(&key, |p| generate(&key, p)).unwrap();
+    assert_eq!(dir.counters().misses, 2);
+}

@@ -1,0 +1,88 @@
+//! The central acceptance property: chunked out-of-core replay is
+//! *byte-identical* to the in-memory batch path — same `MachineResult`s,
+//! same metrics JSON — at the issue's 1M-instruction scale, across five
+//! configurations spanning the paper's machine space.
+
+mod common;
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use common::Scratch;
+use fetchvp_core::{
+    run_batch, BtbKind, FrontEnd, IdealConfig, MachineConfig, RealisticConfig, VpConfig,
+};
+use fetchvp_fetch::TraceCacheConfig;
+use fetchvp_predictor::BankedConfig;
+use fetchvp_trace::trace_program;
+use fetchvp_tracestore::{run_batch_store, write_store, TraceStore};
+use fetchvp_workloads::{by_name, WorkloadParams};
+
+/// Five configurations spanning the machine space: ideal with and without
+/// value prediction, conventional fetch, trace cache, and the banked
+/// predictor front-end.
+fn spanning_configs() -> Vec<MachineConfig> {
+    let conv = FrontEnd::Conventional { width: 40, max_taken: Some(4), btb: BtbKind::Perfect };
+    let tc =
+        FrontEnd::TraceCache { config: TraceCacheConfig::paper(), btb: BtbKind::two_level_paper() };
+    vec![
+        MachineConfig::Ideal(IdealConfig { fetch_rate: 16, ..IdealConfig::default() }),
+        MachineConfig::Ideal(IdealConfig {
+            fetch_rate: 16,
+            vp: VpConfig::stride_infinite(),
+            ..IdealConfig::default()
+        }),
+        MachineConfig::Realistic(RealisticConfig::paper(conv, VpConfig::None)),
+        MachineConfig::Realistic(RealisticConfig::paper(tc, VpConfig::stride_infinite())),
+        MachineConfig::Realistic(
+            RealisticConfig::paper(tc, VpConfig::stride_infinite())
+                .with_banked(BankedConfig::new(2)),
+        ),
+    ]
+}
+
+#[test]
+fn chunked_replay_metrics_json_is_byte_identical_at_1m() {
+    let scratch = Scratch::new("identity");
+    let params = WorkloadParams::default();
+    let w = by_name("m88ksim", &params).expect("m88ksim in suite");
+    let trace = trace_program(w.program(), 1_000_000);
+    assert_eq!(trace.len(), 1_000_000);
+
+    // Small chunks force many boundary crossings (and many lookahead
+    // windows) without changing the result.
+    let path = scratch.file("m88ksim-1m.fvps");
+    write_store(&trace, 1 << 16, BufWriter::new(File::create(&path).unwrap())).unwrap();
+    let store = TraceStore::open(&path).unwrap();
+    assert_eq!(store.chunks().len(), 1_000_000usize.div_ceil(1 << 16));
+
+    let configs = spanning_configs();
+    let in_memory = run_batch(&trace, &configs);
+    let chunked = run_batch_store(&store, &configs).unwrap();
+    assert_eq!(in_memory.len(), chunked.len());
+    for (cfg, (mem, ooc)) in configs.iter().zip(in_memory.iter().zip(&chunked)) {
+        assert_eq!(mem, ooc, "results diverge for {cfg:?}");
+        let mem_json = mem.metrics().to_json().to_json();
+        let ooc_json = ooc.metrics().to_json().to_json();
+        assert_eq!(mem_json, ooc_json, "metrics JSON diverges for {cfg:?}");
+    }
+}
+
+#[test]
+fn chunked_replay_is_identical_at_degenerate_chunk_sizes() {
+    // One-instruction chunks maximize window churn; a single whole-trace
+    // chunk exercises the no-lookahead-needed path.
+    let scratch = Scratch::new("identity-degenerate");
+    let params = WorkloadParams::default();
+    let w = by_name("compress", &params).expect("compress in suite");
+    let trace = trace_program(w.program(), 3_000);
+    let configs = spanning_configs();
+    let in_memory = run_batch(&trace, &configs);
+    for chunk_len in [1usize, 97, trace.len()] {
+        let path = scratch.file(&format!("compress-{chunk_len}.fvps"));
+        write_store(&trace, chunk_len, BufWriter::new(File::create(&path).unwrap())).unwrap();
+        let store = TraceStore::open(&path).unwrap();
+        let chunked = run_batch_store(&store, &configs).unwrap();
+        assert_eq!(in_memory, chunked, "diverged at chunk_len={chunk_len}");
+    }
+}

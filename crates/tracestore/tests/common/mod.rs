@@ -1,0 +1,40 @@
+//! Shared helpers for the tracestore integration tests.
+
+// Each test binary compiles this module separately and uses a different
+// subset of the helpers.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+pub struct Scratch {
+    path: PathBuf,
+}
+
+impl Scratch {
+    pub fn new(tag: &str) -> Scratch {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "fetchvp-tracestore-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        Scratch { path }
+    }
+
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -1,0 +1,112 @@
+//! Round-trip property tests: an in-memory trace written as a chunked
+//! store and read back must be *equal*, for every workload in the suite
+//! and a spread of sampled family points, at degenerate and realistic
+//! chunk sizes alike.
+
+mod common;
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+
+use common::Scratch;
+use fetchvp_trace::{trace_program, Trace};
+use fetchvp_tracestore::{
+    stream_program_to_store, stream_store_stats, write_store, TraceStore, DEFAULT_CHUNK_LEN,
+};
+use fetchvp_workloads::rng::SplitMix64;
+use fetchvp_workloads::{extended_suite, FamilyPoint, WorkloadParams};
+
+/// Writes `trace` at `chunk_len`, reopens it, and checks every readable
+/// property against the original.
+fn assert_round_trips(scratch: &Scratch, trace: &Trace, chunk_len: usize, tag: &str) {
+    let path = scratch.file(&format!("{tag}-{chunk_len}.fvps"));
+    let summary = {
+        let out = BufWriter::new(File::create(&path).unwrap());
+        write_store(trace, chunk_len, out).unwrap()
+    };
+    assert_eq!(summary.instructions, trace.len() as u64, "{tag}");
+    assert_eq!(summary.chunks, trace.len().div_ceil(chunk_len), "{tag}");
+    assert_eq!(summary.bytes, fs::metadata(&path).unwrap().len(), "{tag}");
+
+    let store = TraceStore::open(&path).unwrap();
+    assert_eq!(store.name(), trace.name(), "{tag}");
+    assert_eq!(store.outcome(), trace.outcome(), "{tag}");
+    assert_eq!(store.len(), trace.len() as u64, "{tag}");
+
+    let back = store.to_trace().unwrap();
+    assert_eq!(back.columns(), trace.columns(), "{tag} chunk_len={chunk_len}");
+    assert_eq!(back.name(), trace.name(), "{tag}");
+    assert_eq!(back.outcome(), trace.outcome(), "{tag}");
+
+    // Streamed per-chunk statistics must equal the in-memory ones.
+    assert_eq!(stream_store_stats(&store).unwrap(), trace.stats(), "{tag}");
+}
+
+#[test]
+fn every_suite_workload_round_trips_at_every_chunk_size() {
+    let scratch = Scratch::new("suite");
+    let params = WorkloadParams::default();
+    for w in extended_suite(&params) {
+        let trace = trace_program(w.program(), 3_000);
+        assert!(!trace.is_empty(), "{}", w.name());
+        for chunk_len in [1, 4096, trace.len()] {
+            assert_round_trips(&scratch, &trace, chunk_len, w.name());
+        }
+    }
+}
+
+#[test]
+fn sampled_family_points_round_trip() {
+    let scratch = Scratch::new("family");
+    let mut rng = SplitMix64::new(0xF00D_CAFE);
+    for i in 0..32 {
+        let point = FamilyPoint::sample(&mut rng);
+        let trace = trace_program(&point.program(), 2_000);
+        // Mix degenerate and realistic chunk sizes across the samples.
+        let chunk_len = [1, 7, 1024, trace.len().max(1)][i % 4];
+        assert_round_trips(&scratch, &trace, chunk_len, &format!("family-{i}"));
+    }
+}
+
+#[test]
+fn streaming_generation_writes_the_same_bytes_as_write_store() {
+    // `stream_program_to_store` never materializes the trace, but its
+    // executor, interning order and chunking are the same as
+    // `trace_program` + `write_store` — so the files must be
+    // byte-identical, not merely equivalent.
+    let scratch = Scratch::new("stream");
+    let params = WorkloadParams::default();
+    for w in extended_suite(&params).iter().take(3) {
+        let trace = trace_program(w.program(), 5_000);
+        let mem_path = scratch.file(&format!("{}-mem.fvps", w.name()));
+        write_store(&trace, 1024, BufWriter::new(File::create(&mem_path).unwrap())).unwrap();
+        let stream_path = scratch.file(&format!("{}-stream.fvps", w.name()));
+        let summary = stream_program_to_store(
+            w.program(),
+            w.name(),
+            5_000,
+            1024,
+            BufWriter::new(File::create(&stream_path).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(summary.instructions, trace.len() as u64);
+        assert_eq!(
+            fs::read(&mem_path).unwrap(),
+            fs::read(&stream_path).unwrap(),
+            "streamed bytes diverge for {}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn empty_trace_round_trips() {
+    // A program that halts immediately produces an empty trace; the store
+    // must represent it (zero chunks) and read it back.
+    let scratch = Scratch::new("empty");
+    let params = WorkloadParams::default();
+    let w = &extended_suite(&params)[0];
+    let trace = trace_program(w.program(), 0);
+    assert!(trace.is_empty());
+    assert_round_trips(&scratch, &trace, DEFAULT_CHUNK_LEN, "empty");
+}

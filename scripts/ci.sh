@@ -43,6 +43,25 @@ cargo test $OFFLINE -q -p fetchvp-experiments --test batch_vs_serial
 echo "== http reader regressions"
 cargo test $OFFLINE -q -p fetchvp-server --lib http::
 
+# Out-of-core tracestore: chunked round-trip, corruption-hardening and
+# cache-semantics tests (also covered by the workspace test run above;
+# named here so a format change fails loudly), then a 20M-instruction
+# smoke through the content-addressed trace cache — generation streams to
+# disk, the machine sweep replays chunk-by-chunk, and the pre-generated
+# trace is reused (the `trace-gen` line prints `already cached` when the
+# sweep finds it warm).
+echo "== tracestore tests"
+cargo test $OFFLINE -q -p fetchvp-tracestore
+
+echo "== out-of-core smoke (20M instructions)"
+TRACE_DIR=$(mktemp -d)
+cargo run $OFFLINE --release -p fetchvp-cli -- trace-gen m88ksim \
+    --trace-len 20000000 --trace-dir "$TRACE_DIR"
+cargo run $OFFLINE --release -p fetchvp-cli -- trace-info "$TRACE_DIR"/m88ksim-*.fvps
+cargo run $OFFLINE --release -p fetchvp-cli -- usefulness \
+    --trace-len 20000000 --trace-dir "$TRACE_DIR" --csv >/dev/null
+rm -rf "$TRACE_DIR"
+
 # The standing invariant gate: differentially fuzz sampled workload-family
 # points across the spanning machine set (fixed seed — deterministic, and
 # any failure prints a replayable repro tuple; see EXPERIMENTS.md).
@@ -59,7 +78,7 @@ if [ -f benchmarks/BENCH_baseline.json ]; then
         /tmp/BENCH_ci.json
 fi
 
-for example in quickstart did_analysis trace_cache_vp custom_workload event_vs_analytic serve_client; do
+for example in quickstart did_analysis trace_cache_vp custom_workload event_vs_analytic serve_client out_of_core; do
     echo "== example: $example"
     cargo run $OFFLINE --release --example "$example" >/dev/null
 done

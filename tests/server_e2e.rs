@@ -274,6 +274,66 @@ fn full_queue_answers_503_and_accepted_jobs_still_finish() {
     shutdown(addr, handle);
 }
 
+/// The on-disk trace cache survives daemon restarts: a second server
+/// pointed at the same `--trace-dir` must replay every trace from disk
+/// without generating anything (all hits, zero misses, and a
+/// `trace_cache` section in the bench report).
+#[test]
+fn warm_trace_dir_serves_a_restarted_daemon_without_regenerating() {
+    let dir = std::env::temp_dir().join(format!("fetchvp-server-e2e-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = r#"{"experiment": "bench", "trace_len": 2000, "seed": 13}"#;
+
+    let trace_cache_gauges = |addr: SocketAddr| -> (u64, u64) {
+        let doc = request(addr, "GET", "/metrics", None).json();
+        let gauge = |name: &str| {
+            doc.get("gauges")
+                .and_then(|g| g.get(name))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("metrics missing gauge {name}")) as u64
+        };
+        (gauge("server.trace_cache.hits"), gauge("server.trace_cache.misses"))
+    };
+
+    // Cold daemon: every benchmark trace is generated to disk once.
+    let (addr, handle) =
+        start(ServerConfig { workers: 1, trace_dir: Some(dir.clone()), ..ServerConfig::default() });
+    let reply = request(addr, "POST", "/run", Some(spec));
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    let id = reply.json().get("job").and_then(Json::as_u64).unwrap();
+    let doc = wait_for_job(addr, id);
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+    let cold = doc
+        .get_path("result.trace_cache")
+        .expect("bench report carries a trace_cache section when served with a trace dir");
+    let cold_misses = cold.get("misses").and_then(Json::as_u64).unwrap();
+    assert_eq!(cold.get("hits").and_then(Json::as_u64), Some(0), "cold cache cannot hit");
+    assert!(cold_misses > 0, "cold run must generate every trace");
+    assert!(cold.get("bytes").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(trace_cache_gauges(addr), (0, cold_misses), "/metrics mirrors the counters");
+    shutdown(addr, handle);
+
+    // Restarted daemon, same directory: zero generation, all hits.
+    let (addr, handle) =
+        start(ServerConfig { workers: 1, trace_dir: Some(dir.clone()), ..ServerConfig::default() });
+    let reply = request(addr, "POST", "/run", Some(spec));
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    let id = reply.json().get("job").and_then(Json::as_u64).unwrap();
+    let doc = wait_for_job(addr, id);
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+    let warm = doc.get_path("result.trace_cache").expect("trace_cache section");
+    assert_eq!(
+        warm.get("misses").and_then(Json::as_u64),
+        Some(0),
+        "warm trace dir must not regenerate anything"
+    );
+    assert_eq!(warm.get("hits").and_then(Json::as_u64), Some(cold_misses));
+    assert_eq!(warm.get("bytes").and_then(Json::as_u64), Some(0), "no bytes written when warm");
+    shutdown(addr, handle);
+
+    std::fs::remove_dir_all(&dir).expect("remove scratch trace dir");
+}
+
 /// The sweep pool keeps traces warm across requests: two identical specs
 /// must hit the pool the second time (visible in the hit/miss counters).
 #[test]
