@@ -64,7 +64,16 @@
 //!
 //! serving (simulation as a service):
 //!   serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//!                                   run the HTTP daemon (see fetchvp-server)
+//!         [--result-cache N] [--peers HOST:PORT,...]
+//!                                   run the HTTP daemon (see fetchvp-server);
+//!                                   --peers lists every fleet member (this
+//!                                   process's --addr must appear in it) and
+//!                                   shards jobs across them by spec hash
+//!   loadgen [--addr HOST:PORT,...] [--rps N] [--duration SECONDS]
+//!           [--spec-mix FILE] [--out FILE]
+//!                                   open-loop load generator: offered-rate
+//!                                   POST /run traffic, reports achieved RPS
+//!                                   and p50/p95/p99 latency
 //!
 //! fuzzing (the standing invariant gate):
 //!   fuzz [--cases N] [--seed S] [--max-len N] [--out FILE]
@@ -112,6 +121,8 @@ tracing:     trace-viz <workload> [--cycles A..B] [--out FILE]
 benchmarks:  bench [--quick] [--repeat N] [--out FILE] / bench-compare \
              <old.json> <new.json> [--threshold PCT] / profile
 serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--trace-dir DIR]
+             [--result-cache N] [--peers HOST:PORT,...] / loadgen \
+             [--addr HOST:PORT,...] [--rps N] [--duration SECONDS] [--spec-mix FILE]
 fuzzing:     fuzz [--cases N] [--seed S] [--max-len N] [--replay TUPLE] [--out FILE]
              atlas [family] [--trace-len N]
 other:       --version";
@@ -153,6 +164,7 @@ const COMMANDS: &[&str] = &[
     "bench-compare",
     "profile",
     "serve",
+    "loadgen",
     "fuzz",
     "atlas",
 ];
@@ -176,6 +188,11 @@ const KNOWN_FLAGS: &[&str] = &[
     "--max-len",
     "--replay",
     "--trace-dir",
+    "--result-cache",
+    "--peers",
+    "--rps",
+    "--duration",
+    "--spec-mix",
 ];
 
 /// Flags shared by every figure/table/ablation experiment runner.
@@ -204,7 +221,11 @@ fn command_spec(name: &str) -> Option<CommandSpec> {
         ),
         "bench-compare" => spec(&["--threshold"], 2),
         "profile" => spec(&["--trace-len", "--seed", "--csv"], 0),
-        "serve" => spec(&["--addr", "--workers", "--queue-depth", "--trace-dir"], 0),
+        "serve" => spec(
+            &["--addr", "--workers", "--queue-depth", "--trace-dir", "--result-cache", "--peers"],
+            0,
+        ),
+        "loadgen" => spec(&["--addr", "--rps", "--duration", "--spec-mix", "--out"], 0),
         "fuzz" => spec(&["--cases", "--seed", "--max-len", "--replay", "--out"], 0),
         "atlas" => spec(&["--trace-len", "--seed", "--csv"], 1),
         name if COMMANDS.contains(&name) => spec(EXPERIMENT_FLAGS, 0),
@@ -335,6 +356,16 @@ struct Options {
     workers: Option<usize>,
     /// `serve`: bounded job-queue capacity.
     queue_depth: Option<usize>,
+    /// `serve`: result-cache capacity in entries (0 disables).
+    result_cache: Option<usize>,
+    /// `serve`: the full fleet membership list, comma-separated.
+    peers: Option<String>,
+    /// `loadgen`: offered request rate.
+    rps: Option<u64>,
+    /// `loadgen`: how long to sustain the offered rate, seconds.
+    duration: Option<u64>,
+    /// `loadgen`: JSON file holding the spec mix (array of job specs).
+    spec_mix: Option<String>,
     /// `fuzz`: cases to sample.
     cases: usize,
     /// `fuzz`: upper bound on each case's trace length.
@@ -376,6 +407,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut addr = None;
     let mut workers = None;
     let mut queue_depth = None;
+    let mut result_cache = None;
+    let mut peers = None;
+    let mut rps = None;
+    let mut duration = None;
+    let mut spec_mix = None;
     let mut cases = fuzz::FuzzOptions::default().cases;
     let mut max_len = fuzz::FuzzOptions::default().max_len;
     let mut replay = None;
@@ -480,6 +516,37 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--trace-dir needs a directory path")?;
                 trace_dir = Some(v.clone());
             }
+            "--result-cache" => {
+                let v = it.next().ok_or("--result-cache needs a value (entries; 0 disables)")?;
+                result_cache =
+                    Some(v.parse::<usize>().map_err(|_| format!("bad result-cache size `{v}`"))?);
+            }
+            "--peers" => {
+                let v = it.next().ok_or("--peers needs a value (HOST:PORT,HOST:PORT,...)")?;
+                peers = Some(v.clone());
+            }
+            "--rps" => {
+                let v = it.next().ok_or("--rps needs a value")?;
+                rps = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &u64| n >= 1)
+                        .ok_or(format!("bad request rate `{v}` (need an integer >= 1)"))?,
+                );
+            }
+            "--duration" => {
+                let v = it.next().ok_or("--duration needs a value (seconds)")?;
+                duration = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &u64| n >= 1)
+                        .ok_or(format!("bad duration `{v}` (need whole seconds >= 1)"))?,
+                );
+            }
+            "--spec-mix" => {
+                let v = it.next().ok_or("--spec-mix needs a JSON file path")?;
+                spec_mix = Some(v.clone());
+            }
             other if !other.starts_with('-') => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
@@ -506,6 +573,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         addr,
         workers,
         queue_depth,
+        result_cache,
+        peers,
+        rps,
+        duration,
+        spec_mix,
         cases,
         max_len,
         replay,
@@ -744,17 +816,73 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     if let Some(queue_depth) = opts.queue_depth {
         config.queue_depth = queue_depth;
     }
+    if let Some(entries) = opts.result_cache {
+        config.result_cache_entries = entries;
+    }
+    if let Some(peers) = &opts.peers {
+        config.peers = peers.split(',').map(|p| p.trim().to_string()).collect();
+    }
     config.trace_dir = opts.resolved_trace_dir();
     if let Some(dir) = &config.trace_dir {
         println!("trace cache: {} (out-of-core jobs enabled)", dir.display());
     }
+    let fleet_size = config.peers.len();
     let server =
         fetchvp_server::Server::bind(config).map_err(|e| format!("cannot bind server: {e}"))?;
     let addr = server.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
     println!("fetchvp-server listening on {addr}");
+    if fleet_size > 0 {
+        println!("fleet mode: {fleet_size} members, jobs sharded by spec hash");
+    }
     println!("endpoints: POST /run  GET /jobs/<id>  GET /healthz  GET /metrics  POST /shutdown");
     server.run().map_err(|e| format!("server failed: {e}"))?;
     println!("fetchvp-server shut down cleanly");
+    Ok(())
+}
+
+/// Reads a `--spec-mix` file: a JSON array of job-spec objects (a single
+/// object is accepted as a mix of one).
+fn read_spec_mix(path: &str) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let specs: Vec<String> = match &doc {
+        Json::Array(items) => items.iter().map(Json::to_json).collect(),
+        _ => vec![doc.to_json()],
+    };
+    if specs.is_empty() {
+        return Err(format!("{path}: the spec mix is empty"));
+    }
+    Ok(specs)
+}
+
+fn run_loadgen(opts: &Options) -> Result<(), String> {
+    let mut options = fetchvp_server::loadgen::LoadgenOptions::default();
+    if let Some(addr) = &opts.addr {
+        options.targets = addr.split(',').map(|t| t.trim().to_string()).collect();
+    }
+    if let Some(rps) = opts.rps {
+        options.rps = rps;
+    }
+    if let Some(seconds) = opts.duration {
+        options.duration = std::time::Duration::from_secs(seconds);
+    }
+    if let Some(path) = &opts.spec_mix {
+        options.specs = read_spec_mix(path)?;
+    }
+    println!(
+        "loadgen: {} rps for {:?} against {} (mix of {} spec(s))",
+        options.rps,
+        options.duration,
+        options.targets.join(", "),
+        options.specs.len()
+    );
+    let report = fetchvp_server::loadgen::run(&options)?;
+    println!("{}", report.render());
+    if let Some(path) = &opts.out {
+        let text = report.to_json().to_json() + "\n";
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -831,6 +959,7 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
         "usefulness" => emit(&fetchvp_experiments::usefulness::run_with(sweep).to_table(), csv),
         "profile" => emit(&fetchvp_experiments::profile::run(cfg).to_table(), csv),
         "serve" => return run_serve(opts),
+        "loadgen" => return run_loadgen(opts),
         "fuzz" => return run_fuzz(opts),
         "atlas" => return run_atlas(opts),
         "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),
@@ -1025,7 +1154,80 @@ mod tests {
     #[test]
     fn usage_mentions_serve_and_version() {
         assert!(USAGE.contains("serve [--addr HOST:PORT]"));
+        assert!(USAGE.contains("loadgen"));
+        assert!(USAGE.contains("--peers"));
         assert!(USAGE.contains("--version"));
+    }
+
+    #[test]
+    fn parses_fleet_serve_flags() {
+        let o = opts(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:7001",
+            "--peers",
+            "127.0.0.1:7001, 127.0.0.1:7002",
+            "--result-cache",
+            "512",
+        ])
+        .unwrap();
+        validate_invocation(&o).unwrap();
+        assert_eq!(o.peers.as_deref(), Some("127.0.0.1:7001, 127.0.0.1:7002"));
+        assert_eq!(o.result_cache, Some(512));
+        // 0 disables the cache and must parse.
+        assert_eq!(opts(&["serve", "--result-cache", "0"]).unwrap().result_cache, Some(0));
+        assert!(opts(&["serve", "--result-cache", "lots"]).is_err());
+        assert!(opts(&["serve", "--peers"]).is_err());
+        // --peers belongs to serve, not the experiments.
+        let o = opts(&["fig3-1", "--peers", "127.0.0.1:7001"]).unwrap();
+        assert!(validate_invocation(&o).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let o = opts(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:7001,127.0.0.1:7002",
+            "--rps",
+            "1500",
+            "--duration",
+            "3",
+            "--spec-mix",
+            "mix.json",
+            "--out",
+            "report.json",
+        ])
+        .unwrap();
+        validate_invocation(&o).unwrap();
+        assert_eq!(o.rps, Some(1500));
+        assert_eq!(o.duration, Some(3));
+        assert_eq!(o.spec_mix.as_deref(), Some("mix.json"));
+        assert_eq!(o.out.as_deref(), Some("report.json"));
+        assert!(opts(&["loadgen", "--rps", "0"]).is_err());
+        assert!(opts(&["loadgen", "--duration", "0.5"]).is_err());
+        // loadgen is a client: it takes no server-side flags.
+        let o = opts(&["loadgen", "--workers", "4"]).unwrap();
+        assert!(validate_invocation(&o).is_err());
+    }
+
+    #[test]
+    fn spec_mix_files_accept_arrays_and_single_objects() {
+        let dir = std::env::temp_dir().join(format!("fetchvp-cli-mix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mix.json");
+        std::fs::write(&path, r#"[{"experiment": "table3-1"}, {"experiment": "accuracy"}]"#)
+            .unwrap();
+        let specs = read_spec_mix(path.to_str().unwrap()).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert!(specs[0].contains("table3-1"));
+        std::fs::write(&path, r#"{"experiment": "breakdown"}"#).unwrap();
+        assert_eq!(read_spec_mix(path.to_str().unwrap()).unwrap().len(), 1);
+        std::fs::write(&path, "[]").unwrap();
+        assert!(read_spec_mix(path.to_str().unwrap()).is_err());
+        std::fs::write(&path, "not json").unwrap();
+        assert!(read_spec_mix(path.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -207,6 +207,32 @@ impl JobSpec {
         ])
     }
 
+    /// The canonical text of the spec: the JSON rendering of
+    /// [`JobSpec::to_json`], whose field order is fixed (`experiment`,
+    /// `trace_len`, `seed`, `jobs`) and whose optional fields are always
+    /// materialized with their defaults. Two requests that differ only in
+    /// JSON formatting — whitespace, field order, an omitted default —
+    /// canonicalize to the same text.
+    pub fn canonical(&self) -> String {
+        self.to_json().to_json()
+    }
+
+    /// FNV-1a hash of [`JobSpec::canonical`] — the content address of this
+    /// spec's result. The server's result cache and its consistent-hash
+    /// ring both key off this value, so every process in a fleet agrees on
+    /// which member owns a spec and whether its result is already known.
+    pub fn canonical_hash(&self) -> u64 {
+        fetchvp_tracestore::fnv1a(self.canonical().as_bytes())
+    }
+
+    /// Whether this spec's result document is a pure function of the spec
+    /// (and therefore cacheable). Table and figure experiments are fully
+    /// deterministic; `bench` reports embed wall-clock measurements, so
+    /// replaying a stored bench report would serve stale timings.
+    pub fn deterministic_result(&self) -> bool {
+        self.experiment != "bench"
+    }
+
     /// The experiment configuration this spec runs under. Specs with equal
     /// configs can share one trace cache, which is what keeps the daemon's
     /// traces warm across requests.
@@ -310,6 +336,36 @@ mod tests {
             let err = parse_spec(text).expect_err(text);
             assert!(err.contains(needle), "{text}: error `{err}` should mention {needle}");
         }
+    }
+
+    #[test]
+    fn canonical_hash_ignores_formatting_but_not_fields() {
+        let spec = parse_spec(r#"{"experiment": "table3-1", "trace_len": 1000}"#).unwrap();
+        // Same spec, noisy formatting + explicit defaults (the default
+        // seed is 0x5EED_1998 = 1592596888) + reordered keys.
+        let noisy = parse_spec(
+            r#"{ "seed": 1592596888, "trace_len": 1000,
+                 "experiment": "table3-1", "jobs": 1 }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.canonical(), noisy.canonical());
+        assert_eq!(spec.canonical_hash(), noisy.canonical_hash());
+        // Any canonical field changing must change the hash.
+        for other in [
+            JobSpec { trace_len: 1001, ..spec.clone() },
+            JobSpec { seed: spec.seed + 1, ..spec.clone() },
+            JobSpec { jobs: 2, ..spec.clone() },
+            JobSpec { experiment: "accuracy".to_string(), ..spec.clone() },
+        ] {
+            assert_ne!(spec.canonical_hash(), other.canonical_hash(), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn bench_results_are_not_cacheable() {
+        assert!(!JobSpec::default().deterministic_result(), "bench has wall-clock fields");
+        let table = JobSpec { experiment: "table3-1".to_string(), ..JobSpec::default() };
+        assert!(table.deterministic_result());
     }
 
     #[test]

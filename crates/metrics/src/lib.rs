@@ -483,6 +483,14 @@ impl SharedRegistry {
         sink.export_metrics(&mut self.lock(), prefix);
     }
 
+    /// A copy of the histogram stored at `key`, if any — how the server
+    /// reads its live latency distribution (e.g. to derive a
+    /// `Retry-After` hint from the observed drain rate) without cloning
+    /// the whole registry.
+    pub fn get_histogram(&self, key: &str) -> Option<Histogram> {
+        self.lock().get_histogram(key)
+    }
+
     /// A point-in-time copy of the whole registry — what `GET /metrics`
     /// serializes. Concurrent writers block only for the duration of the
     /// clone, never for the serialization.

@@ -1,0 +1,308 @@
+//! The readiness-based connection multiplexer behind `fetchvp serve`.
+//!
+//! One thread drives every connection through `poll(2)` — `std` exposes
+//! no polling API and the workspace links no crates, but `std` itself
+//! links libc, so declaring `poll(2)` directly keeps the daemon
+//! zero-dependency (the same trick the [`crate`]'s signal handling
+//! uses). Accepted sockets are non-blocking; each one is a tiny state
+//! machine:
+//!
+//! ```text
+//!            accept()                  POLLIN / read()
+//!   Listener ────────▶ Reading ──────────────────────────┐
+//!                        │  ▲                            │
+//!                        │  └── try_parse ⇒ incomplete ──┘
+//!                        │
+//!                        │ try_parse ⇒ Request ─▶ route()
+//!                        ▼
+//!                      Writing ── POLLOUT / write() ──▶ close
+//!                        │
+//!                        └── deadline exceeded ────────▶ close
+//! ```
+//!
+//! Reads accumulate into a per-connection buffer fed to
+//! [`http::try_parse`] until a full request materializes; the response is
+//! rendered to bytes up front ([`Response::to_bytes`]) and flushed as
+//! `POLLOUT` allows. Each phase has a deadline (the configured
+//! read/write timeouts), enforced every poll tick, so a stalled client
+//! costs one pollfd entry — not a parked thread, which is what limited
+//! the thread-per-connection daemon to `max_connections` concurrent
+//! clients. Route handlers still run inline on the loop thread; they are
+//! queue pushes and table lookups (simulation happens on the worker
+//! pool), so the loop never blocks on simulation work.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::http::{self, error_body, RequestError, Response};
+use crate::Shared;
+
+/// Readable readiness (and `POLLHUP`-with-pending-data on Linux).
+const POLLIN: i16 = 0x001;
+/// Writable readiness.
+const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+const POLLERR: i16 = 0x008;
+/// Peer hung up.
+const POLLHUP: i16 = 0x010;
+/// Invalid fd (always reported, never requested).
+const POLLNVAL: i16 = 0x020;
+
+/// Poll timeout: the loop wakes at least this often to check the
+/// shutdown flag and connection deadlines.
+const POLL_TICK_MS: i32 = 50;
+
+/// How long shutdown waits for in-flight response bytes to flush.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// `struct pollfd` from `poll(2)`, laid out exactly as libc declares it.
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    /// `poll(2)`; `nfds_t` is `unsigned long` on every Linux ABI.
+    fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read so far, fed to the incremental parser each tick.
+    buf: Vec<u8>,
+    /// The rendered response; empty until the request completes.
+    out: Vec<u8>,
+    /// How much of `out` has been written.
+    written: usize,
+    /// `false` = Reading phase, `true` = Writing phase.
+    writing: bool,
+    /// When the current phase times out.
+    deadline: Instant,
+    /// When the connection was accepted — the request-latency clock.
+    started: Instant,
+    /// Terminal: the fd is dropped at the end of the tick.
+    done: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, read_timeout: Duration) -> Conn {
+        let now = Instant::now();
+        Conn {
+            stream,
+            buf: Vec::with_capacity(1024),
+            out: Vec::new(),
+            written: 0,
+            writing: false,
+            deadline: now + read_timeout,
+            started: now,
+            done: false,
+        }
+    }
+
+    /// The events this connection waits for.
+    fn interest(&self) -> i16 {
+        if self.writing {
+            POLLOUT
+        } else {
+            POLLIN
+        }
+    }
+
+    /// Advances the state machine one tick.
+    fn drive(&mut self, revents: i16, state: &Shared, now: Instant) {
+        if self.done {
+            return;
+        }
+        if revents & (POLLERR | POLLNVAL) != 0 {
+            state.metrics.counter("server.requests", "io_error", 1);
+            self.done = true;
+            return;
+        }
+        if self.writing {
+            if revents & (POLLOUT | POLLHUP) != 0 {
+                self.flush(state);
+            }
+        } else if revents & (POLLIN | POLLHUP) != 0 {
+            self.fill(state);
+        }
+        if !self.done && now >= self.deadline {
+            // Same accounting as the blocking daemon's socket timeouts:
+            // a client too slow to send or receive is an io_error.
+            state.metrics.counter("server.requests", "io_error", 1);
+            self.done = true;
+        }
+    }
+
+    /// Reads until `WouldBlock`, then offers the buffer to the parser.
+    fn fill(&mut self, state: &Shared) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF before a complete request.
+                    state.metrics.counter("server.requests", "io_error", 1);
+                    self.done = true;
+                    return;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    state.metrics.counter("server.requests", "io_error", 1);
+                    self.done = true;
+                    return;
+                }
+            }
+        }
+        let response = match http::try_parse(&self.buf, state.config.max_body_bytes) {
+            Ok(None) => return, // keep reading
+            Ok(Some(request)) => crate::respond(state, &request, self.started),
+            Err(RequestError::TooLarge(what)) => {
+                state.metrics.counter("server.requests", "too_large.413", 1);
+                Response::json(413, error_body(&format!("{what} too large")))
+            }
+            Err(RequestError::Malformed(why)) => {
+                state.metrics.counter("server.requests", "malformed.400", 1);
+                Response::json(400, error_body(why))
+            }
+            // try_parse does no IO; an Io error cannot surface here.
+            Err(RequestError::Io(_)) => {
+                self.done = true;
+                return;
+            }
+        };
+        self.start_write(response, state);
+    }
+
+    /// Switches to the Writing phase and optimistically flushes — most
+    /// responses fit the socket buffer, finishing in the same tick.
+    fn start_write(&mut self, response: Response, state: &Shared) {
+        self.out = response.to_bytes();
+        self.written = 0;
+        self.writing = true;
+        self.deadline = Instant::now() + state.config.write_timeout;
+        self.flush(state);
+    }
+
+    /// Writes as much of `out` as the socket accepts; closes on
+    /// completion.
+    fn flush(&mut self, _state: &Shared) {
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => {
+                    self.done = true;
+                    return;
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.done = true;
+                    return;
+                }
+            }
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.done = true;
+    }
+}
+
+/// Accepts everything the backlog holds, up to the connection cap.
+fn accept_ready(listener: &TcpListener, conns: &mut Vec<Conn>, state: &Shared) -> io::Result<()> {
+    while conns.len() < state.config.max_connections {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                conns.push(Conn::new(stream, state.config.read_timeout));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient per-connection accept failures (e.g. the peer
+            // aborted between readiness and accept) must not kill the
+            // daemon.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Runs the event loop until shutdown, then drains in-flight writes.
+///
+/// At the connection cap the listener's `POLLIN` interest is masked, so
+/// excess clients queue in the kernel's accept backlog instead of being
+/// answered with an error — admission control happens at the bounded job
+/// queue (`503` + `Retry-After`), not at the socket.
+pub(crate) fn serve(listener: &TcpListener, state: &Arc<Shared>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut conns: Vec<Conn> = Vec::new();
+    while !state.should_shutdown() {
+        let accepting = conns.len() < state.config.max_connections;
+        let mut fds = Vec::with_capacity(conns.len() + 1);
+        fds.push(PollFd {
+            fd: listener.as_raw_fd(),
+            events: if accepting { POLLIN } else { 0 },
+            revents: 0,
+        });
+        for conn in &conns {
+            fds.push(PollFd { fd: conn.stream.as_raw_fd(), events: conn.interest(), revents: 0 });
+        }
+        let ready =
+            unsafe { poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, POLL_TICK_MS) };
+        if ready < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue; // a signal landed; the loop re-checks the flag
+            }
+            return Err(err);
+        }
+        if fds[0].revents & POLLIN != 0 {
+            accept_ready(listener, &mut conns, state)?;
+        }
+        let now = Instant::now();
+        for (conn, fd) in conns.iter_mut().zip(&fds[1..]) {
+            conn.drive(fd.revents, state, now);
+        }
+        conns.retain(|c| !c.done);
+        state.active_connections.store(conns.len(), Ordering::SeqCst);
+    }
+
+    // Graceful drain: stop reading new requests, flush what is already
+    // rendered. Readers are abandoned (their request will never be
+    // answered anyway), writers get up to DRAIN_TIMEOUT.
+    conns.retain(|c| c.writing);
+    let deadline = Instant::now() + DRAIN_TIMEOUT;
+    while !conns.is_empty() && Instant::now() < deadline {
+        let mut fds: Vec<PollFd> = conns
+            .iter()
+            .map(|c| PollFd { fd: c.stream.as_raw_fd(), events: POLLOUT, revents: 0 })
+            .collect();
+        let ready =
+            unsafe { poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, POLL_TICK_MS) };
+        if ready < 0 {
+            if io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            break; // give up on the drain, not on the shutdown
+        }
+        if ready == 0 {
+            continue;
+        }
+        let now = Instant::now();
+        for (conn, fd) in conns.iter_mut().zip(&fds) {
+            conn.drive(fd.revents, state, now);
+        }
+        conns.retain(|c| !c.done);
+    }
+    state.active_connections.store(0, Ordering::SeqCst);
+    Ok(())
+}

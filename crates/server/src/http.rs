@@ -55,23 +55,23 @@ impl From<io::Error> for RequestError {
     }
 }
 
-/// Reads one request from the stream, honouring the stream's read timeout
-/// and capping the body at `max_body` bytes.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(end) = find_head_end(&buf) {
-            break end;
-        }
+/// Attempts to parse one complete request from an accumulating buffer —
+/// the incremental entry point the nonblocking event loop calls after
+/// every read.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete
+/// head + body (read more and call again), `Ok(Some(request))` once it
+/// does, and an error as soon as the bytes are hopeless: an oversized
+/// head or body is rejected *before* the peer finishes sending it, so a
+/// slow adversary cannot balloon memory while staying under the radar.
+/// Bytes past `Content-Length` (pipelined follow-ups, keep-alive
+/// chatter) are ignored: this daemon answers one request per connection.
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<Option<Request>, RequestError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(RequestError::TooLarge("request head"));
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(RequestError::Malformed("connection closed mid-request"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
 
     let head = std::str::from_utf8(&buf[..head_end])
@@ -107,22 +107,37 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         return Err(RequestError::TooLarge("request body"));
     }
 
-    // Bytes past the head may belong to a pipelined follow-up request (or
-    // keep-alive chatter); take exactly `content_length` of them as the body
-    // and leave the rest unread on the socket — this daemon answers one
-    // request per connection, so they are discarded with it.
     let after_head = &buf[head_end + 4..];
-    let mut body = after_head[..after_head.len().min(content_length)].to_vec();
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want])?;
-        if n == 0 {
-            return Err(RequestError::Malformed("connection closed mid-body"));
-        }
-        body.extend_from_slice(&chunk[..n]);
+    if after_head.len() < content_length {
+        return Ok(None);
     }
+    let body = after_head[..content_length].to_vec();
+    Ok(Some(Request { method: method.to_string(), path: path.to_string(), headers, body }))
+}
 
-    Ok(Request { method: method.to_string(), path: path.to_string(), headers, body })
+/// Reads one request from a blocking stream, honouring the stream's read
+/// timeout and capping the body at `max_body` bytes.
+///
+/// This is the synchronous counterpart of [`try_parse`], used by unit
+/// tests and the non-Unix threaded fallback; the event loop feeds
+/// `try_parse` directly from readiness callbacks.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(request) = try_parse(&buf, max_body)? {
+            return Ok(request);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed(if find_head_end(&buf).is_some() {
+                "connection closed mid-body"
+            } else {
+                "connection closed mid-request"
+            }));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -170,13 +185,21 @@ impl Response {
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    /// Serializes the response (with `Connection: close`) onto the stream.
-    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+    /// The full wire form of the response, ready for buffered writes from
+    /// the event loop.
+    ///
+    /// Every response carries `Connection: close` — success *and* error
+    /// paths alike — because the daemon answers exactly one request per
+    /// connection and must tell keep-alive clients (curl defaults to
+    /// `Connection: keep-alive`) not to wait for a second response on the
+    /// same socket.
+    pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
@@ -188,8 +211,14 @@ impl Response {
             head.push_str(&format!("Retry-After: {seconds}\r\n"));
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(self.body.as_bytes());
+        bytes
+    }
+
+    /// Serializes the response (with `Connection: close`) onto the stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        stream.write_all(&self.to_bytes())?;
         stream.flush()
     }
 }
@@ -309,6 +338,58 @@ mod tests {
             parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
             Err(RequestError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn try_parse_is_incremental() {
+        let full = b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"";
+        // Every strict prefix is "not yet", never an error.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(try_parse(&full[..cut], 1024), Ok(None)),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let req = try_parse(full, 1024).unwrap().expect("complete request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+        // Trailing pipelined bytes after the body do not confuse it.
+        let mut with_trailer = full.to_vec();
+        with_trailer.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(try_parse(&with_trailer, 1024).unwrap().unwrap().body, b"{\"a\"");
+    }
+
+    #[test]
+    fn try_parse_rejects_oversize_before_completion() {
+        // A head that exceeds the cap without ever completing must error
+        // immediately, not wait for the attacker to finish.
+        let huge = vec![b'x'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(try_parse(&huge, 1024), Err(RequestError::TooLarge("request head"))));
+        // An oversized declared body is rejected at head-parse time, before
+        // any body bytes arrive.
+        let greedy = b"POST /run HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        assert!(matches!(try_parse(greedy, 1024), Err(RequestError::TooLarge("request body"))));
+    }
+
+    #[test]
+    fn every_response_closes_the_connection() {
+        // Regression guard for the keep-alive audit: error paths (400, 413,
+        // 503) must answer `Connection: close` exactly like success paths,
+        // or a keep-alive client hangs waiting to reuse the socket.
+        for response in [
+            Response::json(200, "{}".to_string()),
+            Response::json(400, error_body("bad request")),
+            Response::json(413, error_body("too large")),
+            Response::retry_after(503, error_body("queue full"), 2),
+            Response::text(200, "ok".to_string(), "text/plain"),
+        ] {
+            let text = String::from_utf8(response.to_bytes()).unwrap();
+            assert!(
+                text.contains("Connection: close\r\n"),
+                "{} response must close the connection:\n{text}",
+                response.status
+            );
+        }
     }
 
     #[test]

@@ -80,26 +80,81 @@ impl JobRecord {
 }
 
 /// Thread-safe id allocation and record storage.
-#[derive(Debug, Default)]
+///
+/// In a fleet, job ids double as a routing tag: a table built with
+/// [`JobTable::sharded`]`(stride, offset)` hands out `offset + k·stride`
+/// (for `k = 1, 2, 3, …`), so `id % stride` recovers which member
+/// created the record and `GET /jobs/<id>` can be proxied to its owner
+/// without any shared id service. A standalone daemon uses stride 1,
+/// offset 0 — the plain `1, 2, 3, …` sequence.
+#[derive(Debug)]
 pub struct JobTable {
-    next_id: AtomicU64,
+    next_serial: AtomicU64,
+    stride: u64,
+    offset: u64,
     records: Mutex<HashMap<u64, JobRecord>>,
+}
+
+impl Default for JobTable {
+    fn default() -> JobTable {
+        JobTable::new()
+    }
 }
 
 impl JobTable {
     /// An empty table; ids start at 1.
     pub fn new() -> JobTable {
-        JobTable { next_id: AtomicU64::new(1), records: Mutex::new(HashMap::new()) }
+        JobTable::sharded(1, 0)
+    }
+
+    /// An empty table handing out ids `offset + k·stride`, for a fleet
+    /// member at index `offset` of a `stride`-member fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= stride` — the encoding would be ambiguous.
+    pub fn sharded(stride: u64, offset: u64) -> JobTable {
+        assert!(stride > 0 && offset < stride, "job-id shard offset must be < stride");
+        JobTable {
+            next_serial: AtomicU64::new(1),
+            stride,
+            offset,
+            records: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The member index encoded in `id` for a `stride`-member fleet.
+    pub fn owner_of(id: u64, stride: u64) -> u64 {
+        if stride <= 1 {
+            0
+        } else {
+            id % stride
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, HashMap<u64, JobRecord>> {
         self.records.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    fn next_id(&self) -> u64 {
+        self.next_serial.fetch_add(1, Ordering::Relaxed) * self.stride + self.offset
+    }
+
     /// Allocates an id and inserts a [`JobStatus::Queued`] record.
     pub fn create(&self, spec: JobSpec) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id();
         let record = JobRecord { id, spec, status: JobStatus::Queued, result: None, error: None };
+        self.lock().insert(id, record);
+        id
+    }
+
+    /// Allocates an id and inserts a record that is already
+    /// [`JobStatus::Done`] — how a result-cache hit materializes a job
+    /// that never touched the queue.
+    pub fn create_done(&self, spec: JobSpec, result: Json) -> u64 {
+        let id = self.next_id();
+        let record =
+            JobRecord { id, spec, status: JobStatus::Done, result: Some(result), error: None };
         self.lock().insert(id, record);
         id
     }
@@ -186,6 +241,34 @@ mod tests {
         assert_eq!(doc.get("status").and_then(Json::as_str), Some("failed"));
         assert_eq!(doc.get("error").and_then(Json::as_str), Some("boom"));
         assert_eq!(table.counts(), (0, 0, 0, 1));
+    }
+
+    #[test]
+    fn sharded_ids_encode_their_owner() {
+        let node0 = JobTable::sharded(3, 0);
+        let node2 = JobTable::sharded(3, 2);
+        assert_eq!((node0.create(spec()), node0.create(spec())), (3, 6));
+        assert_eq!((node2.create(spec()), node2.create(spec())), (5, 8));
+        for id in [3, 6] {
+            assert_eq!(JobTable::owner_of(id, 3), 0);
+        }
+        for id in [5, 8] {
+            assert_eq!(JobTable::owner_of(id, 3), 2);
+        }
+        // Standalone tables keep the historical 1, 2, 3, … sequence.
+        let standalone = JobTable::new();
+        assert_eq!((standalone.create(spec()), standalone.create(spec())), (1, 2));
+        assert_eq!(JobTable::owner_of(7, 1), 0);
+    }
+
+    #[test]
+    fn create_done_skips_the_queue() {
+        let table = JobTable::new();
+        let id = table.create_done(spec(), Json::UInt(9));
+        let doc = table.get_json(id).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(doc.get("result").and_then(Json::as_u64), Some(9));
+        assert_eq!(table.counts(), (0, 0, 1, 0));
     }
 
     #[test]

@@ -6,19 +6,27 @@
 //! control, a worker pool executes it through the shared [`Sweep`] runner,
 //! and `GET /jobs/<id>` returns the result — with workload traces staying
 //! **warm across requests**, so the second job against the same
-//! configuration skips tracing entirely.
+//! configuration skips tracing entirely, and **deterministic results
+//! cached by content** ([`cache`]), so a repeated spec skips simulation
+//! entirely.
 //!
-//! Everything is built on `std` only: [`std::net::TcpListener`] plus a
+//! Everything is built on `std` only: [`std::net::TcpListener`] driven by
+//! a `poll(2)` readiness event loop (one thread multiplexing every
+//! connection; thread-per-connection remains as the non-Unix fallback), a
 //! hand-rolled HTTP/1.1 subset ([`http`]), a condvar-based bounded MPMC
-//! queue ([`queue`]) and a mutex-guarded job table ([`jobs`]).
+//! queue ([`queue`]) and a mutex-guarded job table ([`jobs`]). Several
+//! daemons started with `--peers` form a fleet ([`peers`]): jobs shard
+//! across members by consistent hashing on the spec's canonical hash,
+//! with single-hop proxying and per-peer health checks. [`loadgen`]
+//! drives such a fleet and reports achieved RPS and latency quantiles.
 //!
 //! # Endpoints
 //!
 //! | method & path | behaviour |
 //! |---|---|
-//! | `POST /run` | validate a job spec; `202` + job id, `400` on a bad spec, `503` + `Retry-After` when the queue is full |
-//! | `GET /jobs/<id>` | the job's status/result document; `404` for unknown ids |
-//! | `GET /healthz` | liveness + queue/worker summary |
+//! | `POST /run` | validate a job spec; `202` + job id (or `200` with the inlined result on a cache hit), `400` on a bad spec, `503` + `Retry-After` when the queue is full |
+//! | `GET /jobs/<id>` | the job's status/result document; `404` for unknown ids; proxied to the owning fleet member when the id belongs elsewhere |
+//! | `GET /healthz` | liveness + queue/worker summary (+ per-peer liveness in a fleet) |
 //! | `GET /metrics` | live [`fetchvp_metrics::Registry`] snapshot: `server.*` counters alongside accumulated simulator counters (`trace.*`, `sched.*`, …) |
 //! | `POST /shutdown` | graceful shutdown (also triggered by `SIGTERM`/`SIGINT`): stop accepting, drain admitted jobs, exit |
 //!
@@ -26,21 +34,32 @@
 //!
 //! * **Backpressure, not buffering** — the queue is bounded
 //!   ([`ServerConfig::queue_depth`]); when full, `/run` answers `503`
-//!   immediately and never blocks the connection handler.
+//!   immediately with a `Retry-After` derived from the observed drain
+//!   rate, and never blocks the event loop.
 //! * **Isolation** — a panicking job marks itself `failed` and the worker
 //!   lives on; a panicking worker can never take `GET /metrics` down
 //!   (the registry lock is poison-proof).
-//! * **Bounded connections** — at most
-//!   [`ServerConfig::max_connections`] handler threads, each with
-//!   per-request read/write timeouts and capped request sizes.
+//! * **Bounded connections** — at most [`ServerConfig::max_connections`]
+//!   sockets multiplexed at once (excess clients wait in the kernel's
+//!   accept backlog), each with per-phase read/write deadlines and capped
+//!   request sizes.
 //! * **No dropped jobs** — shutdown drains everything that was `202`ed.
 
+#![deny(missing_docs)]
+
+pub mod cache;
+#[cfg(unix)]
+mod eventloop;
 pub mod http;
 pub mod jobs;
+pub mod loadgen;
+pub mod peers;
 pub mod queue;
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(not(unix))]
+use std::net::TcpStream;
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -52,8 +71,10 @@ use fetchvp_metrics::{Json, SharedRegistry};
 use fetchvp_tracestore::TraceDir;
 use fetchvp_tracing::{log_with, Level};
 
-use http::{error_body, read_request, Request, RequestError, Response};
+use cache::ResultCache;
+use http::{error_body, Request, Response};
 use jobs::JobTable;
+use peers::Fleet;
 use queue::BoundedQueue;
 
 /// How the daemon is sized and where it listens.
@@ -65,7 +86,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue capacity; pushes beyond it get `503`.
     pub queue_depth: usize,
-    /// Maximum concurrent connection-handler threads.
+    /// Maximum sockets multiplexed by the event loop at once (handler
+    /// threads on the non-Unix fallback); excess clients wait in the
+    /// kernel's accept backlog.
     pub max_connections: usize,
     /// Per-request socket read timeout.
     pub read_timeout: Duration,
@@ -78,6 +101,14 @@ pub struct ServerConfig {
     /// `trace_len` cap for machine-sweep experiments to
     /// [`fetchvp_experiments::jobspec::MAX_TRACE_LEN_OOC`].
     pub trace_dir: Option<PathBuf>,
+    /// In-memory result-cache capacity (finished result documents); 0
+    /// disables result caching. When [`ServerConfig::trace_dir`] is also
+    /// set, results spill to `<trace_dir>/results-v1/` and survive
+    /// restarts.
+    pub result_cache_entries: usize,
+    /// Full fleet member list (`host:port`, including this process's own
+    /// address) for `--peers` mode; empty means standalone.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +122,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             max_body_bytes: 256 * 1024,
             trace_dir: None,
+            result_cache_entries: 256,
+            peers: Vec::new(),
         }
     }
 }
@@ -136,13 +169,15 @@ impl SweepPool {
     }
 }
 
-/// State shared by the accept loop, connection handlers and pool workers.
+/// State shared by the event loop, connection handlers and pool workers.
 struct Shared {
     config: ServerConfig,
     queue: BoundedQueue<(u64, JobSpec)>,
     jobs: JobTable,
     metrics: SharedRegistry,
     sweeps: SweepPool,
+    results: ResultCache,
+    fleet: Fleet,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
 }
@@ -167,11 +202,20 @@ impl Server {
         let metrics = SharedRegistry::new();
         metrics.counter("server", "started", 1);
         let trace_dir = config.trace_dir.as_ref().map(|root| Arc::new(TraceDir::new(root)));
+        let fleet = if config.peers.is_empty() {
+            Fleet::standalone()
+        } else {
+            Fleet::from_members(&config.peers, listener.local_addr()?)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?
+        };
+        let results = ResultCache::new(config.result_cache_entries, config.trace_dir.as_deref());
         let state = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
-            jobs: JobTable::new(),
+            jobs: JobTable::sharded(fleet.stride(), fleet.self_index() as u64),
             metrics,
             sweeps: SweepPool::new(trace_dir),
+            results,
+            fleet,
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config,
@@ -188,7 +232,6 @@ impl Server {
     /// admitted jobs and in-flight connections before returning.
     pub fn run(self) -> io::Result<()> {
         signals::install();
-        self.listener.set_nonblocking(true)?;
         let workers: Vec<_> = (0..self.state.config.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&self.state);
@@ -198,52 +241,101 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
+        let health_checker = self.state.fleet.is_fleet().then(|| {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("fetchvp-health".to_string())
+                .spawn(move || health_loop(&state))
+                .expect("spawn health checker")
+        });
 
-        while !self.state.should_shutdown() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let active = self.state.active_connections.load(Ordering::SeqCst);
-                    if active >= self.state.config.max_connections {
-                        self.state.metrics.counter("server.connections", "rejected", 1);
-                        let mut stream = stream;
-                        let _ = stream.set_write_timeout(Some(self.state.config.write_timeout));
-                        let _ = Response::retry_after(503, error_body("connection limit"), 1)
-                            .write_to(&mut stream);
-                        continue;
-                    }
-                    self.state.active_connections.fetch_add(1, Ordering::SeqCst);
-                    let state = Arc::clone(&self.state);
-                    let _ = std::thread::Builder::new()
-                        .name("fetchvp-conn".to_string())
-                        .spawn(move || {
-                            handle_connection(&state, stream);
-                            state.active_connections.fetch_sub(1, Ordering::SeqCst);
-                        })
-                        .map_err(|_| {
-                            // Spawn failure: undo the reservation; the peer
-                            // times out rather than deadlocking the count.
-                            self.state.active_connections.fetch_sub(1, Ordering::SeqCst);
-                        });
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
+        let served = serve_connections(&self.listener, &self.state);
 
         // Graceful shutdown: reject new work, drain everything admitted.
         self.state.queue.close();
         for worker in workers {
             let _ = worker.join();
         }
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while self.state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(10));
+        if let Some(checker) = health_checker {
+            let _ = checker.join();
         }
-        Ok(())
+        served
+    }
+}
+
+/// Multiplexes connections until shutdown — the `poll(2)` event loop.
+#[cfg(unix)]
+fn serve_connections(listener: &TcpListener, state: &Arc<Shared>) -> io::Result<()> {
+    eventloop::serve(listener, state)
+}
+
+/// Non-Unix fallback: blocking accept + one handler thread per
+/// connection, exactly the pre-event-loop daemon.
+#[cfg(not(unix))]
+fn serve_connections(listener: &TcpListener, state: &Arc<Shared>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !state.should_shutdown() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let active = state.active_connections.load(Ordering::SeqCst);
+                if active >= state.config.max_connections {
+                    state.metrics.counter("server.connections", "rejected", 1);
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+                    let _ = Response::retry_after(503, error_body("connection limit"), 1)
+                        .write_to(&mut stream);
+                    continue;
+                }
+                state.active_connections.fetch_add(1, Ordering::SeqCst);
+                let state = Arc::clone(state);
+                let _ = std::thread::Builder::new()
+                    .name("fetchvp-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(&state, stream);
+                        state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .map_err(|_| {
+                        // Spawn failure: undo the reservation; the peer
+                        // times out rather than deadlocking the count.
+                        state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Ok(())
+}
+
+/// Probes every peer on a fixed interval, flipping liveness flags and
+/// counting transitions so a flapping peer is visible in `/metrics`.
+fn health_loop(state: &Shared) {
+    while !state.should_shutdown() {
+        for member in 0..state.fleet.members().len() {
+            if member == state.fleet.self_index() {
+                continue;
+            }
+            let alive = state.fleet.probe(member);
+            if state.fleet.set_alive(member, alive) {
+                state.metrics.counter("server.peers", "health_flips", 1);
+                let label = state.fleet.metric_label(member);
+                log_with("server.peers", Level::Info, || {
+                    format!("peer {label} is now {}", if alive { "up" } else { "down" })
+                });
+            }
+        }
+        // Sleep in small steps so shutdown is honored promptly.
+        let deadline = Instant::now() + peers::HEALTH_INTERVAL;
+        while Instant::now() < deadline && !state.should_shutdown() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 }
 
@@ -263,6 +355,12 @@ fn worker_loop(state: &Shared) {
                     "job_latency_ms",
                     started.elapsed().as_millis() as u64,
                 );
+                // Deterministic results are cached by content so the next
+                // identical spec is a lookup; bench reports (wall-clock
+                // measurements) and failures are never cached.
+                if spec.deterministic_result() {
+                    state.results.insert(spec.canonical_hash(), spec.canonical(), &outcome.result);
+                }
                 state.jobs.finish(id, outcome.result);
             }
             Err(_) => {
@@ -273,34 +371,40 @@ fn worker_loop(state: &Shared) {
     }
 }
 
-/// Monotone id shared by every connection handler, for correlating access
-/// log lines (`FETCHVP_LOG=server=info`) across threads.
+/// Monotone id shared by every connection, for correlating access log
+/// lines (`FETCHVP_LOG=server=info`) across requests.
 static REQUEST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-/// Reads one request, routes it, writes the response, records metrics.
+/// Routes one parsed request and records the per-request metrics and
+/// access log line — the single entry point shared by the event loop and
+/// the threaded fallback. `started` is when the connection began reading,
+/// so `server.request_latency_us` includes request-receive time.
+fn respond(state: &Shared, request: &Request, started: Instant) -> Response {
+    let id = REQUEST_ID.fetch_add(1, Ordering::Relaxed) + 1;
+    let response = route(state, request);
+    state.metrics.counter(
+        "server.requests",
+        &format!("{}.{}", endpoint_label(&request.path), response.status),
+        1,
+    );
+    let micros = started.elapsed().as_micros() as u64;
+    state.metrics.observe("server", "request_latency_us", micros);
+    log_with("server.http", Level::Info, || {
+        format!("req={id} {} {} -> {} in {micros}us", request.method, request.path, response.status)
+    });
+    response
+}
+
+/// Reads one request, routes it, writes the response, records metrics —
+/// the threaded fallback's per-connection handler.
+#[cfg(not(unix))]
 fn handle_connection(state: &Shared, mut stream: TcpStream) {
+    use http::{read_request, RequestError};
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let _ = stream.set_write_timeout(Some(state.config.write_timeout));
     let started = Instant::now();
-    let id = REQUEST_ID.fetch_add(1, Ordering::Relaxed) + 1;
     let response = match read_request(&mut stream, state.config.max_body_bytes) {
-        Ok(request) => {
-            let response = route(state, &request);
-            state.metrics.counter(
-                "server.requests",
-                &format!("{}.{}", endpoint_label(&request.path), response.status),
-                1,
-            );
-            let micros = started.elapsed().as_micros() as u64;
-            state.metrics.observe("server", "request_latency_us", micros);
-            log_with("server.http", Level::Info, || {
-                format!(
-                    "req={id} {} {} -> {} in {micros}us",
-                    request.method, request.path, response.status
-                )
-            });
-            response
-        }
+        Ok(request) => respond(state, &request, started),
         Err(RequestError::Io(_)) => {
             state.metrics.counter("server.requests", "io_error", 1);
             return; // nothing sane to answer on a dead socket
@@ -339,12 +443,12 @@ fn route(state: &Shared, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics_snapshot(state, request),
-        ("POST", "/run") => submit(state, &request.body),
+        ("POST", "/run") => submit(state, request),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, Json::object([status_pair("shutting down")]).to_json())
         }
-        ("GET", path) if path.starts_with("/jobs/") => job_status(state, path),
+        ("GET", path) if path.starts_with("/jobs/") => job_status(state, request, path),
         (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => {
             Response::json(405, error_body("method not allowed"))
         }
@@ -361,7 +465,7 @@ fn status_pair(status: &str) -> (String, Json) {
 
 fn healthz(state: &Shared) -> Response {
     let (queued, running, done, failed) = state.jobs.counts();
-    let body = Json::object([
+    let mut pairs = vec![
         status_pair("ok"),
         ("workers".to_string(), Json::UInt(state.config.workers as u64)),
         ("queue_depth".to_string(), Json::UInt(state.queue.len() as u64)),
@@ -375,8 +479,27 @@ fn healthz(state: &Shared) -> Response {
                 ("failed".to_string(), Json::UInt(failed)),
             ]),
         ),
-    ]);
-    Response::json(200, body.to_json())
+    ];
+    if state.fleet.is_fleet() {
+        let members = state
+            .fleet
+            .members()
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let status = if i == state.fleet.self_index() {
+                    "self"
+                } else if state.fleet.is_alive(i) {
+                    "up"
+                } else {
+                    "down"
+                };
+                (addr.clone(), Json::Str(status.to_string()))
+            })
+            .collect::<Vec<_>>();
+        pairs.push(("peers".to_string(), Json::object(members)));
+    }
+    Response::json(200, Json::object(pairs).to_json())
 }
 
 /// Whether the request's `Accept` header asks for Prometheus text
@@ -402,6 +525,21 @@ fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
         state.metrics.gauge("server.trace_cache", "misses", counters.misses as f64);
         state.metrics.gauge("server.trace_cache", "bytes", counters.bytes as f64);
     }
+    if state.results.enabled() {
+        let counters = state.results.counters();
+        state.metrics.gauge("server.result_cache", "hits", counters.hits as f64);
+        state.metrics.gauge("server.result_cache", "disk_hits", counters.disk_hits as f64);
+        state.metrics.gauge("server.result_cache", "misses", counters.misses as f64);
+        state.metrics.gauge("server.result_cache", "bytes", counters.bytes as f64);
+    }
+    for member in 0..state.fleet.members().len() {
+        let up = if state.fleet.is_alive(member) { 1.0 } else { 0.0 };
+        state.metrics.gauge(
+            &format!("server.peers.{}", state.fleet.metric_label(member)),
+            "up",
+            up,
+        );
+    }
     // `server.started` (recorded at bind) guarantees the `server.*`
     // namespace is present even in the very first scrape; this request's
     // own counter lands in the *next* snapshot via handle_connection.
@@ -416,11 +554,56 @@ fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
     Response::json(200, snapshot.to_json().to_json())
 }
 
-fn submit(state: &Shared, body: &[u8]) -> Response {
+/// Seconds a rejected client should wait before retrying, derived from
+/// the live drain rate: `ceil(queued × mean job latency / workers)`,
+/// clamped to `1..=60`. Before any job has finished (no latency history)
+/// each queued job is assumed to take one second.
+fn retry_after_hint(state: &Shared) -> u64 {
+    // +1 for the job that was just bounced: the client retries behind
+    // everything currently queued.
+    let queued = state.queue.len() as u64 + 1;
+    let mean_ms = state
+        .metrics
+        .get_histogram("server.job_latency_ms")
+        .map(|h| h.mean())
+        .filter(|&mean| mean > 0.0)
+        .unwrap_or(1000.0);
+    let workers = state.config.workers.max(1) as f64;
+    let seconds = (queued as f64 * mean_ms / workers / 1000.0).ceil() as u64;
+    seconds.clamp(1, 60)
+}
+
+/// Whether this request already made its one proxy hop — such requests
+/// are always handled locally, which is what bounds a stale ring view at
+/// one extra hop instead of a forwarding loop.
+fn is_forwarded(request: &Request) -> bool {
+    request.header(peers::FORWARDED_HEADER).is_some()
+}
+
+/// Proxies `request` to `member`, falling back to `None` (and marking
+/// the peer dead) when the hop fails, so the caller degrades to local
+/// handling instead of surfacing a peer's failure to the client.
+fn proxy_or_mark_dead(state: &Shared, member: usize, request: &Request) -> Option<Response> {
+    match state.fleet.proxy(member, request) {
+        Some(response) => {
+            state.metrics.counter("server.peers", "proxied", 1);
+            Some(response)
+        }
+        None => {
+            state.metrics.counter("server.peers", "proxy_errors", 1);
+            if state.fleet.set_alive(member, false) {
+                state.metrics.counter("server.peers", "health_flips", 1);
+            }
+            None
+        }
+    }
+}
+
+fn submit(state: &Shared, request: &Request) -> Response {
     if state.should_shutdown() {
         return Response::retry_after(503, error_body("server is shutting down"), 1);
     }
-    let text = match std::str::from_utf8(body) {
+    let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => return Response::json(400, error_body("body is not UTF-8")),
     };
@@ -432,6 +615,37 @@ fn submit(state: &Shared, body: &[u8]) -> Response {
         Ok(spec) => spec,
         Err(e) => return Response::json(400, error_body(&e)),
     };
+
+    // Fleet routing: the spec's canonical hash names exactly one owner;
+    // everyone else proxies a single hop. A failed hop degrades to
+    // running the job locally.
+    let hash = spec.canonical_hash();
+    if state.fleet.is_fleet() && !is_forwarded(request) {
+        let owner = state.fleet.owner_of(hash);
+        if owner != state.fleet.self_index() {
+            if let Some(response) = proxy_or_mark_dead(state, owner, request) {
+                return response;
+            }
+        }
+    }
+
+    // Result cache: a deterministic spec answered before is a dictionary
+    // lookup — the job record materializes already done and the result
+    // is inlined, no queue or worker involved.
+    if spec.deterministic_result() {
+        if let Some(result) = state.results.get(hash, &spec.canonical()) {
+            state.metrics.counter("server.jobs", "cached", 1);
+            let id = state.jobs.create_done(spec, result.clone());
+            let body = Json::object([
+                ("job".to_string(), Json::UInt(id)),
+                status_pair("done"),
+                ("cached".to_string(), Json::Bool(true)),
+                ("result".to_string(), result),
+            ]);
+            return Response::json(200, body.to_json());
+        }
+    }
+
     let id = state.jobs.create(spec.clone());
     match state.queue.try_push((id, spec)) {
         Ok(depth) => {
@@ -446,16 +660,31 @@ fn submit(state: &Shared, body: &[u8]) -> Response {
         Err(_) => {
             state.jobs.remove(id);
             state.metrics.counter("server.queue", "rejected", 1);
-            Response::retry_after(503, error_body("queue full"), 1)
+            Response::retry_after(503, error_body("queue full"), retry_after_hint(state))
         }
     }
 }
 
-fn job_status(state: &Shared, path: &str) -> Response {
+fn job_status(state: &Shared, request: &Request, path: &str) -> Response {
     let id_text = &path["/jobs/".len()..];
     let Ok(id) = id_text.parse::<u64>() else {
         return Response::json(400, error_body("job id must be an integer"));
     };
+    // In a fleet the id encodes its owner; ids minted elsewhere are
+    // proxied one hop to the member that holds the record.
+    let owner = JobTable::owner_of(id, state.fleet.stride()) as usize;
+    if state.fleet.is_fleet() && owner != state.fleet.self_index() && !is_forwarded(request) {
+        if let Some(response) = proxy_or_mark_dead(state, owner, request) {
+            return response;
+        }
+        return Response::json(
+            502,
+            error_body(&format!(
+                "job {id} belongs to unreachable fleet member {}",
+                state.fleet.members().get(owner).map(String::as_str).unwrap_or("?")
+            )),
+        );
+    }
     match state.jobs.get_json(id) {
         Some(doc) => Response::json(200, doc.to_json()),
         None => Response::json(404, error_body(&format!("no job {id}"))),
@@ -514,11 +743,15 @@ mod tests {
 
     fn test_state(queue_depth: usize) -> Shared {
         Shared {
-            config: ServerConfig { queue_depth, ..ServerConfig::default() },
+            // Pin workers so tests that exercise the Retry-After math are
+            // independent of the host's core count.
+            config: ServerConfig { queue_depth, workers: 4, ..ServerConfig::default() },
             queue: BoundedQueue::new(queue_depth),
             jobs: JobTable::new(),
             metrics: SharedRegistry::new(),
             sweeps: SweepPool::new(None),
+            results: ResultCache::new(8, None),
+            fleet: Fleet::standalone(),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
         }
@@ -578,10 +811,93 @@ mod tests {
         assert_eq!(post(&state, "/run", r#"{"experiment": "bench"}"#).status, 202);
         let rejected = post(&state, "/run", r#"{"experiment": "bench"}"#);
         assert_eq!(rejected.status, 503);
+        // No latency history yet: 2 outstanding × 1s assumed / 4 workers,
+        // ceiled — the minimum hint.
         assert_eq!(rejected.retry_after, Some(1));
         // The rejected job's record was rolled back.
         assert_eq!(get(&state, "/jobs/2").status, 404);
         assert_eq!(state.jobs.counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn retry_after_tracks_queue_depth_and_drain_rate() {
+        let state = test_state(32);
+        // 9 queued + the bounced one = 10 outstanding; no history yet →
+        // assume 1s each over 4 workers: ceil(10/4) = 3.
+        for _ in 0..9 {
+            assert_eq!(post(&state, "/run", r#"{"experiment": "bench"}"#).status, 202);
+        }
+        assert_eq!(retry_after_hint(&state), 3);
+        // Jobs observed to finish in ~2s each: ceil(10 × 2 / 4) = 5.
+        state.metrics.observe("server", "job_latency_ms", 2000);
+        assert_eq!(retry_after_hint(&state), 5);
+        // Fast drain (40ms jobs): clamps up to the 1-second floor.
+        let state = test_state(32);
+        state.metrics.observe("server", "job_latency_ms", 40);
+        assert_eq!(retry_after_hint(&state), 1);
+        // Pathological backlog: capped at 60 so clients do retry.
+        let state = test_state(512);
+        for _ in 0..500 {
+            assert_eq!(post(&state, "/run", r#"{"experiment": "bench"}"#).status, 202);
+        }
+        state.metrics.observe("server", "job_latency_ms", 10_000);
+        assert_eq!(retry_after_hint(&state), 60);
+    }
+
+    #[test]
+    fn repeated_deterministic_specs_hit_the_result_cache() {
+        let state = test_state(4);
+        let spec = r#"{"experiment": "table3-1", "trace_len": 300}"#;
+        let first = post(&state, "/run", spec);
+        assert_eq!(first.status, 202, "cold cache: the job must queue");
+        state.queue.close();
+        worker_loop(&state);
+        let done = Json::parse(&get(&state, "/jobs/1").body).unwrap();
+        let uncached_result = done.get("result").unwrap().to_json();
+
+        // Same spec, noisy formatting: answered inline from the cache.
+        let second = post(&state, "/run", r#"{ "trace_len": 300, "experiment": "table3-1" }"#);
+        assert_eq!(second.status, 200);
+        let doc = Json::parse(&second.body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            doc.get("result").unwrap().to_json(),
+            uncached_result,
+            "cached result must be byte-identical to the uncached run"
+        );
+        // The materialized record is queryable like any other job.
+        let record = Json::parse(&get(&state, "/jobs/2").body).unwrap();
+        assert_eq!(record.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(state.results.counters().hits, 1);
+        let snapshot = state.metrics.snapshot();
+        assert_eq!(snapshot.get_counter("server.jobs.cached"), Some(1));
+        assert_eq!(
+            snapshot.get_counter("server.sweep_pool.misses"),
+            Some(1),
+            "the cache hit must not touch the sweep pool"
+        );
+
+        // A spec differing in any canonical field misses: it falls
+        // through to the queue path (503 here only because this test
+        // already closed the queue) instead of being answered inline.
+        let miss = post(&state, "/run", r#"{"experiment": "table3-1", "trace_len": 301}"#);
+        assert_ne!(miss.status, 200, "different trace_len must be a cache miss");
+        assert_eq!(state.results.counters().misses, 2, "cold lookup + changed-field lookup");
+    }
+
+    #[test]
+    fn bench_jobs_bypass_the_result_cache() {
+        let state = test_state(4);
+        let spec = r#"{"experiment": "bench", "trace_len": 300}"#;
+        assert_eq!(post(&state, "/run", spec).status, 202);
+        state.queue.close();
+        worker_loop(&state);
+        // Identical bench spec: routed back to the queue path (never
+        // answered inline) — its report carries wall-clock measurements.
+        assert_ne!(post(&state, "/run", spec).status, 200);
+        let counters = state.results.counters();
+        assert_eq!((counters.hits, counters.misses), (0, 0), "bench never consults the cache");
     }
 
     #[test]

@@ -46,7 +46,12 @@ pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
 
 /// FNV-1a over a byte slice — stable across platforms and processes, which
 /// makes it usable both for chunk checksums and for cache-key hashing.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+///
+/// Public because it is the workspace's one content-addressing hash: trace
+/// chunks, [`crate::TraceKey`]s, the server's result cache and its
+/// consistent-hash ring all key off the same function, so any two
+/// processes agree on what a given spec hashes to.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

@@ -103,6 +103,8 @@
 //! [`TraceColumns::prepare`]: fetchvp_trace::TraceColumns::prepare
 //! [`fetchvp_core::BatchRunner`]: fetchvp_core::BatchRunner
 
+#![deny(missing_docs)]
+
 pub mod cache;
 mod format;
 mod reader;
@@ -110,7 +112,7 @@ mod replay;
 mod writer;
 
 pub use cache::{CacheCounters, TraceDir, TraceKey};
-pub use format::{ChunkMeta, DEFAULT_CHUNK_LEN, FORMAT_VERSION, MAGIC};
+pub use format::{fnv1a, ChunkMeta, DEFAULT_CHUNK_LEN, FORMAT_VERSION, MAGIC};
 pub use reader::{ChunkCursor, TraceStore};
 pub use replay::{run_batch_store, stream_store_stats};
 pub use writer::{stream_program_to_store, write_store, StoreSummary, StoreWriter};

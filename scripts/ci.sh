@@ -86,4 +86,10 @@ done
 echo "== server smoke"
 ./scripts/server_smoke.sh
 
+# Fleet serving under load: a two-member --peers fleet, warmed result
+# cache, open-loop loadgen, floor-RPS gate (warn-only — wall-clock on
+# shared hosts is noisy; see EXPERIMENTS.md "Load testing").
+echo "== loadgen smoke"
+BENCH_WARN_ONLY=1 ./scripts/loadgen_smoke.sh
+
 echo "== CI green"

@@ -274,6 +274,139 @@ fn full_queue_answers_503_and_accepted_jobs_still_finish() {
     shutdown(addr, handle);
 }
 
+/// The result cache makes a repeated deterministic spec a dictionary
+/// lookup: the second POST of an identical spec (even reformatted) is
+/// answered inline with a byte-identical result, without any new
+/// sweep-pool or worker activity; changing any canonical field misses.
+#[test]
+fn identical_specs_hit_the_result_cache() {
+    let (addr, handle) =
+        start(ServerConfig { workers: 1, queue_depth: 8, ..ServerConfig::default() });
+    let spec = r#"{"experiment": "table3-1", "trace_len": 1000, "seed": 9}"#;
+
+    // Cold: the job queues and a worker simulates it.
+    let cold = request(addr, "POST", "/run", Some(spec));
+    assert_eq!(cold.status, 202, "{}", cold.body);
+    let id = cold.json().get("job").and_then(Json::as_u64).unwrap();
+    let uncached = wait_for_job(addr, id);
+    assert_eq!(uncached.get("status").and_then(Json::as_str), Some("done"));
+    let uncached_result = uncached.get("result").expect("result document").to_json();
+
+    let counters_before = request(addr, "GET", "/metrics", None).json();
+    let pool_work = |doc: &Json| {
+        let counter = |name: &str| {
+            doc.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+        };
+        counter("server.sweep_pool.hits") + counter("server.sweep_pool.misses")
+    };
+
+    // Warm: same spec with different formatting and explicit defaults —
+    // answered inline, result byte-identical, no new pool work.
+    let reformatted = r#"{ "seed": 9, "experiment": "table3-1", "trace_len": 1000, "jobs": 1 }"#;
+    let warm = request(addr, "POST", "/run", Some(reformatted));
+    assert_eq!(warm.status, 200, "cache hit answers inline: {}", warm.body);
+    let doc = warm.json();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(doc.get("cached").map(Json::to_json), Some("true".to_string()));
+    assert_eq!(
+        doc.get("result").expect("inlined result").to_json(),
+        uncached_result,
+        "cached result must be byte-identical to the uncached run"
+    );
+    // The materialized job record is fetchable and byte-identical too.
+    let hit_id = doc.get("job").and_then(Json::as_u64).unwrap();
+    let record = wait_for_job(addr, hit_id);
+    assert_eq!(record.get("result").unwrap().to_json(), uncached_result);
+
+    let metrics = request(addr, "GET", "/metrics", None).json();
+    assert_eq!(
+        pool_work(&metrics),
+        pool_work(&counters_before),
+        "a cache hit must not create sweep-pool work"
+    );
+    let counter = |name: &str| {
+        metrics.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    assert_eq!(counter("server.jobs.cached"), 1);
+    assert_eq!(counter("server.jobs.completed"), 1, "only the cold job ran");
+    let gauge = |name: &str| {
+        metrics.get("gauges").and_then(|g| g.get(name)).and_then(Json::as_f64).unwrap_or(-1.0)
+    };
+    assert_eq!(gauge("server.result_cache.hits"), 1.0);
+    assert!(gauge("server.result_cache.misses") >= 1.0, "the cold lookup was a miss");
+
+    // Any canonical field changing is a miss: the job queues again.
+    for changed in [
+        r#"{"experiment": "table3-1", "trace_len": 1001, "seed": 9}"#,
+        r#"{"experiment": "table3-1", "trace_len": 1000, "seed": 10}"#,
+        r#"{"experiment": "table3-1", "trace_len": 1000, "seed": 9, "jobs": 2}"#,
+        r#"{"experiment": "accuracy", "trace_len": 1000, "seed": 9}"#,
+    ] {
+        let miss = request(addr, "POST", "/run", Some(changed));
+        assert_eq!(miss.status, 202, "changed field must miss: {changed}");
+        let id = miss.json().get("job").and_then(Json::as_u64).unwrap();
+        wait_for_job(addr, id);
+    }
+
+    shutdown(addr, handle);
+}
+
+/// Keep-alive audit: the daemon serves exactly one request per
+/// connection, so every response — success *and* every error path — must
+/// carry `Connection: close`, and `503`s must carry a `Retry-After`
+/// derived from the live queue state (at least 1 second).
+#[test]
+fn every_path_closes_the_connection_and_503_hints_a_retry() {
+    let (addr, handle) =
+        start(ServerConfig { workers: 1, queue_depth: 8, ..ServerConfig::default() });
+
+    let paths: &[(&str, &str, Option<&str>, u16)] = &[
+        ("GET", "/healthz", None, 200),
+        ("POST", "/run", Some(r#"{"experiment": "fig9-9"}"#), 400),
+        ("GET", "/jobs/424242", None, 404),
+        ("PUT", "/run", Some("{}"), 405),
+        ("GET", "/nope", None, 404),
+    ];
+    for (method, path, body, expected) in paths {
+        let reply = request(addr, method, path, *body);
+        assert_eq!(reply.status, *expected, "{method} {path}");
+        assert_eq!(
+            reply.header("Connection"),
+            Some("close"),
+            "{method} {path} ({expected}) must tell keep-alive clients to hang up"
+        );
+    }
+    // An oversized declared body is rejected while reading — with the
+    // close header intact on the 413.
+    let huge = request_with_declared_length(addr, 10 * 1024 * 1024);
+    assert_eq!(huge.status, 413);
+    assert_eq!(huge.header("Connection"), Some("close"));
+
+    shutdown(addr, handle);
+}
+
+/// A POST /run whose `Content-Length` declares `declared` bytes but only
+/// sends a few — exercises the header-time body-size rejection.
+fn request_with_declared_length(addr: SocketAddr, declared: usize) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!("POST /run HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {declared}\r\n\r\n");
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(b"{}").expect("write partial body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("response is UTF-8");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response has a blank line");
+    let mut lines = head.split("\r\n");
+    let status: u16 =
+        lines.next().and_then(|l| l.split_whitespace().nth(1)).unwrap().parse().unwrap();
+    let headers = lines
+        .filter_map(|line| line.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Reply { status, headers, body: body.to_string() }
+}
+
 /// The on-disk trace cache survives daemon restarts: a second server
 /// pointed at the same `--trace-dir` must replay every trace from disk
 /// without generating anything (all hits, zero misses, and a
@@ -336,10 +469,17 @@ fn warm_trace_dir_serves_a_restarted_daemon_without_regenerating() {
 
 /// The sweep pool keeps traces warm across requests: two identical specs
 /// must hit the pool the second time (visible in the hit/miss counters).
+/// The result cache is disabled here so the second job actually reaches a
+/// worker — with caching on it would be answered inline and never touch
+/// the pool (covered by `identical_specs_hit_the_result_cache`).
 #[test]
 fn repeated_specs_hit_the_sweep_pool() {
-    let (addr, handle) =
-        start(ServerConfig { workers: 1, queue_depth: 8, ..ServerConfig::default() });
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        result_cache_entries: 0,
+        ..ServerConfig::default()
+    });
     let spec = r#"{"experiment": "table3-1", "trace_len": 1000, "seed": 9}"#;
     for _ in 0..2 {
         let reply = request(addr, "POST", "/run", Some(spec));
