@@ -14,10 +14,14 @@
 //!                        │  └── try_parse ⇒ incomplete ──┘
 //!                        │
 //!                        │ try_parse ⇒ Request ─▶ route()
-//!                        ▼
-//!                      Writing ── POLLOUT / write() ──▶ close
-//!                        │
-//!                        └── deadline exceeded ────────▶ close
+//!                        │                          │
+//!                        │        fleet proxy hop ──┤
+//!                        ▼                          ▼
+//!                 AwaitingProxy ── helper ──▶   Writing
+//!                 (parked; hop runs on the        │ POLLOUT / write()
+//!                  proxy helper pool)             ▼
+//!                        │                      close
+//!                        └── deadline exceeded ──▶ 502 ─▶ Writing
 //! ```
 //!
 //! Reads accumulate into a per-connection buffer fed to
@@ -27,19 +31,22 @@
 //! read/write timeouts), enforced every poll tick, so a stalled client
 //! costs one pollfd entry — not a parked thread, which is what limited
 //! the thread-per-connection daemon to `max_connections` concurrent
-//! clients. Route handlers still run inline on the loop thread; they are
-//! queue pushes and table lookups (simulation happens on the worker
-//! pool), so the loop never blocks on simulation work.
+//! clients. Route handlers run inline on the loop thread only because
+//! they never block: queue pushes and table lookups (simulation happens
+//! on the worker pool), while fleet proxy hops — blocking network I/O —
+//! are parked on the proxy helper pool and the connection waits in
+//! `AwaitingProxy` until the upstream response lands, so a slow or dead
+//! peer stalls its own request, never the loop.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::http::{self, error_body, RequestError, Response};
-use crate::Shared;
+use crate::{ProxySlot, Routed, Shared};
 
 /// Readable readiness (and `POLLHUP`-with-pending-data on Linux).
 const POLLIN: i16 = 0x001;
@@ -53,8 +60,14 @@ const POLLHUP: i16 = 0x010;
 const POLLNVAL: i16 = 0x020;
 
 /// Poll timeout: the loop wakes at least this often to check the
-/// shutdown flag and connection deadlines.
+/// shutdown flag, connection deadlines and parked proxy responses.
 const POLL_TICK_MS: i32 = 50;
+
+/// How long a connection may wait in `AwaitingProxy` before it is
+/// answered `502`. Covers the helper pool's worst case — queue wait plus
+/// connect (500 ms) and I/O (2 s) timeouts — with margin; a hop slower
+/// than this has already been failed over by the helper.
+const PROXY_WAIT: Duration = Duration::from_secs(8);
 
 /// How long shutdown waits for in-flight response bytes to flush.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
@@ -83,6 +96,9 @@ struct Conn {
     written: usize,
     /// `false` = Reading phase, `true` = Writing phase.
     writing: bool,
+    /// `AwaitingProxy`: a helper thread fills this slot with the proxied
+    /// response; until then the connection is parked (no read interest).
+    pending: Option<Arc<ProxySlot>>,
     /// When the current phase times out.
     deadline: Instant,
     /// When the connection was accepted — the request-latency clock.
@@ -100,15 +116,19 @@ impl Conn {
             out: Vec::new(),
             written: 0,
             writing: false,
+            pending: None,
             deadline: now + read_timeout,
             started: now,
             done: false,
         }
     }
 
-    /// The events this connection waits for.
+    /// The events this connection waits for. A parked connection asks
+    /// for nothing — errors and hangups are reported regardless.
     fn interest(&self) -> i16 {
-        if self.writing {
+        if self.pending.is_some() {
+            0
+        } else if self.writing {
             POLLOUT
         } else {
             POLLIN
@@ -123,6 +143,21 @@ impl Conn {
         if revents & (POLLERR | POLLNVAL) != 0 {
             state.metrics.counter("server.requests", "io_error", 1);
             self.done = true;
+            return;
+        }
+        if let Some(slot) = &self.pending {
+            let arrived = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+            if let Some(response) = arrived {
+                self.pending = None;
+                self.start_write(response, state);
+            } else if now >= self.deadline {
+                // The hop outlived even the helper pool's worst case;
+                // answer rather than leave the client hanging. The
+                // helper's eventual response fills a slot nobody reads.
+                state.metrics.counter("server.peers", "proxy_timeouts", 1);
+                self.pending = None;
+                self.start_write(Response::json(502, error_body("fleet proxy timed out")), state);
+            }
             return;
         }
         if self.writing {
@@ -163,7 +198,22 @@ impl Conn {
         }
         let response = match http::try_parse(&self.buf, state.config.max_body_bytes) {
             Ok(None) => return, // keep reading
-            Ok(Some(request)) => crate::respond(state, &request, self.started),
+            Ok(Some(request)) => match crate::respond_or_proxy(state, &request, self.started) {
+                Routed::Ready(response) => response,
+                // A fleet proxy hop: blocking I/O that must not run on
+                // this thread. Park the connection; a helper completes
+                // it and drive() picks the response up next tick.
+                Routed::Proxy { member } => {
+                    match state.dispatch_proxy(member, request, self.started) {
+                        Ok(slot) => {
+                            self.pending = Some(slot);
+                            self.deadline = Instant::now() + PROXY_WAIT;
+                            return;
+                        }
+                        Err(response) => response,
+                    }
+                }
+            },
             Err(RequestError::TooLarge(what)) => {
                 state.metrics.counter("server.requests", "too_large.413", 1);
                 Response::json(413, error_body(&format!("{what} too large")))
@@ -230,6 +280,15 @@ fn accept_ready(listener: &TcpListener, conns: &mut Vec<Conn>, state: &Shared) -
             // aborted between readiness and accept) must not kill the
             // daemon.
             Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {}
+            // EMFILE (24) / ENFILE (23): fd exhaustion under a
+            // connection flood is transient — closing connections free
+            // descriptors within a tick or two. Pause accepting instead
+            // of exiting serve() and killing the daemon.
+            Err(e) if matches!(e.raw_os_error(), Some(23 | 24)) => {
+                state.metrics.counter("server.connections", "accept_throttled", 1);
+                break;
+            }
             Err(e) => return Err(e),
         }
     }

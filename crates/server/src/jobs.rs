@@ -4,12 +4,15 @@
 //! worker moves it through [`JobStatus::Running`] to [`JobStatus::Done`]
 //! (or [`JobStatus::Failed`] — job panics are isolated with
 //! `catch_unwind` and recorded here instead of killing the worker), and
-//! `GET /jobs/<id>` serializes the record. Records are kept for the
-//! lifetime of the daemon; at the trace lengths the spec admits, results
-//! are small JSON documents, and a bounded queue already rate-limits how
-//! fast they can accumulate.
+//! `GET /jobs/<id>` serializes the record. Live records (queued or
+//! running) are never evicted — the `202` contract — but terminal ones
+//! are retained only up to [`MAX_TERMINAL_RECORDS`], oldest-completed
+//! first, so a long-lived daemon's job table stays bounded no matter how
+//! many jobs flow through it; a record evicted before its client polled
+//! it answers `404`, and the client re-submits (deterministic repeats
+//! are then result-cache hits).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -79,6 +82,21 @@ impl JobRecord {
     }
 }
 
+/// How many terminal (done/failed) records a table retains by default
+/// before the oldest-completed are evicted. Result documents are a few
+/// KiB each, so the ceiling bounds the table at a few tens of MB while
+/// still giving a polling client minutes of slack at any realistic
+/// drain rate.
+pub const MAX_TERMINAL_RECORDS: usize = 4096;
+
+/// The records plus the completion-order ring that bounds them.
+#[derive(Debug)]
+struct Records {
+    by_id: HashMap<u64, JobRecord>,
+    /// Terminal ids oldest-completed first — the eviction order.
+    terminal: VecDeque<u64>,
+}
+
 /// Thread-safe id allocation and record storage.
 ///
 /// In a fleet, job ids double as a routing tag: a table built with
@@ -92,7 +110,8 @@ pub struct JobTable {
     next_serial: AtomicU64,
     stride: u64,
     offset: u64,
-    records: Mutex<HashMap<u64, JobRecord>>,
+    terminal_cap: usize,
+    records: Mutex<Records>,
 }
 
 impl Default for JobTable {
@@ -119,8 +138,17 @@ impl JobTable {
             next_serial: AtomicU64::new(1),
             stride,
             offset,
-            records: Mutex::new(HashMap::new()),
+            terminal_cap: MAX_TERMINAL_RECORDS,
+            records: Mutex::new(Records { by_id: HashMap::new(), terminal: VecDeque::new() }),
         }
+    }
+
+    /// Overrides how many terminal records are retained (clamped to at
+    /// least 1) — eviction tuning, and how tests exercise it without
+    /// completing [`MAX_TERMINAL_RECORDS`] jobs.
+    pub fn with_terminal_cap(mut self, cap: usize) -> JobTable {
+        self.terminal_cap = cap.max(1);
+        self
     }
 
     /// The member index encoded in `id` for a `stride`-member fleet.
@@ -132,7 +160,7 @@ impl JobTable {
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, HashMap<u64, JobRecord>> {
+    fn lock(&self) -> MutexGuard<'_, Records> {
         self.records.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -140,64 +168,68 @@ impl JobTable {
         self.next_serial.fetch_add(1, Ordering::Relaxed) * self.stride + self.offset
     }
 
+    /// Records `id` as terminal and evicts the oldest-completed records
+    /// beyond the cap. Must run under the table lock.
+    fn retire(&self, records: &mut Records, id: u64) {
+        records.terminal.push_back(id);
+        while records.terminal.len() > self.terminal_cap {
+            if let Some(evicted) = records.terminal.pop_front() {
+                records.by_id.remove(&evicted);
+            }
+        }
+    }
+
     /// Allocates an id and inserts a [`JobStatus::Queued`] record.
     pub fn create(&self, spec: JobSpec) -> u64 {
         let id = self.next_id();
         let record = JobRecord { id, spec, status: JobStatus::Queued, result: None, error: None };
-        self.lock().insert(id, record);
-        id
-    }
-
-    /// Allocates an id and inserts a record that is already
-    /// [`JobStatus::Done`] — how a result-cache hit materializes a job
-    /// that never touched the queue.
-    pub fn create_done(&self, spec: JobSpec, result: Json) -> u64 {
-        let id = self.next_id();
-        let record =
-            JobRecord { id, spec, status: JobStatus::Done, result: Some(result), error: None };
-        self.lock().insert(id, record);
+        self.lock().by_id.insert(id, record);
         id
     }
 
     /// Removes a record — the rollback when the queue rejects the push
     /// that was supposed to follow [`JobTable::create`].
     pub fn remove(&self, id: u64) {
-        self.lock().remove(&id);
+        self.lock().by_id.remove(&id);
     }
 
     /// Marks a job running.
     pub fn set_running(&self, id: u64) {
-        if let Some(record) = self.lock().get_mut(&id) {
+        if let Some(record) = self.lock().by_id.get_mut(&id) {
             record.status = JobStatus::Running;
         }
     }
 
     /// Marks a job done with its result document.
     pub fn finish(&self, id: u64, result: Json) {
-        if let Some(record) = self.lock().get_mut(&id) {
+        let mut records = self.lock();
+        if let Some(record) = records.by_id.get_mut(&id) {
             record.status = JobStatus::Done;
             record.result = Some(result);
+            self.retire(&mut records, id);
         }
     }
 
     /// Marks a job failed with a message.
     pub fn fail(&self, id: u64, error: String) {
-        if let Some(record) = self.lock().get_mut(&id) {
+        let mut records = self.lock();
+        if let Some(record) = records.by_id.get_mut(&id) {
             record.status = JobStatus::Failed;
             record.error = Some(error);
+            self.retire(&mut records, id);
         }
     }
 
     /// The record's wire document, if the id exists.
     pub fn get_json(&self, id: u64) -> Option<Json> {
-        self.lock().get(&id).map(JobRecord::to_json)
+        self.lock().by_id.get(&id).map(JobRecord::to_json)
     }
 
     /// `(queued, running, done, failed)` record counts — the health
     /// endpoint's summary.
     pub fn counts(&self) -> (u64, u64, u64, u64) {
         let mut counts = (0, 0, 0, 0);
-        for record in self.lock().values() {
+        for record in self.lock().by_id.values() {
             match record.status {
                 JobStatus::Queued => counts.0 += 1,
                 JobStatus::Running => counts.1 += 1,
@@ -262,13 +294,21 @@ mod tests {
     }
 
     #[test]
-    fn create_done_skips_the_queue() {
-        let table = JobTable::new();
-        let id = table.create_done(spec(), Json::UInt(9));
-        let doc = table.get_json(id).unwrap();
-        assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
-        assert_eq!(doc.get("result").and_then(Json::as_u64), Some(9));
-        assert_eq!(table.counts(), (0, 0, 1, 0));
+    fn terminal_records_beyond_the_cap_are_evicted_oldest_first() {
+        let table = JobTable::new().with_terminal_cap(2);
+        let first = table.create(spec());
+        table.finish(first, Json::UInt(1));
+        let second = table.create(spec());
+        table.fail(second, "boom".to_string());
+        // A live record never counts against the terminal cap.
+        let live = table.create(spec());
+        let third = table.create(spec());
+        table.finish(third, Json::UInt(3));
+        assert!(table.get_json(first).is_none(), "oldest terminal record must be evicted");
+        assert!(table.get_json(second).is_some());
+        assert!(table.get_json(third).is_some());
+        assert!(table.get_json(live).is_some(), "queued records are exempt from eviction");
+        assert_eq!(table.counts(), (1, 0, 1, 1));
     }
 
     #[test]

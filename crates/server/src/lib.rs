@@ -36,6 +36,10 @@
 //!   ([`ServerConfig::queue_depth`]); when full, `/run` answers `503`
 //!   immediately with a `Retry-After` derived from the observed drain
 //!   rate, and never blocks the event loop.
+//! * **The event loop never blocks on a peer** — fleet proxy hops are
+//!   blocking network I/O, so they run on a dedicated helper pool while
+//!   the proxied connection parks; a slow or dead peer stalls at most
+//!   its own requests, never every connection on the member.
 //! * **Isolation** — a panicking job marks itself `failed` and the worker
 //!   lives on; a panicking worker can never take `GET /metrics` down
 //!   (the registry lock is poison-proof).
@@ -169,6 +173,28 @@ impl SweepPool {
     }
 }
 
+/// How many helper threads run blocking proxy hops in fleet mode. Each
+/// hop is one loopback/rack round-trip, so a handful of threads covers
+/// thousands of hops per second; a saturated pool degrades to local
+/// execution, never to blocking the event loop.
+const PROXY_WORKERS: usize = 4;
+
+/// How many proxy hops may be parked waiting for a helper; beyond it,
+/// requests fall back to local handling immediately.
+const PROXY_QUEUE_DEPTH: usize = 64;
+
+/// The slot a proxy helper fills once its hop completes; the owning
+/// connection polls it from the event loop.
+type ProxySlot = Mutex<Option<Response>>;
+
+/// One proxy hop parked off the event loop.
+struct ProxyTask {
+    member: usize,
+    request: Request,
+    started: Instant,
+    slot: Arc<ProxySlot>,
+}
+
 /// State shared by the event loop, connection handlers and pool workers.
 struct Shared {
     config: ServerConfig,
@@ -178,6 +204,7 @@ struct Shared {
     sweeps: SweepPool,
     results: ResultCache,
     fleet: Fleet,
+    proxies: BoundedQueue<ProxyTask>,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
 }
@@ -185,6 +212,30 @@ struct Shared {
 impl Shared {
     fn should_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || signals::terminated()
+    }
+
+    /// Parks a proxy hop on the helper pool. `Err` carries the response
+    /// when the hop could not be parked (saturated pool): the request is
+    /// completed locally instead — computed without blocking I/O, and
+    /// already metered.
+    #[cfg(unix)]
+    fn dispatch_proxy(
+        &self,
+        member: usize,
+        request: Request,
+        started: Instant,
+    ) -> Result<Arc<ProxySlot>, Response> {
+        let slot = Arc::new(Mutex::new(None));
+        let task = ProxyTask { member, request, started, slot: Arc::clone(&slot) };
+        match self.proxies.try_push(task) {
+            Ok(_) => Ok(slot),
+            Err(task) => {
+                self.metrics.counter("server.peers", "proxy_overflow", 1);
+                let response = proxy_fallback(self, &task.request);
+                finish_request(self, &task.request, &response, task.started);
+                Err(response)
+            }
+        }
     }
 }
 
@@ -216,6 +267,7 @@ impl Server {
             sweeps: SweepPool::new(trace_dir),
             results,
             fleet,
+            proxies: BoundedQueue::new(PROXY_QUEUE_DEPTH),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
             config,
@@ -248,13 +300,32 @@ impl Server {
                 .spawn(move || health_loop(&state))
                 .expect("spawn health checker")
         });
+        // Proxy hops are blocking network I/O; in fleet mode they run on
+        // this pool so they can never stall the event loop.
+        let proxy_helpers: Vec<_> = if self.state.fleet.is_fleet() {
+            (0..PROXY_WORKERS)
+                .map(|i| {
+                    let state = Arc::clone(&self.state);
+                    std::thread::Builder::new()
+                        .name(format!("fetchvp-proxy-{i}"))
+                        .spawn(move || proxy_loop(&state))
+                        .expect("spawn proxy helper")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let served = serve_connections(&self.listener, &self.state);
 
         // Graceful shutdown: reject new work, drain everything admitted.
         self.state.queue.close();
+        self.state.proxies.close();
         for worker in workers {
             let _ = worker.join();
+        }
+        for helper in proxy_helpers {
+            let _ = helper.join();
         }
         if let Some(checker) = health_checker {
             let _ = checker.join();
@@ -375,13 +446,26 @@ fn worker_loop(state: &Shared) {
 /// lines (`FETCHVP_LOG=server=info`) across requests.
 static REQUEST_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
-/// Routes one parsed request and records the per-request metrics and
-/// access log line — the single entry point shared by the event loop and
-/// the threaded fallback. `started` is when the connection began reading,
-/// so `server.request_latency_us` includes request-receive time.
-fn respond(state: &Shared, request: &Request, started: Instant) -> Response {
+/// What routing decided: most requests complete inline on the calling
+/// thread, but a fleet proxy hop is blocking network I/O that must never
+/// run on the event-loop thread, so it is handed back to the caller.
+enum Routed {
+    /// The response is ready to write.
+    Ready(Response),
+    /// Forward one hop to fleet member `member` (off the event loop),
+    /// falling back to [`proxy_fallback`] when the hop fails.
+    Proxy {
+        /// The owning member's index in the fleet list.
+        member: usize,
+    },
+}
+
+/// Records the per-request metrics and access log line once a response
+/// is ready — the completion half of every routing path. `started` is
+/// when the connection began reading, so `server.request_latency_us`
+/// includes request-receive (and any proxy-hop) time.
+fn finish_request(state: &Shared, request: &Request, response: &Response, started: Instant) {
     let id = REQUEST_ID.fetch_add(1, Ordering::Relaxed) + 1;
-    let response = route(state, request);
     state.metrics.counter(
         "server.requests",
         &format!("{}.{}", endpoint_label(&request.path), response.status),
@@ -392,7 +476,89 @@ fn respond(state: &Shared, request: &Request, started: Instant) -> Response {
     log_with("server.http", Level::Info, || {
         format!("req={id} {} {} -> {} in {micros}us", request.method, request.path, response.status)
     });
+}
+
+/// Routes one parsed request on the event-loop thread. Requests that
+/// complete without blocking I/O come back [`Routed::Ready`], already
+/// metered; proxy hops come back [`Routed::Proxy`] for
+/// [`Shared::dispatch_proxy`].
+#[cfg(unix)]
+fn respond_or_proxy(state: &Shared, request: &Request, started: Instant) -> Routed {
+    match route(state, request, false) {
+        Routed::Ready(response) => {
+            finish_request(state, request, &response, started);
+            Routed::Ready(response)
+        }
+        proxy => proxy,
+    }
+}
+
+/// Routes one parsed request to a finished response, running any proxy
+/// hop inline — the blocking entry point used by the threaded fallback
+/// (one thread per connection, so blocking is safe) and unit tests. The
+/// event loop uses [`respond_or_proxy`] + the proxy helper pool instead.
+#[cfg(any(test, not(unix)))]
+fn respond(state: &Shared, request: &Request, started: Instant) -> Response {
+    let response = match route(state, request, false) {
+        Routed::Ready(response) => response,
+        Routed::Proxy { member } => complete_proxy(state, member, request),
+    };
+    finish_request(state, request, &response, started);
     response
+}
+
+/// One proxy helper: runs the blocking hops the event loop parked.
+fn proxy_loop(state: &Shared) {
+    while let Some(task) = state.proxies.pop() {
+        let response = complete_proxy(state, task.member, &task.request);
+        finish_request(state, &task.request, &response, task.started);
+        *task.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(response);
+    }
+}
+
+/// Runs the blocking single-hop proxy for a [`Routed::Proxy`] decision —
+/// never on the event-loop thread. A peer that is already marked dead
+/// (the health checker or an earlier hop beat us to it) short-circuits
+/// straight to the fallback instead of burning a connect timeout.
+fn complete_proxy(state: &Shared, member: usize, request: &Request) -> Response {
+    if state.fleet.is_alive(member) {
+        if let Some(response) = proxy_or_mark_dead(state, member, request) {
+            return response;
+        }
+    }
+    proxy_fallback(state, request)
+}
+
+/// Handles a request whose proxy hop could not run (dead peer, saturated
+/// helper pool): `POST /run` degrades to running the job locally —
+/// availability over cache locality — while `GET /jobs/<id>` answers
+/// `502`, because the record lives only on the unreachable owner.
+fn proxy_fallback(state: &Shared, request: &Request) -> Response {
+    if request.path.starts_with("/jobs/") {
+        let owner = request.path["/jobs/".len()..]
+            .parse::<u64>()
+            .map(|id| JobTable::owner_of(id, state.fleet.stride()) as usize)
+            .unwrap_or_default();
+        return Response::json(
+            502,
+            error_body(&format!(
+                "job {} belongs to unreachable fleet member {}",
+                &request.path["/jobs/".len()..],
+                state.fleet.members().get(owner).map(String::as_str).unwrap_or("?")
+            )),
+        );
+    }
+    route_local(state, request)
+}
+
+/// Routes a request with fleet forwarding disabled — the handling a
+/// request gets after its proxy hop failed (or when it arrived already
+/// forwarded).
+fn route_local(state: &Shared, request: &Request) -> Response {
+    match route(state, request, true) {
+        Routed::Ready(response) => response,
+        Routed::Proxy { .. } => unreachable!("local-only routing cannot proxy"),
+    }
 }
 
 /// Reads one request, routes it, writes the response, records metrics —
@@ -439,16 +605,21 @@ fn endpoint_label(path: &str) -> &'static str {
     }
 }
 
-fn route(state: &Shared, request: &Request) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+/// Routes a request. With `local_only` set, fleet forwarding is
+/// disabled and the result is always [`Routed::Ready`]; otherwise
+/// `POST /run` and `GET /jobs/<id>` may decide on a proxy hop.
+fn route(state: &Shared, request: &Request, local_only: bool) -> Routed {
+    Routed::Ready(match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics_snapshot(state, request),
-        ("POST", "/run") => submit(state, request),
+        ("POST", "/run") => return submit(state, request, local_only),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, Json::object([status_pair("shutting down")]).to_json())
         }
-        ("GET", path) if path.starts_with("/jobs/") => job_status(state, request, path),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            return job_status(state, request, path, local_only)
+        }
         (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => {
             Response::json(405, error_body("method not allowed"))
         }
@@ -456,7 +627,7 @@ fn route(state: &Shared, request: &Request) -> Response {
             Response::json(405, error_body("method not allowed"))
         }
         _ => Response::json(404, error_body("no such endpoint")),
-    }
+    })
 }
 
 fn status_pair(status: &str) -> (String, Json) {
@@ -599,55 +770,52 @@ fn proxy_or_mark_dead(state: &Shared, member: usize, request: &Request) -> Optio
     }
 }
 
-fn submit(state: &Shared, request: &Request) -> Response {
+fn submit(state: &Shared, request: &Request, local_only: bool) -> Routed {
     if state.should_shutdown() {
-        return Response::retry_after(503, error_body("server is shutting down"), 1);
+        return Routed::Ready(Response::retry_after(503, error_body("server is shutting down"), 1));
     }
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return Response::json(400, error_body("body is not UTF-8")),
+        Err(_) => return Routed::Ready(Response::json(400, error_body("body is not UTF-8"))),
     };
     let doc = match Json::parse(text) {
         Ok(doc) => doc,
-        Err(e) => return Response::json(400, error_body(&e.to_string())),
+        Err(e) => return Routed::Ready(Response::json(400, error_body(&e.to_string()))),
     };
     let spec = match JobSpec::from_json_with_limits(&doc, state.sweeps.trace_dir.is_some()) {
         Ok(spec) => spec,
-        Err(e) => return Response::json(400, error_body(&e)),
+        Err(e) => return Routed::Ready(Response::json(400, error_body(&e))),
     };
 
     // Fleet routing: the spec's canonical hash names exactly one owner;
-    // everyone else proxies a single hop. A failed hop degrades to
-    // running the job locally.
+    // everyone else proxies a single hop (off the event loop). A failed
+    // hop degrades to running the job locally.
     let hash = spec.canonical_hash();
-    if state.fleet.is_fleet() && !is_forwarded(request) {
+    if !local_only && state.fleet.is_fleet() && !is_forwarded(request) {
         let owner = state.fleet.owner_of(hash);
         if owner != state.fleet.self_index() {
-            if let Some(response) = proxy_or_mark_dead(state, owner, request) {
-                return response;
-            }
+            return Routed::Proxy { member: owner };
         }
     }
 
     // Result cache: a deterministic spec answered before is a dictionary
-    // lookup — the job record materializes already done and the result
-    // is inlined, no queue or worker involved.
+    // lookup — the result is inlined and the response is self-contained
+    // (nothing to poll), so no job record is minted and a flood of warm
+    // cache hits cannot grow the job table.
     if spec.deterministic_result() {
         if let Some(result) = state.results.get(hash, &spec.canonical()) {
             state.metrics.counter("server.jobs", "cached", 1);
-            let id = state.jobs.create_done(spec, result.clone());
             let body = Json::object([
-                ("job".to_string(), Json::UInt(id)),
                 status_pair("done"),
                 ("cached".to_string(), Json::Bool(true)),
                 ("result".to_string(), result),
             ]);
-            return Response::json(200, body.to_json());
+            return Routed::Ready(Response::json(200, body.to_json()));
         }
     }
 
     let id = state.jobs.create(spec.clone());
-    match state.queue.try_push((id, spec)) {
+    Routed::Ready(match state.queue.try_push((id, spec)) {
         Ok(depth) => {
             state.metrics.counter("server.queue", "admitted", 1);
             let body = Json::object([
@@ -662,33 +830,28 @@ fn submit(state: &Shared, request: &Request) -> Response {
             state.metrics.counter("server.queue", "rejected", 1);
             Response::retry_after(503, error_body("queue full"), retry_after_hint(state))
         }
-    }
+    })
 }
 
-fn job_status(state: &Shared, request: &Request, path: &str) -> Response {
+fn job_status(state: &Shared, request: &Request, path: &str, local_only: bool) -> Routed {
     let id_text = &path["/jobs/".len()..];
     let Ok(id) = id_text.parse::<u64>() else {
-        return Response::json(400, error_body("job id must be an integer"));
+        return Routed::Ready(Response::json(400, error_body("job id must be an integer")));
     };
     // In a fleet the id encodes its owner; ids minted elsewhere are
     // proxied one hop to the member that holds the record.
     let owner = JobTable::owner_of(id, state.fleet.stride()) as usize;
-    if state.fleet.is_fleet() && owner != state.fleet.self_index() && !is_forwarded(request) {
-        if let Some(response) = proxy_or_mark_dead(state, owner, request) {
-            return response;
-        }
-        return Response::json(
-            502,
-            error_body(&format!(
-                "job {id} belongs to unreachable fleet member {}",
-                state.fleet.members().get(owner).map(String::as_str).unwrap_or("?")
-            )),
-        );
+    if !local_only
+        && state.fleet.is_fleet()
+        && owner != state.fleet.self_index()
+        && !is_forwarded(request)
+    {
+        return Routed::Proxy { member: owner };
     }
-    match state.jobs.get_json(id) {
+    Routed::Ready(match state.jobs.get_json(id) {
         Some(doc) => Response::json(200, doc.to_json()),
         None => Response::json(404, error_body(&format!("no job {id}"))),
-    }
+    })
 }
 
 /// Process-wide termination flag set from `SIGTERM`/`SIGINT`.
@@ -752,13 +915,14 @@ mod tests {
             sweeps: SweepPool::new(None),
             results: ResultCache::new(8, None),
             fleet: Fleet::standalone(),
+            proxies: BoundedQueue::new(PROXY_QUEUE_DEPTH),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
         }
     }
 
     fn get(state: &Shared, path: &str) -> Response {
-        route(
+        respond(
             state,
             &Request {
                 method: "GET".to_string(),
@@ -766,11 +930,12 @@ mod tests {
                 headers: Vec::new(),
                 body: Vec::new(),
             },
+            Instant::now(),
         )
     }
 
     fn post(state: &Shared, path: &str, body: &str) -> Response {
-        route(
+        respond(
             state,
             &Request {
                 method: "POST".to_string(),
@@ -778,6 +943,7 @@ mod tests {
                 headers: Vec::new(),
                 body: body.as_bytes().to_vec(),
             },
+            Instant::now(),
         )
     }
 
@@ -866,9 +1032,10 @@ mod tests {
             uncached_result,
             "cached result must be byte-identical to the uncached run"
         );
-        // The materialized record is queryable like any other job.
-        let record = Json::parse(&get(&state, "/jobs/2").body).unwrap();
-        assert_eq!(record.get("status").and_then(Json::as_str), Some("done"));
+        // A cache hit is self-contained: no job record is minted, so the
+        // table stays bounded no matter how much warm traffic repeats.
+        assert!(doc.get("job").is_none(), "cache hits must not mint a job id");
+        assert_eq!(state.jobs.counts(), (0, 0, 1, 0), "only the cold run has a record");
         assert_eq!(state.results.counters().hits, 1);
         let snapshot = state.metrics.snapshot();
         assert_eq!(snapshot.get_counter("server.jobs.cached"), Some(1));
@@ -941,7 +1108,7 @@ mod tests {
         assert_eq!(json.content_type, "application/json");
         Json::parse(&json.body).expect("default /metrics body stays JSON");
 
-        let prom = route(
+        let prom = respond(
             &state,
             &Request {
                 method: "GET".to_string(),
@@ -949,6 +1116,7 @@ mod tests {
                 headers: vec![("accept".to_string(), "text/plain".to_string())],
                 body: Vec::new(),
             },
+            Instant::now(),
         );
         assert_eq!(prom.status, 200);
         assert_eq!(prom.content_type, fetchvp_tracing::prom::CONTENT_TYPE);

@@ -10,6 +10,16 @@
 //! buckets and exact quantile ranks the daemon itself uses) are merged
 //! into one report at the end.
 //!
+//! The open-loop guarantee is only as strong as the sender pool: each
+//! sender blocks on its in-flight request, so if a stalled server ties
+//! up every sender the fixed schedule slips. Rather than pretend that
+//! can't happen, the generator *measures* it — every request records
+//! how late it started relative to its slot's due time, and the report
+//! carries `late_starts` (requests that began more than 1 ms late) and
+//! `max_start_lag_us`. A report with materially non-zero slip means the
+//! offered rate was lower than configured and the run should be read
+//! accordingly.
+//!
 //! Requests round-robin across `targets` and across the spec mix, so a
 //! two-process fleet driven with the default mix exercises cache misses
 //! (first occurrence of each spec), cache hits (every repeat) and
@@ -74,6 +84,11 @@ pub struct LoadgenReport {
     pub latency_us: Histogram,
     /// Response counts by HTTP status.
     pub statuses: BTreeMap<u16, u64>,
+    /// Requests that started more than 1 ms after their schedule slot
+    /// was due — the senders could not keep the open-loop pace.
+    pub late_starts: u64,
+    /// The worst observed start lag in microseconds.
+    pub max_start_lag_us: u64,
 }
 
 impl LoadgenReport {
@@ -110,6 +125,8 @@ impl LoadgenReport {
                 ]),
             ),
             ("statuses".to_string(), Json::object(statuses)),
+            ("late_starts".to_string(), Json::UInt(self.late_starts)),
+            ("max_start_lag_us".to_string(), Json::UInt(self.max_start_lag_us)),
         ])
     }
 
@@ -124,7 +141,8 @@ impl LoadgenReport {
         format!(
             "loadgen: {}/{} ok ({} transport errors) in {:.2}s -> {:.1} rps\n\
              latency_us: p50={} p95={} p99={} mean={:.0}\n\
-             statuses: {}",
+             statuses: {}\n\
+             schedule: {} late starts, max start lag {} us",
             self.ok,
             self.sent,
             self.errors,
@@ -135,6 +153,8 @@ impl LoadgenReport {
             self.latency_us.p99(),
             self.latency_us.mean(),
             if statuses.is_empty() { "none".to_string() } else { statuses },
+            self.late_starts,
+            self.max_start_lag_us,
         )
     }
 }
@@ -147,6 +167,8 @@ struct ThreadTally {
     errors: u64,
     latency_us: Histogram,
     statuses: BTreeMap<u16, u64>,
+    late_starts: u64,
+    max_start_lag_us: u64,
 }
 
 /// Drives the configured load and blocks until the schedule is spent.
@@ -174,7 +196,12 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         JobSpec::from_json_with_limits(&doc, true).map_err(|e| format!("spec `{spec}`: {e}"))?;
     }
     let total = ((opts.rps as u128 * opts.duration.as_millis()) / 1000).max(1) as u64;
-    let senders = (opts.rps / 100).clamp(2, 16) as usize;
+    // One sender covers ~50 rps of healthy traffic with plenty of
+    // headroom; the cap keeps a huge --rps from spawning an unbounded
+    // thread herd. If the server stalls hard enough to tie up the whole
+    // pool anyway, the slip shows up as `late_starts` in the report
+    // rather than silently shrinking the offered rate.
+    let senders = (opts.rps / 50).clamp(2, 32) as usize;
     let ticket = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let threads: Vec<_> = (0..senders)
@@ -194,6 +221,8 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         wall: Duration::ZERO,
         latency_us: Histogram::new(),
         statuses: BTreeMap::new(),
+        late_starts: 0,
+        max_start_lag_us: 0,
     };
     for thread in threads {
         let tally = thread.join().map_err(|_| "loadgen sender panicked".to_string())?;
@@ -204,6 +233,8 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         for (status, count) in tally.statuses {
             *report.statuses.entry(status).or_insert(0) += count;
         }
+        report.late_starts += tally.late_starts;
+        report.max_start_lag_us = report.max_start_lag_us.max(tally.max_start_lag_us);
     }
     report.wall = start.elapsed();
     Ok(report)
@@ -232,6 +263,11 @@ fn sender_loop(
         let spec = &opts.specs[(slot % opts.specs.len() as u64) as usize];
         tally.sent += 1;
         let sent_at = Instant::now();
+        let lag = sent_at.saturating_duration_since(due);
+        if lag > Duration::from_millis(1) {
+            tally.late_starts += 1;
+        }
+        tally.max_start_lag_us = tally.max_start_lag_us.max(lag.as_micros() as u64);
         match post_run(target, spec) {
             Ok(status) => {
                 tally.latency_us.record(sent_at.elapsed().as_micros() as u64);
@@ -305,6 +341,8 @@ mod tests {
             wall: Duration::from_secs(2),
             latency_us: Histogram::new(),
             statuses: BTreeMap::from([(200, 9)]),
+            late_starts: 3,
+            max_start_lag_us: 2500,
         };
         report.latency_us.record(500);
         let doc = report.to_json();
@@ -313,6 +351,9 @@ mod tests {
         assert!(doc.get_path("latency_us.p99").and_then(Json::as_u64).is_some());
         let rps = doc.get("achieved_rps").and_then(Json::as_f64).unwrap();
         assert!((rps - 4.5).abs() < 1e-9, "{rps}");
+        assert_eq!(doc.get("late_starts").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("max_start_lag_us").and_then(Json::as_u64), Some(2500));
         assert!(report.render().contains("p99="));
+        assert!(report.render().contains("3 late starts"));
     }
 }

@@ -42,8 +42,11 @@ pub const FORWARDED_HEADER: &str = "x-fetchvp-forwarded";
 /// served by running the job locally.
 const PROXY_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
 
-/// Read/write timeout on an established proxy connection.
-const PROXY_IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Read/write timeout on an established proxy connection — kept well
+/// under the default client read timeout (5 s) so a stalled peer fails
+/// over to the local fallback while the client is still listening,
+/// instead of the hop outliving the request it was made for.
+const PROXY_IO_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Connect timeout for a health probe — deliberately tight so a dead
 /// peer is detected within one probe interval.

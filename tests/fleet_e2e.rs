@@ -160,7 +160,9 @@ fn find_spec_owned_by(submit_to: SocketAddr, owner_parity: u64) -> (String, u64)
             reply.status,
             reply.body
         );
-        let id = reply.json().get("job").and_then(Json::as_u64).expect("job id");
+        // A 200 with no job id is a result-cache hit (a seed an earlier
+        // search already ran) — no record to check parity on; move on.
+        let Some(id) = reply.json().get("job").and_then(Json::as_u64) else { continue };
         if id % 2 == owner_parity {
             return (spec, id);
         }
