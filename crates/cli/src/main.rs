@@ -73,7 +73,14 @@
 //!           [--spec-mix FILE] [--out FILE]
 //!                                   open-loop load generator: offered-rate
 //!                                   POST /run traffic, reports achieved RPS
-//!                                   and p50/p95/p99 latency
+//!                                   and p50/p95/p99 latency overall and per
+//!                                   response class (2xx / 503 / proxied)
+//!   top [--addr HOST:PORT] [--interval SECONDS] [--count N]
+//!                                   live fleet dashboard over GET
+//!                                   /fleet/metrics: per-member RPS, queue
+//!                                   depth, cache hit rate, latency
+//!                                   quantiles and running-job progress
+//!                                   bars; any member answers for the fleet
 //!
 //! fuzzing (the standing invariant gate):
 //!   fuzz [--cases N] [--seed S] [--max-len N] [--out FILE]
@@ -91,6 +98,8 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use std::sync::Arc;
+
+mod top;
 
 use fetchvp_core::{IdealConfig, IdealMachine, VpConfig};
 use fetchvp_experiments::{
@@ -123,6 +132,7 @@ benchmarks:  bench [--quick] [--repeat N] [--out FILE] / bench-compare \
 serving:     serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--trace-dir DIR]
              [--result-cache N] [--peers HOST:PORT,...] / loadgen \
              [--addr HOST:PORT,...] [--rps N] [--duration SECONDS] [--spec-mix FILE]
+             top [--addr HOST:PORT] [--interval SECONDS] [--count N]
 fuzzing:     fuzz [--cases N] [--seed S] [--max-len N] [--replay TUPLE] [--out FILE]
              atlas [family] [--trace-len N]
 other:       --version";
@@ -165,6 +175,7 @@ const COMMANDS: &[&str] = &[
     "profile",
     "serve",
     "loadgen",
+    "top",
     "fuzz",
     "atlas",
 ];
@@ -193,6 +204,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--rps",
     "--duration",
     "--spec-mix",
+    "--interval",
+    "--count",
 ];
 
 /// Flags shared by every figure/table/ablation experiment runner.
@@ -226,6 +239,7 @@ fn command_spec(name: &str) -> Option<CommandSpec> {
             0,
         ),
         "loadgen" => spec(&["--addr", "--rps", "--duration", "--spec-mix", "--out"], 0),
+        "top" => spec(&["--addr", "--interval", "--count"], 0),
         "fuzz" => spec(&["--cases", "--seed", "--max-len", "--replay", "--out"], 0),
         "atlas" => spec(&["--trace-len", "--seed", "--csv"], 1),
         name if COMMANDS.contains(&name) => spec(EXPERIMENT_FLAGS, 0),
@@ -366,6 +380,10 @@ struct Options {
     duration: Option<u64>,
     /// `loadgen`: JSON file holding the spec mix (array of job specs).
     spec_mix: Option<String>,
+    /// `top`: seconds between dashboard refreshes.
+    interval: Option<u64>,
+    /// `top`: stop after this many refreshes (default: run until ^C).
+    count: Option<u64>,
     /// `fuzz`: cases to sample.
     cases: usize,
     /// `fuzz`: upper bound on each case's trace length.
@@ -412,6 +430,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut rps = None;
     let mut duration = None;
     let mut spec_mix = None;
+    let mut interval = None;
+    let mut count = None;
     let mut cases = fuzz::FuzzOptions::default().cases;
     let mut max_len = fuzz::FuzzOptions::default().max_len;
     let mut replay = None;
@@ -547,6 +567,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--spec-mix needs a JSON file path")?;
                 spec_mix = Some(v.clone());
             }
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs a value (seconds)")?;
+                interval = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &u64| n >= 1)
+                        .ok_or(format!("bad interval `{v}` (need whole seconds >= 1)"))?,
+                );
+            }
+            "--count" => {
+                let v = it.next().ok_or("--count needs a value")?;
+                count = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &u64| n >= 1)
+                        .ok_or(format!("bad refresh count `{v}` (need an integer >= 1)"))?,
+                );
+            }
             other if !other.starts_with('-') => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
@@ -578,6 +616,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         rps,
         duration,
         spec_mix,
+        interval,
+        count,
         cases,
         max_len,
         replay,
@@ -834,7 +874,10 @@ fn run_serve(opts: &Options) -> Result<(), String> {
     if fleet_size > 0 {
         println!("fleet mode: {fleet_size} members, jobs sharded by spec hash");
     }
-    println!("endpoints: POST /run  GET /jobs/<id>  GET /healthz  GET /metrics  POST /shutdown");
+    println!(
+        "endpoints: POST /run  GET /jobs/<id>  GET /jobs/<id>/events  GET /fleet/metrics  \
+         GET /healthz  GET /metrics  POST /shutdown"
+    );
     server.run().map_err(|e| format!("server failed: {e}"))?;
     println!("fetchvp-server shut down cleanly");
     Ok(())
@@ -884,6 +927,18 @@ fn run_loadgen(opts: &Options) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+fn run_top(opts: &Options) -> Result<(), String> {
+    let mut options = top::TopOptions::default();
+    if let Some(addr) = &opts.addr {
+        options.addr = addr.clone();
+    }
+    if let Some(seconds) = opts.interval {
+        options.interval = std::time::Duration::from_secs(seconds);
+    }
+    options.count = opts.count;
+    top::run(&options)
 }
 
 fn run_fuzz(opts: &Options) -> Result<(), String> {
@@ -960,6 +1015,7 @@ fn run_one(name: &str, sweep: &Sweep, opts: &Options) -> Result<(), String> {
         "profile" => emit(&fetchvp_experiments::profile::run(cfg).to_table(), csv),
         "serve" => return run_serve(opts),
         "loadgen" => return run_loadgen(opts),
+        "top" => return run_top(opts),
         "fuzz" => return run_fuzz(opts),
         "atlas" => return run_atlas(opts),
         "table3-1" => emit(&table3_1::run_with(sweep).to_table(), csv),

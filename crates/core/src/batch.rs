@@ -409,6 +409,22 @@ impl Pipeline {
 /// of it, because pipelines share nothing.
 const BATCH_BLOCK_SLOTS: usize = 4096;
 
+/// A passive observer of batch progress: called once per
+/// `BATCH_BLOCK_SLOTS` block with the logical trace index the batch has
+/// advanced past (so values are strictly increasing within one run and
+/// the last call reports the fed length).
+///
+/// The sink must never influence results — it sees only how far the walk
+/// has come, not any pipeline state — and it must be cheap: it is invoked
+/// from the hot loop, once per ~4096 slots. When no sink is attached the
+/// kernel pays exactly one `Option` branch per block (the bench gate
+/// holds `run_batch` to the no-sink baseline).
+pub trait ProgressSink: Sync {
+    /// `retired` logical trace slots have been fully stepped by every
+    /// pipeline in the batch.
+    fn retired(&self, retired: u64);
+}
+
 /// Runs every configuration in `configs` over `trace` with a **single**
 /// pass over the trace, advancing all pipelines in lockstep per block of
 /// `BATCH_BLOCK_SLOTS` slots.
@@ -522,6 +538,24 @@ impl BatchRunner {
     /// Panics if `start` is not the previous call's `end`, if the range is
     /// inverted, or if `view` does not cover it.
     pub fn feed(&mut self, view: TraceView<'_>, start: usize, end: usize) {
+        self.feed_with_progress(view, start, end, None);
+    }
+
+    /// [`feed`](BatchRunner::feed) with an optional [`ProgressSink`]
+    /// notified once per block. `None` is exactly `feed` — results are
+    /// byte-identical either way, the sink only observes how far the walk
+    /// has come.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`feed`](BatchRunner::feed).
+    pub fn feed_with_progress(
+        &mut self,
+        view: TraceView<'_>,
+        start: usize,
+        end: usize,
+        progress: Option<&dyn ProgressSink>,
+    ) {
         assert_eq!(start, self.next, "feed must continue where the previous one stopped");
         assert!(start <= end, "inverted feed range {start}..{end}");
         assert!(end <= view.len(), "feed range end {end} beyond view length {}", view.len());
@@ -530,6 +564,9 @@ impl BatchRunner {
             let block_end = (block_start + BATCH_BLOCK_SLOTS).min(end);
             for pipe in &mut self.pipes {
                 pipe.run_block(view, block_start, block_end, &mut no_sink);
+            }
+            if let Some(sink) = progress {
+                sink.retired(block_end as u64);
             }
         }
         self.next = end;
@@ -651,6 +688,33 @@ mod tests {
             }
             assert_eq!(runner.finish(), expected, "window {window} diverged");
         }
+    }
+
+    #[test]
+    fn progress_sink_sees_monotone_block_ends_and_changes_nothing() {
+        use std::sync::Mutex;
+
+        struct Recorder(Mutex<Vec<u64>>);
+        impl ProgressSink for Recorder {
+            fn retired(&self, retired: u64) {
+                self.0.lock().unwrap().push(retired);
+            }
+        }
+
+        let t = chain_trace(3_000);
+        let configs = mixed_configs();
+        let expected = run_batch(&t, &configs);
+
+        let recorder = Recorder(Mutex::new(Vec::new()));
+        let mut runner = BatchRunner::new(&configs);
+        runner.feed_with_progress(t.view(), 0, t.len(), Some(&recorder));
+        assert_eq!(runner.finish(), expected, "the sink must not perturb results");
+
+        let seen = recorder.0.into_inner().unwrap();
+        assert!(!seen.is_empty(), "a non-empty trace must report progress");
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "progress must be strictly increasing");
+        assert_eq!(*seen.last().unwrap() as usize, t.len(), "the last report covers the trace");
+        assert_eq!(seen[0] as usize, BATCH_BLOCK_SLOTS.min(t.len()), "first report is one block");
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod realistic;
 pub mod sched;
 pub mod vp;
 
-pub use batch::{run_batch, BatchRunner, MachineConfig};
+pub use batch::{run_batch, BatchRunner, MachineConfig, ProgressSink};
 pub use event::EventMachine;
 pub use ideal::{pipeline_trace, IdealConfig, IdealMachine, StageTimes};
 pub use realistic::{BtbKind, FrontEnd, RealisticConfig, RealisticMachine};

@@ -74,7 +74,7 @@ pub mod usefulness;
 
 pub use jobspec::{JobOutcome, JobSpec};
 pub use report::Table;
-pub use sweep::{default_jobs, Sweep, TraceCache, MAX_IN_MEMORY_TRACE_LEN};
+pub use sweep::{default_jobs, Sweep, SweepProgress, TraceCache, MAX_IN_MEMORY_TRACE_LEN};
 
 use fetchvp_trace::{trace_program, Trace};
 use fetchvp_workloads::{suite, Workload, WorkloadParams};

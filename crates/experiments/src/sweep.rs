@@ -32,14 +32,14 @@
 
 use std::fs::File;
 use std::io::BufWriter;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use fetchvp_core::{run_batch, MachineConfig, MachineResult};
+use fetchvp_core::{run_batch, BatchRunner, MachineConfig, MachineResult, ProgressSink};
 use fetchvp_trace::{trace_program, Trace};
 use fetchvp_tracestore::{
-    run_batch_store, stream_program_to_store, CacheCounters, TraceDir, TraceKey, TraceStore,
-    DEFAULT_CHUNK_LEN,
+    run_batch_store_with_progress, stream_program_to_store, CacheCounters, ReplayProgress,
+    TraceDir, TraceKey, TraceStore, DEFAULT_CHUNK_LEN,
 };
 use fetchvp_workloads::{extended_suite, Workload};
 
@@ -222,6 +222,78 @@ impl TraceCache {
     }
 }
 
+/// A passive observer of machine-sweep progress, attached to a [`Sweep`]
+/// with [`Sweep::with_progress`].
+///
+/// Machine sweeps ([`Sweep::machines`] and friends) decompose into
+/// `(workload, config-chunk)` cells that may run on several worker
+/// threads at once, so implementations must be thread-safe and must
+/// tolerate interleaved calls from different cells. The observer must
+/// never influence results — sweeps are bit-identical with or without
+/// one — and it must be cheap: `retired` fires once per ~4096 simulated
+/// instructions per cell.
+pub trait SweepProgress: Send + Sync {
+    /// A machine sweep is starting: it will run `cells` cells, walking
+    /// `instructions_total` trace instructions in total (cells × trace
+    /// length). Called once per machine sweep; a job running several
+    /// sweeps observes several `begin`s and should accumulate.
+    fn begin(&self, cells: u64, instructions_total: u64);
+
+    /// A cell walking `workload` for config chunk `chunk` retired `delta`
+    /// further instructions; out-of-core cells report the on-disk chunk
+    /// they are replaying in `store_chunk` (0 for in-memory cells).
+    fn retired(&self, workload: &'static str, chunk: usize, store_chunk: usize, delta: u64);
+
+    /// The `(workload, chunk)` cell finished.
+    fn cell_done(&self, workload: &'static str, chunk: usize);
+}
+
+/// Per-cell adapter translating the batch kernel's absolute
+/// "instructions retired" ticks into [`SweepProgress::retired`] deltas
+/// (several cells advance concurrently, so the aggregate observer needs
+/// increments, not per-cell absolutes).
+struct CellProgress<'a> {
+    sink: &'a dyn SweepProgress,
+    workload: &'static str,
+    chunk: usize,
+    store_chunk: AtomicUsize,
+    last: AtomicU64,
+}
+
+impl<'a> CellProgress<'a> {
+    fn new(sink: &'a dyn SweepProgress, workload: &'static str, chunk: usize) -> CellProgress<'a> {
+        CellProgress {
+            sink,
+            workload,
+            chunk,
+            store_chunk: AtomicUsize::new(0),
+            last: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ProgressSink for CellProgress<'_> {
+    fn retired(&self, retired: u64) {
+        let prev = self.last.swap(retired, Ordering::Relaxed);
+        let delta = retired.saturating_sub(prev);
+        if delta > 0 {
+            self.sink.retired(
+                self.workload,
+                self.chunk,
+                self.store_chunk.load(Ordering::Relaxed),
+                delta,
+            );
+        }
+    }
+}
+
+impl ReplayProgress for CellProgress<'_> {
+    fn retired(&self, chunk: usize, instructions_done: u64) {
+        self.store_chunk.store(chunk, Ordering::Relaxed);
+        ProgressSink::retired(self, instructions_done);
+    }
+}
+
 /// A deterministic parallel sweep runner bound to a [`TraceCache`].
 ///
 /// Cloning is cheap and shares the cache.
@@ -229,6 +301,7 @@ impl TraceCache {
 pub struct Sweep {
     cache: Arc<TraceCache>,
     jobs: usize,
+    progress: Option<Arc<dyn SweepProgress>>,
 }
 
 impl Sweep {
@@ -252,7 +325,11 @@ impl Sweep {
         trace_dir: Option<Arc<TraceDir>>,
         jobs: usize,
     ) -> Sweep {
-        Sweep { cache: Arc::new(TraceCache::with_trace_dir(cfg, trace_dir)), jobs: jobs.max(1) }
+        Sweep {
+            cache: Arc::new(TraceCache::with_trace_dir(cfg, trace_dir)),
+            jobs: jobs.max(1),
+            progress: None,
+        }
     }
 
     /// The trace directory's hit/miss/bytes counters, if one is attached.
@@ -276,7 +353,15 @@ impl Sweep {
     /// requests that ask for different parallelism against the same warm
     /// traces.
     pub fn reconfigured(&self, jobs: usize) -> Sweep {
-        Sweep { cache: Arc::clone(&self.cache), jobs: jobs.max(1) }
+        Sweep { cache: Arc::clone(&self.cache), jobs: jobs.max(1), progress: self.progress.clone() }
+    }
+
+    /// A sweep sharing this sweep's cache and worker count that reports
+    /// machine-sweep progress to `sink` — how the server attaches a job's
+    /// progress ring to the pooled sweep serving it. Results are
+    /// bit-identical with or without an observer.
+    pub fn with_progress(&self, sink: Arc<dyn SweepProgress>) -> Sweep {
+        Sweep { cache: Arc::clone(&self.cache), jobs: self.jobs, progress: Some(sink) }
     }
 
     /// The experiment configuration.
@@ -347,18 +432,46 @@ impl Sweep {
         configs: &[MachineConfig],
     ) -> Vec<(&'static str, Vec<MachineResult>)> {
         assert!(!configs.is_empty(), "a machine sweep needs at least one config");
-        let chunks: Vec<&[MachineConfig]> = configs.chunks(BATCH_CHUNK).collect();
+        // Chunks carry their index so progress events can name the config
+        // chunk a cell is advancing.
+        let chunks: Vec<(usize, &[MachineConfig])> =
+            configs.chunks(BATCH_CHUNK).enumerate().collect();
+        let progress = self.progress.as_deref();
+        if let Some(sink) = progress {
+            let cells = (self.cache.workloads(extended).len() * chunks.len()) as u64;
+            sink.begin(cells, cells * self.cache.config().trace_len);
+        }
         let per_workload = if self.cache.out_of_core() {
             // Out-of-core: each cell replays its workload's on-disk store
             // chunk-by-chunk. `run_batch_store` is byte-identical to
             // `run_batch`, so the sweep output does not depend on which
             // path ran.
-            self.cells_stores_on(extended, &chunks, |w, store, chunk| {
-                run_batch_store(store, chunk)
-                    .unwrap_or_else(|e| panic!("out-of-core replay of `{}`: {e}", w.name()))
+            self.cells_stores_on(extended, &chunks, |w, store, &(k, chunk)| {
+                let cell = progress.map(|sink| CellProgress::new(sink, w.name(), k));
+                let results = run_batch_store_with_progress(
+                    store,
+                    chunk,
+                    cell.as_ref().map(|c| c as &dyn ReplayProgress),
+                )
+                .unwrap_or_else(|e| panic!("out-of-core replay of `{}`: {e}", w.name()));
+                if let Some(sink) = progress {
+                    sink.cell_done(w.name(), k);
+                }
+                results
             })
         } else {
-            self.cells_on(extended, &chunks, |_, trace, chunk| run_batch(trace, chunk))
+            self.cells_on(extended, &chunks, |w, trace, &(k, chunk)| match progress {
+                None => run_batch(trace, chunk),
+                Some(sink) => {
+                    let cell = CellProgress::new(sink, w.name(), k);
+                    let view = trace.view();
+                    let mut runner = BatchRunner::new(chunk);
+                    runner.feed_with_progress(view, 0, view.len(), Some(&cell));
+                    let results = runner.finish();
+                    sink.cell_done(w.name(), k);
+                    results
+                }
+            })
         };
         per_workload
             .into_iter()
@@ -540,6 +653,62 @@ mod tests {
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
         assert!(Sweep::with_jobs(&cfg(), 0).jobs() == 1);
+    }
+
+    #[test]
+    fn progress_observer_sees_every_instruction_and_changes_nothing() {
+        use fetchvp_core::{IdealConfig, VpConfig};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Tally {
+            begins: Mutex<Vec<(u64, u64)>>,
+            retired: AtomicU64,
+            cells_done: AtomicUsize,
+        }
+        impl SweepProgress for Tally {
+            fn begin(&self, cells: u64, instructions_total: u64) {
+                self.begins.lock().unwrap().push((cells, instructions_total));
+            }
+            fn retired(&self, workload: &'static str, _chunk: usize, _store: usize, delta: u64) {
+                assert!(!workload.is_empty());
+                assert!(delta > 0, "zero deltas must be filtered out");
+                self.retired.fetch_add(delta, Ordering::Relaxed);
+            }
+            fn cell_done(&self, _workload: &'static str, _chunk: usize) {
+                self.cells_done.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Ten configs → two chunks per workload, run on 4 workers so the
+        // observer sees interleaved cells.
+        let configs: Vec<MachineConfig> = (0..10)
+            .map(|i| {
+                MachineConfig::Ideal(IdealConfig {
+                    fetch_rate: 4 + i,
+                    vp: VpConfig::stride_infinite(),
+                    ..IdealConfig::default()
+                })
+            })
+            .collect();
+        let plain = Sweep::with_jobs(&cfg(), 4);
+        let expected = plain.machines(&configs);
+
+        let tally = Arc::new(Tally::default());
+        let observed = plain.with_progress(Arc::clone(&tally) as Arc<dyn SweepProgress>);
+        assert_eq!(observed.machines(&configs), expected, "observer must not perturb results");
+
+        let cells = (SUITE_LEN * 2) as u64;
+        let total = cells * cfg().trace_len;
+        assert_eq!(*tally.begins.lock().unwrap(), vec![(cells, total)]);
+        assert_eq!(tally.retired.load(Ordering::Relaxed), total, "every instruction reported");
+        assert_eq!(tally.cells_done.load(Ordering::Relaxed) as u64, cells);
+
+        // `reconfigured` keeps the observer attached.
+        let tally2 = Arc::new(Tally::default());
+        let re = plain.with_progress(Arc::clone(&tally2) as Arc<dyn SweepProgress>).reconfigured(1);
+        assert_eq!(re.machines(&configs), expected);
+        assert_eq!(tally2.retired.load(Ordering::Relaxed), total);
     }
 
     #[test]

@@ -17,26 +17,44 @@
 //!                        │                          │
 //!                        │        fleet proxy hop ──┤
 //!                        ▼                          ▼
-//!                 AwaitingProxy ── helper ──▶   Writing
-//!                 (parked; hop runs on the        │ POLLOUT / write()
-//!                  proxy helper pool)             ▼
-//!                        │                      close
+//!                 AwaitingProxy ── helper ──▶   Writing ──▶ close
+//!                 (parked; hop runs on the        │
+//!                  proxy helper pool)             │ /jobs/<id>/events
+//!                        │                        ▼
+//!                        │                     Streaming ──▶ close
+//!                        │                 (chunked NDJSON pump,
+//!                        │                  one frame per ring event)
 //!                        └── deadline exceeded ──▶ 502 ─▶ Writing
 //! ```
 //!
 //! Reads accumulate into a per-connection buffer fed to
-//! [`http::try_parse`] until a full request materializes; the response is
-//! rendered to bytes up front ([`Response::to_bytes`]) and flushed as
-//! `POLLOUT` allows. Each phase has a deadline (the configured
-//! read/write timeouts), enforced every poll tick, so a stalled client
-//! costs one pollfd entry — not a parked thread, which is what limited
-//! the thread-per-connection daemon to `max_connections` concurrent
+//! [`http::try_parse`] until a full request materializes; buffered
+//! responses are rendered to bytes up front ([`Response::to_bytes`])
+//! and flushed as `POLLOUT` allows. A `GET /jobs/<id>/events` request
+//! instead enters the *Streaming* phase: every poll tick the connection
+//! pulls fresh events from the job's [`ProgressRing`] at its own
+//! cursor, frames each as one `Transfer-Encoding: chunked` NDJSON line,
+//! and flushes opportunistically. A reader too slow to keep up never
+//! blocks the job — the ring drops its oldest events and the stream
+//! carries a `{"dropped": n}` notice instead; a reader that stalls with
+//! unflushed bytes for the write timeout is dropped. When the job's
+//! owner is another fleet member, the helper pool opens one upstream
+//! socket ([`Streaming::Relay`]) whose bytes — the owner's own chunked
+//! framing — are relayed verbatim.
+//!
+//! Each phase has a deadline (the configured read/write timeouts),
+//! enforced every poll tick, so a stalled client costs one pollfd
+//! entry — not a parked thread, which is what limited the
+//! thread-per-connection daemon to `max_connections` concurrent
 //! clients. Route handlers run inline on the loop thread only because
 //! they never block: queue pushes and table lookups (simulation happens
 //! on the worker pool), while fleet proxy hops — blocking network I/O —
 //! are parked on the proxy helper pool and the connection waits in
-//! `AwaitingProxy` until the upstream response lands, so a slow or dead
-//! peer stalls its own request, never the loop.
+//! `AwaitingProxy` until the upstream response (or streaming socket)
+//! lands, so a slow or dead peer stalls its own request, never the
+//! loop.
+//!
+//! [`ProgressRing`]: fetchvp_tracing::ProgressRing
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -46,7 +64,8 @@ use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::http::{self, error_body, RequestError, Response};
-use crate::{ProxySlot, Routed, Shared};
+use crate::progress::JobProgress;
+use crate::{ProxyKind, ProxyOutcome, Routed, Shared};
 
 /// Readable readiness (and `POLLHUP`-with-pending-data on Linux).
 const POLLIN: i16 = 0x001;
@@ -60,7 +79,8 @@ const POLLHUP: i16 = 0x010;
 const POLLNVAL: i16 = 0x020;
 
 /// Poll timeout: the loop wakes at least this often to check the
-/// shutdown flag, connection deadlines and parked proxy responses.
+/// shutdown flag, connection deadlines, parked proxy responses and
+/// streaming rings.
 const POLL_TICK_MS: i32 = 50;
 
 /// How long a connection may wait in `AwaitingProxy` before it is
@@ -71,6 +91,17 @@ const PROXY_WAIT: Duration = Duration::from_secs(8);
 
 /// How long shutdown waits for in-flight response bytes to flush.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A quiet stream emits a `{"heartbeat": true}` frame this often, so
+/// clients (and intermediaries) can tell an idle job from a dead
+/// connection.
+const STREAM_HEARTBEAT: Duration = Duration::from_secs(1);
+
+/// Pending-byte ceiling per streaming connection. A client with this
+/// much unflushed output stops pulling from the ring (or the upstream
+/// relay socket); the drop-oldest ring absorbs the lag and reports it
+/// via `dropped` when the reader catches up.
+const STREAM_BACKLOG: usize = 64 * 1024;
 
 /// `struct pollfd` from `poll(2)`, laid out exactly as libc declares it.
 #[repr(C)]
@@ -85,20 +116,53 @@ extern "C" {
     fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
 }
 
+/// The source feeding a connection in the Streaming phase.
+enum Streaming {
+    /// A locally-owned job: frames are cut from the job's progress ring
+    /// at this connection's private cursor.
+    Ring {
+        /// The job's progress handle (ring + totals).
+        progress: Arc<JobProgress>,
+        /// This reader's position in the ring; each connection advances
+        /// independently.
+        cursor: u64,
+        /// When a frame (event, drop notice or heartbeat) was last
+        /// queued — the heartbeat clock.
+        last_emit: Instant,
+        /// The terminal event (and closing chunk) has been queued; the
+        /// connection closes once it flushes.
+        ended: bool,
+    },
+    /// A job owned by another fleet member: the owner's response bytes
+    /// — status line, headers and its own chunked framing — are relayed
+    /// verbatim.
+    Relay {
+        /// The nonblocking socket to the owning member, opened by a
+        /// proxy helper.
+        upstream: TcpStream,
+        /// The upstream closed (EOF or error); the connection closes
+        /// once the relayed bytes flush.
+        ended: bool,
+    },
+}
+
 /// One connection's state machine.
 struct Conn {
     stream: TcpStream,
     /// Bytes read so far, fed to the incremental parser each tick.
     buf: Vec<u8>,
-    /// The rendered response; empty until the request completes.
+    /// Rendered-but-unflushed output. Buffered responses render here
+    /// once; streams append frames as they are cut.
     out: Vec<u8>,
     /// How much of `out` has been written.
     written: usize,
-    /// `false` = Reading phase, `true` = Writing phase.
+    /// `false` = Reading phase, `true` = Writing or Streaming phase.
     writing: bool,
-    /// `AwaitingProxy`: a helper thread fills this slot with the proxied
-    /// response; until then the connection is parked (no read interest).
-    pending: Option<Arc<ProxySlot>>,
+    /// `AwaitingProxy`: a helper thread fills this slot with the hop's
+    /// outcome; until then the connection is parked (no read interest).
+    pending: Option<Arc<crate::ProxySlot>>,
+    /// Set once the connection enters the Streaming phase.
+    streaming: Option<Streaming>,
     /// When the current phase times out.
     deadline: Instant,
     /// When the connection was accepted — the request-latency clock.
@@ -117,6 +181,7 @@ impl Conn {
             written: 0,
             writing: false,
             pending: None,
+            streaming: None,
             deadline: now + read_timeout,
             started: now,
             done: false,
@@ -124,10 +189,18 @@ impl Conn {
     }
 
     /// The events this connection waits for. A parked connection asks
-    /// for nothing — errors and hangups are reported regardless.
+    /// for nothing — errors and hangups are reported regardless — and a
+    /// streaming connection only wants `POLLOUT` while it has unflushed
+    /// frames (new frames arrive on the tick, not on readiness).
     fn interest(&self) -> i16 {
         if self.pending.is_some() {
             0
+        } else if self.streaming.is_some() {
+            if self.written < self.out.len() {
+                POLLOUT
+            } else {
+                0
+            }
         } else if self.writing {
             POLLOUT
         } else {
@@ -147,17 +220,39 @@ impl Conn {
         }
         if let Some(slot) = &self.pending {
             let arrived = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
-            if let Some(response) = arrived {
-                self.pending = None;
-                self.start_write(response, state);
-            } else if now >= self.deadline {
-                // The hop outlived even the helper pool's worst case;
-                // answer rather than leave the client hanging. The
-                // helper's eventual response fills a slot nobody reads.
-                state.metrics.counter("server.peers", "proxy_timeouts", 1);
-                self.pending = None;
-                self.start_write(Response::json(502, error_body("fleet proxy timed out")), state);
+            match arrived {
+                Some(ProxyOutcome::Response(response)) => {
+                    self.pending = None;
+                    self.start_write(response, state);
+                }
+                Some(ProxyOutcome::Upstream(upstream)) => {
+                    self.pending = None;
+                    self.start_relay(upstream, state, now);
+                }
+                None if now >= self.deadline => {
+                    // The hop outlived even the helper pool's worst
+                    // case; answer rather than leave the client
+                    // hanging. The helper's eventual outcome fills a
+                    // slot nobody reads.
+                    state.metrics.counter("server.peers", "proxy_timeouts", 1);
+                    self.pending = None;
+                    self.start_write(
+                        Response::json(502, error_body("fleet proxy timed out")),
+                        state,
+                    );
+                }
+                None => {}
             }
+            return;
+        }
+        if self.streaming.is_some() {
+            // Streams pump every tick: POLLHUP here means the client
+            // went away mid-stream, which only this write path notices.
+            if revents & POLLHUP != 0 {
+                self.done = true;
+                return;
+            }
+            self.pump_stream(state, now);
             return;
         }
         if self.writing {
@@ -200,17 +295,31 @@ impl Conn {
             Ok(None) => return, // keep reading
             Ok(Some(request)) => match crate::respond_or_proxy(state, &request, self.started) {
                 Routed::Ready(response) => response,
-                // A fleet proxy hop: blocking I/O that must not run on
-                // this thread. Park the connection; a helper completes
-                // it and drive() picks the response up next tick.
+                // The job's events stream from the local ring — switch
+                // this connection into the Streaming phase.
+                Routed::Stream { progress } => {
+                    self.start_stream(progress, state);
+                    return;
+                }
+                // Blocking I/O that must not run on this thread. Park
+                // the connection; a helper completes the hop and
+                // drive() picks the outcome up next tick.
                 Routed::Proxy { member } => {
-                    match state.dispatch_proxy(member, request, self.started) {
-                        Ok(slot) => {
-                            self.pending = Some(slot);
-                            self.deadline = Instant::now() + PROXY_WAIT;
-                            return;
-                        }
-                        Err(response) => response,
+                    match self.park_proxy(ProxyKind::Hop { member }, request, state) {
+                        Some(response) => response,
+                        None => return,
+                    }
+                }
+                Routed::StreamProxy { member } => {
+                    match self.park_proxy(ProxyKind::StreamConnect { member }, request, state) {
+                        Some(response) => response,
+                        None => return,
+                    }
+                }
+                Routed::FleetMetrics => {
+                    match self.park_proxy(ProxyKind::FleetMetrics, request, state) {
+                        Some(response) => response,
+                        None => return,
                     }
                 }
             },
@@ -229,6 +338,158 @@ impl Conn {
             }
         };
         self.start_write(response, state);
+    }
+
+    /// Hands a blocking hop to the helper pool and parks the
+    /// connection, or returns the fallback response when the pool is
+    /// saturated.
+    fn park_proxy(
+        &mut self,
+        kind: ProxyKind,
+        request: http::Request,
+        state: &Shared,
+    ) -> Option<Response> {
+        match state.dispatch_proxy(kind, request, self.started) {
+            Ok(slot) => {
+                self.pending = Some(slot);
+                self.deadline = Instant::now() + PROXY_WAIT;
+                None
+            }
+            Err(response) => Some(response),
+        }
+    }
+
+    /// Enters the Streaming phase over the local ring: queue the
+    /// chunked-transfer head, then pump immediately — a job that is
+    /// already terminal replays its retained ring (ending with the
+    /// terminal event) and closes in this same tick's flush.
+    fn start_stream(&mut self, progress: Arc<JobProgress>, state: &Shared) {
+        let now = Instant::now();
+        self.out = http::stream_head(200, crate::STREAM_CONTENT_TYPE);
+        self.written = 0;
+        self.writing = true;
+        self.deadline = now + state.config.write_timeout;
+        self.streaming =
+            Some(Streaming::Ring { progress, cursor: 0, last_emit: now, ended: false });
+        self.pump_stream(state, now);
+    }
+
+    /// Enters the Streaming phase as a relay: the upstream owner's
+    /// bytes (head and chunked framing included) pass through verbatim.
+    fn start_relay(&mut self, upstream: TcpStream, state: &Shared, now: Instant) {
+        self.out = Vec::new();
+        self.written = 0;
+        self.writing = true;
+        self.deadline = now + state.config.write_timeout;
+        self.streaming = Some(Streaming::Relay { upstream, ended: false });
+        self.pump_stream(state, now);
+    }
+
+    /// One Streaming-phase tick: cut fresh frames (ring events, drop
+    /// notices, heartbeats — or relayed upstream bytes), then flush as
+    /// much as the socket accepts. The connection closes when the
+    /// stream has ended and every byte is out, or when the client sits
+    /// on unflushed bytes past the write timeout.
+    fn pump_stream(&mut self, state: &Shared, now: Instant) {
+        let Some(mut streaming) = self.streaming.take() else { return };
+        if self.out.len() - self.written < STREAM_BACKLOG {
+            match &mut streaming {
+                Streaming::Ring { progress, cursor, last_emit, ended } if !*ended => {
+                    let batch = progress.since(*cursor);
+                    let mut emitted = false;
+                    if batch.dropped > 0 {
+                        // The ring evicted events this reader never saw
+                        // (slow client): say so instead of silently
+                        // skipping sequence numbers.
+                        let notice = format!("{{\"dropped\": {}}}\n", batch.dropped);
+                        self.out.extend_from_slice(&http::chunk(notice.as_bytes()));
+                        emitted = true;
+                    }
+                    for event in &batch.events {
+                        let mut line = event.to_line();
+                        line.push('\n');
+                        self.out.extend_from_slice(&http::chunk(line.as_bytes()));
+                        emitted = true;
+                        if matches!(event.phase, "done" | "failed") {
+                            // Terminal events are always the ring's
+                            // newest; close the chunked stream after
+                            // relaying one.
+                            self.out.extend_from_slice(http::chunk_end());
+                            *ended = true;
+                            break;
+                        }
+                    }
+                    *cursor = batch.next_cursor;
+                    if emitted {
+                        *last_emit = now;
+                    } else if now.duration_since(*last_emit) >= STREAM_HEARTBEAT {
+                        self.out.extend_from_slice(&http::chunk(b"{\"heartbeat\": true}\n"));
+                        *last_emit = now;
+                    }
+                }
+                Streaming::Relay { upstream, ended } if !*ended => {
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        match upstream.read(&mut chunk) {
+                            Ok(0) => {
+                                *ended = true;
+                                break;
+                            }
+                            Ok(n) => self.out.extend_from_slice(&chunk[..n]),
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => {
+                                // The owner died mid-stream; the client
+                                // sees a truncated chunked body and
+                                // knows the stream did not end cleanly.
+                                *ended = true;
+                                break;
+                            }
+                        }
+                        if self.out.len() - self.written >= STREAM_BACKLOG {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let ended = match &streaming {
+            Streaming::Ring { ended, .. } | Streaming::Relay { ended, .. } => *ended,
+        };
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => {
+                    self.done = true;
+                    break;
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if !self.done {
+            if self.written == self.out.len() {
+                // Fully flushed: recycle the buffer and push the stall
+                // deadline out — only a client with pending bytes can
+                // time out.
+                self.out.clear();
+                self.written = 0;
+                self.deadline = now + state.config.write_timeout;
+                if ended {
+                    let _ = self.stream.shutdown(Shutdown::Both);
+                    self.done = true;
+                }
+            } else if now >= self.deadline {
+                state.metrics.counter("server.requests", "io_error", 1);
+                self.done = true;
+            }
+        }
+        self.streaming = Some(streaming);
     }
 
     /// Switches to the Writing phase and optimistically flushes — most
@@ -337,8 +598,10 @@ pub(crate) fn serve(listener: &TcpListener, state: &Arc<Shared>) -> io::Result<(
 
     // Graceful drain: stop reading new requests, flush what is already
     // rendered. Readers are abandoned (their request will never be
-    // answered anyway), writers get up to DRAIN_TIMEOUT.
-    conns.retain(|c| c.writing);
+    // answered anyway) and streams are cut — their job keeps running;
+    // the client re-polls or reconnects after the restart — while
+    // buffered writers get up to DRAIN_TIMEOUT.
+    conns.retain(|c| c.writing && c.streaming.is_none());
     let deadline = Instant::now() + DRAIN_TIMEOUT;
     while !conns.is_empty() && Instant::now() < deadline {
         let mut fds: Vec<PollFd> = conns

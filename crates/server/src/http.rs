@@ -156,18 +156,29 @@ pub struct Response {
     pub content_type: String,
     /// Seconds for a `Retry-After` header, when set.
     pub retry_after: Option<u64>,
+    /// Whether this response was relayed from another fleet member; sent
+    /// as `X-Fetchvp-Proxied: 1` so clients (and the load generator's
+    /// per-status-class histograms) can tell a 1-hop answer from a local
+    /// one.
+    pub proxied: bool,
 }
 
 impl Response {
     /// A response with the given status and JSON body.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, body, content_type: "application/json".to_string(), retry_after: None }
+        Response {
+            status,
+            body,
+            content_type: "application/json".to_string(),
+            retry_after: None,
+            proxied: false,
+        }
     }
 
     /// A response with an explicit content type (e.g. Prometheus text
     /// exposition on `/metrics`).
     pub fn text(status: u16, body: String, content_type: &str) -> Response {
-        Response { status, body, content_type: content_type.to_string(), retry_after: None }
+        Response { content_type: content_type.to_string(), ..Response::json(status, body) }
     }
 
     /// A `Retry-After` variant of [`Response::json`].
@@ -177,18 +188,7 @@ impl Response {
 
     /// The standard reason phrase for the status code.
     pub fn reason(&self) -> &'static str {
-        match self.status {
-            200 => "OK",
-            202 => "Accepted",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            413 => "Payload Too Large",
-            500 => "Internal Server Error",
-            502 => "Bad Gateway",
-            503 => "Service Unavailable",
-            _ => "Unknown",
-        }
+        reason_phrase(self.status)
     }
 
     /// The full wire form of the response, ready for buffered writes from
@@ -210,6 +210,9 @@ impl Response {
         if let Some(seconds) = self.retry_after {
             head.push_str(&format!("Retry-After: {seconds}\r\n"));
         }
+        if self.proxied {
+            head.push_str("X-Fetchvp-Proxied: 1\r\n");
+        }
         head.push_str("\r\n");
         let mut bytes = head.into_bytes();
         bytes.extend_from_slice(self.body.as_bytes());
@@ -221,6 +224,53 @@ impl Response {
         stream.write_all(&self.to_bytes())?;
         stream.flush()
     }
+}
+
+/// The standard reason phrase for a status code.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The head of a streaming response: `Transfer-Encoding: chunked`, no
+/// `Content-Length` (the length is unknown while the job runs), still
+/// `Connection: close`. Follow with [`chunk`]-framed payloads and finish
+/// with [`chunk_end`].
+pub fn stream_head(status: u16, content_type: &str) -> Vec<u8> {
+    let reason = reason_phrase(status);
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// One HTTP/1.1 chunk frame: hex length, CRLF, payload, CRLF. Empty
+/// payloads return no bytes (a zero-length chunk would terminate the
+/// stream).
+pub fn chunk(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let mut bytes = format!("{:x}\r\n", payload.len()).into_bytes();
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(b"\r\n");
+    bytes
+}
+
+/// The terminating zero-length chunk of a chunked response.
+pub fn chunk_end() -> &'static [u8] {
+    b"0\r\n\r\n"
 }
 
 /// A `{"error": …}` body for error responses.
@@ -407,6 +457,33 @@ mod tests {
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("{\n  \"error\": \"queue full\"\n}"), "{text}");
+    }
+
+    #[test]
+    fn stream_frames_are_valid_chunked_encoding() {
+        let head = String::from_utf8(stream_head(200, "application/x-ndjson")).unwrap();
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"), "{head}");
+        assert!(head.contains("Connection: close\r\n"), "{head}");
+        assert!(!head.contains("Content-Length"), "streams have no length:\n{head}");
+        assert!(head.ends_with("\r\n\r\n"), "{head}");
+
+        assert_eq!(chunk(b"hello\n"), b"6\r\nhello\n\r\n");
+        // 26 bytes frames as hex 1a.
+        assert_eq!(chunk(&[b'x'; 26])[..4], *b"1a\r\n");
+        assert!(chunk(b"").is_empty(), "empty payloads must not terminate the stream");
+        assert_eq!(chunk_end(), b"0\r\n\r\n");
+    }
+
+    #[test]
+    fn proxied_responses_carry_the_relay_header() {
+        let mut response = Response::json(200, "{}".to_string());
+        let plain = String::from_utf8(response.to_bytes()).unwrap();
+        assert!(!plain.contains("X-Fetchvp-Proxied"), "{plain}");
+        response.proxied = true;
+        let relayed = String::from_utf8(response.to_bytes()).unwrap();
+        assert!(relayed.contains("X-Fetchvp-Proxied: 1\r\n"), "{relayed}");
+        assert!(relayed.contains("Connection: close\r\n"), "{relayed}");
     }
 
     #[test]

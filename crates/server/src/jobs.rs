@@ -14,10 +14,12 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use fetchvp_experiments::JobSpec;
 use fetchvp_metrics::Json;
+
+use crate::progress::JobProgress;
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +64,9 @@ pub struct JobRecord {
     pub result: Option<Json>,
     /// The failure message, once [`JobStatus::Failed`].
     pub error: Option<String>,
+    /// Live progress: totals for the `progress` snapshot plus the event
+    /// ring behind `GET /jobs/<id>/events`.
+    pub progress: Arc<JobProgress>,
 }
 
 impl JobRecord {
@@ -71,6 +76,7 @@ impl JobRecord {
             ("job".to_string(), Json::UInt(self.id)),
             ("status".to_string(), Json::Str(self.status.as_str().to_string())),
             ("spec".to_string(), self.spec.to_json()),
+            ("progress".to_string(), self.progress.snapshot_json()),
         ];
         if let Some(result) = &self.result {
             pairs.push(("result".to_string(), result.clone()));
@@ -88,6 +94,12 @@ impl JobRecord {
 /// still giving a polling client minutes of slack at any realistic
 /// drain rate.
 pub const MAX_TERMINAL_RECORDS: usize = 4096;
+
+/// How many progress events each job's ring retains by default for
+/// `GET /jobs/<id>/events` readers. A reader that falls further behind
+/// loses the oldest events (and is told how many); the terminal event is
+/// always the newest, so it is never lost.
+pub const DEFAULT_PROGRESS_EVENTS: usize = 512;
 
 /// The records plus the completion-order ring that bounds them.
 #[derive(Debug)]
@@ -111,6 +123,7 @@ pub struct JobTable {
     stride: u64,
     offset: u64,
     terminal_cap: usize,
+    progress_capacity: usize,
     records: Mutex<Records>,
 }
 
@@ -139,6 +152,7 @@ impl JobTable {
             stride,
             offset,
             terminal_cap: MAX_TERMINAL_RECORDS,
+            progress_capacity: DEFAULT_PROGRESS_EVENTS,
             records: Mutex::new(Records { by_id: HashMap::new(), terminal: VecDeque::new() }),
         }
     }
@@ -148,6 +162,13 @@ impl JobTable {
     /// completing [`MAX_TERMINAL_RECORDS`] jobs.
     pub fn with_terminal_cap(mut self, cap: usize) -> JobTable {
         self.terminal_cap = cap.max(1);
+        self
+    }
+
+    /// Overrides how many progress events each job's ring retains
+    /// (clamped to at least 1, so the terminal event always survives).
+    pub fn with_progress_capacity(mut self, capacity: usize) -> JobTable {
+        self.progress_capacity = capacity.max(1);
         self
     }
 
@@ -179,10 +200,14 @@ impl JobTable {
         }
     }
 
-    /// Allocates an id and inserts a [`JobStatus::Queued`] record.
+    /// Allocates an id and inserts a [`JobStatus::Queued`] record. The
+    /// record's progress ring opens with a `"queued"` lifecycle event.
     pub fn create(&self, spec: JobSpec) -> u64 {
         let id = self.next_id();
-        let record = JobRecord { id, spec, status: JobStatus::Queued, result: None, error: None };
+        let progress = Arc::new(JobProgress::new(id, self.progress_capacity));
+        progress.set_phase("queued");
+        let record =
+            JobRecord { id, spec, status: JobStatus::Queued, result: None, error: None, progress };
         self.lock().by_id.insert(id, record);
         id
     }
@@ -193,31 +218,80 @@ impl JobTable {
         self.lock().by_id.remove(&id);
     }
 
-    /// Marks a job running.
+    /// Marks a job running and publishes the `"running"` event.
     pub fn set_running(&self, id: u64) {
-        if let Some(record) = self.lock().by_id.get_mut(&id) {
+        let progress = {
+            let mut records = self.lock();
+            let Some(record) = records.by_id.get_mut(&id) else { return };
             record.status = JobStatus::Running;
-        }
+            Arc::clone(&record.progress)
+        };
+        progress.set_phase("running");
     }
 
     /// Marks a job done with its result document.
+    ///
+    /// The terminal `"done"` event is published only after the record
+    /// itself is terminal, so a streamer that reacts to the event by
+    /// polling `GET /jobs/<id>` always sees the finished record.
     pub fn finish(&self, id: u64, result: Json) {
-        let mut records = self.lock();
-        if let Some(record) = records.by_id.get_mut(&id) {
+        let progress = {
+            let mut records = self.lock();
+            let Some(record) = records.by_id.get_mut(&id) else { return };
             record.status = JobStatus::Done;
             record.result = Some(result);
+            let progress = Arc::clone(&record.progress);
             self.retire(&mut records, id);
-        }
+            progress
+        };
+        progress.set_phase("done");
     }
 
-    /// Marks a job failed with a message.
+    /// Marks a job failed with a message (terminal event ordering as in
+    /// [`JobTable::finish`]).
     pub fn fail(&self, id: u64, error: String) {
-        let mut records = self.lock();
-        if let Some(record) = records.by_id.get_mut(&id) {
+        let progress = {
+            let mut records = self.lock();
+            let Some(record) = records.by_id.get_mut(&id) else { return };
             record.status = JobStatus::Failed;
             record.error = Some(error);
+            let progress = Arc::clone(&record.progress);
             self.retire(&mut records, id);
+            progress
+        };
+        progress.set_phase("failed");
+    }
+
+    /// The job's progress handle — what the worker attaches to its sweep
+    /// and the event loop streams from. `None` for unknown (or evicted)
+    /// ids.
+    pub fn progress(&self, id: u64) -> Option<Arc<JobProgress>> {
+        self.lock().by_id.get(&id).map(|record| Arc::clone(&record.progress))
+    }
+
+    /// The live (queued or running) jobs as `{job, status, progress}`
+    /// documents sorted by id — the `live_jobs` section of a fleet
+    /// member's `/fleet/metrics` report.
+    pub fn live_json(&self) -> Json {
+        let mut live: Vec<&JobRecord> = Vec::new();
+        let records = self.lock();
+        for record in records.by_id.values() {
+            if !record.status.is_terminal() {
+                live.push(record);
+            }
         }
+        live.sort_by_key(|record| record.id);
+        Json::Array(
+            live.into_iter()
+                .map(|record| {
+                    Json::object([
+                        ("job".to_string(), Json::UInt(record.id)),
+                        ("status".to_string(), Json::Str(record.status.as_str().to_string())),
+                        ("progress".to_string(), record.progress.snapshot_json()),
+                    ])
+                })
+                .collect(),
+        )
     }
 
     /// The record's wire document, if the id exists.

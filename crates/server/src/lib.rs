@@ -25,7 +25,9 @@
 //! | method & path | behaviour |
 //! |---|---|
 //! | `POST /run` | validate a job spec; `202` + job id (or `200` with the inlined result on a cache hit), `400` on a bad spec, `503` + `Retry-After` when the queue is full |
-//! | `GET /jobs/<id>` | the job's status/result document; `404` for unknown ids; proxied to the owning fleet member when the id belongs elsewhere |
+//! | `GET /jobs/<id>` | the job's status/result document (with a live `progress` snapshot); `404` for unknown ids; proxied to the owning fleet member when the id belongs elsewhere |
+//! | `GET /jobs/<id>/events` | **live NDJSON progress stream** over HTTP/1.1 chunked transfer: one [`fetchvp_tracing::ProgressEvent`] line per chunk until the terminal `done`/`failed` event, relayed 1 hop from the owning fleet member when the id belongs elsewhere |
+//! | `GET /fleet/metrics` | fleet-wide observability: any member fans the request out to its peers and returns the merged per-member snapshots (version, uptime, live jobs with progress, metrics) plus fleet-summed counters, with dead members marked |
 //! | `GET /healthz` | liveness + queue/worker summary (+ per-peer liveness in a fleet) |
 //! | `GET /metrics` | live [`fetchvp_metrics::Registry`] snapshot: `server.*` counters alongside accumulated simulator counters (`trace.*`, `sched.*`, …) |
 //! | `POST /shutdown` | graceful shutdown (also triggered by `SIGTERM`/`SIGINT`): stop accepting, drain admitted jobs, exit |
@@ -58,12 +60,11 @@ pub mod http;
 pub mod jobs;
 pub mod loadgen;
 pub mod peers;
+pub mod progress;
 pub mod queue;
 
 use std::io;
-#[cfg(not(unix))]
-use std::net::TcpStream;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -79,6 +80,7 @@ use cache::ResultCache;
 use http::{error_body, Request, Response};
 use jobs::JobTable;
 use peers::Fleet;
+use progress::JobProgress;
 use queue::BoundedQueue;
 
 /// How the daemon is sized and where it listens.
@@ -113,6 +115,10 @@ pub struct ServerConfig {
     /// Full fleet member list (`host:port`, including this process's own
     /// address) for `--peers` mode; empty means standalone.
     pub peers: Vec<String>,
+    /// How many progress events each job's ring retains for
+    /// `GET /jobs/<id>/events` readers; a slower reader loses the oldest
+    /// events (drop-oldest), never the terminal one.
+    pub progress_ring_events: usize,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +134,7 @@ impl Default for ServerConfig {
             trace_dir: None,
             result_cache_entries: 256,
             peers: Vec::new(),
+            progress_ring_events: jobs::DEFAULT_PROGRESS_EVENTS,
         }
     }
 }
@@ -183,13 +190,40 @@ const PROXY_WORKERS: usize = 4;
 /// requests fall back to local handling immediately.
 const PROXY_QUEUE_DEPTH: usize = 64;
 
+/// What a proxy helper produced for the parked connection.
+enum ProxyOutcome {
+    /// A complete buffered response, ready to write.
+    Response(Response),
+    /// An open nonblocking socket to the owning member, whose bytes the
+    /// event loop relays verbatim — the streaming hop of
+    /// `GET /jobs/<id>/events`.
+    Upstream(TcpStream),
+}
+
 /// The slot a proxy helper fills once its hop completes; the owning
 /// connection polls it from the event loop.
-type ProxySlot = Mutex<Option<Response>>;
+type ProxySlot = Mutex<Option<ProxyOutcome>>;
 
-/// One proxy hop parked off the event loop.
+/// Which flavor of blocking work a [`ProxyTask`] parks off the event
+/// loop.
+enum ProxyKind {
+    /// Buffered single-hop forward to the owning member.
+    Hop {
+        /// The owning member's index in the fleet list.
+        member: usize,
+    },
+    /// Connect a streaming relay to the owning member.
+    StreamConnect {
+        /// The owning member's index in the fleet list.
+        member: usize,
+    },
+    /// Fan `GET /fleet/metrics` out to every member and merge.
+    FleetMetrics,
+}
+
+/// One blocking hop parked off the event loop.
 struct ProxyTask {
-    member: usize,
+    kind: ProxyKind,
     request: Request,
     started: Instant,
     slot: Arc<ProxySlot>,
@@ -207,6 +241,9 @@ struct Shared {
     proxies: BoundedQueue<ProxyTask>,
     shutdown: AtomicBool,
     active_connections: AtomicUsize,
+    /// When the daemon bound its socket — the `server.uptime_seconds`
+    /// gauge and the per-member RPS denominator in `/fleet/metrics`.
+    started: Instant,
 }
 
 impl Shared {
@@ -214,24 +251,32 @@ impl Shared {
         self.shutdown.load(Ordering::SeqCst) || signals::terminated()
     }
 
-    /// Parks a proxy hop on the helper pool. `Err` carries the response
-    /// when the hop could not be parked (saturated pool): the request is
-    /// completed locally instead — computed without blocking I/O, and
-    /// already metered.
+    /// Parks a blocking hop on the helper pool. `Err` carries the
+    /// response when the hop could not be parked (saturated pool): the
+    /// request is completed locally instead — computed without blocking
+    /// I/O, and already metered.
     #[cfg(unix)]
     fn dispatch_proxy(
         &self,
-        member: usize,
+        kind: ProxyKind,
         request: Request,
         started: Instant,
     ) -> Result<Arc<ProxySlot>, Response> {
         let slot = Arc::new(Mutex::new(None));
-        let task = ProxyTask { member, request, started, slot: Arc::clone(&slot) };
+        let task = ProxyTask { kind, request, started, slot: Arc::clone(&slot) };
         match self.proxies.try_push(task) {
             Ok(_) => Ok(slot),
             Err(task) => {
                 self.metrics.counter("server.peers", "proxy_overflow", 1);
-                let response = proxy_fallback(self, &task.request);
+                let response = match task.kind {
+                    // A saturated helper pool cannot fan out or stream;
+                    // the aggregation client retries, the stream client
+                    // falls back to polling.
+                    ProxyKind::FleetMetrics | ProxyKind::StreamConnect { .. } => {
+                        Response::retry_after(503, error_body("proxy helpers saturated"), 1)
+                    }
+                    ProxyKind::Hop { .. } => proxy_fallback(self, &task.request),
+                };
                 finish_request(self, &task.request, &response, task.started);
                 Err(response)
             }
@@ -252,6 +297,18 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let metrics = SharedRegistry::new();
         metrics.counter("server", "started", 1);
+        // Build identity, for version-skew detection across a fleet:
+        // `fetchvp_build_info 1` plus the crate and on-disk format
+        // versions as their own series (this exposition has no labels).
+        metrics.counter("build", "info", 1);
+        for (name, text) in [
+            ("version_major", env!("CARGO_PKG_VERSION_MAJOR")),
+            ("version_minor", env!("CARGO_PKG_VERSION_MINOR")),
+            ("version_patch", env!("CARGO_PKG_VERSION_PATCH")),
+        ] {
+            metrics.counter("build", name, text.parse().unwrap_or(0));
+        }
+        metrics.counter("build", "trace_format_version", fetchvp_tracestore::FORMAT_VERSION as u64);
         let trace_dir = config.trace_dir.as_ref().map(|root| Arc::new(TraceDir::new(root)));
         let fleet = if config.peers.is_empty() {
             Fleet::standalone()
@@ -262,7 +319,8 @@ impl Server {
         let results = ResultCache::new(config.result_cache_entries, config.trace_dir.as_deref());
         let state = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
-            jobs: JobTable::sharded(fleet.stride(), fleet.self_index() as u64),
+            jobs: JobTable::sharded(fleet.stride(), fleet.self_index() as u64)
+                .with_progress_capacity(config.progress_ring_events),
             metrics,
             sweeps: SweepPool::new(trace_dir),
             results,
@@ -270,6 +328,7 @@ impl Server {
             proxies: BoundedQueue::new(PROXY_QUEUE_DEPTH),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
+            started: Instant::now(),
             config,
         });
         Ok(Server { listener, state })
@@ -415,6 +474,13 @@ fn worker_loop(state: &Shared) {
     while let Some((id, spec)) = state.queue.pop() {
         state.jobs.set_running(id);
         let (sweep, pool_hit) = state.sweeps.sweep_for(&spec);
+        // Attach the job's progress ring so every machine sweep the spec
+        // runs feeds `GET /jobs/<id>/events`; observers never change
+        // results (the sweep determinism tests assert this).
+        let sweep = match state.jobs.progress(id) {
+            Some(progress) => sweep.with_progress(progress),
+            None => sweep,
+        };
         state.metrics.counter("server.sweep_pool", if pool_hit { "hits" } else { "misses" }, 1);
         let started = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| spec.run(&sweep))) {
@@ -458,6 +524,23 @@ enum Routed {
         /// The owning member's index in the fleet list.
         member: usize,
     },
+    /// Stream the job's progress ring as chunked NDJSON until its
+    /// terminal event — served incrementally by the event loop (the
+    /// threaded fallback and unit tests degrade to a snapshot).
+    Stream {
+        /// The job's progress handle; the connection keeps its own
+        /// cursor into the ring.
+        progress: Arc<JobProgress>,
+    },
+    /// Open a streaming relay hop to fleet member `member`, who owns the
+    /// requested job's events.
+    StreamProxy {
+        /// The owning member's index in the fleet list.
+        member: usize,
+    },
+    /// Fan `GET /fleet/metrics` out to every peer and merge — blocking
+    /// network I/O, parked on the proxy helper pool.
+    FleetMetrics,
 }
 
 /// Records the per-request metrics and access log line once a response
@@ -489,9 +572,21 @@ fn respond_or_proxy(state: &Shared, request: &Request, started: Instant) -> Rout
             finish_request(state, request, &response, started);
             Routed::Ready(response)
         }
+        Routed::Stream { progress } => {
+            // Streams are metered when they are accepted (the 200 and the
+            // head go out now); their lifetime is the job's, not a
+            // request-latency sample's.
+            let accepted = Response::text(200, String::new(), STREAM_CONTENT_TYPE);
+            finish_request(state, request, &accepted, started);
+            Routed::Stream { progress }
+        }
         proxy => proxy,
     }
 }
+
+/// The content type of the `GET /jobs/<id>/events` stream: newline-
+/// delimited JSON, one [`fetchvp_tracing::ProgressEvent`] line per chunk.
+pub const STREAM_CONTENT_TYPE: &str = "application/x-ndjson";
 
 /// Routes one parsed request to a finished response, running any proxy
 /// hop inline — the blocking entry point used by the threaded fallback
@@ -501,18 +596,81 @@ fn respond_or_proxy(state: &Shared, request: &Request, started: Instant) -> Rout
 fn respond(state: &Shared, request: &Request, started: Instant) -> Response {
     let response = match route(state, request, false) {
         Routed::Ready(response) => response,
-        Routed::Proxy { member } => complete_proxy(state, member, request),
+        Routed::Proxy { member } | Routed::StreamProxy { member } => {
+            complete_proxy(state, member, request)
+        }
+        // Without the event loop there is no incremental write path, so
+        // the stream degrades to a self-contained snapshot of the ring.
+        Routed::Stream { progress } => stream_snapshot(&progress),
+        Routed::FleetMetrics => fleet_metrics_merged(state),
     };
     finish_request(state, request, &response, started);
     response
 }
 
+/// The ring's retained events as one buffered NDJSON body — what the
+/// threaded fallback (and any proxyless local route) serves where the
+/// event loop would stream live.
+fn stream_snapshot(progress: &JobProgress) -> Response {
+    let batch = progress.since(0);
+    let mut body = String::new();
+    for event in &batch.events {
+        body.push_str(&event.to_line());
+        body.push('\n');
+    }
+    Response::text(200, body, STREAM_CONTENT_TYPE)
+}
+
 /// One proxy helper: runs the blocking hops the event loop parked.
 fn proxy_loop(state: &Shared) {
     while let Some(task) = state.proxies.pop() {
-        let response = complete_proxy(state, task.member, &task.request);
-        finish_request(state, &task.request, &response, task.started);
-        *task.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(response);
+        let outcome = match task.kind {
+            ProxyKind::Hop { member } => {
+                let response = complete_proxy(state, member, &task.request);
+                finish_request(state, &task.request, &response, task.started);
+                ProxyOutcome::Response(response)
+            }
+            ProxyKind::StreamConnect { member } => match open_stream_hop(state, member, &task) {
+                Ok(upstream) => ProxyOutcome::Upstream(upstream),
+                Err(response) => ProxyOutcome::Response(response),
+            },
+            ProxyKind::FleetMetrics => {
+                let response = fleet_metrics_merged(state);
+                finish_request(state, &task.request, &response, task.started);
+                ProxyOutcome::Response(response)
+            }
+        };
+        *task.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+    }
+}
+
+/// Opens the streaming relay for a [`ProxyKind::StreamConnect`] hop,
+/// metering either the accepted relay (as a proxied 200) or the failure
+/// response. An unreachable owner answers 502 — the record (and its
+/// ring) lives only there, so there is no local fallback to stream.
+fn open_stream_hop(state: &Shared, member: usize, task: &ProxyTask) -> Result<TcpStream, Response> {
+    let upstream = if state.fleet.is_alive(member) {
+        state.fleet.open_stream(member, &task.request)
+    } else {
+        None
+    };
+    match upstream {
+        Some(upstream) => {
+            state.metrics.counter("server.peers", "proxied_streams", 1);
+            let mut accepted = Response::text(200, String::new(), STREAM_CONTENT_TYPE);
+            accepted.proxied = true;
+            finish_request(state, &task.request, &accepted, task.started);
+            Ok(upstream)
+        }
+        None => {
+            state.metrics.counter("server.peers", "proxy_errors", 1);
+            if state.fleet.set_alive(member, false) {
+                state.metrics.counter("server.peers", "health_flips", 1);
+            }
+            let response = proxy_fallback(state, &task.request);
+            finish_request(state, &task.request, &response, task.started);
+            Err(response)
+        }
     }
 }
 
@@ -535,15 +693,16 @@ fn complete_proxy(state: &Shared, member: usize, request: &Request) -> Response 
 /// `502`, because the record lives only on the unreachable owner.
 fn proxy_fallback(state: &Shared, request: &Request) -> Response {
     if request.path.starts_with("/jobs/") {
-        let owner = request.path["/jobs/".len()..]
+        let tail = &request.path["/jobs/".len()..];
+        let id_text = tail.strip_suffix("/events").unwrap_or(tail);
+        let owner = id_text
             .parse::<u64>()
             .map(|id| JobTable::owner_of(id, state.fleet.stride()) as usize)
             .unwrap_or_default();
         return Response::json(
             502,
             error_body(&format!(
-                "job {} belongs to unreachable fleet member {}",
-                &request.path["/jobs/".len()..],
+                "job {id_text} belongs to unreachable fleet member {}",
                 state.fleet.members().get(owner).map(String::as_str).unwrap_or("?")
             )),
         );
@@ -557,7 +716,12 @@ fn proxy_fallback(state: &Shared, request: &Request) -> Response {
 fn route_local(state: &Shared, request: &Request) -> Response {
     match route(state, request, true) {
         Routed::Ready(response) => response,
-        Routed::Proxy { .. } => unreachable!("local-only routing cannot proxy"),
+        // A locally-owned events stream degrades to a buffered snapshot
+        // of the ring — proxyless paths have no incremental writer.
+        Routed::Stream { progress } => stream_snapshot(&progress),
+        Routed::Proxy { .. } | Routed::StreamProxy { .. } | Routed::FleetMetrics => {
+            unreachable!("local-only routing cannot proxy")
+        }
     }
 }
 
@@ -588,7 +752,8 @@ fn handle_connection(state: &Shared, mut stream: TcpStream) {
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// The metric label for a request path (`/jobs/7` → `jobs`).
+/// The metric label for a request path (`/jobs/7` → `jobs`,
+/// `/jobs/7/events` → `events`).
 fn endpoint_label(path: &str) -> &'static str {
     if path == "/healthz" {
         "healthz"
@@ -598,6 +763,10 @@ fn endpoint_label(path: &str) -> &'static str {
         "run"
     } else if path == "/shutdown" {
         "shutdown"
+    } else if path == "/fleet/metrics" {
+        "fleet"
+    } else if path.starts_with("/jobs/") && path.ends_with("/events") {
+        "events"
     } else if path.starts_with("/jobs/") {
         "jobs"
     } else {
@@ -612,15 +781,31 @@ fn route(state: &Shared, request: &Request, local_only: bool) -> Routed {
     Routed::Ready(match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/metrics") => metrics_snapshot(state, request),
+        ("GET", "/fleet/metrics") => {
+            // A forwarded (or local-only) request is one peer answering
+            // the aggregator: it reports just its own member document.
+            // Fresh requests on a fleet member fan out on the helper
+            // pool; a standalone daemon merges itself inline.
+            if local_only || is_forwarded(request) {
+                Response::json(200, fleet_member_json(state).to_json())
+            } else if state.fleet.is_fleet() {
+                return Routed::FleetMetrics;
+            } else {
+                fleet_metrics_merged(state)
+            }
+        }
         ("POST", "/run") => return submit(state, request, local_only),
         ("POST", "/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             Response::json(200, Json::object([status_pair("shutting down")]).to_json())
         }
+        ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/events") => {
+            return job_events(state, request, path, local_only)
+        }
         ("GET", path) if path.starts_with("/jobs/") => {
             return job_status(state, request, path, local_only)
         }
-        (_, "/healthz" | "/metrics" | "/run" | "/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/run" | "/shutdown" | "/fleet/metrics") => {
             Response::json(405, error_body("method not allowed"))
         }
         (_, path) if path.starts_with("/jobs/") => {
@@ -681,9 +866,11 @@ fn wants_prometheus(request: &Request) -> bool {
         .is_some_and(|accept| accept.contains("text/plain") || accept.contains("openmetrics"))
 }
 
-fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
-    // Point-in-time gauges, refreshed at scrape time like Prometheus
-    // collectors do; counters accumulate across the daemon's lifetime.
+/// Refreshes the point-in-time gauges Prometheus-collector style, right
+/// before a snapshot is taken (`/metrics` scrape or a `/fleet/metrics`
+/// member report); counters accumulate across the daemon's lifetime.
+fn refresh_gauges(state: &Shared) {
+    state.metrics.gauge("server", "uptime_seconds", state.started.elapsed().as_secs_f64());
     state.metrics.gauge("server.queue", "depth", state.queue.len() as f64);
     state.metrics.gauge(
         "server.connections",
@@ -711,6 +898,10 @@ fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
             up,
         );
     }
+}
+
+fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
+    refresh_gauges(state);
     // `server.started` (recorded at bind) guarantees the `server.*`
     // namespace is present even in the very first scrape; this request's
     // own counter lands in the *next* snapshot via handle_connection.
@@ -723,6 +914,100 @@ fn metrics_snapshot(state: &Shared, request: &Request) -> Response {
         );
     }
     Response::json(200, snapshot.to_json().to_json())
+}
+
+/// One member's contribution to `/fleet/metrics`: who it is (address,
+/// crate version, uptime), what it is doing (live jobs with progress
+/// snapshots) and its full metrics snapshot.
+fn fleet_member_json(state: &Shared) -> Json {
+    refresh_gauges(state);
+    let addr = state
+        .fleet
+        .members()
+        .get(state.fleet.self_index())
+        .cloned()
+        .unwrap_or_else(|| state.config.addr.clone());
+    Json::object([
+        ("addr".to_string(), Json::Str(addr)),
+        ("version".to_string(), Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+        ("uptime_seconds".to_string(), Json::UInt(state.started.elapsed().as_secs())),
+        ("live_jobs".to_string(), state.jobs.live_json()),
+        ("metrics".to_string(), state.metrics.snapshot().to_json()),
+    ])
+}
+
+/// Builds the merged `/fleet/metrics` document: this member's own report
+/// plus one forwarded fetch per peer (blocking — never run on the event
+/// loop in fleet mode). Unreachable peers are marked `"down"` (and their
+/// liveness flag flipped) instead of failing the whole aggregation, and
+/// counters of every reporting member are summed into a fleet-wide
+/// `summed.counters` section.
+fn fleet_metrics_merged(state: &Shared) -> Response {
+    let mut members: Vec<(String, Json)> = Vec::new();
+    let mut summed: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut reporting = 0u64;
+    let mut sum_counters = |doc: &Json| {
+        if let Some(counters) = doc.get_path("metrics.counters").and_then(Json::as_object) {
+            for (key, value) in counters {
+                if let Some(n) = value.as_u64() {
+                    *summed.entry(key.clone()).or_insert(0) += n;
+                }
+            }
+        }
+    };
+    if state.fleet.is_fleet() {
+        let probe = Request {
+            method: "GET".to_string(),
+            path: "/fleet/metrics".to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        for (member, addr) in state.fleet.members().iter().enumerate() {
+            let (status, doc) = if member == state.fleet.self_index() {
+                ("self", Some(fleet_member_json(state)))
+            } else {
+                let fetched = state
+                    .fleet
+                    .is_alive(member)
+                    .then(|| proxy_or_mark_dead(state, member, &probe))
+                    .flatten()
+                    .filter(|response| response.status == 200)
+                    .and_then(|response| Json::parse(&response.body).ok());
+                match fetched {
+                    Some(doc) => ("up", Some(doc)),
+                    None => ("down", None),
+                }
+            };
+            let mut pairs = vec![("status".to_string(), Json::Str(status.to_string()))];
+            if let Some(doc) = doc {
+                reporting += 1;
+                sum_counters(&doc);
+                if let Some(fields) = doc.as_object() {
+                    pairs.extend(fields.iter().cloned());
+                }
+            }
+            members.push((addr.clone(), Json::object(pairs)));
+        }
+    } else {
+        let doc = fleet_member_json(state);
+        reporting = 1;
+        sum_counters(&doc);
+        let mut pairs = vec![("status".to_string(), Json::Str("self".to_string()))];
+        pairs.extend(doc.as_object().into_iter().flatten().cloned());
+        members.push((state.config.addr.clone(), Json::object(pairs)));
+    }
+    let summed_counters =
+        summed.into_iter().map(|(key, value)| (key, Json::UInt(value))).collect::<Vec<_>>();
+    let doc = Json::object([
+        ("fleet_size".to_string(), Json::UInt(state.fleet.members().len().max(1) as u64)),
+        ("reporting".to_string(), Json::UInt(reporting)),
+        ("members".to_string(), Json::object(members)),
+        (
+            "summed".to_string(),
+            Json::object([("counters".to_string(), Json::object(summed_counters))]),
+        ),
+    ]);
+    Response::json(200, doc.to_json())
 }
 
 /// Seconds a rejected client should wait before retrying, derived from
@@ -756,8 +1041,11 @@ fn is_forwarded(request: &Request) -> bool {
 /// handling instead of surfacing a peer's failure to the client.
 fn proxy_or_mark_dead(state: &Shared, member: usize, request: &Request) -> Option<Response> {
     match state.fleet.proxy(member, request) {
-        Some(response) => {
+        Some(mut response) => {
             state.metrics.counter("server.peers", "proxied", 1);
+            // Stamp the relay (`X-Fetchvp-Proxied: 1`) so clients can
+            // attribute the extra hop's latency.
+            response.proxied = true;
             Some(response)
         }
         None => {
@@ -854,6 +1142,31 @@ fn job_status(state: &Shared, request: &Request, path: &str, local_only: bool) -
     })
 }
 
+/// `GET /jobs/<id>/events` — routes to a live stream of the job's
+/// progress ring, a streaming relay hop when another fleet member owns
+/// the id, or `404` when no record exists (ids never minted, evicted
+/// terminal records, and cache-hit submissions, which are answered
+/// inline without a record).
+fn job_events(state: &Shared, request: &Request, path: &str, local_only: bool) -> Routed {
+    let tail = &path["/jobs/".len()..];
+    let id_text = tail.strip_suffix("/events").unwrap_or(tail);
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Routed::Ready(Response::json(400, error_body("job id must be an integer")));
+    };
+    let owner = JobTable::owner_of(id, state.fleet.stride()) as usize;
+    if !local_only
+        && state.fleet.is_fleet()
+        && owner != state.fleet.self_index()
+        && !is_forwarded(request)
+    {
+        return Routed::StreamProxy { member: owner };
+    }
+    match state.jobs.progress(id) {
+        Some(progress) => Routed::Stream { progress },
+        None => Routed::Ready(Response::json(404, error_body(&format!("no job {id}")))),
+    }
+}
+
 /// Process-wide termination flag set from `SIGTERM`/`SIGINT`.
 ///
 /// `std` exposes no signal API and the workspace links no crates, but
@@ -918,6 +1231,7 @@ mod tests {
             proxies: BoundedQueue::new(PROXY_QUEUE_DEPTH),
             shutdown: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -1154,6 +1468,94 @@ mod tests {
         let rejected = post(&state, "/run", analysis);
         assert_eq!(rejected.status, 400);
         assert!(rejected.body.contains("cannot replay out-of-core"), "{}", rejected.body);
+    }
+
+    #[test]
+    fn job_documents_carry_live_progress_snapshots() {
+        let state = test_state(4);
+        let ok = post(&state, "/run", r#"{"experiment": "fig3-1", "trace_len": 400}"#);
+        assert_eq!(ok.status, 202);
+        let doc = Json::parse(&get(&state, "/jobs/1").body).unwrap();
+        assert_eq!(doc.get_path("progress.phase").and_then(Json::as_str), Some("queued"));
+        assert_eq!(doc.get_path("progress.percent").and_then(Json::as_u64), Some(0));
+        state.queue.close();
+        worker_loop(&state);
+        let doc = Json::parse(&get(&state, "/jobs/1").body).unwrap();
+        assert_eq!(doc.get_path("progress.phase").and_then(Json::as_str), Some("done"));
+        assert_eq!(doc.get_path("progress.percent").and_then(Json::as_u64), Some(100));
+        let done = doc.get_path("progress.instructions_done").and_then(Json::as_u64).unwrap();
+        let total = doc.get_path("progress.instructions_total").and_then(Json::as_u64).unwrap();
+        assert!(total > 0 && done >= total, "sweep must have walked every instruction");
+    }
+
+    #[test]
+    fn events_endpoint_replays_the_ring_and_404s_unknown_jobs() {
+        let state = test_state(4);
+        assert_eq!(get(&state, "/jobs/1/events").status, 404, "no record yet");
+        assert_eq!(get(&state, "/jobs/x/events").status, 400);
+        let ok = post(&state, "/run", r#"{"experiment": "fig3-1", "trace_len": 400}"#);
+        assert_eq!(ok.status, 202);
+        state.queue.close();
+        worker_loop(&state);
+        // The threaded/test fallback serves the ring as one NDJSON body.
+        let stream = get(&state, "/jobs/1/events");
+        assert_eq!(stream.status, 200);
+        assert_eq!(stream.content_type, STREAM_CONTENT_TYPE);
+        let lines: Vec<&str> = stream.body.lines().collect();
+        assert!(lines.len() >= 3, "expect queued + running + progress + done:\n{}", stream.body);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("phase").and_then(Json::as_str), Some("queued"));
+        let last = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("phase").and_then(Json::as_str), Some("done"));
+        // instructions_done is monotone across the whole stream.
+        let done: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                Json::parse(l).unwrap().get("instructions_done").and_then(Json::as_u64).unwrap()
+            })
+            .collect();
+        assert!(done.windows(2).all(|w| w[0] <= w[1]), "{done:?}");
+    }
+
+    #[test]
+    fn cached_result_submissions_have_no_stream() {
+        let state = test_state(4);
+        let spec = r#"{"experiment": "table3-1", "trace_len": 300}"#;
+        assert_eq!(post(&state, "/run", spec).status, 202);
+        state.queue.close();
+        worker_loop(&state);
+        let hit = post(&state, "/run", spec);
+        assert_eq!(hit.status, 200, "second submission must be a cache hit");
+        assert!(hit.body.contains("\"cached\""));
+        // The hit minted no job record, so there is nothing to stream.
+        assert_eq!(get(&state, "/jobs/2/events").status, 404);
+    }
+
+    #[test]
+    fn standalone_fleet_metrics_reports_a_single_member() {
+        let state = test_state(4);
+        state.metrics.counter("server", "started", 1);
+        let response = get(&state, "/fleet/metrics");
+        assert_eq!(response.status, 200);
+        let doc = Json::parse(&response.body).unwrap();
+        assert_eq!(doc.get("fleet_size").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("reporting").and_then(Json::as_u64), Some(1));
+        let members = doc.get("members").and_then(Json::as_object).unwrap();
+        assert_eq!(members.len(), 1);
+        let (_, member) = &members[0];
+        assert_eq!(member.get("status").and_then(Json::as_str), Some("self"));
+        assert_eq!(member.get("version").and_then(Json::as_str), Some(env!("CARGO_PKG_VERSION")));
+        assert!(member.get("live_jobs").is_some());
+        assert_eq!(
+            doc.get_path("summed.counters")
+                .and_then(|c| c.get("server.started"))
+                .and_then(Json::as_u64),
+            Some(1),
+            "summed counters must include the member's own:\n{}",
+            response.body
+        );
+        // Method guard matches the other endpoints.
+        assert_eq!(post(&state, "/fleet/metrics", "").status, 405);
     }
 
     #[test]

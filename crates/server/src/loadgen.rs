@@ -89,6 +89,39 @@ pub struct LoadgenReport {
     pub late_starts: u64,
     /// The worst observed start lag in microseconds.
     pub max_start_lag_us: u64,
+    /// Latency histograms per response class (see [`status_class`]):
+    /// `proxied` hops carry an extra fleet round-trip, `2xx` is the
+    /// local fast path, `503` the backpressure path — mixing them into
+    /// one quantile hides exactly the differences a fleet operator is
+    /// looking for.
+    pub by_class: BTreeMap<String, Histogram>,
+}
+
+/// The report class of one response. Proxied responses (the
+/// `X-Fetchvp-Proxied` relay header) class first regardless of status —
+/// their latency includes the extra hop — then `2xx`, the `503`
+/// backpressure path, and `other`.
+pub fn status_class(status: u16, proxied: bool) -> &'static str {
+    if proxied {
+        "proxied"
+    } else if (200..300).contains(&status) {
+        "2xx"
+    } else if status == 503 {
+        "503"
+    } else {
+        "other"
+    }
+}
+
+/// A latency histogram as the JSON quantile object the report embeds.
+fn histogram_json(h: &Histogram) -> Json {
+    Json::object([
+        ("count".to_string(), Json::UInt(h.count())),
+        ("mean".to_string(), Json::Float(h.mean())),
+        ("p50".to_string(), Json::UInt(h.p50())),
+        ("p95".to_string(), Json::UInt(h.p95())),
+        ("p99".to_string(), Json::UInt(h.p99())),
+    ])
 }
 
 impl LoadgenReport {
@@ -114,15 +147,15 @@ impl LoadgenReport {
             ("errors".to_string(), Json::UInt(self.errors)),
             ("wall_seconds".to_string(), Json::Float(self.wall.as_secs_f64())),
             ("achieved_rps".to_string(), Json::Float(self.achieved_rps())),
+            ("latency_us".to_string(), histogram_json(&self.latency_us)),
             (
-                "latency_us".to_string(),
-                Json::object([
-                    ("count".to_string(), Json::UInt(self.latency_us.count())),
-                    ("mean".to_string(), Json::Float(self.latency_us.mean())),
-                    ("p50".to_string(), Json::UInt(self.latency_us.p50())),
-                    ("p95".to_string(), Json::UInt(self.latency_us.p95())),
-                    ("p99".to_string(), Json::UInt(self.latency_us.p99())),
-                ]),
+                "by_class".to_string(),
+                Json::object(
+                    self.by_class
+                        .iter()
+                        .map(|(class, h)| (class.clone(), histogram_json(h)))
+                        .collect::<Vec<_>>(),
+                ),
             ),
             ("statuses".to_string(), Json::object(statuses)),
             ("late_starts".to_string(), Json::UInt(self.late_starts)),
@@ -138,7 +171,7 @@ impl LoadgenReport {
             .map(|(status, count)| format!("{status}x{count}"))
             .collect::<Vec<_>>()
             .join(" ");
-        format!(
+        let mut text = format!(
             "loadgen: {}/{} ok ({} transport errors) in {:.2}s -> {:.1} rps\n\
              latency_us: p50={} p95={} p99={} mean={:.0}\n\
              statuses: {}\n\
@@ -155,7 +188,17 @@ impl LoadgenReport {
             if statuses.is_empty() { "none".to_string() } else { statuses },
             self.late_starts,
             self.max_start_lag_us,
-        )
+        );
+        for (class, h) in &self.by_class {
+            text.push_str(&format!(
+                "\n  {class}: n={} p50={} p95={} p99={}",
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            ));
+        }
+        text
     }
 }
 
@@ -169,6 +212,7 @@ struct ThreadTally {
     statuses: BTreeMap<u16, u64>,
     late_starts: u64,
     max_start_lag_us: u64,
+    by_class: BTreeMap<&'static str, Histogram>,
 }
 
 /// Drives the configured load and blocks until the schedule is spent.
@@ -223,6 +267,7 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         statuses: BTreeMap::new(),
         late_starts: 0,
         max_start_lag_us: 0,
+        by_class: BTreeMap::new(),
     };
     for thread in threads {
         let tally = thread.join().map_err(|_| "loadgen sender panicked".to_string())?;
@@ -235,6 +280,9 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         }
         report.late_starts += tally.late_starts;
         report.max_start_lag_us = report.max_start_lag_us.max(tally.max_start_lag_us);
+        for (class, h) in tally.by_class {
+            report.by_class.entry(class.to_string()).or_default().merge(&h);
+        }
     }
     report.wall = start.elapsed();
     Ok(report)
@@ -269,8 +317,10 @@ fn sender_loop(
         }
         tally.max_start_lag_us = tally.max_start_lag_us.max(lag.as_micros() as u64);
         match post_run(target, spec) {
-            Ok(status) => {
-                tally.latency_us.record(sent_at.elapsed().as_micros() as u64);
+            Ok((status, proxied)) => {
+                let latency = sent_at.elapsed().as_micros() as u64;
+                tally.latency_us.record(latency);
+                tally.by_class.entry(status_class(status, proxied)).or_default().record(latency);
                 *tally.statuses.entry(status).or_insert(0) += 1;
                 if (200..300).contains(&status) {
                     tally.ok += 1;
@@ -281,8 +331,10 @@ fn sender_loop(
     }
 }
 
-/// One `POST /run`, returning the response status.
-fn post_run(target: &str, spec: &str) -> Result<u16, ()> {
+/// One `POST /run`, returning the response status and whether the
+/// answer was relayed from another fleet member (the
+/// `X-Fetchvp-Proxied` header).
+fn post_run(target: &str, spec: &str) -> Result<(u16, bool), ()> {
     let addr = target.to_socket_addrs().map_err(|_| ())?.next().ok_or(())?;
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1)).map_err(|_| ())?;
     stream.set_nodelay(true).ok();
@@ -298,10 +350,16 @@ fn post_run(target: &str, spec: &str) -> Result<u16, ()> {
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).map_err(|_| ())?;
     let text = std::str::from_utf8(&raw).map_err(|_| ())?;
-    text.strip_prefix("HTTP/1.1 ")
+    let status = text
+        .strip_prefix("HTTP/1.1 ")
         .and_then(|rest| rest.split(' ').next())
         .and_then(|code| code.parse().ok())
-        .ok_or(())
+        .ok_or(())?;
+    let head = text.split("\r\n\r\n").next().unwrap_or(text);
+    let proxied = head.lines().any(|line| {
+        line.split_once(':').is_some_and(|(name, _)| name.eq_ignore_ascii_case("x-fetchvp-proxied"))
+    });
+    Ok((status, proxied))
 }
 
 #[cfg(test)]
@@ -343,8 +401,16 @@ mod tests {
             statuses: BTreeMap::from([(200, 9)]),
             late_starts: 3,
             max_start_lag_us: 2500,
+            by_class: BTreeMap::new(),
         };
         report.latency_us.record(500);
+        let mut fast = Histogram::new();
+        fast.record(400);
+        fast.record(600);
+        report.by_class.insert("2xx".to_string(), fast);
+        let mut slow = Histogram::new();
+        slow.record(9000);
+        report.by_class.insert("proxied".to_string(), slow);
         let doc = report.to_json();
         assert_eq!(doc.get("ok").and_then(Json::as_u64), Some(9));
         assert_eq!(doc.get_path("statuses.200").and_then(Json::as_u64), Some(9));
@@ -353,7 +419,21 @@ mod tests {
         assert!((rps - 4.5).abs() < 1e-9, "{rps}");
         assert_eq!(doc.get("late_starts").and_then(Json::as_u64), Some(3));
         assert_eq!(doc.get("max_start_lag_us").and_then(Json::as_u64), Some(2500));
+        assert_eq!(doc.get_path("by_class.2xx.count").and_then(Json::as_u64), Some(2));
+        assert!(doc.get_path("by_class.proxied.p99").and_then(Json::as_u64).is_some());
         assert!(report.render().contains("p99="));
         assert!(report.render().contains("3 late starts"));
+        assert!(report.render().contains("proxied: n=1"));
+    }
+
+    #[test]
+    fn response_classes_keep_the_interesting_paths_apart() {
+        assert_eq!(status_class(200, false), "2xx");
+        assert_eq!(status_class(202, false), "2xx");
+        assert_eq!(status_class(503, false), "503");
+        assert_eq!(status_class(404, false), "other");
+        // The relay hop dominates the latency, whatever the status was.
+        assert_eq!(status_class(200, true), "proxied");
+        assert_eq!(status_class(503, true), "proxied");
     }
 }

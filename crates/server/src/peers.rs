@@ -213,6 +213,30 @@ impl Fleet {
         parse_upstream_response(&raw)
     }
 
+    /// Opens a **streaming** hop to `member`: connects, sends `request`
+    /// (marked with [`FORWARDED_HEADER`]) and hands back the raw socket
+    /// in nonblocking mode, so the event loop can relay the peer's
+    /// chunked response bytes verbatim as they arrive — the 1-hop proxy
+    /// path of `GET /jobs/<id>/events`. `None` when the peer cannot be
+    /// reached; the caller answers 502.
+    pub fn open_stream(&self, member: usize, request: &Request) -> Option<TcpStream> {
+        let addr = self.members.get(member)?;
+        let resolved = addr.to_socket_addrs().ok()?.next()?;
+        let mut stream = TcpStream::connect_timeout(&resolved, PROXY_CONNECT_TIMEOUT).ok()?;
+        stream.set_write_timeout(Some(PROXY_IO_TIMEOUT)).ok()?;
+        let head = format!(
+            "{} {} HTTP/1.1\r\nHost: {addr}\r\n{FORWARDED_HEADER}: 1\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            request.method,
+            request.path,
+            request.body.len()
+        );
+        stream.write_all(head.as_bytes()).ok()?;
+        stream.write_all(&request.body).ok()?;
+        stream.set_nonblocking(true).ok()?;
+        Some(stream)
+    }
+
     /// One health probe: `GET /healthz` with tight timeouts. `true` when
     /// the peer answered 200.
     pub fn probe(&self, member: usize) -> bool {
@@ -281,6 +305,7 @@ fn parse_upstream_response(raw: &[u8]) -> Option<Response> {
         body: String::from_utf8(body.to_vec()).ok()?,
         content_type,
         retry_after,
+        proxied: false,
     })
 }
 

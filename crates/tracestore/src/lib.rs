@@ -114,5 +114,7 @@ mod writer;
 pub use cache::{CacheCounters, TraceDir, TraceKey};
 pub use format::{fnv1a, ChunkMeta, DEFAULT_CHUNK_LEN, FORMAT_VERSION, MAGIC};
 pub use reader::{ChunkCursor, TraceStore};
-pub use replay::{run_batch_store, stream_store_stats};
+pub use replay::{
+    run_batch_store, run_batch_store_with_progress, stream_store_stats, ReplayProgress,
+};
 pub use writer::{stream_program_to_store, write_store, StoreSummary, StoreWriter};

@@ -3,10 +3,34 @@
 
 use std::io;
 
-use fetchvp_core::{BatchRunner, MachineConfig, MachineResult};
+use fetchvp_core::{BatchRunner, MachineConfig, MachineResult, ProgressSink};
 use fetchvp_trace::{StatsAccum, TraceStats};
 
 use crate::reader::TraceStore;
+
+/// A passive observer of out-of-core replay progress: called once per
+/// batch block with the on-disk chunk currently being replayed and the
+/// logical instruction index the walk has advanced past (strictly
+/// increasing within one replay). Like [`fetchvp_core::ProgressSink`],
+/// the sink must never influence results.
+pub trait ReplayProgress: Sync {
+    /// The replay is inside on-disk chunk `chunk` and has fully stepped
+    /// `instructions_done` logical trace slots.
+    fn retired(&self, chunk: usize, instructions_done: u64);
+}
+
+/// Adapts the per-block [`ProgressSink`] callback of the batch kernel to
+/// [`ReplayProgress`] by pinning the chunk index of the feed in flight.
+struct ChunkProgress<'a> {
+    inner: &'a dyn ReplayProgress,
+    chunk: usize,
+}
+
+impl ProgressSink for ChunkProgress<'_> {
+    fn retired(&self, retired: u64) {
+        self.inner.retired(self.chunk, retired);
+    }
+}
 
 /// Runs every configuration over the on-disk trace with one sequential
 /// pass, decoding one chunk window at a time into a reusable buffer — the
@@ -29,6 +53,27 @@ pub fn run_batch_store(
     store: &TraceStore,
     configs: &[MachineConfig],
 ) -> io::Result<Vec<MachineResult>> {
+    run_batch_store_with_progress(store, configs, None)
+}
+
+/// [`run_batch_store`] with an optional [`ReplayProgress`] observer
+/// notified once per batch block (tagged with the chunk in flight).
+/// `None` is exactly [`run_batch_store`]; results are byte-identical
+/// either way.
+///
+/// # Errors
+///
+/// Propagates I/O errors and chunk corruption from decoding.
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid, exactly as
+/// [`fetchvp_core::run_batch`].
+pub fn run_batch_store_with_progress(
+    store: &TraceStore,
+    configs: &[MachineConfig],
+    progress: Option<&dyn ReplayProgress>,
+) -> io::Result<Vec<MachineResult>> {
     let mut runner = BatchRunner::new(configs);
     let lookahead = runner.lookahead() as u64;
     if store.is_empty() {
@@ -42,7 +87,18 @@ pub fn run_batch_store(
         // same slots they would in a whole-trace view. A chunk is decoded
         // at most twice: once as lookahead, once as the fed chunk.
         cursor.load_window(k, end + lookahead)?;
-        runner.feed(cursor.view(), meta.start as usize, end as usize);
+        match progress {
+            Some(sink) => {
+                let tagged = ChunkProgress { inner: sink, chunk: k };
+                runner.feed_with_progress(
+                    cursor.view(),
+                    meta.start as usize,
+                    end as usize,
+                    Some(&tagged),
+                );
+            }
+            None => runner.feed(cursor.view(), meta.start as usize, end as usize),
+        }
     }
     Ok(runner.finish())
 }

@@ -1,0 +1,236 @@
+//! Shared job-progress events and the drop-oldest ring they travel
+//! through.
+//!
+//! The batch kernel reports bare "instructions retired" ticks through
+//! `fetchvp_core::ProgressSink`; the sweep layer decorates them with the
+//! workload, config chunk and out-of-core chunk in flight; the server
+//! attaches the job id and phase and pushes the resulting
+//! [`ProgressEvent`]s into a per-job [`ProgressRing`]. Readers (the
+//! `GET /jobs/<id>/events` stream) follow the ring with a cursor:
+//! a reader that falls behind loses the *oldest* events — never the
+//! terminal one, which is always the newest — and is told exactly how
+//! many it lost.
+//!
+//! Unlike [`Ring`](crate::Ring) (single-owner, lock-free, one per sweep
+//! worker), a `ProgressRing` is shared: one writer side (the job's sweep
+//! threads) and any number of cursor readers, synchronized by a mutex
+//! that is held only for the few queue operations.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use fetchvp_metrics::Json;
+
+/// One structured progress event of a running job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Ring sequence number, assigned on push: strictly increasing per
+    /// job, starting at 0. Gaps visible to a reader mean its cursor fell
+    /// behind and events were dropped.
+    pub seq: u64,
+    /// The job this event belongs to.
+    pub job: u64,
+    /// Lifecycle phase: `"queued"`, `"running"`, `"done"` or `"failed"`.
+    pub phase: &'static str,
+    /// The workload (benchmark) the reporting cell is walking; empty for
+    /// pure lifecycle events.
+    pub workload: String,
+    /// Config-chunk index of the reporting cell within the sweep.
+    pub chunk: usize,
+    /// On-disk chunk index for out-of-core replay (0 for in-memory runs).
+    pub store_chunk: usize,
+    /// Instructions retired so far across the whole job.
+    pub instructions_done: u64,
+    /// Instructions the whole job will retire (0 until known).
+    pub instructions_total: u64,
+    /// Sweep cells finished so far.
+    pub cells_done: u64,
+    /// Total sweep cells of the job (0 until known).
+    pub cells_total: u64,
+    /// True when this event marks a cell crossing the finish line.
+    pub cell_completed: bool,
+}
+
+impl ProgressEvent {
+    /// Renders the event as one compact JSON line (deterministic key
+    /// order, no trailing newline) — the wire format of the server's
+    /// `GET /jobs/<id>/events` NDJSON stream. The output parses with
+    /// [`fetchvp_metrics::Json::parse`].
+    pub fn to_line(&self) -> String {
+        let workload = Json::Str(self.workload.clone()).to_json();
+        format!(
+            "{{\"seq\": {}, \"job\": {}, \"phase\": \"{}\", \"workload\": {}, \
+             \"chunk\": {}, \"store_chunk\": {}, \"instructions_done\": {}, \
+             \"instructions_total\": {}, \"cells_done\": {}, \"cells_total\": {}, \
+             \"cell_completed\": {}}}",
+            self.seq,
+            self.job,
+            self.phase,
+            workload,
+            self.chunk,
+            self.store_chunk,
+            self.instructions_done,
+            self.instructions_total,
+            self.cells_done,
+            self.cells_total,
+            self.cell_completed,
+        )
+    }
+}
+
+/// What a cursor read out of a [`ProgressRing`]: the events at or past
+/// the cursor, the cursor to pass next time, and how many events the
+/// cursor missed because the ring dropped them first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressBatch {
+    /// Events with `seq >= cursor`, oldest first.
+    pub events: Vec<ProgressEvent>,
+    /// The cursor for the next read (one past the newest returned seq).
+    pub next_cursor: u64,
+    /// Events between the cursor and the oldest retained seq, evicted
+    /// before this reader got to them (slow-reader drop-oldest).
+    pub dropped: u64,
+}
+
+/// A bounded, shared, drop-oldest ring of [`ProgressEvent`]s.
+///
+/// Writers [`push`](ProgressRing::push); when full, the *oldest* event is
+/// evicted so the newest (ultimately the terminal event) is always
+/// retained. Readers poll with [`since`](ProgressRing::since) using their
+/// own cursor; the ring never blocks on a slow reader.
+#[derive(Debug)]
+pub struct ProgressRing {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: VecDeque<ProgressEvent>,
+    /// Sequence number the next push will be assigned.
+    next_seq: u64,
+}
+
+impl ProgressRing {
+    /// Creates a ring retaining at most `capacity` events (minimum 1, so
+    /// the terminal event always survives).
+    pub fn new(capacity: usize) -> ProgressRing {
+        ProgressRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { events: VecDeque::new(), next_seq: 0 }),
+        }
+    }
+
+    /// Appends an event (its `seq` field is assigned by the ring),
+    /// evicting the oldest event when full. Returns the assigned seq.
+    pub fn push(&self, mut event: ProgressEvent) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        event.seq = seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(event);
+        seq
+    }
+
+    /// Returns every retained event with `seq >= cursor` (oldest first)
+    /// plus the next cursor and the count of events this cursor missed.
+    pub fn since(&self, cursor: u64) -> ProgressBatch {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let oldest = inner.next_seq - inner.events.len() as u64;
+        let dropped = oldest.saturating_sub(cursor);
+        let events: Vec<ProgressEvent> =
+            inner.events.iter().filter(|e| e.seq >= cursor).cloned().collect();
+        ProgressBatch { events, next_cursor: inner.next_seq.max(cursor), dropped }
+    }
+
+    /// The newest retained event, if any.
+    pub fn last(&self) -> Option<ProgressEvent> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.back().cloned()
+    }
+
+    /// How many events this ring retains at most.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(job: u64) -> ProgressEvent {
+        ProgressEvent {
+            seq: 0,
+            job,
+            phase: "running",
+            workload: "gcc".to_string(),
+            chunk: 1,
+            store_chunk: 2,
+            instructions_done: 4096,
+            instructions_total: 20_000_000,
+            cells_done: 0,
+            cells_total: 16,
+            cell_completed: false,
+        }
+    }
+
+    #[test]
+    fn push_assigns_increasing_seqs_and_since_reads_them_back() {
+        let ring = ProgressRing::new(8);
+        for i in 0..5 {
+            assert_eq!(ring.push(event(7)), i);
+        }
+        let batch = ring.since(0);
+        assert_eq!(batch.dropped, 0);
+        assert_eq!(batch.next_cursor, 5);
+        assert_eq!(batch.events.len(), 5);
+        assert!(batch.events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+
+        // A caught-up cursor reads nothing and keeps its position.
+        let again = ring.since(batch.next_cursor);
+        assert!(again.events.is_empty());
+        assert_eq!(again.next_cursor, 5);
+        assert_eq!(again.dropped, 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_reports_the_gap() {
+        let ring = ProgressRing::new(3);
+        for _ in 0..10 {
+            ring.push(event(1));
+        }
+        // Seqs 0..7 were evicted; a cursor at 0 lost exactly those.
+        let batch = ring.since(0);
+        assert_eq!(batch.dropped, 7);
+        assert_eq!(batch.events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(batch.next_cursor, 10);
+        // The newest event always survives.
+        assert_eq!(ring.last().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = ProgressRing::new(0);
+        ring.push(event(1));
+        ring.push(event(1));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.since(0).events.len(), 1);
+        assert_eq!(ring.last().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn event_line_is_one_parseable_line_with_the_fields_in_order() {
+        let text = event(9).to_line();
+        assert!(!text.contains('\n'), "NDJSON events must be single lines: {text}");
+        assert!(text.starts_with(r#"{"seq": 0, "job": 9, "phase": "running""#), "{text}");
+        assert!(text.contains(r#""instructions_done": 4096"#));
+        assert!(text.ends_with(r#""cell_completed": false}"#), "{text}");
+        let doc = Json::parse(&text).expect("event lines parse with our own Json");
+        assert_eq!(doc.get("workload").and_then(Json::as_str), Some("gcc"));
+        assert_eq!(doc.get("instructions_total").and_then(Json::as_u64), Some(20_000_000));
+    }
+}

@@ -4,9 +4,10 @@
 //! 0.0.4: counters and gauges as single samples, histograms as
 //! summary-style quantile samples (`{quantile="0.5"}` / `0.95` / `0.99`,
 //! derived deterministically from the log₂ bucket layout) plus `_sum` and
-//! `_count`. Dotted metric keys are sanitised to underscores and prefixed
-//! with `fetchvp_`, so `server.jobs_completed` becomes
-//! `fetchvp_server_jobs_completed`.
+//! `_count`. Every sample is preceded by `# HELP` (a per-family
+//! description, see [`help_text`]) and `# TYPE` lines. Dotted metric
+//! keys are sanitised to underscores and prefixed with `fetchvp_`, so
+//! `server.jobs_completed` becomes `fetchvp_server_jobs_completed`.
 //!
 //! [text-based exposition format]:
 //!     https://prometheus.io/docs/instrumenting/exposition_formats/
@@ -31,6 +32,39 @@ pub fn metric_name(key: &str) -> String {
     name
 }
 
+/// Known metric families and their operator-facing descriptions. A key
+/// matches an entry when it equals the family or extends it with a
+/// dotted suffix; longer (more specific) prefixes are listed first and
+/// win.
+const FAMILY_HELP: &[(&str, &str)] = &[
+    ("server.request_latency_us", "Request latency in microseconds, accept to last byte"),
+    ("server.requests", "Requests answered, by endpoint and status or failure class"),
+    ("server.queue", "Bounded job queue admissions, rejections and occupancy"),
+    ("server.jobs", "Job lifecycle totals"),
+    ("server.workers", "Worker pool activity"),
+    ("server.peers", "Fleet proxy hops, relay streams, failures and health transitions"),
+    ("server.result_cache", "Content-addressed result cache traffic and residency"),
+    ("server.trace_cache", "Shared trace cache residency"),
+    ("server.connections", "Listener-level connection accounting"),
+    ("server.uptime_seconds", "Seconds since the daemon bound its listening socket"),
+    ("server", "fetchvp daemon internals"),
+    ("build", "Build identity: crate version and on-disk format versions"),
+];
+
+/// The `# HELP` description for a dotted registry key: the most
+/// specific matching `FAMILY_HELP` entry, or a generic fallback
+/// naming the key. Deterministic, so scrapes diff cleanly.
+pub fn help_text(key: &str) -> String {
+    for (family, help) in FAMILY_HELP {
+        let matches =
+            key.strip_prefix(family).is_some_and(|rest| rest.is_empty() || rest.starts_with('.'));
+        if matches {
+            return format!("{help} (registry key {key})");
+        }
+    }
+    format!("fetchvp registry key {key}")
+}
+
 fn float(value: f64) -> String {
     if value.is_nan() {
         "NaN".to_string()
@@ -51,6 +85,7 @@ pub fn render(registry: &Registry) -> String {
     let mut out = String::new();
     for (key, metric) in registry.iter() {
         let name = metric_name(key);
+        let _ = writeln!(out, "# HELP {name} {}", help_text(key));
         match metric {
             Metric::Counter(n) => {
                 let _ = writeln!(out, "# TYPE {name} counter");
@@ -100,6 +135,41 @@ mod tests {
         assert!(text.contains("fetchvp_server_request_latency_us{quantile=\"0.5\"} "));
         assert!(text.contains("fetchvp_server_request_latency_us_sum 106\n"));
         assert!(text.contains("fetchvp_server_request_latency_us_count 4\n"));
+    }
+
+    #[test]
+    fn every_family_gets_help_before_type() {
+        let mut reg = Registry::new();
+        reg.counter("server.requests", "run.202", 1);
+        reg.gauge("server", "uptime_seconds", 12.0);
+        reg.observe("server", "request_latency_us", 5);
+        reg.counter("build", "info", 1);
+        reg.counter("something.else", "entirely", 1);
+        let text = render(&reg);
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let name = line.split_whitespace().nth(2).unwrap();
+            assert!(text.contains(&format!("# HELP {name} ")), "missing HELP for {name}:\n{text}");
+        }
+        // HELP precedes TYPE for the same family (exposition-format order).
+        let help_at = text.find("# HELP fetchvp_server_requests_run_202").unwrap();
+        let type_at = text.find("# TYPE fetchvp_server_requests_run_202").unwrap();
+        assert!(help_at < type_at);
+        assert!(text.contains(
+            "# HELP fetchvp_server_uptime_seconds Seconds since the daemon bound its \
+             listening socket (registry key server.uptime_seconds)"
+        ));
+        // Unknown families still get a (generic) description.
+        assert!(text.contains(
+            "# HELP fetchvp_something_else_entirely fetchvp registry key something.else.entirely"
+        ));
+    }
+
+    #[test]
+    fn help_prefers_the_most_specific_family() {
+        assert!(help_text("server.request_latency_us").starts_with("Request latency"));
+        assert!(help_text("server.requests.run.202").starts_with("Requests answered"));
+        assert!(help_text("server.started").starts_with("fetchvp daemon internals"));
+        assert!(help_text("server_suffixless").starts_with("fetchvp registry key"));
     }
 
     #[test]

@@ -60,6 +60,14 @@ cargo run $OFFLINE --release -p fetchvp-cli -- trace-gen m88ksim \
 cargo run $OFFLINE --release -p fetchvp-cli -- trace-info "$TRACE_DIR"/m88ksim-*.fvps
 cargo run $OFFLINE --release -p fetchvp-cli -- usefulness \
     --trace-len 20000000 --trace-dir "$TRACE_DIR" --csv >/dev/null
+
+# The flagship streaming e2e: the same 20M out-of-core sweep served over
+# HTTP with a live `GET /jobs/<id>/events` follower — monotone progress,
+# on-disk chunk indices in the events, and a result byte-identical to
+# the in-process run. Reuses the traces the smoke above just generated.
+echo "== out-of-core streaming e2e (20M instructions)"
+FETCHVP_E2E_TRACE_DIR="$TRACE_DIR" cargo test $OFFLINE --release -q -p fetchvp-server \
+    --test stream_e2e -- --ignored
 rm -rf "$TRACE_DIR"
 
 # The standing invariant gate: differentially fuzz sampled workload-family

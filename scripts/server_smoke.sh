@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test for the `fetchvp serve` daemon: boot it on an ephemeral
 # loopback port, hit /healthz, run one quick job to completion, scrape
-# /metrics, and shut it down gracefully, asserting a clean exit.
+# /metrics, follow a second job live over `GET /jobs/<id>/events`, and
+# shut it down gracefully, asserting a clean exit.
 #
 # Loopback only, no external dependencies: uses curl when present and
 # falls back to bash's /dev/tcp otherwise. Expects the release binary to
@@ -90,6 +91,37 @@ echo "$PROM" | grep -q '^fetchvp_server_jobs_completed 1' \
     || { echo "missing fetchvp_server_jobs_completed counter:"; echo "$PROM" | head -30; exit 1; }
 echo "$PROM" | grep -q '^# TYPE fetchvp_server_jobs_completed counter' \
     || { echo "missing TYPE line:"; echo "$PROM" | head -30; exit 1; }
+echo "$PROM" | grep -q '^# HELP fetchvp_server_jobs_completed ' \
+    || { echo "missing HELP line:"; echo "$PROM" | head -30; exit 1; }
+
+# stream PATH — GET with the response streamed to stdout as it arrives
+# (chunked transfer; the server closes after the terminal event).
+stream() {
+    local path=$1
+    if command -v curl >/dev/null; then
+        curl -sS --no-buffer "http://$ADDR$path"
+    else
+        exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+        printf 'GET %s HTTP/1.1\r\nHost: %s\r\n\r\n' "$path" "$ADDR" >&3
+        cat <&3
+        exec 3<&-
+    fi
+}
+
+echo "== serve: streaming /jobs/<id>/events for a fresh job"
+RUN=$(http POST /run '{"experiment": "bench", "trace_len": 60000, "seed": 8}')
+JOB=$(echo "$RUN" | grep -o '"job": [0-9]*' | grep -o '[0-9]*')
+[[ -n "$JOB" ]] || { echo "no job id in: $RUN"; exit 1; }
+EVENTS=$(stream "/jobs/$JOB/events")
+# At least one non-terminal progress event precedes the terminal one,
+# and the stream ends at the terminal event (that's what closed it).
+echo "$EVENTS" | grep -q '"phase": "queued"\|"phase": "running"' \
+    || { echo "no progress events before the terminal:"; echo "$EVENTS" | head -10; exit 1; }
+echo "$EVENTS" | grep -q '"phase": "done"' \
+    || { echo "stream never reached the terminal event:"; echo "$EVENTS" | tail -10; exit 1; }
+POLLED=$(http GET "/jobs/$JOB")
+echo "$POLLED" | grep -q '"status": "done"' \
+    || { echo "streamed job not done when polled: $POLLED"; exit 1; }
 
 echo "== serve: POST /shutdown"
 http POST /shutdown | grep -q "shutting down"

@@ -12,6 +12,10 @@
 //! 3. **Graceful degradation** — killing a member flips its health flag
 //!    on the survivor and its share of the ring rehashes to the
 //!    survivors; submissions keep succeeding throughout.
+//! 4. **Fleet-wide observability** — `GET /fleet/metrics` asked of
+//!    *either* member returns a merged document carrying both members'
+//!    snapshots plus fleet-summed counters, and a killed member shows up
+//!    as `"down"` instead of failing the aggregation.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -213,6 +217,83 @@ fn fleet_shards_jobs_and_proxies_lookups() {
 
     shutdown(addr_a, handle_a);
     shutdown(addr_b, handle_b);
+}
+
+#[test]
+fn fleet_metrics_merge_from_either_member_and_mark_the_dead() {
+    let ((addr_a, handle_a), (addr_b, handle_b)) = start_fleet();
+
+    // Some traffic first, so the merged counters have something to sum.
+    let (_, id) = find_spec_owned_by(addr_a, 0);
+    wait_for_job(addr_a, id);
+
+    // Asked of either member, the merged document reports both: the
+    // asked member as "self", the other fetched over one forwarded hop
+    // as "up", each carrying its full member snapshot.
+    for (asked, other) in [(addr_a, addr_b), (addr_b, addr_a)] {
+        let reply = request(asked, "GET", "/fleet/metrics", None);
+        assert_eq!(reply.status, 200, "{asked}: {}", reply.body);
+        let doc = reply.json();
+        assert_eq!(doc.get("fleet_size").and_then(Json::as_u64), Some(2), "{asked}");
+        assert_eq!(doc.get("reporting").and_then(Json::as_u64), Some(2), "{asked}");
+        for (addr, status) in [(asked, "self"), (other, "up")] {
+            let member = doc
+                .get("members")
+                .and_then(|m| m.get(&addr.to_string()))
+                .unwrap_or_else(|| panic!("{asked}'s merge is missing member {addr}"));
+            assert_eq!(member.get("status").and_then(Json::as_str), Some(status), "{addr}");
+            assert_eq!(
+                member.get("addr").and_then(Json::as_str),
+                Some(addr.to_string().as_str()),
+                "member snapshots carry their own address"
+            );
+            assert!(member.get("uptime_seconds").and_then(Json::as_u64).is_some(), "{addr}");
+            assert!(member.get("live_jobs").is_some(), "{addr} must report its live jobs");
+            assert!(
+                member.get_path("metrics.counters").and_then(|c| c.get("server.started")).is_some(),
+                "{addr} must embed a full metrics snapshot"
+            );
+        }
+        // Counters are fleet-summed: both members started exactly once.
+        assert_eq!(
+            doc.get_path("summed.counters")
+                .and_then(|c| c.get("server.started"))
+                .and_then(Json::as_u64),
+            Some(2),
+            "{asked}: summed counters must cover both members"
+        );
+    }
+
+    // Kill B: A's merge degrades instead of failing — B is marked
+    // "down" (no snapshot), A still reports, the endpoint stays 200.
+    shutdown(addr_b, handle_b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let doc = request(addr_a, "GET", "/fleet/metrics", None).json();
+        let status = doc
+            .get("members")
+            .and_then(|m| m.get(&addr_b.to_string()))
+            .and_then(|m| m.get("status"))
+            .and_then(Json::as_str)
+            .unwrap_or("missing")
+            .to_string();
+        if status == "down" {
+            assert_eq!(doc.get("reporting").and_then(Json::as_u64), Some(1));
+            assert_eq!(doc.get("fleet_size").and_then(Json::as_u64), Some(2));
+            assert!(
+                doc.get("members")
+                    .and_then(|m| m.get(&addr_b.to_string()))
+                    .and_then(|m| m.get("metrics"))
+                    .is_none(),
+                "a dead member contributes no snapshot"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "B never marked down in the merge (`{status}`)");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    shutdown(addr_a, handle_a);
 }
 
 #[test]
